@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Figure 1(c): normalized throughput of the FLANN microservice as the
+ * number of SMT threads on a 4-wide OoO core grows from 1 to 16, for
+ * the stall-free baseline and the FLANN-9-1 / FLANN-10-10 / FLANN-1-1
+ * compute:stall variants (saturated load; stalls stall in place).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "core/calibration.hh"
+#include "core/scenario.hh"
+#include "core/smt_sweep.hh"
+
+using namespace duplexity;
+
+namespace
+{
+
+struct Variant
+{
+    const char *name;
+    double compute_us;
+    double stall_us;
+};
+
+} // namespace
+
+int
+main()
+{
+    const std::vector<Variant> variants{
+        {"baseline", 10.0, 0.0},
+        {"FLANN-9-1", 9.0, 1.0},
+        {"FLANN-10-10", 10.0, 10.0},
+        {"FLANN-1-1", 1.0, 1.0},
+    };
+
+    const Cycle measure = measureCyclesFromEnv(800'000);
+
+    std::printf("Figure 1(c): throughput vs SMT thread count "
+                "(4-wide OoO)\n");
+    std::printf("%8s", "threads");
+    for (const Variant &v : variants)
+        std::printf(" %12s", v.name);
+    std::printf("\n");
+
+    // Normalize to the stall-free single-thread throughput.
+    double norm = 0.0;
+    for (std::uint32_t threads = 1; threads <= 16; ++threads) {
+        std::printf("%8u", threads);
+        for (const Variant &v : variants) {
+            SmtSweepConfig cfg;
+            cfg.mode = IssueMode::OutOfOrder;
+            cfg.threads = threads;
+            cfg.workload = [&](ThreadId) {
+                // Concurrent requests of one FLANN instance share
+                // the LSH tables: same data region for all threads.
+                return calibratedFlannXY(v.compute_us, v.stall_us,
+                                         0);
+            };
+            cfg.measure_cycles = measure;
+            double ipc = runSmtSweep(cfg).total_ipc;
+            if (norm == 0.0)
+                norm = ipc;
+            std::printf(" %12.3f", ipc / norm);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\nPaper shape: the stall-free baseline saturates "
+                "around 8 threads;\nstalling variants keep gaining "
+                "well past 8 (FLANN-1-1 peaks latest) yet\nnever "
+                "recover the stall-free peak; FLANN-1-1 trails "
+                "FLANN-10-10.\n");
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Figure 2(a): aggregate throughput of multi-threaded SPEC-like
+ * workload mixes for 1-10 InO or OoO SMT threads on a 4-wide core.
+ * The point of the figure: the OoO advantage vanishes around 8
+ * threads, which is why the lender-core datapath is in-order.
+ */
+
+#include <cstdio>
+
+#include "core/scenario.hh"
+#include "core/smt_sweep.hh"
+#include "workload/catalog.hh"
+
+using namespace duplexity;
+
+int
+main()
+{
+    const Cycle measure = measureCyclesFromEnv(800'000);
+
+    auto mix_workload = [](ThreadId uid) {
+        return makeSpecBatch(static_cast<SpecProfile>(uid % 3), uid);
+    };
+
+    std::printf("Figure 2(a): SPEC-mix throughput, InO vs OoO SMT\n");
+    std::printf("%8s %10s %10s %12s\n", "threads", "OoO IPC",
+                "InO IPC", "OoO/InO");
+    for (std::uint32_t threads = 1; threads <= 10; ++threads) {
+        SmtSweepConfig cfg;
+        cfg.threads = threads;
+        cfg.workload = mix_workload;
+        cfg.measure_cycles = measure;
+
+        cfg.mode = IssueMode::OutOfOrder;
+        double ooo = runSmtSweep(cfg).total_ipc;
+        cfg.mode = IssueMode::InOrder;
+        double ino = runSmtSweep(cfg).total_ipc;
+
+        std::printf("%8u %10.3f %10.3f %12.3f\n", threads, ooo, ino,
+                    ooo / ino);
+    }
+
+    std::printf("\nPaper shape: OoO wins decisively at 1-2 threads; "
+                "the gap shrinks steadily\nand has essentially "
+                "vanished by ~8 threads.\n");
+    return 0;
+}

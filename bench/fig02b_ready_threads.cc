@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Figure 2(b): probability of having at least 8 ready threads as a
+ * function of the number of virtual contexts, for 10% and 50% per-
+ * thread stall probability (the binomial model of Section III-A).
+ */
+
+#include <cstdio>
+
+#include "queueing/analytic.hh"
+
+using namespace duplexity;
+
+int
+main()
+{
+    std::printf("Figure 2(b): P(>=8 ready threads) vs virtual "
+                "contexts\n");
+    std::printf("%10s %14s %14s\n", "contexts", "p_stall=0.1",
+                "p_stall=0.5");
+    for (std::uint32_t n = 8; n <= 32; ++n) {
+        std::printf("%10u %14.4f %14.4f\n", n,
+                    readyThreadsProbability(n, 0.1, 8),
+                    readyThreadsProbability(n, 0.5, 8));
+    }
+
+    std::printf("\nContexts needed for 90%% supply: "
+                "p=0.1 -> %u, p=0.5 -> %u\n",
+                virtualContextsNeeded(0.1, 8, 0.90),
+                virtualContextsNeeded(0.5, 8, 0.90));
+    std::printf("Paper shape: ~11 contexts suffice at 10%% stall; "
+                "21 at 50%% stall.\n");
+    return 0;
+}

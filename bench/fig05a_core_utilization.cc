@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Figure 5(a): master-core (or alternative) issue-bandwidth
+ * utilization across the workload/load grid for all seven designs.
+ * Borrowed filler-thread instructions count; lender-core
+ * instructions do not (Section VI-A).
+ */
+
+#include <cstdio>
+
+#include "fig5_common.hh"
+
+using namespace duplexity;
+using namespace duplexity::bench;
+
+int
+main()
+{
+    Grid grid = runGrid();
+    printPanel("Figure 5(a): core utilization (%)", grid,
+               [](const GridCell &cell) {
+                   return 100.0 * cell.result.utilization;
+               },
+               "% of peak retire bandwidth");
+
+    // Averages across the grid, as the paper's summary reports.
+    auto average = [&](DesignKind design) {
+        double sum = 0.0;
+        int n = 0;
+        for (const GridCell &cell : grid.cells) {
+            if (cell.design == design) {
+                sum += cell.result.utilization;
+                ++n;
+            }
+        }
+        return sum / n;
+    };
+    double base = average(DesignKind::Baseline);
+    double smt = average(DesignKind::Smt);
+    double dup = average(DesignKind::Duplexity);
+    std::printf("Average utilization: baseline %.1f%%, SMT %.1f%%, "
+                "Duplexity %.1f%%\n",
+                100 * base, 100 * smt, 100 * dup);
+    std::printf("Duplexity vs baseline: %.2fx (paper 4.8x); "
+                "vs SMT: %.2fx (paper 1.9x)\n",
+                dup / base, dup / smt);
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Figure 5(b): performance density (instructions retired per second
+ * per mm^2 of chip), normalized to the Baseline design. Every
+ * alternative is paired with a lender-style HSMT throughput core and
+ * 2 MB of LLC (Section VI-B).
+ */
+
+#include <cstdio>
+
+#include "fig5_common.hh"
+
+using namespace duplexity;
+using namespace duplexity::bench;
+
+int
+main()
+{
+    Grid grid = runGrid();
+    printPanel(
+        "Figure 5(b): performance density, normalized to Baseline",
+        grid,
+        [&grid](const GridCell &cell) {
+            double base = performanceDensity(grid.at(
+                cell.service, cell.load, DesignKind::Baseline));
+            return performanceDensity(cell.result) / base;
+        },
+        "x Baseline");
+
+    auto average = [&](DesignKind design) {
+        double sum = 0.0;
+        int n = 0;
+        for (const GridCell &cell : grid.cells) {
+            if (cell.design != design)
+                continue;
+            double base = performanceDensity(grid.at(
+                cell.service, cell.load, DesignKind::Baseline));
+            sum += performanceDensity(cell.result) / base;
+            ++n;
+        }
+        return sum / n;
+    };
+    std::printf("Average vs baseline: SMT %.2fx, Duplexity %.2fx, "
+                "Duplexity+repl %.2fx\n",
+                average(DesignKind::Smt),
+                average(DesignKind::Duplexity),
+                average(DesignKind::DuplexityRepl));
+    std::printf("Paper shape: Duplexity highest (avg +49%% over "
+                "baseline, +28%% over SMT);\nreplication loses "
+                "~9%% density to Duplexity despite higher "
+                "utilization.\n");
+    return 0;
+}

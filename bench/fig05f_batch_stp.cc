@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure 5(f): system throughput (STP) of the batch threads —
+ * per-thread progress relative to an alone-run on a lender core,
+ * summed across threads — normalized to the Baseline pairing.
+ */
+
+#include <cstdio>
+
+#include "fig5_common.hh"
+
+using namespace duplexity;
+using namespace duplexity::bench;
+
+int
+main()
+{
+    Grid grid = runGrid();
+    printPanel("Figure 5(f): batch STP, normalized to Baseline",
+               grid,
+               [&grid](const GridCell &cell) {
+                   double base =
+                       grid.at(cell.service, cell.load,
+                               DesignKind::Baseline)
+                           .batch_stp;
+                   return cell.result.batch_stp / base;
+               },
+               "x Baseline (higher is better)");
+
+    auto average = [&](DesignKind design) {
+        double sum = 0.0;
+        int n = 0;
+        for (const GridCell &cell : grid.cells) {
+            if (cell.design != design)
+                continue;
+            sum += cell.result.batch_stp /
+                   grid.at(cell.service, cell.load,
+                           DesignKind::Baseline)
+                       .batch_stp;
+            ++n;
+        }
+        return sum / n;
+    };
+    double dup = average(DesignKind::Duplexity);
+    double repl = average(DesignKind::DuplexityRepl);
+    std::printf("Average batch STP vs baseline: SMT %.2fx, "
+                "MorphCore+ %.2fx, Duplexity %.2fx, "
+                "Duplexity+repl %.2fx\n",
+                average(DesignKind::Smt),
+                average(DesignKind::MorphCorePlus), dup, repl);
+    std::printf("Duplexity within %.1f%% of Duplexity+repl "
+                "(paper: within 8%%)\n",
+                100.0 * (repl - dup) / repl);
+    std::printf("Paper shape: Duplexity improves batch STP by ~52%% "
+                "and ~24%% over baseline\nand SMT; replication/"
+                "MorphCore+ edge it out slightly (no lender-cache "
+                "sharing).\n");
+    return 0;
+}

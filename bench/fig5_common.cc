@@ -1,0 +1,122 @@
+#include "fig5_common.hh"
+
+#include <cstdio>
+
+#include "queueing/queue_sim.hh"
+#include "sim/logging.hh"
+#include "workload/microservice.hh"
+
+namespace duplexity::bench
+{
+
+const std::vector<double> &
+loads()
+{
+    static const std::vector<double> values{0.3, 0.5, 0.7};
+    return values;
+}
+
+const ScenarioResult &
+Grid::at(MicroserviceKind service, double load,
+         DesignKind design) const
+{
+    for (const GridCell &cell : cells) {
+        if (cell.service == service && cell.design == design &&
+            std::abs(cell.load - load) < 1e-9) {
+            return cell.result;
+        }
+    }
+    fatal("grid cell not found");
+}
+
+Grid
+runGrid(Cycle default_measure)
+{
+    Grid grid;
+    const Cycle measure = measureCyclesFromEnv(default_measure);
+    for (MicroserviceKind service : allMicroservices()) {
+        for (double load : loads()) {
+            for (DesignKind design : allDesigns()) {
+                ScenarioConfig cfg;
+                cfg.design = design;
+                cfg.service = service;
+                cfg.load = load;
+                cfg.measure_cycles = measure;
+                grid.cells.push_back(
+                    {service, load, design, runScenario(cfg)});
+            }
+        }
+    }
+    return grid;
+}
+
+double
+chipOpsPerSecond(const ScenarioResult &result)
+{
+    return static_cast<double>(result.activity.totalOps()) /
+           result.seconds;
+}
+
+double
+performanceDensity(const ScenarioResult &result)
+{
+    DesignConfig design = makeDesign(result.design);
+    return chipOpsPerSecond(result) /
+           pairedChipAreaMm2(design.area_kind);
+}
+
+double
+energyPerOp(const ScenarioResult &result)
+{
+    static const EnergyModel model;
+    DesignConfig design = makeDesign(result.design);
+    return model.energyPerOpNj(
+        pairedChipAreaMm2(design.area_kind), result.activity);
+}
+
+double
+queuedP99Us(const ScenarioResult &result, double offered_load)
+{
+    if (result.service_us.count() < 16)
+        return 0.0;
+    // BigHouse stage: replay the measured service population through
+    // an FCFS M/G/1 queue at the requested offered load relative to
+    // the measured baseline capacity.
+    double lambda =
+        offered_load / fromMicros(baselineServiceUs(result.service));
+    QueueSimConfig cfg;
+    cfg.interarrival = makeExponential(1.0 / lambda);
+    cfg.service = makeScaled(
+        makeEmpirical(result.service_us.samples()), 1e-6);
+    cfg.max_batches = 60;
+    cfg.seed = 1234;
+    QueueSimResult queue = runQueueSim(cfg);
+    return toMicros(queue.p99Sojourn());
+}
+
+void
+printPanel(const std::string &title, const Grid &grid,
+           const std::function<double(const GridCell &)> &metric,
+           const std::string &unit)
+{
+    std::printf("%s\n", title.c_str());
+    std::printf("%-10s %-5s", "workload", "load");
+    for (DesignKind design : allDesigns())
+        std::printf(" %14s", toString(design));
+    std::printf("   [%s]\n", unit.c_str());
+    for (MicroserviceKind service : allMicroservices()) {
+        for (double load : loads()) {
+            std::printf("%-10s %4.0f%%", toString(service),
+                        100.0 * load);
+            for (DesignKind design : allDesigns()) {
+                GridCell cell{service, load, design,
+                              grid.at(service, load, design)};
+                std::printf(" %14.4f", metric(cell));
+            }
+            std::printf("\n");
+        }
+    }
+    std::printf("\n");
+}
+
+} // namespace duplexity::bench

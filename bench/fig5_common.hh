@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Shared harness for the Figure 5 family: runs the full evaluation
+ * grid (4 stalling microservices + WordStem) x {30,50,70}% load x
+ * all seven designs, and provides the derived metrics each figure
+ * reports. Each bench binary regenerates exactly one panel.
+ */
+
+#ifndef DPX_BENCH_FIG5_COMMON_HH
+#define DPX_BENCH_FIG5_COMMON_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/scenario.hh"
+#include "power/area_model.hh"
+#include "power/energy_model.hh"
+
+namespace duplexity::bench
+{
+
+struct GridCell
+{
+    MicroserviceKind service;
+    double load;
+    DesignKind design;
+    ScenarioResult result;
+};
+
+struct Grid
+{
+    std::vector<GridCell> cells;
+
+    const ScenarioResult &at(MicroserviceKind service, double load,
+                             DesignKind design) const;
+};
+
+/** The evaluation loads of Section VI. */
+const std::vector<double> &loads();
+
+/** Run the whole grid (measure cycles from DPX_MEASURE_CYCLES). */
+Grid runGrid(Cycle default_measure = 1'500'000);
+
+/** Total chip instructions/s (master-side + lender) of a cell. */
+double chipOpsPerSecond(const ScenarioResult &result);
+
+/** Performance density in ops/s/mm^2 (Figure 5(b)). */
+double performanceDensity(const ScenarioResult &result);
+
+/** Energy per instruction in nJ (Figure 5(c)). */
+double energyPerOp(const ScenarioResult &result);
+
+/**
+ * 99th-percentile sojourn (µs) through the BigHouse-style M/G/1
+ * stage at @p offered_load of the service's nominal capacity.
+ */
+double queuedP99Us(const ScenarioResult &result, double offered_load);
+
+/** Print one figure panel: rows service x load, columns designs. */
+void printPanel(
+    const std::string &title, const Grid &grid,
+    const std::function<double(const GridCell &)> &metric,
+    const std::string &unit);
+
+} // namespace duplexity::bench
+
+#endif // DPX_BENCH_FIG5_COMMON_HH

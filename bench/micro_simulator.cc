@@ -1,0 +1,140 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks for the simulator's own hot
+ * paths: cache accesses, TLB lookups, branch prediction, pipeline-
+ * model throughput, HSMT scheduling, and the queueing kernel. These
+ * guard the simulator's performance, which bounds how much simulated
+ * time the figure benches can afford.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "branch/predictor.hh"
+#include "cpu/core_engine.hh"
+#include "cpu/hsmt.hh"
+#include "mem/memory_system.hh"
+#include "queueing/queue_sim.hh"
+#include "sim/rng.hh"
+#include "workload/catalog.hh"
+
+using namespace duplexity;
+
+namespace
+{
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    Cache cache(CacheConfig{});
+    Rng rng(1);
+    Cycle now = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.access(rng.below(1 << 22) * 8, false, ++now));
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_TlbAccess(benchmark::State &state)
+{
+    Tlb tlb(TlbConfig{});
+    Rng rng(2);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(tlb.access(rng.below(1 << 26)));
+}
+BENCHMARK(BM_TlbAccess);
+
+void
+BM_TournamentPredict(benchmark::State &state)
+{
+    auto pred = makePredictor(PredictorConfig::Kind::Tournament);
+    Rng rng(3);
+    Addr pc = 0;
+    for (auto _ : state) {
+        pc = (pc + 64) & 0xFFFF;
+        benchmark::DoNotOptimize(
+            pred->predictAndUpdate(pc, rng.chance(0.9)));
+    }
+}
+BENCHMARK(BM_TournamentPredict);
+
+void
+BM_PipelineOp(benchmark::State &state)
+{
+    DyadMemorySystem mem(MemSystemConfig::makeDefault());
+    CoreEngine engine{CoreEngineConfig{}};
+    auto pred = makePredictor(PredictorConfig::Kind::Tournament);
+    Btb btb(2048, 4);
+    ReturnAddressStack ras(32);
+    Rng rng(4);
+    BatchSource source(makeFlannXY(10.0, 0.0, 0), rng.fork(1));
+    Lane lane;
+    LaneConfig cfg = engine.defaultLaneConfig(IssueMode::OutOfOrder);
+    cfg.path = mem.masterPath();
+    cfg.branch = {pred.get(), &btb, &ras};
+    lane.configure(cfg);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            engine.processOp(lane, source.next()));
+}
+BENCHMARK(BM_PipelineOp);
+
+void
+BM_HsmtAdvance(benchmark::State &state)
+{
+    DyadMemorySystem mem(MemSystemConfig::makeDefault());
+    CoreEngine engine{CoreEngineConfig{}};
+    auto pred = makePredictor(PredictorConfig::Kind::GshareSmall);
+    Btb btb(2048, 4);
+    ReturnAddressStack ras(16);
+    VirtualContextPool pool;
+    Rng rng(5);
+    std::vector<std::unique_ptr<BatchSource>> sources;
+    std::vector<std::unique_ptr<VirtualContext>> ctxs;
+    for (int i = 0; i < 32; ++i) {
+        sources.push_back(std::make_unique<BatchSource>(
+            makeBatch(BatchKind::PageRank, i + 1), rng.fork(i)));
+        ctxs.push_back(std::make_unique<VirtualContext>(
+            i + 1, sources.back().get()));
+        pool.add(ctxs.back().get());
+    }
+    HsmtUnit unit(engine, pool, HsmtConfig{}, Frequency(3.4e9));
+    LaneConfig proto = engine.defaultLaneConfig(IssueMode::InOrder);
+    proto.path = mem.lenderPath();
+    proto.branch = {pred.get(), &btb, &ras};
+    unit.configureLanes(proto);
+    unit.openWindow(0, HsmtUnit::never);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(unit.advanceOne(nullptr));
+}
+BENCHMARK(BM_HsmtAdvance);
+
+void
+BM_QueueSimRequest(benchmark::State &state)
+{
+    QueueSimConfig cfg = makeMg1(makeExponential(1e-6), 0.7, 6);
+    cfg.batch_size = 1000;
+    cfg.max_batches = 1;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(runQueueSim(cfg).completed);
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_QueueSimRequest);
+
+void
+BM_WorkloadGeneration(benchmark::State &state)
+{
+    Rng rng(7);
+    MicroserviceSource source(
+        makeMicroservice(MicroserviceKind::Rsc), rng.fork(1));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(source.next());
+}
+BENCHMARK(BM_WorkloadGeneration);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Table I: microarchitecture details, printed from the live
+ * configuration objects so the table cannot drift from the code.
+ */
+
+#include <cstdio>
+
+#include "core/designs.hh"
+#include "cpu/core_engine.hh"
+#include "mem/memory_system.hh"
+
+using namespace duplexity;
+
+int
+main()
+{
+    CoreEngineConfig engine;
+    MemSystemConfig mem = MemSystemConfig::makeDefault();
+
+    std::printf("Table I: microarchitecture details\n\n");
+    std::printf("Baseline/SMT : %u-wide OoO, %u-entry ROB/PRF, "
+                "%u-entry LQ, %u-entry SQ\n",
+                engine.issue_width, engine.rob_entries,
+                engine.lq_entries, engine.sq_entries);
+    std::printf("               tournament predictor "
+                "(16K bimodal/16K gshare/16K selector),\n"
+                "               32-entry RAS, 2K-entry BTB, "
+                "%u-entry I/D TLBs\n",
+                mem.itlb.entries);
+    std::printf("Lender-core  : 8-way InO HSMT, 32 virtual "
+                "contexts, %u-wide issue,\n"
+                "               round-robin fetch, gshare(8K), "
+                "2K-entry BTB\n",
+                engine.issue_width);
+
+    DesignConfig master = makeDesign(DesignKind::Duplexity);
+    std::printf("Master-core  : morphs single-thread OoO <-> InO "
+                "HSMT; uarch as baseline;\n"
+                "               tournament(16K)+gshare(8K); "
+                "separate per-mode TLBs;\n"
+                "               %llu KB / %llu KB I/D write-through "
+                "L0s; %llu-cycle resume\n",
+                static_cast<unsigned long long>(
+                    mem.l0i.size_bytes / 1024),
+                static_cast<unsigned long long>(
+                    mem.l0d.size_bytes / 1024),
+                static_cast<unsigned long long>(
+                    master.resume_penalty));
+    std::printf("L1 caches    : private %llu KB I/D, %u B lines, "
+                "%u-way\n",
+                static_cast<unsigned long long>(
+                    mem.l1i.size_bytes / 1024),
+                mem.l1i.line_bytes, mem.l1i.assoc);
+    std::printf("LLC          : %llu MB per dyad (1 MB/core), "
+                "%u B lines, %u-way\n",
+                static_cast<unsigned long long>(
+                    mem.llc.size_bytes / (1024 * 1024)),
+                mem.llc.line_bytes, mem.llc.assoc);
+    std::printf("Memory       : %.0f ns access latency\n",
+                mem.dram_ns);
+    std::printf("NIC          : FDR 4x InfiniBand (56 Gbit/s, "
+                "90M ops/s)\n");
+    std::printf("Dyad link    : +%llu cycles to lender L1s\n",
+                static_cast<unsigned long long>(
+                    mem.dyad_link_cycles));
+    return 0;
+}

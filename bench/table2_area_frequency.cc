@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Table II: area and clock frequency of every core variant from the
+ * McPAT/CACTI-lite model, with the paper's reported values alongside
+ * and the Section V overhead summary.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "power/area_model.hh"
+
+using namespace duplexity;
+
+int
+main()
+{
+    struct Row
+    {
+        CoreKind kind;
+        double paper_mm2;
+        double paper_ghz;
+    };
+    const std::vector<Row> rows{
+        {CoreKind::BaselineOoO, 12.1, 3.40},
+        {CoreKind::Smt2, 12.2, 3.35},
+        {CoreKind::MorphCore, 12.4, 3.30},
+        {CoreKind::MasterCore, 12.7, 3.25},
+        {CoreKind::MasterCoreReplicated, 16.7, 3.25},
+        {CoreKind::LenderCore, 5.5, 3.40},
+    };
+
+    std::printf("Table II: area and clock frequencies (32nm)\n");
+    std::printf("%-28s %10s %10s %10s %10s\n", "component",
+                "mm2", "paper", "GHz", "paper");
+    for (const Row &row : rows) {
+        std::printf("%-28s %10.2f %10.1f %10.3f %10.2f\n",
+                    toString(row.kind),
+                    coreArea(row.kind).total(), row.paper_mm2,
+                    coreFrequencyGhz(row.kind), row.paper_ghz);
+    }
+    std::printf("%-28s %10.2f %10.1f %10s %10s\n", "LLC (mm2/MB)",
+                llcAreaPerMb(), 3.9, "n/a", "n/a");
+
+    double base = coreArea(CoreKind::BaselineOoO).total();
+    std::printf("\nSection V overheads:\n");
+    std::printf("  master-core area overhead   : %5.1f%% "
+                "(paper ~5%%)\n",
+                100.0 *
+                    (coreArea(CoreKind::MasterCore).total() / base -
+                     1.0));
+    std::printf("  replication area overhead   : %5.1f%% "
+                "(paper ~38%%)\n",
+                100.0 * (coreArea(CoreKind::MasterCoreReplicated)
+                                 .total() /
+                             base -
+                         1.0));
+    std::printf("  master cycle-time penalty   : %5.1f%% "
+                "(paper ~4%%)\n",
+                100.0 * (1.0 -
+                         coreFrequencyGhz(CoreKind::MasterCore) /
+                             coreFrequencyGhz(
+                                 CoreKind::BaselineOoO)));
+
+    std::printf("\nMaster-core component breakdown:\n");
+    for (const ComponentArea &part :
+         coreArea(CoreKind::MasterCore).parts) {
+        std::printf("  %-18s %8.3f mm2 (%4.1f%% of baseline)\n",
+                    part.name.c_str(), part.mm2,
+                    100.0 * part.mm2 / base);
+    }
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Co-location study: should you co-locate batch work with a
+ * latency-critical microservice via SMT, or borrow threads the
+ * Duplexity way?
+ *
+ * For each design point this example reports the three quantities a
+ * capacity planner trades off — master-core utilization, batch
+ * progress (STP), and the microservice's p99 latency through the
+ * queueing stage — for one chosen microservice and load.
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "core/scenario.hh"
+#include "queueing/queue_sim.hh"
+
+using namespace duplexity;
+
+namespace
+{
+
+MicroserviceKind
+parseService(const char *name)
+{
+    for (MicroserviceKind kind : allMicroservices()) {
+        if (std::strcmp(name, toString(kind)) == 0)
+            return kind;
+    }
+    std::fprintf(stderr, "unknown service '%s', using McRouter\n",
+                 name);
+    return MicroserviceKind::McRouter;
+}
+
+double
+p99Us(const ScenarioResult &res)
+{
+    if (res.service_us.count() < 16)
+        return 0.0;
+    QueueSimConfig cfg;
+    cfg.interarrival = makeExponential(1.0 / res.offered_rps);
+    cfg.service = makeScaled(
+        makeEmpirical(res.service_us.samples()), 1e-6);
+    cfg.max_batches = 60;
+    QueueSimResult queue = runQueueSim(cfg);
+    return toMicros(queue.p99Sojourn());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    MicroserviceKind service =
+        argc > 1 ? parseService(argv[1]) : MicroserviceKind::McRouter;
+    double load = argc > 2 ? std::atof(argv[2]) : 0.5;
+
+    std::printf("Co-location study: %s @ %.0f%% load, 32 batch "
+                "virtual contexts per dyad\n\n",
+                toString(service), 100.0 * load);
+    std::printf("%-16s %9s %12s %12s %12s %10s\n", "design",
+                "util(%)", "svc mean(us)", "p99(us)", "batch STP",
+                "win frac");
+
+    double base_p99 = 0.0;
+    for (DesignKind design : allDesigns()) {
+        ScenarioConfig cfg;
+        cfg.design = design;
+        cfg.service = service;
+        cfg.load = load;
+        cfg.measure_cycles = measureCyclesFromEnv(2'000'000);
+        ScenarioResult res = runScenario(cfg);
+        double p99 = p99Us(res);
+        if (design == DesignKind::Baseline)
+            base_p99 = p99;
+        std::printf("%-16s %9.1f %12.2f %9.1f%s %12.2f %10.2f\n",
+                    toString(design), 100.0 * res.utilization,
+                    res.service_us.mean(), p99,
+                    p99 > 1.5 * base_p99 ? "(!)" : "   ",
+                    res.batch_stp, res.filler_window_fraction);
+    }
+    std::printf("\n(!) marks tail-latency blowups beyond 1.5x the "
+                "baseline: the QoS violations\nthat make naive SMT "
+                "co-location unattractive (Section II-B).\n");
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Quickstart: build one Duplexity dyad, run the FLANN-LL microservice
+ * at 50% load with 32 graph-analytics filler threads, and print the
+ * headline metrics next to the Baseline and SMT alternatives.
+ *
+ * This is the 60-second tour of the library: runScenario() is the
+ * cycle-level stage, runQueueSim() is the BigHouse-style tail stage.
+ */
+
+#include <cstdio>
+
+#include "core/scenario.hh"
+#include "queueing/queue_sim.hh"
+
+using namespace duplexity;
+
+int
+main()
+{
+    std::printf("Duplexity quickstart: FLANN-LL @ 50%% load\n");
+    std::printf("%-16s %12s %14s %12s %12s\n", "design",
+                "util(%)", "svc mean(us)", "p99(us)", "batch STP");
+
+    for (DesignKind design :
+         {DesignKind::Baseline, DesignKind::Smt,
+          DesignKind::Duplexity}) {
+        ScenarioConfig cfg;
+        cfg.design = design;
+        cfg.service = MicroserviceKind::FlannLL;
+        cfg.load = 0.5;
+        cfg.measure_cycles = measureCyclesFromEnv(2'000'000);
+        ScenarioResult res = runScenario(cfg);
+
+        // Tail latency via the BigHouse-style M/G/1 stage fed with
+        // the measured service-time population.
+        double p99_us = 0.0;
+        if (res.service_us.count() > 8) {
+            QueueSimConfig qcfg;
+            qcfg.interarrival =
+                makeExponential(1.0 / res.offered_rps);
+            qcfg.service = makeScaled(
+                makeEmpirical(res.service_us.samples()),
+                1e-6); // us -> seconds
+            qcfg.max_batches = 50;
+            QueueSimResult q = runQueueSim(qcfg);
+            p99_us = toMicros(q.p99Sojourn());
+        }
+
+        std::printf("%-16s %12.1f %14.2f %12.2f %12.2f\n",
+                    toString(design), 100.0 * res.utilization,
+                    res.service_us.mean(), p99_us, res.batch_stp);
+    }
+    return 0;
+}

@@ -1,0 +1,244 @@
+#include "branch/predictor.hh"
+
+#include <bit>
+
+#include "sim/logging.hh"
+
+namespace duplexity
+{
+
+namespace
+{
+
+// 2-bit saturating counter helpers; >= 2 predicts taken.
+constexpr std::uint8_t weakly_taken = 2;
+
+/** PC hash for table indexing: robust to aligned/strided PCs. */
+std::uint64_t
+pcHash(Addr pc)
+{
+    return (pc >> 2) * 0x9e3779b97f4a7c15ull >> 16;
+}
+
+std::uint8_t
+bump(std::uint8_t counter, bool up)
+{
+    if (up)
+        return counter < 3 ? counter + 1 : 3;
+    return counter > 0 ? counter - 1 : 0;
+}
+
+} // namespace
+
+double
+BranchStats::mispredictRate() const
+{
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(mispredicts) /
+                              static_cast<double>(lookups);
+}
+
+bool
+BranchPredictor::predictAndUpdate(Addr pc, bool taken)
+{
+    bool predicted = predict(pc);
+    update(pc, taken);
+    ++stats_.lookups;
+    if (predicted != taken)
+        ++stats_.mispredicts;
+    return predicted == taken;
+}
+
+BimodalPredictor::BimodalPredictor(std::size_t entries)
+    : table_(entries, weakly_taken), mask_(entries - 1)
+{
+    panicIfNot(std::has_single_bit(entries),
+               "bimodal entries must be a power of two");
+}
+
+std::size_t
+BimodalPredictor::index(Addr pc) const
+{
+    return pcHash(pc) & mask_;
+}
+
+bool
+BimodalPredictor::predict(Addr pc) const
+{
+    return table_[index(pc)] >= weakly_taken;
+}
+
+void
+BimodalPredictor::update(Addr pc, bool taken)
+{
+    std::uint8_t &counter = table_[index(pc)];
+    counter = bump(counter, taken);
+}
+
+GsharePredictor::GsharePredictor(std::size_t entries,
+                                 unsigned history_bits)
+    : table_(entries, weakly_taken), mask_(entries - 1),
+      history_mask_((1ull << history_bits) - 1)
+{
+    panicIfNot(std::has_single_bit(entries),
+               "gshare entries must be a power of two");
+    panicIfNot(history_bits > 0 && history_bits < 64,
+               "bad gshare history length");
+}
+
+std::size_t
+GsharePredictor::index(Addr pc) const
+{
+    return (pcHash(pc) ^ history_) & mask_;
+}
+
+bool
+GsharePredictor::predict(Addr pc) const
+{
+    return table_[index(pc)] >= weakly_taken;
+}
+
+void
+GsharePredictor::update(Addr pc, bool taken)
+{
+    std::uint8_t &counter = table_[index(pc)];
+    counter = bump(counter, taken);
+    history_ = ((history_ << 1) | (taken ? 1 : 0)) & history_mask_;
+}
+
+TournamentPredictor::TournamentPredictor(std::size_t bimodal_entries,
+                                         std::size_t gshare_entries,
+                                         std::size_t selector_entries,
+                                         unsigned history_bits)
+    : bimodal_(bimodal_entries),
+      gshare_(gshare_entries, history_bits),
+      selector_(selector_entries, weakly_taken),
+      selector_mask_(selector_entries - 1)
+{
+    panicIfNot(std::has_single_bit(selector_entries),
+               "selector entries must be a power of two");
+}
+
+std::size_t
+TournamentPredictor::selectorIndex(Addr pc) const
+{
+    return pcHash(pc) & selector_mask_;
+}
+
+bool
+TournamentPredictor::predict(Addr pc) const
+{
+    // Selector >= 2 chooses gshare.
+    bool use_gshare = selector_[selectorIndex(pc)] >= weakly_taken;
+    return use_gshare ? gshare_.predict(pc) : bimodal_.predict(pc);
+}
+
+void
+TournamentPredictor::update(Addr pc, bool taken)
+{
+    bool bi = bimodal_.predict(pc);
+    bool gs = gshare_.predict(pc);
+    // Train the chooser only when the components disagree.
+    if (bi != gs) {
+        std::uint8_t &sel = selector_[selectorIndex(pc)];
+        sel = bump(sel, gs == taken);
+    }
+    bimodal_.update(pc, taken);
+    gshare_.update(pc, taken);
+}
+
+Btb::Btb(std::size_t entries, std::uint32_t assoc) : assoc_(assoc)
+{
+    panicIfNot(entries % assoc == 0, "BTB entries % assoc != 0");
+    num_sets_ = entries / assoc;
+    panicIfNot(std::has_single_bit(num_sets_),
+               "BTB set count must be a power of two");
+    entries_.assign(entries, Entry{});
+}
+
+std::size_t
+Btb::setOf(Addr pc) const
+{
+    return pcHash(pc) & (num_sets_ - 1);
+}
+
+bool
+Btb::lookup(Addr pc) const
+{
+    const Entry *base = &entries_[setOf(pc) * assoc_];
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
+        if (base[w].valid && base[w].pc == pc) {
+            ++hits_;
+            return true;
+        }
+    }
+    ++misses_;
+    return false;
+}
+
+void
+Btb::update(Addr pc, Addr target)
+{
+    Entry *base = &entries_[setOf(pc) * assoc_];
+    Entry *victim = base;
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
+        Entry &entry = base[w];
+        if (entry.valid && entry.pc == pc) {
+            entry.target = target;
+            entry.lru = ++lru_clock_;
+            return;
+        }
+        if (!entry.valid) {
+            victim = &entry;
+        } else if (victim->valid && entry.lru < victim->lru) {
+            victim = &entry;
+        }
+    }
+    victim->pc = pc;
+    victim->target = target;
+    victim->valid = true;
+    victim->lru = ++lru_clock_;
+}
+
+ReturnAddressStack::ReturnAddressStack(std::size_t depth)
+    : stack_(depth, 0)
+{
+    panicIfNot(depth > 0, "RAS depth must be > 0");
+}
+
+void
+ReturnAddressStack::push(Addr return_pc)
+{
+    if (top_ == stack_.size()) {
+        // Overflow: wrap by discarding the oldest entry.
+        ++overflows_;
+        for (std::size_t i = 1; i < stack_.size(); ++i)
+            stack_[i - 1] = stack_[i];
+        --top_;
+    }
+    stack_[top_++] = return_pc;
+}
+
+Addr
+ReturnAddressStack::pop()
+{
+    if (top_ == 0)
+        return 0;
+    return stack_[--top_];
+}
+
+std::unique_ptr<BranchPredictor>
+makePredictor(PredictorConfig::Kind kind)
+{
+    switch (kind) {
+      case PredictorConfig::Kind::Tournament:
+        return std::make_unique<TournamentPredictor>(16 * 1024,
+                                                     16 * 1024,
+                                                     16 * 1024);
+      case PredictorConfig::Kind::GshareSmall:
+        return std::make_unique<GsharePredictor>(8 * 1024, 12);
+    }
+    panic("unknown predictor kind");
+}
+
+} // namespace duplexity

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Branch direction predictors, BTB, and return-address stack.
+ *
+ * Table I provisions a tournament predictor (16K bimodal + 16K gshare +
+ * 16K selector), a 2K-entry BTB, and a 32-entry RAS for the OoO
+ * master-core, and a smaller 8K gshare for the lender-core and for the
+ * master-core's filler mode (the reduced-size replicated predictor of
+ * Section III-B2).
+ */
+
+#ifndef DPX_BRANCH_PREDICTOR_HH
+#define DPX_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace duplexity
+{
+
+struct BranchStats
+{
+    std::uint64_t lookups = 0;
+    std::uint64_t mispredicts = 0;
+
+    double mispredictRate() const;
+};
+
+/** Direction predictor interface. */
+class BranchPredictor
+{
+  public:
+    virtual ~BranchPredictor() = default;
+
+    /** Predict the direction of the branch at @p pc. */
+    virtual bool predict(Addr pc) const = 0;
+
+    /** Train with the resolved outcome; updates stats. */
+    virtual void update(Addr pc, bool taken) = 0;
+
+    /** Lookup+train convenience; @return true if prediction correct. */
+    bool predictAndUpdate(Addr pc, bool taken);
+
+    const BranchStats &stats() const { return stats_; }
+    void resetStats() { stats_ = BranchStats{}; }
+
+  protected:
+    BranchStats stats_;
+};
+
+/** Classic 2-bit-counter bimodal table. */
+class BimodalPredictor : public BranchPredictor
+{
+  public:
+    explicit BimodalPredictor(std::size_t entries);
+
+    bool predict(Addr pc) const override;
+    void update(Addr pc, bool taken) override;
+
+  private:
+    std::size_t index(Addr pc) const;
+
+    std::vector<std::uint8_t> table_;
+    std::size_t mask_;
+};
+
+/** Global-history gshare predictor. */
+class GsharePredictor : public BranchPredictor
+{
+  public:
+    GsharePredictor(std::size_t entries, unsigned history_bits);
+
+    bool predict(Addr pc) const override;
+    void update(Addr pc, bool taken) override;
+
+  private:
+    std::size_t index(Addr pc) const;
+
+    std::vector<std::uint8_t> table_;
+    std::size_t mask_;
+    std::uint64_t history_ = 0;
+    std::uint64_t history_mask_;
+};
+
+/** Tournament of bimodal and gshare with a 2-bit chooser. */
+class TournamentPredictor : public BranchPredictor
+{
+  public:
+    TournamentPredictor(std::size_t bimodal_entries,
+                        std::size_t gshare_entries,
+                        std::size_t selector_entries,
+                        unsigned history_bits = 12);
+
+    bool predict(Addr pc) const override;
+    void update(Addr pc, bool taken) override;
+
+  private:
+    std::size_t selectorIndex(Addr pc) const;
+
+    BimodalPredictor bimodal_;
+    GsharePredictor gshare_;
+    std::vector<std::uint8_t> selector_;
+    std::size_t selector_mask_;
+};
+
+/** Branch target buffer: taken branches need a target to redirect. */
+class Btb
+{
+  public:
+    Btb(std::size_t entries, std::uint32_t assoc = 4);
+
+    /** @return true when @p pc has a target entry. */
+    bool lookup(Addr pc) const;
+
+    void update(Addr pc, Addr target);
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+  private:
+    struct Entry
+    {
+        Addr pc = 0;
+        Addr target = 0;
+        bool valid = false;
+        std::uint64_t lru = 0;
+    };
+
+    std::size_t setOf(Addr pc) const;
+
+    std::vector<Entry> entries_;
+    std::size_t num_sets_;
+    std::uint32_t assoc_;
+    std::uint64_t lru_clock_ = 0;
+    mutable std::uint64_t hits_ = 0;
+    mutable std::uint64_t misses_ = 0;
+};
+
+/** Return-address stack. */
+class ReturnAddressStack
+{
+  public:
+    explicit ReturnAddressStack(std::size_t depth);
+
+    void push(Addr return_pc);
+
+    /** Pop a prediction; 0 when empty (forces a mispredict). */
+    Addr pop();
+
+    std::size_t size() const { return top_; }
+    std::size_t depth() const { return stack_.size(); }
+    std::uint64_t overflows() const { return overflows_; }
+
+  private:
+    std::vector<Addr> stack_;
+    std::size_t top_ = 0;
+    std::uint64_t overflows_ = 0;
+};
+
+/** Predictor menus used across the design points. */
+struct PredictorConfig
+{
+    enum class Kind
+    {
+        Tournament, // bimodal 16K + gshare 16K + selector 16K
+        GshareSmall // gshare 8K
+    };
+
+    Kind kind = Kind::Tournament;
+    std::size_t btb_entries = 2048;
+    std::size_t ras_depth = 32;
+};
+
+std::unique_ptr<BranchPredictor>
+makePredictor(PredictorConfig::Kind kind);
+
+} // namespace duplexity
+
+#endif // DPX_BRANCH_PREDICTOR_HH

@@ -1,0 +1,144 @@
+#include "core/calibration.hh"
+
+#include <map>
+#include <memory>
+
+#include "branch/predictor.hh"
+#include "mem/memory_system.hh"
+#include "sim/rng.hh"
+
+namespace duplexity
+{
+
+namespace
+{
+
+/** Nominal IPC assumptions baked into the uncalibrated catalog. */
+constexpr double master_nominal_ipc = 2.0;
+constexpr double batch_nominal_ipc = 1.0;
+
+/** Key for the IPC memo: character fingerprint + issue mode. */
+std::uint64_t
+characterKey(const WorkloadParams &p, IssueMode mode)
+{
+    // The address bases differ per thread but do not change IPC;
+    // hash the behavioural fields only.
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](std::uint64_t v) {
+        h = (h ^ v) * 1099511628211ull;
+    };
+    mix(p.data_ws_bytes);
+    mix(static_cast<std::uint64_t>(p.spatial_locality * 1e6));
+    mix(static_cast<std::uint64_t>(p.hot_prob * 1e6));
+    mix(p.hot_bytes);
+    mix(p.code_bytes);
+    mix(p.hot_code_bytes);
+    mix(p.static_branches);
+    mix(static_cast<std::uint64_t>(p.branch_taken_bias * 1e6));
+    mix(static_cast<std::uint64_t>(p.periodic_branch_frac * 1e6));
+    mix(static_cast<std::uint64_t>(p.dep_prob * 1e6));
+    mix(static_cast<std::uint64_t>(p.mean_dep_dist * 1e6));
+    mix(static_cast<std::uint64_t>(p.mix.load * 1e6));
+    mix(static_cast<std::uint64_t>(p.mix.store * 1e6));
+    mix(static_cast<std::uint64_t>(p.mix.branch * 1e6));
+    mix(static_cast<std::uint64_t>(mode));
+    return h;
+}
+
+} // namespace
+
+double
+measureComputeIpc(const WorkloadParams &params, IssueMode mode)
+{
+    static std::map<std::uint64_t, double> memo;
+    const std::uint64_t key = characterKey(params, mode);
+    auto it = memo.find(key);
+    if (it != memo.end())
+        return it->second;
+
+    MemSystemConfig mem_cfg = MemSystemConfig::makeDefault();
+    DyadMemorySystem mem(mem_cfg);
+    CoreEngine engine{CoreEngineConfig{}};
+    auto pred =
+        makePredictor(mode == IssueMode::OutOfOrder
+                          ? PredictorConfig::Kind::Tournament
+                          : PredictorConfig::Kind::GshareSmall);
+    Btb btb(2048, 4);
+    ReturnAddressStack ras(32);
+
+    BatchSpec spec;
+    spec.name = "calibration";
+    spec.character = params;
+    spec.segment_instrs = makeDeterministic(1e9);
+    spec.stall_us = nullptr;
+
+    Rng rng(0xca11b8a7eull);
+    BatchSource source(spec, rng.fork(1));
+
+    Lane lane;
+    LaneConfig cfg = engine.defaultLaneConfig(mode);
+    cfg.path = mode == IssueMode::OutOfOrder ? mem.masterPath()
+                                             : mem.lenderPath();
+    cfg.branch = {pred.get(), &btb, &ras};
+    lane.configure(cfg);
+
+    const Cycle warmup = 150'000;
+    const Cycle horizon = 750'000;
+    std::uint64_t ops = 0;
+    while (lane.nextFetch() < horizon) {
+        OpOutcome out = engine.processOp(lane, source.next());
+        if (out.commit_time >= warmup && out.commit_time < horizon)
+            ++ops;
+    }
+    double ipc = static_cast<double>(ops) /
+                 static_cast<double>(horizon - warmup);
+    memo[key] = ipc;
+    return ipc;
+}
+
+MicroserviceSpec
+calibratedMicroservice(MicroserviceKind kind)
+{
+    static std::map<MicroserviceKind, MicroserviceSpec> memo;
+    auto it = memo.find(kind);
+    if (it != memo.end())
+        return it->second;
+
+    MicroserviceSpec spec = makeMicroservice(kind);
+    for (PhaseSpec &phase : spec.phases) {
+        if (phase.kind != PhaseSpec::Kind::Compute)
+            continue;
+        const WorkloadParams &character =
+            phase.character ? *phase.character : spec.character;
+        double ipc =
+            measureComputeIpc(character, IssueMode::OutOfOrder);
+        phase.instr_count = makeScaled(phase.instr_count,
+                                       ipc / master_nominal_ipc);
+    }
+    memo[kind] = spec;
+    return spec;
+}
+
+BatchSpec
+calibratedBatch(BatchKind kind, ThreadId uid)
+{
+    BatchSpec spec = makeBatch(kind, uid);
+    double ipc =
+        measureComputeIpc(spec.character, IssueMode::InOrder);
+    spec.segment_instrs =
+        makeScaled(spec.segment_instrs, ipc / batch_nominal_ipc);
+    return spec;
+}
+
+BatchSpec
+calibratedFlannXY(double compute_us, double stall_us, ThreadId uid)
+{
+    BatchSpec spec = makeFlannXY(compute_us, stall_us, uid);
+    double ipc =
+        measureComputeIpc(spec.character, IssueMode::OutOfOrder);
+    spec.segment_instrs =
+        makeScaled(spec.segment_instrs, ipc / master_nominal_ipc);
+    return spec;
+}
+
+} // namespace duplexity

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Service-time calibration.
+ *
+ * The paper defines its workloads by wall-clock phase durations
+ * measured on real hardware (e.g. FLANN-HA's 10 µs lookup, RSC's
+ * 3 µs cuckoo probe). Our synthetic compute phases are defined in
+ * micro-ops, so the mapping from µs to micro-ops depends on the IPC
+ * the phase actually achieves on the baseline core. This module
+ * measures that IPC once per phase character and rescales the
+ * catalog's instruction counts so that nominal phase durations hold
+ * on the baseline — exactly the role real-hardware measurement plays
+ * in the paper's methodology (Section V).
+ */
+
+#ifndef DPX_CORE_CALIBRATION_HH
+#define DPX_CORE_CALIBRATION_HH
+
+#include "cpu/core_engine.hh"
+#include "workload/catalog.hh"
+
+namespace duplexity
+{
+
+/**
+ * IPC of @p params compute (no µs stalls) running alone on one core:
+ * OoO for master-thread phases, InO (full width) for batch threads.
+ */
+double measureComputeIpc(const WorkloadParams &params, IssueMode mode);
+
+/** Microservice spec with phase instruction counts rescaled so the
+ *  nominal µs durations hold at the measured baseline IPC. Cached. */
+MicroserviceSpec calibratedMicroservice(MicroserviceKind kind);
+
+/** Batch spec with segment lengths rescaled likewise (InO basis). */
+BatchSpec calibratedBatch(BatchKind kind, ThreadId uid);
+
+/** Calibrated FLANN-X-Y variant for the Figure 1(c) sweep (OoO
+ *  basis — the sweep runs on the 4-wide OoO core). */
+BatchSpec calibratedFlannXY(double compute_us, double stall_us,
+                            ThreadId uid);
+
+} // namespace duplexity
+
+#endif // DPX_CORE_CALIBRATION_HH

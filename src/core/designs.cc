@@ -1,0 +1,107 @@
+#include "core/designs.hh"
+
+#include "sim/logging.hh"
+
+namespace duplexity
+{
+
+const char *
+toString(DesignKind kind)
+{
+    switch (kind) {
+      case DesignKind::Baseline:
+        return "Baseline";
+      case DesignKind::Smt:
+        return "SMT";
+      case DesignKind::SmtPlus:
+        return "SMT+";
+      case DesignKind::MorphCore:
+        return "MorphCore";
+      case DesignKind::MorphCorePlus:
+        return "MorphCore+";
+      case DesignKind::DuplexityRepl:
+        return "Duplexity+repl";
+      case DesignKind::Duplexity:
+        return "Duplexity";
+    }
+    return "?";
+}
+
+std::vector<DesignKind>
+allDesigns()
+{
+    return {DesignKind::Baseline,      DesignKind::Smt,
+            DesignKind::SmtPlus,       DesignKind::MorphCore,
+            DesignKind::MorphCorePlus, DesignKind::DuplexityRepl,
+            DesignKind::Duplexity};
+}
+
+DesignConfig
+makeDesign(DesignKind kind)
+{
+    DesignConfig cfg;
+    cfg.kind = kind;
+    cfg.name = toString(kind);
+
+    switch (kind) {
+      case DesignKind::Baseline:
+        cfg.area_kind = CoreKind::BaselineOoO;
+        break;
+
+      case DesignKind::Smt:
+        cfg.area_kind = CoreKind::Smt2;
+        cfg.has_corunner = true;
+        break;
+
+      case DesignKind::SmtPlus:
+        cfg.area_kind = CoreKind::Smt2;
+        cfg.has_corunner = true;
+        cfg.corunner_prioritized = true;
+        cfg.corunner_storage_cap = 0.30;
+        break;
+
+      case DesignKind::MorphCore:
+        cfg.area_kind = CoreKind::MorphCore;
+        cfg.morphs = true;
+        cfg.hsmt_borrowing = false;
+        cfg.private_fillers = 8;
+        cfg.filler_path = FillerPath::Local;
+        // Microcode register swap through the D-cache on each mode
+        // transition.
+        cfg.resume_penalty = 250;
+        cfg.morph_in_delay = 60;
+        break;
+
+      case DesignKind::MorphCorePlus:
+        cfg.area_kind = CoreKind::MorphCore;
+        cfg.morphs = true;
+        cfg.hsmt_borrowing = true;
+        cfg.filler_path = FillerPath::Local;
+        cfg.resume_penalty = 250;
+        cfg.morph_in_delay = 60;
+        break;
+
+      case DesignKind::DuplexityRepl:
+        cfg.area_kind = CoreKind::MasterCoreReplicated;
+        cfg.morphs = true;
+        cfg.hsmt_borrowing = true;
+        cfg.filler_path = FillerPath::Replicated;
+        cfg.separate_filler_state = true;
+        cfg.resume_penalty = 50;
+        cfg.morph_in_delay = 30;
+        break;
+
+      case DesignKind::Duplexity:
+        cfg.area_kind = CoreKind::MasterCore;
+        cfg.morphs = true;
+        cfg.hsmt_borrowing = true;
+        cfg.filler_path = FillerPath::Remote;
+        cfg.separate_filler_state = true;
+        cfg.resume_penalty = 50;
+        cfg.morph_in_delay = 30;
+        break;
+    }
+    return cfg;
+}
+
+} // namespace duplexity

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The seven evaluated server designs (Section V, "Design
+ * Configurations") expressed as configuration of the shared dyad
+ * machinery.
+ */
+
+#ifndef DPX_CORE_DESIGNS_HH
+#define DPX_CORE_DESIGNS_HH
+
+#include <string>
+#include <vector>
+
+#include "power/area_model.hh"
+#include "sim/types.hh"
+
+namespace duplexity
+{
+
+enum class DesignKind
+{
+    Baseline,      //!< 4-wide OoO, master-thread only
+    Smt,           //!< + one batch SMT thread, ICOUNT, no priority
+    SmtPlus,       //!< SMT with master priority + 30% storage cap
+    MorphCore,     //!< morphs to 8-thread InO, local caches, own
+                   //!< 8 filler threads
+    MorphCorePlus, //!< MorphCore + HSMT borrowing from the dyad pool
+    DuplexityRepl, //!< Duplexity with fully replicated state
+    Duplexity,     //!< final design: L0 filters + lender L1 sharing
+};
+
+/** Where filler-threads' memory accesses go on the master-core. */
+enum class FillerPath
+{
+    None,       //!< design never runs fillers on the master-core
+    Local,      //!< master's own L1s/TLBs (MorphCore: thrashing)
+    Replicated, //!< private full-size L1s (Duplexity+replication)
+    Remote,     //!< L0 filters -> lender L1s (Duplexity)
+};
+
+struct DesignConfig
+{
+    DesignKind kind = DesignKind::Baseline;
+    std::string name;
+    /** Table II row used for area/frequency/power. */
+    CoreKind area_kind = CoreKind::BaselineOoO;
+
+    /** SMT co-runner (designs SMT / SMT+). */
+    bool has_corunner = false;
+    bool corunner_prioritized = false;
+    /** Fraction of storage resources the co-runner may occupy. */
+    double corunner_storage_cap = 1.0;
+
+    /** Morphing master-core (MorphCore and later designs). */
+    bool morphs = false;
+    /** Borrow virtual contexts from the dyad pool (HSMT). */
+    bool hsmt_borrowing = false;
+    /** Private filler threads when not borrowing (MorphCore). */
+    std::uint32_t private_fillers = 8;
+    FillerPath filler_path = FillerPath::None;
+    /** Replicated reduced predictor + TLBs for filler mode. */
+    bool separate_filler_state = false;
+
+    /** Cycles from "master ready" until it issues again. Duplexity's
+     *  L0 register spill keeps this at ~50 (Section III-B4);
+     *  MorphCore's microcode swap is far slower. */
+    Cycle resume_penalty = 0;
+    /** Drain/flush delay before filler-threads may start. */
+    Cycle morph_in_delay = 30;
+};
+
+DesignConfig makeDesign(DesignKind kind);
+std::vector<DesignKind> allDesigns();
+const char *toString(DesignKind kind);
+
+} // namespace duplexity
+
+#endif // DPX_CORE_DESIGNS_HH

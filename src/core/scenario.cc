@@ -1,0 +1,801 @@
+#include "core/scenario.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <deque>
+#include <limits>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "cpu/core_engine.hh"
+#include "cpu/hsmt.hh"
+#include "cpu/virtual_context.hh"
+#include "mem/memory_system.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "core/calibration.hh"
+#include "workload/microservice.hh"
+
+namespace duplexity
+{
+
+namespace
+{
+
+constexpr Cycle never = std::numeric_limits<Cycle>::max();
+/** Windows shorter than this are not worth a mode morph. */
+constexpr Cycle min_morph_window = 100;
+
+/** One batch thread: its program and its schedulable context. */
+struct BatchThread
+{
+    BatchKind kind;
+    std::unique_ptr<BatchSource> source;
+    std::unique_ptr<VirtualContext> ctx;
+    std::uint64_t window_ops = 0;
+    std::uint64_t window_remote = 0;
+};
+
+/**
+ * Complete state of one simulated dyad scenario. Owns the memory
+ * system, both engines, all branch hardware, the context pools, and
+ * the master-thread request state machine.
+ */
+class ScenarioEngine
+{
+  public:
+    ScenarioEngine(const ScenarioConfig &config);
+
+    ScenarioResult run();
+
+    /** Batch commit from one of the HSMT units. @p on_master_core is
+     *  true for the filler unit (counts into Fig 5(a) utilization). */
+    void onBatchCommit(const VirtualContext &ctx, const OpOutcome &out,
+                       bool on_master_core);
+
+  private:
+    enum class MState
+    {
+        Processing,
+        Blocked,
+    };
+    enum class BlockKind
+    {
+        Stall,
+        Idle,
+    };
+
+    void buildBatchThreads();
+    void buildUnits();
+    void generateArrivalsUpTo(Cycle t);
+    void beginRequest(Cycle begin);
+    void completeRequest(Cycle completion);
+    void maybeOpenWindow(Cycle from, Cycle to);
+    void closeWindow(Cycle at);
+
+    Cycle masterNextTime() const;
+    Cycle corunnerNextTime() const;
+    void advanceMaster();
+    void advanceCorunner();
+
+    bool inWindow(Cycle t) const
+    {
+        return t >= m_start_ && t < m_end_;
+    }
+    double usOf(Cycle cycles) const
+    {
+        return toMicros(frequency_.cyclesToSeconds(cycles));
+    }
+
+    void snapshotActivity();
+    void finishActivity(ScenarioResult &result);
+
+    ScenarioConfig cfg_;
+    DesignConfig design_;
+    Frequency frequency_;
+    Rng rng_;
+
+    MemSystemConfig mem_cfg_;
+    std::unique_ptr<DyadMemorySystem> mem_;
+    std::unique_ptr<CoreEngine> master_engine_;
+    std::unique_ptr<CoreEngine> lender_engine_;
+
+    // Branch hardware.
+    std::unique_ptr<BranchPredictor> master_pred_;
+    std::unique_ptr<BranchPredictor> filler_pred_;
+    std::unique_ptr<BranchPredictor> lender_pred_;
+    std::unique_ptr<Btb> master_btb_;
+    std::unique_ptr<Btb> filler_btb_;
+    std::unique_ptr<Btb> lender_btb_;
+    std::unique_ptr<ReturnAddressStack> master_ras_;
+    std::vector<std::unique_ptr<ReturnAddressStack>> filler_ras_;
+    std::vector<std::unique_ptr<ReturnAddressStack>> lender_ras_;
+
+    // Batch world.
+    std::vector<BatchThread> batch_;
+    std::map<ThreadId, std::size_t> ctx_index_;
+    VirtualContextPool shared_pool_;
+    VirtualContextPool private_pool_;
+    std::unique_ptr<HsmtUnit> lender_unit_;
+    std::unique_ptr<HsmtUnit> filler_unit_;
+
+    // Master thread.
+    std::unique_ptr<MicroserviceSource> master_source_;
+    Lane master_lane_;
+    MState mstate_ = MState::Blocked;
+    BlockKind block_kind_ = BlockKind::Idle;
+    Cycle blocked_until_ = 0;
+    bool window_open_ = false;
+    Cycle window_open_start_ = 0;
+    Cycle window_cycles_ = 0;
+    Cycle mean_interarrival_cycles_ = 0;
+    Cycle next_arrival_ = 0;
+    std::deque<Cycle> arrivals_;
+    Cycle current_arrival_ = 0;
+    Cycle current_begin_ = 0;
+    bool request_in_flight_ = false;
+
+    // SMT co-runner.
+    std::size_t corunner_index_ = 0;
+    bool has_corunner_ = false;
+    Lane corunner_lane_;
+    std::unique_ptr<SlotCalendar> co_fetch_;
+    std::unique_ptr<SlotCalendar> co_issue_;
+    std::unique_ptr<SlotCalendar> co_commit_;
+
+    // Measurement.
+    Cycle m_start_ = 0;
+    Cycle m_end_ = 0;
+    ScenarioResult result_;
+    std::uint64_t master_core_ops_ = 0; // master + co + fillers
+    std::uint64_t master_ops_ = 0;
+    std::uint64_t ino_ops_ = 0;
+    std::uint64_t remote_ops_ = 0;
+    std::uint64_t batch_ops_ = 0;
+
+    struct CacheSnapshot
+    {
+        std::uint64_t l1 = 0;
+        std::uint64_t l0 = 0;
+        std::uint64_t llc = 0;
+        std::uint64_t dram = 0;
+        std::uint64_t link = 0;
+    } snap_;
+
+    /** Adapter routing unit commits back with core attribution. */
+    struct UnitSink : CommitSink
+    {
+        ScenarioEngine *engine = nullptr;
+        bool on_master_core = false;
+
+        void
+        onCommit(const VirtualContext &ctx,
+                 const OpOutcome &out) override
+        {
+            engine->onBatchCommit(ctx, out, on_master_core);
+        }
+    };
+
+    UnitSink filler_sink_;
+    UnitSink lender_sink_;
+};
+
+ScenarioEngine::ScenarioEngine(const ScenarioConfig &config)
+    : cfg_(config),
+      design_(config.design_override ? *config.design_override
+                                     : makeDesign(config.design)),
+      frequency_(coreFrequencyGhz(design_.area_kind) * 1e9),
+      rng_(config.seed)
+{
+    mem_cfg_ = MemSystemConfig::makeDefault();
+    mem_cfg_.frequency = frequency_;
+    mem_ = std::make_unique<DyadMemorySystem>(mem_cfg_);
+
+    CoreEngineConfig engine_cfg; // Table I defaults
+    master_engine_ = std::make_unique<CoreEngine>(engine_cfg);
+    lender_engine_ = std::make_unique<CoreEngine>(engine_cfg);
+
+    master_pred_ = makePredictor(PredictorConfig::Kind::Tournament);
+    filler_pred_ = makePredictor(PredictorConfig::Kind::GshareSmall);
+    lender_pred_ = makePredictor(PredictorConfig::Kind::GshareSmall);
+    master_btb_ = std::make_unique<Btb>(2048, 4);
+    filler_btb_ = std::make_unique<Btb>(512, 4);
+    lender_btb_ = std::make_unique<Btb>(2048, 4);
+    master_ras_ = std::make_unique<ReturnAddressStack>(32);
+
+    // Master thread.
+    MicroserviceSpec spec = calibratedMicroservice(cfg_.service);
+    master_source_ = std::make_unique<MicroserviceSource>(
+        spec, rng_.fork(1));
+    LaneConfig mcfg =
+        master_engine_->defaultLaneConfig(IssueMode::OutOfOrder);
+    mcfg.path = mem_->masterPath();
+    mcfg.branch = {master_pred_.get(), master_btb_.get(),
+                   master_ras_.get()};
+    master_lane_.configure(mcfg);
+
+    // Arrival process. Capacity is the *measured* baseline service
+    // rate (the paper measures IPC in gem5 and derives the M/G/1
+    // service rate from it, Section V), so "70% load" loads the
+    // Baseline design to 70% and every design sees the same QPS.
+    double rate = cfg_.arrival_rate_rps;
+    if (rate <= 0.0) {
+        rate = cfg_.load /
+               fromMicros(baselineServiceUs(cfg_.service));
+    }
+    result_.offered_rps = rate;
+    mean_interarrival_cycles_ = static_cast<Cycle>(
+        std::max(1.0, frequency_.hertz() / rate));
+    next_arrival_ = static_cast<Cycle>(
+        rng_.exponential(static_cast<double>(
+            mean_interarrival_cycles_)));
+
+    buildBatchThreads();
+    buildUnits();
+
+    filler_sink_.engine = this;
+    filler_sink_.on_master_core = true;
+    lender_sink_.engine = this;
+    lender_sink_.on_master_core = false;
+}
+
+void
+ScenarioEngine::buildBatchThreads()
+{
+    Rng batch_rng = rng_.fork(2);
+    ThreadId uid = 1;
+    auto add = [&](BatchKind kind, VirtualContextPool *pool) {
+        BatchThread bt;
+        bt.kind = kind;
+        bt.source = std::make_unique<BatchSource>(
+            calibratedBatch(kind, uid), batch_rng.fork(uid));
+        bt.ctx = std::make_unique<VirtualContext>(uid,
+                                                  bt.source.get());
+        ctx_index_[uid] = batch_.size();
+        if (pool)
+            pool->add(bt.ctx.get());
+        batch_.push_back(std::move(bt));
+        ++uid;
+    };
+
+    // The shared dyad pool (Section IV: 32 virtual contexts).
+    for (std::uint32_t i = 0; i < cfg_.pool_contexts; ++i) {
+        add(i % 2 == 0 ? BatchKind::PageRank : BatchKind::Sssp,
+            &shared_pool_);
+    }
+
+    // SMT co-runner: one statically bound batch thread.
+    if (design_.has_corunner) {
+        has_corunner_ = true;
+        add(BatchKind::PageRank, nullptr);
+        corunner_index_ = batch_.size() - 1;
+    }
+
+    // MorphCore: eight private (non-HSMT) filler threads.
+    if (design_.morphs && !design_.hsmt_borrowing) {
+        for (std::uint32_t i = 0; i < design_.private_fillers; ++i) {
+            add(i % 2 == 0 ? BatchKind::PageRank : BatchKind::Sssp,
+                &private_pool_);
+        }
+    }
+}
+
+void
+ScenarioEngine::buildUnits()
+{
+    HsmtConfig hcfg;
+    hcfg.quantum = frequency_.microsToCycles(100.0);
+
+    // The paired throughput core: a lender-style HSMT core runs the
+    // batch backlog in every design (Section VI-B pairing rule).
+    lender_unit_ = std::make_unique<HsmtUnit>(
+        *lender_engine_, shared_pool_, hcfg, frequency_);
+    LaneConfig lproto =
+        lender_engine_->defaultLaneConfig(IssueMode::InOrder);
+    lproto.path = mem_->lenderPath();
+    for (std::uint32_t i = 0; i < lender_unit_->numLanes(); ++i) {
+        lender_ras_.push_back(
+            std::make_unique<ReturnAddressStack>(16));
+        lproto.branch = {lender_pred_.get(), lender_btb_.get(),
+                         lender_ras_.back().get()};
+        lender_unit_->configureLane(i, lproto);
+    }
+    lender_unit_->openWindow(0, HsmtUnit::never);
+
+    // SMT co-runner lane: shares the master's caches, TLBs, and
+    // predictor. Under SMT+ it is de-prioritized: private calendars
+    // model leftover-bandwidth-only fetch/issue/commit and its window
+    // occupancy is capped at 30% (Section V).
+    if (has_corunner_) {
+        const std::uint32_t rob = master_engine_->config().rob_entries;
+        LaneConfig ccfg =
+            master_engine_->defaultLaneConfig(IssueMode::OutOfOrder);
+        ccfg.path = mem_->masterPath();
+        ccfg.branch = {master_pred_.get(), master_btb_.get(),
+                       master_ras_.get()};
+        // Both SMT contexts get partitioned windows (a stalled
+        // co-runner must not block the master at a shared ring
+        // head); under plain SMT the split is even.
+        ccfg.inflight_cap = rob / 2;
+        ccfg.use_shared_rob = false;
+        ccfg.use_shared_lsq = false;
+        if (design_.corunner_prioritized) {
+            co_fetch_ = std::make_unique<SlotCalendar>(2);
+            co_issue_ = std::make_unique<SlotCalendar>(2);
+            co_commit_ = std::make_unique<SlotCalendar>(2);
+            ccfg.fetch_cal = co_fetch_.get();
+            ccfg.issue_cal = co_issue_.get();
+            ccfg.commit_cal = co_commit_.get();
+            ccfg.inflight_cap = static_cast<std::uint32_t>(
+                master_engine_->config().rob_entries *
+                design_.corunner_storage_cap);
+            ccfg.use_shared_rob = false;
+            ccfg.use_shared_lsq = false;
+        }
+        corunner_lane_.configure(ccfg);
+
+        // The master keeps its partition: half under plain SMT, the
+        // complement of the 30% co-runner cap under SMT+.
+        LaneConfig mcfg =
+            master_engine_->defaultLaneConfig(IssueMode::OutOfOrder);
+        mcfg.path = mem_->masterPath();
+        mcfg.branch = {master_pred_.get(), master_btb_.get(),
+                       master_ras_.get()};
+        mcfg.inflight_cap =
+            design_.corunner_prioritized ? rob - ccfg.inflight_cap
+                                         : rob / 2;
+        mcfg.use_shared_rob = false;
+        mcfg.use_shared_lsq = false;
+        master_lane_.configure(mcfg);
+    }
+
+    if (!design_.morphs)
+        return;
+
+    VirtualContextPool &filler_pool =
+        design_.hsmt_borrowing ? shared_pool_ : private_pool_;
+    filler_unit_ = std::make_unique<HsmtUnit>(
+        *master_engine_, filler_pool, hcfg, frequency_);
+
+    LaneConfig fproto =
+        master_engine_->defaultLaneConfig(IssueMode::InOrder);
+    switch (design_.filler_path) {
+      case FillerPath::Local:
+        fproto.path = mem_->fillerLocalPath();
+        break;
+      case FillerPath::Replicated:
+        fproto.path = mem_->fillerReplicatedPath();
+        break;
+      case FillerPath::Remote:
+        fproto.path = mem_->fillerRemotePath();
+        break;
+      case FillerPath::None:
+        panic("morphing design without a filler path");
+    }
+    for (std::uint32_t i = 0; i < filler_unit_->numLanes(); ++i) {
+        filler_ras_.push_back(
+            std::make_unique<ReturnAddressStack>(16));
+        if (design_.separate_filler_state) {
+            fproto.branch = {filler_pred_.get(), filler_btb_.get(),
+                             filler_ras_.back().get()};
+        } else {
+            // MorphCore variants thrash the master's predictor state.
+            fproto.branch = {master_pred_.get(), master_btb_.get(),
+                             master_ras_.get()};
+        }
+        filler_unit_->configureLane(i, fproto);
+    }
+
+}
+
+void
+ScenarioEngine::onBatchCommit(const VirtualContext &ctx,
+                              const OpOutcome &out,
+                              bool on_master_core)
+{
+    if (!inWindow(out.commit_time))
+        return;
+    ++ino_ops_;
+    ++batch_ops_;
+    if (on_master_core) {
+        ++master_core_ops_;
+        ++result_.filler_ops;
+    } else {
+        ++result_.lender_ops;
+    }
+    auto it = ctx_index_.find(ctx.id());
+    if (it != ctx_index_.end()) {
+        ++batch_[it->second].window_ops;
+        if (out.remote)
+            ++batch_[it->second].window_remote;
+    }
+    if (out.remote)
+        ++remote_ops_;
+}
+
+void
+ScenarioEngine::generateArrivalsUpTo(Cycle t)
+{
+    while (next_arrival_ <= t) {
+        arrivals_.push_back(next_arrival_);
+        next_arrival_ += 1 + static_cast<Cycle>(rng_.exponential(
+                                 static_cast<double>(
+                                     mean_interarrival_cycles_)));
+    }
+}
+
+void
+ScenarioEngine::beginRequest(Cycle begin)
+{
+    panicIfNot(!arrivals_.empty(), "no arrival to begin");
+    current_arrival_ = arrivals_.front();
+    arrivals_.pop_front();
+    current_begin_ = std::max(begin, current_arrival_);
+    request_in_flight_ = true;
+}
+
+void
+ScenarioEngine::completeRequest(Cycle completion)
+{
+    panicIfNot(request_in_flight_, "completion without a request");
+    request_in_flight_ = false;
+    if (completion >= m_start_ && completion < m_end_) {
+        double service = usOf(completion - current_begin_);
+        double sojourn = usOf(completion - current_arrival_);
+        result_.service_us.add(service, rng_.next());
+        result_.sojourn_us.add(sojourn, rng_.next());
+        result_.wait_us.add(
+            usOf(current_begin_ - current_arrival_), rng_.next());
+        ++result_.requests;
+    }
+
+    generateArrivalsUpTo(completion);
+    if (!arrivals_.empty()) {
+        beginRequest(completion);
+        mstate_ = MState::Processing;
+    } else {
+        mstate_ = MState::Blocked;
+        block_kind_ = BlockKind::Idle;
+        blocked_until_ = next_arrival_;
+        maybeOpenWindow(completion, next_arrival_);
+    }
+}
+
+void
+ScenarioEngine::maybeOpenWindow(Cycle from, Cycle to)
+{
+    if (!design_.morphs || filler_unit_ == nullptr)
+        return;
+    Cycle start = from + design_.morph_in_delay;
+    if (to == never || to > start + min_morph_window) {
+        filler_unit_->openWindow(start,
+                                 to == never ? HsmtUnit::never : to);
+        window_open_ = true;
+        window_open_start_ = start;
+    }
+}
+
+void
+ScenarioEngine::closeWindow(Cycle at)
+{
+    if (window_open_) {
+        filler_unit_->closeWindow(at);
+        window_open_ = false;
+        // Coverage accounting, clamped into the measurement window.
+        Cycle lo = std::max(window_open_start_, m_start_);
+        Cycle hi = std::min(at, m_end_);
+        if (hi > lo)
+            window_cycles_ += hi - lo;
+        // Filler squash + register spill through the L0 before the
+        // master-thread issues again (Section III-B4).
+        master_lane_.stallUntil(at + design_.resume_penalty);
+    }
+}
+
+Cycle
+ScenarioEngine::masterNextTime() const
+{
+    if (mstate_ == MState::Blocked)
+        return blocked_until_;
+    return master_lane_.nextFetch();
+}
+
+Cycle
+ScenarioEngine::corunnerNextTime() const
+{
+    if (!has_corunner_)
+        return never;
+    return corunner_lane_.nextFetch();
+}
+
+void
+ScenarioEngine::advanceMaster()
+{
+    if (mstate_ == MState::Blocked) {
+        Cycle t = blocked_until_;
+        closeWindow(t);
+        master_lane_.stallUntil(t);
+        if (block_kind_ == BlockKind::Idle) {
+            generateArrivalsUpTo(t);
+            beginRequest(t);
+        }
+        mstate_ = MState::Processing;
+        return;
+    }
+
+    MicroOp op = master_source_->next();
+    OpOutcome out = master_engine_->processOp(master_lane_, op);
+    if (inWindow(out.commit_time)) {
+        ++master_core_ops_;
+        ++master_ops_;
+        if (out.remote)
+            ++remote_ops_;
+    }
+
+    if (out.remote) {
+        panicIfNot(!out.end_of_request,
+                   "requests must end with a compute phase");
+        Cycle stall = frequency_.microsToCycles(out.stall_us);
+        Cycle resume = out.commit_time + stall;
+        maybeOpenWindow(out.commit_time, resume);
+        blocked_until_ = resume;
+        block_kind_ = BlockKind::Stall;
+        mstate_ = MState::Blocked;
+        // The lane must not run ahead during the stall.
+        master_lane_.stallUntil(resume);
+        return;
+    }
+    if (out.end_of_request)
+        completeRequest(out.commit_time);
+}
+
+void
+ScenarioEngine::advanceCorunner()
+{
+    BatchThread &bt = batch_[corunner_index_];
+    MicroOp op = bt.source->next();
+    OpOutcome out =
+        master_engine_->processOp(corunner_lane_, op);
+    if (inWindow(out.commit_time)) {
+        ++master_core_ops_;
+        ++ino_ops_; // batch work, even though it flows through OoO
+        ++batch_ops_;
+        ++bt.window_ops;
+        if (out.remote) {
+            ++remote_ops_;
+            ++bt.window_remote;
+        }
+    }
+    if (out.remote) {
+        // Plain SMT has no backlog to swap in: stall in place.
+        corunner_lane_.stallUntil(
+            out.commit_time +
+            frequency_.microsToCycles(out.stall_us));
+    }
+}
+
+void
+ScenarioEngine::snapshotActivity()
+{
+    snap_.l1 = mem_->masterL1i().stats().accesses() +
+               mem_->masterL1d().stats().accesses() +
+               mem_->lenderL1i().stats().accesses() +
+               mem_->lenderL1d().stats().accesses() +
+               mem_->replL1i().stats().accesses() +
+               mem_->replL1d().stats().accesses();
+    snap_.l0 = mem_->l0i().stats().accesses() +
+               mem_->l0d().stats().accesses();
+    snap_.llc = mem_->llc().stats().accesses();
+    snap_.dram = mem_->dram().accesses();
+    snap_.link = mem_->dyadLinkI().traversals() +
+                 mem_->dyadLinkD().traversals();
+}
+
+void
+ScenarioEngine::finishActivity(ScenarioResult &result)
+{
+    ActivityCounters &act = result.activity;
+    act.seconds = frequency_.cyclesToSeconds(cfg_.measure_cycles);
+    act.ooo_ops = master_ops_ +
+                  (has_corunner_
+                       ? batch_[corunner_index_].window_ops
+                       : 0);
+    act.ino_ops = ino_ops_ - (has_corunner_
+                                  ? batch_[corunner_index_].window_ops
+                                  : 0);
+    act.l1_accesses = mem_->masterL1i().stats().accesses() +
+                      mem_->masterL1d().stats().accesses() +
+                      mem_->lenderL1i().stats().accesses() +
+                      mem_->lenderL1d().stats().accesses() +
+                      mem_->replL1i().stats().accesses() +
+                      mem_->replL1d().stats().accesses() - snap_.l1;
+    act.l0_accesses = mem_->l0i().stats().accesses() +
+                      mem_->l0d().stats().accesses() - snap_.l0;
+    act.llc_accesses = mem_->llc().stats().accesses() - snap_.llc;
+    act.dram_accesses = mem_->dram().accesses() - snap_.dram;
+    act.link_traversals = mem_->dyadLinkI().traversals() +
+                          mem_->dyadLinkD().traversals() - snap_.link;
+}
+
+ScenarioResult
+ScenarioEngine::run()
+{
+    m_start_ = cfg_.warmup_cycles;
+    m_end_ = cfg_.warmup_cycles + cfg_.measure_cycles;
+    const Cycle horizon = m_end_;
+
+    result_.design = cfg_.design;
+    result_.service = cfg_.service;
+    result_.load = cfg_.load;
+    result_.frequency_ghz = frequency_.gigahertz();
+    result_.seconds =
+        frequency_.cyclesToSeconds(cfg_.measure_cycles);
+
+    // Initial state: idle until the first arrival; fillers may run.
+    mstate_ = MState::Blocked;
+    block_kind_ = BlockKind::Idle;
+    blocked_until_ = next_arrival_;
+    maybeOpenWindow(0, next_arrival_);
+
+    bool snapshotted = false;
+    for (;;) {
+        Cycle t_master = masterNextTime();
+        Cycle t_co = corunnerNextTime();
+        Cycle t_filler =
+            filler_unit_ ? filler_unit_->nextTime() : never;
+        Cycle t_lender = lender_unit_->nextTime();
+
+        Cycle tmin = std::min(std::min(t_master, t_co),
+                              std::min(t_filler, t_lender));
+        if (tmin == never || tmin > horizon)
+            break;
+        if (!snapshotted && tmin >= m_start_) {
+            snapshotActivity();
+            snapshotted = true;
+        }
+
+        if (tmin == t_master) {
+            advanceMaster();
+        } else if (tmin == t_co) {
+            advanceCorunner();
+        } else if (tmin == t_filler) {
+            filler_unit_->advanceOne(&filler_sink_);
+        } else {
+            lender_unit_->advanceOne(&lender_sink_);
+        }
+    }
+    if (!snapshotted)
+        snapshotActivity();
+    if (window_open_) {
+        // Account the window still open at the horizon.
+        Cycle lo = std::max(window_open_start_, m_start_);
+        if (m_end_ > lo)
+            window_cycles_ += m_end_ - lo;
+    }
+
+    result_.utilization =
+        static_cast<double>(master_core_ops_) /
+        (4.0 * static_cast<double>(cfg_.measure_cycles));
+
+    // Batch progress (STP) against the alone-run on a lender core.
+    double stp = 0.0;
+    for (const BatchThread &bt : batch_) {
+        double together =
+            static_cast<double>(bt.window_ops) /
+            static_cast<double>(cfg_.measure_cycles);
+        stp += together / aloneBatchIpc(bt.kind);
+    }
+    result_.batch_stp = stp;
+    result_.master_ops = master_ops_;
+    result_.filler_window_fraction =
+        static_cast<double>(window_cycles_) /
+        static_cast<double>(cfg_.measure_cycles);
+    if (filler_unit_)
+        result_.filler_swaps = filler_unit_->contextSwaps();
+    result_.batch_ops_per_sec =
+        static_cast<double>(batch_ops_) / result_.seconds;
+    result_.remote_ops_per_sec =
+        static_cast<double>(remote_ops_) / result_.seconds;
+
+    finishActivity(result_);
+    return result_;
+}
+
+} // namespace
+
+ScenarioResult
+runScenario(const ScenarioConfig &config)
+{
+    ScenarioEngine engine(config);
+    return engine.run();
+}
+
+double
+baselineServiceUs(MicroserviceKind service)
+{
+    static std::map<MicroserviceKind, double> memo;
+    auto it = memo.find(service);
+    if (it != memo.end())
+        return it->second;
+
+    // Measure the Baseline design in situ (lender core running) at a
+    // moderate load pinned by the nominal capacity, so the memo does
+    // not depend on this call's requested load.
+    double nominal_us =
+        makeMicroservice(service).nominalServiceUs();
+    ScenarioConfig cfg;
+    cfg.design = DesignKind::Baseline;
+    cfg.service = service;
+    cfg.arrival_rate_rps = 0.5 / fromMicros(nominal_us);
+    cfg.warmup_cycles = 300'000;
+    cfg.measure_cycles = 1'200'000;
+    ScenarioResult res = runScenario(cfg);
+    double measured = res.service_us.count() > 8
+                          ? res.service_us.mean()
+                          : nominal_us;
+    memo[service] = measured;
+    return measured;
+}
+
+double
+aloneBatchIpc(BatchKind kind)
+{
+    static std::map<BatchKind, double> cache;
+    auto it = cache.find(kind);
+    if (it != cache.end())
+        return it->second;
+
+    // One batch thread alone on a lender-style InO core, stalling in
+    // place on remote ops.
+    MemSystemConfig mem_cfg = MemSystemConfig::makeDefault();
+    DyadMemorySystem mem(mem_cfg);
+    CoreEngine engine{CoreEngineConfig{}};
+    auto pred = makePredictor(PredictorConfig::Kind::GshareSmall);
+    Btb btb(2048, 4);
+    ReturnAddressStack ras(16);
+
+    Rng rng(0xa10eull + static_cast<std::uint64_t>(kind));
+    BatchSource source(calibratedBatch(kind, 7), rng.fork(1));
+
+    Lane lane;
+    LaneConfig cfg = engine.defaultLaneConfig(IssueMode::InOrder);
+    cfg.path = mem.lenderPath();
+    cfg.branch = {pred.get(), &btb, &ras};
+    lane.configure(cfg);
+
+    const Cycle warmup = 200'000;
+    const Cycle horizon = 1'200'000;
+    std::uint64_t ops = 0;
+    Frequency freq = mem_cfg.frequency;
+    while (lane.nextFetch() < horizon) {
+        MicroOp op = source.next();
+        OpOutcome out = engine.processOp(lane, op);
+        if (out.commit_time >= warmup && out.commit_time < horizon)
+            ++ops;
+        if (out.remote) {
+            lane.stallUntil(out.commit_time +
+                            freq.microsToCycles(out.stall_us));
+        }
+    }
+    double ipc = static_cast<double>(ops) /
+                 static_cast<double>(horizon - warmup);
+    cache[kind] = ipc;
+    return ipc;
+}
+
+Cycle
+measureCyclesFromEnv(Cycle def)
+{
+    const char *env = std::getenv("DPX_MEASURE_CYCLES");
+    if (!env)
+        return def;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(env, &end, 10);
+    if (end == env || v == 0)
+        return def;
+    return static_cast<Cycle>(v);
+}
+
+} // namespace duplexity

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The scenario runner: assembles one dyad under one of the seven
+ * design points, drives the latency-critical microservice with an
+ * open-loop Poisson arrival process at a given load, runs the batch
+ * (filler) threads per the design's policy, and measures everything
+ * the evaluation section needs:
+ *
+ *  - master-core issue-bandwidth utilization (Figure 5(a)),
+ *  - per-request service-time samples for the BigHouse-style queueing
+ *    stage (Figures 5(d)/(e)),
+ *  - batch-thread progress for STP (Figure 5(f)),
+ *  - remote-operation rates for the NIC study (Figure 6),
+ *  - activity counters for the energy model (Figures 5(b)/(c)).
+ */
+
+#ifndef DPX_CORE_SCENARIO_HH
+#define DPX_CORE_SCENARIO_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/designs.hh"
+#include "power/energy_model.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+#include "workload/catalog.hh"
+
+namespace duplexity
+{
+
+struct ScenarioConfig
+{
+    DesignKind design = DesignKind::Duplexity;
+    MicroserviceKind service = MicroserviceKind::FlannLL;
+    /** Offered load as a fraction of the service's nominal capacity. */
+    double load = 0.5;
+    /** Override the arrival rate (requests/s); 0 = derive from load. */
+    double arrival_rate_rps = 0.0;
+    /** Virtual contexts provisioned per dyad (Section IV: 32). */
+    std::uint32_t pool_contexts = 32;
+
+    /**
+     * Ablation hook: run with a hand-modified design configuration
+     * instead of makeDesign(design). `design` still labels the
+     * result and selects the area/frequency row unless the override
+     * changes area_kind too.
+     */
+    std::optional<DesignConfig> design_override;
+
+    Cycle warmup_cycles = 400'000;
+    Cycle measure_cycles = 4'000'000;
+    std::uint64_t seed = 42;
+};
+
+struct ScenarioResult
+{
+    DesignKind design;
+    MicroserviceKind service;
+    double load = 0.0;
+    double frequency_ghz = 0.0;
+    double seconds = 0.0; // measured wall time
+
+    /** Retired-per-cycle / peak-width on the master-core (or its
+     *  alternative), borrowed threads included (Figure 5(a)). */
+    double utilization = 0.0;
+
+    /** Master-thread request statistics, microseconds. */
+    SampleStats service_us;
+    SampleStats sojourn_us;
+    SampleStats wait_us;
+    std::uint64_t requests = 0;
+
+    /** Batch-thread metrics. */
+    double batch_stp = 0.0;
+    double batch_ops_per_sec = 0.0;
+
+    /** Remote operations per second across the dyad (Figure 6). */
+    double remote_ops_per_sec = 0.0;
+
+    /** Energy-model inputs. */
+    ActivityCounters activity;
+
+    /** Requests/s offered to the master-thread. */
+    double offered_rps = 0.0;
+
+    /** Diagnostics: morph-window coverage and per-unit progress. */
+    double filler_window_fraction = 0.0;
+    std::uint64_t filler_ops = 0;
+    std::uint64_t lender_ops = 0;
+    std::uint64_t master_ops = 0;
+    std::uint64_t filler_swaps = 0;
+};
+
+/** Run one (design, service, load) scenario to completion. */
+ScenarioResult runScenario(const ScenarioConfig &config);
+
+/**
+ * IPC of one batch thread of @p kind running alone on a lender-style
+ * core (stalling in place on remote ops) — the STP denominator.
+ * Results are memoized per kind.
+ */
+double aloneBatchIpc(BatchKind kind);
+
+/**
+ * Measured in-situ service time of @p service on the Baseline design
+ * (lender core running) — the capacity basis for "load" (Section V:
+ * service rate derived from measured IPC). Memoized.
+ */
+double baselineServiceUs(MicroserviceKind service);
+
+/** Measurement horizon: DPX_MEASURE_CYCLES env var or @p def. */
+Cycle measureCyclesFromEnv(Cycle def = 4'000'000);
+
+} // namespace duplexity
+
+#endif // DPX_CORE_SCENARIO_HH

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * SMT thread-scaling experiments (Figures 1(c) and 2(a)): N threads
+ * on one 4-wide core, OoO or InO issue, shared caches/predictor/ROB,
+ * stalling in place on µs-scale remote ops (plain SMT has no context
+ * backlog). Reports aggregate throughput.
+ */
+
+#ifndef DPX_CORE_SMT_SWEEP_HH
+#define DPX_CORE_SMT_SWEEP_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "cpu/core_engine.hh"
+#include "workload/microservice.hh"
+
+namespace duplexity
+{
+
+struct SmtSweepConfig
+{
+    IssueMode mode = IssueMode::OutOfOrder;
+    std::uint32_t threads = 1;
+    /** Workload of thread @p i (thread-private address regions). */
+    std::function<BatchSpec(ThreadId)> workload;
+    Cycle warmup_cycles = 200'000;
+    Cycle measure_cycles = 1'000'000;
+    std::uint64_t seed = 7;
+};
+
+struct SmtSweepResult
+{
+    /** Aggregate committed micro-ops per cycle. */
+    double total_ipc = 0.0;
+    /** Aggregate L1-D miss rate observed. */
+    double l1d_miss_rate = 0.0;
+    /** Branch mispredict rate across threads. */
+    double mispredict_rate = 0.0;
+};
+
+SmtSweepResult runSmtSweep(const SmtSweepConfig &config);
+
+} // namespace duplexity
+
+#endif // DPX_CORE_SMT_SWEEP_HH

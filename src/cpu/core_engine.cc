@@ -1,0 +1,260 @@
+#include "cpu/core_engine.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace duplexity
+{
+
+void
+Lane::configure(const LaneConfig &config)
+{
+    panicIfNot(config.fetch_cal && config.issue_cal && config.commit_cal,
+               "lane needs fetch/issue/commit calendars");
+    panicIfNot(config.path.instr && config.path.data,
+               "lane needs a memory path");
+    panicIfNot(config.inflight_cap > 0 && config.fetch_queue > 0,
+               "lane needs positive occupancy caps");
+    config_ = config;
+    done_ring_.assign(dep_ring_size, 0);
+    inflight_ring_.assign(config.inflight_cap, 0);
+    dispatch_ring_.assign(config.fetch_queue, 0);
+}
+
+void
+Lane::stallUntil(Cycle cycle)
+{
+    next_fetch_ = std::max(next_fetch_, cycle);
+}
+
+void
+Lane::resetHistory(Cycle start)
+{
+    next_fetch_ = std::max(next_fetch_, start);
+    last_issue_ = std::max(last_issue_, start);
+    last_commit_ = std::max(last_commit_, start);
+    last_fetch_line_ = ~Addr(0);
+    std::fill(done_ring_.begin(), done_ring_.end(), 0);
+    std::fill(inflight_ring_.begin(), inflight_ring_.end(), 0);
+    std::fill(dispatch_ring_.begin(), dispatch_ring_.end(), 0);
+    op_index_ = 0;
+}
+
+CoreEngine::CoreEngine(const CoreEngineConfig &config)
+    : config_(config),
+      fetch_cal_(config.fetch_width),
+      issue_cal_(config.issue_width),
+      commit_cal_(config.commit_width)
+{
+    rob_ring_.assign(config.rob_entries, 0);
+    lq_ring_.assign(config.lq_entries, 0);
+    sq_ring_.assign(config.sq_entries, 0);
+}
+
+LaneConfig
+CoreEngine::defaultLaneConfig(IssueMode mode)
+{
+    LaneConfig lane;
+    lane.mode = mode;
+    lane.fetch_cal = &fetch_cal_;
+    lane.issue_cal = &issue_cal_;
+    lane.commit_cal = &commit_cal_;
+    if (mode == IssueMode::InOrder) {
+        // InO lanes track a small scoreboard, not the shared ROB.
+        lane.inflight_cap = 8;
+        lane.use_shared_rob = false;
+        lane.use_shared_lsq = false;
+    }
+    return lane;
+}
+
+OpOutcome
+CoreEngine::processOp(Lane &lane, const MicroOp &op)
+{
+    const LaneConfig &cfg = lane.config_;
+    const bool in_order = cfg.mode == IssueMode::InOrder;
+    OpOutcome out;
+
+    // ------------------------------------------------------------------
+    // Fetch: bandwidth slot, fetch-queue back-pressure, I-cache.
+    // ------------------------------------------------------------------
+    Cycle fetch_earliest = std::max(
+        lane.next_fetch_,
+        lane.dispatch_ring_[lane.op_index_ % cfg.fetch_queue]);
+    Cycle fetch_time = cfg.fetch_cal->reserve(fetch_earliest);
+
+    const Addr fetch_line = op.pc >> 6;
+    if (fetch_line != lane.last_fetch_line_) {
+        Cycle fetch_lat = cfg.path.fetch(op.pc, fetch_time);
+        if (fetch_lat > config_.fetch_hidden)
+            fetch_time += fetch_lat - config_.fetch_hidden;
+        lane.last_fetch_line_ = fetch_line;
+    }
+    out.fetch_time = fetch_time;
+
+    // ------------------------------------------------------------------
+    // Dispatch: frontend depth + window occupancy (ROB / scoreboard /
+    // load-store queues).
+    // ------------------------------------------------------------------
+    Cycle dispatch_time =
+        fetch_time + (in_order ? config_.frontend_depth_ino
+                               : config_.frontend_depth_ooo);
+
+    Cycle &cap_slot =
+        lane.inflight_ring_[lane.op_index_ % cfg.inflight_cap];
+    dispatch_time = std::max(dispatch_time, cap_slot);
+
+    Cycle *rob_slot = nullptr;
+    if (cfg.use_shared_rob) {
+        rob_slot = &rob_ring_[rob_idx_++ % rob_ring_.size()];
+        dispatch_time = std::max(dispatch_time, *rob_slot);
+    }
+    Cycle *lsq_slot = nullptr;
+    if (cfg.use_shared_lsq) {
+        if (op.cls == OpClass::Load) {
+            lsq_slot = &lq_ring_[lq_idx_++ % lq_ring_.size()];
+            dispatch_time = std::max(dispatch_time, *lsq_slot);
+        } else if (op.cls == OpClass::Store) {
+            lsq_slot = &sq_ring_[sq_idx_++ % sq_ring_.size()];
+            dispatch_time = std::max(dispatch_time, *lsq_slot);
+        }
+    }
+    lane.dispatch_ring_[lane.op_index_ % cfg.fetch_queue] =
+        dispatch_time;
+
+    // ------------------------------------------------------------------
+    // Issue: operand readiness, then in-order or dynamic scheduling.
+    // ------------------------------------------------------------------
+    Cycle ready = dispatch_time + 1;
+    if (op.dep1) {
+        ready = std::max(
+            ready, lane.done_ring_[(lane.op_index_ - op.dep1) %
+                                   Lane::dep_ring_size]);
+    }
+    if (op.dep2) {
+        ready = std::max(
+            ready, lane.done_ring_[(lane.op_index_ - op.dep2) %
+                                   Lane::dep_ring_size]);
+    }
+
+    Cycle issue_time;
+    if (in_order) {
+        issue_time =
+            cfg.issue_cal->reserve(std::max(ready, lane.last_issue_));
+        lane.last_issue_ = issue_time;
+    } else {
+        issue_time = cfg.issue_cal->reserve(ready);
+    }
+    out.issue_time = issue_time;
+
+    // ------------------------------------------------------------------
+    // Execute.
+    // ------------------------------------------------------------------
+    Cycle done_time;
+    switch (op.cls) {
+      case OpClass::Load:
+        done_time = issue_time + cfg.path.load(op.mem_addr, issue_time);
+        break;
+      case OpClass::Store:
+        // Stores retire through the store buffer; update cache state
+        // but do not lengthen the dependent chain.
+        cfg.path.store(op.mem_addr, issue_time);
+        done_time = issue_time + 1;
+        break;
+      case OpClass::Remote:
+        // Initiating the remote op is cheap; the µs stall that follows
+        // is imposed by the caller on retirement.
+        done_time = issue_time + 1;
+        out.remote = true;
+        out.stall_us = op.stall_us;
+        break;
+      default:
+        done_time = issue_time + execLatency(op.cls);
+        break;
+    }
+    out.done_time = done_time;
+
+    // ------------------------------------------------------------------
+    // Control flow: predict at fetch, resolve at done.
+    // ------------------------------------------------------------------
+    bool redirect = false;
+    if (op.cls == OpClass::Branch) {
+        ++lane.stats_.branches;
+        bool correct = true;
+        if (cfg.branch.predictor) {
+            correct =
+                cfg.branch.predictor->predictAndUpdate(op.pc, op.taken);
+        }
+        bool btb_ok = true;
+        if (op.taken && cfg.branch.btb) {
+            btb_ok = cfg.branch.btb->lookup(op.pc);
+            cfg.branch.btb->update(op.pc, op.pc + 64);
+        }
+        if (!correct || !btb_ok) {
+            redirect = true;
+            ++lane.stats_.mispredicts;
+        }
+    } else if (op.cls == OpClass::Call) {
+        if (cfg.branch.ras)
+            cfg.branch.ras->push(op.pc + 4);
+        if (cfg.branch.btb) {
+            bool btb_ok = cfg.branch.btb->lookup(op.pc);
+            cfg.branch.btb->update(op.pc, op.pc + 64);
+            redirect = !btb_ok;
+        }
+    } else if (op.cls == OpClass::Return) {
+        // A RAS underflow forces a redirect at resolution.
+        redirect = cfg.branch.ras && cfg.branch.ras->pop() == 0;
+        if (redirect)
+            ++lane.stats_.mispredicts;
+    }
+    out.mispredicted = redirect;
+
+    // ------------------------------------------------------------------
+    // Commit (in order per lane, shared commit bandwidth).
+    // ------------------------------------------------------------------
+    Cycle commit_time = cfg.commit_cal->reserve(
+        std::max(done_time + 1, lane.last_commit_));
+    lane.last_commit_ = commit_time;
+    out.commit_time = commit_time;
+
+    cap_slot = commit_time;
+    if (rob_slot)
+        *rob_slot = commit_time;
+    if (lsq_slot)
+        *lsq_slot = commit_time;
+    lane.done_ring_[lane.op_index_ % Lane::dep_ring_size] = done_time;
+    ++lane.op_index_;
+
+    // Next fetch: same cycle is fine (calendar limits bandwidth);
+    // redirects refetch after resolution plus the redirect penalty.
+    lane.next_fetch_ = fetch_time;
+    if (redirect) {
+        Cycle penalty = in_order ? config_.redirect_penalty_ino
+                                 : config_.redirect_penalty_ooo;
+        lane.next_fetch_ =
+            std::max(lane.next_fetch_, done_time + penalty);
+        lane.last_fetch_line_ = ~Addr(0);
+    }
+
+    ++lane.stats_.ops;
+    if (out.remote)
+        ++lane.stats_.remote_ops;
+    out.end_of_request = op.end_of_request;
+    return out;
+}
+
+void
+CoreEngine::reset()
+{
+    fetch_cal_.reset();
+    issue_cal_.reset();
+    commit_cal_.reset();
+    std::fill(rob_ring_.begin(), rob_ring_.end(), 0);
+    std::fill(lq_ring_.begin(), lq_ring_.end(), 0);
+    std::fill(sq_ring_.begin(), sq_ring_.end(), 0);
+    rob_idx_ = lq_idx_ = sq_idx_ = 0;
+}
+
+} // namespace duplexity

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Timestamp-based pipeline model for one core of a dyad.
+ *
+ * Each micro-op is processed exactly once; structural limits (fetch/
+ * issue/commit bandwidth, ROB/LSQ occupancy, in-order scoreboards) are
+ * enforced with slot calendars and commit-time ring buffers, in the
+ * style of interval/one-pass core models. The same engine executes
+ *
+ *  - a single OoO master-thread (Baseline, master mode),
+ *  - several OoO SMT threads (SMT/SMT+ designs, Figure 1(c) sweeps),
+ *  - up to eight InO HSMT lanes (lender-core, filler mode),
+ *
+ * because a Lane carries its own issue mode, memory path, branch unit,
+ * calendars, and occupancy caps. That is exactly the morphable-core
+ * idea: mode switches rebind lanes, they do not change the engine.
+ */
+
+#ifndef DPX_CPU_CORE_ENGINE_HH
+#define DPX_CPU_CORE_ENGINE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "branch/predictor.hh"
+#include "cpu/isa.hh"
+#include "sim/slot_calendar.hh"
+#include "mem/memory_system.hh"
+#include "sim/types.hh"
+
+namespace duplexity
+{
+
+/** Per-lane issue discipline. */
+enum class IssueMode : std::uint8_t
+{
+    OutOfOrder,
+    InOrder,
+};
+
+/** The branch hardware a lane predicts with. */
+struct BranchUnit
+{
+    BranchPredictor *predictor = nullptr;
+    Btb *btb = nullptr;
+    ReturnAddressStack *ras = nullptr;
+};
+
+/** Shared structural parameters of one core (Table I). */
+struct CoreEngineConfig
+{
+    std::uint32_t fetch_width = 4;
+    std::uint32_t issue_width = 4;
+    std::uint32_t commit_width = 4;
+    std::uint32_t rob_entries = 144;
+    std::uint32_t lq_entries = 48;
+    std::uint32_t sq_entries = 32;
+    /** Fetch-to-dispatch depth. */
+    Cycle frontend_depth_ooo = 10;
+    Cycle frontend_depth_ino = 4;
+    /** Extra redirect cycles beyond branch resolution. */
+    Cycle redirect_penalty_ooo = 4;
+    Cycle redirect_penalty_ino = 2;
+    /** Hit latency hidden by the pipelined front-end. */
+    Cycle fetch_hidden = 3;
+};
+
+/** How a lane binds to the engine and the rest of the machine. */
+struct LaneConfig
+{
+    IssueMode mode = IssueMode::OutOfOrder;
+    MemPath path;
+    BranchUnit branch;
+    /** Calendars; normally the core's shared ones, or private capped
+     *  calendars for de-prioritized SMT+ co-runners. */
+    SlotCalendar *fetch_cal = nullptr;
+    SlotCalendar *issue_cal = nullptr;
+    SlotCalendar *commit_cal = nullptr;
+    /** Per-lane in-flight limit (ROB share / InO scoreboard). */
+    std::uint32_t inflight_cap = 144;
+    /** Participate in the core's shared ROB occupancy. */
+    bool use_shared_rob = true;
+    /** Participate in the core's shared LQ/SQ occupancy. */
+    bool use_shared_lsq = true;
+    /** Fetch-ahead limit in micro-ops. Must exceed
+     *  frontend_depth x width or it throttles steady-state flow. */
+    std::uint32_t fetch_queue = 64;
+};
+
+/** Completion report for one processed micro-op. */
+struct OpOutcome
+{
+    Cycle fetch_time = 0;
+    Cycle issue_time = 0;
+    Cycle done_time = 0;
+    Cycle commit_time = 0;
+    bool remote = false;
+    float stall_us = 0.0f;
+    bool end_of_request = false;
+    bool mispredicted = false;
+};
+
+/** Running totals for one lane. */
+struct LaneStats
+{
+    std::uint64_t ops = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t mispredicts = 0;
+    std::uint64_t remote_ops = 0;
+};
+
+/**
+ * One hardware thread context bound to a CoreEngine. Lanes are
+ * re-bindable: the HSMT scheduler swaps virtual contexts through them
+ * and the master-core rebinds them on a mode morph.
+ */
+class Lane
+{
+  public:
+    Lane() = default;
+
+    void configure(const LaneConfig &config);
+    const LaneConfig &config() const { return config_; }
+
+    /** Earliest cycle this lane could fetch its next micro-op. */
+    Cycle nextFetch() const { return next_fetch_; }
+
+    /** Delay the lane's next fetch to at least @p cycle. */
+    void stallUntil(Cycle cycle);
+
+    /**
+     * Clear inter-op history (dependencies, fetch line) — required
+     * when a different thread's context occupies the lane.
+     */
+    void resetHistory(Cycle start);
+
+    const LaneStats &stats() const { return stats_; }
+    void resetStats() { stats_ = LaneStats{}; }
+
+  private:
+    friend class CoreEngine;
+
+    LaneConfig config_;
+
+    Cycle next_fetch_ = 0;
+    Cycle last_issue_ = 0;
+    Cycle last_commit_ = 0;
+    Addr last_fetch_line_ = ~Addr(0);
+    std::uint64_t op_index_ = 0;
+
+    static constexpr std::size_t dep_ring_size = 64;
+    std::vector<Cycle> done_ring_;     // dep_ring_size
+    std::vector<Cycle> inflight_ring_; // inflight_cap
+    std::vector<Cycle> dispatch_ring_; // fetch_queue
+
+    LaneStats stats_;
+};
+
+class CoreEngine
+{
+  public:
+    explicit CoreEngine(const CoreEngineConfig &config);
+
+    const CoreEngineConfig &config() const { return config_; }
+
+    SlotCalendar &fetchCal() { return fetch_cal_; }
+    SlotCalendar &issueCal() { return issue_cal_; }
+    SlotCalendar &commitCal() { return commit_cal_; }
+
+    /**
+     * Run @p op through the modeled pipeline on @p lane; updates the
+     * lane's timestamps and the core's shared occupancy state.
+     */
+    OpOutcome processOp(Lane &lane, const MicroOp &op);
+
+    /** Build a LaneConfig pre-wired to this core's shared calendars. */
+    LaneConfig defaultLaneConfig(IssueMode mode);
+
+    void reset();
+
+  private:
+    CoreEngineConfig config_;
+    SlotCalendar fetch_cal_;
+    SlotCalendar issue_cal_;
+    SlotCalendar commit_cal_;
+
+    std::vector<Cycle> rob_ring_;
+    std::vector<Cycle> lq_ring_;
+    std::vector<Cycle> sq_ring_;
+    std::uint64_t rob_idx_ = 0;
+    std::uint64_t lq_idx_ = 0;
+    std::uint64_t sq_idx_ = 0;
+};
+
+} // namespace duplexity
+
+#endif // DPX_CPU_CORE_ENGINE_HH

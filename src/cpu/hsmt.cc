@@ -1,0 +1,187 @@
+#include "cpu/hsmt.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace duplexity
+{
+
+HsmtUnit::HsmtUnit(CoreEngine &engine, VirtualContextPool &pool,
+                   const HsmtConfig &config, Frequency frequency)
+    : engine_(engine), pool_(pool), config_(config),
+      frequency_(frequency)
+{
+    panicIfNot(config.num_lanes > 0, "HSMT needs at least one lane");
+    lanes_.resize(config.num_lanes);
+    for (HsmtLane &hl : lanes_)
+        hl.wake_time = never;
+}
+
+void
+HsmtUnit::configureLanes(const LaneConfig &proto)
+{
+    for (std::uint32_t i = 0; i < lanes_.size(); ++i)
+        configureLane(i, proto);
+}
+
+void
+HsmtUnit::configureLane(std::uint32_t index, const LaneConfig &proto)
+{
+    panicIfNot(index < lanes_.size(), "lane index out of range");
+    LaneConfig cfg = proto;
+    cfg.mode = IssueMode::InOrder;
+    lanes_[index].lane.configure(cfg);
+}
+
+void
+HsmtUnit::openWindow(Cycle start, Cycle end)
+{
+    panicIfNot(end > start, "empty HSMT window");
+    window_start_ = start;
+    window_end_ = end;
+    for (HsmtLane &hl : lanes_) {
+        // Lanes never carry contexts across windows (closeWindow
+        // returns them), so waking them is all that is needed.
+        hl.wake_time = start;
+    }
+}
+
+void
+HsmtUnit::closeWindow(Cycle at)
+{
+    for (HsmtLane &hl : lanes_) {
+        if (hl.ctx) {
+            // In-flight micro-ops are squashed; the architectural
+            // state was spilled, so the context is immediately ready.
+            releaseCtx(hl, at, at);
+        }
+        hl.wake_time = never;
+    }
+    window_end_ = window_start_;
+}
+
+Cycle
+HsmtUnit::laneTime(const HsmtLane &hl) const
+{
+    if (window_end_ <= window_start_)
+        return never;
+    if (hl.wake_time == never)
+        return never;
+    Cycle t = hl.wake_time;
+    if (hl.ctx)
+        t = std::max(t, hl.lane.nextFetch());
+    if (t >= window_end_) {
+        // A context-holding lane still owes a hand-back action at the
+        // window edge; an empty lane simply has nothing left to do.
+        return hl.ctx ? window_end_ : never;
+    }
+    return t;
+}
+
+Cycle
+HsmtUnit::nextTime() const
+{
+    Cycle best = never;
+    for (const HsmtLane &hl : lanes_)
+        best = std::min(best, laneTime(hl));
+    return best;
+}
+
+std::uint32_t
+HsmtUnit::occupiedLanes() const
+{
+    std::uint32_t n = 0;
+    for (const HsmtLane &hl : lanes_)
+        n += hl.ctx != nullptr;
+    return n;
+}
+
+void
+HsmtUnit::releaseCtx(HsmtLane &hl, Cycle ready_at, Cycle now)
+{
+    hl.ctx->setReadyTime(ready_at);
+    if (now > hl.ctx_start)
+        hl.ctx->occupancy_cycles += now - hl.ctx_start;
+    pool_.release(hl.ctx);
+    hl.ctx = nullptr;
+}
+
+bool
+HsmtUnit::advanceOne(CommitSink *sink)
+{
+    HsmtLane *best = nullptr;
+    Cycle best_time = never;
+    for (HsmtLane &hl : lanes_) {
+        Cycle t = laneTime(hl);
+        if (t < best_time) {
+            best_time = t;
+            best = &hl;
+        }
+    }
+    if (!best)
+        return false;
+    HsmtLane &hl = *best;
+    const Cycle t = best_time;
+
+    // Window edge: hand the context back and sleep.
+    if (hl.ctx && t >= window_end_) {
+        releaseCtx(hl, window_end_, window_end_);
+        hl.wake_time = never;
+        return true;
+    }
+
+    // Empty lane: try to steal a ready context from the queue head.
+    if (!hl.ctx) {
+        Cycle avail = never;
+        VirtualContext *ctx = pool_.acquire(t, &avail);
+        if (!ctx) {
+            Cycle retry = t + config_.poll_interval;
+            if (avail != never)
+                retry = std::min(retry, std::max(avail, t + 1));
+            hl.wake_time = retry;
+            return true;
+        }
+        ++context_swaps_;
+        hl.ctx = ctx;
+        hl.ctx_start = t + config_.swap_cost;
+        hl.lane.resetHistory(t + config_.swap_cost);
+        hl.wake_time = t + config_.swap_cost;
+        return true;
+    }
+
+    // Quantum expiry: round-robin to the run-queue tail.
+    if (hl.lane.nextFetch() - hl.ctx_start >= config_.quantum) {
+        releaseCtx(hl, t, t);
+        hl.wake_time = t;
+        return true;
+    }
+
+    // Execute one micro-op.
+    MicroOp op = hl.ctx->source().next();
+    OpOutcome out = engine_.processOp(hl.lane, op);
+    ++hl.ctx->retired;
+    if (sink)
+        sink->onCommit(*hl.ctx, out);
+
+    if (out.remote) {
+        ++hl.ctx->remote_ops;
+        Cycle stall = frequency_.microsToCycles(out.stall_us);
+        // Dump the stalled context to the tail; the lane may load a
+        // replacement as soon as the dump completes.
+        releaseCtx(hl, out.commit_time + stall, out.commit_time);
+        hl.wake_time = out.commit_time + config_.swap_cost;
+    }
+    return true;
+}
+
+void
+HsmtUnit::runUntil(Cycle until, CommitSink *sink)
+{
+    while (nextTime() < until) {
+        if (!advanceOne(sink))
+            break;
+    }
+}
+
+} // namespace duplexity

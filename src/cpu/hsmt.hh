@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The HSMT execution unit: N physical in-order lanes time-multiplexed
+ * by virtual contexts from a (possibly shared) run queue.
+ *
+ * Used in two places:
+ *  - the lender-core, where it runs continuously, and
+ *  - the master-core's filler mode, where it runs only inside
+ *    "windows" — the µs-scale holes opened by master-thread stalls
+ *    and idle periods.
+ *
+ * Scheduling policy (Section IV): FIFO round-robin virtual contexts,
+ * swap on µs-stall, 100 µs anti-starvation quantum.
+ */
+
+#ifndef DPX_CPU_HSMT_HH
+#define DPX_CPU_HSMT_HH
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "cpu/core_engine.hh"
+#include "cpu/virtual_context.hh"
+#include "sim/types.hh"
+
+namespace duplexity
+{
+
+struct HsmtConfig
+{
+    std::uint32_t num_lanes = 8;
+    /** Cycles to dump/load one context's architectural state. */
+    Cycle swap_cost = 64;
+    /** Anti-starvation preemption quantum in cycles (100 µs). */
+    Cycle quantum = 340000;
+    /** Re-poll interval while waiting for a ready context. */
+    Cycle poll_interval = 200;
+};
+
+/** Observer for committed filler/batch micro-ops. */
+class CommitSink
+{
+  public:
+    virtual ~CommitSink() = default;
+
+    virtual void onCommit(const VirtualContext &ctx,
+                          const OpOutcome &outcome) = 0;
+};
+
+class HsmtUnit
+{
+  public:
+    static constexpr Cycle never = std::numeric_limits<Cycle>::max();
+
+    HsmtUnit(CoreEngine &engine, VirtualContextPool &pool,
+             const HsmtConfig &config, Frequency frequency);
+
+    /** Bind all lanes using @p proto (mode forced to InOrder). */
+    void configureLanes(const LaneConfig &proto);
+
+    /** Bind one lane individually (e.g. a private RAS per lane). */
+    void configureLane(std::uint32_t index, const LaneConfig &proto);
+
+    /**
+     * Allow lanes to run in [start, end). Contexts still held from a
+     * previous window resume; opening with end == never makes the
+     * unit free-running (lender-core).
+     */
+    void openWindow(Cycle start, Cycle end);
+
+    /**
+     * Shut the window at @p at: every running context is squashed and
+     * returned, ready, to the run-queue tail (its architectural state
+     * was spilled through the L0/backing store).
+     */
+    void closeWindow(Cycle at);
+
+    /** Earliest cycle at which some lane can act (never if asleep). */
+    Cycle nextTime() const;
+
+    /**
+     * Advance the most-behind lane by one action (context swap or one
+     * micro-op). @return false when no lane can act.
+     */
+    bool advanceOne(CommitSink *sink);
+
+    /** Drive the unit until nextTime() passes @p until. */
+    void runUntil(Cycle until, CommitSink *sink);
+
+    const HsmtConfig &config() const { return config_; }
+    std::uint32_t numLanes() const { return config_.num_lanes; }
+
+    /** Contexts currently occupying physical lanes. */
+    std::uint32_t occupiedLanes() const;
+
+    std::uint64_t contextSwaps() const { return context_swaps_; }
+
+  private:
+    struct HsmtLane
+    {
+        Lane lane;
+        VirtualContext *ctx = nullptr;
+        Cycle ctx_start = 0;
+        Cycle wake_time = 0;
+    };
+
+    /** Actionable time of one lane within the current window. */
+    Cycle laneTime(const HsmtLane &hl) const;
+
+    void releaseCtx(HsmtLane &hl, Cycle ready_at, Cycle now);
+
+    CoreEngine &engine_;
+    VirtualContextPool &pool_;
+    HsmtConfig config_;
+    Frequency frequency_;
+    std::vector<HsmtLane> lanes_;
+    Cycle window_start_ = 0;
+    Cycle window_end_ = 0;
+    std::uint64_t context_swaps_ = 0;
+};
+
+} // namespace duplexity
+
+#endif // DPX_CPU_HSMT_HH

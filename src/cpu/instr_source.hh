@@ -1,0 +1,30 @@
+/**
+ * @file
+ * The interface a workload model implements to feed a hardware thread.
+ */
+
+#ifndef DPX_CPU_INSTR_SOURCE_HH
+#define DPX_CPU_INSTR_SOURCE_HH
+
+#include "cpu/isa.hh"
+
+namespace duplexity
+{
+
+/**
+ * An endless program: each call produces the next micro-op of one
+ * thread. Implementations own their randomness so that replaying a
+ * source is deterministic.
+ */
+class InstrSource
+{
+  public:
+    virtual ~InstrSource() = default;
+
+    /** Produce the next micro-op in program order. */
+    virtual MicroOp next() = 0;
+};
+
+} // namespace duplexity
+
+#endif // DPX_CPU_INSTR_SOURCE_HH

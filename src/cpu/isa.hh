@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The micro-op "ISA" exchanged between workload models and the core
+ * engines.
+ *
+ * Workloads are statistical: they emit a stream of micro-ops whose
+ * classes, addresses, dependency distances, and branch outcomes follow
+ * the workload's measured character (Section V). A special Remote
+ * class marks the start of a µs-scale stall (RDMA read, Optane access,
+ * leaf-KV fan-out wait) — the hardware can demarcate these stalls via
+ * queue-pair memory models or monitoring instructions (Section IV).
+ */
+
+#ifndef DPX_CPU_ISA_HH
+#define DPX_CPU_ISA_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace duplexity
+{
+
+enum class OpClass : std::uint8_t
+{
+    IntAlu,  //!< 1-cycle integer op
+    IntMul,  //!< 3-cycle integer multiply
+    FpAlu,   //!< 4-cycle floating-point/SIMD op
+    Load,    //!< memory read; latency from the cache hierarchy
+    Store,   //!< memory write; retires through the store buffer
+    Branch,  //!< conditional branch with a resolved direction
+    Call,    //!< call (pushes the RAS)
+    Return,  //!< return (pops the RAS)
+    Remote,  //!< µs-scale remote/stall operation
+};
+
+/** Fixed execution latencies for non-memory classes. */
+constexpr Cycle
+execLatency(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::IntAlu:
+        return 1;
+      case OpClass::IntMul:
+        return 3;
+      case OpClass::FpAlu:
+        return 4;
+      default:
+        return 1;
+    }
+}
+
+/** One micro-op emitted by a workload model. */
+struct MicroOp
+{
+    OpClass cls = OpClass::IntAlu;
+    /** Instruction address: drives I-cache, predictor, BTB. */
+    Addr pc = 0;
+    /** Effective address for Load/Store. */
+    Addr mem_addr = 0;
+    /** Resolved direction for Branch (Call/Return always taken). */
+    bool taken = false;
+    /**
+     * RAW dependency distances: this op reads the results of the ops
+     * issued dep1/dep2 micro-ops earlier in the same thread (0 means
+     * no dependency). Small distances serialize; large distances give
+     * the engines ILP/MLP to harvest.
+     */
+    std::uint8_t dep1 = 0;
+    std::uint8_t dep2 = 0;
+    /** Stall duration for Remote ops, microseconds. */
+    float stall_us = 0.0f;
+    /** Marks the final micro-op of a request (service boundary). */
+    bool end_of_request = false;
+};
+
+} // namespace duplexity
+
+#endif // DPX_CPU_ISA_HH

@@ -1,0 +1,44 @@
+#include "cpu/virtual_context.hh"
+
+#include <limits>
+
+#include "sim/logging.hh"
+
+namespace duplexity
+{
+
+void
+VirtualContextPool::add(VirtualContext *ctx)
+{
+    panicIfNot(ctx != nullptr, "null virtual context");
+    queue_.push_back(ctx);
+}
+
+VirtualContext *
+VirtualContextPool::acquire(Cycle now, Cycle *available_at)
+{
+    Cycle earliest = std::numeric_limits<Cycle>::max();
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        VirtualContext *ctx = *it;
+        if (ctx->readyTime() <= now) {
+            queue_.erase(it);
+            ++stats_.acquires;
+            return ctx;
+        }
+        earliest = std::min(earliest, ctx->readyTime());
+    }
+    ++stats_.empty_acquires;
+    if (available_at)
+        *available_at = earliest;
+    return nullptr;
+}
+
+void
+VirtualContextPool::release(VirtualContext *ctx)
+{
+    panicIfNot(ctx != nullptr, "null virtual context");
+    ++stats_.releases;
+    queue_.push_back(ctx);
+}
+
+} // namespace duplexity

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Hierarchical SMT (HSMT) virtual contexts and the dyad-shared run
+ * queue (Section III-A).
+ *
+ * A lender-core keeps a FIFO backlog of virtual contexts in a
+ * dedicated memory region. When a physical context stalls on a
+ * µs-scale event, its architectural state is dumped to the tail of the
+ * run queue and the next ready context is loaded. The master-core of
+ * the dyad borrows filler-threads by stealing virtual contexts from
+ * the head of the same queue.
+ */
+
+#ifndef DPX_CPU_VIRTUAL_CONTEXT_HH
+#define DPX_CPU_VIRTUAL_CONTEXT_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "cpu/instr_source.hh"
+#include "sim/types.hh"
+
+namespace duplexity
+{
+
+/** One latency-insensitive batch thread's schedulable state. */
+class VirtualContext
+{
+  public:
+    VirtualContext(ThreadId id, InstrSource *source)
+        : id_(id), source_(source)
+    {
+    }
+
+    ThreadId id() const { return id_; }
+    InstrSource &source() { return *source_; }
+
+    /** Cycle at which the context's pending stall resolves. */
+    Cycle readyTime() const { return ready_time_; }
+    void setReadyTime(Cycle t) { ready_time_ = t; }
+
+    /** Committed micro-ops (batch progress, STP numerator). */
+    std::uint64_t retired = 0;
+    /** Remote operations issued (NIC accounting). */
+    std::uint64_t remote_ops = 0;
+    /** Cycles spent occupying a physical context. */
+    Cycle occupancy_cycles = 0;
+
+  private:
+    ThreadId id_;
+    InstrSource *source_;
+    Cycle ready_time_ = 0;
+};
+
+struct PoolStats
+{
+    std::uint64_t acquires = 0;
+    std::uint64_t releases = 0;
+    std::uint64_t empty_acquires = 0;
+};
+
+/**
+ * FIFO run queue of virtual contexts, shared by the two cores of a
+ * dyad. Not a hardware-limited structure: its length is set by the
+ * OS/cluster scheduler (32 per dyad in the paper's most pessimistic
+ * sizing, Section IV).
+ */
+class VirtualContextPool
+{
+  public:
+    VirtualContextPool() = default;
+
+    /** Enqueue a context at the tail. */
+    void add(VirtualContext *ctx);
+
+    /**
+     * Steal the first *ready* context (FIFO order) at @p now.
+     *
+     * @param now          current cycle
+     * @param available_at out: when nullptr is returned, the earliest
+     *                     cycle at which some queued context becomes
+     *                     ready (Cycle max if the queue is empty)
+     * @return the context, removed from the queue, or nullptr
+     */
+    VirtualContext *acquire(Cycle now, Cycle *available_at);
+
+    /** Return a context to the tail of the queue. */
+    void release(VirtualContext *ctx);
+
+    std::size_t size() const { return queue_.size(); }
+    bool empty() const { return queue_.empty(); }
+
+    const PoolStats &stats() const { return stats_; }
+
+    /** Iterate all queued contexts (inspection/tests). */
+    const std::deque<VirtualContext *> &queued() const { return queue_; }
+
+  private:
+    std::deque<VirtualContext *> queue_;
+    PoolStats stats_;
+};
+
+} // namespace duplexity
+
+#endif // DPX_CPU_VIRTUAL_CONTEXT_HH

@@ -1,0 +1,188 @@
+#include "mem/cache.hh"
+
+#include <bit>
+
+#include "sim/logging.hh"
+
+namespace duplexity
+{
+
+std::uint64_t
+CacheConfig::numSets() const
+{
+    return size_bytes / (static_cast<std::uint64_t>(line_bytes) * assoc);
+}
+
+double
+CacheStats::missRate() const
+{
+    std::uint64_t n = accesses();
+    return n == 0 ? 0.0
+                  : static_cast<double>(misses) / static_cast<double>(n);
+}
+
+Cache::Cache(const CacheConfig &config)
+    : config_(config), ports_(config.ports)
+{
+    panicIfNot(std::has_single_bit(config.line_bytes),
+               "cache line size must be a power of two");
+    panicIfNot(config.assoc > 0 && config.ports > 0,
+               "cache needs assoc > 0 and ports > 0");
+    num_sets_ = config.numSets();
+    panicIfNot(num_sets_ > 0 && std::has_single_bit(num_sets_),
+               "cache set count must be a power of two: " + config.name);
+    line_shift_ = std::countr_zero(config.line_bytes);
+    lines_.assign(num_sets_ * config.assoc, Line{});
+}
+
+std::uint64_t
+Cache::setIndex(Addr line) const
+{
+    return line & (num_sets_ - 1);
+}
+
+Addr
+Cache::tagOf(Addr line) const
+{
+    return line / num_sets_;
+}
+
+Cycle
+Cache::contentionDelay(Cycle now)
+{
+    Cycle granted = ports_.reserve(now);
+    return granted - now;
+}
+
+CacheAccessResult
+Cache::access(Addr addr, bool is_write, Cycle now)
+{
+    CacheAccessResult result;
+    result.latency = config_.hit_latency + contentionDelay(now);
+
+    const Addr line = lineAddr(addr);
+    const std::uint64_t set = setIndex(line);
+    const Addr tag = tagOf(line);
+    Line *base = &lines_[set * config_.assoc];
+
+    // Hit path.
+    for (std::uint32_t w = 0; w < config_.assoc; ++w) {
+        Line &entry = base[w];
+        if (entry.valid && entry.tag == tag) {
+            entry.lru = ++lru_clock_;
+            if (is_write && !config_.write_through)
+                entry.dirty = true;
+            ++stats_.hits;
+            result.hit = true;
+            if (is_write && config_.write_through)
+                ++stats_.writebacks; // write propagated downstream
+            return result;
+        }
+    }
+
+    ++stats_.misses;
+    if (is_write && !config_.write_allocate) {
+        // No-allocate write miss: data goes straight downstream.
+        if (config_.write_through)
+            ++stats_.writebacks;
+        return result;
+    }
+
+    // Victim selection: invalid way first, else LRU.
+    Line *victim = base;
+    for (std::uint32_t w = 0; w < config_.assoc; ++w) {
+        Line &entry = base[w];
+        if (!entry.valid) {
+            victim = &entry;
+            break;
+        }
+        if (entry.lru < victim->lru)
+            victim = &entry;
+    }
+
+    if (victim->valid) {
+        ++stats_.evictions;
+        if (victim->dirty) {
+            ++stats_.writebacks;
+            result.writeback = true;
+        }
+        if (eviction_listener_) {
+            Addr victim_line =
+                victim->tag * num_sets_ + set;
+            eviction_listener_(victim_line << line_shift_);
+        }
+    }
+
+    victim->tag = tag;
+    victim->valid = true;
+    victim->dirty = is_write && !config_.write_through;
+    victim->lru = ++lru_clock_;
+    if (is_write && config_.write_through)
+        ++stats_.writebacks;
+    return result;
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    const Addr line = lineAddr(addr);
+    const std::uint64_t set = setIndex(line);
+    const Addr tag = tagOf(line);
+    const Line *base = &lines_[set * config_.assoc];
+    for (std::uint32_t w = 0; w < config_.assoc; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::invalidate(Addr addr)
+{
+    const Addr line = lineAddr(addr);
+    const std::uint64_t set = setIndex(line);
+    const Addr tag = tagOf(line);
+    Line *base = &lines_[set * config_.assoc];
+    for (std::uint32_t w = 0; w < config_.assoc; ++w) {
+        Line &entry = base[w];
+        if (entry.valid && entry.tag == tag) {
+            entry.valid = false;
+            entry.dirty = false;
+            ++stats_.invalidations;
+            // Invalidations forward to inclusion dependents just
+            // like evictions (Section III-B3).
+            if (eviction_listener_)
+                eviction_listener_(line << line_shift_);
+            return;
+        }
+    }
+}
+
+void
+Cache::invalidateAll()
+{
+    for (Line &entry : lines_) {
+        if (entry.valid) {
+            entry.valid = false;
+            entry.dirty = false;
+            ++stats_.invalidations;
+        }
+    }
+}
+
+std::uint64_t
+Cache::validLines() const
+{
+    std::uint64_t n = 0;
+    for (const Line &entry : lines_)
+        n += entry.valid ? 1 : 0;
+    return n;
+}
+
+void
+Cache::setEvictionListener(EvictionListener fn)
+{
+    eviction_listener_ = std::move(fn);
+}
+
+} // namespace duplexity

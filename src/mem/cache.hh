@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Set-associative cache model with LRU replacement, optional
+ * write-through/no-write-allocate behaviour (for the Duplexity L0
+ * filter caches), port-contention accounting, and eviction callbacks
+ * (used to maintain L1-D inclusion over the master-core's L0-D and to
+ * forward invalidations, per Section III-B3).
+ *
+ * Threads are disambiguated by address: every synthetic thread draws
+ * addresses from its own region of the 64-bit space (shared text
+ * segments deliberately overlap), so tags need no explicit ASID.
+ */
+
+#ifndef DPX_MEM_CACHE_HH
+#define DPX_MEM_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/slot_calendar.hh"
+#include "sim/types.hh"
+
+namespace duplexity
+{
+
+/** Static geometry and policy of one cache. */
+struct CacheConfig
+{
+    std::string name = "cache";
+    std::uint64_t size_bytes = 64 * 1024;
+    std::uint32_t line_bytes = 64;
+    std::uint32_t assoc = 2;
+    Cycle hit_latency = 2;
+    /** Accesses the array accepts per cycle (port contention). */
+    std::uint32_t ports = 2;
+    /** Write-through (true) vs write-back (false). */
+    bool write_through = false;
+    /** Allocate lines on write misses. */
+    bool write_allocate = true;
+    /** Attach a stream prefetcher at this level. */
+    bool prefetch = false;
+    /** Residual exposure of a prefetch-covered miss (cycles). */
+    Cycle prefetch_latency = 4;
+
+    std::uint64_t numSets() const;
+};
+
+/** Aggregate counters for one cache. */
+struct CacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t writebacks = 0;
+    std::uint64_t invalidations = 0;
+
+    std::uint64_t accesses() const { return hits + misses; }
+    double missRate() const;
+};
+
+/** Outcome of a single cache access. */
+struct CacheAccessResult
+{
+    bool hit = false;
+    /** Cycles from issue to data, including port contention. */
+    Cycle latency = 0;
+    /** True when a dirty victim was written back. */
+    bool writeback = false;
+};
+
+class Cache
+{
+  public:
+    /** Called with the line address of every evicted/replaced line. */
+    using EvictionListener = std::function<void(Addr line_addr)>;
+
+    explicit Cache(const CacheConfig &config);
+
+    const CacheConfig &config() const { return config_; }
+    const CacheStats &stats() const { return stats_; }
+
+    /**
+     * Perform an access. On a miss the line is allocated (subject to
+     * policy) and the latency *excludes* the lower-level fill — the
+     * caller (a MemPort chain) adds it.
+     */
+    CacheAccessResult access(Addr addr, bool is_write, Cycle now);
+
+    /** State-preserving lookup. */
+    bool probe(Addr addr) const;
+
+    /** Drop a line if present (coherence invalidation). */
+    void invalidate(Addr addr);
+
+    /** Drop every line. */
+    void invalidateAll();
+
+    /** Number of currently valid lines. */
+    std::uint64_t validLines() const;
+
+    void setEvictionListener(EvictionListener fn);
+
+    void resetStats() { stats_ = CacheStats{}; }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lru = 0; // larger == more recent
+    };
+
+    Addr lineAddr(Addr addr) const { return addr >> line_shift_; }
+    std::uint64_t setIndex(Addr line) const;
+    Addr tagOf(Addr line) const;
+
+    /** Port-contention delay for an access starting at @p now. */
+    Cycle contentionDelay(Cycle now);
+
+    CacheConfig config_;
+    CacheStats stats_;
+    std::uint32_t line_shift_;
+    std::uint64_t num_sets_;
+    std::vector<Line> lines_; // num_sets * assoc
+    std::uint64_t lru_clock_ = 0;
+    /** Port bandwidth tracker; tolerates out-of-order access times
+     *  from the one-pass pipeline model. */
+    SlotCalendar ports_;
+    EvictionListener eviction_listener_;
+};
+
+} // namespace duplexity
+
+#endif // DPX_MEM_CACHE_HH

@@ -1,0 +1,199 @@
+#include "mem/memory_system.hh"
+
+#include "sim/logging.hh"
+
+namespace duplexity
+{
+
+Cycle
+DramPort::access(AccessType, Addr, Cycle)
+{
+    ++accesses_;
+    return latency_;
+}
+
+CachePort::CachePort(const CacheConfig &config, MemPort *below)
+    : cache_(config), below_(below)
+{
+}
+
+Cycle
+CachePort::access(AccessType type, Addr addr, Cycle now)
+{
+    const bool is_store = type == AccessType::Store;
+    CacheAccessResult res = cache_.access(addr, is_store, now);
+    Cycle latency = res.latency;
+
+    if (!res.hit) {
+        // Fill from below unless this is a no-allocate write miss.
+        bool fills = !is_store || cache_.config().write_allocate;
+        if (fills && below_) {
+            bool covered =
+                cache_.config().prefetch &&
+                prefetcher_.access(addr >>
+                                   6 /* line, 64B (Table I) */);
+            Cycle below_latency =
+                below_->access(AccessType::Load, addr, now + latency);
+            // A prefetch-covered miss still consumes downstream
+            // bandwidth (the access above) but exposes only a small
+            // residual latency.
+            latency += covered ? cache_.config().prefetch_latency
+                               : below_latency;
+        }
+    }
+    if (is_store && cache_.config().write_through && below_) {
+        // Posted write: downstream state is updated but the store does
+        // not lengthen the producer's critical path.
+        below_->access(AccessType::Store, addr, now + latency);
+    }
+    return latency;
+}
+
+Cycle
+LinkPort::access(AccessType type, Addr addr, Cycle now)
+{
+    ++traversals_;
+    return extra_ + below_->access(type, addr, now + extra_);
+}
+
+Cycle
+MemPath::fetch(Addr addr, Cycle now) const
+{
+    Cycle latency = itlb ? itlb->access(addr) : 0;
+    latency += instr->access(AccessType::IFetch, addr, now + latency);
+    return latency;
+}
+
+Cycle
+MemPath::load(Addr addr, Cycle now) const
+{
+    Cycle latency = dtlb ? dtlb->access(addr) : 0;
+    latency += data->access(AccessType::Load, addr, now + latency);
+    return latency;
+}
+
+Cycle
+MemPath::store(Addr addr, Cycle now) const
+{
+    Cycle latency = dtlb ? dtlb->access(addr) : 0;
+    latency += data->access(AccessType::Store, addr, now + latency);
+    return latency;
+}
+
+MemSystemConfig
+MemSystemConfig::makeDefault()
+{
+    MemSystemConfig cfg;
+    cfg.l1i = CacheConfig{"l1i", 64 * 1024, 64, 2, /*hit*/ 2,
+                          /*ports*/ 2, false, true, /*prefetch*/ true};
+    cfg.l1d = CacheConfig{"l1d", 64 * 1024, 64, 2, /*hit*/ 2,
+                          /*ports*/ 2, false, true, /*prefetch*/ true};
+    cfg.llc = CacheConfig{"llc", 2 * 1024 * 1024, 64, 8, /*hit*/ 14,
+                          /*ports*/ 2, false, true};
+    // 2KB L0-I / 4KB L0-D write-through filters (Section III-B3);
+    // they are bandwidth filters, not prefetching caches.
+    cfg.l0i = CacheConfig{"l0i", 2 * 1024, 64, 2, /*hit*/ 1,
+                          /*ports*/ 2, true, true};
+    cfg.l0d = CacheConfig{"l0d", 4 * 1024, 64, 2, /*hit*/ 1,
+                          /*ports*/ 2, true, true};
+    cfg.itlb = TlbConfig{}; // 64-entry L1, 1K-entry L2 (Table I)
+    cfg.dtlb = TlbConfig{};
+    cfg.dram_ns = 50.0;
+    cfg.frequency = Frequency(3.4e9);
+    cfg.dyad_link_cycles = 3;
+    return cfg;
+}
+
+DyadMemorySystem::DyadMemorySystem(const MemSystemConfig &config)
+    : config_(config)
+{
+    const Cycle dram_cycles = config.frequency.microsToCycles(
+        config.dram_ns / 1000.0);
+    dram_ = std::make_unique<DramPort>(dram_cycles);
+    llc_ = std::make_unique<CachePort>(config.llc, dram_.get());
+
+    master_l1i_ = std::make_unique<CachePort>(config.l1i, llc_.get());
+    master_l1d_ = std::make_unique<CachePort>(config.l1d, llc_.get());
+    lender_l1i_ = std::make_unique<CachePort>(config.l1i, llc_.get());
+    lender_l1d_ = std::make_unique<CachePort>(config.l1d, llc_.get());
+    repl_l1i_ = std::make_unique<CachePort>(config.l1i, llc_.get());
+    repl_l1d_ = std::make_unique<CachePort>(config.l1d, llc_.get());
+
+    link_i_ = std::make_unique<LinkPort>(config.dyad_link_cycles,
+                                         lender_l1i_.get());
+    link_d_ = std::make_unique<LinkPort>(config.dyad_link_cycles,
+                                         lender_l1d_.get());
+    l0i_ = std::make_unique<CachePort>(config.l0i, link_i_.get());
+    l0d_ = std::make_unique<CachePort>(config.l0d, link_d_.get());
+
+    // The lender L1s maintain inclusion over the master-core's L0
+    // filters and forward invalidations (Section III-B3).
+    lender_l1i_->cache().setEvictionListener(
+        [this](Addr line) { l0i_->cache().invalidate(line); });
+    lender_l1d_->cache().setEvictionListener(
+        [this](Addr line) { l0d_->cache().invalidate(line); });
+
+    master_itlb_ = std::make_unique<Tlb>(config.itlb);
+    master_dtlb_ = std::make_unique<Tlb>(config.dtlb);
+    filler_itlb_ = std::make_unique<Tlb>(config.itlb);
+    filler_dtlb_ = std::make_unique<Tlb>(config.dtlb);
+    lender_itlb_ = std::make_unique<Tlb>(config.itlb);
+    lender_dtlb_ = std::make_unique<Tlb>(config.dtlb);
+}
+
+MemPath
+DyadMemorySystem::masterPath()
+{
+    return MemPath{master_l1i_.get(), master_l1d_.get(),
+                   master_itlb_.get(), master_dtlb_.get()};
+}
+
+MemPath
+DyadMemorySystem::fillerRemotePath()
+{
+    return MemPath{l0i_.get(), l0d_.get(), filler_itlb_.get(),
+                   filler_dtlb_.get()};
+}
+
+MemPath
+DyadMemorySystem::fillerLocalPath()
+{
+    return MemPath{master_l1i_.get(), master_l1d_.get(),
+                   master_itlb_.get(), master_dtlb_.get()};
+}
+
+MemPath
+DyadMemorySystem::fillerReplicatedPath()
+{
+    return MemPath{repl_l1i_.get(), repl_l1d_.get(), filler_itlb_.get(),
+                   filler_dtlb_.get()};
+}
+
+MemPath
+DyadMemorySystem::lenderPath()
+{
+    return MemPath{lender_l1i_.get(), lender_l1d_.get(),
+                   lender_itlb_.get(), lender_dtlb_.get()};
+}
+
+void
+DyadMemorySystem::resetStats()
+{
+    llc_->cache().resetStats();
+    master_l1i_->cache().resetStats();
+    master_l1d_->cache().resetStats();
+    lender_l1i_->cache().resetStats();
+    lender_l1d_->cache().resetStats();
+    repl_l1i_->cache().resetStats();
+    repl_l1d_->cache().resetStats();
+    l0i_->cache().resetStats();
+    l0d_->cache().resetStats();
+    master_itlb_->resetStats();
+    master_dtlb_->resetStats();
+    filler_itlb_->resetStats();
+    filler_dtlb_->resetStats();
+    lender_itlb_->resetStats();
+    lender_dtlb_->resetStats();
+}
+
+} // namespace duplexity

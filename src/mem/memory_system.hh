@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Memory-path composition for a Duplexity dyad.
+ *
+ * A MemPort chain models one path through the hierarchy. The dyad
+ * builds every path used by the seven evaluated designs:
+ *
+ *  - master path:        master L1I/L1D -> shared LLC -> DRAM
+ *  - lender path:        lender L1I/L1D -> shared LLC -> DRAM
+ *  - filler-on-master (Duplexity): L0I/L0D (write-through filters) ->
+ *        +3-cycle dyad link -> lender L1I/L1D -> LLC -> DRAM,
+ *        with lender L1D maintaining inclusion over the L0D
+ *  - filler-local (MorphCore): filler threads thrash the master's own
+ *        L1s and TLBs (no state protection)
+ *  - replicated (Duplexity+replication): private full-size filler L1s
+ */
+
+#ifndef DPX_MEM_MEMORY_SYSTEM_HH
+#define DPX_MEM_MEMORY_SYSTEM_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "mem/cache.hh"
+#include "mem/prefetcher.hh"
+#include "mem/tlb.hh"
+#include "sim/types.hh"
+
+namespace duplexity
+{
+
+/** Kinds of memory access a core issues. */
+enum class AccessType
+{
+    IFetch,
+    Load,
+    Store,
+};
+
+/** One level (or link) in a memory path. */
+class MemPort
+{
+  public:
+    virtual ~MemPort() = default;
+
+    /** @return total latency in cycles from @p now to completion. */
+    virtual Cycle access(AccessType type, Addr addr, Cycle now) = 0;
+};
+
+/** Terminal DRAM port with a fixed access latency. */
+class DramPort : public MemPort
+{
+  public:
+    explicit DramPort(Cycle latency) : latency_(latency) {}
+
+    Cycle access(AccessType type, Addr addr, Cycle now) override;
+
+    std::uint64_t accesses() const { return accesses_; }
+
+  private:
+    Cycle latency_;
+    std::uint64_t accesses_ = 0;
+};
+
+/** A cache backed by a lower-level port. */
+class CachePort : public MemPort
+{
+  public:
+    CachePort(const CacheConfig &config, MemPort *below);
+
+    Cycle access(AccessType type, Addr addr, Cycle now) override;
+
+    Cache &cache() { return cache_; }
+    const Cache &cache() const { return cache_; }
+    const StreamPrefetcher &prefetcher() const { return prefetcher_; }
+
+  private:
+    Cache cache_;
+    MemPort *below_;
+    StreamPrefetcher prefetcher_;
+};
+
+/** Fixed-latency link (the +3-cycle dyad interconnect). */
+class LinkPort : public MemPort
+{
+  public:
+    LinkPort(Cycle extra, MemPort *below) : extra_(extra), below_(below) {}
+
+    Cycle access(AccessType type, Addr addr, Cycle now) override;
+
+    std::uint64_t traversals() const { return traversals_; }
+
+  private:
+    Cycle extra_;
+    MemPort *below_;
+    std::uint64_t traversals_ = 0;
+};
+
+/**
+ * A complete fetch+data path with its TLBs; what a CPU engine binds a
+ * thread to.
+ */
+struct MemPath
+{
+    MemPort *instr = nullptr;
+    MemPort *data = nullptr;
+    Tlb *itlb = nullptr;
+    Tlb *dtlb = nullptr;
+
+    /** Instruction fetch latency (ITLB + instruction path). */
+    Cycle fetch(Addr addr, Cycle now) const;
+
+    /** Load-to-use latency (DTLB + data path). */
+    Cycle load(Addr addr, Cycle now) const;
+
+    /**
+     * Store latency for state/statistics purposes (pipelines retire
+     * stores through store buffers; callers typically charge 1 cycle).
+     */
+    Cycle store(Addr addr, Cycle now) const;
+};
+
+/** Geometry of every structure in a dyad's memory system (Table I). */
+struct MemSystemConfig
+{
+    CacheConfig l1i;
+    CacheConfig l1d;
+    CacheConfig llc;
+    CacheConfig l0i;
+    CacheConfig l0d;
+    TlbConfig itlb;
+    TlbConfig dtlb;
+    /** DRAM access latency (paper: 50 ns). */
+    double dram_ns = 50.0;
+    Frequency frequency{3.4e9};
+    /** Extra cycles for filler access to the lender's L1s. */
+    Cycle dyad_link_cycles = 3;
+
+    /** Table I values. */
+    static MemSystemConfig makeDefault();
+};
+
+/**
+ * All caches, TLBs, and ports of one dyad, pre-wired for every design
+ * variant; designs pick which paths they drive.
+ */
+class DyadMemorySystem
+{
+  public:
+    explicit DyadMemorySystem(const MemSystemConfig &config);
+
+    const MemSystemConfig &config() const { return config_; }
+
+    /** Master-thread path (also the SMT co-runner's path). */
+    MemPath masterPath();
+
+    /** Duplexity filler path: L0 filters -> link -> lender L1s. */
+    MemPath fillerRemotePath();
+
+    /** MorphCore filler path: master L1s and master TLBs (thrash). */
+    MemPath fillerLocalPath();
+
+    /** Duplexity+replication filler path: private full-size L1s. */
+    MemPath fillerReplicatedPath();
+
+    /** Lender-core path. */
+    MemPath lenderPath();
+
+    Cache &masterL1i() { return master_l1i_->cache(); }
+    Cache &masterL1d() { return master_l1d_->cache(); }
+    Cache &lenderL1i() { return lender_l1i_->cache(); }
+    Cache &lenderL1d() { return lender_l1d_->cache(); }
+    Cache &replL1i() { return repl_l1i_->cache(); }
+    Cache &replL1d() { return repl_l1d_->cache(); }
+    Cache &l0i() { return l0i_->cache(); }
+    Cache &l0d() { return l0d_->cache(); }
+    Cache &llc() { return llc_->cache(); }
+    DramPort &dram() { return *dram_; }
+    LinkPort &dyadLinkI() { return *link_i_; }
+    LinkPort &dyadLinkD() { return *link_d_; }
+
+    Tlb &masterItlb() { return *master_itlb_; }
+    Tlb &masterDtlb() { return *master_dtlb_; }
+    Tlb &fillerItlb() { return *filler_itlb_; }
+    Tlb &fillerDtlb() { return *filler_dtlb_; }
+
+    void resetStats();
+
+  private:
+    MemSystemConfig config_;
+
+    std::unique_ptr<DramPort> dram_;
+    std::unique_ptr<CachePort> llc_;
+    std::unique_ptr<CachePort> master_l1i_;
+    std::unique_ptr<CachePort> master_l1d_;
+    std::unique_ptr<CachePort> lender_l1i_;
+    std::unique_ptr<CachePort> lender_l1d_;
+    std::unique_ptr<CachePort> repl_l1i_;
+    std::unique_ptr<CachePort> repl_l1d_;
+    std::unique_ptr<LinkPort> link_i_;
+    std::unique_ptr<LinkPort> link_d_;
+    std::unique_ptr<CachePort> l0i_;
+    std::unique_ptr<CachePort> l0d_;
+
+    std::unique_ptr<Tlb> master_itlb_;
+    std::unique_ptr<Tlb> master_dtlb_;
+    std::unique_ptr<Tlb> filler_itlb_;
+    std::unique_ptr<Tlb> filler_dtlb_;
+    std::unique_ptr<Tlb> lender_itlb_;
+    std::unique_ptr<Tlb> lender_dtlb_;
+};
+
+} // namespace duplexity
+
+#endif // DPX_MEM_MEMORY_SYSTEM_HH

@@ -1,0 +1,25 @@
+#include "mem/prefetcher.hh"
+
+namespace duplexity
+{
+
+bool
+StreamPrefetcher::access(Addr line)
+{
+    for (Stream &stream : streams_) {
+        if (stream.valid && line == stream.next_line) {
+            stream.next_line = line + 1;
+            ++covered_;
+            return true;
+        }
+    }
+    // Train a new ascending stream on this (miss) line.
+    Stream &victim = streams_[next_victim_];
+    next_victim_ = (next_victim_ + 1) % num_streams;
+    victim.valid = true;
+    victim.next_line = line + 1;
+    ++trained_;
+    return false;
+}
+
+} // namespace duplexity

@@ -1,0 +1,128 @@
+#include "mem/tlb.hh"
+
+#include <bit>
+
+#include "sim/logging.hh"
+
+namespace duplexity
+{
+
+namespace
+{
+
+// Internal organization: both levels are 4-way set associative (the
+// timing behaviour of interest is reach, not associativity detail).
+constexpr std::uint32_t tlb_ways = 4;
+
+} // namespace
+
+double
+TlbStats::missRate() const
+{
+    std::uint64_t n = accesses();
+    return n == 0 ? 0.0
+                  : static_cast<double>(misses) / static_cast<double>(n);
+}
+
+Tlb::Tlb(const TlbConfig &config) : config_(config)
+{
+    panicIfNot(config.entries >= tlb_ways, "TLB too small");
+    panicIfNot(std::has_single_bit(config.page_bytes),
+               "page size must be a power of two");
+    panicIfNot(std::has_single_bit(config.entries / tlb_ways),
+               "TLB sets must be a power of two");
+    if (config.l2_entries > 0) {
+        panicIfNot(std::has_single_bit(config.l2_entries / tlb_ways),
+                   "L2 TLB sets must be a power of two");
+    }
+    page_shift_ = std::countr_zero(config.page_bytes);
+    entries_.assign(config.entries, Entry{});
+    l2_entries_.assign(config.l2_entries, Entry{});
+}
+
+Addr
+Tlb::vpnOf(Addr addr) const
+{
+    return addr >> page_shift_;
+}
+
+bool
+Tlb::lookupLevel(std::vector<Entry> &level, Addr vpn,
+                 std::uint64_t &clock)
+{
+    const std::size_t sets = level.size() / tlb_ways;
+    Entry *base = &level[(vpn & (sets - 1)) * tlb_ways];
+    for (std::uint32_t w = 0; w < tlb_ways; ++w) {
+        if (base[w].valid && base[w].vpn == vpn) {
+            base[w].lru = ++clock;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Tlb::fillLevel(std::vector<Entry> &level, Addr vpn,
+               std::uint64_t &clock)
+{
+    if (level.empty())
+        return;
+    const std::size_t sets = level.size() / tlb_ways;
+    Entry *base = &level[(vpn & (sets - 1)) * tlb_ways];
+    Entry *victim = base;
+    for (std::uint32_t w = 0; w < tlb_ways; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lru < victim->lru)
+            victim = &base[w];
+    }
+    victim->vpn = vpn;
+    victim->valid = true;
+    victim->lru = ++clock;
+}
+
+Cycle
+Tlb::access(Addr addr)
+{
+    const Addr vpn = vpnOf(addr);
+    if (lookupLevel(entries_, vpn, lru_clock_)) {
+        ++stats_.hits;
+        return 0;
+    }
+    if (!l2_entries_.empty() &&
+        lookupLevel(l2_entries_, vpn, lru_clock_)) {
+        ++stats_.l2_hits;
+        fillLevel(entries_, vpn, lru_clock_);
+        return config_.l2_latency;
+    }
+    ++stats_.misses;
+    fillLevel(entries_, vpn, lru_clock_);
+    fillLevel(l2_entries_, vpn, lru_clock_);
+    return config_.walk_latency;
+}
+
+bool
+Tlb::probe(Addr addr) const
+{
+    const Addr vpn = vpnOf(addr);
+    const std::size_t sets = entries_.size() / tlb_ways;
+    const Entry *base = &entries_[(vpn & (sets - 1)) * tlb_ways];
+    for (std::uint32_t w = 0; w < tlb_ways; ++w) {
+        if (base[w].valid && base[w].vpn == vpn)
+            return true;
+    }
+    return false;
+}
+
+void
+Tlb::flush()
+{
+    for (Entry &entry : entries_)
+        entry.valid = false;
+    for (Entry &entry : l2_entries_)
+        entry.valid = false;
+}
+
+} // namespace duplexity

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Translation lookaside buffer model. Table I provisions 64-entry I/D
+ * TLBs; the master-core replicates them per mode so filler-threads
+ * cannot thrash the master-thread's translations.
+ */
+
+#ifndef DPX_MEM_TLB_HH
+#define DPX_MEM_TLB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace duplexity
+{
+
+struct TlbConfig
+{
+    std::uint32_t entries = 64;
+    /** Unified second-level TLB entries (0 disables the L2). */
+    std::uint32_t l2_entries = 1024;
+    std::uint32_t page_bytes = 4096;
+    /** L1-miss/L2-hit refill latency (cycles). */
+    Cycle l2_latency = 8;
+    /** Full page-table-walk penalty on an L2 miss (cycles). */
+    Cycle walk_latency = 40;
+};
+
+struct TlbStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t l2_hits = 0;
+    std::uint64_t misses = 0; // full walks
+
+    std::uint64_t accesses() const { return hits + l2_hits + misses; }
+    double missRate() const;
+};
+
+/** Fully associative, LRU-replaced TLB. */
+class Tlb
+{
+  public:
+    explicit Tlb(const TlbConfig &config);
+
+    const TlbConfig &config() const { return config_; }
+    const TlbStats &stats() const { return stats_; }
+
+    /** @return added latency: 0 on an L1 hit, l2_latency on an L2
+     *  hit, walk_latency on a full walk. */
+    Cycle access(Addr addr);
+
+    bool probe(Addr addr) const;
+
+    void flush();
+
+    void resetStats() { stats_ = TlbStats{}; }
+
+  private:
+    struct Entry
+    {
+        Addr vpn = 0;
+        bool valid = false;
+        std::uint64_t lru = 0;
+    };
+
+    Addr vpnOf(Addr addr) const;
+
+    /** Look up / fill one level; @return true on hit. */
+    static bool lookupLevel(std::vector<Entry> &level, Addr vpn,
+                            std::uint64_t &clock);
+    static void fillLevel(std::vector<Entry> &level, Addr vpn,
+                          std::uint64_t &clock);
+
+    TlbConfig config_;
+    TlbStats stats_;
+    std::uint32_t page_shift_;
+    std::vector<Entry> entries_;
+    std::vector<Entry> l2_entries_;
+    std::uint64_t lru_clock_ = 0;
+};
+
+} // namespace duplexity
+
+#endif // DPX_MEM_TLB_HH

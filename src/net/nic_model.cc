@@ -1,0 +1,59 @@
+#include "net/nic_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace duplexity
+{
+
+NicModel::NicModel(const NicConfig &config) : config_(config)
+{
+    panicIfNot(config.data_rate_gbps > 0.0 &&
+                   config.max_ops_per_sec > 0.0,
+               "bad NIC parameters");
+}
+
+double
+NicModel::iopsUtilization(double ops_per_sec) const
+{
+    panicIfNot(ops_per_sec >= 0.0, "negative op rate");
+    return ops_per_sec / config_.max_ops_per_sec;
+}
+
+double
+NicModel::bandwidthUtilization(double ops_per_sec,
+                               double bytes_per_op) const
+{
+    panicIfNot(bytes_per_op >= 0.0, "negative op size");
+    double bits_per_sec = ops_per_sec * bytes_per_op * 8.0;
+    return bits_per_sec / (config_.data_rate_gbps * 1e9);
+}
+
+double
+NicModel::utilization(double ops_per_sec, double bytes_per_op) const
+{
+    return std::max(iopsUtilization(ops_per_sec),
+                    bandwidthUtilization(ops_per_sec, bytes_per_op));
+}
+
+bool
+NicModel::iopsLimited(double ops_per_sec, double bytes_per_op) const
+{
+    return iopsUtilization(ops_per_sec) >=
+           bandwidthUtilization(ops_per_sec, bytes_per_op);
+}
+
+std::uint32_t
+NicModel::dyadsPerPort(double ops_per_dyad_per_sec,
+                       double bytes_per_op) const
+{
+    double per_dyad =
+        utilization(ops_per_dyad_per_sec, bytes_per_op);
+    if (per_dyad <= 0.0)
+        return ~std::uint32_t(0);
+    return static_cast<std::uint32_t>(std::floor(1.0 / per_dyad));
+}
+
+} // namespace duplexity

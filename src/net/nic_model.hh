@@ -1,0 +1,56 @@
+/**
+ * @file
+ * NIC model for the interconnect case study (Section VIII).
+ *
+ * An FDR 4x InfiniBand port imposes two ceilings: a data rate
+ * (56 Gbit/s) and an I/O-operation rate (90 M ops/s). The paper's
+ * workloads issue single-cache-line remote accesses, so they are
+ * IOPS-limited; Figure 6 reports per-dyad IOPS utilization and finds
+ * the maximum under 7.1 %, i.e. 14 dyads can share one port.
+ */
+
+#ifndef DPX_NET_NIC_MODEL_HH
+#define DPX_NET_NIC_MODEL_HH
+
+#include <cstdint>
+
+namespace duplexity
+{
+
+struct NicConfig
+{
+    double data_rate_gbps = 56.0; // FDR 4x
+    double max_ops_per_sec = 90e6;
+};
+
+class NicModel
+{
+  public:
+    explicit NicModel(const NicConfig &config = NicConfig{});
+
+    const NicConfig &config() const { return config_; }
+
+    /** Fraction of the IOPS ceiling consumed. */
+    double iopsUtilization(double ops_per_sec) const;
+
+    /** Fraction of the data-rate ceiling consumed. */
+    double bandwidthUtilization(double ops_per_sec,
+                                double bytes_per_op) const;
+
+    /** Binding constraint: max of the two utilizations. */
+    double utilization(double ops_per_sec, double bytes_per_op) const;
+
+    /** True when the op stream is limited by IOPS, not bytes. */
+    bool iopsLimited(double ops_per_sec, double bytes_per_op) const;
+
+    /** How many identical dyads can share one port. */
+    std::uint32_t dyadsPerPort(double ops_per_dyad_per_sec,
+                               double bytes_per_op) const;
+
+  private:
+    NicConfig config_;
+};
+
+} // namespace duplexity
+
+#endif // DPX_NET_NIC_MODEL_HH

@@ -1,0 +1,212 @@
+#include "power/area_model.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace duplexity
+{
+
+namespace
+{
+
+// Calibration constants (32 nm, speed-optimized core arrays). The
+// LLC constant is taken directly from Table II; core-array density
+// and the logic-block constants below are calibrated so that the
+// component sums reproduce Table II's core areas.
+constexpr double core_sram_mm2_per_mb = 17.6;
+constexpr double sram_assoc_factor = 0.015; // per extra way
+constexpr double sram_port_factor = 0.30;   // per extra port
+constexpr double cam_mm2_per_bit_port = 5e-6;
+constexpr double llc_mm2_per_mb = 3.9;
+
+// Logic-block areas (mm^2), McPAT-style constants.
+constexpr double frontend_logic = 1.20;       // fetch/decode, 4-wide
+constexpr double ooo_window = 2.45;           // rename + ROB + IQ
+constexpr double prf_area = 1.05;             // 144-entry INT + FP PRF
+constexpr double filler_arf_area = 0.68;      // replicated filler regs
+constexpr double fu_area_ooo = 2.70;          // 4-wide INT/FP/AGU
+constexpr double fu_area_ino = 1.90;          // simpler InO datapath
+constexpr double lsu_area_ooo = 1.00;         // LQ48/SQ32 + ports
+constexpr double lsu_area_ino = 0.20;
+constexpr double misc_area = 0.38;            // bypass/clock/control
+constexpr double ino_frontend_logic = 0.50;   // RR fetch, 8 threads
+constexpr double hsmt_arf_area = 0.45;        // 128-entry shared ARF
+constexpr double smt2_state_area = 0.10;      // 2nd thread state
+constexpr double morph_mux_area = 0.30;       // mode mux/select paths
+constexpr double tournament_pred_area = 0.33; // 3x16K + BTB + RAS
+constexpr double gshare_pred_area = 0.12;     // 8K gshare + small BTB
+
+double
+tlbArea()
+{
+    // 64-entry fully associative CAM, ~100 bits/entry, 2 ports.
+    return camAreaMm2(64, 100, 2);
+}
+
+} // namespace
+
+const char *
+toString(CoreKind kind)
+{
+    switch (kind) {
+      case CoreKind::BaselineOoO:
+        return "Baseline OoO";
+      case CoreKind::Smt2:
+        return "SMT";
+      case CoreKind::MorphCore:
+        return "MorphCore";
+      case CoreKind::MasterCore:
+        return "Master-core";
+      case CoreKind::MasterCoreReplicated:
+        return "Master-core + replication";
+      case CoreKind::LenderCore:
+        return "Lender-core";
+    }
+    return "?";
+}
+
+double
+sramAreaMm2(std::uint64_t bytes, std::uint32_t assoc,
+            std::uint32_t ports)
+{
+    panicIfNot(assoc >= 1 && ports >= 1, "bad SRAM parameters");
+    double mb = static_cast<double>(bytes) / (1024.0 * 1024.0);
+    return mb * core_sram_mm2_per_mb *
+           (1.0 + sram_assoc_factor * (assoc - 1)) *
+           (1.0 + sram_port_factor * (ports - 1));
+}
+
+double
+camAreaMm2(std::uint32_t entries, std::uint32_t entry_bits,
+           std::uint32_t ports)
+{
+    panicIfNot(ports >= 1, "bad CAM parameters");
+    return static_cast<double>(entries) * entry_bits *
+           cam_mm2_per_bit_port *
+           (1.0 + sram_port_factor * (ports - 1));
+}
+
+double
+AreaBreakdown::total() const
+{
+    double sum = 0.0;
+    for (const ComponentArea &part : parts)
+        sum += part.mm2;
+    return sum;
+}
+
+double
+AreaBreakdown::part(const std::string &name) const
+{
+    for (const ComponentArea &component : parts) {
+        if (component.name == name)
+            return component.mm2;
+    }
+    return 0.0;
+}
+
+AreaBreakdown
+coreArea(CoreKind kind)
+{
+    AreaBreakdown bd;
+    auto add = [&bd](const std::string &name, double mm2) {
+        bd.parts.push_back({name, mm2});
+    };
+
+    const double l1_fast = sramAreaMm2(64 * 1024, 2, 2);
+    const double l1_ino = sramAreaMm2(64 * 1024, 2, 1);
+
+    if (kind == CoreKind::LenderCore) {
+        add("l1i", l1_ino);
+        add("l1d", l1_ino);
+        add("tlbs", 2 * tlbArea());
+        add("predictor", gshare_pred_area);
+        add("frontend", ino_frontend_logic);
+        add("arf", hsmt_arf_area);
+        add("fus", fu_area_ino);
+        add("lsu", lsu_area_ino);
+        return bd;
+    }
+
+    // OoO family: baseline components first.
+    add("l1i", l1_fast);
+    add("l1d", l1_fast);
+    add("tlbs", 2 * tlbArea());
+    add("predictor", tournament_pred_area);
+    add("frontend", frontend_logic);
+    add("window", ooo_window);
+    add("prf", prf_area);
+    add("fus", fu_area_ooo);
+    add("lsu", lsu_area_ooo);
+    add("misc", misc_area);
+
+    switch (kind) {
+      case CoreKind::BaselineOoO:
+        break;
+      case CoreKind::Smt2:
+        add("smt-state", smt2_state_area);
+        break;
+      case CoreKind::MorphCore:
+        add("morph-mux", morph_mux_area);
+        break;
+      case CoreKind::MasterCore:
+        add("morph-mux", morph_mux_area);
+        add("filler-tlbs", 2 * tlbArea());
+        add("filler-predictor", gshare_pred_area);
+        add("l0i", sramAreaMm2(2 * 1024, 2, 1));
+        add("l0d", sramAreaMm2(4 * 1024, 2, 1));
+        break;
+      case CoreKind::MasterCoreReplicated:
+        add("morph-mux", morph_mux_area);
+        add("filler-tlbs", 2 * tlbArea());
+        add("filler-predictor", tournament_pred_area);
+        add("repl-l1i", l1_fast);
+        add("repl-l1d", l1_fast);
+        add("repl-arf", filler_arf_area);
+        break;
+      default:
+        panic("unhandled core kind");
+    }
+    return bd;
+}
+
+double
+coreFrequencyGhz(CoreKind kind)
+{
+    // Cycle-time penalties from extra muxing (Section V: ~20 gates
+    // per pipeline stage, ~4% for the master-core's mode muxes).
+    constexpr double base_ghz = 3.4;
+    switch (kind) {
+      case CoreKind::BaselineOoO:
+      case CoreKind::LenderCore:
+        return base_ghz;
+      case CoreKind::Smt2:
+        return base_ghz * (1.0 - 0.015);
+      case CoreKind::MorphCore:
+        return base_ghz * (1.0 - 0.030);
+      case CoreKind::MasterCore:
+      case CoreKind::MasterCoreReplicated:
+        return base_ghz * (1.0 - 0.044);
+    }
+    return base_ghz;
+}
+
+double
+llcAreaPerMb()
+{
+    return llc_mm2_per_mb;
+}
+
+double
+pairedChipAreaMm2(CoreKind kind, double llc_mb)
+{
+    double area = coreArea(kind).total() + llc_mb * llcAreaPerMb();
+    // Every alternative is paired with a throughput-oriented HSMT
+    // core matching the lender-core; Duplexity's pairing *is* its
+    // lender, so the rule is uniform.
+    area += coreArea(CoreKind::LenderCore).total();
+    return area;
+}
+
+} // namespace duplexity

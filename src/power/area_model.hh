@@ -1,0 +1,86 @@
+/**
+ * @file
+ * CACTI/McPAT-lite area and frequency model at 32 nm.
+ *
+ * The paper evaluates area, frequency, and power with McPAT (with the
+ * fixes of Xi et al.) and CACTI 6.0; neither tool can ship here, so
+ * this module provides an analytic component model calibrated to
+ * reproduce Table II:
+ *
+ *   Baseline OoO            12.1 mm^2   3.40 GHz
+ *   SMT                     12.2 mm^2   3.35 GHz
+ *   MorphCore               12.4 mm^2   3.30 GHz
+ *   Master-core             12.7 mm^2   3.25 GHz
+ *   Master-core+replication 16.7 mm^2   3.25 GHz
+ *   Lender-core              5.5 mm^2   3.40 GHz
+ *   LLC                      3.9 mm^2/MB
+ *
+ * and the Section V overhead statements (master-core ~5 % area over
+ * baseline, ~4 % cycle-time penalty from mode muxes, replicated
+ * variant ~38 % area overhead).
+ */
+
+#ifndef DPX_POWER_AREA_MODEL_HH
+#define DPX_POWER_AREA_MODEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace duplexity
+{
+
+/** The core variants of Table II. */
+enum class CoreKind
+{
+    BaselineOoO,
+    Smt2,
+    MorphCore,
+    MasterCore,
+    MasterCoreReplicated,
+    LenderCore,
+};
+
+const char *toString(CoreKind kind);
+
+/** CACTI-lite: area of an SRAM array in mm^2 at 32 nm. */
+double sramAreaMm2(std::uint64_t bytes, std::uint32_t assoc,
+                   std::uint32_t ports);
+
+/** CAM-heavy scheduling structure (IQ/ROB/LSQ) area. */
+double camAreaMm2(std::uint32_t entries, std::uint32_t entry_bits,
+                  std::uint32_t ports);
+
+struct ComponentArea
+{
+    std::string name;
+    double mm2;
+};
+
+struct AreaBreakdown
+{
+    std::vector<ComponentArea> parts;
+
+    double total() const;
+    double part(const std::string &name) const;
+};
+
+/** Component-level area of one core variant. */
+AreaBreakdown coreArea(CoreKind kind);
+
+/** Clock frequency of one core variant (GHz). */
+double coreFrequencyGhz(CoreKind kind);
+
+/** LLC area per megabyte (mm^2/MB). */
+double llcAreaPerMb();
+
+/**
+ * Chip-level area for the paper's pairing rule (Section VI-B): each
+ * master-core alternative is paired with a lender-style HSMT
+ * throughput core and @p llc_mb of LLC.
+ */
+double pairedChipAreaMm2(CoreKind kind, double llc_mb = 2.0);
+
+} // namespace duplexity
+
+#endif // DPX_POWER_AREA_MODEL_HH

@@ -1,0 +1,56 @@
+#include "power/energy_model.hh"
+
+#include "sim/logging.hh"
+
+namespace duplexity
+{
+
+EnergyModel::EnergyModel(const EnergyModelConfig &config)
+    : config_(config)
+{
+}
+
+double
+EnergyModel::totalJoules(double area_mm2,
+                         const ActivityCounters &counters) const
+{
+    panicIfNot(counters.seconds >= 0.0, "negative interval");
+    double static_j =
+        area_mm2 * config_.static_w_per_mm2 * counters.seconds;
+    double dynamic_nj =
+        config_.ooo_op_nj * static_cast<double>(counters.ooo_ops) +
+        config_.ino_op_nj * static_cast<double>(counters.ino_ops) +
+        config_.l1_access_nj *
+            static_cast<double>(counters.l1_accesses) +
+        config_.llc_access_nj *
+            static_cast<double>(counters.llc_accesses) +
+        config_.dram_access_nj *
+            static_cast<double>(counters.dram_accesses) +
+        config_.l0_access_nj *
+            static_cast<double>(counters.l0_accesses) +
+        config_.link_nj *
+            static_cast<double>(counters.link_traversals);
+    return static_j + dynamic_nj * 1e-9;
+}
+
+double
+EnergyModel::averageWatts(double area_mm2,
+                          const ActivityCounters &counters) const
+{
+    if (counters.seconds <= 0.0)
+        return 0.0;
+    return totalJoules(area_mm2, counters) / counters.seconds;
+}
+
+double
+EnergyModel::energyPerOpNj(double area_mm2,
+                           const ActivityCounters &counters) const
+{
+    std::uint64_t ops = counters.totalOps();
+    if (ops == 0)
+        return 0.0;
+    return totalJoules(area_mm2, counters) * 1e9 /
+           static_cast<double>(ops);
+}
+
+} // namespace duplexity

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * McPAT-lite energy model: static power proportional to area plus
+ * per-event dynamic energies. Figure 5(c) divides design power by
+ * retired instructions per cycle, so only relative per-design energy
+ * matters; constants are representative 32 nm values.
+ */
+
+#ifndef DPX_POWER_ENERGY_MODEL_HH
+#define DPX_POWER_ENERGY_MODEL_HH
+
+#include <cstdint>
+
+#include "power/area_model.hh"
+
+namespace duplexity
+{
+
+/** Event counts accumulated over one simulated interval. */
+struct ActivityCounters
+{
+    /** Wall-clock duration of the interval (seconds). */
+    double seconds = 0.0;
+    /** Micro-ops retired through the OoO datapath. */
+    std::uint64_t ooo_ops = 0;
+    /** Micro-ops retired through the InO/HSMT datapath. */
+    std::uint64_t ino_ops = 0;
+    std::uint64_t l1_accesses = 0;
+    std::uint64_t llc_accesses = 0;
+    std::uint64_t dram_accesses = 0;
+    std::uint64_t l0_accesses = 0;
+    std::uint64_t link_traversals = 0;
+
+    std::uint64_t totalOps() const { return ooo_ops + ino_ops; }
+};
+
+struct EnergyModelConfig
+{
+    double static_w_per_mm2 = 0.30;
+    double ooo_op_nj = 0.65;
+    double ino_op_nj = 0.28;
+    double l1_access_nj = 0.10;
+    double llc_access_nj = 0.55;
+    double dram_access_nj = 18.0;
+    double l0_access_nj = 0.03;
+    double link_nj = 0.05;
+};
+
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(
+        const EnergyModelConfig &config = EnergyModelConfig{});
+
+    /** Total energy (joules) for @p area_mm2 of silicon doing
+     *  @p counters worth of work. */
+    double totalJoules(double area_mm2,
+                       const ActivityCounters &counters) const;
+
+    /** Average power in watts. */
+    double averageWatts(double area_mm2,
+                        const ActivityCounters &counters) const;
+
+    /** Energy per retired micro-op in nanojoules (Figure 5(c)). */
+    double energyPerOpNj(double area_mm2,
+                         const ActivityCounters &counters) const;
+
+    const EnergyModelConfig &config() const { return config_; }
+
+  private:
+    EnergyModelConfig config_;
+};
+
+} // namespace duplexity
+
+#endif // DPX_POWER_ENERGY_MODEL_HH

@@ -1,0 +1,107 @@
+#include "queueing/analytic.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace duplexity
+{
+
+double
+closedLoopUtilization(double compute_us, double stall_us)
+{
+    panicIfNot(compute_us >= 0.0 && stall_us >= 0.0,
+               "negative durations");
+    if (compute_us == 0.0)
+        return 0.0;
+    return compute_us / (compute_us + stall_us);
+}
+
+double
+meanIdlePeriodUs(double service_rate_qps, double load)
+{
+    panicIfNot(service_rate_qps > 0.0 && load > 0.0 && load < 1.0,
+               "bad M/G/1 parameters");
+    // Poisson arrivals at rate lambda = load * mu are memoryless, so
+    // an idle period is the residual interarrival time: Exp(lambda).
+    double lambda_per_us = service_rate_qps * load / 1e6;
+    return 1.0 / lambda_per_us;
+}
+
+double
+idlePeriodCdf(double service_rate_qps, double load, double t_us)
+{
+    if (t_us <= 0.0)
+        return 0.0;
+    return 1.0 - std::exp(-t_us / meanIdlePeriodUs(service_rate_qps,
+                                                   load));
+}
+
+double
+readyThreadsProbability(std::uint32_t n, double p_stall,
+                        std::uint32_t k)
+{
+    panicIfNot(p_stall >= 0.0 && p_stall <= 1.0, "bad stall prob");
+    if (k == 0)
+        return 1.0;
+    if (n < k)
+        return 0.0;
+    // P(ready >= k), ready ~ Binomial(n, 1 - p_stall); evaluated via
+    // a numerically stable recurrence over the pmf.
+    const double q = 1.0 - p_stall;
+    // pmf(0) = p_stall^n computed in log space.
+    double log_pmf = static_cast<double>(n) *
+                     std::log(std::max(p_stall, 1e-300));
+    double cdf_below_k = 0.0;
+    double pmf = std::exp(log_pmf);
+    for (std::uint32_t i = 0; i < k; ++i) {
+        cdf_below_k += pmf;
+        // pmf(i+1) = pmf(i) * (n-i)/(i+1) * q/p.
+        if (p_stall <= 0.0) {
+            pmf = 0.0;
+        } else {
+            pmf *= static_cast<double>(n - i) /
+                   static_cast<double>(i + 1) * (q / p_stall);
+        }
+    }
+    if (p_stall <= 0.0)
+        return 1.0; // every context always ready
+    double prob = 1.0 - cdf_below_k;
+    return prob < 0.0 ? 0.0 : (prob > 1.0 ? 1.0 : prob);
+}
+
+std::uint32_t
+virtualContextsNeeded(double p_stall, std::uint32_t k, double target)
+{
+    panicIfNot(target > 0.0 && target < 1.0, "bad target probability");
+    for (std::uint32_t n = k; n < 4096; ++n) {
+        if (readyThreadsProbability(n, p_stall, k) >= target)
+            return n;
+    }
+    return 4096;
+}
+
+double
+mm1MeanSojourn(double lambda, double mu)
+{
+    panicIfNot(lambda > 0.0 && mu > lambda, "unstable M/M/1");
+    return 1.0 / (mu - lambda);
+}
+
+double
+mm1SojournQuantile(double lambda, double mu, double p)
+{
+    panicIfNot(p > 0.0 && p < 1.0, "bad quantile");
+    // Sojourn time is exponential with rate (mu - lambda).
+    return -std::log(1.0 - p) / (mu - lambda);
+}
+
+double
+mm1MeanInSystem(double lambda, double mu)
+{
+    double rho = lambda / mu;
+    panicIfNot(rho < 1.0, "unstable M/M/1");
+    return rho / (1.0 - rho);
+}
+
+} // namespace duplexity

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Closed-form models used throughout the paper's motivation section:
+ *
+ *  - Figure 1(a): closed-loop utilization when computation alternates
+ *    with µs-scale stalls,
+ *  - Figure 1(b): the idle-period law of M/G/1 queues — idle periods
+ *    are exponential with the arrival rate, independent of the
+ *    service distribution (memoryless arrivals),
+ *  - Figure 2(b): the binomial model for the number of ready virtual
+ *    contexts needed to keep 8 physical contexts busy,
+ *  - M/M/1 closed forms used to validate the queueing simulator.
+ */
+
+#ifndef DPX_QUEUEING_ANALYTIC_HH
+#define DPX_QUEUEING_ANALYTIC_HH
+
+#include <cstdint>
+
+namespace duplexity
+{
+
+/**
+ * Utilization of a single-job closed-loop system alternating between
+ * @p compute_us of work and @p stall_us of stall (Figure 1(a)).
+ */
+double closedLoopUtilization(double compute_us, double stall_us);
+
+/** Mean idle-period duration (µs) of an M/G/1 server with capacity
+ *  @p service_rate_qps running at fractional @p load. */
+double meanIdlePeriodUs(double service_rate_qps, double load);
+
+/** CDF of the M/G/1 idle-period duration at @p t_us microseconds. */
+double idlePeriodCdf(double service_rate_qps, double load,
+                     double t_us);
+
+/**
+ * P(at least @p k of @p n virtual contexts are ready) when each is
+ * independently stalled with probability @p p_stall (Figure 2(b)).
+ */
+double readyThreadsProbability(std::uint32_t n, double p_stall,
+                               std::uint32_t k);
+
+/** Smallest n with readyThreadsProbability(n, p, k) >= target. */
+std::uint32_t virtualContextsNeeded(double p_stall, std::uint32_t k,
+                                    double target);
+
+/** M/M/1 mean sojourn time (seconds). */
+double mm1MeanSojourn(double lambda, double mu);
+
+/** M/M/1 p-quantile of the sojourn time (seconds). */
+double mm1SojournQuantile(double lambda, double mu, double p);
+
+/** M/M/1 mean number in system. */
+double mm1MeanInSystem(double lambda, double mu);
+
+} // namespace duplexity
+
+#endif // DPX_QUEUEING_ANALYTIC_HH

@@ -1,0 +1,158 @@
+#include "queueing/queue_sim.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace duplexity
+{
+
+namespace
+{
+
+/** Outcome of one simulated request. */
+struct RequestOutcome
+{
+    double wait = 0.0;
+    double service = 0.0;
+    double idle_before = -1.0; // server idle gap ending here, if any
+};
+
+/** Per-run mutable state shared by the two engine variants. */
+struct SimState
+{
+    Rng arrival_rng;
+    Rng service_rng;
+    Rng reservoir_rng;
+    double now = 0.0; // last arrival time
+};
+
+/** Single-server FCFS via the Lindley recursion. */
+struct Lindley
+{
+    double last_departure = 0.0;
+    double busy_time = 0.0;
+
+    RequestOutcome
+    step(const QueueSimConfig &cfg, SimState &st)
+    {
+        RequestOutcome out;
+        double inter = cfg.interarrival->sample(st.arrival_rng);
+        out.service = cfg.service->sample(st.service_rng);
+        st.now += inter;
+        if (st.now > last_departure)
+            out.idle_before = st.now - last_departure;
+        double start = std::max(st.now, last_departure);
+        out.wait = start - st.now;
+        last_departure = start + out.service;
+        busy_time += out.service;
+        return out;
+    }
+};
+
+/** FCFS multi-server: each arrival takes the earliest-free server. */
+struct MultiServer
+{
+    std::vector<double> free_at;
+    double busy_time = 0.0;
+
+    explicit MultiServer(std::uint32_t k) : free_at(k, 0.0) {}
+
+    RequestOutcome
+    step(const QueueSimConfig &cfg, SimState &st)
+    {
+        RequestOutcome out;
+        double inter = cfg.interarrival->sample(st.arrival_rng);
+        out.service = cfg.service->sample(st.service_rng);
+        st.now += inter;
+        auto it = std::min_element(free_at.begin(), free_at.end());
+        if (st.now > *it)
+            out.idle_before = st.now - *it;
+        double start = std::max(st.now, *it);
+        out.wait = start - st.now;
+        *it = start + out.service;
+        busy_time += out.service;
+        return out;
+    }
+};
+
+} // namespace
+
+QueueSimResult
+runQueueSim(const QueueSimConfig &config)
+{
+    panicIfNot(config.interarrival && config.service,
+               "queue sim needs interarrival and service dists");
+    panicIfNot(config.servers >= 1, "need at least one server");
+
+    QueueSimResult result;
+    SimState st;
+    Rng root(config.seed);
+    st.arrival_rng = root.fork(1);
+    st.service_rng = root.fork(2);
+    st.reservoir_rng = root.fork(3);
+
+    BatchMeans convergence(config.relative_error, config.z_score,
+                           config.min_batches);
+
+    Lindley single;
+    MultiServer multi(config.servers);
+    const bool use_lindley = config.servers == 1;
+
+    auto step = [&]() {
+        return use_lindley ? single.step(config, st)
+                           : multi.step(config, st);
+    };
+
+    for (std::uint64_t i = 0; i < config.warmup_requests; ++i)
+        step();
+
+    // BigHouse-style stopping rule: independent per-batch p99
+    // estimates must agree to within the relative-error target.
+    SampleStats batch(config.batch_size);
+    for (std::uint64_t b = 0; b < config.max_batches; ++b) {
+        batch.reset();
+        for (std::uint64_t i = 0; i < config.batch_size; ++i) {
+            RequestOutcome out = step();
+            double sojourn = out.wait + out.service;
+            batch.add(sojourn);
+            result.sojourn.add(sojourn, st.reservoir_rng.next());
+            result.wait.add(out.wait, st.reservoir_rng.next());
+            if (out.idle_before >= 0.0) {
+                result.idle_periods.add(out.idle_before,
+                                        st.reservoir_rng.next());
+            }
+            ++result.completed;
+        }
+        convergence.addBatch(batch.percentile(0.99));
+        if (convergence.converged())
+            break;
+    }
+    result.converged = convergence.converged();
+
+    double horizon = st.now;
+    double busy = use_lindley ? single.busy_time : multi.busy_time;
+    result.utilization =
+        horizon > 0.0
+            ? busy / (horizon * static_cast<double>(config.servers))
+            : 0.0;
+    return result;
+}
+
+QueueSimConfig
+makeMg1(DistributionPtr service, double load, std::uint64_t seed)
+{
+    panicIfNot(service != nullptr, "null service distribution");
+    panicIfNot(load > 0.0 && load < 1.0, "load must be in (0,1)");
+    QueueSimConfig cfg;
+    double mu = 1.0 / service->mean();
+    cfg.interarrival = makeExponential(1.0 / (load * mu));
+    cfg.service = std::move(service);
+    cfg.servers = 1;
+    cfg.seed = seed;
+    return cfg;
+}
+
+} // namespace duplexity

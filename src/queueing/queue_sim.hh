@@ -1,0 +1,72 @@
+/**
+ * @file
+ * BigHouse-lite: a request-granularity queueing simulator.
+ *
+ * The paper's tail-latency methodology (Section V): measure IPC (and
+ * hence per-request service times) in the cycle-level simulator, then
+ * simulate an FCFS M/G/1 queue at request granularity until the 95 %
+ * confidence interval of the reported statistic is within 5 % error.
+ * This module implements that queue (G/G/k generally; a fast Lindley
+ * recursion for the k = 1 FCFS case) plus the convergence machinery.
+ */
+
+#ifndef DPX_QUEUEING_QUEUE_SIM_HH
+#define DPX_QUEUEING_QUEUE_SIM_HH
+
+#include <cstdint>
+
+#include "sim/distributions.hh"
+#include "sim/stats.hh"
+
+namespace duplexity
+{
+
+struct QueueSimConfig
+{
+    /** Interarrival-time distribution (seconds). */
+    DistributionPtr interarrival;
+    /** Service-time distribution (seconds). */
+    DistributionPtr service;
+    std::uint32_t servers = 1;
+
+    std::uint64_t warmup_requests = 2000;
+    std::uint64_t batch_size = 20000;
+    std::uint64_t min_batches = 8;
+    std::uint64_t max_batches = 200;
+    /** Convergence target: CI half-width / mean of per-batch p99. */
+    double relative_error = 0.05;
+    double z_score = 1.96;
+
+    std::uint64_t seed = 1;
+};
+
+struct QueueSimResult
+{
+    /** End-to-end (queueing + service) latencies, seconds. */
+    SampleStats sojourn;
+    /** Queueing delay only, seconds. */
+    SampleStats wait;
+    /** Server idle-period durations, seconds. */
+    SampleStats idle_periods;
+    /** Fraction of time servers were busy. */
+    double utilization = 0.0;
+    std::uint64_t completed = 0;
+    bool converged = false;
+
+    double p99Sojourn() const { return sojourn.percentile(0.99); }
+    double meanSojourn() const { return sojourn.mean(); }
+};
+
+/** Run the queueing simulation to convergence (or max_batches). */
+QueueSimResult runQueueSim(const QueueSimConfig &config);
+
+/**
+ * Convenience: Poisson arrivals at @p load fraction of the capacity
+ * implied by @p service (single server).
+ */
+QueueSimConfig makeMg1(DistributionPtr service, double load,
+                       std::uint64_t seed = 1);
+
+} // namespace duplexity
+
+#endif // DPX_QUEUEING_QUEUE_SIM_HH

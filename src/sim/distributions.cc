@@ -1,0 +1,248 @@
+#include "sim/distributions.hh"
+
+#include <cmath>
+#include <numeric>
+
+#include "sim/logging.hh"
+
+namespace duplexity
+{
+
+DeterministicDist::DeterministicDist(double value) : value_(value)
+{
+    panicIfNot(value >= 0.0, "deterministic value must be >= 0");
+}
+
+double
+DeterministicDist::sample(Rng &) const
+{
+    return value_;
+}
+
+double
+DeterministicDist::mean() const
+{
+    return value_;
+}
+
+ExponentialDist::ExponentialDist(double mean) : mean_(mean)
+{
+    panicIfNot(mean > 0.0, "exponential mean must be > 0");
+}
+
+double
+ExponentialDist::sample(Rng &rng) const
+{
+    return rng.exponential(mean_);
+}
+
+double
+ExponentialDist::mean() const
+{
+    return mean_;
+}
+
+UniformDist::UniformDist(double lo, double hi) : lo_(lo), hi_(hi)
+{
+    panicIfNot(lo >= 0.0 && hi >= lo, "bad uniform bounds");
+}
+
+double
+UniformDist::sample(Rng &rng) const
+{
+    return rng.uniform(lo_, hi_);
+}
+
+double
+UniformDist::mean() const
+{
+    return 0.5 * (lo_ + hi_);
+}
+
+LogNormalDist::LogNormalDist(double mean, double sigma)
+    : sigma_(sigma), mean_(mean)
+{
+    panicIfNot(mean > 0.0 && sigma >= 0.0, "bad lognormal parameters");
+    // E[X] = exp(mu + sigma^2/2)  =>  mu = ln(mean) - sigma^2/2.
+    mu_ = std::log(mean) - 0.5 * sigma * sigma;
+}
+
+double
+LogNormalDist::sample(Rng &rng) const
+{
+    return std::exp(rng.normal(mu_, sigma_));
+}
+
+double
+LogNormalDist::mean() const
+{
+    return mean_;
+}
+
+BoundedParetoDist::BoundedParetoDist(double lo, double hi, double alpha)
+    : lo_(lo), hi_(hi), alpha_(alpha)
+{
+    panicIfNot(lo > 0.0 && hi > lo && alpha > 0.0,
+               "bad bounded-pareto parameters");
+}
+
+double
+BoundedParetoDist::sample(Rng &rng) const
+{
+    // Inverse-CDF of the bounded Pareto.
+    double u = rng.uniform();
+    double la = std::pow(lo_, alpha_);
+    double ha = std::pow(hi_, alpha_);
+    return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha_);
+}
+
+double
+BoundedParetoDist::mean() const
+{
+    if (alpha_ == 1.0) {
+        return lo_ * hi_ / (hi_ - lo_) * std::log(hi_ / lo_);
+    }
+    double la = std::pow(lo_, alpha_);
+    double ha = std::pow(hi_, alpha_);
+    return la / (1.0 - la / ha) * (alpha_ / (alpha_ - 1.0)) *
+           (1.0 / std::pow(lo_, alpha_ - 1.0) -
+            1.0 / std::pow(hi_, alpha_ - 1.0));
+}
+
+EmpiricalDist::EmpiricalDist(std::vector<double> samples)
+    : samples_(std::move(samples))
+{
+    panicIfNot(!samples_.empty(), "empirical distribution needs samples");
+    mean_ = std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+            static_cast<double>(samples_.size());
+}
+
+double
+EmpiricalDist::sample(Rng &rng) const
+{
+    return samples_[rng.below(samples_.size())];
+}
+
+double
+EmpiricalDist::mean() const
+{
+    return mean_;
+}
+
+MixtureDist::MixtureDist(
+    std::vector<std::pair<double, DistributionPtr>> parts)
+    : parts_(std::move(parts)), total_weight_(0.0)
+{
+    panicIfNot(!parts_.empty(), "mixture needs components");
+    for (const auto &[w, dist] : parts_) {
+        panicIfNot(w > 0.0 && dist != nullptr, "bad mixture component");
+        total_weight_ += w;
+    }
+}
+
+double
+MixtureDist::sample(Rng &rng) const
+{
+    double pick = rng.uniform(0.0, total_weight_);
+    for (const auto &[w, dist] : parts_) {
+        if (pick < w)
+            return dist->sample(rng);
+        pick -= w;
+    }
+    return parts_.back().second->sample(rng);
+}
+
+double
+MixtureDist::mean() const
+{
+    double m = 0.0;
+    for (const auto &[w, dist] : parts_)
+        m += w * dist->mean();
+    return m / total_weight_;
+}
+
+ScaledDist::ScaledDist(DistributionPtr base, double factor)
+    : base_(std::move(base)), factor_(factor)
+{
+    panicIfNot(base_ != nullptr && factor >= 0.0, "bad scaled dist");
+}
+
+double
+ScaledDist::sample(Rng &rng) const
+{
+    return factor_ * base_->sample(rng);
+}
+
+double
+ScaledDist::mean() const
+{
+    return factor_ * base_->mean();
+}
+
+SumDist::SumDist(DistributionPtr a, DistributionPtr b)
+    : a_(std::move(a)), b_(std::move(b))
+{
+    panicIfNot(a_ != nullptr && b_ != nullptr, "bad sum dist");
+}
+
+double
+SumDist::sample(Rng &rng) const
+{
+    return a_->sample(rng) + b_->sample(rng);
+}
+
+double
+SumDist::mean() const
+{
+    return a_->mean() + b_->mean();
+}
+
+DistributionPtr
+makeDeterministic(double value)
+{
+    return std::make_shared<DeterministicDist>(value);
+}
+
+DistributionPtr
+makeExponential(double mean)
+{
+    return std::make_shared<ExponentialDist>(mean);
+}
+
+DistributionPtr
+makeUniform(double lo, double hi)
+{
+    return std::make_shared<UniformDist>(lo, hi);
+}
+
+DistributionPtr
+makeLogNormal(double mean, double sigma)
+{
+    return std::make_shared<LogNormalDist>(mean, sigma);
+}
+
+DistributionPtr
+makeBoundedPareto(double lo, double hi, double alpha)
+{
+    return std::make_shared<BoundedParetoDist>(lo, hi, alpha);
+}
+
+DistributionPtr
+makeEmpirical(std::vector<double> samples)
+{
+    return std::make_shared<EmpiricalDist>(std::move(samples));
+}
+
+DistributionPtr
+makeScaled(DistributionPtr base, double factor)
+{
+    return std::make_shared<ScaledDist>(std::move(base), factor);
+}
+
+DistributionPtr
+makeSum(DistributionPtr a, DistributionPtr b)
+{
+    return std::make_shared<SumDist>(std::move(a), std::move(b));
+}
+
+} // namespace duplexity

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Random-variate distributions for service times, stall durations, and
+ * interarrival processes.
+ *
+ * The paper's methodology (Section V) draws µs-scale stall durations
+ * from exponential distributions, measures empirical service-time
+ * distributions, and scales them by simulated IPC slowdowns; cloud
+ * service times are heavy-tailed. All of those shapes live here behind
+ * one polymorphic interface so the queueing simulator and the workload
+ * models can mix them freely.
+ */
+
+#ifndef DPX_SIM_DISTRIBUTIONS_HH
+#define DPX_SIM_DISTRIBUTIONS_HH
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/rng.hh"
+
+namespace duplexity
+{
+
+/** A sampleable non-negative real-valued distribution. */
+class Distribution
+{
+  public:
+    virtual ~Distribution() = default;
+
+    /** Draw one variate using @p rng. */
+    virtual double sample(Rng &rng) const = 0;
+
+    /** Analytic (or configured) mean of the distribution. */
+    virtual double mean() const = 0;
+};
+
+using DistributionPtr = std::shared_ptr<const Distribution>;
+
+/** Point mass at a constant value. */
+class DeterministicDist : public Distribution
+{
+  public:
+    explicit DeterministicDist(double value);
+    double sample(Rng &rng) const override;
+    double mean() const override;
+
+  private:
+    double value_;
+};
+
+/** Exponential distribution with the given mean. */
+class ExponentialDist : public Distribution
+{
+  public:
+    explicit ExponentialDist(double mean);
+    double sample(Rng &rng) const override;
+    double mean() const override;
+
+  private:
+    double mean_;
+};
+
+/** Uniform distribution on [lo, hi]. */
+class UniformDist : public Distribution
+{
+  public:
+    UniformDist(double lo, double hi);
+    double sample(Rng &rng) const override;
+    double mean() const override;
+
+  private:
+    double lo_;
+    double hi_;
+};
+
+/** Log-normal distribution parameterized by its mean and sigma. */
+class LogNormalDist : public Distribution
+{
+  public:
+    /**
+     * @param mean   desired arithmetic mean of the variates
+     * @param sigma  shape (stddev of the underlying normal)
+     */
+    LogNormalDist(double mean, double sigma);
+    double sample(Rng &rng) const override;
+    double mean() const override;
+
+  private:
+    double mu_;
+    double sigma_;
+    double mean_;
+};
+
+/**
+ * Bounded Pareto distribution: the canonical heavy-tailed service-time
+ * model for cloud workloads [Harchol-Balter].
+ */
+class BoundedParetoDist : public Distribution
+{
+  public:
+    BoundedParetoDist(double lo, double hi, double alpha);
+    double sample(Rng &rng) const override;
+    double mean() const override;
+
+  private:
+    double lo_;
+    double hi_;
+    double alpha_;
+};
+
+/**
+ * Empirical distribution sampling uniformly from recorded values —
+ * the BigHouse way of replaying a measured service-time population.
+ */
+class EmpiricalDist : public Distribution
+{
+  public:
+    explicit EmpiricalDist(std::vector<double> samples);
+    double sample(Rng &rng) const override;
+    double mean() const override;
+
+    std::size_t size() const { return samples_.size(); }
+
+  private:
+    std::vector<double> samples_;
+    double mean_;
+};
+
+/** Mixture of distributions with given weights. */
+class MixtureDist : public Distribution
+{
+  public:
+    MixtureDist(std::vector<std::pair<double, DistributionPtr>> parts);
+    double sample(Rng &rng) const override;
+    double mean() const override;
+
+  private:
+    std::vector<std::pair<double, DistributionPtr>> parts_;
+    double total_weight_;
+};
+
+/**
+ * An existing distribution with every variate multiplied by a constant
+ * factor — used to apply IPC-slowdown scaling to measured service
+ * distributions, per the paper's methodology.
+ */
+class ScaledDist : public Distribution
+{
+  public:
+    ScaledDist(DistributionPtr base, double factor);
+    double sample(Rng &rng) const override;
+    double mean() const override;
+
+  private:
+    DistributionPtr base_;
+    double factor_;
+};
+
+/** Sum of two independent distributions. */
+class SumDist : public Distribution
+{
+  public:
+    SumDist(DistributionPtr a, DistributionPtr b);
+    double sample(Rng &rng) const override;
+    double mean() const override;
+
+  private:
+    DistributionPtr a_;
+    DistributionPtr b_;
+};
+
+/** Convenience factories. */
+DistributionPtr makeDeterministic(double value);
+DistributionPtr makeExponential(double mean);
+DistributionPtr makeUniform(double lo, double hi);
+DistributionPtr makeLogNormal(double mean, double sigma);
+DistributionPtr makeBoundedPareto(double lo, double hi, double alpha);
+DistributionPtr makeEmpirical(std::vector<double> samples);
+DistributionPtr makeScaled(DistributionPtr base, double factor);
+DistributionPtr makeSum(DistributionPtr a, DistributionPtr b);
+
+} // namespace duplexity
+
+#endif // DPX_SIM_DISTRIBUTIONS_HH

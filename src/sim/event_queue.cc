@@ -1,0 +1,56 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace duplexity
+{
+
+void
+EventQueue::scheduleAt(Seconds when, Handler fn)
+{
+    panicIfNot(when >= now_, "scheduling an event in the past");
+    events_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+void
+EventQueue::scheduleAfter(Seconds delay, Handler fn)
+{
+    panicIfNot(delay >= 0.0, "negative event delay");
+    scheduleAt(now_ + delay, std::move(fn));
+}
+
+bool
+EventQueue::step()
+{
+    if (events_.empty())
+        return false;
+    // Copy out before pop: the handler may schedule new events.
+    Event ev = events_.top();
+    events_.pop();
+    now_ = ev.when;
+    ev.fn();
+    return true;
+}
+
+std::uint64_t
+EventQueue::run(Seconds until, std::uint64_t max_events)
+{
+    std::uint64_t executed = 0;
+    while (executed < max_events && !events_.empty() &&
+           events_.top().when <= until) {
+        step();
+        ++executed;
+    }
+    return executed;
+}
+
+void
+EventQueue::clear()
+{
+    while (!events_.empty())
+        events_.pop();
+}
+
+} // namespace duplexity

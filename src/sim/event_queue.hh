@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Discrete-event simulation kernel used by the queueing (BigHouse-lite)
+ * layer and available to any time-driven model.
+ *
+ * Events at equal timestamps fire in scheduling order (a stable tie
+ * break), which keeps runs deterministic.
+ */
+
+#ifndef DPX_SIM_EVENT_QUEUE_HH
+#define DPX_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace duplexity
+{
+
+/** A calendar of timestamped callbacks. */
+class EventQueue
+{
+  public:
+    using Handler = std::function<void()>;
+
+    EventQueue() = default;
+
+    /** Current simulation time (seconds). */
+    Seconds now() const { return now_; }
+
+    /** Schedule @p fn at absolute time @p when (>= now). */
+    void scheduleAt(Seconds when, Handler fn);
+
+    /** Schedule @p fn @p delay seconds from now. */
+    void scheduleAfter(Seconds delay, Handler fn);
+
+    /** True when no events remain. */
+    bool empty() const { return events_.empty(); }
+
+    std::size_t size() const { return events_.size(); }
+
+    /** Pop and run the single earliest event. @return false if empty. */
+    bool step();
+
+    /**
+     * Run until the queue drains, @p until passes, or @p max_events
+     * fire; returns the number of events executed.
+     */
+    std::uint64_t run(Seconds until = 1e30,
+                      std::uint64_t max_events = ~std::uint64_t(0));
+
+    /** Drop all pending events (time is preserved). */
+    void clear();
+
+  private:
+    struct Event
+    {
+        Seconds when;
+        std::uint64_t seq;
+        Handler fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> events_;
+    Seconds now_ = 0.0;
+    std::uint64_t next_seq_ = 0;
+};
+
+} // namespace duplexity
+
+#endif // DPX_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * gem5-style status/error reporting helpers.
+ *
+ * panic() flags simulator bugs (aborts); fatal() flags user/config
+ * errors (clean exit); warn()/inform() report status without stopping.
+ */
+
+#ifndef DPX_SIM_LOGGING_HH
+#define DPX_SIM_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace duplexity
+{
+
+namespace detail
+{
+
+[[noreturn]] inline void
+reportAndDie(const char *kind, const std::string &msg, bool abort_process)
+{
+    std::fprintf(stderr, "%s: %s\n", kind, msg.c_str());
+    if (abort_process)
+        std::abort();
+    std::exit(1);
+}
+
+} // namespace detail
+
+/** Abort on an internal simulator invariant violation. */
+[[noreturn]] inline void
+panic(const std::string &msg)
+{
+    detail::reportAndDie("panic", msg, true);
+}
+
+/** Exit on an unrecoverable user/configuration error. */
+[[noreturn]] inline void
+fatal(const std::string &msg)
+{
+    detail::reportAndDie("fatal", msg, false);
+}
+
+/** Report suspicious-but-survivable conditions. */
+inline void
+warn(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+/** Report normal operating status. */
+inline void
+inform(const std::string &msg)
+{
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+/** panic() unless @p cond holds. */
+inline void
+panicIfNot(bool cond, const std::string &msg)
+{
+    if (!cond)
+        panic(msg);
+}
+
+} // namespace duplexity
+
+#endif // DPX_SIM_LOGGING_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * The simulator needs fast, reproducible, splittable randomness: every
+ * thread/workload/queueing stream owns its own Rng seeded from a master
+ * seed plus a stream id, so results are independent of evaluation order.
+ * The generator is xoshiro256** (public-domain algorithm by Blackman &
+ * Vigna) seeded through splitmix64.
+ */
+
+#ifndef DPX_SIM_RNG_HH
+#define DPX_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace duplexity
+{
+
+/** xoshiro256** generator with splitmix64 seeding. */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Derive an independent stream for substream @p stream_id. */
+    Rng fork(std::uint64_t stream_id) const;
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** UniformRandomBitGenerator interface. */
+    result_type operator()() { return next(); }
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~result_type(0); }
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n) for n > 0 (unbiased enough for sim). */
+    std::uint64_t below(std::uint64_t n);
+
+    /** Bernoulli trial with probability @p p. */
+    bool chance(double p);
+
+    /** Standard exponential variate with the given mean. */
+    double exponential(double mean);
+
+    /** Standard normal variate (Box-Muller, no caching). */
+    double normal(double mean = 0.0, double stddev = 1.0);
+
+  private:
+    std::uint64_t state_[4];
+    std::uint64_t seed_;
+};
+
+} // namespace duplexity
+
+#endif // DPX_SIM_RNG_HH

@@ -1,0 +1,79 @@
+#include "sim/slot_calendar.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace duplexity
+{
+
+SlotCalendar::SlotCalendar(std::uint32_t slots_per_cycle,
+                           std::size_t window)
+    : slots_per_cycle_(slots_per_cycle), window_(window)
+{
+    panicIfNot(slots_per_cycle > 0 && window > 16,
+               "bad SlotCalendar parameters");
+    counts_.assign(window, 0);
+}
+
+Cycle
+SlotCalendar::reserve(Cycle earliest)
+{
+    Cycle c = std::max(earliest, base_);
+    for (;;) {
+        if (c >= base_ + window_)
+            retireBefore(c > window_ / 2 ? c - window_ / 2 : 0);
+        std::uint16_t &count = counts_[c % window_];
+        if (count < slots_per_cycle_) {
+            ++count;
+            return c;
+        }
+        ++c;
+    }
+}
+
+bool
+SlotCalendar::tryReserveAt(Cycle cycle)
+{
+    if (cycle < base_)
+        return false;
+    if (cycle >= base_ + window_)
+        retireBefore(cycle > window_ / 2 ? cycle - window_ / 2 : 0);
+    std::uint16_t &count = counts_[cycle % window_];
+    if (count < slots_per_cycle_) {
+        ++count;
+        return true;
+    }
+    return false;
+}
+
+std::uint32_t
+SlotCalendar::occupancy(Cycle cycle) const
+{
+    if (cycle < base_ || cycle >= base_ + window_)
+        return 0;
+    return counts_[cycle % window_];
+}
+
+void
+SlotCalendar::retireBefore(Cycle cycle)
+{
+    if (cycle <= base_)
+        return;
+    if (cycle - base_ >= window_) {
+        std::fill(counts_.begin(), counts_.end(), 0);
+    } else {
+        for (Cycle c = base_; c < cycle; ++c)
+            counts_[c % window_] = 0;
+    }
+    base_ = cycle;
+}
+
+void
+SlotCalendar::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    base_ = 0;
+}
+
+} // namespace duplexity

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Bandwidth calendar: tracks how many of a per-cycle resource's slots
+ * (fetch/issue/commit bandwidth) are taken in each future cycle, and
+ * hands out the earliest free slot at or after a requested cycle.
+ *
+ * This is the core trick of the timestamp-based pipeline model: each
+ * micro-op is processed exactly once, and structural bandwidth limits
+ * are enforced by reserving calendar slots instead of iterating
+ * cycle-by-cycle.
+ */
+
+#ifndef DPX_CPU_SLOT_CALENDAR_HH
+#define DPX_CPU_SLOT_CALENDAR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace duplexity
+{
+
+class SlotCalendar
+{
+  public:
+    /**
+     * @param slots_per_cycle resource bandwidth (e.g. issue width)
+     * @param window          cycles of look-ahead tracked; requests
+     *                        beyond the window succeed untracked
+     *                        (they are far enough ahead that the
+     *                        resource cannot be saturated there yet)
+     */
+    explicit SlotCalendar(std::uint32_t slots_per_cycle,
+                          std::size_t window = 16384);
+
+    /** Reserve one slot at the earliest cycle >= @p earliest. */
+    Cycle reserve(Cycle earliest);
+
+    /**
+     * Reserve only if a slot is free exactly at @p cycle; returns
+     * true on success. Used for strict-priority policies (SMT+).
+     */
+    bool tryReserveAt(Cycle cycle);
+
+    /** Slots already taken at @p cycle. */
+    std::uint32_t occupancy(Cycle cycle) const;
+
+    std::uint32_t slotsPerCycle() const { return slots_per_cycle_; }
+
+    /**
+     * Declare that no reservation before @p cycle will ever be made
+     * again; frees ring space.
+     */
+    void retireBefore(Cycle cycle);
+
+    void reset();
+
+  private:
+    std::uint32_t slots_per_cycle_;
+    std::size_t window_;
+    std::vector<std::uint16_t> counts_;
+    Cycle base_ = 0; // counts_[c % window_] valid for c in [base, base+window)
+};
+
+} // namespace duplexity
+
+#endif // DPX_CPU_SLOT_CALENDAR_HH

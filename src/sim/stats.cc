@@ -1,0 +1,214 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sim/logging.hh"
+
+namespace duplexity
+{
+
+void
+MeanAccumulator::add(double x)
+{
+    ++count_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+MeanAccumulator::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+MeanAccumulator::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+MeanAccumulator::ciHalfWidth(double z) const
+{
+    if (count_ < 2)
+        return std::numeric_limits<double>::infinity();
+    return z * stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+void
+MeanAccumulator::reset()
+{
+    count_ = 0;
+    mean_ = 0.0;
+    m2_ = 0.0;
+}
+
+SampleStats::SampleStats(std::size_t capacity) : capacity_(capacity)
+{
+    panicIfNot(capacity > 0, "SampleStats capacity must be > 0");
+}
+
+void
+SampleStats::add(double x, std::uint64_t rng_word)
+{
+    if (total_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++total_;
+    moments_.add(x);
+
+    if (samples_.size() < capacity_) {
+        samples_.push_back(x);
+        sorted_ = false;
+        return;
+    }
+    // Reservoir sampling: keep each of the `total_` values with equal
+    // probability capacity_/total_.
+    std::uint64_t slot = rng_word % total_;
+    if (slot < capacity_) {
+        samples_[slot] = x;
+        sorted_ = false;
+    }
+}
+
+double
+SampleStats::percentile(double p) const
+{
+    panicIfNot(p >= 0.0 && p <= 1.0, "percentile p out of range");
+    panicIfNot(!samples_.empty(), "percentile of empty population");
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+    if (samples_.size() == 1)
+        return samples_[0];
+    // Linear interpolation between closest ranks.
+    double rank = p * static_cast<double>(samples_.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(rank);
+    std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return samples_[lo] + frac * (samples_[hi] - samples_[lo]);
+}
+
+void
+SampleStats::reset()
+{
+    total_ = 0;
+    min_ = max_ = 0.0;
+    moments_.reset();
+    samples_.clear();
+    sorted_ = true;
+}
+
+LogHistogram::LogHistogram(double lo, double hi, std::size_t num_bins)
+    : num_bins_(num_bins)
+{
+    panicIfNot(lo > 0.0 && hi > lo && num_bins > 0,
+               "bad LogHistogram parameters");
+    log_lo_ = std::log(lo);
+    log_hi_ = std::log(hi);
+    counts_.assign(num_bins + 2, 0);
+}
+
+std::size_t
+LogHistogram::indexFor(double x) const
+{
+    if (x <= 0.0 || std::log(x) < log_lo_)
+        return 0; // underflow
+    double lx = std::log(x);
+    if (lx >= log_hi_)
+        return num_bins_ + 1; // overflow
+    double frac = (lx - log_lo_) / (log_hi_ - log_lo_);
+    return 1 + static_cast<std::size_t>(
+                   frac * static_cast<double>(num_bins_));
+}
+
+void
+LogHistogram::add(double x, std::uint64_t weight)
+{
+    counts_[indexFor(x)] += weight;
+    total_ += weight;
+}
+
+double
+LogHistogram::binUpperEdge(std::size_t i) const
+{
+    if (i == 0)
+        return std::exp(log_lo_);
+    if (i >= num_bins_ + 1)
+        return std::numeric_limits<double>::infinity();
+    double frac = static_cast<double>(i) /
+                  static_cast<double>(num_bins_);
+    return std::exp(log_lo_ + frac * (log_hi_ - log_lo_));
+}
+
+std::vector<std::pair<double, double>>
+LogHistogram::cdf() const
+{
+    std::vector<std::pair<double, double>> out;
+    out.reserve(counts_.size());
+    std::uint64_t running = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        running += counts_[i];
+        double frac = total_ == 0
+                          ? 0.0
+                          : static_cast<double>(running) /
+                                static_cast<double>(total_);
+        out.emplace_back(binUpperEdge(i), frac);
+    }
+    return out;
+}
+
+double
+LogHistogram::percentile(double p) const
+{
+    panicIfNot(total_ > 0, "percentile of empty histogram");
+    std::uint64_t target = static_cast<std::uint64_t>(
+        std::ceil(p * static_cast<double>(total_)));
+    std::uint64_t running = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        running += counts_[i];
+        if (running >= target)
+            return binUpperEdge(i);
+    }
+    return binUpperEdge(counts_.size() - 1);
+}
+
+BatchMeans::BatchMeans(double relative_error, double z,
+                       std::uint64_t min_batches)
+    : relative_error_(relative_error), z_(z), min_batches_(min_batches)
+{
+    panicIfNot(relative_error > 0.0 && z > 0.0 && min_batches >= 2,
+               "bad BatchMeans parameters");
+}
+
+void
+BatchMeans::addBatch(double batch_metric)
+{
+    acc_.add(batch_metric);
+}
+
+double
+BatchMeans::relativeHalfWidth() const
+{
+    if (acc_.count() < 2 || acc_.mean() == 0.0)
+        return std::numeric_limits<double>::infinity();
+    return acc_.ciHalfWidth(z_) / std::abs(acc_.mean());
+}
+
+bool
+BatchMeans::converged() const
+{
+    return acc_.count() >= min_batches_ &&
+           relativeHalfWidth() <= relative_error_;
+}
+
+} // namespace duplexity

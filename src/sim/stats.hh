@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Statistics collection: streaming moments, percentile estimation over
+ * sample populations, log-scale histograms, and the batch-means
+ * confidence-interval machinery used for the BigHouse-style stopping
+ * rule ("simulate until 95% confidence of 5% error", Section V).
+ */
+
+#ifndef DPX_SIM_STATS_HH
+#define DPX_SIM_STATS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace duplexity
+{
+
+/** Streaming mean/variance accumulator (Welford's algorithm). */
+class MeanAccumulator
+{
+  public:
+    void add(double x);
+
+    std::uint64_t count() const { return count_; }
+    double mean() const { return mean_; }
+
+    /** Unbiased sample variance (0 with < 2 samples). */
+    double variance() const;
+    double stddev() const;
+
+    /** Half-width of the (normal-approximation) CI at @p z sigmas. */
+    double ciHalfWidth(double z = 1.96) const;
+
+    void reset();
+
+  private:
+    std::uint64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+};
+
+/**
+ * Sample store with exact order statistics. When the population exceeds
+ * the capacity, it degrades to uniform reservoir sampling so memory is
+ * bounded while percentiles stay approximately correct.
+ */
+class SampleStats
+{
+  public:
+    explicit SampleStats(std::size_t capacity = 1u << 20);
+
+    void add(double x, std::uint64_t rng_word = 0);
+
+    std::uint64_t count() const { return total_; }
+    bool empty() const { return total_ == 0; }
+
+    double mean() const { return moments_.mean(); }
+    double stddev() const { return moments_.stddev(); }
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+    /**
+     * p-quantile (p in [0, 1]) over the retained samples. Sorts
+     * lazily; O(n log n) on first call after inserts.
+     */
+    double percentile(double p) const;
+
+    /** Shorthand for the paper's headline metric. */
+    double p99() const { return percentile(0.99); }
+
+    const std::vector<double> &samples() const { return samples_; }
+
+    void reset();
+
+  private:
+    std::size_t capacity_;
+    std::uint64_t total_ = 0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    MeanAccumulator moments_;
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = true;
+};
+
+/** Fixed-range histogram with logarithmically spaced bins. */
+class LogHistogram
+{
+  public:
+    /**
+     * @param lo       left edge of the first finite bin (> 0)
+     * @param hi       right edge of the last finite bin
+     * @param num_bins bins between lo and hi (under/overflow extra)
+     */
+    LogHistogram(double lo, double hi, std::size_t num_bins);
+
+    void add(double x, std::uint64_t weight = 1);
+
+    std::uint64_t count() const { return total_; }
+
+    /** Inclusive-right edge of bin @p i. */
+    double binUpperEdge(std::size_t i) const;
+
+    /** Empirical CDF evaluated at bin upper edges. */
+    std::vector<std::pair<double, double>> cdf() const;
+
+    /** Approximate quantile by CDF inversion. */
+    double percentile(double p) const;
+
+    std::size_t numBins() const { return counts_.size(); }
+    std::uint64_t binCount(std::size_t i) const { return counts_[i]; }
+
+  private:
+    std::size_t indexFor(double x) const;
+
+    double log_lo_;
+    double log_hi_;
+    std::size_t num_bins_;
+    std::vector<std::uint64_t> counts_; // [under, bins..., over]
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * Batch-means stopping rule: feed per-batch estimates of a metric and
+ * ask whether the relative confidence-interval half-width has shrunk
+ * below the target (the BigHouse convergence criterion).
+ */
+class BatchMeans
+{
+  public:
+    /**
+     * @param relative_error target half-width / mean (e.g. 0.05)
+     * @param z              confidence z-score (1.96 ~ 95%)
+     * @param min_batches    batches required before convergence claims
+     */
+    explicit BatchMeans(double relative_error = 0.05, double z = 1.96,
+                        std::uint64_t min_batches = 8);
+
+    void addBatch(double batch_metric);
+
+    bool converged() const;
+    double mean() const { return acc_.mean(); }
+    std::uint64_t batches() const { return acc_.count(); }
+    double relativeHalfWidth() const;
+
+  private:
+    MeanAccumulator acc_;
+    double relative_error_;
+    double z_;
+    std::uint64_t min_batches_;
+};
+
+} // namespace duplexity
+
+#endif // DPX_SIM_STATS_HH

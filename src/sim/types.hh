@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every Duplexity module.
+ *
+ * The cycle-level core simulator counts time in core cycles; the
+ * request-level queueing simulator counts time in seconds. Frequency
+ * objects convert between the two domains.
+ */
+
+#ifndef DPX_SIM_TYPES_HH
+#define DPX_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace duplexity
+{
+
+/** Core clock cycles (cycle-level simulation time base). */
+using Cycle = std::uint64_t;
+
+/** Byte address in a thread's (synthetic) address space. */
+using Addr = std::uint64_t;
+
+/** Hardware/virtual thread identifier within a dyad. */
+using ThreadId = std::uint32_t;
+
+/** Distinguished id meaning "no thread". */
+inline constexpr ThreadId invalid_thread_id = ~ThreadId(0);
+
+/** Seconds (queueing/request-level simulation time base). */
+using Seconds = double;
+
+inline constexpr double us_per_second = 1e6;
+
+/** Convert microseconds to seconds. */
+constexpr Seconds
+fromMicros(double us)
+{
+    return us * 1e-6;
+}
+
+/** Convert seconds to microseconds. */
+constexpr double
+toMicros(Seconds s)
+{
+    return s * 1e6;
+}
+
+/**
+ * A clock frequency; converts between cycles and wall-clock seconds.
+ */
+class Frequency
+{
+  public:
+    constexpr explicit Frequency(double hertz = 1e9) : _hertz(hertz) {}
+
+    constexpr double hertz() const { return _hertz; }
+    constexpr double gigahertz() const { return _hertz / 1e9; }
+
+    /** Seconds spanned by @p cycles at this frequency. */
+    constexpr Seconds
+    cyclesToSeconds(Cycle cycles) const
+    {
+        return static_cast<double>(cycles) / _hertz;
+    }
+
+    /** Cycles (rounded down) elapsing in @p s seconds. */
+    constexpr Cycle
+    secondsToCycles(Seconds s) const
+    {
+        return static_cast<Cycle>(s * _hertz);
+    }
+
+    /** Cycles elapsing in @p us microseconds. */
+    constexpr Cycle
+    microsToCycles(double us) const
+    {
+        return secondsToCycles(fromMicros(us));
+    }
+
+  private:
+    double _hertz;
+};
+
+} // namespace duplexity
+
+#endif // DPX_SIM_TYPES_HH

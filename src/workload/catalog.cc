@@ -1,0 +1,337 @@
+#include "workload/catalog.hh"
+
+#include "sim/logging.hh"
+
+namespace duplexity
+{
+
+namespace
+{
+
+/** Private data region for a thread (4 GB spacing). */
+Addr
+dataRegion(ThreadId uid)
+{
+    return (Addr(0x100) + uid) << 32;
+}
+
+/** Shared code region per workload family. */
+Addr
+codeRegion(unsigned family)
+{
+    return (Addr(0x10) + family) << 24;
+}
+
+/** Compute instruction-count distribution: lognormal around the
+ *  nominal count for @p us of work (service-time variability). */
+DistributionPtr
+computeInstrs(double us, double sigma = 0.25)
+{
+    return makeLogNormal(
+        static_cast<double>(instrsForMicros(us)), sigma);
+}
+
+WorkloadParams
+flannCharacter(ThreadId uid)
+{
+    WorkloadParams p;
+    p.data_base = dataRegion(uid);
+    // LSH tables + candidate vectors: mostly LLC-resident per
+    // thread; FLANN's low utilization comes from poor ILP and
+    // frontend pressure, not raw DRAM misses (Section II-B).
+    p.data_ws_bytes = 2ull << 20;
+    p.spatial_locality = 0.55;
+    p.hot_prob = 0.30;
+    p.hot_bytes = 8 * 1024;
+    p.code_base = codeRegion(0);
+    p.code_bytes = 128 * 1024;
+    p.static_branches = 512;
+    p.periodic_branch_frac = 0.3;
+    p.branch_taken_bias = 0.97;
+    p.dep_prob = 0.55;
+    p.mean_dep_dist = 3.5;
+    p.mix = InstrMix{0.30, 0.08, 0.14, 0.01, 0.03, 0.08};
+    return p;
+}
+
+} // namespace
+
+const char *
+toString(MicroserviceKind kind)
+{
+    switch (kind) {
+      case MicroserviceKind::FlannHA:
+        return "FLANN-HA";
+      case MicroserviceKind::FlannLL:
+        return "FLANN-LL";
+      case MicroserviceKind::Rsc:
+        return "RSC";
+      case MicroserviceKind::McRouter:
+        return "McRouter";
+      case MicroserviceKind::WordStem:
+        return "WordStem";
+    }
+    return "?";
+}
+
+const char *
+toString(BatchKind kind)
+{
+    switch (kind) {
+      case BatchKind::PageRank:
+        return "PageRank";
+      case BatchKind::Sssp:
+        return "SSSP";
+    }
+    return "?";
+}
+
+const char *
+toString(SpecProfile profile)
+{
+    switch (profile) {
+      case SpecProfile::Cpu:
+        return "spec-cpu";
+      case SpecProfile::Mem:
+        return "spec-mem";
+      case SpecProfile::Mix:
+        return "spec-mix";
+    }
+    return "?";
+}
+
+std::vector<MicroserviceKind>
+allMicroservices()
+{
+    return {MicroserviceKind::FlannHA, MicroserviceKind::FlannLL,
+            MicroserviceKind::Rsc, MicroserviceKind::McRouter,
+            MicroserviceKind::WordStem};
+}
+
+MicroserviceSpec
+makeMicroservice(MicroserviceKind kind)
+{
+    MicroserviceSpec spec;
+    spec.name = toString(kind);
+    // The master-thread owns region 0.
+    const ThreadId master_uid = 0;
+
+    switch (kind) {
+      case MicroserviceKind::FlannHA: {
+        spec.character = flannCharacter(master_uid);
+        spec.phases.push_back(
+            {PhaseSpec::Kind::Compute, computeInstrs(10.0), nullptr,
+             std::nullopt});
+        // Single-cache-line RDMA read, exponential with 1 µs mean.
+        spec.phases.push_back({PhaseSpec::Kind::Remote, nullptr,
+                               makeExponential(1.0), std::nullopt});
+        // Brief result-forwarding epilogue.
+        spec.phases.push_back(
+            {PhaseSpec::Kind::Compute, computeInstrs(0.2), nullptr,
+             std::nullopt});
+        break;
+      }
+      case MicroserviceKind::FlannLL: {
+        spec.character = flannCharacter(master_uid);
+        spec.phases.push_back(
+            {PhaseSpec::Kind::Compute, computeInstrs(1.0), nullptr,
+             std::nullopt});
+        spec.phases.push_back({PhaseSpec::Kind::Remote, nullptr,
+                               makeExponential(1.0), std::nullopt});
+        spec.phases.push_back(
+            {PhaseSpec::Kind::Compute, computeInstrs(0.2), nullptr,
+             std::nullopt});
+        break;
+      }
+      case MicroserviceKind::Rsc: {
+        // Cuckoo-hash lookup over a large mapping table.
+        WorkloadParams lookup;
+        lookup.data_base = dataRegion(master_uid);
+        lookup.data_ws_bytes = 4ull << 20;
+        lookup.spatial_locality = 0.2;
+        lookup.code_base = codeRegion(1);
+        lookup.code_bytes = 64 * 1024;
+        lookup.static_branches = 256;
+        lookup.periodic_branch_frac = 0.4;
+        lookup.branch_taken_bias = 0.96;
+        lookup.dep_prob = 0.55;
+        lookup.mean_dep_dist = 3.5;
+        lookup.mix = InstrMix{0.30, 0.05, 0.15, 0.01, 0.05, 0.02};
+
+        // 4 KB memcpy: streaming loads/stores, near-perfect locality.
+        WorkloadParams memcpy_char = lookup;
+        memcpy_char.data_ws_bytes = 256 * 1024;
+        memcpy_char.spatial_locality = 0.95;
+        memcpy_char.static_branches = 32;
+        memcpy_char.periodic_branch_frac = 0.95;
+        memcpy_char.dep_prob = 0.3;
+        memcpy_char.mix = InstrMix{0.35, 0.30, 0.06, 0.0, 0.01, 0.02};
+
+        spec.character = lookup;
+        spec.phases.push_back(
+            {PhaseSpec::Kind::Compute, computeInstrs(3.0), nullptr,
+             std::nullopt});
+        // Optane SSD random block read via user-level polling.
+        spec.phases.push_back({PhaseSpec::Kind::Remote, nullptr,
+                               makeExponential(8.0), std::nullopt});
+        spec.phases.push_back({PhaseSpec::Kind::Compute,
+                               computeInstrs(4.0), nullptr,
+                               memcpy_char});
+        break;
+      }
+      case MicroserviceKind::McRouter: {
+        WorkloadParams p;
+        p.data_base = dataRegion(master_uid);
+        p.data_ws_bytes = 512 * 1024; // routing/config tables
+        p.spatial_locality = 0.5;
+        p.code_base = codeRegion(2);
+        p.code_bytes = 96 * 1024;
+        p.static_branches = 384;
+        p.periodic_branch_frac = 0.3;
+        p.branch_taken_bias = 0.96;
+        p.dep_prob = 0.5;
+        p.mean_dep_dist = 4.0;
+        p.mix = InstrMix{0.24, 0.08, 0.16, 0.02, 0.06, 0.02};
+        spec.character = p;
+        spec.phases.push_back(
+            {PhaseSpec::Kind::Compute, computeInstrs(3.0), nullptr,
+             std::nullopt});
+        // Synchronous wait for the RDMA-based leaf KV store (3-5 µs).
+        spec.phases.push_back({PhaseSpec::Kind::Remote, nullptr,
+                               makeUniform(3.0, 5.0), std::nullopt});
+        spec.phases.push_back(
+            {PhaseSpec::Kind::Compute, computeInstrs(0.3), nullptr,
+             std::nullopt});
+        break;
+      }
+      case MicroserviceKind::WordStem: {
+        // Stateless; stemming paths hard-coded into control flow:
+        // large code footprint, branchy, tiny data.
+        WorkloadParams p;
+        p.data_base = dataRegion(master_uid);
+        p.data_ws_bytes = 64 * 1024;
+        p.spatial_locality = 0.7;
+        p.code_base = codeRegion(3);
+        p.code_bytes = 256 * 1024;
+        // The hard-coded stemming paths make the hot path itself
+        // large: WordStem lives or dies by the I-cache (Section VII).
+        p.hot_code_bytes = 32 * 1024;
+        p.far_to_hot_prob = 0.97;
+        p.near_jump_prob = 0.8; // frequent re-entries to hot paths
+        p.near_jump_range = 256; // dense if/else ladders
+        p.static_branches = 1024;
+        p.periodic_branch_frac = 0.3;
+        p.branch_taken_bias = 0.97;
+        p.dep_prob = 0.55;
+        p.mean_dep_dist = 3.0;
+        p.mix = InstrMix{0.20, 0.08, 0.18, 0.02, 0.01, 0.0};
+        spec.character = p;
+        spec.phases.push_back(
+            {PhaseSpec::Kind::Compute, computeInstrs(4.0), nullptr,
+             std::nullopt});
+        break;
+      }
+    }
+    return spec;
+}
+
+BatchSpec
+makeFlannXY(double compute_us, double stall_us, ThreadId uid)
+{
+    BatchSpec spec;
+    spec.name = "FLANN-" + std::to_string(compute_us) + "-" +
+                std::to_string(stall_us);
+    spec.character = flannCharacter(uid);
+    spec.segment_instrs = makeLogNormal(
+        static_cast<double>(instrsForMicros(compute_us)), 0.2);
+    spec.stall_us =
+        stall_us > 0.0 ? makeExponential(stall_us) : nullptr;
+    return spec;
+}
+
+BatchSpec
+makeBatch(BatchKind kind, ThreadId uid)
+{
+    BatchSpec spec;
+    spec.name = toString(kind);
+    WorkloadParams p;
+    p.data_base = dataRegion(uid);
+    // Local shard of the Twitter graph. BSP PageRank streams over
+    // its vertex/edge arrays; SSSP's frontier is less regular. Both
+    // are partitioned fine enough that the hot shard stays modest
+    // (Section IV, "Throughput threads").
+    p.data_ws_bytes = 512 * 1024;
+    p.spatial_locality = kind == BatchKind::PageRank ? 0.92 : 0.88;
+    p.hot_prob = 0.05;
+    p.hot_bytes = 4 * 1024;
+    p.code_base = codeRegion(kind == BatchKind::PageRank ? 4 : 5);
+    p.code_bytes = 48 * 1024;
+    p.static_branches = 192;
+    p.periodic_branch_frac = 0.35;
+    p.branch_taken_bias = 0.97;
+    p.dep_prob = 0.30;
+    p.mean_dep_dist = 8.0;
+    p.mix = kind == BatchKind::PageRank
+                ? InstrMix{0.28, 0.10, 0.10, 0.01, 0.02, 0.10}
+                : InstrMix{0.26, 0.08, 0.14, 0.01, 0.04, 0.02};
+    spec.character = p;
+    // ~1 µs RDMA vertex read per 1-2 µs of compute: roughly half of
+    // vertex accesses land on remote shards (Section V).
+    spec.segment_instrs = makeUniform(
+        static_cast<double>(instrsForMicros(1.0, 3.4, 1.0)),
+        static_cast<double>(instrsForMicros(2.0, 3.4, 1.0)));
+    spec.stall_us = makeExponential(1.0);
+    return spec;
+}
+
+BatchSpec
+makeSpecBatch(SpecProfile profile, ThreadId uid)
+{
+    BatchSpec spec;
+    spec.name = toString(profile);
+    WorkloadParams p;
+    p.data_base = dataRegion(uid);
+    p.code_base = codeRegion(6 + static_cast<unsigned>(profile));
+    switch (profile) {
+      case SpecProfile::Cpu:
+        p.data_ws_bytes = 256 * 1024;
+        p.spatial_locality = 0.8;
+        p.code_bytes = 64 * 1024;
+        p.static_branches = 256;
+        p.periodic_branch_frac = 0.4;
+        p.branch_taken_bias = 0.97;
+        p.dep_prob = 0.5;
+        p.mean_dep_dist = 4.5;
+        p.mix = InstrMix{0.20, 0.08, 0.12, 0.01, 0.04, 0.15};
+        break;
+      case SpecProfile::Mem:
+        p.data_ws_bytes = 16ull << 20;
+        p.spatial_locality = 0.25;
+        p.code_bytes = 32 * 1024;
+        p.static_branches = 128;
+        p.periodic_branch_frac = 0.35;
+        p.branch_taken_bias = 0.97;
+        p.dep_prob = 0.5;
+        p.mean_dep_dist = 3.0;
+        p.mix = InstrMix{0.35, 0.10, 0.10, 0.01, 0.02, 0.05};
+        break;
+      case SpecProfile::Mix:
+        p.data_ws_bytes = 2ull << 20;
+        p.spatial_locality = 0.5;
+        p.code_bytes = 64 * 1024;
+        p.static_branches = 256;
+        p.periodic_branch_frac = 0.35;
+        p.branch_taken_bias = 0.97;
+        p.dep_prob = 0.5;
+        p.mean_dep_dist = 4.0;
+        p.mix = InstrMix{0.26, 0.10, 0.14, 0.01, 0.03, 0.08};
+        break;
+    }
+    spec.character = p;
+    spec.segment_instrs =
+        makeDeterministic(1e9); // effectively stall-free
+    spec.stall_us = nullptr;
+    return spec;
+}
+
+} // namespace duplexity

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The workload catalog: parameterizations of every workload in the
+ * paper's evaluation (Section V), the Figure 1(c) FLANN-X-Y variants,
+ * and the SPEC-like profiles of Figure 2(a).
+ */
+
+#ifndef DPX_WORKLOAD_CATALOG_HH
+#define DPX_WORKLOAD_CATALOG_HH
+
+#include <string>
+#include <vector>
+
+#include "workload/microservice.hh"
+#include "workload/synthetic.hh"
+
+namespace duplexity
+{
+
+/** The four latency-critical microservices of Section V. */
+enum class MicroserviceKind
+{
+    FlannHA,  //!< FLANN high-accuracy: 10 µs LSH lookup + 1 µs RDMA
+    FlannLL,  //!< FLANN low-latency: 1 µs lookup + 1 µs RDMA
+    Rsc,      //!< remote storage cache: 3 µs cuckoo + 8 µs Optane +
+              //!< 4 µs memcpy
+    McRouter, //!< consistent-hash router: 3 µs route + 3-5 µs leaf KV
+    WordStem, //!< Porter stemmer: 4 µs compute, no µs stalls
+};
+
+/** Batch graph analytics run by filler threads. */
+enum class BatchKind
+{
+    PageRank,
+    Sssp,
+};
+
+/** SPEC-like profiles for the Figure 2(a) thread-scaling study. */
+enum class SpecProfile
+{
+    Cpu, //!< compute-bound, cache-resident, high ILP
+    Mem, //!< memory-bound, large working set
+    Mix, //!< balanced
+};
+
+const char *toString(MicroserviceKind kind);
+const char *toString(BatchKind kind);
+const char *toString(SpecProfile profile);
+
+std::vector<MicroserviceKind> allMicroservices();
+
+/** Build the spec for one of the paper's microservices. */
+MicroserviceSpec makeMicroservice(MicroserviceKind kind);
+
+/**
+ * The FLANN-X-Y variants of Section II-B: @p compute_us of LSH work
+ * per @p stall_us (exponential) remote access; stall_us == 0 yields
+ * the stall-free baseline. Used saturated (100 % load) in Fig 1(c).
+ */
+BatchSpec makeFlannXY(double compute_us, double stall_us,
+                      ThreadId uid);
+
+/** Graph-analytics filler thread (Section V: 1 µs RDMA stall per
+ *  1–2 µs of compute, ~half the vertices remote). */
+BatchSpec makeBatch(BatchKind kind, ThreadId uid);
+
+/** A continuous SPEC-like stream (no µs stalls). */
+BatchSpec makeSpecBatch(SpecProfile profile, ThreadId uid);
+
+} // namespace duplexity
+
+#endif // DPX_WORKLOAD_CATALOG_HH

@@ -1,0 +1,145 @@
+#include "workload/microservice.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace duplexity
+{
+
+std::uint64_t
+instrsForMicros(double us, double freq_ghz, double nominal_ipc)
+{
+    return static_cast<std::uint64_t>(
+        std::max(1.0, us * freq_ghz * 1000.0 * nominal_ipc));
+}
+
+double
+MicroserviceSpec::meanStallUs() const
+{
+    double total = 0.0;
+    for (const PhaseSpec &phase : phases) {
+        if (phase.kind == PhaseSpec::Kind::Remote)
+            total += phase.stall_us->mean();
+    }
+    return total;
+}
+
+double
+MicroserviceSpec::meanComputeInstrs() const
+{
+    double total = 0.0;
+    for (const PhaseSpec &phase : phases) {
+        if (phase.kind == PhaseSpec::Kind::Compute)
+            total += phase.instr_count->mean();
+    }
+    return total;
+}
+
+double
+MicroserviceSpec::nominalServiceUs(double freq_ghz, double ipc) const
+{
+    return meanComputeInstrs() / (freq_ghz * 1000.0 * ipc) +
+           meanStallUs();
+}
+
+MicroserviceSource::MicroserviceSource(const MicroserviceSpec &spec,
+                                       Rng rng)
+    : spec_(spec), rng_(rng)
+{
+    panicIfNot(!spec_.phases.empty(), "microservice needs phases");
+    for (const PhaseSpec &phase : spec_.phases) {
+        if (phase.kind == PhaseSpec::Kind::Compute)
+            panicIfNot(phase.instr_count != nullptr,
+                       "compute phase needs an instruction count");
+        else
+            panicIfNot(phase.stall_us != nullptr,
+                       "remote phase needs a stall distribution");
+    }
+
+    // Build one synthetic stream per distinct character: the default
+    // character plus any per-phase overrides.
+    streams_.emplace_back(spec_.character, rng_.fork(1000));
+    phase_stream_.resize(spec_.phases.size(), 0);
+    for (std::size_t i = 0; i < spec_.phases.size(); ++i) {
+        const PhaseSpec &phase = spec_.phases[i];
+        if (phase.kind == PhaseSpec::Kind::Compute &&
+            phase.character) {
+            streams_.emplace_back(*phase.character,
+                                  rng_.fork(2000 + i));
+            phase_stream_[i] = streams_.size() - 1;
+        }
+    }
+    enterPhase(0);
+}
+
+void
+MicroserviceSource::enterPhase(std::size_t idx)
+{
+    phase_idx_ = idx;
+    const PhaseSpec &phase = spec_.phases[idx];
+    if (phase.kind == PhaseSpec::Kind::Compute) {
+        remaining_ = static_cast<std::uint64_t>(
+            std::max(1.0, phase.instr_count->sample(rng_)));
+    } else {
+        remaining_ = 1;
+    }
+}
+
+MicroOp
+MicroserviceSource::next()
+{
+    const PhaseSpec &phase = spec_.phases[phase_idx_];
+    MicroOp op;
+    if (phase.kind == PhaseSpec::Kind::Compute) {
+        op = streams_[phase_stream_[phase_idx_]].next();
+    } else {
+        op.cls = OpClass::Remote;
+        op.stall_us =
+            static_cast<float>(phase.stall_us->sample(rng_));
+    }
+    --remaining_;
+    if (remaining_ == 0) {
+        if (phase_idx_ + 1 == spec_.phases.size()) {
+            op.end_of_request = true;
+            ++requests_;
+            enterPhase(0);
+        } else {
+            enterPhase(phase_idx_ + 1);
+        }
+    }
+    return op;
+}
+
+BatchSource::BatchSource(const BatchSpec &spec, Rng rng)
+    : spec_(spec), rng_(rng),
+      stream_(spec.character, rng_.fork(3000))
+{
+    panicIfNot(spec_.segment_instrs != nullptr,
+               "batch workload needs a segment length distribution");
+    remaining_ = static_cast<std::uint64_t>(
+        std::max(1.0, spec_.segment_instrs->sample(rng_)));
+}
+
+MicroOp
+BatchSource::next()
+{
+    if (remaining_ == 0 && spec_.stall_us) {
+        MicroOp op;
+        op.cls = OpClass::Remote;
+        op.stall_us =
+            static_cast<float>(spec_.stall_us->sample(rng_));
+        remaining_ = static_cast<std::uint64_t>(
+            std::max(1.0, spec_.segment_instrs->sample(rng_)));
+        return op;
+    }
+    if (remaining_ == 0) {
+        remaining_ = static_cast<std::uint64_t>(
+            std::max(1.0, spec_.segment_instrs->sample(rng_)));
+    }
+    --remaining_;
+    return stream_.next();
+}
+
+} // namespace duplexity

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Request-structured microservice sources and continuous batch
+ * sources.
+ *
+ * A microservice request is a sequence of phases: compute regions
+ * (instruction counts drawn from a distribution) separated by µs-scale
+ * remote operations (stall durations drawn from a distribution) —
+ * exactly the structure of Section V's workloads (e.g. RSC = 3 µs
+ * cuckoo lookup, 8 µs Optane stall, 4 µs memcpy). Batch sources emit
+ * an endless alternation of compute segments and remote stalls (the
+ * PageRank/SSSP filler threads: ~1 µs RDMA stall per 1–2 µs compute).
+ */
+
+#ifndef DPX_WORKLOAD_MICROSERVICE_HH
+#define DPX_WORKLOAD_MICROSERVICE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cpu/instr_source.hh"
+#include "sim/distributions.hh"
+#include "sim/rng.hh"
+#include "workload/synthetic.hh"
+
+namespace duplexity
+{
+
+/** Nominal instruction count equivalent to @p us of compute. */
+std::uint64_t
+instrsForMicros(double us, double freq_ghz = 3.4,
+                double nominal_ipc = 2.0);
+
+/** One phase of a request. */
+struct PhaseSpec
+{
+    enum class Kind
+    {
+        Compute,
+        Remote,
+    };
+
+    Kind kind = Kind::Compute;
+    /** Compute: micro-op count distribution. */
+    DistributionPtr instr_count;
+    /** Remote: stall duration distribution (microseconds). */
+    DistributionPtr stall_us;
+    /**
+     * Compute phases may override the service's base character (e.g.
+     * RSC's streaming memcpy phase vs its random-probe lookup phase).
+     */
+    std::optional<WorkloadParams> character;
+};
+
+/** A complete latency-critical microservice description. */
+struct MicroserviceSpec
+{
+    std::string name;
+    /** Default compute character (phases may override). */
+    WorkloadParams character;
+    std::vector<PhaseSpec> phases;
+
+    /** Mean µs-stall time per request. */
+    double meanStallUs() const;
+    /** Mean compute micro-ops per request. */
+    double meanComputeInstrs() const;
+    /** Nominal service time (µs) at @p ipc on a @p freq_ghz core. */
+    double nominalServiceUs(double freq_ghz = 3.4,
+                            double ipc = 2.0) const;
+};
+
+/**
+ * Instruction source that plays requests back-to-back; the scenario
+ * runner decides when the next request may start (open/closed loop).
+ */
+class MicroserviceSource : public InstrSource
+{
+  public:
+    MicroserviceSource(const MicroserviceSpec &spec, Rng rng);
+
+    MicroOp next() override;
+
+    const MicroserviceSpec &spec() const { return spec_; }
+    std::uint64_t requestsCompleted() const { return requests_; }
+
+  private:
+    void enterPhase(std::size_t idx);
+
+    MicroserviceSpec spec_;
+    Rng rng_;
+    /** One stream per phase (shared when no override). */
+    std::vector<SyntheticStream> streams_;
+    std::vector<std::size_t> phase_stream_;
+    std::size_t phase_idx_ = 0;
+    std::uint64_t remaining_ = 0;
+    std::uint64_t requests_ = 0;
+};
+
+/** Continuous batch workload (filler threads / Fig 1(c) streams). */
+struct BatchSpec
+{
+    std::string name;
+    WorkloadParams character;
+    /** Compute micro-ops between remote ops. */
+    DistributionPtr segment_instrs;
+    /** Stall duration (µs); nullptr => never stalls. */
+    DistributionPtr stall_us;
+};
+
+class BatchSource : public InstrSource
+{
+  public:
+    BatchSource(const BatchSpec &spec, Rng rng);
+
+    MicroOp next() override;
+
+    const BatchSpec &spec() const { return spec_; }
+
+  private:
+    BatchSpec spec_;
+    Rng rng_;
+    SyntheticStream stream_;
+    std::uint64_t remaining_;
+};
+
+} // namespace duplexity
+
+#endif // DPX_WORKLOAD_MICROSERVICE_HH

@@ -1,0 +1,154 @@
+#include "workload/synthetic.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace duplexity
+{
+
+SyntheticStream::SyntheticStream(const WorkloadParams &params, Rng rng)
+    : params_(params), rng_(rng)
+{
+    panicIfNot(params.data_ws_bytes >= 64 && params.code_bytes >= 64,
+               "working sets must cover at least one line");
+    panicIfNot(params.static_branches > 0, "need at least one branch");
+
+    branches_.reserve(params.static_branches);
+    for (std::uint32_t i = 0; i < params.static_branches; ++i) {
+        BranchSite site;
+        site.periodic = rng_.chance(params.periodic_branch_frac);
+        // Loop periods between 4 and 8 iterations (within reach of
+        // the gshare history even under history noise).
+        site.period = 4 + static_cast<std::uint32_t>(rng_.below(5));
+        site.counter = 0;
+        site.taken_bias = params.branch_taken_bias;
+        branches_.push_back(site);
+    }
+
+    pc_ = params.code_base;
+    stream_addr_ = params.data_base;
+}
+
+Addr
+SyntheticStream::nextDataAddr()
+{
+    double pick = rng_.uniform();
+    if (pick < params_.spatial_locality) {
+        // Streaming: 8-byte stride, so consecutive accesses share a
+        // cache line and a hardware-friendly access pattern emerges.
+        stream_addr_ += 8;
+        if (stream_addr_ >= params_.data_base + params_.data_ws_bytes)
+            stream_addr_ = params_.data_base;
+        return stream_addr_;
+    }
+    if (pick < params_.spatial_locality + params_.hot_prob) {
+        Addr offset =
+            rng_.below(std::max<std::uint64_t>(
+                params_.hot_bytes / 8, 1)) * 8;
+        return params_.data_base + offset;
+    }
+    Addr offset = rng_.below(params_.data_ws_bytes / 8) * 8;
+    return params_.data_base + offset;
+}
+
+Addr
+SyntheticStream::advancePc()
+{
+    pc_ += 4;
+    if (pc_ >= params_.code_base + params_.code_bytes)
+        pc_ = params_.code_base;
+    return pc_;
+}
+
+std::uint8_t
+SyntheticStream::sampleDep()
+{
+    if (!rng_.chance(params_.dep_prob))
+        return 0;
+    // Geometric with the configured mean, clipped to the dep window.
+    double d = 1.0 + rng_.exponential(params_.mean_dep_dist - 1.0);
+    return static_cast<std::uint8_t>(std::min(d, 63.0));
+}
+
+MicroOp
+SyntheticStream::next()
+{
+    MicroOp op;
+    op.pc = advancePc();
+
+    double pick = rng_.uniform();
+    const InstrMix &mix = params_.mix;
+
+    if (pick < mix.load) {
+        op.cls = OpClass::Load;
+        op.mem_addr = nextDataAddr();
+        op.dep1 = sampleDep();
+    } else if (pick < mix.load + mix.store) {
+        op.cls = OpClass::Store;
+        op.mem_addr = nextDataAddr();
+        op.dep1 = sampleDep();
+        op.dep2 = sampleDep();
+    } else if (pick < mix.load + mix.store + mix.branch) {
+        op.cls = OpClass::Branch;
+        // One branch site per code line: the PC follows the fetch
+        // walk (no teleporting fetches), the static-branch population
+        // stays bounded (BTB-sized), and each location keeps
+        // consistent behaviour.
+        op.pc &= ~Addr(63);
+        BranchSite &site =
+            branches_[(op.pc >> 6) % branches_.size()];
+        if (site.periodic) {
+            // Not-taken once per period (loop exit), taken otherwise.
+            op.taken = ++site.counter % site.period != 0;
+        } else {
+            op.taken = rng_.chance(site.taken_bias);
+        }
+        op.dep1 = sampleDep();
+        if (op.taken) {
+            // Redirect the fetch stream: mostly short loop/if jumps;
+            // far jumps usually re-enter the hot path, occasionally
+            // calling into cold code.
+            if (rng_.chance(params_.near_jump_prob)) {
+                std::uint64_t reach = params_.near_jump_range;
+                Addr lo = pc_ > params_.code_base + reach
+                              ? pc_ - reach
+                              : params_.code_base;
+                Addr span = std::min<Addr>(
+                    2 * reach,
+                    params_.code_base + params_.code_bytes - lo);
+                pc_ = lo + rng_.below(std::max<Addr>(span / 4, 1)) * 4;
+            } else if (rng_.chance(params_.far_to_hot_prob)) {
+                pc_ = params_.code_base +
+                      rng_.below(std::max<std::uint64_t>(
+                          params_.hot_code_bytes / 4, 1)) * 4;
+            } else {
+                pc_ = params_.code_base +
+                      rng_.below(params_.code_bytes / 4) * 4;
+            }
+        }
+    } else if (pick < mix.load + mix.store + mix.branch + mix.call) {
+        // Calls and returns alternate to keep the RAS balanced.
+        op.cls = rng_.chance(0.5) ? OpClass::Call : OpClass::Return;
+        op.taken = true;
+    } else if (pick <
+               mix.load + mix.store + mix.branch + mix.call +
+                   mix.int_mul) {
+        op.cls = OpClass::IntMul;
+        op.dep1 = sampleDep();
+        op.dep2 = sampleDep();
+    } else if (pick < mix.load + mix.store + mix.branch + mix.call +
+                          mix.int_mul + mix.fp) {
+        op.cls = OpClass::FpAlu;
+        op.dep1 = sampleDep();
+        op.dep2 = sampleDep();
+    } else {
+        op.cls = OpClass::IntAlu;
+        op.dep1 = sampleDep();
+        op.dep2 = sampleDep();
+    }
+    return op;
+}
+
+} // namespace duplexity

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Statistical compute-stream generator.
+ *
+ * Real microservice binaries cannot ship with this reproduction, so
+ * every workload is modeled by the statistics that actually drive the
+ * core and memory models: instruction mix, data working-set size and
+ * spatial locality, code footprint, static-branch population and
+ * predictability, and dependency distances (ILP). Section V's
+ * workloads are expressed as parameter sets over this generator (see
+ * workload/catalog.hh).
+ */
+
+#ifndef DPX_WORKLOAD_SYNTHETIC_HH
+#define DPX_WORKLOAD_SYNTHETIC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cpu/isa.hh"
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace duplexity
+{
+
+/** Fractions of each op class; the remainder is plain integer ALU. */
+struct InstrMix
+{
+    double load = 0.25;
+    double store = 0.10;
+    double branch = 0.15;
+    double call = 0.01;
+    double int_mul = 0.03;
+    double fp = 0.05;
+};
+
+/** Microarchitectural character of a compute region. */
+struct WorkloadParams
+{
+    /** Base of this thread's private address region. */
+    Addr data_base = 0;
+    /** Data working-set size in bytes. */
+    std::uint64_t data_ws_bytes = 1 << 20;
+    /** Probability a memory access continues the current stream
+     *  (8-byte stride, so ~8 accesses share a cache line). */
+    double spatial_locality = 0.45;
+    /** Probability of touching the small hot region (locals, stack,
+     *  hot dictionary entries) instead of the cold working set. */
+    double hot_prob = 0.30;
+    /** Size of the hot region. */
+    std::uint64_t hot_bytes = 16 * 1024;
+
+    /** Base of the code region (sharable between threads). */
+    Addr code_base = 0;
+    /** Code footprint in bytes. */
+    std::uint64_t code_bytes = 64 * 1024;
+
+    /** Number of distinct static branch sites. */
+    std::uint32_t static_branches = 256;
+    /** Probability a taken branch lands near the current pc (short
+     *  loops/ifs); the rest jump "far". */
+    double near_jump_prob = 0.88;
+    /** Reach of a near jump in bytes. */
+    std::uint64_t near_jump_range = 1024;
+    /** Far jumps mostly re-enter the hot code path; the rest touch
+     *  cold code anywhere in the region. */
+    double far_to_hot_prob = 0.85;
+    /** Size of the hot code path. */
+    std::uint64_t hot_code_bytes = 8 * 1024;
+    /**
+     * Fraction of branch sites that behave like loop back-edges with
+     * a fixed period (learnable by history predictors); the rest are
+     * biased-random with taken probability @ref branch_taken_bias.
+     */
+    double periodic_branch_frac = 0.5;
+    double branch_taken_bias = 0.92;
+
+    /** Probability an op carries a RAW dependency. */
+    double dep_prob = 0.5;
+    /** Mean dependency distance in micro-ops (geometric). */
+    double mean_dep_dist = 4.0;
+
+    InstrMix mix;
+};
+
+/**
+ * Emits an endless stream of compute micro-ops with the configured
+ * character. Control flow walks the code region sequentially with
+ * jumps at taken branches; data accesses mix streaming with uniform
+ * working-set references.
+ */
+class SyntheticStream
+{
+  public:
+    SyntheticStream(const WorkloadParams &params, Rng rng);
+
+    const WorkloadParams &params() const { return params_; }
+
+    /** Generate the next compute micro-op. */
+    MicroOp next();
+
+  private:
+    struct BranchSite
+    {
+        bool periodic;
+        std::uint32_t period;  // for periodic sites
+        std::uint32_t counter;
+        double taken_bias;     // for biased sites
+    };
+
+    Addr nextDataAddr();
+    Addr advancePc();
+    std::uint8_t sampleDep();
+
+    WorkloadParams params_;
+    Rng rng_;
+    std::vector<BranchSite> branches_;
+    Addr pc_;
+    Addr stream_addr_;
+};
+
+} // namespace duplexity
+
+#endif // DPX_WORKLOAD_SYNTHETIC_HH

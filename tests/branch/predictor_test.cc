@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Branch hardware tests: learning behaviour of each predictor, the
+ * tournament chooser, BTB replacement, and RAS semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "branch/predictor.hh"
+#include "sim/rng.hh"
+
+using namespace duplexity;
+
+namespace
+{
+
+/** Train on a deterministic generator; return mispredict rate. */
+template <typename Gen>
+double
+trainRate(BranchPredictor &pred, Gen gen, int n = 20000,
+          int warmup = 2000)
+{
+    int wrong = 0;
+    for (int i = 0; i < n; ++i) {
+        auto [pc, taken] = gen(i);
+        bool correct = pred.predictAndUpdate(pc, taken);
+        if (i >= warmup && !correct)
+            ++wrong;
+    }
+    return static_cast<double>(wrong) / (n - warmup);
+}
+
+} // namespace
+
+TEST(Bimodal, LearnsStrongBias)
+{
+    BimodalPredictor pred(1024);
+    double rate = trainRate(
+        pred, [](int) { return std::pair<Addr, bool>{0x40, true}; });
+    EXPECT_EQ(rate, 0.0);
+}
+
+TEST(Bimodal, TracksBiasedRandomNearEntropy)
+{
+    BimodalPredictor pred(1024);
+    Rng rng(1);
+    double rate = trainRate(pred, [&](int) {
+        return std::pair<Addr, bool>{0x40, rng.chance(0.9)};
+    });
+    // Best achievable is ~10% on a 90/10 branch.
+    EXPECT_NEAR(rate, 0.10, 0.03);
+}
+
+TEST(Bimodal, IndependentCounters)
+{
+    BimodalPredictor pred(1024);
+    trainRate(pred, [](int) {
+        return std::pair<Addr, bool>{0x40, true};
+    }, 100, 0);
+    trainRate(pred, [](int) {
+        return std::pair<Addr, bool>{0x44, false};
+    }, 100, 0);
+    EXPECT_TRUE(pred.predict(0x40));
+    EXPECT_FALSE(pred.predict(0x44));
+}
+
+TEST(Gshare, LearnsAlternatingPattern)
+{
+    GsharePredictor pred(4096, 8);
+    double rate = trainRate(pred, [](int i) {
+        return std::pair<Addr, bool>{0x80, i % 2 == 0};
+    });
+    EXPECT_LT(rate, 0.01);
+}
+
+TEST(Gshare, LearnsShortLoopPattern)
+{
+    GsharePredictor pred(4096, 10);
+    // Loop with period 5: taken 4x, not-taken once.
+    double rate = trainRate(pred, [](int i) {
+        return std::pair<Addr, bool>{0x80, i % 5 != 4};
+    });
+    EXPECT_LT(rate, 0.02);
+}
+
+TEST(Bimodal, CannotLearnAlternatingPattern)
+{
+    BimodalPredictor pred(4096);
+    double rate = trainRate(pred, [](int i) {
+        return std::pair<Addr, bool>{0x80, i % 2 == 0};
+    });
+    // A 2-bit counter oscillates on alternation.
+    EXPECT_GT(rate, 0.4);
+}
+
+TEST(Tournament, MatchesGshareOnPatterns)
+{
+    TournamentPredictor pred(4096, 4096, 4096, 10);
+    double rate = trainRate(pred, [](int i) {
+        return std::pair<Addr, bool>{0x80, i % 4 != 3};
+    });
+    EXPECT_LT(rate, 0.02);
+}
+
+TEST(Tournament, MatchesBimodalOnBias)
+{
+    TournamentPredictor pred(4096, 4096, 4096, 10);
+    Rng rng(2);
+    // Many noisy-biased branches pollute global history; the chooser
+    // should fall back to bimodal and stay near entropy.
+    double rate = trainRate(pred, [&](int i) {
+        Addr pc = 0x100 + 4 * (i % 64);
+        return std::pair<Addr, bool>{pc, rng.chance(0.95)};
+    }, 60000, 6000);
+    EXPECT_LT(rate, 0.09);
+}
+
+TEST(Predictor, StatsCountLookupsAndMispredicts)
+{
+    BimodalPredictor pred(64);
+    pred.predictAndUpdate(0x40, true);
+    pred.predictAndUpdate(0x40, false);
+    EXPECT_EQ(pred.stats().lookups, 2u);
+    EXPECT_GE(pred.stats().mispredicts, 1u);
+    pred.resetStats();
+    EXPECT_EQ(pred.stats().lookups, 0u);
+}
+
+TEST(Factory, BuildsConfiguredKinds)
+{
+    auto t = makePredictor(PredictorConfig::Kind::Tournament);
+    auto g = makePredictor(PredictorConfig::Kind::GshareSmall);
+    ASSERT_NE(t, nullptr);
+    ASSERT_NE(g, nullptr);
+    t->predictAndUpdate(0x40, true);
+    g->predictAndUpdate(0x40, true);
+}
+
+TEST(Btb, MissThenHitAfterUpdate)
+{
+    Btb btb(64, 4);
+    EXPECT_FALSE(btb.lookup(0x1000));
+    btb.update(0x1000, 0x2000);
+    EXPECT_TRUE(btb.lookup(0x1000));
+}
+
+TEST(Btb, CapacityEvictsEntries)
+{
+    Btb btb(16, 4); // 16 entries total
+    // Install 64 branches: at most 16 can survive.
+    for (Addr i = 0; i < 64; ++i)
+        btb.update(0x1000 + i * 4, 0x9000);
+    int present = 0;
+    for (Addr i = 0; i < 64; ++i)
+        present += btb.lookup(0x1000 + i * 4);
+    EXPECT_LE(present, 16);
+    EXPECT_GT(present, 4); // but replacement is not pathological
+}
+
+TEST(Btb, UpdateExistingEntryKeepsOthers)
+{
+    Btb btb(16, 4);
+    btb.update(0x1000, 0x9000);
+    btb.update(0x1010, 0x9100);
+    btb.update(0x1000, 0x9200); // overwrite target
+    EXPECT_TRUE(btb.lookup(0x1000));
+    EXPECT_TRUE(btb.lookup(0x1010));
+}
+
+TEST(Ras, LifoOrder)
+{
+    ReturnAddressStack ras(8);
+    ras.push(0x100);
+    ras.push(0x200);
+    EXPECT_EQ(ras.pop(), 0x200u);
+    EXPECT_EQ(ras.pop(), 0x100u);
+}
+
+TEST(Ras, UnderflowReturnsZero)
+{
+    ReturnAddressStack ras(8);
+    EXPECT_EQ(ras.pop(), 0u);
+}
+
+TEST(Ras, OverflowDropsOldest)
+{
+    ReturnAddressStack ras(2);
+    ras.push(0x1);
+    ras.push(0x2);
+    ras.push(0x3);
+    EXPECT_EQ(ras.overflows(), 1u);
+    EXPECT_EQ(ras.pop(), 0x3u);
+    EXPECT_EQ(ras.pop(), 0x2u);
+    EXPECT_EQ(ras.pop(), 0u); // 0x1 was dropped
+}
+
+TEST(Ras, SizeTracksDepth)
+{
+    ReturnAddressStack ras(4);
+    EXPECT_EQ(ras.depth(), 4u);
+    ras.push(0x1);
+    EXPECT_EQ(ras.size(), 1u);
+    ras.pop();
+    EXPECT_EQ(ras.size(), 0u);
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Calibration tests: measured-IPC scaling must make nominal phase
+ * durations hold on the baseline core (the reproduction's analogue
+ * of the paper's real-hardware service-time measurement).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/calibration.hh"
+
+using namespace duplexity;
+
+TEST(Calibration, IpcMeasurementIsMemoized)
+{
+    MicroserviceSpec spec =
+        makeMicroservice(MicroserviceKind::FlannLL);
+    double a = measureComputeIpc(spec.character,
+                                 IssueMode::OutOfOrder);
+    double b = measureComputeIpc(spec.character,
+                                 IssueMode::OutOfOrder);
+    EXPECT_EQ(a, b);
+    EXPECT_GT(a, 0.05);
+    EXPECT_LT(a, 4.0);
+}
+
+TEST(Calibration, OooBeatsInOrderOnSingleThread)
+{
+    MicroserviceSpec spec =
+        makeMicroservice(MicroserviceKind::FlannLL);
+    EXPECT_GT(
+        measureComputeIpc(spec.character, IssueMode::OutOfOrder),
+        measureComputeIpc(spec.character, IssueMode::InOrder));
+}
+
+TEST(Calibration, CacheResidentWorkloadHasHighIpc)
+{
+    // WordStem's data fits in cache: IPC should be decent.
+    MicroserviceSpec stem =
+        makeMicroservice(MicroserviceKind::WordStem);
+    MicroserviceSpec flann =
+        makeMicroservice(MicroserviceKind::FlannHA);
+    EXPECT_GT(measureComputeIpc(stem.character,
+                                IssueMode::OutOfOrder),
+              measureComputeIpc(flann.character,
+                                IssueMode::OutOfOrder));
+}
+
+/** Calibrated specs must preserve the paper's nominal durations. */
+class CalibratedDurations
+    : public ::testing::TestWithParam<MicroserviceKind>
+{
+};
+
+TEST_P(CalibratedDurations, ComputePhasesScaledToMeasuredIpc)
+{
+    const MicroserviceKind kind = GetParam();
+    MicroserviceSpec nominal = makeMicroservice(kind);
+    MicroserviceSpec calibrated = calibratedMicroservice(kind);
+    ASSERT_EQ(nominal.phases.size(), calibrated.phases.size());
+
+    for (std::size_t i = 0; i < nominal.phases.size(); ++i) {
+        const PhaseSpec &n = nominal.phases[i];
+        const PhaseSpec &c = calibrated.phases[i];
+        EXPECT_EQ(n.kind, c.kind);
+        if (n.kind != PhaseSpec::Kind::Compute)
+            continue;
+        const WorkloadParams &character =
+            n.character ? *n.character : nominal.character;
+        double ipc =
+            measureComputeIpc(character, IssueMode::OutOfOrder);
+        // Nominal duration at nominal IPC == calibrated count at
+        // measured IPC.
+        double nominal_us = n.instr_count->mean() / (3.4e3 * 2.0);
+        double calibrated_us =
+            c.instr_count->mean() / (3.4e3 * ipc);
+        EXPECT_NEAR(calibrated_us, nominal_us, 0.02 * nominal_us);
+    }
+}
+
+TEST_P(CalibratedDurations, StallPhasesUntouched)
+{
+    const MicroserviceKind kind = GetParam();
+    MicroserviceSpec nominal = makeMicroservice(kind);
+    MicroserviceSpec calibrated = calibratedMicroservice(kind);
+    EXPECT_NEAR(calibrated.meanStallUs(), nominal.meanStallUs(),
+                1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllServices, CalibratedDurations,
+                         ::testing::ValuesIn(allMicroservices()));
+
+TEST(Calibration, BatchSegmentsScaledToInOrderIpc)
+{
+    BatchSpec nominal = makeBatch(BatchKind::PageRank, 3);
+    BatchSpec calibrated = calibratedBatch(BatchKind::PageRank, 3);
+    double ipc = measureComputeIpc(nominal.character,
+                                   IssueMode::InOrder);
+    EXPECT_NEAR(calibrated.segment_instrs->mean(),
+                nominal.segment_instrs->mean() * ipc,
+                0.02 * calibrated.segment_instrs->mean());
+}
+
+TEST(Calibration, FlannXYPreservesComputeToStallRatio)
+{
+    BatchSpec spec = calibratedFlannXY(9.0, 1.0, 0);
+    double ipc = measureComputeIpc(spec.character,
+                                   IssueMode::OutOfOrder);
+    double compute_us = spec.segment_instrs->mean() / (3.4e3 * ipc);
+    EXPECT_NEAR(compute_us, 9.0, 0.5);
+    EXPECT_NEAR(spec.stall_us->mean(), 1.0, 1e-9);
+}

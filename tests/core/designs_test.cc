@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Design-point configuration tests (Section V, configurations 1-7).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/designs.hh"
+
+using namespace duplexity;
+
+TEST(Designs, AllSevenPresent)
+{
+    EXPECT_EQ(allDesigns().size(), 7u);
+}
+
+TEST(Designs, BaselineRunsMasterOnly)
+{
+    DesignConfig cfg = makeDesign(DesignKind::Baseline);
+    EXPECT_FALSE(cfg.has_corunner);
+    EXPECT_FALSE(cfg.morphs);
+    EXPECT_EQ(cfg.filler_path, FillerPath::None);
+    EXPECT_EQ(cfg.area_kind, CoreKind::BaselineOoO);
+}
+
+TEST(Designs, SmtHasUnprioritizedCorunner)
+{
+    DesignConfig cfg = makeDesign(DesignKind::Smt);
+    EXPECT_TRUE(cfg.has_corunner);
+    EXPECT_FALSE(cfg.corunner_prioritized);
+    EXPECT_EQ(cfg.corunner_storage_cap, 1.0);
+}
+
+TEST(Designs, SmtPlusCapsCorunnerAtThirtyPercent)
+{
+    DesignConfig cfg = makeDesign(DesignKind::SmtPlus);
+    EXPECT_TRUE(cfg.corunner_prioritized);
+    EXPECT_NEAR(cfg.corunner_storage_cap, 0.30, 1e-12);
+}
+
+TEST(Designs, MorphCoreUsesPrivateFillersAndLocalCaches)
+{
+    DesignConfig cfg = makeDesign(DesignKind::MorphCore);
+    EXPECT_TRUE(cfg.morphs);
+    EXPECT_FALSE(cfg.hsmt_borrowing);
+    EXPECT_EQ(cfg.private_fillers, 8u);
+    EXPECT_EQ(cfg.filler_path, FillerPath::Local);
+    EXPECT_FALSE(cfg.separate_filler_state);
+}
+
+TEST(Designs, MorphCorePlusBorrowsButStillThrashes)
+{
+    DesignConfig cfg = makeDesign(DesignKind::MorphCorePlus);
+    EXPECT_TRUE(cfg.hsmt_borrowing);
+    EXPECT_EQ(cfg.filler_path, FillerPath::Local);
+    EXPECT_FALSE(cfg.separate_filler_state);
+}
+
+TEST(Designs, DuplexityReplReplicatesEverything)
+{
+    DesignConfig cfg = makeDesign(DesignKind::DuplexityRepl);
+    EXPECT_EQ(cfg.filler_path, FillerPath::Replicated);
+    EXPECT_TRUE(cfg.separate_filler_state);
+    EXPECT_EQ(cfg.area_kind, CoreKind::MasterCoreReplicated);
+}
+
+TEST(Designs, DuplexityUsesRemotePathAndFastResume)
+{
+    DesignConfig cfg = makeDesign(DesignKind::Duplexity);
+    EXPECT_EQ(cfg.filler_path, FillerPath::Remote);
+    EXPECT_TRUE(cfg.separate_filler_state);
+    // Section III-B4: ~50-cycle master-thread resumption.
+    EXPECT_EQ(cfg.resume_penalty, 50u);
+    EXPECT_EQ(cfg.area_kind, CoreKind::MasterCore);
+}
+
+TEST(Designs, MorphCoreResumeSlowerThanDuplexity)
+{
+    EXPECT_GT(makeDesign(DesignKind::MorphCore).resume_penalty,
+              makeDesign(DesignKind::Duplexity).resume_penalty);
+}
+
+TEST(Designs, NamesRoundTrip)
+{
+    for (DesignKind kind : allDesigns()) {
+        DesignConfig cfg = makeDesign(kind);
+        EXPECT_EQ(cfg.name, toString(kind));
+        EXPECT_FALSE(cfg.name.empty());
+    }
+}

@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Integration tests over the full scenario runner. Each test asserts
+ * one of the paper's qualitative claims on a short run: utilization
+ * ordering across designs, state-protection effects on service time,
+ * window accounting, and measurement plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/scenario.hh"
+#include "queueing/queue_sim.hh"
+
+using namespace duplexity;
+
+namespace
+{
+
+ScenarioResult
+run(DesignKind design, MicroserviceKind service, double load,
+    Cycle cycles = 1'500'000)
+{
+    ScenarioConfig cfg;
+    cfg.design = design;
+    cfg.service = service;
+    cfg.load = load;
+    cfg.warmup_cycles = 300'000;
+    cfg.measure_cycles = cycles;
+    return runScenario(cfg);
+}
+
+} // namespace
+
+TEST(Scenario, BaselineCompletesRequestsNearOfferedRate)
+{
+    ScenarioResult res =
+        run(DesignKind::Baseline, MicroserviceKind::FlannLL, 0.5);
+    double expected =
+        res.offered_rps * res.seconds;
+    EXPECT_NEAR(static_cast<double>(res.requests), expected,
+                0.35 * expected);
+}
+
+TEST(Scenario, UtilizationOrderingMatchesPaper)
+{
+    // Figure 5(a): Duplexity variants > SMT > Baseline.
+    double base = run(DesignKind::Baseline,
+                      MicroserviceKind::FlannLL, 0.5)
+                      .utilization;
+    double smt =
+        run(DesignKind::Smt, MicroserviceKind::FlannLL, 0.5)
+            .utilization;
+    double duplexity = run(DesignKind::Duplexity,
+                           MicroserviceKind::FlannLL, 0.5)
+                           .utilization;
+    EXPECT_GT(smt, base);
+    EXPECT_GT(duplexity, smt);
+}
+
+TEST(Scenario, DuplexityProtectsServiceTime)
+{
+    // State segregation: Duplexity's service time stays near the
+    // baseline's while MorphCore (shared caches + slow resume)
+    // inflates badly.
+    double base = run(DesignKind::Baseline,
+                      MicroserviceKind::FlannLL, 0.5)
+                      .service_us.mean();
+    double duplexity = run(DesignKind::Duplexity,
+                           MicroserviceKind::FlannLL, 0.5)
+                           .service_us.mean();
+    double morph = run(DesignKind::MorphCore,
+                       MicroserviceKind::FlannLL, 0.5)
+                       .service_us.mean();
+    double smt =
+        run(DesignKind::Smt, MicroserviceKind::FlannLL, 0.5)
+            .service_us.mean();
+    EXPECT_LT(duplexity, 1.25 * base);
+    EXPECT_GT(morph, 1.3 * base);
+    EXPECT_GT(smt, 1.2 * base);
+}
+
+TEST(Scenario, OnlyMorphingDesignsOpenWindows)
+{
+    EXPECT_EQ(run(DesignKind::Baseline,
+                  MicroserviceKind::FlannLL, 0.5)
+                  .filler_window_fraction,
+              0.0);
+    EXPECT_EQ(run(DesignKind::Smt, MicroserviceKind::FlannLL, 0.5)
+                  .filler_ops,
+              0u);
+    EXPECT_GT(run(DesignKind::Duplexity,
+                  MicroserviceKind::FlannLL, 0.5)
+                  .filler_window_fraction,
+              0.2);
+}
+
+TEST(Scenario, WindowFractionGrowsAsLoadFalls)
+{
+    double low = run(DesignKind::Duplexity,
+                     MicroserviceKind::McRouter, 0.3)
+                     .filler_window_fraction;
+    double high = run(DesignKind::Duplexity,
+                      MicroserviceKind::McRouter, 0.7)
+                      .filler_window_fraction;
+    EXPECT_GT(low, high);
+}
+
+TEST(Scenario, WordStemHasNoMasterRemoteOps)
+{
+    ScenarioResult res =
+        run(DesignKind::Baseline, MicroserviceKind::WordStem, 0.5);
+    // All remote traffic comes from batch threads; the master never
+    // stalls (Section V).
+    EXPECT_GT(res.requests, 0u);
+    ScenarioResult dup =
+        run(DesignKind::Duplexity, MicroserviceKind::WordStem, 0.5);
+    // WordStem still opens windows: idleness remains.
+    EXPECT_GT(dup.filler_window_fraction, 0.1);
+}
+
+TEST(Scenario, BatchStpImprovesWithBorrowing)
+{
+    double base = run(DesignKind::Baseline,
+                      MicroserviceKind::FlannLL, 0.5)
+                      .batch_stp;
+    double duplexity = run(DesignKind::Duplexity,
+                           MicroserviceKind::FlannLL, 0.5)
+                           .batch_stp;
+    EXPECT_GT(duplexity, base);
+}
+
+TEST(Scenario, RemoteOpsFlowAtAllLevels)
+{
+    ScenarioResult res =
+        run(DesignKind::Duplexity, MicroserviceKind::FlannLL, 0.5);
+    EXPECT_GT(res.remote_ops_per_sec, 0.0);
+    // Single-cache-line ops: far below FDR IOPS capacity
+    // (Section VIII).
+    EXPECT_LT(res.remote_ops_per_sec, 90e6);
+}
+
+TEST(Scenario, ActivityCountersPopulated)
+{
+    ScenarioResult res =
+        run(DesignKind::Duplexity, MicroserviceKind::Rsc, 0.5);
+    EXPECT_GT(res.activity.seconds, 0.0);
+    EXPECT_GT(res.activity.ooo_ops, 0u);
+    EXPECT_GT(res.activity.ino_ops, 0u);
+    EXPECT_GT(res.activity.l1_accesses, 0u);
+    EXPECT_GT(res.activity.llc_accesses, 0u);
+    EXPECT_GT(res.activity.dram_accesses, 0u);
+    // Duplexity fillers cross the dyad link and filter through L0s.
+    EXPECT_GT(res.activity.l0_accesses, 0u);
+    EXPECT_GT(res.activity.link_traversals, 0u);
+}
+
+TEST(Scenario, OnlyDuplexityUsesTheDyadLink)
+{
+    ScenarioResult repl =
+        run(DesignKind::DuplexityRepl, MicroserviceKind::Rsc, 0.5);
+    EXPECT_EQ(repl.activity.link_traversals, 0u);
+    ScenarioResult morph =
+        run(DesignKind::MorphCorePlus, MicroserviceKind::Rsc, 0.5);
+    EXPECT_EQ(morph.activity.link_traversals, 0u);
+}
+
+TEST(Scenario, FrequenciesFollowTableII)
+{
+    EXPECT_NEAR(run(DesignKind::Baseline,
+                    MicroserviceKind::WordStem, 0.3)
+                    .frequency_ghz,
+                3.40, 0.01);
+    EXPECT_NEAR(run(DesignKind::Duplexity,
+                    MicroserviceKind::WordStem, 0.3)
+                    .frequency_ghz,
+                3.25, 0.01);
+}
+
+TEST(Scenario, DeterministicForSeed)
+{
+    ScenarioConfig cfg;
+    cfg.design = DesignKind::Duplexity;
+    cfg.service = MicroserviceKind::McRouter;
+    cfg.load = 0.5;
+    cfg.measure_cycles = 800'000;
+    ScenarioResult a = runScenario(cfg);
+    ScenarioResult b = runScenario(cfg);
+    EXPECT_EQ(a.requests, b.requests);
+    EXPECT_EQ(a.utilization, b.utilization);
+    EXPECT_EQ(a.filler_ops, b.filler_ops);
+}
+
+TEST(Scenario, HigherLoadRaisesMasterUtilization)
+{
+    double low = run(DesignKind::Baseline,
+                     MicroserviceKind::WordStem, 0.3)
+                     .utilization;
+    double high = run(DesignKind::Baseline,
+                      MicroserviceKind::WordStem, 0.7)
+                      .utilization;
+    EXPECT_GT(high, 1.5 * low);
+}
+
+TEST(Scenario, SojournAtLeastService)
+{
+    ScenarioResult res =
+        run(DesignKind::Baseline, MicroserviceKind::McRouter, 0.7);
+    EXPECT_GE(res.sojourn_us.mean(), res.service_us.mean() - 1e-9);
+    EXPECT_GE(res.wait_us.mean(), 0.0);
+}
+
+TEST(Scenario, AloneBatchIpcIsPositiveAndStable)
+{
+    double a = aloneBatchIpc(BatchKind::PageRank);
+    double b = aloneBatchIpc(BatchKind::PageRank);
+    EXPECT_EQ(a, b);
+    EXPECT_GT(a, 0.01);
+    EXPECT_LT(a, 4.0);
+}
+
+TEST(Scenario, MeasureCyclesEnvFallback)
+{
+    EXPECT_EQ(measureCyclesFromEnv(1234), 1234u);
+}
+
+TEST(Scenario, BaselineServiceMemoStable)
+{
+    double a = baselineServiceUs(MicroserviceKind::FlannLL);
+    double b = baselineServiceUs(MicroserviceKind::FlannLL);
+    EXPECT_EQ(a, b);
+    // In-situ service should be within ~2x of the nominal spec.
+    double nominal = makeMicroservice(MicroserviceKind::FlannLL)
+                         .nominalServiceUs();
+    EXPECT_GT(a, 0.5 * nominal);
+    EXPECT_LT(a, 2.0 * nominal);
+}
+
+namespace
+{
+
+/** The BigHouse stage over a scenario's measured services. */
+double
+queuedP99(const ScenarioResult &res)
+{
+    QueueSimConfig cfg;
+    cfg.interarrival = makeExponential(1.0 / res.offered_rps);
+    cfg.service = makeScaled(
+        makeEmpirical(res.service_us.samples()), 1e-6);
+    cfg.max_batches = 40;
+    return toMicros(runQueueSim(cfg).p99Sojourn());
+}
+
+} // namespace
+
+TEST(Scenario, TailOrderingAtHighLoad)
+{
+    // The paper's QoS headline (Section VII): at high load, SMT
+    // co-location blows up the microservice's p99 while Duplexity
+    // stays close to the baseline tail.
+    ScenarioResult base = run(DesignKind::Baseline,
+                              MicroserviceKind::FlannLL, 0.7,
+                              2'500'000);
+    ScenarioResult smt = run(DesignKind::Smt,
+                             MicroserviceKind::FlannLL, 0.7,
+                             2'500'000);
+    ScenarioResult dup = run(DesignKind::Duplexity,
+                             MicroserviceKind::FlannLL, 0.7,
+                             2'500'000);
+    ASSERT_GT(base.service_us.count(), 32u);
+    double p99_base = queuedP99(base);
+    double p99_smt = queuedP99(smt);
+    double p99_dup = queuedP99(dup);
+    EXPECT_GT(p99_smt, 1.5 * p99_base);
+    EXPECT_LT(p99_dup, 1.6 * p99_base);
+    EXPECT_LT(p99_dup, p99_smt);
+}
+
+TEST(Scenario, DesignOverrideRespected)
+{
+    // The ablation hook: a Duplexity variant with MorphCore's slow
+    // resume must behave worse for the master-thread than stock
+    // Duplexity under identical conditions.
+    ScenarioConfig cfg;
+    cfg.design = DesignKind::Duplexity;
+    cfg.service = MicroserviceKind::FlannLL;
+    cfg.load = 0.5;
+    cfg.measure_cycles = 1'200'000;
+    ScenarioResult stock = runScenario(cfg);
+
+    DesignConfig slow = makeDesign(DesignKind::Duplexity);
+    slow.resume_penalty = 2000;
+    cfg.design_override = slow;
+    ScenarioResult hobbled = runScenario(cfg);
+
+    EXPECT_GT(hobbled.service_us.mean(), stock.service_us.mean());
+}

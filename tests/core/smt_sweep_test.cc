@@ -1,0 +1,142 @@
+/**
+ * @file
+ * SMT thread-scaling tests, mirroring the claims behind Figures 1(c)
+ * and 2(a): throughput grows with threads, µs-stalled workloads need
+ * more threads, and the InO/OoO gap closes at high thread counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/calibration.hh"
+#include "core/smt_sweep.hh"
+
+using namespace duplexity;
+
+namespace
+{
+
+SmtSweepConfig
+flannSweep(IssueMode mode, std::uint32_t threads, double compute_us,
+           double stall_us)
+{
+    SmtSweepConfig cfg;
+    cfg.mode = mode;
+    cfg.threads = threads;
+    cfg.workload = [=](ThreadId) {
+        // Concurrent requests of one service share its tables.
+        return calibratedFlannXY(compute_us, stall_us, 0);
+    };
+    cfg.warmup_cycles = 100'000;
+    cfg.measure_cycles = 500'000;
+    return cfg;
+}
+
+} // namespace
+
+TEST(SmtSweep, MoreThreadsMoreThroughputWithoutStalls)
+{
+    double one =
+        runSmtSweep(flannSweep(IssueMode::OutOfOrder, 1, 10, 0))
+            .total_ipc;
+    double four =
+        runSmtSweep(flannSweep(IssueMode::OutOfOrder, 4, 10, 0))
+            .total_ipc;
+    EXPECT_GT(four, 1.5 * one);
+}
+
+TEST(SmtSweep, StalledWorkloadNeedsMoreThreads)
+{
+    // With 1 µs stalls per 1 µs compute, two threads are nowhere
+    // near enough to cover the stall time; eight do much better.
+    double two =
+        runSmtSweep(flannSweep(IssueMode::OutOfOrder, 2, 1, 1))
+            .total_ipc;
+    double eight =
+        runSmtSweep(flannSweep(IssueMode::OutOfOrder, 8, 1, 1))
+            .total_ipc;
+    EXPECT_GT(eight, 1.5 * two);
+}
+
+TEST(SmtSweep, StallsReduceThroughputAtEqualThreads)
+{
+    double no_stall =
+        runSmtSweep(flannSweep(IssueMode::OutOfOrder, 4, 10, 0))
+            .total_ipc;
+    double stalled =
+        runSmtSweep(flannSweep(IssueMode::OutOfOrder, 4, 1, 1))
+            .total_ipc;
+    EXPECT_GT(no_stall, stalled);
+}
+
+TEST(SmtSweep, OooBeatsInOrderSingleThread)
+{
+    double ooo =
+        runSmtSweep(flannSweep(IssueMode::OutOfOrder, 1, 10, 0))
+            .total_ipc;
+    double ino =
+        runSmtSweep(flannSweep(IssueMode::InOrder, 1, 10, 0))
+            .total_ipc;
+    EXPECT_GT(ooo, 1.3 * ino);
+}
+
+TEST(SmtSweep, InOrderGapClosesWithThreads)
+{
+    // Figure 2(a): the OoO/InO gap vanishes around 8 threads.
+    auto gap = [&](std::uint32_t threads) {
+        double ooo = runSmtSweep(flannSweep(IssueMode::OutOfOrder,
+                                            threads, 10, 0))
+                         .total_ipc;
+        double ino = runSmtSweep(flannSweep(IssueMode::InOrder,
+                                            threads, 10, 0))
+                         .total_ipc;
+        return ooo / ino;
+    };
+    double gap_1 = gap(1);
+    double gap_8 = gap(8);
+    EXPECT_LT(gap_8, 0.85 * gap_1);
+    EXPECT_LT(gap_8, 1.6);
+}
+
+TEST(SmtSweep, CacheMissRateRisesWithPrivateFootprints)
+{
+    // Multiprogrammed co-location (private working sets per thread)
+    // thrashes the shared L1, unlike same-service request threads.
+    auto private_cfg = [](std::uint32_t threads) {
+        SmtSweepConfig cfg;
+        cfg.mode = IssueMode::OutOfOrder;
+        cfg.threads = threads;
+        cfg.workload = [](ThreadId uid) {
+            return calibratedFlannXY(10.0, 0.0, uid);
+        };
+        cfg.warmup_cycles = 100'000;
+        cfg.measure_cycles = 500'000;
+        return cfg;
+    };
+    double one = runSmtSweep(private_cfg(1)).l1d_miss_rate;
+    double eight = runSmtSweep(private_cfg(8)).l1d_miss_rate;
+    EXPECT_GT(eight, one);
+}
+
+TEST(SmtSweep, DeterministicForSeed)
+{
+    SmtSweepConfig cfg = flannSweep(IssueMode::OutOfOrder, 2, 5, 1);
+    double a = runSmtSweep(cfg).total_ipc;
+    double b = runSmtSweep(cfg).total_ipc;
+    EXPECT_EQ(a, b);
+}
+
+TEST(SmtSweep, SpecMixesRunStallFree)
+{
+    SmtSweepConfig cfg;
+    cfg.mode = IssueMode::OutOfOrder;
+    cfg.threads = 4;
+    cfg.workload = [](ThreadId uid) {
+        SpecProfile profile =
+            static_cast<SpecProfile>(uid % 3);
+        return makeSpecBatch(profile, uid);
+    };
+    cfg.warmup_cycles = 50'000;
+    cfg.measure_cycles = 300'000;
+    SmtSweepResult res = runSmtSweep(cfg);
+    EXPECT_GT(res.total_ipc, 0.5);
+}

@@ -1,0 +1,313 @@
+/**
+ * @file
+ * Timestamp pipeline-model tests: bandwidth caps, dependency
+ * serialization, in-order vs out-of-order issue, window occupancy,
+ * branch redirects, and remote-op reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "branch/predictor.hh"
+#include "cpu/core_engine.hh"
+#include "mem/memory_system.hh"
+
+using namespace duplexity;
+
+namespace
+{
+
+class EngineTest : public ::testing::Test
+{
+  protected:
+    EngineTest()
+        : mem_(MemSystemConfig::makeDefault()),
+          engine_(CoreEngineConfig{}),
+          pred_(makePredictor(PredictorConfig::Kind::Tournament)),
+          btb_(2048, 4), ras_(32)
+    {
+    }
+
+    Lane
+    makeLane(IssueMode mode)
+    {
+        Lane lane;
+        LaneConfig cfg = engine_.defaultLaneConfig(mode);
+        cfg.path = mem_.masterPath();
+        cfg.branch = {pred_.get(), &btb_, &ras_};
+        lane.configure(cfg);
+        return lane;
+    }
+
+    MicroOp
+    alu(Addr pc = 0, std::uint8_t dep = 0)
+    {
+        MicroOp op;
+        op.cls = OpClass::IntAlu;
+        op.pc = pc;
+        op.dep1 = dep;
+        return op;
+    }
+
+    /** Run n ALU ops over a warm 4KB code loop; return IPC. */
+    double
+    runAlu(Lane &lane, int n)
+    {
+        Cycle last = 0;
+        for (int i = 0; i < n; ++i) {
+            Addr pc = 0x1000 + static_cast<Addr>(i) * 4 % 4096;
+            OpOutcome out = engine_.processOp(lane, alu(pc));
+            last = out.commit_time;
+        }
+        return static_cast<double>(n) / static_cast<double>(last);
+    }
+
+    DyadMemorySystem mem_;
+    CoreEngine engine_;
+    std::unique_ptr<BranchPredictor> pred_;
+    Btb btb_;
+    ReturnAddressStack ras_;
+};
+
+} // namespace
+
+TEST_F(EngineTest, IndependentAluIpcNearWidth)
+{
+    Lane lane = makeLane(IssueMode::OutOfOrder);
+    double ipc = runAlu(lane, 20000);
+    EXPECT_GT(ipc, 3.2);
+    EXPECT_LE(ipc, 4.001);
+}
+
+TEST_F(EngineTest, SerialDependencyChainLimitsIpcToOne)
+{
+    Lane lane = makeLane(IssueMode::OutOfOrder);
+    Cycle last = 0;
+    for (int i = 0; i < 10000; ++i) {
+        OpOutcome out = engine_.processOp(lane, alu(0x1000, 1));
+        last = out.commit_time;
+    }
+    double ipc = 10000.0 / static_cast<double>(last);
+    EXPECT_NEAR(ipc, 1.0, 0.05);
+}
+
+TEST_F(EngineTest, MultiplyChainLimitedByLatency)
+{
+    Lane lane = makeLane(IssueMode::OutOfOrder);
+    Cycle last = 0;
+    for (int i = 0; i < 6000; ++i) {
+        MicroOp op;
+        op.cls = OpClass::IntMul;
+        op.pc = 0x1000;
+        op.dep1 = 1;
+        last = engine_.processOp(lane, op).commit_time;
+    }
+    double ipc = 6000.0 / static_cast<double>(last);
+    // Each multiply waits for the previous: 1 / 3-cycle latency.
+    EXPECT_NEAR(ipc, 1.0 / 3.0, 0.03);
+}
+
+TEST_F(EngineTest, InOrderIssueIsMonotonic)
+{
+    Lane lane = makeLane(IssueMode::InOrder);
+    Cycle prev_issue = 0;
+    Addr pc = 0x1000;
+    for (int i = 0; i < 5000; ++i) {
+        OpOutcome out = engine_.processOp(lane, alu(pc));
+        pc += 4;
+        EXPECT_GE(out.issue_time, prev_issue);
+        prev_issue = out.issue_time;
+    }
+}
+
+TEST_F(EngineTest, CommitIsInProgramOrderPerLane)
+{
+    Lane lane = makeLane(IssueMode::OutOfOrder);
+    Cycle prev = 0;
+    Addr pc = 0x1000;
+    for (int i = 0; i < 5000; ++i) {
+        MicroOp op = alu(pc);
+        if (i % 7 == 0) {
+            op.cls = OpClass::Load;
+            op.mem_addr = 0x100000 + 8192ull * i; // frequent misses
+        }
+        pc += 4;
+        OpOutcome out = engine_.processOp(lane, op);
+        EXPECT_GE(out.commit_time, prev);
+        prev = out.commit_time;
+    }
+}
+
+TEST_F(EngineTest, OutOfOrderHidesLoadMissBetterThanInOrder)
+{
+    Lane ooo = makeLane(IssueMode::OutOfOrder);
+    Lane ino = makeLane(IssueMode::InOrder);
+    auto run = [&](Lane &lane, Addr region) {
+        Cycle last = 0;
+        Addr pc = 0x1000;
+        for (int i = 0; i < 8000; ++i) {
+            MicroOp op;
+            if (i % 10 == 0) {
+                op.cls = OpClass::Load;
+                // Unique lines: misses to DRAM.
+                op.mem_addr = region + 64ull * 131 * i;
+            } else {
+                op.cls = OpClass::IntAlu;
+            }
+            op.pc = pc;
+            pc += 4;
+            last = engine_.processOp(lane, op).commit_time;
+        }
+        return 8000.0 / static_cast<double>(last);
+    };
+    double ipc_ooo = run(ooo, 0x10000000);
+    double ipc_ino = run(ino, 0x50000000);
+    EXPECT_GT(ipc_ooo, 1.5 * ipc_ino);
+}
+
+TEST_F(EngineTest, SmallerWindowLowersMlp)
+{
+    Lane big = makeLane(IssueMode::OutOfOrder);
+    LaneConfig small_cfg =
+        engine_.defaultLaneConfig(IssueMode::OutOfOrder);
+    small_cfg.path = mem_.masterPath();
+    small_cfg.branch = {pred_.get(), &btb_, &ras_};
+    small_cfg.inflight_cap = 16;
+    small_cfg.use_shared_rob = false;
+    Lane small;
+    small.configure(small_cfg);
+
+    auto run = [&](Lane &lane, Addr region) {
+        Cycle last = 0;
+        for (int i = 0; i < 8000; ++i) {
+            MicroOp op;
+            op.cls = i % 4 == 0 ? OpClass::Load : OpClass::IntAlu;
+            op.mem_addr = region + 64ull * 131 * i;
+            op.pc = 0x1000 + 4 * i;
+            last = engine_.processOp(lane, op).commit_time;
+        }
+        return 8000.0 / static_cast<double>(last);
+    };
+    double ipc_big = run(big, 0x20000000);
+    double ipc_small = run(small, 0x60000000);
+    EXPECT_GT(ipc_big, ipc_small);
+}
+
+TEST_F(EngineTest, MispredictOpensFetchGap)
+{
+    Lane lane = makeLane(IssueMode::OutOfOrder);
+    // Train the predictor taken, then surprise it.
+    MicroOp branch;
+    branch.cls = OpClass::Branch;
+    branch.pc = 0x2000;
+    branch.taken = true;
+    for (int i = 0; i < 100; ++i)
+        engine_.processOp(lane, branch);
+    branch.taken = false; // mispredict
+    OpOutcome out = engine_.processOp(lane, branch);
+    EXPECT_TRUE(out.mispredicted);
+    EXPECT_GE(lane.nextFetch(),
+              out.done_time +
+                  engine_.config().redirect_penalty_ooo);
+}
+
+TEST_F(EngineTest, RemoteOpReportsStall)
+{
+    Lane lane = makeLane(IssueMode::OutOfOrder);
+    MicroOp op;
+    op.cls = OpClass::Remote;
+    op.stall_us = 2.5f;
+    OpOutcome out = engine_.processOp(lane, op);
+    EXPECT_TRUE(out.remote);
+    EXPECT_FLOAT_EQ(out.stall_us, 2.5f);
+}
+
+TEST_F(EngineTest, EndOfRequestPropagates)
+{
+    Lane lane = makeLane(IssueMode::OutOfOrder);
+    MicroOp op = alu(0x1000);
+    op.end_of_request = true;
+    EXPECT_TRUE(engine_.processOp(lane, op).end_of_request);
+}
+
+TEST_F(EngineTest, StallUntilDelaysNextFetch)
+{
+    Lane lane = makeLane(IssueMode::OutOfOrder);
+    engine_.processOp(lane, alu(0x1000));
+    lane.stallUntil(5000);
+    OpOutcome out = engine_.processOp(lane, alu(0x1004));
+    EXPECT_GE(out.fetch_time, 5000u);
+}
+
+TEST_F(EngineTest, SharedIssueBandwidthSplitsAcrossLanes)
+{
+    Lane a = makeLane(IssueMode::InOrder);
+    Lane b = makeLane(IssueMode::InOrder);
+    // Interleave two lanes; aggregate cannot exceed issue width.
+    Cycle last = 0;
+    for (int i = 0; i < 4000; ++i) {
+        last = std::max(
+            last, engine_.processOp(a, alu(0x1000 + 4 * i))
+                      .commit_time);
+        last = std::max(
+            last, engine_.processOp(b, alu(0x9000 + 4 * i))
+                      .commit_time);
+    }
+    double aggregate = 8000.0 / static_cast<double>(last);
+    EXPECT_LE(aggregate, 4.001);
+    EXPECT_GT(aggregate, 2.0);
+}
+
+TEST_F(EngineTest, ResetHistoryClearsDependencies)
+{
+    Lane lane = makeLane(IssueMode::OutOfOrder);
+    // Long-latency op, then resetHistory: the next op must not wait
+    // for the pre-reset producer.
+    MicroOp load;
+    load.cls = OpClass::Load;
+    load.mem_addr = 0x34567000;
+    load.pc = 0x1000;
+    OpOutcome lout = engine_.processOp(lane, load);
+    lane.resetHistory(lout.issue_time + 1);
+    // Same fetch line as the load so only the dependency matters.
+    OpOutcome next = engine_.processOp(lane, alu(0x1004, 1));
+    EXPECT_LT(next.issue_time, lout.done_time);
+}
+
+TEST_F(EngineTest, ReturnWithoutCallRedirects)
+{
+    Lane lane = makeLane(IssueMode::OutOfOrder);
+    MicroOp ret;
+    ret.cls = OpClass::Return;
+    ret.pc = 0x3000;
+    OpOutcome out = engine_.processOp(lane, ret);
+    EXPECT_TRUE(out.mispredicted);
+}
+
+TEST_F(EngineTest, CallThenReturnPredictsFine)
+{
+    Lane lane = makeLane(IssueMode::OutOfOrder);
+    MicroOp call;
+    call.cls = OpClass::Call;
+    call.pc = 0x3000;
+    call.taken = true;
+    btb_.update(0x3000, 0x4000); // known call target
+    engine_.processOp(lane, call);
+    MicroOp ret;
+    ret.cls = OpClass::Return;
+    ret.pc = 0x4000;
+    EXPECT_FALSE(engine_.processOp(lane, ret).mispredicted);
+}
+
+TEST_F(EngineTest, FetchTimeRespectsIcacheMiss)
+{
+    Lane lane = makeLane(IssueMode::OutOfOrder);
+    // Jump far so the fetch misses everything down to DRAM.
+    OpOutcome out = engine_.processOp(lane, alu(0x7777000000));
+    EXPECT_GT(out.fetch_time + 10,
+              engine_.config().fetch_hidden);
+    OpOutcome out2 = engine_.processOp(lane, alu(0x7777000004));
+    // Same line now: no extra fetch penalty beyond bandwidth.
+    EXPECT_LE(out2.fetch_time, out.fetch_time + 1);
+}

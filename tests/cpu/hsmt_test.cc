@@ -1,0 +1,331 @@
+/**
+ * @file
+ * HSMT tests: run-queue FIFO semantics, stall-driven context swaps,
+ * quantum preemption, window open/close, and pool-sharing between
+ * units (the dyad's thread-borrowing mechanism).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "branch/predictor.hh"
+#include "cpu/hsmt.hh"
+#include "mem/memory_system.hh"
+
+using namespace duplexity;
+
+namespace
+{
+
+/** Deterministic source: n_compute ALU ops, then a remote stall. */
+class ScriptedSource : public InstrSource
+{
+  public:
+    ScriptedSource(std::uint64_t n_compute, float stall_us)
+        : n_compute_(n_compute), stall_us_(stall_us)
+    {
+    }
+
+    MicroOp
+    next() override
+    {
+        MicroOp op;
+        op.pc = 0x1000 + 4 * (count_ % 64);
+        if (stall_us_ > 0 && count_ % (n_compute_ + 1) == n_compute_) {
+            op.cls = OpClass::Remote;
+            op.stall_us = stall_us_;
+        } else {
+            op.cls = OpClass::IntAlu;
+        }
+        ++count_;
+        return op;
+    }
+
+  private:
+    std::uint64_t n_compute_;
+    float stall_us_;
+    std::uint64_t count_ = 0;
+};
+
+class CountingSink : public CommitSink
+{
+  public:
+    void
+    onCommit(const VirtualContext &ctx, const OpOutcome &out) override
+    {
+        ++total;
+        per_ctx[ctx.id()] += 1;
+        if (out.remote)
+            ++remotes;
+    }
+
+    std::uint64_t total = 0;
+    std::uint64_t remotes = 0;
+    std::map<ThreadId, std::uint64_t> per_ctx;
+};
+
+class HsmtTest : public ::testing::Test
+{
+  protected:
+    HsmtTest()
+        : mem_(MemSystemConfig::makeDefault()),
+          engine_(CoreEngineConfig{}),
+          pred_(makePredictor(PredictorConfig::Kind::GshareSmall)),
+          btb_(2048, 4), ras_(16)
+    {
+    }
+
+    void
+    addContexts(int n, std::uint64_t compute, float stall_us)
+    {
+        for (int i = 0; i < n; ++i) {
+            sources_.push_back(std::make_unique<ScriptedSource>(
+                compute, stall_us));
+            ctxs_.push_back(std::make_unique<VirtualContext>(
+                static_cast<ThreadId>(i + 1),
+                sources_.back().get()));
+            pool_.add(ctxs_.back().get());
+        }
+    }
+
+    std::unique_ptr<HsmtUnit>
+    makeUnit(const HsmtConfig &cfg)
+    {
+        auto unit = std::make_unique<HsmtUnit>(
+            engine_, pool_, cfg, Frequency(3.4e9));
+        LaneConfig proto =
+            engine_.defaultLaneConfig(IssueMode::InOrder);
+        proto.path = mem_.lenderPath();
+        proto.branch = {pred_.get(), &btb_, &ras_};
+        unit->configureLanes(proto);
+        return unit;
+    }
+
+    DyadMemorySystem mem_;
+    CoreEngine engine_;
+    std::unique_ptr<BranchPredictor> pred_;
+    Btb btb_;
+    ReturnAddressStack ras_;
+    VirtualContextPool pool_;
+    std::vector<std::unique_ptr<ScriptedSource>> sources_;
+    std::vector<std::unique_ptr<VirtualContext>> ctxs_;
+};
+
+} // namespace
+
+TEST(VirtualContextPool, FifoAcquireOrder)
+{
+    VirtualContextPool pool;
+    ScriptedSource src(10, 0);
+    VirtualContext a(1, &src), b(2, &src), c(3, &src);
+    pool.add(&a);
+    pool.add(&b);
+    pool.add(&c);
+    EXPECT_EQ(pool.acquire(0, nullptr), &a);
+    EXPECT_EQ(pool.acquire(0, nullptr), &b);
+    pool.release(&a);
+    EXPECT_EQ(pool.acquire(0, nullptr), &c);
+    EXPECT_EQ(pool.acquire(0, nullptr), &a);
+}
+
+TEST(VirtualContextPool, SkipsStalledContexts)
+{
+    VirtualContextPool pool;
+    ScriptedSource src(10, 0);
+    VirtualContext a(1, &src), b(2, &src);
+    a.setReadyTime(1000);
+    pool.add(&a);
+    pool.add(&b);
+    EXPECT_EQ(pool.acquire(0, nullptr), &b);
+    Cycle avail = 0;
+    EXPECT_EQ(pool.acquire(0, &avail), nullptr);
+    EXPECT_EQ(avail, 1000u);
+    EXPECT_EQ(pool.acquire(1000, nullptr), &a);
+}
+
+TEST(VirtualContextPool, StatsTracked)
+{
+    VirtualContextPool pool;
+    ScriptedSource src(10, 0);
+    VirtualContext a(1, &src);
+    pool.add(&a);
+    pool.acquire(0, nullptr);
+    pool.release(&a);
+    Cycle avail;
+    pool.acquire(0, nullptr);
+    pool.acquire(0, &avail);
+    EXPECT_EQ(pool.stats().acquires, 2u);
+    EXPECT_EQ(pool.stats().releases, 1u);
+    EXPECT_EQ(pool.stats().empty_acquires, 1u);
+}
+
+TEST_F(HsmtTest, RunsStallFreeContextsAtFullOccupancy)
+{
+    addContexts(8, 1000000, 0.0f);
+    HsmtConfig cfg;
+    auto unit = makeUnit(cfg);
+    unit->openWindow(0, HsmtUnit::never);
+    CountingSink sink;
+    unit->runUntil(50000, &sink);
+    EXPECT_EQ(unit->occupiedLanes(), 8u);
+    EXPECT_GT(sink.total, 50000u); // aggregate IPC > 1
+}
+
+TEST_F(HsmtTest, SwapsOnMicrosecondStalls)
+{
+    // 16 contexts alternating 200 ops compute / 1 µs stall on 8
+    // lanes: stalls force context swaps beyond the initial loads.
+    addContexts(16, 200, 1.0f);
+    HsmtConfig cfg;
+    auto unit = makeUnit(cfg);
+    unit->openWindow(0, HsmtUnit::never);
+    CountingSink sink;
+    unit->runUntil(200000, &sink);
+    EXPECT_GT(unit->contextSwaps(), 50u);
+    EXPECT_GT(sink.remotes, 50u);
+}
+
+TEST_F(HsmtTest, BacklogImprovesThroughputUnderStalls)
+{
+    // Same per-thread behaviour; more virtual contexts should yield
+    // more aggregate progress because lanes never idle. Each run
+    // gets a fresh engine/memory world (calendars are stateful).
+    auto run = [](int contexts) {
+        DyadMemorySystem mem(MemSystemConfig::makeDefault());
+        CoreEngine engine{CoreEngineConfig{}};
+        auto pred =
+            makePredictor(PredictorConfig::Kind::GshareSmall);
+        Btb btb(2048, 4);
+        ReturnAddressStack ras(16);
+        VirtualContextPool pool;
+        std::vector<std::unique_ptr<ScriptedSource>> sources;
+        std::vector<std::unique_ptr<VirtualContext>> ctxs;
+        for (int i = 0; i < contexts; ++i) {
+            sources.push_back(
+                std::make_unique<ScriptedSource>(400, 1.0f));
+            ctxs.push_back(std::make_unique<VirtualContext>(
+                static_cast<ThreadId>(i + 1), sources.back().get()));
+            pool.add(ctxs.back().get());
+        }
+        HsmtUnit unit(engine, pool, HsmtConfig{}, Frequency(3.4e9));
+        LaneConfig proto =
+            engine.defaultLaneConfig(IssueMode::InOrder);
+        proto.path = mem.lenderPath();
+        proto.branch = {pred.get(), &btb, &ras};
+        unit.configureLanes(proto);
+        unit.openWindow(0, HsmtUnit::never);
+        CountingSink sink;
+        unit.runUntil(400000, &sink);
+        return sink.total;
+    };
+    std::uint64_t with_8 = run(8);
+    std::uint64_t with_24 = run(24);
+    EXPECT_GT(with_24, with_8 * 3 / 2);
+}
+
+TEST_F(HsmtTest, QuantumPreemptsLongRunners)
+{
+    // 9 stall-free contexts on 8 lanes: only the quantum rotates the
+    // 9th in.
+    addContexts(9, 100000000, 0.0f);
+    HsmtConfig cfg;
+    cfg.quantum = 20000;
+    auto unit = makeUnit(cfg);
+    unit->openWindow(0, HsmtUnit::never);
+    CountingSink sink;
+    unit->runUntil(300000, &sink);
+    EXPECT_EQ(sink.per_ctx.size(), 9u);
+    for (const auto &[id, ops] : sink.per_ctx)
+        EXPECT_GT(ops, 0u) << "context " << id << " starved";
+}
+
+TEST_F(HsmtTest, NoQuantumStarvesExtraContext)
+{
+    addContexts(9, 100000000, 0.0f);
+    HsmtConfig cfg;
+    cfg.quantum = HsmtUnit::never; // effectively disabled
+    auto unit = makeUnit(cfg);
+    unit->openWindow(0, HsmtUnit::never);
+    CountingSink sink;
+    unit->runUntil(300000, &sink);
+    EXPECT_LT(sink.per_ctx.size(), 9u);
+}
+
+TEST_F(HsmtTest, ClosedWindowRunsNothing)
+{
+    addContexts(8, 1000, 0.0f);
+    HsmtConfig cfg;
+    auto unit = makeUnit(cfg);
+    CountingSink sink;
+    EXPECT_EQ(unit->nextTime(), HsmtUnit::never);
+    EXPECT_FALSE(unit->advanceOne(&sink));
+    EXPECT_EQ(sink.total, 0u);
+}
+
+TEST_F(HsmtTest, CloseWindowReturnsContextsReady)
+{
+    addContexts(8, 1000000, 0.0f);
+    HsmtConfig cfg;
+    auto unit = makeUnit(cfg);
+    unit->openWindow(0, HsmtUnit::never);
+    CountingSink sink;
+    unit->runUntil(10000, &sink);
+    EXPECT_EQ(pool_.size(), 0u);
+    unit->closeWindow(10000);
+    EXPECT_EQ(unit->occupiedLanes(), 0u);
+    EXPECT_EQ(pool_.size(), 8u);
+    for (VirtualContext *ctx : pool_.queued())
+        EXPECT_LE(ctx->readyTime(), 10000u);
+}
+
+TEST_F(HsmtTest, WindowEdgeHandsContextsBack)
+{
+    addContexts(8, 1000000, 0.0f);
+    HsmtConfig cfg;
+    auto unit = makeUnit(cfg);
+    unit->openWindow(0, 5000);
+    CountingSink sink;
+    // Run well past the window end; lanes self-release at the edge.
+    while (unit->advanceOne(&sink)) {
+    }
+    EXPECT_EQ(unit->occupiedLanes(), 0u);
+    EXPECT_EQ(pool_.size(), 8u);
+}
+
+TEST_F(HsmtTest, TwoUnitsShareOnePool)
+{
+    // The dyad: a lender unit and a master filler unit both steal
+    // from the same 12-context pool.
+    addContexts(12, 100000000, 0.0f);
+    HsmtConfig cfg;
+    auto lender = makeUnit(cfg);
+    auto filler = makeUnit(cfg);
+    lender->openWindow(0, HsmtUnit::never);
+    CountingSink sink;
+    lender->runUntil(1000, &sink);
+    EXPECT_EQ(lender->occupiedLanes(), 8u);
+    filler->openWindow(1000, HsmtUnit::never);
+    filler->runUntil(5000, &sink);
+    EXPECT_EQ(filler->occupiedLanes(), 4u); // only 4 remained
+    EXPECT_TRUE(pool_.empty());
+}
+
+TEST_F(HsmtTest, OccupancyCyclesAccumulate)
+{
+    addContexts(8, 1000000, 0.0f);
+    HsmtConfig cfg;
+    auto unit = makeUnit(cfg);
+    unit->openWindow(0, HsmtUnit::never);
+    CountingSink sink;
+    unit->runUntil(20000, &sink);
+    unit->closeWindow(20000);
+    std::uint64_t total_occupancy = 0;
+    for (const auto &ctx : ctxs_)
+        total_occupancy += ctx->occupancy_cycles;
+    // 8 lanes busy for ~20k cycles each.
+    EXPECT_GT(total_occupancy, 8u * 15000u);
+    EXPECT_LE(total_occupancy, 8u * 21000u);
+}

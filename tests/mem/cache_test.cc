@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Cache model tests: hits/misses, LRU, write policies, invalidation,
+ * eviction callbacks, and port contention.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/cache.hh"
+
+using namespace duplexity;
+
+namespace
+{
+
+CacheConfig
+tinyCache()
+{
+    CacheConfig cfg;
+    cfg.name = "tiny";
+    cfg.size_bytes = 4 * 64;   // 4 lines
+    cfg.line_bytes = 64;
+    cfg.assoc = 2;             // 2 sets x 2 ways
+    cfg.hit_latency = 2;
+    cfg.ports = 4;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache cache(tinyCache());
+    EXPECT_FALSE(cache.access(0x1000, false, 0).hit);
+    EXPECT_TRUE(cache.access(0x1000, false, 0).hit);
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(Cache, SameLineDifferentOffsetsHit)
+{
+    Cache cache(tinyCache());
+    cache.access(0x1000, false, 0);
+    EXPECT_TRUE(cache.access(0x1038, false, 0).hit);
+}
+
+TEST(Cache, LruEvictsOldest)
+{
+    Cache cache(tinyCache()); // 2 sets: line addr bit 6 selects set
+    // Three lines mapping to set 0: line addrs 0, 2, 4 (x 64).
+    cache.access(0 * 64, false, 0);
+    cache.access(2 * 64, false, 0);
+    cache.access(0 * 64, false, 1); // touch 0: now 2 is LRU
+    cache.access(4 * 64, false, 2); // evicts 2
+    EXPECT_TRUE(cache.probe(0 * 64));
+    EXPECT_FALSE(cache.probe(2 * 64));
+    EXPECT_TRUE(cache.probe(4 * 64));
+    EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(Cache, WritebackOnDirtyEviction)
+{
+    Cache cache(tinyCache());
+    cache.access(0 * 64, true, 0);  // dirty line in set 0
+    cache.access(2 * 64, false, 0);
+    CacheAccessResult res = cache.access(4 * 64, false, 0);
+    EXPECT_TRUE(res.writeback);
+    EXPECT_EQ(cache.stats().writebacks, 1u);
+}
+
+TEST(Cache, WriteThroughNeverDirty)
+{
+    CacheConfig cfg = tinyCache();
+    cfg.write_through = true;
+    Cache cache(cfg);
+    cache.access(0 * 64, true, 0);
+    cache.access(2 * 64, false, 0);
+    CacheAccessResult res = cache.access(4 * 64, false, 0);
+    EXPECT_FALSE(res.writeback); // line was clean
+    // The store itself was propagated downstream.
+    EXPECT_GE(cache.stats().writebacks, 1u);
+}
+
+TEST(Cache, NoWriteAllocateSkipsFill)
+{
+    CacheConfig cfg = tinyCache();
+    cfg.write_allocate = false;
+    Cache cache(cfg);
+    cache.access(0x2000, true, 0);
+    EXPECT_FALSE(cache.probe(0x2000));
+}
+
+TEST(Cache, InvalidateDropsLine)
+{
+    Cache cache(tinyCache());
+    cache.access(0x1000, false, 0);
+    cache.invalidate(0x1000);
+    EXPECT_FALSE(cache.probe(0x1000));
+    EXPECT_EQ(cache.stats().invalidations, 1u);
+}
+
+TEST(Cache, InvalidateMissingLineIsNoop)
+{
+    Cache cache(tinyCache());
+    cache.invalidate(0x1000);
+    EXPECT_EQ(cache.stats().invalidations, 0u);
+}
+
+TEST(Cache, InvalidateAllEmptiesCache)
+{
+    Cache cache(tinyCache());
+    cache.access(0x0, false, 0);
+    cache.access(0x40, false, 0);
+    EXPECT_EQ(cache.validLines(), 2u);
+    cache.invalidateAll();
+    EXPECT_EQ(cache.validLines(), 0u);
+}
+
+TEST(Cache, EvictionListenerSeesVictimLineAddress)
+{
+    Cache cache(tinyCache());
+    std::vector<Addr> evicted;
+    cache.setEvictionListener(
+        [&](Addr line) { evicted.push_back(line); });
+    cache.access(0 * 64, false, 0);
+    cache.access(2 * 64, false, 0);
+    cache.access(4 * 64, false, 0); // evicts line 0
+    ASSERT_EQ(evicted.size(), 1u);
+    EXPECT_EQ(evicted[0], 0u * 64);
+}
+
+TEST(Cache, PortContentionDelaysBurst)
+{
+    CacheConfig cfg = tinyCache();
+    cfg.ports = 1;
+    Cache cache(cfg);
+    cache.access(0x0, false, 10);
+    CacheAccessResult second = cache.access(0x0, false, 10);
+    EXPECT_EQ(second.latency, cfg.hit_latency + 1);
+}
+
+TEST(Cache, HitLatencyReportedWhenUncontended)
+{
+    Cache cache(tinyCache());
+    CacheAccessResult res = cache.access(0x0, false, 100);
+    EXPECT_EQ(res.latency, 2u);
+}
+
+TEST(Cache, StatsAccessorsConsistent)
+{
+    Cache cache(tinyCache());
+    for (int i = 0; i < 10; ++i)
+        cache.access(static_cast<Addr>(i) * 64, false, i);
+    EXPECT_EQ(cache.stats().accesses(),
+              cache.stats().hits + cache.stats().misses);
+    EXPECT_GT(cache.stats().missRate(), 0.0);
+}
+
+/** Property: a working set within capacity converges to all hits. */
+class CacheCapacity : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(CacheCapacity, ResidentSetAlwaysHitsAfterWarmup)
+{
+    CacheConfig cfg;
+    cfg.size_bytes = 64 * 1024;
+    cfg.line_bytes = 64;
+    cfg.assoc = GetParam();
+    Cache cache(cfg);
+    const int lines = 256; // 16KB working set, fits easily
+    for (int round = 0; round < 3; ++round) {
+        for (int i = 0; i < lines; ++i)
+            cache.access(static_cast<Addr>(i) * 64, false, 0);
+    }
+    std::uint64_t misses_before = cache.stats().misses;
+    for (int i = 0; i < lines; ++i)
+        cache.access(static_cast<Addr>(i) * 64, false, 0);
+    EXPECT_EQ(cache.stats().misses, misses_before);
+}
+
+INSTANTIATE_TEST_SUITE_P(Assocs, CacheCapacity,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+TEST(CacheDeath, BadGeometryPanics)
+{
+    CacheConfig cfg;
+    cfg.size_bytes = 3000; // not a power-of-two set count
+    cfg.line_bytes = 64;
+    cfg.assoc = 2;
+    EXPECT_DEATH(Cache cache(cfg), "power of two");
+}

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Two-level TLB tests: hit/miss latencies, capacity, and flush.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/tlb.hh"
+
+using namespace duplexity;
+
+namespace
+{
+
+TlbConfig
+smallTlb()
+{
+    TlbConfig cfg;
+    cfg.entries = 16;
+    cfg.l2_entries = 64;
+    cfg.page_bytes = 4096;
+    cfg.l2_latency = 8;
+    cfg.walk_latency = 40;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Tlb, ColdAccessWalks)
+{
+    Tlb tlb(smallTlb());
+    EXPECT_EQ(tlb.access(0x1000), 40u);
+    EXPECT_EQ(tlb.stats().misses, 1u);
+}
+
+TEST(Tlb, WarmAccessHits)
+{
+    Tlb tlb(smallTlb());
+    tlb.access(0x1000);
+    EXPECT_EQ(tlb.access(0x1000), 0u);
+    EXPECT_EQ(tlb.stats().hits, 1u);
+}
+
+TEST(Tlb, SamePageDifferentOffsetHits)
+{
+    Tlb tlb(smallTlb());
+    tlb.access(0x2000);
+    EXPECT_EQ(tlb.access(0x2FFF), 0u);
+}
+
+TEST(Tlb, L2CatchesL1CapacityEvictions)
+{
+    Tlb tlb(smallTlb());
+    // Touch 32 pages: more than L1 (16) but within L2 (64).
+    for (Addr p = 0; p < 32; ++p)
+        tlb.access(p * 4096);
+    // Re-touch the first page: L1 has evicted it, L2 should hit.
+    Cycle latency = tlb.access(0);
+    EXPECT_EQ(latency, 8u);
+    EXPECT_GE(tlb.stats().l2_hits, 1u);
+}
+
+TEST(Tlb, BeyondL2CapacityWalksAgain)
+{
+    Tlb tlb(smallTlb());
+    for (Addr p = 0; p < 512; ++p)
+        tlb.access(p * 4096);
+    std::uint64_t walks_before = tlb.stats().misses;
+    tlb.access(0); // long evicted everywhere
+    EXPECT_EQ(tlb.stats().misses, walks_before + 1);
+}
+
+TEST(Tlb, FlushForcesWalks)
+{
+    Tlb tlb(smallTlb());
+    tlb.access(0x5000);
+    tlb.flush();
+    EXPECT_FALSE(tlb.probe(0x5000));
+    EXPECT_EQ(tlb.access(0x5000), 40u);
+}
+
+TEST(Tlb, ProbeDoesNotTrain)
+{
+    Tlb tlb(smallTlb());
+    EXPECT_FALSE(tlb.probe(0x9000));
+    EXPECT_EQ(tlb.stats().accesses(), 0u);
+}
+
+TEST(Tlb, MissRateComputed)
+{
+    Tlb tlb(smallTlb());
+    tlb.access(0x1000);
+    tlb.access(0x1000);
+    EXPECT_NEAR(tlb.stats().missRate(), 0.5, 1e-12);
+}
+
+TEST(Tlb, DisabledL2GoesStraightToWalk)
+{
+    TlbConfig cfg = smallTlb();
+    cfg.l2_entries = 0;
+    Tlb tlb(cfg);
+    for (Addr p = 0; p < 32; ++p)
+        tlb.access(p * 4096);
+    EXPECT_EQ(tlb.access(0), 40u);
+    EXPECT_EQ(tlb.stats().l2_hits, 0u);
+}
+
+/** Property: a page set within L1 reach never misses after warmup. */
+class TlbReach : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(TlbReach, ResidentPagesHit)
+{
+    Tlb tlb(TlbConfig{});
+    const std::uint32_t pages = GetParam();
+    for (int round = 0; round < 3; ++round) {
+        for (Addr p = 0; p < pages; ++p)
+            tlb.access(p * 4096);
+    }
+    std::uint64_t misses = tlb.stats().misses;
+    std::uint64_t l2 = tlb.stats().l2_hits;
+    for (Addr p = 0; p < pages; ++p)
+        tlb.access(p * 4096);
+    EXPECT_EQ(tlb.stats().misses, misses);
+    EXPECT_EQ(tlb.stats().l2_hits, l2);
+}
+
+INSTANTIATE_TEST_SUITE_P(PageCounts, TlbReach,
+                         ::testing::Values(4u, 8u, 16u));

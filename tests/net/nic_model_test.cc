@@ -1,0 +1,80 @@
+/**
+ * @file
+ * NIC-model tests for the Section VIII interconnect case study.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/nic_model.hh"
+
+using namespace duplexity;
+
+TEST(NicModel, DefaultIsFdr4x)
+{
+    NicModel nic;
+    EXPECT_NEAR(nic.config().data_rate_gbps, 56.0, 1e-9);
+    EXPECT_NEAR(nic.config().max_ops_per_sec, 90e6, 1e-3);
+}
+
+TEST(NicModel, IopsUtilizationLinear)
+{
+    NicModel nic;
+    EXPECT_NEAR(nic.iopsUtilization(9e6), 0.1, 1e-12);
+    EXPECT_NEAR(nic.iopsUtilization(90e6), 1.0, 1e-12);
+}
+
+TEST(NicModel, BandwidthUtilization)
+{
+    NicModel nic;
+    // 1M ops of 4KB: 32.8 Gbit/s of 56.
+    EXPECT_NEAR(nic.bandwidthUtilization(1e6, 4096), 32.768 / 56.0,
+                1e-6);
+}
+
+TEST(NicModel, SingleCacheLineOpsAreIopsLimited)
+{
+    // Section VIII: 64B remote accesses saturate IOPS long before
+    // the data rate.
+    NicModel nic;
+    EXPECT_TRUE(nic.iopsLimited(50e6, 64));
+    EXPECT_GT(nic.iopsUtilization(50e6),
+              nic.bandwidthUtilization(50e6, 64));
+}
+
+TEST(NicModel, LargeTransfersAreBandwidthLimited)
+{
+    NicModel nic;
+    EXPECT_FALSE(nic.iopsLimited(1e6, 64 * 1024));
+}
+
+TEST(NicModel, UtilizationTakesBindingConstraint)
+{
+    NicModel nic;
+    EXPECT_EQ(nic.utilization(50e6, 64), nic.iopsUtilization(50e6));
+    EXPECT_EQ(nic.utilization(1e5, 1 << 20),
+              nic.bandwidthUtilization(1e5, 1 << 20));
+}
+
+TEST(NicModel, PaperDyadSharingClaim)
+{
+    // Section VIII: each dyad uses at most 7.1% of FDR IOPS, so 14
+    // dyads can share one NIC port.
+    NicModel nic;
+    double per_dyad_ops = 0.071 * 90e6;
+    EXPECT_EQ(nic.dyadsPerPort(per_dyad_ops, 64), 14u);
+}
+
+TEST(NicModel, ZeroTrafficSharesInfinitely)
+{
+    NicModel nic;
+    EXPECT_EQ(nic.dyadsPerPort(0.0, 64), ~std::uint32_t(0));
+}
+
+TEST(NicModel, CustomConfigRespected)
+{
+    NicConfig cfg;
+    cfg.data_rate_gbps = 100.0;
+    cfg.max_ops_per_sec = 150e6;
+    NicModel nic(cfg);
+    EXPECT_NEAR(nic.iopsUtilization(15e6), 0.1, 1e-12);
+}

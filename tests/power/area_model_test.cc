@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Area/frequency model tests: Table II calibration, the Section V
+ * overhead statements, and structural monotonicity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/area_model.hh"
+
+using namespace duplexity;
+
+namespace
+{
+
+struct TableIIRow
+{
+    CoreKind kind;
+    double area_mm2;
+    double freq_ghz;
+};
+
+} // namespace
+
+/** Every Table II row must be reproduced within small tolerance. */
+class TableII : public ::testing::TestWithParam<TableIIRow>
+{
+};
+
+TEST_P(TableII, AreaWithinThreePercent)
+{
+    const TableIIRow &row = GetParam();
+    double area = coreArea(row.kind).total();
+    EXPECT_NEAR(area, row.area_mm2, 0.03 * row.area_mm2)
+        << toString(row.kind);
+}
+
+TEST_P(TableII, FrequencyWithinOnePercent)
+{
+    const TableIIRow &row = GetParam();
+    EXPECT_NEAR(coreFrequencyGhz(row.kind), row.freq_ghz,
+                0.01 * row.freq_ghz)
+        << toString(row.kind);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperRows, TableII,
+    ::testing::Values(
+        TableIIRow{CoreKind::BaselineOoO, 12.1, 3.40},
+        TableIIRow{CoreKind::Smt2, 12.2, 3.35},
+        TableIIRow{CoreKind::MorphCore, 12.4, 3.30},
+        TableIIRow{CoreKind::MasterCore, 12.7, 3.25},
+        TableIIRow{CoreKind::MasterCoreReplicated, 16.7, 3.25},
+        TableIIRow{CoreKind::LenderCore, 5.5, 3.40}));
+
+TEST(AreaModel, LlcAreaPerMbMatchesTableII)
+{
+    EXPECT_NEAR(llcAreaPerMb(), 3.9, 1e-9);
+}
+
+TEST(AreaModel, MasterCoreOverheadAboutFivePercent)
+{
+    // Section V: "The total area overhead of the master-core is
+    // approximately 5% compared to a baseline 4-wide OoO core."
+    double baseline = coreArea(CoreKind::BaselineOoO).total();
+    double master = coreArea(CoreKind::MasterCore).total();
+    EXPECT_NEAR(master / baseline, 1.05, 0.015);
+}
+
+TEST(AreaModel, ReplicationOverheadAboutThirtyEightPercent)
+{
+    double baseline = coreArea(CoreKind::BaselineOoO).total();
+    double repl =
+        coreArea(CoreKind::MasterCoreReplicated).total();
+    EXPECT_NEAR(repl / baseline, 1.38, 0.03);
+}
+
+TEST(AreaModel, MasterCycleTimePenaltyAboutFourPercent)
+{
+    double baseline = coreFrequencyGhz(CoreKind::BaselineOoO);
+    double master = coreFrequencyGhz(CoreKind::MasterCore);
+    EXPECT_NEAR(1.0 - master / baseline, 0.044, 0.01);
+}
+
+TEST(AreaModel, ComponentOverheadsMatchSectionV)
+{
+    // Filler TLBs ~0.7%, filler predictor ~1.2%, L0s ~1% of the
+    // baseline core (Section V, "Overheads").
+    AreaBreakdown master = coreArea(CoreKind::MasterCore);
+    double baseline = coreArea(CoreKind::BaselineOoO).total();
+    EXPECT_NEAR(master.part("filler-tlbs") / baseline, 0.007, 0.004);
+    EXPECT_NEAR(master.part("filler-predictor") / baseline, 0.012,
+                0.005);
+    EXPECT_NEAR((master.part("l0i") + master.part("l0d")) / baseline,
+                0.010, 0.005);
+}
+
+TEST(AreaModel, LenderFarSmallerThanMaster)
+{
+    EXPECT_LT(coreArea(CoreKind::LenderCore).total(),
+              0.5 * coreArea(CoreKind::MasterCore).total());
+}
+
+TEST(SramModel, MonotonicInSizeAssocPorts)
+{
+    EXPECT_LT(sramAreaMm2(32 * 1024, 2, 2),
+              sramAreaMm2(64 * 1024, 2, 2));
+    EXPECT_LT(sramAreaMm2(64 * 1024, 2, 2),
+              sramAreaMm2(64 * 1024, 8, 2));
+    EXPECT_LT(sramAreaMm2(64 * 1024, 2, 1),
+              sramAreaMm2(64 * 1024, 2, 2));
+}
+
+TEST(SramModel, LinearInSize)
+{
+    EXPECT_NEAR(sramAreaMm2(128 * 1024, 2, 2),
+                2.0 * sramAreaMm2(64 * 1024, 2, 2), 1e-9);
+}
+
+TEST(CamModel, ScalesWithEntriesAndPorts)
+{
+    EXPECT_LT(camAreaMm2(64, 100, 2), camAreaMm2(128, 100, 2));
+    EXPECT_LT(camAreaMm2(64, 100, 1), camAreaMm2(64, 100, 4));
+}
+
+TEST(PairedChip, IncludesLenderAndLlc)
+{
+    double chip = pairedChipAreaMm2(CoreKind::BaselineOoO, 2.0);
+    double parts = coreArea(CoreKind::BaselineOoO).total() +
+                   coreArea(CoreKind::LenderCore).total() +
+                   2.0 * llcAreaPerMb();
+    EXPECT_NEAR(chip, parts, 1e-9);
+}
+
+TEST(PairedChip, ReplicationIsBiggestChip)
+{
+    double repl =
+        pairedChipAreaMm2(CoreKind::MasterCoreReplicated);
+    for (CoreKind kind :
+         {CoreKind::BaselineOoO, CoreKind::Smt2, CoreKind::MorphCore,
+          CoreKind::MasterCore}) {
+        EXPECT_GT(repl, pairedChipAreaMm2(kind));
+    }
+}
+
+TEST(AreaModel, BreakdownPartsSumToTotal)
+{
+    AreaBreakdown bd = coreArea(CoreKind::MasterCore);
+    double sum = 0.0;
+    for (const ComponentArea &part : bd.parts)
+        sum += part.mm2;
+    EXPECT_DOUBLE_EQ(sum, bd.total());
+    EXPECT_EQ(bd.part("no-such-part"), 0.0);
+}

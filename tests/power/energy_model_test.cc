@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Energy-model tests: static/dynamic composition and the
+ * replicate-vs-borrow trade-off the paper's Figure 5(c) captures.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/energy_model.hh"
+
+using namespace duplexity;
+
+namespace
+{
+
+ActivityCounters
+busyInterval()
+{
+    ActivityCounters act;
+    act.seconds = 1e-3;
+    act.ooo_ops = 2'000'000;
+    act.ino_ops = 4'000'000;
+    act.l1_accesses = 2'500'000;
+    act.llc_accesses = 400'000;
+    act.dram_accesses = 60'000;
+    act.l0_accesses = 500'000;
+    act.link_traversals = 200'000;
+    return act;
+}
+
+} // namespace
+
+TEST(EnergyModel, IdleSiliconBurnsOnlyStaticPower)
+{
+    EnergyModel model;
+    ActivityCounters idle;
+    idle.seconds = 1.0;
+    double joules = model.totalJoules(10.0, idle);
+    EXPECT_NEAR(joules, 10.0 * model.config().static_w_per_mm2,
+                1e-9);
+}
+
+TEST(EnergyModel, DynamicEnergyAddsUp)
+{
+    EnergyModelConfig cfg;
+    cfg.static_w_per_mm2 = 0.0;
+    EnergyModel model(cfg);
+    ActivityCounters act;
+    act.seconds = 1.0;
+    act.ooo_ops = 1'000'000'000; // 1e9 * 0.65nJ = 0.65 J
+    EXPECT_NEAR(model.totalJoules(0.0, act), 0.65, 1e-9);
+}
+
+TEST(EnergyModel, InOrderOpsCheaperThanOoO)
+{
+    EnergyModel model;
+    ActivityCounters ooo, ino;
+    ooo.seconds = ino.seconds = 1e-3;
+    ooo.ooo_ops = 1'000'000;
+    ino.ino_ops = 1'000'000;
+    EXPECT_LT(model.totalJoules(10.0, ino),
+              model.totalJoules(10.0, ooo));
+}
+
+TEST(EnergyModel, EnergyPerOpFallsWithUtilization)
+{
+    // Same silicon and time; more retired work amortizes static
+    // power: the core reason Duplexity wins Figure 5(c).
+    EnergyModel model;
+    ActivityCounters low = busyInterval();
+    ActivityCounters high = busyInterval();
+    high.ino_ops *= 4;
+    EXPECT_LT(model.energyPerOpNj(15.0, high),
+              model.energyPerOpNj(15.0, low));
+}
+
+TEST(EnergyModel, BiggerChipCostsMoreEnergyPerOp)
+{
+    EnergyModel model;
+    ActivityCounters act = busyInterval();
+    EXPECT_LT(model.energyPerOpNj(15.0, act),
+              model.energyPerOpNj(20.0, act));
+}
+
+TEST(EnergyModel, AverageWattsConsistent)
+{
+    EnergyModel model;
+    ActivityCounters act = busyInterval();
+    double watts = model.averageWatts(12.0, act);
+    EXPECT_NEAR(watts * act.seconds,
+                model.totalJoules(12.0, act), 1e-12);
+}
+
+TEST(EnergyModel, ZeroOpsYieldsZeroEnergyPerOp)
+{
+    EnergyModel model;
+    ActivityCounters idle;
+    idle.seconds = 1.0;
+    EXPECT_EQ(model.energyPerOpNj(12.0, idle), 0.0);
+}
+
+TEST(EnergyModel, DramDominatesPerAccessCosts)
+{
+    const EnergyModelConfig cfg;
+    EXPECT_GT(cfg.dram_access_nj, 10.0 * cfg.llc_access_nj);
+    EXPECT_GT(cfg.llc_access_nj, cfg.l1_access_nj);
+    EXPECT_GT(cfg.l1_access_nj, cfg.l0_access_nj);
+}
+
+TEST(EnergyModel, TotalOpsSumsBothDatapaths)
+{
+    ActivityCounters act;
+    act.ooo_ops = 3;
+    act.ino_ops = 4;
+    EXPECT_EQ(act.totalOps(), 7u);
+}

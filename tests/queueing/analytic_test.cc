@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Analytic-model tests, including cross-checks against the discrete
+ * simulator: the M/G/1 idle-period law (Figure 1(b)), the binomial
+ * ready-thread model (Figure 2(b)), and M/M/1 closed forms.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "queueing/analytic.hh"
+#include "queueing/queue_sim.hh"
+#include "sim/rng.hh"
+
+using namespace duplexity;
+
+TEST(ClosedLoop, Limits)
+{
+    EXPECT_NEAR(closedLoopUtilization(10.0, 0.0), 1.0, 1e-12);
+    EXPECT_NEAR(closedLoopUtilization(0.0, 10.0), 0.0, 1e-12);
+    EXPECT_NEAR(closedLoopUtilization(1.0, 1.0), 0.5, 1e-12);
+    // A DRAM-scale (100ns) stall every few µs is negligible (Fig 1a).
+    EXPECT_GT(closedLoopUtilization(5.0, 0.1), 0.97);
+}
+
+TEST(ClosedLoop, MonotonicInStall)
+{
+    double prev = 1.0;
+    for (double stall = 0.1; stall < 100.0; stall *= 2.0) {
+        double u = closedLoopUtilization(2.0, stall);
+        EXPECT_LT(u, prev);
+        prev = u;
+    }
+}
+
+TEST(IdlePeriods, PaperExamples)
+{
+    // Section II-A: 200K QPS @ 50% load -> 10 µs mean idle;
+    // 1M QPS @ 50% -> 2 µs.
+    EXPECT_NEAR(meanIdlePeriodUs(200e3, 0.5), 10.0, 1e-9);
+    EXPECT_NEAR(meanIdlePeriodUs(1e6, 0.5), 2.0, 1e-9);
+}
+
+TEST(IdlePeriods, CdfIsExponential)
+{
+    double mean = meanIdlePeriodUs(1e6, 0.3);
+    EXPECT_NEAR(idlePeriodCdf(1e6, 0.3, mean), 1.0 - std::exp(-1.0),
+                1e-9);
+    EXPECT_EQ(idlePeriodCdf(1e6, 0.3, 0.0), 0.0);
+}
+
+TEST(IdlePeriods, LawIndependentOfServiceDistribution)
+{
+    // M/G/1 idle periods are Exp(lambda) regardless of G: check two
+    // very different service shapes in the simulator.
+    for (auto service :
+         {makeDeterministic(2e-6),
+          makeBoundedPareto(2e-7, 2e-4, 1.3)}) {
+        QueueSimConfig cfg = makeMg1(service, 0.5, 11);
+        cfg.max_batches = 20;
+        QueueSimResult res = runQueueSim(cfg);
+        double lambda = 0.5 / service->mean();
+        EXPECT_NEAR(res.idle_periods.mean(), 1.0 / lambda,
+                    0.08 / lambda)
+            << "service mean " << service->mean();
+    }
+}
+
+TEST(ReadyThreads, DegenerateCases)
+{
+    EXPECT_EQ(readyThreadsProbability(8, 0.0, 8), 1.0);
+    EXPECT_EQ(readyThreadsProbability(7, 0.1, 8), 0.0);
+    EXPECT_NEAR(readyThreadsProbability(8, 1.0, 8), 0.0, 1e-12);
+    EXPECT_EQ(readyThreadsProbability(4, 0.5, 0), 1.0);
+}
+
+TEST(ReadyThreads, PaperFigure2bNumbers)
+{
+    // Section III-A: at 10% stall, ~11 virtual contexts keep the 8
+    // physical contexts >=90% supplied (the exact binomial crosses
+    // 0.90 at n = 10, one below the value read off Figure 2(b));
+    // at 50% stall, exactly 21 are needed.
+    EXPECT_GE(readyThreadsProbability(11, 0.1, 8), 0.90);
+    EXPECT_LT(readyThreadsProbability(9, 0.1, 8), 0.90);
+    EXPECT_GE(readyThreadsProbability(21, 0.5, 8), 0.90);
+    EXPECT_LT(readyThreadsProbability(20, 0.5, 8), 0.90);
+    std::uint32_t n_low = virtualContextsNeeded(0.1, 8, 0.90);
+    EXPECT_GE(n_low, 10u);
+    EXPECT_LE(n_low, 11u);
+    EXPECT_EQ(virtualContextsNeeded(0.5, 8, 0.90), 21u);
+}
+
+TEST(ReadyThreads, MonotonicInContexts)
+{
+    double prev = 0.0;
+    for (std::uint32_t n = 8; n <= 40; ++n) {
+        double p = readyThreadsProbability(n, 0.5, 8);
+        EXPECT_GE(p, prev - 1e-12);
+        prev = p;
+    }
+}
+
+TEST(ReadyThreads, MatchesMonteCarlo)
+{
+    Rng rng(13);
+    const std::uint32_t n = 16;
+    const double p_stall = 0.4;
+    int success = 0;
+    const int trials = 200000;
+    for (int t = 0; t < trials; ++t) {
+        int ready = 0;
+        for (std::uint32_t i = 0; i < n; ++i)
+            ready += !rng.chance(p_stall);
+        success += ready >= 8;
+    }
+    EXPECT_NEAR(static_cast<double>(success) / trials,
+                readyThreadsProbability(n, p_stall, 8), 0.005);
+}
+
+TEST(Mm1, ClosedForms)
+{
+    double lambda = 0.7, mu = 1.0;
+    EXPECT_NEAR(mm1MeanSojourn(lambda, mu), 1.0 / 0.3, 1e-9);
+    EXPECT_NEAR(mm1MeanInSystem(lambda, mu), 0.7 / 0.3, 1e-9);
+    EXPECT_NEAR(mm1SojournQuantile(lambda, mu, 0.99),
+                std::log(100.0) / 0.3, 1e-9);
+}
+
+TEST(Mm1, QuantileOrdering)
+{
+    EXPECT_LT(mm1SojournQuantile(0.5, 1.0, 0.5),
+              mm1SojournQuantile(0.5, 1.0, 0.99));
+}

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * BigHouse-lite tests: closed-form validation against M/M/1, queueing
+ * amplification of the tail, convergence machinery, and determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include "queueing/analytic.hh"
+#include "queueing/queue_sim.hh"
+
+using namespace duplexity;
+
+namespace
+{
+
+QueueSimConfig
+mm1(double load, std::uint64_t seed = 17)
+{
+    QueueSimConfig cfg = makeMg1(makeExponential(1e-6), load, seed);
+    cfg.max_batches = 60;
+    return cfg;
+}
+
+} // namespace
+
+TEST(QueueSim, Mm1MeanSojournMatchesTheory)
+{
+    QueueSimResult res = runQueueSim(mm1(0.5));
+    double expected = mm1MeanSojourn(0.5e6, 1e6);
+    EXPECT_NEAR(res.meanSojourn(), expected, 0.06 * expected);
+}
+
+TEST(QueueSim, Mm1P99MatchesTheory)
+{
+    QueueSimResult res = runQueueSim(mm1(0.5));
+    double expected = mm1SojournQuantile(0.5e6, 1e6, 0.99);
+    EXPECT_NEAR(res.p99Sojourn(), expected, 0.10 * expected);
+}
+
+/** The core tail phenomenon: p99 explodes as load approaches 1. */
+class QueueSimLoad : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(QueueSimLoad, UtilizationTracksLoad)
+{
+    const double load = GetParam();
+    QueueSimResult res = runQueueSim(mm1(load));
+    EXPECT_NEAR(res.utilization, load, 0.03);
+}
+
+TEST_P(QueueSimLoad, P99MatchesMm1Theory)
+{
+    const double load = GetParam();
+    QueueSimResult res = runQueueSim(mm1(load));
+    double expected = mm1SojournQuantile(load * 1e6, 1e6, 0.99);
+    EXPECT_NEAR(res.p99Sojourn(), expected, 0.15 * expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, QueueSimLoad,
+                         ::testing::Values(0.3, 0.5, 0.7, 0.9));
+
+TEST(QueueSim, TailAmplificationAcrossLoads)
+{
+    double p99_30 = runQueueSim(mm1(0.3)).p99Sojourn();
+    double p99_90 = runQueueSim(mm1(0.9)).p99Sojourn();
+    EXPECT_GT(p99_90, 4.0 * p99_30);
+}
+
+TEST(QueueSim, DeterministicServiceHasLowerTailThanExponential)
+{
+    QueueSimConfig det =
+        makeMg1(makeDeterministic(1e-6), 0.7, 21);
+    det.max_batches = 60;
+    QueueSimConfig exp_cfg = mm1(0.7, 21);
+    EXPECT_LT(runQueueSim(det).p99Sojourn(),
+              runQueueSim(exp_cfg).p99Sojourn());
+}
+
+TEST(QueueSim, HeavyTailedServiceWorsensP99)
+{
+    auto pareto = makeBoundedPareto(3e-7, 1e-3, 1.5);
+    QueueSimConfig heavy = makeMg1(pareto, 0.5, 23);
+    heavy.max_batches = 100;
+    auto expo = makeExponential(pareto->mean());
+    QueueSimConfig light = makeMg1(expo, 0.5, 23);
+    light.max_batches = 100;
+    EXPECT_GT(runQueueSim(heavy).p99Sojourn(),
+              runQueueSim(light).p99Sojourn());
+}
+
+TEST(QueueSim, IdlePeriodsFollowArrivalRate)
+{
+    QueueSimResult res = runQueueSim(mm1(0.4));
+    // Idle periods ~ Exp(lambda): mean 1/lambda.
+    EXPECT_NEAR(res.idle_periods.mean(), 1.0 / 0.4e6,
+                0.10 / 0.4e6);
+}
+
+TEST(QueueSim, WaitPlusServiceEqualsSojourn)
+{
+    QueueSimResult res = runQueueSim(mm1(0.6));
+    EXPECT_NEAR(res.wait.mean() + 1e-6, res.meanSojourn(),
+                0.05 * res.meanSojourn());
+}
+
+TEST(QueueSim, SeededRunsAreReproducible)
+{
+    QueueSimResult a = runQueueSim(mm1(0.5, 99));
+    QueueSimResult b = runQueueSim(mm1(0.5, 99));
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.p99Sojourn(), b.p99Sojourn());
+}
+
+TEST(QueueSim, DifferentSeedsDiffer)
+{
+    QueueSimResult a = runQueueSim(mm1(0.5, 1));
+    QueueSimResult b = runQueueSim(mm1(0.5, 2));
+    EXPECT_NE(a.p99Sojourn(), b.p99Sojourn());
+}
+
+TEST(QueueSim, ConvergenceFlagSetWhenStable)
+{
+    QueueSimConfig cfg = mm1(0.3);
+    cfg.max_batches = 200;
+    QueueSimResult res = runQueueSim(cfg);
+    EXPECT_TRUE(res.converged);
+}
+
+TEST(QueueSim, StopsAtMaxBatches)
+{
+    QueueSimConfig cfg = mm1(0.5);
+    cfg.relative_error = 1e-9; // unattainable
+    cfg.max_batches = 10;
+    QueueSimResult res = runQueueSim(cfg);
+    EXPECT_FALSE(res.converged);
+    EXPECT_EQ(res.completed, 10u * cfg.batch_size);
+}
+
+TEST(QueueSim, MultiServerReducesWaits)
+{
+    auto service = makeExponential(1e-6);
+    QueueSimConfig one;
+    one.interarrival = makeExponential(1e-6 / 0.8);
+    one.service = service;
+    one.servers = 1;
+    one.max_batches = 40;
+    one.seed = 31;
+    QueueSimConfig two = one;
+    two.servers = 2; // same arrival rate, double capacity
+    EXPECT_GT(runQueueSim(one).wait.mean(),
+              runQueueSim(two).wait.mean() * 3.0);
+}
+
+TEST(QueueSim, MultiServerUtilizationHalves)
+{
+    auto service = makeExponential(1e-6);
+    QueueSimConfig cfg;
+    cfg.interarrival = makeExponential(1e-6 / 0.8);
+    cfg.service = service;
+    cfg.servers = 2;
+    cfg.max_batches = 40;
+    QueueSimResult res = runQueueSim(cfg);
+    EXPECT_NEAR(res.utilization, 0.4, 0.03);
+}
+
+TEST(QueueSim, EmpiricalServiceReplay)
+{
+    // Feeding measured samples back through the queue reproduces
+    // their mean in the service component.
+    std::vector<double> samples{1e-6, 2e-6, 3e-6};
+    QueueSimConfig cfg = makeMg1(makeEmpirical(samples), 0.5, 37);
+    cfg.max_batches = 30;
+    QueueSimResult res = runQueueSim(cfg);
+    double mean_service = res.meanSojourn() - res.wait.mean();
+    EXPECT_NEAR(mean_service, 2e-6, 0.1e-6);
+}

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Property tests: every distribution's sample population must match
+ * its declared mean, and structural combinators must compose.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/distributions.hh"
+
+using namespace duplexity;
+
+namespace
+{
+
+double
+empiricalMean(const Distribution &dist, int n = 200000,
+              std::uint64_t seed = 3)
+{
+    Rng rng(seed);
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i)
+        sum += dist.sample(rng);
+    return sum / n;
+}
+
+} // namespace
+
+/** mean() and the sample mean must agree for every distribution. */
+class MeanConsistency
+    : public ::testing::TestWithParam<DistributionPtr>
+{
+};
+
+TEST_P(MeanConsistency, SampleMeanMatchesDeclared)
+{
+    const DistributionPtr &dist = GetParam();
+    double m = empiricalMean(*dist);
+    EXPECT_NEAR(m, dist->mean(), 0.03 * dist->mean() + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDistributions, MeanConsistency,
+    ::testing::Values(
+        makeDeterministic(4.2), makeExponential(2.5),
+        makeUniform(1.0, 9.0), makeLogNormal(3.0, 0.5),
+        makeBoundedPareto(1.0, 1000.0, 1.5),
+        makeEmpirical({1.0, 2.0, 3.0, 10.0}),
+        makeScaled(makeExponential(2.0), 3.0),
+        makeSum(makeDeterministic(1.0), makeExponential(1.0))));
+
+TEST(Deterministic, AlwaysSameValue)
+{
+    Rng rng(1);
+    DeterministicDist d(7.5);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(d.sample(rng), 7.5);
+}
+
+TEST(Uniform, WithinBounds)
+{
+    Rng rng(2);
+    UniformDist d(2.0, 5.0);
+    for (int i = 0; i < 10000; ++i) {
+        double x = d.sample(rng);
+        EXPECT_GE(x, 2.0);
+        EXPECT_LT(x, 5.0);
+    }
+}
+
+TEST(BoundedPareto, WithinBounds)
+{
+    Rng rng(3);
+    BoundedParetoDist d(1.0, 100.0, 1.2);
+    for (int i = 0; i < 20000; ++i) {
+        double x = d.sample(rng);
+        EXPECT_GE(x, 1.0);
+        EXPECT_LE(x, 100.0);
+    }
+}
+
+TEST(BoundedPareto, HeavyTailedRelativeToExponential)
+{
+    // At matched means, the bounded Pareto should produce a larger
+    // 99.9th percentile than the exponential.
+    Rng r1(4), r2(4);
+    BoundedParetoDist pareto(1.0, 10000.0, 1.1);
+    ExponentialDist expo(pareto.mean());
+    std::vector<double> a, b;
+    for (int i = 0; i < 100000; ++i) {
+        a.push_back(pareto.sample(r1));
+        b.push_back(expo.sample(r2));
+    }
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_GT(a[99900], b[99900]);
+}
+
+TEST(Empirical, SamplesComeFromPopulation)
+{
+    Rng rng(5);
+    EmpiricalDist d({1.0, 5.0, 9.0});
+    for (int i = 0; i < 1000; ++i) {
+        double x = d.sample(rng);
+        EXPECT_TRUE(x == 1.0 || x == 5.0 || x == 9.0);
+    }
+}
+
+TEST(Empirical, SizeReported)
+{
+    EmpiricalDist d({1.0, 2.0, 3.0});
+    EXPECT_EQ(d.size(), 3u);
+}
+
+TEST(Mixture, MeanIsWeightedAverage)
+{
+    MixtureDist mix({{1.0, makeDeterministic(10.0)},
+                     {3.0, makeDeterministic(2.0)}});
+    EXPECT_NEAR(mix.mean(), (10.0 + 3 * 2.0) / 4.0, 1e-12);
+    EXPECT_NEAR(empiricalMean(mix), mix.mean(), 0.05);
+}
+
+TEST(Scaled, ScalesEverySample)
+{
+    Rng rng(6);
+    ScaledDist d(makeDeterministic(3.0), 2.5);
+    EXPECT_EQ(d.sample(rng), 7.5);
+    EXPECT_EQ(d.mean(), 7.5);
+}
+
+TEST(Sum, AddsMeans)
+{
+    SumDist d(makeDeterministic(1.5), makeDeterministic(2.5));
+    Rng rng(7);
+    EXPECT_EQ(d.sample(rng), 4.0);
+    EXPECT_EQ(d.mean(), 4.0);
+}
+
+TEST(LogNormal, AllPositive)
+{
+    Rng rng(8);
+    LogNormalDist d(5.0, 1.0);
+    for (int i = 0; i < 20000; ++i)
+        EXPECT_GT(d.sample(rng), 0.0);
+}

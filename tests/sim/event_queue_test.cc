@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Discrete-event kernel tests: ordering, tie-breaking, scheduling
+ * from handlers, and run bounds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+using namespace duplexity;
+
+TEST(EventQueue, StartsEmptyAtTimeZero)
+{
+    EventQueue q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.now(), 0.0);
+    EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.scheduleAt(3.0, [&] { order.push_back(3); });
+    q.scheduleAt(1.0, [&] { order.push_back(1); });
+    q.scheduleAt(2.0, [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, EqualTimesFireInScheduleOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        q.scheduleAt(1.0, [&order, i] { order.push_back(i); });
+    q.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, ScheduleAfterUsesCurrentTime)
+{
+    EventQueue q;
+    double fired_at = -1.0;
+    q.scheduleAt(5.0, [&] {
+        q.scheduleAfter(2.0, [&] { fired_at = q.now(); });
+    });
+    q.run();
+    EXPECT_EQ(fired_at, 7.0);
+}
+
+TEST(EventQueue, HandlerMayScheduleMoreEvents)
+{
+    EventQueue q;
+    int count = 0;
+    std::function<void()> chain = [&]() {
+        ++count;
+        if (count < 5)
+            q.scheduleAfter(1.0, chain);
+    };
+    q.scheduleAt(0.0, chain);
+    q.run();
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(q.now(), 4.0);
+}
+
+TEST(EventQueue, RunUntilStopsEarly)
+{
+    EventQueue q;
+    int fired = 0;
+    for (int i = 1; i <= 10; ++i)
+        q.scheduleAt(i, [&] { ++fired; });
+    q.run(5.0);
+    EXPECT_EQ(fired, 5);
+    EXPECT_EQ(q.size(), 5u);
+}
+
+TEST(EventQueue, RunMaxEventsBound)
+{
+    EventQueue q;
+    int fired = 0;
+    for (int i = 1; i <= 10; ++i)
+        q.scheduleAt(i, [&] { ++fired; });
+    std::uint64_t executed = q.run(1e30, 3);
+    EXPECT_EQ(executed, 3u);
+    EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueue, ClearDropsPendingEvents)
+{
+    EventQueue q;
+    int fired = 0;
+    q.scheduleAt(1.0, [&] { ++fired; });
+    q.clear();
+    q.run();
+    EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueueDeath, PastSchedulingPanics)
+{
+    EventQueue q;
+    q.scheduleAt(5.0, [] {});
+    q.run();
+    EXPECT_DEATH(q.scheduleAt(1.0, [] {}), "past");
+}

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Unit and statistical tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/rng.hh"
+
+using namespace duplexity;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 256; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ForkIsIndependentOfParentDrawCount)
+{
+    Rng a(7);
+    Rng fork_before = a.fork(3);
+    a.next();
+    a.next();
+    Rng fork_after = a.fork(3);
+    // Forks depend only on (seed, stream id), not on parent state.
+    EXPECT_EQ(fork_before.next(), fork_after.next());
+}
+
+TEST(Rng, SiblingForksDecorrelated)
+{
+    Rng root(99);
+    Rng a = root.fork(1), b = root.fork(2);
+    int same = 0;
+    for (int i = 0; i < 256; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(5);
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespected)
+{
+    Rng rng(6);
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform(3.0, 7.0);
+        EXPECT_GE(u, 3.0);
+        EXPECT_LT(u, 7.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng rng(8);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.005);
+}
+
+TEST(Rng, BelowStaysBelow)
+{
+    Rng rng(9);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversAllValues)
+{
+    Rng rng(10);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i)
+        seen.insert(rng.below(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(11);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+/** Statistical property sweep over distribution parameters. */
+class RngExponential : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(RngExponential, MeanMatches)
+{
+    const double mean = GetParam();
+    Rng rng(12);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(mean);
+    EXPECT_NEAR(sum / n, mean, 0.02 * mean);
+}
+
+INSTANTIATE_TEST_SUITE_P(Means, RngExponential,
+                         ::testing::Values(0.1, 1.0, 8.0, 100.0));
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(13);
+    double sum = 0.0, sq = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        double x = rng.normal(5.0, 2.0);
+        sum += x;
+        sq += x * x;
+    }
+    double mean = sum / n;
+    double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 5.0, 0.05);
+    EXPECT_NEAR(var, 4.0, 0.15);
+}

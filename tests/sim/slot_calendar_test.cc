@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Bandwidth-calendar tests: per-cycle slot limits, out-of-order
+ * reservations, and window sliding.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sim/rng.hh"
+#include "sim/slot_calendar.hh"
+
+using namespace duplexity;
+
+TEST(SlotCalendar, GrantsUpToWidthPerCycle)
+{
+    SlotCalendar cal(4);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(cal.reserve(10), 10u);
+    EXPECT_EQ(cal.reserve(10), 11u);
+}
+
+TEST(SlotCalendar, SpillsAcrossSaturatedCycles)
+{
+    SlotCalendar cal(1);
+    EXPECT_EQ(cal.reserve(5), 5u);
+    EXPECT_EQ(cal.reserve(5), 6u);
+    EXPECT_EQ(cal.reserve(5), 7u);
+    EXPECT_EQ(cal.reserve(6), 8u);
+}
+
+TEST(SlotCalendar, OutOfOrderReservationsAreHonored)
+{
+    SlotCalendar cal(1);
+    EXPECT_EQ(cal.reserve(100), 100u);
+    // An earlier request still gets its own earlier slot.
+    EXPECT_EQ(cal.reserve(50), 50u);
+    EXPECT_EQ(cal.reserve(100), 101u);
+}
+
+TEST(SlotCalendar, TryReserveAtRespectsOccupancy)
+{
+    SlotCalendar cal(2);
+    EXPECT_TRUE(cal.tryReserveAt(9));
+    EXPECT_TRUE(cal.tryReserveAt(9));
+    EXPECT_FALSE(cal.tryReserveAt(9));
+    EXPECT_EQ(cal.occupancy(9), 2u);
+}
+
+TEST(SlotCalendar, RetireBeforeFreesSlots)
+{
+    SlotCalendar cal(1);
+    cal.reserve(3);
+    cal.retireBefore(10);
+    // Requests before the retirement point are clamped forward.
+    EXPECT_GE(cal.reserve(3), 10u);
+}
+
+TEST(SlotCalendar, FarFutureJumpSlidesWindow)
+{
+    SlotCalendar cal(1, 64);
+    EXPECT_EQ(cal.reserve(1), 1u);
+    // A reservation far past the window must still succeed.
+    EXPECT_EQ(cal.reserve(1000000), 1000000u);
+    EXPECT_EQ(cal.reserve(1000000), 1000001u);
+}
+
+TEST(SlotCalendar, ResetRestoresCleanState)
+{
+    SlotCalendar cal(1);
+    cal.reserve(5);
+    cal.reset();
+    EXPECT_EQ(cal.reserve(5), 5u);
+}
+
+/** Property: with random arrivals, no cycle ever exceeds its width. */
+class SlotCalendarWidth : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(SlotCalendarWidth, NeverExceedsWidth)
+{
+    const std::uint32_t width = GetParam();
+    SlotCalendar cal(width, 4096);
+    Rng rng(42);
+    std::map<Cycle, std::uint32_t> granted;
+    for (int i = 0; i < 20000; ++i) {
+        Cycle ask = 100 + rng.below(1000);
+        Cycle got = cal.reserve(ask);
+        EXPECT_GE(got, ask);
+        ++granted[got];
+    }
+    for (const auto &[cycle, count] : granted)
+        EXPECT_LE(count, width) << "cycle " << cycle;
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SlotCalendarWidth,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+TEST(SlotCalendar, EarliestFreeSlotIsChosen)
+{
+    SlotCalendar cal(2);
+    cal.reserve(10);
+    cal.reserve(10);
+    cal.reserve(11);
+    // Cycle 11 has one slot left; a request for 10 lands there.
+    EXPECT_EQ(cal.reserve(10), 11u);
+}

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Statistics machinery tests: Welford moments, exact and reservoir
+ * percentiles, log histograms, and the batch-means stopping rule.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+
+using namespace duplexity;
+
+TEST(MeanAccumulator, ExactSmallCase)
+{
+    MeanAccumulator acc;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        acc.add(x);
+    EXPECT_EQ(acc.count(), 8u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+    // Sample variance with Bessel correction: 32/7.
+    EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(MeanAccumulator, CiShrinksWithSamples)
+{
+    Rng rng(1);
+    MeanAccumulator a, b;
+    for (int i = 0; i < 100; ++i)
+        a.add(rng.uniform());
+    for (int i = 0; i < 10000; ++i)
+        b.add(rng.uniform());
+    EXPECT_GT(a.ciHalfWidth(), b.ciHalfWidth());
+}
+
+TEST(MeanAccumulator, ResetClears)
+{
+    MeanAccumulator acc;
+    acc.add(5.0);
+    acc.reset();
+    EXPECT_EQ(acc.count(), 0u);
+    EXPECT_EQ(acc.mean(), 0.0);
+}
+
+TEST(SampleStats, ExactPercentilesBelowCapacity)
+{
+    SampleStats s(1024);
+    for (int i = 100; i >= 1; --i)
+        s.add(static_cast<double>(i));
+    EXPECT_EQ(s.count(), 100u);
+    EXPECT_EQ(s.min(), 1.0);
+    EXPECT_EQ(s.max(), 100.0);
+    EXPECT_NEAR(s.percentile(0.0), 1.0, 1e-12);
+    EXPECT_NEAR(s.percentile(1.0), 100.0, 1e-12);
+    EXPECT_NEAR(s.percentile(0.5), 50.5, 1e-9);
+    EXPECT_NEAR(s.p99(), 99.01, 0.1);
+    EXPECT_NEAR(s.mean(), 50.5, 1e-9);
+}
+
+TEST(SampleStats, InterleavedInsertAndQuery)
+{
+    SampleStats s(1024);
+    s.add(1.0);
+    s.add(3.0);
+    EXPECT_NEAR(s.percentile(0.5), 2.0, 1e-12);
+    s.add(2.0);
+    EXPECT_NEAR(s.percentile(0.5), 2.0, 1e-12);
+}
+
+TEST(SampleStats, ReservoirBoundsMemoryAndTracksQuantiles)
+{
+    SampleStats s(1000);
+    Rng rng(2);
+    for (int i = 0; i < 200000; ++i)
+        s.add(rng.uniform(), rng.next());
+    EXPECT_EQ(s.count(), 200000u);
+    EXPECT_EQ(s.samples().size(), 1000u);
+    // The reservoir median of U(0,1) should be near 0.5.
+    EXPECT_NEAR(s.percentile(0.5), 0.5, 0.06);
+}
+
+TEST(SampleStats, MomentsUseAllSamplesNotJustReservoir)
+{
+    SampleStats s(10);
+    for (int i = 1; i <= 1000; ++i)
+        s.add(static_cast<double>(i), i * 2654435761u);
+    EXPECT_NEAR(s.mean(), 500.5, 1e-9);
+    EXPECT_EQ(s.max(), 1000.0);
+}
+
+TEST(LogHistogram, CountsAndCdf)
+{
+    LogHistogram h(1.0, 1000.0, 30);
+    h.add(0.5);    // underflow
+    h.add(10.0);
+    h.add(100.0);
+    h.add(5000.0); // overflow
+    EXPECT_EQ(h.count(), 4u);
+    auto cdf = h.cdf();
+    EXPECT_EQ(cdf.front().second, 0.25); // underflow bucket
+    EXPECT_EQ(cdf.back().second, 1.0);
+}
+
+TEST(LogHistogram, PercentileApproximatesExponential)
+{
+    LogHistogram h(1e-2, 1e3, 200);
+    Rng rng(3);
+    for (int i = 0; i < 100000; ++i)
+        h.add(rng.exponential(10.0));
+    // p50 of Exp(10) = 10 ln 2 = 6.93.
+    EXPECT_NEAR(h.percentile(0.5), 6.93, 0.7);
+    // p99 = 10 ln 100 = 46.1.
+    EXPECT_NEAR(h.percentile(0.99), 46.1, 5.0);
+}
+
+TEST(BatchMeans, ConvergesOnStableMetric)
+{
+    BatchMeans bm(0.05, 1.96, 8);
+    Rng rng(4);
+    int batches = 0;
+    while (!bm.converged() && batches < 1000) {
+        bm.addBatch(100.0 + rng.normal(0.0, 5.0));
+        ++batches;
+    }
+    EXPECT_TRUE(bm.converged());
+    EXPECT_NEAR(bm.mean(), 100.0, 2.0);
+}
+
+TEST(BatchMeans, DoesNotConvergeBeforeMinBatches)
+{
+    BatchMeans bm(0.5, 1.96, 8);
+    for (int i = 0; i < 7; ++i) {
+        bm.addBatch(100.0);
+        EXPECT_FALSE(bm.converged());
+    }
+}
+
+TEST(BatchMeans, HighVarianceDelaysConvergence)
+{
+    Rng rng(5);
+    BatchMeans tight(0.01, 1.96, 8);
+    BatchMeans loose(0.20, 1.96, 8);
+    int tight_batches = 0, loose_batches = 0;
+    while (!loose.converged() && loose_batches < 100000) {
+        loose.addBatch(10.0 + rng.normal(0.0, 10.0));
+        ++loose_batches;
+    }
+    Rng rng2(5);
+    while (!tight.converged() && tight_batches < 100000) {
+        tight.addBatch(10.0 + rng2.normal(0.0, 10.0));
+        ++tight_batches;
+    }
+    EXPECT_LT(loose_batches, tight_batches);
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Time-domain conversion tests (cycles <-> seconds <-> microseconds).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/types.hh"
+
+using namespace duplexity;
+
+TEST(Frequency, CyclesToSecondsRoundTrip)
+{
+    Frequency f(3.4e9);
+    EXPECT_NEAR(f.cyclesToSeconds(3'400'000'000ull), 1.0, 1e-12);
+    EXPECT_EQ(f.secondsToCycles(1.0), 3'400'000'000ull);
+}
+
+TEST(Frequency, MicrosToCycles)
+{
+    Frequency f(3.4e9);
+    EXPECT_EQ(f.microsToCycles(1.0), 3400u);
+    EXPECT_EQ(f.microsToCycles(10.0), 34000u);
+    EXPECT_EQ(f.microsToCycles(0.0), 0u);
+}
+
+TEST(Frequency, GigahertzAccessor)
+{
+    EXPECT_NEAR(Frequency(3.25e9).gigahertz(), 3.25, 1e-12);
+}
+
+TEST(TimeConversions, MicrosRoundTrip)
+{
+    EXPECT_NEAR(toMicros(fromMicros(7.5)), 7.5, 1e-12);
+    EXPECT_NEAR(fromMicros(1.0), 1e-6, 1e-18);
+}
+
+TEST(Frequency, DifferentClocksDifferentCycleCounts)
+{
+    // A 50 ns DRAM access costs more cycles on a faster clock.
+    Frequency fast(3.4e9), slow(3.25e9);
+    EXPECT_GT(fast.microsToCycles(0.05), slow.microsToCycles(0.05));
+}
+
+TEST(ThreadIds, InvalidSentinelDistinct)
+{
+    EXPECT_NE(invalid_thread_id, ThreadId(0));
+}

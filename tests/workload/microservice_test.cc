@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Microservice/batch source tests: request phase structure, stall
+ * sampling, end-of-request marking, and catalog timing parameters
+ * (the Section V workload definitions).
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/catalog.hh"
+#include "workload/microservice.hh"
+
+using namespace duplexity;
+
+TEST(InstrsForMicros, ScalesLinearly)
+{
+    EXPECT_EQ(instrsForMicros(1.0, 3.4, 2.0), 6800u);
+    EXPECT_EQ(instrsForMicros(2.0, 3.4, 2.0), 13600u);
+    EXPECT_EQ(instrsForMicros(1.0, 3.4, 1.0), 3400u);
+    EXPECT_GE(instrsForMicros(0.0), 1u); // never zero
+}
+
+TEST(MicroserviceSpec, MeansReflectPhases)
+{
+    MicroserviceSpec spec = makeMicroservice(MicroserviceKind::Rsc);
+    // RSC: 3 µs + 4 µs compute, 8 µs Optane stall.
+    EXPECT_NEAR(spec.meanStallUs(), 8.0, 1e-9);
+    EXPECT_NEAR(spec.meanComputeInstrs(),
+                instrsForMicros(3.0) + instrsForMicros(4.0),
+                0.01 * spec.meanComputeInstrs());
+    EXPECT_NEAR(spec.nominalServiceUs(), 15.0, 0.3);
+}
+
+TEST(MicroserviceSpec, McRouterStallRatioMatchesPaper)
+{
+    // Section VI-A: ~60% of McRouter's service time is stall.
+    MicroserviceSpec spec =
+        makeMicroservice(MicroserviceKind::McRouter);
+    double stall = spec.meanStallUs();
+    double total = spec.nominalServiceUs();
+    EXPECT_NEAR(stall / total, 0.55, 0.07);
+}
+
+TEST(MicroserviceSpec, WordStemHasNoStalls)
+{
+    MicroserviceSpec spec =
+        makeMicroservice(MicroserviceKind::WordStem);
+    EXPECT_EQ(spec.meanStallUs(), 0.0);
+    EXPECT_NEAR(spec.nominalServiceUs(), 4.0, 0.1);
+}
+
+TEST(MicroserviceSource, EveryRequestEndsWithEndOfRequest)
+{
+    MicroserviceSpec spec =
+        makeMicroservice(MicroserviceKind::FlannLL);
+    MicroserviceSource source(spec, Rng(1));
+    int requests_seen = 0;
+    for (int i = 0; i < 200000 && requests_seen < 10; ++i) {
+        MicroOp op = source.next();
+        if (op.end_of_request) {
+            ++requests_seen;
+            // Requests end with compute, never mid-stall.
+            EXPECT_NE(op.cls, OpClass::Remote);
+        }
+    }
+    EXPECT_EQ(requests_seen, 10);
+    EXPECT_EQ(source.requestsCompleted(), 10u);
+}
+
+TEST(MicroserviceSource, RemoteOpsCarrySampledStalls)
+{
+    MicroserviceSpec spec =
+        makeMicroservice(MicroserviceKind::McRouter);
+    MicroserviceSource source(spec, Rng(2));
+    double sum = 0.0;
+    int remotes = 0;
+    for (int i = 0; i < 3000000 && remotes < 50; ++i) {
+        MicroOp op = source.next();
+        if (op.cls == OpClass::Remote) {
+            // Leaf KV wait: uniform 3-5 µs.
+            EXPECT_GE(op.stall_us, 3.0f);
+            EXPECT_LE(op.stall_us, 5.0f);
+            sum += op.stall_us;
+            ++remotes;
+        }
+    }
+    ASSERT_EQ(remotes, 50);
+    EXPECT_NEAR(sum / remotes, 4.0, 0.35);
+}
+
+TEST(MicroserviceSource, OneRemotePerFlannRequest)
+{
+    MicroserviceSpec spec =
+        makeMicroservice(MicroserviceKind::FlannHA);
+    MicroserviceSource source(spec, Rng(3));
+    int remotes = 0, requests = 0;
+    while (requests < 5) {
+        MicroOp op = source.next();
+        remotes += op.cls == OpClass::Remote;
+        requests += op.end_of_request;
+    }
+    EXPECT_EQ(remotes, 5);
+}
+
+TEST(MicroserviceSource, RequestSizesVary)
+{
+    MicroserviceSpec spec =
+        makeMicroservice(MicroserviceKind::WordStem);
+    MicroserviceSource source(spec, Rng(4));
+    std::vector<std::uint64_t> sizes;
+    std::uint64_t count = 0;
+    while (sizes.size() < 20) {
+        MicroOp op = source.next();
+        ++count;
+        if (op.end_of_request) {
+            sizes.push_back(count);
+            count = 0;
+        }
+    }
+    // Lognormal compute counts: not all equal.
+    bool all_equal = true;
+    for (std::size_t i = 1; i < sizes.size(); ++i)
+        all_equal = all_equal && sizes[i] == sizes[0];
+    EXPECT_FALSE(all_equal);
+}
+
+TEST(MicroserviceSource, PerPhaseCharacterOverrideUsed)
+{
+    // RSC's memcpy phase uses its own (streaming) address region
+    // behaviour; verify the source switches streams between phases:
+    // the lookup phase draws from the lookup WS (4 MB) while the
+    // memcpy phase draws from a 256 KB WS.
+    MicroserviceSpec spec = makeMicroservice(MicroserviceKind::Rsc);
+    ASSERT_TRUE(spec.phases[2].character.has_value());
+    MicroserviceSource source(spec, Rng(5));
+    bool after_stall = false;
+    Addr memcpy_limit = spec.phases[2].character->data_base +
+                        spec.phases[2].character->data_ws_bytes;
+    for (int i = 0; i < 300000; ++i) {
+        MicroOp op = source.next();
+        if (op.cls == OpClass::Remote) {
+            after_stall = true;
+            continue;
+        }
+        if (op.end_of_request) {
+            after_stall = false;
+            continue;
+        }
+        if (after_stall &&
+            (op.cls == OpClass::Load || op.cls == OpClass::Store)) {
+            EXPECT_LT(op.mem_addr, memcpy_limit);
+        }
+    }
+}
+
+TEST(BatchSource, AlternatesComputeAndStalls)
+{
+    BatchSpec spec = makeBatch(BatchKind::PageRank, 3);
+    BatchSource source(spec, Rng(6));
+    int remotes = 0;
+    std::uint64_t ops = 0;
+    while (remotes < 20) {
+        MicroOp op = source.next();
+        ++ops;
+        remotes += op.cls == OpClass::Remote;
+    }
+    // Segment lengths are thousands of micro-ops.
+    EXPECT_GT(ops / remotes, 500u);
+}
+
+TEST(BatchSource, StallFreeSpecNeverStalls)
+{
+    BatchSpec spec = makeSpecBatch(SpecProfile::Cpu, 4);
+    BatchSource source(spec, Rng(7));
+    for (int i = 0; i < 100000; ++i)
+        EXPECT_NE(source.next().cls, OpClass::Remote);
+}
+
+TEST(BatchSource, FlannXYHonorsStallParameter)
+{
+    BatchSpec with = makeFlannXY(1.0, 1.0, 5);
+    BatchSpec without = makeFlannXY(1.0, 0.0, 5);
+    EXPECT_NE(with.stall_us, nullptr);
+    EXPECT_EQ(without.stall_us, nullptr);
+    EXPECT_NEAR(with.stall_us->mean(), 1.0, 1e-9);
+}
+
+TEST(BatchSource, GraphFillerStallRatioMatchesPaper)
+{
+    // Section V: ~1 µs stall per 1-2 µs of compute.
+    BatchSpec spec = makeBatch(BatchKind::Sssp, 6);
+    EXPECT_NEAR(spec.stall_us->mean(), 1.0, 1e-9);
+    double mean_segment_us =
+        spec.segment_instrs->mean() / (3.4e3 * 1.0);
+    EXPECT_GE(mean_segment_us, 1.0);
+    EXPECT_LE(mean_segment_us, 2.0);
+}

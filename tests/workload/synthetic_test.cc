@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Synthetic-stream tests: instruction mixes, address-region
+ * containment, dependency bounds, and branch behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "workload/catalog.hh"
+#include "workload/synthetic.hh"
+
+using namespace duplexity;
+
+namespace
+{
+
+struct MixCounts
+{
+    std::map<OpClass, std::uint64_t> by_class;
+    std::uint64_t total = 0;
+
+    double
+    frac(OpClass cls) const
+    {
+        auto it = by_class.find(cls);
+        return it == by_class.end()
+                   ? 0.0
+                   : static_cast<double>(it->second) / total;
+    }
+};
+
+MixCounts
+countMix(SyntheticStream &stream, int n = 200000)
+{
+    MixCounts counts;
+    for (int i = 0; i < n; ++i) {
+        MicroOp op = stream.next();
+        ++counts.by_class[op.cls];
+        ++counts.total;
+    }
+    return counts;
+}
+
+WorkloadParams
+simpleParams()
+{
+    WorkloadParams p;
+    p.data_base = 0x100000000ull;
+    p.data_ws_bytes = 1 << 20;
+    p.code_base = 0x10000000ull;
+    p.code_bytes = 64 * 1024;
+    return p;
+}
+
+} // namespace
+
+TEST(SyntheticStream, MixFractionsMatchConfiguration)
+{
+    WorkloadParams p = simpleParams();
+    p.mix = InstrMix{0.30, 0.10, 0.15, 0.01, 0.04, 0.05};
+    SyntheticStream stream(p, Rng(1));
+    MixCounts counts = countMix(stream);
+    EXPECT_NEAR(counts.frac(OpClass::Load), 0.30, 0.01);
+    EXPECT_NEAR(counts.frac(OpClass::Store), 0.10, 0.01);
+    EXPECT_NEAR(counts.frac(OpClass::Branch), 0.15, 0.01);
+    EXPECT_NEAR(counts.frac(OpClass::IntMul), 0.04, 0.01);
+    EXPECT_NEAR(counts.frac(OpClass::FpAlu), 0.05, 0.01);
+    double calls = counts.frac(OpClass::Call) +
+                   counts.frac(OpClass::Return);
+    EXPECT_NEAR(calls, 0.01, 0.005);
+}
+
+TEST(SyntheticStream, DataAddressesStayInRegion)
+{
+    WorkloadParams p = simpleParams();
+    SyntheticStream stream(p, Rng(2));
+    for (int i = 0; i < 100000; ++i) {
+        MicroOp op = stream.next();
+        if (op.cls == OpClass::Load || op.cls == OpClass::Store) {
+            EXPECT_GE(op.mem_addr, p.data_base);
+            EXPECT_LT(op.mem_addr, p.data_base + p.data_ws_bytes);
+        }
+    }
+}
+
+TEST(SyntheticStream, CodeAddressesStayInRegion)
+{
+    WorkloadParams p = simpleParams();
+    SyntheticStream stream(p, Rng(3));
+    for (int i = 0; i < 100000; ++i) {
+        MicroOp op = stream.next();
+        EXPECT_GE(op.pc, p.code_base);
+        EXPECT_LT(op.pc, p.code_base + p.code_bytes);
+    }
+}
+
+TEST(SyntheticStream, DependenciesWithinRing)
+{
+    WorkloadParams p = simpleParams();
+    p.dep_prob = 1.0;
+    SyntheticStream stream(p, Rng(4));
+    for (int i = 0; i < 50000; ++i) {
+        MicroOp op = stream.next();
+        EXPECT_LE(op.dep1, 63);
+        EXPECT_LE(op.dep2, 63);
+    }
+}
+
+TEST(SyntheticStream, BranchBiasRealized)
+{
+    WorkloadParams p = simpleParams();
+    p.periodic_branch_frac = 0.0;
+    p.branch_taken_bias = 0.9;
+    SyntheticStream stream(p, Rng(5));
+    std::uint64_t taken = 0, branches = 0;
+    for (int i = 0; i < 300000; ++i) {
+        MicroOp op = stream.next();
+        if (op.cls == OpClass::Branch) {
+            ++branches;
+            taken += op.taken;
+        }
+    }
+    ASSERT_GT(branches, 1000u);
+    EXPECT_NEAR(static_cast<double>(taken) / branches, 0.9, 0.02);
+}
+
+TEST(SyntheticStream, PeriodicBranchesAreDeterministicPerSite)
+{
+    WorkloadParams p = simpleParams();
+    p.periodic_branch_frac = 1.0;
+    p.static_branches = 1;
+    SyntheticStream stream(p, Rng(6));
+    // A single periodic site: the not-taken outcomes must recur with
+    // a fixed period.
+    std::vector<int> not_taken_at;
+    int branch_index = 0;
+    for (int i = 0; i < 20000; ++i) {
+        MicroOp op = stream.next();
+        if (op.cls != OpClass::Branch)
+            continue;
+        if (!op.taken)
+            not_taken_at.push_back(branch_index);
+        ++branch_index;
+    }
+    ASSERT_GT(not_taken_at.size(), 3u);
+    int period = not_taken_at[1] - not_taken_at[0];
+    for (std::size_t i = 2; i < not_taken_at.size(); ++i)
+        EXPECT_EQ(not_taken_at[i] - not_taken_at[i - 1], period);
+}
+
+TEST(SyntheticStream, DeterministicForSameSeed)
+{
+    WorkloadParams p = simpleParams();
+    SyntheticStream a(p, Rng(7)), b(p, Rng(7));
+    for (int i = 0; i < 10000; ++i) {
+        MicroOp x = a.next(), y = b.next();
+        EXPECT_EQ(x.cls, y.cls);
+        EXPECT_EQ(x.pc, y.pc);
+        EXPECT_EQ(x.mem_addr, y.mem_addr);
+    }
+}
+
+/** Every catalog character must produce in-bounds streams. */
+class CatalogCharacters
+    : public ::testing::TestWithParam<MicroserviceKind>
+{
+};
+
+TEST_P(CatalogCharacters, StreamStaysInItsRegions)
+{
+    MicroserviceSpec spec = makeMicroservice(GetParam());
+    SyntheticStream stream(spec.character, Rng(8));
+    for (int i = 0; i < 20000; ++i) {
+        MicroOp op = stream.next();
+        if (op.cls == OpClass::Load || op.cls == OpClass::Store) {
+            EXPECT_GE(op.mem_addr, spec.character.data_base);
+            EXPECT_LT(op.mem_addr, spec.character.data_base +
+                                       spec.character.data_ws_bytes);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllServices, CatalogCharacters,
+                         ::testing::ValuesIn(allMicroservices()));
+
+TEST(Catalog, ThreadRegionsAreDisjoint)
+{
+    BatchSpec a = makeBatch(BatchKind::PageRank, 1);
+    BatchSpec b = makeBatch(BatchKind::PageRank, 2);
+    EXPECT_NE(a.character.data_base, b.character.data_base);
+    // 4 GB spacing: no overlap possible.
+    EXPECT_GE(std::max(a.character.data_base, b.character.data_base) -
+                  std::min(a.character.data_base,
+                           b.character.data_base),
+              a.character.data_ws_bytes);
+}
+
+TEST(Catalog, SameKindSharesCode)
+{
+    BatchSpec a = makeBatch(BatchKind::PageRank, 1);
+    BatchSpec b = makeBatch(BatchKind::PageRank, 2);
+    EXPECT_EQ(a.character.code_base, b.character.code_base);
+}
