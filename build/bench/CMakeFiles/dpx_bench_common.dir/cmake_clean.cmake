@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpx_bench_common.dir/fig5_common.cc.o"
+  "CMakeFiles/dpx_bench_common.dir/fig5_common.cc.o.d"
+  "libdpx_bench_common.a"
+  "libdpx_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpx_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

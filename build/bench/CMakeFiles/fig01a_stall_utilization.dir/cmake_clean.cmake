@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01a_stall_utilization.dir/fig01a_stall_utilization.cc.o"
+  "CMakeFiles/fig01a_stall_utilization.dir/fig01a_stall_utilization.cc.o.d"
+  "fig01a_stall_utilization"
+  "fig01a_stall_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01a_stall_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

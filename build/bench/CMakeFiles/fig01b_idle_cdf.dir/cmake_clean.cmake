@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01b_idle_cdf.dir/fig01b_idle_cdf.cc.o"
+  "CMakeFiles/fig01b_idle_cdf.dir/fig01b_idle_cdf.cc.o.d"
+  "fig01b_idle_cdf"
+  "fig01b_idle_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01b_idle_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

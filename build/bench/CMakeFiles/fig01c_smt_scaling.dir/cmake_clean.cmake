@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01c_smt_scaling.dir/fig01c_smt_scaling.cc.o"
+  "CMakeFiles/fig01c_smt_scaling.dir/fig01c_smt_scaling.cc.o.d"
+  "fig01c_smt_scaling"
+  "fig01c_smt_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01c_smt_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

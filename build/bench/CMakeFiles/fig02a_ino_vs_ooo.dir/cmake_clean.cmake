@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02a_ino_vs_ooo.dir/fig02a_ino_vs_ooo.cc.o"
+  "CMakeFiles/fig02a_ino_vs_ooo.dir/fig02a_ino_vs_ooo.cc.o.d"
+  "fig02a_ino_vs_ooo"
+  "fig02a_ino_vs_ooo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02a_ino_vs_ooo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

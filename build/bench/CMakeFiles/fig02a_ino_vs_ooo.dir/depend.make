@@ -1,0 +1,2 @@
+# Empty dependencies file for fig02a_ino_vs_ooo.
+# This may be replaced when dependencies are built.

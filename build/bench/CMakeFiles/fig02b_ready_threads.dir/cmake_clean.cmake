@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02b_ready_threads.dir/fig02b_ready_threads.cc.o"
+  "CMakeFiles/fig02b_ready_threads.dir/fig02b_ready_threads.cc.o.d"
+  "fig02b_ready_threads"
+  "fig02b_ready_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02b_ready_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05a_core_utilization.dir/fig05a_core_utilization.cc.o"
+  "CMakeFiles/fig05a_core_utilization.dir/fig05a_core_utilization.cc.o.d"
+  "fig05a_core_utilization"
+  "fig05a_core_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05a_core_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

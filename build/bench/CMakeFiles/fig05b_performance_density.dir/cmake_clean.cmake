@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05b_performance_density.dir/fig05b_performance_density.cc.o"
+  "CMakeFiles/fig05b_performance_density.dir/fig05b_performance_density.cc.o.d"
+  "fig05b_performance_density"
+  "fig05b_performance_density.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05b_performance_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05c_energy.dir/fig05c_energy.cc.o"
+  "CMakeFiles/fig05c_energy.dir/fig05c_energy.cc.o.d"
+  "fig05c_energy"
+  "fig05c_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05c_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig05d_tail_latency.cc" "bench/CMakeFiles/fig05d_tail_latency.dir/fig05d_tail_latency.cc.o" "gcc" "bench/CMakeFiles/fig05d_tail_latency.dir/fig05d_tail_latency.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/dpx_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dpx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dpx_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/dpx_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dpx_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/branch/CMakeFiles/dpx_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/dpx_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/dpx_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dpx_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dpx_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

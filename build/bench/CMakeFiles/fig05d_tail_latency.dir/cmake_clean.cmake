@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05d_tail_latency.dir/fig05d_tail_latency.cc.o"
+  "CMakeFiles/fig05d_tail_latency.dir/fig05d_tail_latency.cc.o.d"
+  "fig05d_tail_latency"
+  "fig05d_tail_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05d_tail_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

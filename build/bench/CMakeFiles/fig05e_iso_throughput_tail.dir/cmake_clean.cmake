@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05e_iso_throughput_tail.dir/fig05e_iso_throughput_tail.cc.o"
+  "CMakeFiles/fig05e_iso_throughput_tail.dir/fig05e_iso_throughput_tail.cc.o.d"
+  "fig05e_iso_throughput_tail"
+  "fig05e_iso_throughput_tail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05e_iso_throughput_tail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig05e_iso_throughput_tail.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05f_batch_stp.dir/fig05f_batch_stp.cc.o"
+  "CMakeFiles/fig05f_batch_stp.dir/fig05f_batch_stp.cc.o.d"
+  "fig05f_batch_stp"
+  "fig05f_batch_stp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05f_batch_stp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig05f_batch_stp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_network_iops.dir/fig06_network_iops.cc.o"
+  "CMakeFiles/fig06_network_iops.dir/fig06_network_iops.cc.o.d"
+  "fig06_network_iops"
+  "fig06_network_iops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_network_iops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

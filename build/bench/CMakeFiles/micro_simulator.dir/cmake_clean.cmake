@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_simulator.dir/micro_simulator.cc.o"
+  "CMakeFiles/micro_simulator.dir/micro_simulator.cc.o.d"
+  "micro_simulator"
+  "micro_simulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_simulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

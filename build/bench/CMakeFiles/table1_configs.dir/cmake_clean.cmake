@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_configs.dir/table1_configs.cc.o"
+  "CMakeFiles/table1_configs.dir/table1_configs.cc.o.d"
+  "table1_configs"
+  "table1_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_study.dir/ablation_study.cpp.o"
+  "CMakeFiles/ablation_study.dir/ablation_study.cpp.o.d"
+  "ablation_study"
+  "ablation_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

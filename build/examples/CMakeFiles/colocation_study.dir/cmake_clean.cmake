@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colocation_study.dir/colocation_study.cpp.o"
+  "CMakeFiles/colocation_study.dir/colocation_study.cpp.o.d"
+  "colocation_study"
+  "colocation_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colocation_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nic_sizing.dir/nic_sizing.cpp.o"
+  "CMakeFiles/nic_sizing.dir/nic_sizing.cpp.o.d"
+  "nic_sizing"
+  "nic_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nic_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpx_branch.dir/predictor.cc.o"
+  "CMakeFiles/dpx_branch.dir/predictor.cc.o.d"
+  "libdpx_branch.a"
+  "libdpx_branch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpx_branch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

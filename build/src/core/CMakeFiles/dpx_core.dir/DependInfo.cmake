@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/calibration.cc" "src/core/CMakeFiles/dpx_core.dir/calibration.cc.o" "gcc" "src/core/CMakeFiles/dpx_core.dir/calibration.cc.o.d"
+  "/root/repo/src/core/designs.cc" "src/core/CMakeFiles/dpx_core.dir/designs.cc.o" "gcc" "src/core/CMakeFiles/dpx_core.dir/designs.cc.o.d"
+  "/root/repo/src/core/scenario.cc" "src/core/CMakeFiles/dpx_core.dir/scenario.cc.o" "gcc" "src/core/CMakeFiles/dpx_core.dir/scenario.cc.o.d"
+  "/root/repo/src/core/smt_sweep.cc" "src/core/CMakeFiles/dpx_core.dir/smt_sweep.cc.o" "gcc" "src/core/CMakeFiles/dpx_core.dir/smt_sweep.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dpx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dpx_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/branch/CMakeFiles/dpx_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/dpx_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dpx_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/dpx_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpx_core.dir/calibration.cc.o"
+  "CMakeFiles/dpx_core.dir/calibration.cc.o.d"
+  "CMakeFiles/dpx_core.dir/designs.cc.o"
+  "CMakeFiles/dpx_core.dir/designs.cc.o.d"
+  "CMakeFiles/dpx_core.dir/scenario.cc.o"
+  "CMakeFiles/dpx_core.dir/scenario.cc.o.d"
+  "CMakeFiles/dpx_core.dir/smt_sweep.cc.o"
+  "CMakeFiles/dpx_core.dir/smt_sweep.cc.o.d"
+  "libdpx_core.a"
+  "libdpx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

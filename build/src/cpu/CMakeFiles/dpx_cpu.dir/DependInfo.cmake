@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/core_engine.cc" "src/cpu/CMakeFiles/dpx_cpu.dir/core_engine.cc.o" "gcc" "src/cpu/CMakeFiles/dpx_cpu.dir/core_engine.cc.o.d"
+  "/root/repo/src/cpu/hsmt.cc" "src/cpu/CMakeFiles/dpx_cpu.dir/hsmt.cc.o" "gcc" "src/cpu/CMakeFiles/dpx_cpu.dir/hsmt.cc.o.d"
+  "/root/repo/src/cpu/virtual_context.cc" "src/cpu/CMakeFiles/dpx_cpu.dir/virtual_context.cc.o" "gcc" "src/cpu/CMakeFiles/dpx_cpu.dir/virtual_context.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dpx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dpx_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/branch/CMakeFiles/dpx_branch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

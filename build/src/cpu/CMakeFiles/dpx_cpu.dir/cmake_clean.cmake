@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpx_cpu.dir/core_engine.cc.o"
+  "CMakeFiles/dpx_cpu.dir/core_engine.cc.o.d"
+  "CMakeFiles/dpx_cpu.dir/hsmt.cc.o"
+  "CMakeFiles/dpx_cpu.dir/hsmt.cc.o.d"
+  "CMakeFiles/dpx_cpu.dir/virtual_context.cc.o"
+  "CMakeFiles/dpx_cpu.dir/virtual_context.cc.o.d"
+  "libdpx_cpu.a"
+  "libdpx_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpx_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

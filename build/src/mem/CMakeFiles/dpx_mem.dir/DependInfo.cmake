@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/cache.cc" "src/mem/CMakeFiles/dpx_mem.dir/cache.cc.o" "gcc" "src/mem/CMakeFiles/dpx_mem.dir/cache.cc.o.d"
+  "/root/repo/src/mem/memory_system.cc" "src/mem/CMakeFiles/dpx_mem.dir/memory_system.cc.o" "gcc" "src/mem/CMakeFiles/dpx_mem.dir/memory_system.cc.o.d"
+  "/root/repo/src/mem/prefetcher.cc" "src/mem/CMakeFiles/dpx_mem.dir/prefetcher.cc.o" "gcc" "src/mem/CMakeFiles/dpx_mem.dir/prefetcher.cc.o.d"
+  "/root/repo/src/mem/tlb.cc" "src/mem/CMakeFiles/dpx_mem.dir/tlb.cc.o" "gcc" "src/mem/CMakeFiles/dpx_mem.dir/tlb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dpx_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpx_mem.dir/cache.cc.o"
+  "CMakeFiles/dpx_mem.dir/cache.cc.o.d"
+  "CMakeFiles/dpx_mem.dir/memory_system.cc.o"
+  "CMakeFiles/dpx_mem.dir/memory_system.cc.o.d"
+  "CMakeFiles/dpx_mem.dir/prefetcher.cc.o"
+  "CMakeFiles/dpx_mem.dir/prefetcher.cc.o.d"
+  "CMakeFiles/dpx_mem.dir/tlb.cc.o"
+  "CMakeFiles/dpx_mem.dir/tlb.cc.o.d"
+  "libdpx_mem.a"
+  "libdpx_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpx_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

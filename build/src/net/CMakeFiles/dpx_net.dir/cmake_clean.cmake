@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpx_net.dir/nic_model.cc.o"
+  "CMakeFiles/dpx_net.dir/nic_model.cc.o.d"
+  "libdpx_net.a"
+  "libdpx_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpx_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

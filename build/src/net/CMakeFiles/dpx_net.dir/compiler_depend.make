@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dpx_net.
+# This may be replaced when dependencies are built.

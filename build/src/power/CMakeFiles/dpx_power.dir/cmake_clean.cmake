@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpx_power.dir/area_model.cc.o"
+  "CMakeFiles/dpx_power.dir/area_model.cc.o.d"
+  "CMakeFiles/dpx_power.dir/energy_model.cc.o"
+  "CMakeFiles/dpx_power.dir/energy_model.cc.o.d"
+  "libdpx_power.a"
+  "libdpx_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpx_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/queueing/analytic.cc" "src/queueing/CMakeFiles/dpx_queueing.dir/analytic.cc.o" "gcc" "src/queueing/CMakeFiles/dpx_queueing.dir/analytic.cc.o.d"
+  "/root/repo/src/queueing/queue_sim.cc" "src/queueing/CMakeFiles/dpx_queueing.dir/queue_sim.cc.o" "gcc" "src/queueing/CMakeFiles/dpx_queueing.dir/queue_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dpx_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

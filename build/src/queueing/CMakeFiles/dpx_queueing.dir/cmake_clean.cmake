@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpx_queueing.dir/analytic.cc.o"
+  "CMakeFiles/dpx_queueing.dir/analytic.cc.o.d"
+  "CMakeFiles/dpx_queueing.dir/queue_sim.cc.o"
+  "CMakeFiles/dpx_queueing.dir/queue_sim.cc.o.d"
+  "libdpx_queueing.a"
+  "libdpx_queueing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpx_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdpx_queueing.a"
+)

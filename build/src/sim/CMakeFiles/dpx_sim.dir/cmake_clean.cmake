@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpx_sim.dir/distributions.cc.o"
+  "CMakeFiles/dpx_sim.dir/distributions.cc.o.d"
+  "CMakeFiles/dpx_sim.dir/event_queue.cc.o"
+  "CMakeFiles/dpx_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/dpx_sim.dir/rng.cc.o"
+  "CMakeFiles/dpx_sim.dir/rng.cc.o.d"
+  "CMakeFiles/dpx_sim.dir/slot_calendar.cc.o"
+  "CMakeFiles/dpx_sim.dir/slot_calendar.cc.o.d"
+  "CMakeFiles/dpx_sim.dir/stats.cc.o"
+  "CMakeFiles/dpx_sim.dir/stats.cc.o.d"
+  "libdpx_sim.a"
+  "libdpx_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpx_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/catalog.cc" "src/workload/CMakeFiles/dpx_workload.dir/catalog.cc.o" "gcc" "src/workload/CMakeFiles/dpx_workload.dir/catalog.cc.o.d"
+  "/root/repo/src/workload/microservice.cc" "src/workload/CMakeFiles/dpx_workload.dir/microservice.cc.o" "gcc" "src/workload/CMakeFiles/dpx_workload.dir/microservice.cc.o.d"
+  "/root/repo/src/workload/synthetic.cc" "src/workload/CMakeFiles/dpx_workload.dir/synthetic.cc.o" "gcc" "src/workload/CMakeFiles/dpx_workload.dir/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dpx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/dpx_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dpx_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/branch/CMakeFiles/dpx_branch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpx_workload.dir/catalog.cc.o"
+  "CMakeFiles/dpx_workload.dir/catalog.cc.o.d"
+  "CMakeFiles/dpx_workload.dir/microservice.cc.o"
+  "CMakeFiles/dpx_workload.dir/microservice.cc.o.d"
+  "CMakeFiles/dpx_workload.dir/synthetic.cc.o"
+  "CMakeFiles/dpx_workload.dir/synthetic.cc.o.d"
+  "libdpx_workload.a"
+  "libdpx_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpx_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

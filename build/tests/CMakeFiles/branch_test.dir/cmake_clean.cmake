@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/branch_test.dir/branch/predictor_test.cc.o"
+  "CMakeFiles/branch_test.dir/branch/predictor_test.cc.o.d"
+  "branch_test"
+  "branch_test.pdb"
+  "branch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/branch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

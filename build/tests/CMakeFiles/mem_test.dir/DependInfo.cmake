@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mem/cache_test.cc" "tests/CMakeFiles/mem_test.dir/mem/cache_test.cc.o" "gcc" "tests/CMakeFiles/mem_test.dir/mem/cache_test.cc.o.d"
+  "/root/repo/tests/mem/memory_system_test.cc" "tests/CMakeFiles/mem_test.dir/mem/memory_system_test.cc.o" "gcc" "tests/CMakeFiles/mem_test.dir/mem/memory_system_test.cc.o.d"
+  "/root/repo/tests/mem/prefetcher_test.cc" "tests/CMakeFiles/mem_test.dir/mem/prefetcher_test.cc.o" "gcc" "tests/CMakeFiles/mem_test.dir/mem/prefetcher_test.cc.o.d"
+  "/root/repo/tests/mem/tlb_test.cc" "tests/CMakeFiles/mem_test.dir/mem/tlb_test.cc.o" "gcc" "tests/CMakeFiles/mem_test.dir/mem/tlb_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dpx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dpx_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/dpx_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dpx_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/branch/CMakeFiles/dpx_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/dpx_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/dpx_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dpx_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dpx_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queueing_test.dir/queueing/analytic_test.cc.o"
+  "CMakeFiles/queueing_test.dir/queueing/analytic_test.cc.o.d"
+  "CMakeFiles/queueing_test.dir/queueing/queue_sim_test.cc.o"
+  "CMakeFiles/queueing_test.dir/queueing/queue_sim_test.cc.o.d"
+  "queueing_test"
+  "queueing_test.pdb"
+  "queueing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queueing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
