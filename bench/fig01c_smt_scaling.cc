@@ -12,6 +12,7 @@
 #include "core/calibration.hh"
 #include "core/scenario.hh"
 #include "core/smt_sweep.hh"
+#include "sim/parallel_sweep.hh"
 
 using namespace duplexity;
 
@@ -46,25 +47,37 @@ main()
         std::printf(" %12s", v.name);
     std::printf("\n");
 
-    // Normalize to the stall-free single-thread throughput.
-    double norm = 0.0;
+    // All (threads x variant) points are independent: fan them out
+    // on the parallel sweep engine, then normalize to the stall-free
+    // single-thread throughput (the first point).
+    std::vector<SmtSweepConfig> points;
     for (std::uint32_t threads = 1; threads <= 16; ++threads) {
-        std::printf("%8u", threads);
         for (const Variant &v : variants) {
             SmtSweepConfig cfg;
             cfg.mode = IssueMode::OutOfOrder;
             cfg.threads = threads;
-            cfg.workload = [&](ThreadId) {
+            cfg.workload = [v](ThreadId) {
                 // Concurrent requests of one FLANN instance share
                 // the LSH tables: same data region for all threads.
                 return calibratedFlannXY(v.compute_us, v.stall_us,
                                          0);
             };
             cfg.measure_cycles = measure;
-            double ipc = runSmtSweep(cfg).total_ipc;
-            if (norm == 0.0)
-                norm = ipc;
-            std::printf(" %12.3f", ipc / norm);
+            cfg.seed = deriveCellSeed(
+                7, {threads, coordKey(v.compute_us),
+                    coordKey(v.stall_us)});
+            points.push_back(cfg);
+        }
+    }
+    std::vector<SmtSweepResult> results = runSmtSweepMany(points);
+
+    const double norm = results.front().total_ipc;
+    std::size_t point = 0;
+    for (std::uint32_t threads = 1; threads <= 16; ++threads) {
+        std::printf("%8u", threads);
+        for (std::size_t v = 0; v < variants.size(); ++v) {
+            std::printf(" %12.3f",
+                        results[point++].total_ipc / norm);
         }
         std::printf("\n");
     }

@@ -7,9 +7,11 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "core/scenario.hh"
 #include "core/smt_sweep.hh"
+#include "sim/parallel_sweep.hh"
 #include "workload/catalog.hh"
 
 using namespace duplexity;
@@ -23,20 +25,30 @@ main()
         return makeSpecBatch(static_cast<SpecProfile>(uid % 3), uid);
     };
 
+    // 10 thread counts x 2 issue modes, fanned out on the parallel
+    // sweep engine with identity-derived seeds.
+    std::vector<SmtSweepConfig> points;
+    for (std::uint32_t threads = 1; threads <= 10; ++threads) {
+        for (IssueMode mode :
+             {IssueMode::OutOfOrder, IssueMode::InOrder}) {
+            SmtSweepConfig cfg;
+            cfg.mode = mode;
+            cfg.threads = threads;
+            cfg.workload = mix_workload;
+            cfg.measure_cycles = measure;
+            cfg.seed = deriveCellSeed(
+                7, {threads, static_cast<std::uint64_t>(mode)});
+            points.push_back(cfg);
+        }
+    }
+    std::vector<SmtSweepResult> results = runSmtSweepMany(points);
+
     std::printf("Figure 2(a): SPEC-mix throughput, InO vs OoO SMT\n");
     std::printf("%8s %10s %10s %12s\n", "threads", "OoO IPC",
                 "InO IPC", "OoO/InO");
     for (std::uint32_t threads = 1; threads <= 10; ++threads) {
-        SmtSweepConfig cfg;
-        cfg.threads = threads;
-        cfg.workload = mix_workload;
-        cfg.measure_cycles = measure;
-
-        cfg.mode = IssueMode::OutOfOrder;
-        double ooo = runSmtSweep(cfg).total_ipc;
-        cfg.mode = IssueMode::InOrder;
-        double ino = runSmtSweep(cfg).total_ipc;
-
+        double ooo = results[(threads - 1) * 2].total_ipc;
+        double ino = results[(threads - 1) * 2 + 1].total_ipc;
         std::printf("%8u %10.3f %10.3f %12.3f\n", threads, ooo, ino,
                     ooo / ino);
     }

@@ -16,7 +16,7 @@ using namespace duplexity::bench;
 int
 main()
 {
-    Grid grid = runGrid();
+    Grid grid = bench::runGrid();
     printPanel("Figure 5(a): core utilization (%)", grid,
                [](const GridCell &cell) {
                    return 100.0 * cell.result.utilization;

@@ -16,7 +16,7 @@ using namespace duplexity::bench;
 int
 main()
 {
-    Grid grid = runGrid();
+    Grid grid = bench::runGrid();
     printPanel(
         "Figure 5(b): performance density, normalized to Baseline",
         grid,

@@ -14,7 +14,7 @@ using namespace duplexity::bench;
 int
 main()
 {
-    Grid grid = runGrid();
+    Grid grid = bench::runGrid();
     printPanel("Figure 5(c): energy per instruction, normalized to "
                "Baseline",
                grid,

@@ -16,7 +16,7 @@ using namespace duplexity::bench;
 int
 main()
 {
-    Grid grid = runGrid(6'000'000);
+    Grid grid = bench::runGrid(6'000'000);
     printPanel(
         "Figure 5(d): p99 tail latency, normalized to Baseline",
         grid,

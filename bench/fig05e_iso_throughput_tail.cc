@@ -16,7 +16,7 @@ using namespace duplexity::bench;
 int
 main()
 {
-    Grid grid = runGrid(6'000'000);
+    Grid grid = bench::runGrid(6'000'000);
 
     auto iso_p99 = [&grid](const GridCell &cell) {
         // A denser design serves the same throughput at lower

@@ -15,7 +15,7 @@ using namespace duplexity::bench;
 int
 main()
 {
-    Grid grid = runGrid();
+    Grid grid = bench::runGrid();
     printPanel("Figure 5(f): batch STP, normalized to Baseline",
                grid,
                [&grid](const GridCell &cell) {

@@ -18,7 +18,7 @@ int
 main()
 {
     NicModel nic;
-    Grid grid = runGrid();
+    Grid grid = bench::runGrid();
     printPanel("Figure 6: network IOPS utilization per dyad (%)",
                grid,
                [&nic](const GridCell &cell) {

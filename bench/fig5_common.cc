@@ -12,41 +12,26 @@ namespace duplexity::bench
 const std::vector<double> &
 loads()
 {
-    static const std::vector<double> values{0.3, 0.5, 0.7};
-    return values;
-}
-
-const ScenarioResult &
-Grid::at(MicroserviceKind service, double load,
-         DesignKind design) const
-{
-    for (const GridCell &cell : cells) {
-        if (cell.service == service && cell.design == design &&
-            std::abs(cell.load - load) < 1e-9) {
-            return cell.result;
-        }
-    }
-    fatal("grid cell not found");
+    return evaluationLoads();
 }
 
 Grid
 runGrid(Cycle default_measure)
 {
-    Grid grid;
-    const Cycle measure = measureCyclesFromEnv(default_measure);
-    for (MicroserviceKind service : allMicroservices()) {
-        for (double load : loads()) {
-            for (DesignKind design : allDesigns()) {
-                ScenarioConfig cfg;
-                cfg.design = design;
-                cfg.service = service;
-                cfg.load = load;
-                cfg.measure_cycles = measure;
-                grid.cells.push_back(
-                    {service, load, design, runScenario(cfg)});
-            }
-        }
-    }
+    GridSpec spec;
+    spec.measure_cycles = measureCyclesFromEnv(default_measure);
+    Grid grid = duplexity::runGrid(spec);
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "grid: %zu cells on %u threads in %.1fs "
+                  "(serial-equivalent %.1fs, speedup %.2fx, "
+                  "%.2fs/cell)",
+                  grid.sweep.cells, grid.sweep.threads,
+                  grid.sweep.wall_seconds,
+                  grid.sweep.totalCellSeconds(),
+                  grid.sweep.parallelSpeedup(),
+                  grid.sweep.cell_seconds.mean());
+    inform(line);
     return grid;
 }
 

@@ -2,8 +2,10 @@
  * @file
  * Shared harness for the Figure 5 family: runs the full evaluation
  * grid (4 stalling microservices + WordStem) x {30,50,70}% load x
- * all seven designs, and provides the derived metrics each figure
- * reports. Each bench binary regenerates exactly one panel.
+ * all seven designs on the parallel sweep engine (core/grid.hh), and
+ * provides the derived metrics each figure reports. Each bench
+ * binary regenerates exactly one panel. DPX_THREADS controls the
+ * worker count; the Grid is bit-identical for every setting.
  */
 
 #ifndef DPX_BENCH_FIG5_COMMON_HH
@@ -13,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "core/grid.hh"
 #include "core/scenario.hh"
 #include "power/area_model.hh"
 #include "power/energy_model.hh"
@@ -20,26 +23,14 @@
 namespace duplexity::bench
 {
 
-struct GridCell
-{
-    MicroserviceKind service;
-    double load;
-    DesignKind design;
-    ScenarioResult result;
-};
-
-struct Grid
-{
-    std::vector<GridCell> cells;
-
-    const ScenarioResult &at(MicroserviceKind service, double load,
-                             DesignKind design) const;
-};
-
 /** The evaluation loads of Section VI. */
 const std::vector<double> &loads();
 
-/** Run the whole grid (measure cycles from DPX_MEASURE_CYCLES). */
+/**
+ * Run the whole grid in parallel (measure cycles from
+ * DPX_MEASURE_CYCLES, worker count from DPX_THREADS) and report the
+ * sweep timing on stderr.
+ */
 Grid runGrid(Cycle default_measure = 1'500'000);
 
 /** Total chip instructions/s (master-side + lender) of a cell. */

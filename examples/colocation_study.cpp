@@ -12,9 +12,12 @@
 
 #include <cstdio>
 #include <cstring>
+#include <vector>
 
+#include "core/grid.hh"
 #include "core/scenario.hh"
 #include "queueing/queue_sim.hh"
+#include "sim/parallel_sweep.hh"
 
 using namespace duplexity;
 
@@ -63,19 +66,28 @@ main(int argc, char **argv)
                 "util(%)", "svc mean(us)", "p99(us)", "batch STP",
                 "win frac");
 
-    double base_p99 = 0.0;
-    for (DesignKind design : allDesigns()) {
+    // One cell per design, fanned out on the parallel sweep engine
+    // with identity-derived seeds (order- and thread-count-proof).
+    const std::vector<DesignKind> designs = allDesigns();
+    std::vector<ScenarioResult> results(designs.size());
+    parallelSweep(designs.size(), [&](std::size_t i) {
         ScenarioConfig cfg;
-        cfg.design = design;
+        cfg.design = designs[i];
         cfg.service = service;
         cfg.load = load;
         cfg.measure_cycles = measureCyclesFromEnv(2'000'000);
-        ScenarioResult res = runScenario(cfg);
+        cfg.seed = gridCellSeed(42, service, load, designs[i]);
+        results[i] = runScenario(cfg);
+    });
+
+    double base_p99 = 0.0;
+    for (std::size_t i = 0; i < designs.size(); ++i) {
+        const ScenarioResult &res = results[i];
         double p99 = p99Us(res);
-        if (design == DesignKind::Baseline)
+        if (designs[i] == DesignKind::Baseline)
             base_p99 = p99;
         std::printf("%-16s %9.1f %12.2f %9.1f%s %12.2f %10.2f\n",
-                    toString(design), 100.0 * res.utilization,
+                    toString(designs[i]), 100.0 * res.utilization,
                     res.service_us.mean(), p99,
                     p99 > 1.5 * base_p99 ? "(!)" : "   ",
                     res.batch_stp, res.filler_window_fraction);

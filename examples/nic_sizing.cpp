@@ -5,8 +5,10 @@
  * port, and which constraint (IOPS or bandwidth) binds?
  */
 
+#include <algorithm>
 #include <cstdio>
 
+#include "core/grid.hh"
 #include "core/scenario.hh"
 #include "net/nic_model.hh"
 
@@ -24,26 +26,26 @@ main()
                 "load", "remote Mops/s", "IOPS util(%)",
                 "BW util(%)", "dyads/port");
 
-    double worst = 0.0;
-    for (MicroserviceKind service : allMicroservices()) {
-        for (double load : {0.3, 0.7}) {
-            ScenarioConfig cfg;
-            cfg.design = DesignKind::Duplexity;
-            cfg.service = service;
-            cfg.load = load;
-            cfg.measure_cycles = measureCyclesFromEnv(1'200'000);
-            ScenarioResult res = runScenario(cfg);
+    // The (service x load) cells are a reduced evaluation grid: run
+    // them through the same parallel engine as the Figure 5 family.
+    GridSpec spec;
+    spec.designs = {DesignKind::Duplexity};
+    spec.loads = {0.3, 0.7};
+    spec.measure_cycles = measureCyclesFromEnv(1'200'000);
+    Grid grid = runGrid(spec);
 
-            double ops = res.remote_ops_per_sec;
-            worst = std::max(worst,
-                             fdr.utilization(ops, bytes_per_op));
-            std::printf("%-10s %4.0f%% %14.2f %12.2f %12.3f %10u\n",
-                        toString(service), 100.0 * load, ops / 1e6,
-                        100.0 * fdr.iopsUtilization(ops),
-                        100.0 * fdr.bandwidthUtilization(
-                                    ops, bytes_per_op),
-                        fdr.dyadsPerPort(ops, bytes_per_op));
-        }
+    double worst = 0.0;
+    for (const GridCell &cell : grid.cells) {
+        const ScenarioResult &res = cell.result;
+        double ops = res.remote_ops_per_sec;
+        worst =
+            std::max(worst, fdr.utilization(ops, bytes_per_op));
+        std::printf("%-10s %4.0f%% %14.2f %12.2f %12.3f %10u\n",
+                    toString(cell.service), 100.0 * cell.load,
+                    ops / 1e6, 100.0 * fdr.iopsUtilization(ops),
+                    100.0 * fdr.bandwidthUtilization(ops,
+                                                     bytes_per_op),
+                    fdr.dyadsPerPort(ops, bytes_per_op));
     }
 
     std::printf("\nWorst per-dyad port utilization %.2f%% -> at "

@@ -15,6 +15,7 @@
 
 #include "core/scenario.hh"
 #include "queueing/analytic.hh"
+#include "sim/parallel_sweep.hh"
 
 using namespace duplexity;
 
@@ -37,23 +38,29 @@ main()
                 "McRouter @ 50%%)\n");
     std::printf("%10s %10s %14s %12s\n", "contexts", "util(%)",
                 "batch ops/s(M)", "swaps");
-    double prev_util = 0.0;
-    for (std::uint32_t contexts : {8u, 12u, 16u, 24u, 32u, 48u}) {
+    // Pool sizes are independent cells: sweep them in parallel with
+    // seeds derived from the pool size, not the submission order.
+    const std::vector<std::uint32_t> pool_sizes{8, 12, 16, 24, 32,
+                                                48};
+    std::vector<ScenarioResult> results(pool_sizes.size());
+    parallelSweep(pool_sizes.size(), [&](std::size_t i) {
         ScenarioConfig cfg;
         cfg.design = DesignKind::Duplexity;
         cfg.service = MicroserviceKind::McRouter;
         cfg.load = 0.5;
-        cfg.pool_contexts = contexts;
+        cfg.pool_contexts = pool_sizes[i];
         cfg.measure_cycles = measureCyclesFromEnv(1'500'000);
-        ScenarioResult res = runScenario(cfg);
-        std::printf("%10u %10.1f %14.1f %12llu\n", contexts,
+        cfg.seed = deriveCellSeed(42, {pool_sizes[i]});
+        results[i] = runScenario(cfg);
+    });
+    for (std::size_t i = 0; i < pool_sizes.size(); ++i) {
+        const ScenarioResult &res = results[i];
+        std::printf("%10u %10.1f %14.1f %12llu\n", pool_sizes[i],
                     100.0 * res.utilization,
                     res.batch_ops_per_sec / 1e6,
                     static_cast<unsigned long long>(
                         res.filler_swaps));
-        prev_util = res.utilization;
     }
-    (void)prev_util;
     std::printf("\nUtilization should saturate around the analytic "
                 "sizing; beyond it, extra\ncontexts only lengthen "
                 "the run queue (Section IV's over-provisioning "

@@ -9,9 +9,11 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "core/scenario.hh"
 #include "queueing/queue_sim.hh"
+#include "sim/parallel_sweep.hh"
 
 using namespace duplexity;
 
@@ -22,16 +24,22 @@ main()
     std::printf("%-16s %12s %14s %12s %12s\n", "design",
                 "util(%)", "svc mean(us)", "p99(us)", "batch STP");
 
-    for (DesignKind design :
-         {DesignKind::Baseline, DesignKind::Smt,
-          DesignKind::Duplexity}) {
+    // The three design points are independent cells: run them on
+    // the parallel sweep engine (DPX_THREADS workers), print after.
+    const std::vector<DesignKind> designs{
+        DesignKind::Baseline, DesignKind::Smt,
+        DesignKind::Duplexity};
+    std::vector<ScenarioResult> results(designs.size());
+    parallelSweep(designs.size(), [&](std::size_t i) {
         ScenarioConfig cfg;
-        cfg.design = design;
+        cfg.design = designs[i];
         cfg.service = MicroserviceKind::FlannLL;
         cfg.load = 0.5;
         cfg.measure_cycles = measureCyclesFromEnv(2'000'000);
-        ScenarioResult res = runScenario(cfg);
+        results[i] = runScenario(cfg);
+    });
 
+    for (const ScenarioResult &res : results) {
         // Tail latency via the BigHouse-style M/G/1 stage fed with
         // the measured service-time population.
         double p99_us = 0.0;
@@ -48,7 +56,7 @@ main()
         }
 
         std::printf("%-16s %12.1f %14.2f %12.2f %12.2f\n",
-                    toString(design), 100.0 * res.utilization,
+                    toString(res.design), 100.0 * res.utilization,
                     res.service_us.mean(), p99_us, res.batch_stp);
     }
     return 0;

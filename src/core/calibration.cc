@@ -2,6 +2,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 
 #include "branch/predictor.hh"
 #include "mem/memory_system.hh"
@@ -50,8 +51,13 @@ characterKey(const WorkloadParams &p, IssueMode mode)
 double
 measureComputeIpc(const WorkloadParams &params, IssueMode mode)
 {
+    // Parallel sweep cells calibrate concurrently. The measurement
+    // is self-contained and fixed-seed, so computing under the lock
+    // yields the same memo value for every thread count.
+    static std::mutex mutex;
     static std::map<std::uint64_t, double> memo;
     const std::uint64_t key = characterKey(params, mode);
+    std::lock_guard<std::mutex> lock(mutex);
     auto it = memo.find(key);
     if (it != memo.end())
         return it->second;
@@ -99,7 +105,11 @@ measureComputeIpc(const WorkloadParams &params, IssueMode mode)
 MicroserviceSpec
 calibratedMicroservice(MicroserviceKind kind)
 {
+    // Lock order: this mutex, then measureComputeIpc()'s. Nothing
+    // takes them in the reverse order.
+    static std::mutex mutex;
     static std::map<MicroserviceKind, MicroserviceSpec> memo;
+    std::lock_guard<std::mutex> lock(mutex);
     auto it = memo.find(kind);
     if (it != memo.end())
         return it->second;

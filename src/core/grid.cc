@@ -1,0 +1,83 @@
+#include "core/grid.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "workload/catalog.hh"
+
+namespace duplexity
+{
+
+const std::vector<double> &
+evaluationLoads()
+{
+    static const std::vector<double> values{0.3, 0.5, 0.7};
+    return values;
+}
+
+std::uint64_t
+gridCellSeed(std::uint64_t base_seed, MicroserviceKind service,
+             double load, DesignKind design)
+{
+    return deriveCellSeed(
+        base_seed,
+        {static_cast<std::uint64_t>(service), coordKey(load),
+         static_cast<std::uint64_t>(design)});
+}
+
+const ScenarioResult &
+Grid::at(MicroserviceKind service, double load,
+         DesignKind design) const
+{
+    for (const GridCell &cell : cells) {
+        if (cell.service == service && cell.design == design &&
+            std::abs(cell.load - load) < 1e-9) {
+            return cell.result;
+        }
+    }
+    fatal("grid cell not found");
+}
+
+Grid
+runGrid(const GridSpec &spec)
+{
+    std::vector<MicroserviceKind> services = spec.services;
+    if (services.empty())
+        services = allMicroservices();
+    std::vector<double> loads = spec.loads;
+    if (loads.empty())
+        loads = evaluationLoads();
+    std::vector<DesignKind> designs = spec.designs;
+    if (designs.empty())
+        designs = allDesigns();
+
+    Grid grid;
+    grid.cells.reserve(services.size() * loads.size() *
+                       designs.size());
+    for (MicroserviceKind service : services)
+        for (double load : loads)
+            for (DesignKind design : designs)
+                grid.cells.push_back({service, load, design, {}});
+
+    SweepOptions options;
+    options.threads = spec.threads;
+    options.label = "grid";
+    grid.sweep = parallelSweep(
+        grid.cells.size(),
+        [&](std::size_t i) {
+            GridCell &cell = grid.cells[i];
+            ScenarioConfig cfg;
+            cfg.design = cell.design;
+            cfg.service = cell.service;
+            cfg.load = cell.load;
+            cfg.warmup_cycles = spec.warmup_cycles;
+            cfg.measure_cycles = spec.measure_cycles;
+            cfg.seed = gridCellSeed(spec.base_seed, cell.service,
+                                    cell.load, cell.design);
+            cell.result = runScenario(cfg);
+        },
+        options);
+    return grid;
+}
+
+} // namespace duplexity

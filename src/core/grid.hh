@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The evaluation grid: (microservice x load x design) scenario cells,
+ * run in parallel on the sweep engine (sim/parallel_sweep.hh).
+ *
+ * Every cell's RNG seed is derived from its identity — gridCellSeed()
+ * mixes (base seed, service, load, design) through the Rng fork
+ * chain — never from submission or completion order, so a Grid is
+ * bit-identical for any worker count (DPX_THREADS=1 vs =N) and any
+ * subgrid ordering. The Figure 5 family, the NIC study, and the
+ * golden regression tests all run on this engine.
+ */
+
+#ifndef DPX_CORE_GRID_HH
+#define DPX_CORE_GRID_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/scenario.hh"
+#include "sim/parallel_sweep.hh"
+
+namespace duplexity
+{
+
+struct GridCell
+{
+    MicroserviceKind service;
+    double load;
+    DesignKind design;
+    ScenarioResult result;
+};
+
+/** Which cells to run and how long to measure each. */
+struct GridSpec
+{
+    /** Services/loads/designs to cross; empty = the paper's full
+     *  evaluation set (all services, {30,50,70}% load, all designs). */
+    std::vector<MicroserviceKind> services;
+    std::vector<double> loads;
+    std::vector<DesignKind> designs;
+
+    Cycle warmup_cycles = 400'000;
+    Cycle measure_cycles = 1'500'000;
+
+    /** Master seed every cell seed is derived from. */
+    std::uint64_t base_seed = 42;
+    /** Worker threads; 0 = DPX_THREADS env, else one per core. */
+    unsigned threads = 0;
+};
+
+struct Grid
+{
+    /** Cells in services-major, loads, designs-minor order. */
+    std::vector<GridCell> cells;
+    /** Per-cell timing and parallel-speedup stats of the run. */
+    SweepReport sweep;
+
+    const ScenarioResult &at(MicroserviceKind service, double load,
+                             DesignKind design) const;
+};
+
+/** The evaluation loads of Section VI. */
+const std::vector<double> &evaluationLoads();
+
+/** Deterministic seed of one cell: pure function of its identity. */
+std::uint64_t gridCellSeed(std::uint64_t base_seed,
+                           MicroserviceKind service, double load,
+                           DesignKind design);
+
+/** Run every cell of @p spec on the parallel sweep engine. */
+Grid runGrid(const GridSpec &spec = {});
+
+} // namespace duplexity
+
+#endif // DPX_CORE_GRID_HH

@@ -7,6 +7,7 @@
 #include <limits>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "cpu/core_engine.hh"
@@ -715,7 +716,14 @@ runScenario(const ScenarioConfig &config)
 double
 baselineServiceUs(MicroserviceKind service)
 {
+    // Sweep cells call this concurrently; computing under the lock
+    // keeps the memo deterministic for any thread count because the
+    // measurement run is fully self-contained and fixed-seed (it
+    // pins its own arrival rate, so there is no recursion back into
+    // this function).
+    static std::mutex mutex;
     static std::map<MicroserviceKind, double> memo;
+    std::lock_guard<std::mutex> lock(mutex);
     auto it = memo.find(service);
     if (it != memo.end())
         return it->second;
@@ -742,7 +750,12 @@ baselineServiceUs(MicroserviceKind service)
 double
 aloneBatchIpc(BatchKind kind)
 {
+    // Same locking discipline as baselineServiceUs(): the alone-run
+    // is self-contained and fixed-seed, so first-toucher identity
+    // cannot change the memoized value.
+    static std::mutex mutex;
     static std::map<BatchKind, double> cache;
+    std::lock_guard<std::mutex> lock(mutex);
     auto it = cache.find(kind);
     if (it != cache.end())
         return it->second;

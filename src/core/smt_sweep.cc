@@ -8,6 +8,7 @@
 #include "branch/predictor.hh"
 #include "mem/memory_system.hh"
 #include "sim/logging.hh"
+#include "sim/parallel_sweep.hh"
 #include "sim/rng.hh"
 
 namespace duplexity
@@ -97,6 +98,21 @@ runSmtSweep(const SmtSweepConfig &config)
     result.l1d_miss_rate = mem.masterL1d().stats().missRate();
     result.mispredict_rate = pred->stats().mispredictRate();
     return result;
+}
+
+std::vector<SmtSweepResult>
+runSmtSweepMany(const std::vector<SmtSweepConfig> &configs,
+                unsigned threads)
+{
+    std::vector<SmtSweepResult> results(configs.size());
+    SweepOptions options;
+    options.threads = threads;
+    options.label = "smt-sweep";
+    parallelSweep(
+        configs.size(),
+        [&](std::size_t i) { results[i] = runSmtSweep(configs[i]); },
+        options);
+    return results;
 }
 
 } // namespace duplexity

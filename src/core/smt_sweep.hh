@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "cpu/core_engine.hh"
 #include "workload/microservice.hh"
@@ -40,6 +41,17 @@ struct SmtSweepResult
 };
 
 SmtSweepResult runSmtSweep(const SmtSweepConfig &config);
+
+/**
+ * Run many independent sweep points on the parallel sweep engine
+ * (sim/parallel_sweep.hh). Results are indexed like @p configs and
+ * bit-identical to running each point serially: every point draws
+ * all randomness from its own config seed, never from scheduling.
+ * @p threads 0 honors the DPX_THREADS override.
+ */
+std::vector<SmtSweepResult>
+runSmtSweepMany(const std::vector<SmtSweepConfig> &configs,
+                unsigned threads = 0);
 
 } // namespace duplexity
 

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Deterministic parallel sweep engine.
+ *
+ * A "sweep" is a set of independent simulation cells (scenario runs,
+ * SMT sweep points, ablation variants). parallelSweep() fans the
+ * cells out over a work-stealing pool and reports per-cell timing
+ * through the sim/stats accumulators. Determinism is a contract, not
+ * an accident: every cell must derive ALL of its randomness from its
+ * own identity — deriveCellSeed() maps (base seed, coordinate ids)
+ * to a seed through the Rng fork chain — so results are bit-identical
+ * for any worker count, including 1, and independent of submission
+ * or completion order.
+ */
+
+#ifndef DPX_SIM_PARALLEL_SWEEP_HH
+#define DPX_SIM_PARALLEL_SWEEP_HH
+
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hh"
+
+namespace duplexity
+{
+
+/**
+ * Seed for one sweep cell: a pure function of @p base_seed and the
+ * cell's identity coordinates (enum values, thread counts, load keys
+ * from coordKey()...). Never feed it submission indices or anything
+ * scheduling-dependent.
+ */
+std::uint64_t
+deriveCellSeed(std::uint64_t base_seed,
+               std::initializer_list<std::uint64_t> coords);
+
+/** Stable integer key for a floating-point sweep coordinate
+ *  (micro-unit fixed point, exact for the usual 0.3/0.5/0.7 grid). */
+std::uint64_t coordKey(double value);
+
+struct SweepOptions
+{
+    /** Worker threads; 0 = DPX_THREADS env, else one per core. */
+    unsigned threads = 0;
+    /** Progress label (used when DPX_PROGRESS is set). */
+    std::string label;
+};
+
+/** Timing/progress statistics of one sweep, surfaced via sim/stats. */
+struct SweepReport
+{
+    unsigned threads = 1;
+    std::size_t cells = 0;
+    double wall_seconds = 0.0;
+    /** Streaming moments over per-cell wall times. */
+    MeanAccumulator cell_seconds;
+    /** Per-cell wall time, indexed like the cell grid. */
+    std::vector<double> per_cell_seconds;
+
+    /** Sum of per-cell times = the serial-equivalent wall clock. */
+    double totalCellSeconds() const;
+    /** Serial-equivalent time / actual wall clock. */
+    double parallelSpeedup() const;
+};
+
+/**
+ * Run cells 0..num_cells-1 through @p cell on a work-stealing pool
+ * and block until all finish. @p cell must write its result to a
+ * caller-preallocated slot for its index (distinct indices never
+ * alias) and take every random decision from an identity-derived
+ * seed. Rethrows the first exception a cell raised, after all cells
+ * have drained.
+ */
+SweepReport
+parallelSweep(std::size_t num_cells,
+              const std::function<void(std::size_t)> &cell,
+              const SweepOptions &options = {});
+
+} // namespace duplexity
+
+#endif // DPX_SIM_PARALLEL_SWEEP_HH

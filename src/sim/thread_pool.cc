@@ -1,0 +1,134 @@
+#include "sim/thread_pool.hh"
+
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace duplexity
+{
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = hardwareThreads();
+    queues_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        queues_.push_back(std::make_unique<Queue>());
+    threads_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        threads_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread &thread : threads_)
+        thread.join();
+}
+
+void
+ThreadPool::submit(Task task)
+{
+    panicIfNot(static_cast<bool>(task), "null task submitted");
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        panicIfNot(!stopping_, "submit on a stopping pool");
+        queues_[next_queue_]->tasks.push_back(std::move(task));
+        next_queue_ = (next_queue_ + 1) % queues_.size();
+        ++queued_;
+        ++in_flight_;
+    }
+    work_cv_.notify_one();
+}
+
+bool
+ThreadPool::takeTaskLocked(unsigned self, Task &task)
+{
+    Queue &own = *queues_[self];
+    if (!own.tasks.empty()) {
+        task = std::move(own.tasks.back());
+        own.tasks.pop_back();
+        --queued_;
+        return true;
+    }
+    for (std::size_t i = 1; i < queues_.size(); ++i) {
+        Queue &victim = *queues_[(self + i) % queues_.size()];
+        if (!victim.tasks.empty()) {
+            task = std::move(victim.tasks.front());
+            victim.tasks.pop_front();
+            --queued_;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+ThreadPool::workerLoop(unsigned self)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        Task task;
+        if (takeTaskLocked(self, task)) {
+            lock.unlock();
+            try {
+                task();
+            } catch (...) {
+                std::lock_guard<std::mutex> error_lock(mutex_);
+                if (!first_error_)
+                    first_error_ = std::current_exception();
+            }
+            lock.lock();
+            --in_flight_;
+            if (in_flight_ == 0)
+                idle_cv_.notify_all();
+            continue;
+        }
+        if (stopping_)
+            return; // queues drained; in-flight siblings finish alone
+        work_cv_.wait(lock,
+                      [this] { return queued_ > 0 || stopping_; });
+    }
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+    if (first_error_) {
+        std::exception_ptr error = first_error_;
+        first_error_ = nullptr;
+        std::rethrow_exception(error);
+    }
+}
+
+unsigned
+ThreadPool::hardwareThreads()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : n;
+}
+
+unsigned
+ThreadPool::threadsFromEnv(unsigned fallback)
+{
+    if (fallback == 0)
+        fallback = hardwareThreads();
+    const char *env = std::getenv("DPX_THREADS");
+    if (!env)
+        return fallback;
+    char *end = nullptr;
+    unsigned long v = std::strtoul(env, &end, 10);
+    if (end == env || v == 0 || v > 4096) {
+        warn("ignoring invalid DPX_THREADS value");
+        return fallback;
+    }
+    return static_cast<unsigned>(v);
+}
+
+} // namespace duplexity

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Work-stealing thread pool for fanning independent simulation cells
+ * across host cores.
+ *
+ * Each worker owns a deque: it pops its own work LIFO (cache-warm)
+ * and steals FIFO from siblings when it runs dry, so a straggler cell
+ * never idles the rest of the machine. The pool makes NO ordering or
+ * placement promises — callers that need reproducible results must
+ * make every task self-contained and deterministically seeded (see
+ * sim/parallel_sweep.hh), never derive state from which worker or in
+ * which order a task ran.
+ *
+ * Shutdown drains: destroying the pool runs every queued task to
+ * completion before joining the workers.
+ */
+
+#ifndef DPX_SIM_THREAD_POOL_HH
+#define DPX_SIM_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace duplexity
+{
+
+class ThreadPool
+{
+  public:
+    using Task = std::function<void()>;
+
+    /** @param threads worker count; 0 = one per hardware thread. */
+    explicit ThreadPool(unsigned threads = 0);
+
+    /** Drains every queued task, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    unsigned size() const
+    {
+        return static_cast<unsigned>(threads_.size());
+    }
+
+    /**
+     * Enqueue @p task. Safe from any thread, including from inside a
+     * running task (nested submissions are seen by an in-progress
+     * wait()).
+     */
+    void submit(Task task);
+
+    /**
+     * Block until every submitted task (including nested ones) has
+     * finished. Rethrows the first exception any task raised since
+     * the last wait(); remaining tasks still run to completion. Must
+     * be called from outside the pool's own workers.
+     */
+    void wait();
+
+    /** std::thread::hardware_concurrency(), clamped to >= 1. */
+    static unsigned hardwareThreads();
+
+    /**
+     * Worker count from the DPX_THREADS environment variable, or
+     * @p fallback (0 = hardwareThreads()) when unset/invalid.
+     */
+    static unsigned threadsFromEnv(unsigned fallback = 0);
+
+  private:
+    struct Queue
+    {
+        std::deque<Task> tasks;
+    };
+
+    /** Pop own back, else steal a sibling's front. Lock held. */
+    bool takeTaskLocked(unsigned self, Task &task);
+    void workerLoop(unsigned self);
+
+    std::vector<std::unique_ptr<Queue>> queues_;
+    std::vector<std::thread> threads_;
+
+    /**
+     * One mutex guards all queues and counters. Sweep tasks are
+     * whole scenario runs (milliseconds to seconds), so queue
+     * operations are not remotely contended; simplicity and
+     * obviously-correct sleeping beat lock-free deques here.
+     */
+    std::mutex mutex_;
+    std::condition_variable work_cv_;
+    std::condition_variable idle_cv_;
+    std::size_t queued_ = 0;    // submitted, not yet started
+    std::size_t in_flight_ = 0; // submitted, not yet finished
+    std::size_t next_queue_ = 0;
+    bool stopping_ = false;
+    std::exception_ptr first_error_;
+};
+
+} // namespace duplexity
+
+#endif // DPX_SIM_THREAD_POOL_HH

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Thread-pool unit tests: result independence from task ordering and
+ * pool size, exception propagation out of workers, empty and
+ * oversubscribed pools, and drain-on-shutdown with tasks still
+ * queued.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "sim/parallel_sweep.hh"
+#include "sim/thread_pool.hh"
+
+using namespace duplexity;
+
+TEST(ThreadPool, DefaultSizeUsesHardwareThreads)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.size(), ThreadPool::hardwareThreads());
+    EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, ExplicitSizeHonored)
+{
+    ThreadPool pool(5);
+    EXPECT_EQ(pool.size(), 5u);
+}
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce)
+{
+    for (unsigned threads : {1u, 2u, 8u}) {
+        constexpr std::size_t n = 200;
+        std::vector<int> hits(n, 0);
+        ThreadPool pool(threads);
+        for (std::size_t i = 0; i < n; ++i)
+            pool.submit([&hits, i] { ++hits[i]; });
+        pool.wait();
+        EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0),
+                  static_cast<int>(n))
+            << "threads=" << threads;
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_EQ(hits[i], 1) << "cell " << i;
+    }
+}
+
+TEST(ThreadPool, ResultsIndependentOfPoolSize)
+{
+    // Each task writes a pure function of its index into its own
+    // slot: any schedule must produce the identical vector.
+    constexpr std::size_t n = 64;
+    auto run = [](unsigned threads) {
+        std::vector<std::uint64_t> out(n, 0);
+        ThreadPool pool(threads);
+        for (std::size_t i = 0; i < n; ++i) {
+            pool.submit([&out, i] {
+                out[i] = deriveCellSeed(99, {i, i * i});
+            });
+        }
+        pool.wait();
+        return out;
+    };
+    std::vector<std::uint64_t> serial = run(1);
+    EXPECT_EQ(run(2), serial);
+    EXPECT_EQ(run(ThreadPool::hardwareThreads()), serial);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToWait)
+{
+    ThreadPool pool(2);
+    std::atomic<int> survivors{0};
+    for (int i = 0; i < 8; ++i)
+        pool.submit([&survivors] { ++survivors; });
+    pool.submit([] { throw std::runtime_error("cell exploded"); });
+    for (int i = 0; i < 8; ++i)
+        pool.submit([&survivors] { ++survivors; });
+
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    // Sibling tasks still ran; the error does not stick to the pool.
+    EXPECT_EQ(survivors.load(), 16);
+    EXPECT_NO_THROW(pool.wait());
+}
+
+TEST(ThreadPool, WaitOnIdlePoolReturnsImmediately)
+{
+    ThreadPool pool(3);
+    pool.wait();
+    pool.wait();
+}
+
+TEST(ThreadPool, OversubscribedPoolCompletes)
+{
+    // Far more workers than cores, and more tasks than workers.
+    ThreadPool pool(32);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 500; ++i)
+        pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 500);
+}
+
+TEST(ThreadPool, ShutdownDrainsQueuedTasks)
+{
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(1);
+        // The first task blocks the only worker so the rest are
+        // still queued when the destructor runs.
+        pool.submit([] {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(50));
+        });
+        for (int i = 0; i < 100; ++i)
+            pool.submit([&count] { ++count; });
+    } // destructor: drain, then join
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, NestedSubmissionsSeenByWait)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    pool.submit([&] {
+        for (int i = 0; i < 10; ++i)
+            pool.submit([&count] { ++count; });
+    });
+    pool.wait();
+    EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, ThreadsFromEnvParsesOverride)
+{
+    ASSERT_EQ(setenv("DPX_THREADS", "3", 1), 0);
+    EXPECT_EQ(ThreadPool::threadsFromEnv(), 3u);
+    ASSERT_EQ(setenv("DPX_THREADS", "garbage", 1), 0);
+    EXPECT_EQ(ThreadPool::threadsFromEnv(7), 7u);
+    ASSERT_EQ(unsetenv("DPX_THREADS"), 0);
+    EXPECT_EQ(ThreadPool::threadsFromEnv(7), 7u);
+    EXPECT_EQ(ThreadPool::threadsFromEnv(),
+              ThreadPool::hardwareThreads());
+}
+
+TEST(ParallelSweep, ReportsPerCellTiming)
+{
+    std::vector<int> out(10, 0);
+    SweepOptions options;
+    options.threads = 2;
+    SweepReport report = parallelSweep(
+        out.size(), [&](std::size_t i) { out[i] = 1; }, options);
+    EXPECT_EQ(report.cells, 10u);
+    EXPECT_EQ(report.threads, 2u);
+    EXPECT_EQ(report.cell_seconds.count(), 10u);
+    EXPECT_EQ(report.per_cell_seconds.size(), 10u);
+    EXPECT_GT(report.wall_seconds, 0.0);
+    EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0), 10);
+}
+
+TEST(ParallelSweep, EmptySweepIsANoOp)
+{
+    SweepReport report =
+        parallelSweep(0, [](std::size_t) { FAIL(); });
+    EXPECT_EQ(report.cells, 0u);
+    EXPECT_EQ(report.totalCellSeconds(), 0.0);
+}
+
+TEST(ParallelSweep, PoolNeverExceedsCellCount)
+{
+    SweepOptions options;
+    options.threads = 64;
+    SweepReport report =
+        parallelSweep(3, [](std::size_t) {}, options);
+    EXPECT_EQ(report.threads, 3u);
+}
+
+TEST(ParallelSweep, DeriveCellSeedIsPureAndSensitive)
+{
+    const std::uint64_t seed = deriveCellSeed(42, {1, 500000, 3});
+    EXPECT_EQ(deriveCellSeed(42, {1, 500000, 3}), seed);
+    EXPECT_NE(deriveCellSeed(43, {1, 500000, 3}), seed);
+    EXPECT_NE(deriveCellSeed(42, {2, 500000, 3}), seed);
+    EXPECT_NE(deriveCellSeed(42, {1, 500000, 4}), seed);
+    EXPECT_NE(deriveCellSeed(42, {1, 500000}), seed);
+}
+
+TEST(ParallelSweep, CoordKeyStableForGridLoads)
+{
+    EXPECT_EQ(coordKey(0.3), 300000u);
+    EXPECT_EQ(coordKey(0.5), 500000u);
+    EXPECT_EQ(coordKey(0.7), 700000u);
+}
