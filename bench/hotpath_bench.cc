@@ -1,0 +1,451 @@
+/**
+ * @file
+ * ns/op microbenchmarks for the simulator hot paths, tracking the
+ * perf trajectory of processOp, the multi-server queue step, and
+ * distribution sampling, plus an end-to-end reduced Figure-5 grid.
+ *
+ * Emits BENCH_hotpath.json (machine-readable) next to the binary's
+ * working directory and prints the same table to stdout. The
+ * `baseline_*` fields are the numbers measured at this PR's parent
+ * commit on the same host and build type; `speedup` columns compare
+ * against them. The old (linear-scan, virtual-sample) queue step is
+ * compiled in as a reference and re-measured live, and the bench
+ * asserts the optimized step reproduces its outcomes bit-for-bit.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <vector>
+
+#include "core/grid.hh"
+#include "cpu/core_engine.hh"
+#include "mem/memory_system.hh"
+#include "queueing/queue_sim.hh"
+#include "sim/rng.hh"
+#include "workload/catalog.hh"
+
+using namespace duplexity;
+using BenchClock = std::chrono::steady_clock;
+
+namespace
+{
+
+/* Baselines measured at the parent commit (RelWithDebInfo, same
+ * host) with this file's exact loop bodies. */
+constexpr double baseline_process_op_ns = 158.76;
+constexpr double baseline_queue_full_ns = 186.86;
+constexpr double baseline_grid_cold_s = 4.311;
+constexpr double baseline_grid_warm_s = 3.350;
+
+double
+secondsSince(BenchClock::time_point t0)
+{
+    return std::chrono::duration<double>(BenchClock::now() - t0)
+        .count();
+}
+
+/* ---------------- processOp ---------------- */
+
+double
+benchProcessOp()
+{
+    DyadMemorySystem mem(MemSystemConfig::makeDefault());
+    CoreEngine engine{CoreEngineConfig{}};
+    auto pred = makePredictor(PredictorConfig::Kind::Tournament);
+    Btb btb(2048, 4);
+    ReturnAddressStack ras(32);
+    Rng rng(4);
+    BatchSource source(makeFlannXY(10.0, 0.0, 0), rng.fork(1));
+    Lane lane;
+    LaneConfig cfg = engine.defaultLaneConfig(IssueMode::OutOfOrder);
+    cfg.path = mem.masterPath();
+    cfg.branch = {pred.get(), &btb, &ras};
+    lane.configure(cfg);
+
+    const std::uint64_t warm = 2'000'000, n = 20'000'000;
+    for (std::uint64_t i = 0; i < warm; ++i)
+        engine.processOp(lane, source.next());
+    auto t0 = BenchClock::now();
+    std::uint64_t acc = 0;
+    for (std::uint64_t i = 0; i < n; ++i)
+        acc += engine.processOp(lane, source.next()).commit_time;
+    double ns = 1e9 * secondsSince(t0) / static_cast<double>(n);
+    if (acc == 0) // defeat dead-code elimination
+        std::printf("(unexpected zero checksum)\n");
+    return ns;
+}
+
+/* ---------------- distribution sampling ---------------- */
+
+struct SamplingNs
+{
+    double virt = 0.0;
+    double fast = 0.0;
+    double block = 0.0;
+};
+
+SamplingNs
+benchSampling(const DistributionPtr &dist)
+{
+    SamplingNs out;
+    const std::uint64_t n = 20'000'000;
+    double acc = 0.0;
+    {
+        Rng rng(7);
+        auto t0 = BenchClock::now();
+        for (std::uint64_t i = 0; i < n; ++i)
+            acc += dist->sample(rng);
+        out.virt = 1e9 * secondsSince(t0) / static_cast<double>(n);
+    }
+    FastSampler sampler(dist);
+    {
+        Rng rng(7);
+        auto t0 = BenchClock::now();
+        for (std::uint64_t i = 0; i < n; ++i)
+            acc -= sampler.sample(rng);
+        out.fast = 1e9 * secondsSince(t0) / static_cast<double>(n);
+    }
+    {
+        Rng rng(7);
+        double buf[256];
+        auto t0 = BenchClock::now();
+        for (std::uint64_t i = 0; i < n; i += 256) {
+            sampler.sampleN(rng, buf, 256);
+            acc += buf[0];
+        }
+        out.block = 1e9 * secondsSince(t0) / static_cast<double>(n);
+    }
+    if (acc == 1.0)
+        std::printf("(checksum)\n");
+    return out;
+}
+
+/* ---------------- multi-server queue step ---------------- */
+
+/** The queue workload both step variants run: M/G/8, empirical
+ *  (IPC-scaled) service, 70 % load. */
+struct QueueWorkload
+{
+    DistributionPtr interarrival;
+    DistributionPtr service;
+    static constexpr std::uint32_t servers = 8;
+
+    QueueWorkload()
+    {
+        interarrival = makeExponential(1e-6 / 0.7 / servers);
+        std::vector<double> pop;
+        Rng r(9);
+        for (int i = 0; i < 4096; ++i)
+            pop.push_back(1e-6 * (0.5 + r.uniform()));
+        service = makeScaled(makeEmpirical(pop), 1.0);
+    }
+};
+
+/** Accumulated outcomes; compared bitwise between step variants. */
+struct StepChecksum
+{
+    double wait = 0.0;
+    double busy = 0.0;
+    double idle = 0.0;
+    double now = 0.0;
+
+    bool
+    operator==(const StepChecksum &o) const
+    {
+        return wait == o.wait && busy == o.busy && idle == o.idle &&
+               now == o.now;
+    }
+};
+
+/** The pre-PR step: one virtual sample per stream, O(k) scan. */
+double
+benchQueueStepOld(const QueueWorkload &w, std::uint64_t n,
+                  StepChecksum &sum)
+{
+    Rng root(1);
+    Rng arrival_rng = root.fork(1);
+    Rng service_rng = root.fork(2);
+    std::vector<double> free_at(w.servers, 0.0);
+    double now = 0.0;
+    auto t0 = BenchClock::now();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        double inter = w.interarrival->sample(arrival_rng);
+        double service = w.service->sample(service_rng);
+        now += inter;
+        auto it = std::min_element(free_at.begin(), free_at.end());
+        if (now > *it)
+            sum.idle += now - *it;
+        double start = std::max(now, *it);
+        sum.wait += start - now;
+        *it = start + service;
+        sum.busy += service;
+    }
+    double ns = 1e9 * secondsSince(t0) / static_cast<double>(n);
+    sum.now = now;
+    return ns;
+}
+
+/** This PR's step: block-presampled FastSamplers, O(log k) heap. */
+double
+benchQueueStepNew(const QueueWorkload &w, std::uint64_t n,
+                  StepChecksum &sum)
+{
+    Rng root(1);
+    Rng arrival_rng = root.fork(1);
+    Rng service_rng = root.fork(2);
+    FastSampler interarrival(w.interarrival);
+    FastSampler service_dist(w.service);
+    ServerSchedule schedule(w.servers);
+    constexpr std::size_t block = 256;
+    double inter_buf[block], service_buf[block];
+    double now = 0.0;
+    auto t0 = BenchClock::now();
+    for (std::uint64_t i = 0; i < n; i += block) {
+        interarrival.sampleN(arrival_rng, inter_buf, block);
+        service_dist.sampleN(service_rng, service_buf, block);
+        for (std::size_t j = 0; j < block; ++j) {
+            now += inter_buf[j];
+            ServerSchedule::Assignment a =
+                schedule.assign(now, service_buf[j]);
+            if (a.idle_before >= 0.0)
+                sum.idle += a.idle_before;
+            sum.wait += a.start - now;
+            sum.busy += service_buf[j];
+        }
+    }
+    double ns = 1e9 * secondsSince(t0) / static_cast<double>(n);
+    sum.now = now;
+    return ns;
+}
+
+/**
+ * Scheduling-only comparison on pre-generated variates: the O(k)
+ * linear scan vs the O(log k) heap, isolated from the (identical)
+ * sampling cost. This is where the algorithmic change shows.
+ */
+struct SchedNs
+{
+    double scan = 0.0;
+    double heap = 0.0;
+};
+
+SchedNs
+benchScheduling(const QueueWorkload &w, std::uint32_t servers,
+                std::uint64_t n)
+{
+    std::vector<double> inter(n), service(n);
+    {
+        Rng root(1);
+        Rng arrival_rng = root.fork(1);
+        Rng service_rng = root.fork(2);
+        FastSampler ia(w.interarrival), sv(w.service);
+        ia.sampleN(arrival_rng, inter.data(), n);
+        sv.sampleN(service_rng, service.data(), n);
+        // Rescale arrivals so `servers` stays ~70 % utilized.
+        double scale = static_cast<double>(servers) /
+                       QueueWorkload::servers;
+        for (double &x : inter)
+            x /= scale;
+    }
+    SchedNs out;
+    double scan_wait = 0.0, heap_wait = 0.0;
+    {
+        std::vector<double> free_at(servers, 0.0);
+        double now = 0.0;
+        auto t0 = BenchClock::now();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            now += inter[i];
+            auto it = std::min_element(free_at.begin(), free_at.end());
+            double start = std::max(now, *it);
+            scan_wait += start - now;
+            *it = start + service[i];
+        }
+        out.scan = 1e9 * secondsSince(t0) / static_cast<double>(n);
+    }
+    {
+        ServerSchedule schedule(servers);
+        double now = 0.0;
+        auto t0 = BenchClock::now();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            now += inter[i];
+            heap_wait += schedule.assign(now, service[i]).start - now;
+        }
+        out.heap = 1e9 * secondsSince(t0) / static_cast<double>(n);
+    }
+    if (scan_wait != heap_wait) {
+        std::fprintf(stderr,
+                     "FATAL: scheduling outcomes diverged at k=%u\n",
+                     servers);
+        std::exit(1);
+    }
+    return out;
+}
+
+/** Full runQueueSim ns/request at k=8 (includes stats pipeline). */
+double
+benchQueueFull(const QueueWorkload &w, std::uint64_t &completed)
+{
+    QueueSimConfig cfg;
+    cfg.interarrival = w.interarrival;
+    cfg.service = w.service;
+    cfg.servers = w.servers;
+    cfg.warmup_requests = 100'000;
+    cfg.batch_size = 1'000'000;
+    cfg.min_batches = 20;
+    cfg.max_batches = 20;
+    cfg.relative_error = 1e-12;
+    auto t0 = BenchClock::now();
+    QueueSimResult res = runQueueSim(cfg);
+    completed = res.completed;
+    return 1e9 * secondsSince(t0) / static_cast<double>(res.completed);
+}
+
+/* ---------------- end-to-end reduced fig5 grid ---------------- */
+
+GridSpec
+reducedFig5Spec()
+{
+    GridSpec spec;
+    spec.services = {MicroserviceKind::FlannLL,
+                     MicroserviceKind::WordStem};
+    spec.loads = {0.5};
+    spec.designs = {DesignKind::Baseline, DesignKind::Smt,
+                    DesignKind::Duplexity};
+    spec.warmup_cycles = 300'000;
+    spec.measure_cycles = 1'000'000;
+    spec.base_seed = 42;
+    spec.threads = 8;
+    return spec;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("hotpath_bench: simulator hot-path ns/op\n\n");
+
+    double process_op_ns = benchProcessOp();
+    std::printf("processOp            %8.2f ns/op   (baseline %.2f, "
+                "speedup %.2fx)\n",
+                process_op_ns, baseline_process_op_ns,
+                baseline_process_op_ns / process_op_ns);
+
+    QueueWorkload queue_workload;
+    SamplingNs expo = benchSampling(queue_workload.interarrival);
+    SamplingNs scaled_emp = benchSampling(queue_workload.service);
+    std::printf("sample exponential   %8.2f ns virtual / %.2f fast / "
+                "%.2f block\n",
+                expo.virt, expo.fast, expo.block);
+    std::printf("sample scaled-empir. %8.2f ns virtual / %.2f fast / "
+                "%.2f block\n",
+                scaled_emp.virt, scaled_emp.fast, scaled_emp.block);
+
+    const std::uint64_t queue_ops = 20'000'000;
+    StepChecksum old_sum, new_sum;
+    double queue_old_ns =
+        benchQueueStepOld(queue_workload, queue_ops, old_sum);
+    double queue_new_ns =
+        benchQueueStepNew(queue_workload, queue_ops, new_sum);
+    bool identical = old_sum == new_sum;
+    std::printf("queue step k=8 old   %8.2f ns/req\n", queue_old_ns);
+    std::printf("queue step k=8 new   %8.2f ns/req  (speedup %.2fx, "
+                "outcomes %s)\n",
+                queue_new_ns, queue_old_ns / queue_new_ns,
+                identical ? "bit-identical" : "MISMATCH");
+    if (!identical) {
+        std::fprintf(stderr,
+                     "FATAL: heap step diverged from scan step\n");
+        return 1;
+    }
+
+    SchedNs sched8 = benchScheduling(queue_workload, 8, 20'000'000);
+    SchedNs sched64 = benchScheduling(queue_workload, 64, 20'000'000);
+    std::printf("scheduling k=8       %8.2f ns scan / %.2f heap "
+                "(speedup %.2fx)\n",
+                sched8.scan, sched8.heap, sched8.scan / sched8.heap);
+    std::printf("scheduling k=64      %8.2f ns scan / %.2f heap "
+                "(speedup %.2fx)\n",
+                sched64.scan, sched64.heap,
+                sched64.scan / sched64.heap);
+
+    std::uint64_t queue_full_reqs = 0;
+    double queue_full_ns =
+        benchQueueFull(queue_workload, queue_full_reqs);
+    std::printf("runQueueSim k=8      %8.2f ns/req  (baseline %.2f, "
+                "speedup %.2fx)\n",
+                queue_full_ns, baseline_queue_full_ns,
+                baseline_queue_full_ns / queue_full_ns);
+
+    GridSpec spec = reducedFig5Spec();
+    auto t0 = BenchClock::now();
+    Grid grid = runGrid(spec);
+    double grid_cold_s = secondsSince(t0);
+    t0 = BenchClock::now();
+    Grid grid_warm = runGrid(spec);
+    double grid_warm_s = secondsSince(t0);
+    std::printf("fig5 grid (8 thr)    %8.3f s cold / %.3f s warm  "
+                "(baseline %.3f/%.3f, cold speedup %.2fx)\n",
+                grid_cold_s, grid_warm_s, baseline_grid_cold_s,
+                baseline_grid_warm_s, baseline_grid_cold_s / grid_cold_s);
+    if (grid.cells.size() != grid_warm.cells.size()) {
+        std::fprintf(stderr, "FATAL: grid size changed between runs\n");
+        return 1;
+    }
+
+    std::ofstream json("BENCH_hotpath.json");
+    json.precision(6);
+    json << "{\n"
+         << "  \"note\": \"baseline_* measured at this PR's parent "
+            "commit, same host and build type\",\n"
+         << "  \"process_op\": {\n"
+         << "    \"ns_per_op\": " << process_op_ns << ",\n"
+         << "    \"baseline_ns_per_op\": " << baseline_process_op_ns
+         << ",\n"
+         << "    \"speedup\": "
+         << baseline_process_op_ns / process_op_ns << "\n  },\n"
+         << "  \"sampling_ns\": {\n"
+         << "    \"exponential\": {\"virtual\": " << expo.virt
+         << ", \"fast\": " << expo.fast << ", \"block\": "
+         << expo.block << "},\n"
+         << "    \"scaled_empirical\": {\"virtual\": "
+         << scaled_emp.virt << ", \"fast\": " << scaled_emp.fast
+         << ", \"block\": " << scaled_emp.block << "}\n  },\n"
+         << "  \"queue_step_k8\": {\n"
+         << "    \"old_ns_per_req\": " << queue_old_ns << ",\n"
+         << "    \"new_ns_per_req\": " << queue_new_ns << ",\n"
+         << "    \"speedup\": " << queue_old_ns / queue_new_ns
+         << ",\n"
+         << "    \"bit_identical\": "
+         << (identical ? "true" : "false") << "\n  },\n"
+         << "  \"scheduling_only_ns\": {\n"
+         << "    \"k8\": {\"scan\": " << sched8.scan
+         << ", \"heap\": " << sched8.heap << ", \"speedup\": "
+         << sched8.scan / sched8.heap << "},\n"
+         << "    \"k64\": {\"scan\": " << sched64.scan
+         << ", \"heap\": " << sched64.heap << ", \"speedup\": "
+         << sched64.scan / sched64.heap << "}\n  },\n"
+         << "  \"run_queue_sim_k8\": {\n"
+         << "    \"ns_per_req\": " << queue_full_ns << ",\n"
+         << "    \"baseline_ns_per_req\": " << baseline_queue_full_ns
+         << ",\n"
+         << "    \"speedup\": "
+         << baseline_queue_full_ns / queue_full_ns << "\n  },\n"
+         << "  \"fig5_reduced_grid\": {\n"
+         << "    \"threads\": 8,\n"
+         << "    \"cells\": " << grid.cells.size() << ",\n"
+         << "    \"cold_s\": " << grid_cold_s << ",\n"
+         << "    \"warm_s\": " << grid_warm_s << ",\n"
+         << "    \"baseline_cold_s\": " << baseline_grid_cold_s
+         << ",\n"
+         << "    \"baseline_warm_s\": " << baseline_grid_warm_s
+         << ",\n"
+         << "    \"cold_speedup\": "
+         << baseline_grid_cold_s / grid_cold_s << "\n  }\n"
+         << "}\n";
+    std::printf("\nwrote BENCH_hotpath.json\n");
+    return 0;
+}

@@ -41,12 +41,19 @@ BranchStats::mispredictRate() const
 bool
 BranchPredictor::predictAndUpdate(Addr pc, bool taken)
 {
-    bool predicted = predict(pc);
-    update(pc, taken);
+    bool predicted = predictUpdate(pc, taken);
     ++stats_.lookups;
     if (predicted != taken)
         ++stats_.mispredicts;
     return predicted == taken;
+}
+
+bool
+BranchPredictor::predictUpdate(Addr pc, bool taken)
+{
+    bool predicted = predict(pc);
+    update(pc, taken);
+    return predicted;
 }
 
 BimodalPredictor::BimodalPredictor(std::size_t entries)
@@ -73,6 +80,21 @@ BimodalPredictor::update(Addr pc, bool taken)
 {
     std::uint8_t &counter = table_[index(pc)];
     counter = bump(counter, taken);
+}
+
+bool
+BimodalPredictor::predictUpdateRaw(Addr pc, bool taken)
+{
+    std::uint8_t &counter = table_[index(pc)];
+    bool predicted = counter >= weakly_taken;
+    counter = bump(counter, taken);
+    return predicted;
+}
+
+bool
+BimodalPredictor::predictUpdate(Addr pc, bool taken)
+{
+    return predictUpdateRaw(pc, taken);
 }
 
 GsharePredictor::GsharePredictor(std::size_t entries,
@@ -104,6 +126,24 @@ GsharePredictor::update(Addr pc, bool taken)
     std::uint8_t &counter = table_[index(pc)];
     counter = bump(counter, taken);
     history_ = ((history_ << 1) | (taken ? 1 : 0)) & history_mask_;
+}
+
+bool
+GsharePredictor::predictUpdateRaw(Addr pc, bool taken)
+{
+    // index() reads history_ before the shift below, exactly like a
+    // predict() that precedes update().
+    std::uint8_t &counter = table_[index(pc)];
+    bool predicted = counter >= weakly_taken;
+    counter = bump(counter, taken);
+    history_ = ((history_ << 1) | (taken ? 1 : 0)) & history_mask_;
+    return predicted;
+}
+
+bool
+GsharePredictor::predictUpdate(Addr pc, bool taken)
+{
+    return predictUpdateRaw(pc, taken);
 }
 
 TournamentPredictor::TournamentPredictor(std::size_t bimodal_entries,
@@ -145,6 +185,22 @@ TournamentPredictor::update(Addr pc, bool taken)
     }
     bimodal_.update(pc, taken);
     gshare_.update(pc, taken);
+}
+
+bool
+TournamentPredictor::predictUpdate(Addr pc, bool taken)
+{
+    // One walk per structure: read the chooser before anything
+    // trains, run each component's combined predict+train, then
+    // train the chooser on disagreement — the same state transitions
+    // as predict() followed by update().
+    std::uint8_t &sel = selector_[selectorIndex(pc)];
+    bool use_gshare = sel >= weakly_taken;
+    bool bi = bimodal_.predictUpdateRaw(pc, taken);
+    bool gs = gshare_.predictUpdateRaw(pc, taken);
+    if (bi != gs)
+        sel = bump(sel, gs == taken);
+    return use_gshare ? gs : bi;
 }
 
 Btb::Btb(std::size_t entries, std::uint32_t assoc) : assoc_(assoc)
@@ -198,6 +254,35 @@ Btb::update(Addr pc, Addr target)
     victim->target = target;
     victim->valid = true;
     victim->lru = ++lru_clock_;
+}
+
+bool
+Btb::lookupUpdate(Addr pc, Addr target)
+{
+    Entry *base = &entries_[setOf(pc) * assoc_];
+    Entry *victim = base;
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
+        Entry &entry = base[w];
+        if (entry.valid && entry.pc == pc) {
+            ++hits_;
+            entry.target = target;
+            entry.lru = ++lru_clock_;
+            return true;
+        }
+        // Victim choice mirrors update(): the last invalid way wins;
+        // otherwise the least-recently-used valid way.
+        if (!entry.valid) {
+            victim = &entry;
+        } else if (victim->valid && entry.lru < victim->lru) {
+            victim = &entry;
+        }
+    }
+    ++misses_;
+    victim->pc = pc;
+    victim->target = target;
+    victim->valid = true;
+    victim->lru = ++lru_clock_;
+    return false;
 }
 
 ReturnAddressStack::ReturnAddressStack(std::size_t depth)

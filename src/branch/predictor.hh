@@ -48,6 +48,16 @@ class BranchPredictor
     void resetStats() { stats_ = BranchStats{}; }
 
   protected:
+    /**
+     * Combined predict-then-train step returning the prediction.
+     * Subclasses override it to hash/index their tables once per
+     * branch instead of once for predict and again for update; the
+     * resulting predictor state and prediction must be identical to
+     * predict() followed by update(). Stats are handled by the
+     * predictAndUpdate wrapper.
+     */
+    virtual bool predictUpdate(Addr pc, bool taken);
+
     BranchStats stats_;
 };
 
@@ -60,7 +70,15 @@ class BimodalPredictor : public BranchPredictor
     bool predict(Addr pc) const override;
     void update(Addr pc, bool taken) override;
 
+  protected:
+    bool predictUpdate(Addr pc, bool taken) override;
+
   private:
+    friend class TournamentPredictor;
+
+    /** predictUpdate body, callable non-virtually by the tournament. */
+    bool predictUpdateRaw(Addr pc, bool taken);
+
     std::size_t index(Addr pc) const;
 
     std::vector<std::uint8_t> table_;
@@ -76,7 +94,15 @@ class GsharePredictor : public BranchPredictor
     bool predict(Addr pc) const override;
     void update(Addr pc, bool taken) override;
 
+  protected:
+    bool predictUpdate(Addr pc, bool taken) override;
+
   private:
+    friend class TournamentPredictor;
+
+    /** predictUpdate body, callable non-virtually by the tournament. */
+    bool predictUpdateRaw(Addr pc, bool taken);
+
     std::size_t index(Addr pc) const;
 
     std::vector<std::uint8_t> table_;
@@ -97,6 +123,9 @@ class TournamentPredictor : public BranchPredictor
     bool predict(Addr pc) const override;
     void update(Addr pc, bool taken) override;
 
+  protected:
+    bool predictUpdate(Addr pc, bool taken) override;
+
   private:
     std::size_t selectorIndex(Addr pc) const;
 
@@ -116,6 +145,13 @@ class Btb
     bool lookup(Addr pc) const;
 
     void update(Addr pc, Addr target);
+
+    /**
+     * lookup(pc) followed by update(pc, target) in one set walk;
+     * @return the lookup result. Hit/miss counters and replacement
+     * state end up exactly as with the two separate calls.
+     */
+    bool lookupUpdate(Addr pc, Addr target);
 
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }

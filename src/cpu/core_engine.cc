@@ -17,9 +17,11 @@ Lane::configure(const LaneConfig &config)
     panicIfNot(config.inflight_cap > 0 && config.fetch_queue > 0,
                "lane needs positive occupancy caps");
     config_ = config;
-    done_ring_.assign(dep_ring_size, 0);
+    done_ring_.fill(0);
     inflight_ring_.assign(config.inflight_cap, 0);
     dispatch_ring_.assign(config.fetch_queue, 0);
+    inflight_pos_ = 0;
+    fq_pos_ = 0;
 }
 
 void
@@ -35,10 +37,12 @@ Lane::resetHistory(Cycle start)
     last_issue_ = std::max(last_issue_, start);
     last_commit_ = std::max(last_commit_, start);
     last_fetch_line_ = ~Addr(0);
-    std::fill(done_ring_.begin(), done_ring_.end(), 0);
+    done_ring_.fill(0);
     std::fill(inflight_ring_.begin(), inflight_ring_.end(), 0);
     std::fill(dispatch_ring_.begin(), dispatch_ring_.end(), 0);
     op_index_ = 0;
+    inflight_pos_ = 0;
+    fq_pos_ = 0;
 }
 
 CoreEngine::CoreEngine(const CoreEngineConfig &config)
@@ -79,9 +83,8 @@ CoreEngine::processOp(Lane &lane, const MicroOp &op)
     // ------------------------------------------------------------------
     // Fetch: bandwidth slot, fetch-queue back-pressure, I-cache.
     // ------------------------------------------------------------------
-    Cycle fetch_earliest = std::max(
-        lane.next_fetch_,
-        lane.dispatch_ring_[lane.op_index_ % cfg.fetch_queue]);
+    Cycle &fq_slot = lane.dispatch_ring_[lane.fq_pos_];
+    Cycle fetch_earliest = std::max(lane.next_fetch_, fq_slot);
     Cycle fetch_time = cfg.fetch_cal->reserve(fetch_earliest);
 
     const Addr fetch_line = op.pc >> 6;
@@ -101,41 +104,50 @@ CoreEngine::processOp(Lane &lane, const MicroOp &op)
         fetch_time + (in_order ? config_.frontend_depth_ino
                                : config_.frontend_depth_ooo);
 
-    Cycle &cap_slot =
-        lane.inflight_ring_[lane.op_index_ % cfg.inflight_cap];
+    Cycle &cap_slot = lane.inflight_ring_[lane.inflight_pos_];
+    if (++lane.inflight_pos_ == lane.inflight_ring_.size())
+        lane.inflight_pos_ = 0;
     dispatch_time = std::max(dispatch_time, cap_slot);
 
     Cycle *rob_slot = nullptr;
     if (cfg.use_shared_rob) {
-        rob_slot = &rob_ring_[rob_idx_++ % rob_ring_.size()];
+        rob_slot = &rob_ring_[rob_pos_];
+        if (++rob_pos_ == rob_ring_.size())
+            rob_pos_ = 0;
         dispatch_time = std::max(dispatch_time, *rob_slot);
     }
     Cycle *lsq_slot = nullptr;
     if (cfg.use_shared_lsq) {
         if (op.cls == OpClass::Load) {
-            lsq_slot = &lq_ring_[lq_idx_++ % lq_ring_.size()];
+            lsq_slot = &lq_ring_[lq_pos_];
+            if (++lq_pos_ == lq_ring_.size())
+                lq_pos_ = 0;
             dispatch_time = std::max(dispatch_time, *lsq_slot);
         } else if (op.cls == OpClass::Store) {
-            lsq_slot = &sq_ring_[sq_idx_++ % sq_ring_.size()];
+            lsq_slot = &sq_ring_[sq_pos_];
+            if (++sq_pos_ == sq_ring_.size())
+                sq_pos_ = 0;
             dispatch_time = std::max(dispatch_time, *lsq_slot);
         }
     }
-    lane.dispatch_ring_[lane.op_index_ % cfg.fetch_queue] =
-        dispatch_time;
+    fq_slot = dispatch_time;
+    if (++lane.fq_pos_ == lane.dispatch_ring_.size())
+        lane.fq_pos_ = 0;
 
     // ------------------------------------------------------------------
     // Issue: operand readiness, then in-order or dynamic scheduling.
     // ------------------------------------------------------------------
+    constexpr std::size_t dep_mask = Lane::dep_ring_size - 1;
     Cycle ready = dispatch_time + 1;
     if (op.dep1) {
         ready = std::max(
-            ready, lane.done_ring_[(lane.op_index_ - op.dep1) %
-                                   Lane::dep_ring_size]);
+            ready, lane.done_ring_[(lane.op_index_ - op.dep1) &
+                                   dep_mask]);
     }
     if (op.dep2) {
         ready = std::max(
-            ready, lane.done_ring_[(lane.op_index_ - op.dep2) %
-                                   Lane::dep_ring_size]);
+            ready, lane.done_ring_[(lane.op_index_ - op.dep2) &
+                                   dep_mask]);
     }
 
     Cycle issue_time;
@@ -187,10 +199,8 @@ CoreEngine::processOp(Lane &lane, const MicroOp &op)
                 cfg.branch.predictor->predictAndUpdate(op.pc, op.taken);
         }
         bool btb_ok = true;
-        if (op.taken && cfg.branch.btb) {
-            btb_ok = cfg.branch.btb->lookup(op.pc);
-            cfg.branch.btb->update(op.pc, op.pc + 64);
-        }
+        if (op.taken && cfg.branch.btb)
+            btb_ok = cfg.branch.btb->lookupUpdate(op.pc, op.pc + 64);
         if (!correct || !btb_ok) {
             redirect = true;
             ++lane.stats_.mispredicts;
@@ -198,11 +208,8 @@ CoreEngine::processOp(Lane &lane, const MicroOp &op)
     } else if (op.cls == OpClass::Call) {
         if (cfg.branch.ras)
             cfg.branch.ras->push(op.pc + 4);
-        if (cfg.branch.btb) {
-            bool btb_ok = cfg.branch.btb->lookup(op.pc);
-            cfg.branch.btb->update(op.pc, op.pc + 64);
-            redirect = !btb_ok;
-        }
+        if (cfg.branch.btb)
+            redirect = !cfg.branch.btb->lookupUpdate(op.pc, op.pc + 64);
     } else if (op.cls == OpClass::Return) {
         // A RAS underflow forces a redirect at resolution.
         redirect = cfg.branch.ras && cfg.branch.ras->pop() == 0;
@@ -224,7 +231,7 @@ CoreEngine::processOp(Lane &lane, const MicroOp &op)
         *rob_slot = commit_time;
     if (lsq_slot)
         *lsq_slot = commit_time;
-    lane.done_ring_[lane.op_index_ % Lane::dep_ring_size] = done_time;
+    lane.done_ring_[lane.op_index_ & dep_mask] = done_time;
     ++lane.op_index_;
 
     // Next fetch: same cycle is fine (calendar limits bandwidth);
@@ -254,7 +261,7 @@ CoreEngine::reset()
     std::fill(rob_ring_.begin(), rob_ring_.end(), 0);
     std::fill(lq_ring_.begin(), lq_ring_.end(), 0);
     std::fill(sq_ring_.begin(), sq_ring_.end(), 0);
-    rob_idx_ = lq_idx_ = sq_idx_ = 0;
+    rob_pos_ = lq_pos_ = sq_pos_ = 0;
 }
 
 } // namespace duplexity

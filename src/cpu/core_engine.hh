@@ -19,6 +19,7 @@
 #ifndef DPX_CPU_CORE_ENGINE_HH
 #define DPX_CPU_CORE_ENGINE_HH
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -147,9 +148,13 @@ class Lane
     Cycle last_commit_ = 0;
     Addr last_fetch_line_ = ~Addr(0);
     std::uint64_t op_index_ = 0;
+    /** Ring cursors tracking op_index_ modulo each ring's size —
+     *  wrapped by compare instead of divided every op. */
+    std::size_t inflight_pos_ = 0;
+    std::size_t fq_pos_ = 0;
 
-    static constexpr std::size_t dep_ring_size = 64;
-    std::vector<Cycle> done_ring_;     // dep_ring_size
+    static constexpr std::size_t dep_ring_size = 64; // power of two
+    std::array<Cycle, dep_ring_size> done_ring_{};
     std::vector<Cycle> inflight_ring_; // inflight_cap
     std::vector<Cycle> dispatch_ring_; // fetch_queue
 
@@ -187,9 +192,10 @@ class CoreEngine
     std::vector<Cycle> rob_ring_;
     std::vector<Cycle> lq_ring_;
     std::vector<Cycle> sq_ring_;
-    std::uint64_t rob_idx_ = 0;
-    std::uint64_t lq_idx_ = 0;
-    std::uint64_t sq_idx_ = 0;
+    /** Wrapped cursors (the ring sizes are not powers of two). */
+    std::size_t rob_pos_ = 0;
+    std::size_t lq_pos_ = 0;
+    std::size_t sq_pos_ = 0;
 };
 
 } // namespace duplexity

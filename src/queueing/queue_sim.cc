@@ -1,13 +1,23 @@
 #include "queueing/queue_sim.hh"
 
 #include <algorithm>
-#include <vector>
+#include <limits>
 
 #include "sim/logging.hh"
 #include "sim/rng.hh"
 
 namespace duplexity
 {
+
+ServerSchedule::ServerSchedule(std::uint32_t servers)
+    : servers_(servers)
+{
+    panicIfNot(servers >= 1, "need at least one server");
+    heap_.reserve(servers + 1);
+    for (std::uint32_t i = 0; i < servers; ++i)
+        heap_.push_back(pack(0.0, i));
+    heap_.push_back(~Key{0}); // sentinel right-sibling for the leaves
+}
 
 namespace
 {
@@ -26,7 +36,34 @@ struct SimState
     Rng arrival_rng;
     Rng service_rng;
     Rng reservoir_rng;
+    FastSampler interarrival;
+    FastSampler service;
     double now = 0.0; // last arrival time
+
+    /**
+     * Variates are drawn a block at a time through sampleN so the
+     * kind dispatch is paid once per block, not once per request.
+     * The arrival and service streams are independent Rngs, so
+     * blocking changes neither stream's draw order: request i still
+     * consumes arrival draw i and service draw i.
+     */
+    static constexpr std::size_t block = 256;
+    double inter_buf[block];
+    double service_buf[block];
+    std::size_t buf_pos = block; // starts empty
+
+    void
+    drawArrivalAndService(double &inter, double &service)
+    {
+        if (buf_pos == block) {
+            interarrival.sampleN(arrival_rng, inter_buf, block);
+            this->service.sampleN(service_rng, service_buf, block);
+            buf_pos = 0;
+        }
+        inter = inter_buf[buf_pos];
+        service = service_buf[buf_pos];
+        ++buf_pos;
+    }
 };
 
 /** Single-server FCFS via the Lindley recursion. */
@@ -36,11 +73,11 @@ struct Lindley
     double busy_time = 0.0;
 
     RequestOutcome
-    step(const QueueSimConfig &cfg, SimState &st)
+    step(SimState &st)
     {
         RequestOutcome out;
-        double inter = cfg.interarrival->sample(st.arrival_rng);
-        out.service = cfg.service->sample(st.service_rng);
+        double inter;
+        st.drawArrivalAndService(inter, out.service);
         st.now += inter;
         if (st.now > last_departure)
             out.idle_before = st.now - last_departure;
@@ -55,24 +92,22 @@ struct Lindley
 /** FCFS multi-server: each arrival takes the earliest-free server. */
 struct MultiServer
 {
-    std::vector<double> free_at;
+    ServerSchedule schedule;
     double busy_time = 0.0;
 
-    explicit MultiServer(std::uint32_t k) : free_at(k, 0.0) {}
+    explicit MultiServer(std::uint32_t k) : schedule(k) {}
 
     RequestOutcome
-    step(const QueueSimConfig &cfg, SimState &st)
+    step(SimState &st)
     {
         RequestOutcome out;
-        double inter = cfg.interarrival->sample(st.arrival_rng);
-        out.service = cfg.service->sample(st.service_rng);
+        double inter;
+        st.drawArrivalAndService(inter, out.service);
         st.now += inter;
-        auto it = std::min_element(free_at.begin(), free_at.end());
-        if (st.now > *it)
-            out.idle_before = st.now - *it;
-        double start = std::max(st.now, *it);
-        out.wait = start - st.now;
-        *it = start + out.service;
+        ServerSchedule::Assignment a =
+            schedule.assign(st.now, out.service);
+        out.idle_before = a.idle_before;
+        out.wait = a.start - st.now;
         busy_time += out.service;
         return out;
     }
@@ -93,6 +128,8 @@ runQueueSim(const QueueSimConfig &config)
     st.arrival_rng = root.fork(1);
     st.service_rng = root.fork(2);
     st.reservoir_rng = root.fork(3);
+    st.interarrival = FastSampler(config.interarrival);
+    st.service = FastSampler(config.service);
 
     BatchMeans convergence(config.relative_error, config.z_score,
                            config.min_batches);
@@ -102,8 +139,7 @@ runQueueSim(const QueueSimConfig &config)
     const bool use_lindley = config.servers == 1;
 
     auto step = [&]() {
-        return use_lindley ? single.step(config, st)
-                           : multi.step(config, st);
+        return use_lindley ? single.step(st) : multi.step(st);
     };
 
     for (std::uint64_t i = 0; i < config.warmup_requests; ++i)
@@ -132,7 +168,12 @@ runQueueSim(const QueueSimConfig &config)
     }
     result.converged = convergence.converged();
 
-    double horizon = st.now;
+    // Utilization horizon: work runs until the last departure, which
+    // can trail the last arrival — using st.now alone biases
+    // utilization upward (past 1.0 under overload).
+    double last_departure =
+        use_lindley ? single.last_departure : multi.schedule.lastDeparture();
+    double horizon = std::max(st.now, last_departure);
     double busy = use_lindley ? single.busy_time : multi.busy_time;
     result.utilization =
         horizon > 0.0

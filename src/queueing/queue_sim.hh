@@ -13,13 +13,126 @@
 #ifndef DPX_QUEUEING_QUEUE_SIM_HH
 #define DPX_QUEUEING_QUEUE_SIM_HH
 
+#include <algorithm>
+#include <bit>
 #include <cstdint>
+#include <vector>
 
 #include "sim/distributions.hh"
 #include "sim/stats.hh"
 
 namespace duplexity
 {
+
+/**
+ * Earliest-free-server assignment for the FCFS G/G/k engine.
+ *
+ * A binary min-heap over (free_at, server index) replaces the old
+ * O(k) linear scan with an O(log k) root replacement. The index
+ * tie-break makes the heap minimum *exactly* the server
+ * std::min_element used to return (earliest free time, lowest index
+ * among ties), so the k-server simulation is bit-identical to the
+ * scan-based one — tests/queueing/queue_sim_test.cc runs the two
+ * against each other request-for-request.
+ *
+ * Layout and comparisons are tuned for the sift-down's worst enemy,
+ * the data-dependent left/right child choice: each (free_at, index)
+ * pair is packed into one integer key whose order matches the
+ * lexicographic pair order, so the child select is a single wide
+ * compare folded into an index add (no jump), and a sentinel after
+ * the last element lets the right-sibling probe skip its bounds
+ * check.
+ */
+class ServerSchedule
+{
+  public:
+    explicit ServerSchedule(std::uint32_t servers);
+
+    struct Assignment
+    {
+        double start = 0.0;
+        /** Idle gap on the chosen server ending at this arrival;
+         *  negative when the server was still busy. */
+        double idle_before = -1.0;
+    };
+
+    /** Seat an arrival at time @p arrival for @p service seconds on
+     *  the earliest-free server. */
+    Assignment
+    assign(double arrival, double service)
+    {
+        Assignment out;
+        double free_at = unpackTime(heap_[0]);
+        if (arrival > free_at)
+            out.idle_before = arrival - free_at;
+        out.start = std::max(arrival, free_at);
+        double departure = out.start + service;
+        if (departure > last_departure_)
+            last_departure_ = departure;
+
+        // Root replacement: the server's key only grows, so one
+        // sift-down restores heap order — cheaper than pop + push.
+        // The storage carries a +inf sentinel after the last element
+        // so the right-sibling read needs no bounds branch: the
+        // child select compiles to a flag-setting wide compare plus
+        // an add, with no data-dependent jump.
+        Key item = pack(departure,
+                        static_cast<std::uint32_t>(heap_[0]));
+        std::size_t pos = 0;
+        const std::size_t n = servers_;
+        for (;;) {
+            std::size_t child = 2 * pos + 1;
+            if (child >= n)
+                break;
+            child += static_cast<std::size_t>(heap_[child + 1] <
+                                              heap_[child]);
+            if (heap_[child] >= item)
+                break;
+            heap_[pos] = heap_[child];
+            pos = child;
+        }
+        heap_[pos] = item;
+        return out;
+    }
+
+    /** Latest departure ever scheduled (utilization horizon). */
+    double lastDeparture() const { return last_departure_; }
+
+    std::uint32_t servers() const { return servers_; }
+
+  private:
+    /**
+     * (free_at, index) packed into one integer key so the heap's
+     * lexicographic compare is a single wide integer compare. Free
+     * times are non-negative finite doubles, whose IEEE-754 bit
+     * patterns order the same as their values, so placing the raw
+     * time bits above the 32-bit server index makes integer key
+     * order exactly the (free_at, then lowest index) order the
+     * linear scan minimized.
+     */
+    using Key = unsigned __int128;
+
+    static Key
+    pack(double free_at, std::uint32_t index)
+    {
+        return (static_cast<Key>(std::bit_cast<std::uint64_t>(free_at))
+                << 32) |
+               index;
+    }
+
+    static double
+    unpackTime(Key key)
+    {
+        return std::bit_cast<double>(
+            static_cast<std::uint64_t>(key >> 32));
+    }
+
+    /** Packed keys in binary-heap order, followed by one all-ones
+     *  sentinel (compares greater than any key). */
+    std::vector<Key> heap_;
+    std::uint32_t servers_ = 0;
+    double last_departure_ = 0.0;
+};
 
 struct QueueSimConfig
 {

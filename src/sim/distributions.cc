@@ -197,6 +197,58 @@ SumDist::mean() const
     return a_->mean() + b_->mean();
 }
 
+FastSampler::FastSampler(DistributionPtr dist)
+    : dist_(std::move(dist))
+{
+    if (!dist_)
+        return;
+    const Distribution *leaf = dist_.get();
+    if (auto *sc = dynamic_cast<const ScaledDist *>(leaf)) {
+        // Peel exactly one scale level: ScaledDist::sample is
+        // factor * base->sample, which we reproduce verbatim. A
+        // nested ScaledDist base stays on the virtual path so the
+        // multiplication order (and hence rounding) is unchanged.
+        scaled_ = true;
+        factor_ = sc->factor();
+        leaf = sc->base().get();
+        if (dynamic_cast<const ScaledDist *>(leaf)) {
+            inner_ = leaf;
+            return;
+        }
+    }
+    if (auto *det = dynamic_cast<const DeterministicDist *>(leaf)) {
+        kind_ = Kind::Deterministic;
+        a_ = det->mean();
+    } else if (auto *ex = dynamic_cast<const ExponentialDist *>(leaf)) {
+        kind_ = Kind::Exponential;
+        a_ = ex->mean();
+    } else if (auto *un = dynamic_cast<const UniformDist *>(leaf)) {
+        kind_ = Kind::Uniform;
+        a_ = un->lo();
+        b_ = un->hi();
+    } else if (auto *ln = dynamic_cast<const LogNormalDist *>(leaf)) {
+        kind_ = Kind::LogNormal;
+        a_ = ln->mu();
+        b_ = ln->sigma();
+    } else if (auto *bp =
+                   dynamic_cast<const BoundedParetoDist *>(leaf)) {
+        kind_ = Kind::BoundedPareto;
+        // Hoist the loop invariants of the inverse CDF; each is the
+        // same deterministic subexpression BoundedParetoDist::sample
+        // evaluates per draw, so the variates stay bit-identical.
+        a_ = std::pow(bp->lo(), bp->alpha());    // la
+        b_ = std::pow(bp->hi(), bp->alpha());    // ha
+        c_ = b_ * a_;                            // ha * la
+        d_ = -1.0 / bp->alpha();
+    } else if (auto *em = dynamic_cast<const EmpiricalDist *>(leaf)) {
+        kind_ = Kind::Empirical;
+        emp_ = em->values().data();
+        emp_size_ = em->values().size();
+    } else {
+        inner_ = leaf;
+    }
+}
+
 DistributionPtr
 makeDeterministic(double value)
 {

@@ -14,6 +14,9 @@
 #ifndef DPX_SIM_DISTRIBUTIONS_HH
 #define DPX_SIM_DISTRIBUTIONS_HH
 
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -70,6 +73,9 @@ class UniformDist : public Distribution
     double sample(Rng &rng) const override;
     double mean() const override;
 
+    double lo() const { return lo_; }
+    double hi() const { return hi_; }
+
   private:
     double lo_;
     double hi_;
@@ -87,6 +93,9 @@ class LogNormalDist : public Distribution
     double sample(Rng &rng) const override;
     double mean() const override;
 
+    double mu() const { return mu_; }
+    double sigma() const { return sigma_; }
+
   private:
     double mu_;
     double sigma_;
@@ -103,6 +112,10 @@ class BoundedParetoDist : public Distribution
     BoundedParetoDist(double lo, double hi, double alpha);
     double sample(Rng &rng) const override;
     double mean() const override;
+
+    double lo() const { return lo_; }
+    double hi() const { return hi_; }
+    double alpha() const { return alpha_; }
 
   private:
     double lo_;
@@ -122,6 +135,7 @@ class EmpiricalDist : public Distribution
     double mean() const override;
 
     std::size_t size() const { return samples_.size(); }
+    const std::vector<double> &values() const { return samples_; }
 
   private:
     std::vector<double> samples_;
@@ -153,6 +167,9 @@ class ScaledDist : public Distribution
     double sample(Rng &rng) const override;
     double mean() const override;
 
+    const DistributionPtr &base() const { return base_; }
+    double factor() const { return factor_; }
+
   private:
     DistributionPtr base_;
     double factor_;
@@ -170,6 +187,151 @@ class SumDist : public Distribution
     DistributionPtr a_;
     DistributionPtr b_;
 };
+
+/**
+ * Devirtualized sampling fast path for the simulator's innermost
+ * loops (queue steps, batch segment draws).
+ *
+ * A FastSampler inspects a Distribution once at construction and
+ * seals it into a flat variant: the known leaf shapes (deterministic,
+ * exponential, uniform, lognormal, bounded Pareto, empirical) sample
+ * through a switch on a local enum instead of a virtual call, and a
+ * single ScaledDist wrapper is peeled into an inline factor.
+ * Anything else (mixtures, sums, nested scales) falls back to the
+ * virtual interface, so every distribution is accepted.
+ *
+ * The per-kind sampling code replicates the Distribution subclasses'
+ * arithmetic operation-for-operation: a FastSampler consumes exactly
+ * the same Rng draws and returns bit-identical variates, which is
+ * what lets runQueueSim and BatchSource use it without perturbing a
+ * single golden number (tests/sim/distributions_test.cc pins this).
+ */
+class FastSampler
+{
+  public:
+    /** Empty sampler; sample() must not be called. */
+    FastSampler() = default;
+
+    /** Seal @p dist (nullptr yields an empty sampler). */
+    explicit FastSampler(DistributionPtr dist);
+
+    explicit operator bool() const { return dist_ != nullptr; }
+
+    /** Draw one variate; bit-identical to dist->sample(rng).
+     *  Defined inline below so hot loops see through the dispatch. */
+    double sample(Rng &rng) const;
+
+    /**
+     * Fill @p out with @p n consecutive variates — the batch form
+     * hoists the kind dispatch out of the loop. Draw order matches n
+     * calls to sample().
+     */
+    void sampleN(Rng &rng, double *out, std::size_t n) const;
+
+    double mean() const { return dist_->mean(); }
+
+    /** True when sampling avoids the virtual interface. */
+    bool devirtualized() const { return kind_ != Kind::Virtual; }
+
+  private:
+    enum class Kind : std::uint8_t
+    {
+        Deterministic,
+        Exponential,
+        Uniform,
+        LogNormal,
+        BoundedPareto,
+        Empirical,
+        Virtual,
+    };
+
+    double sampleRaw(Rng &rng) const;
+
+    Kind kind_ = Kind::Virtual;
+    bool scaled_ = false;
+    double factor_ = 1.0;
+    /** Kind-specific parameters (see the constructor). */
+    double a_ = 0.0;
+    double b_ = 0.0;
+    double c_ = 0.0;
+    double d_ = 0.0;
+    const double *emp_ = nullptr;
+    std::size_t emp_size_ = 0;
+    /** Virtual fallback target (the unpeeled distribution). */
+    const Distribution *inner_ = nullptr;
+    /** Owns everything emp_/inner_ point into. */
+    DistributionPtr dist_;
+};
+
+inline double
+FastSampler::sampleRaw(Rng &rng) const
+{
+    switch (kind_) {
+      case Kind::Deterministic:
+        return a_;
+      case Kind::Exponential:
+        // Rng::exponential(mean), inlined.
+        return -a_ * std::log1p(-rng.uniform());
+      case Kind::Uniform:
+        // Rng::uniform(lo, hi), inlined.
+        return a_ + (b_ - a_) * rng.uniform();
+      case Kind::LogNormal: {
+        // exp(Rng::normal(mu, sigma)), inlined.
+        double u1 = 1.0 - rng.uniform();
+        double u2 = rng.uniform();
+        double z = std::sqrt(-2.0 * std::log(u1)) *
+                   std::cos(2.0 * M_PI * u2);
+        return std::exp(a_ + b_ * z);
+      }
+      case Kind::BoundedPareto: {
+        double u = rng.uniform();
+        return std::pow(-(u * b_ - u * a_ - b_) / c_, d_);
+      }
+      case Kind::Empirical:
+        return emp_[rng.below(emp_size_)];
+      case Kind::Virtual:
+        return inner_->sample(rng);
+    }
+    return 0.0; // unreachable
+}
+
+inline double
+FastSampler::sample(Rng &rng) const
+{
+    double v = sampleRaw(rng);
+    return scaled_ ? factor_ * v : v;
+}
+
+inline void
+FastSampler::sampleN(Rng &rng, double *out, std::size_t n) const
+{
+    switch (kind_) {
+      case Kind::Deterministic:
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = a_;
+        break;
+      case Kind::Exponential:
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = -a_ * std::log1p(-rng.uniform());
+        break;
+      case Kind::Uniform:
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = a_ + (b_ - a_) * rng.uniform();
+        break;
+      case Kind::Empirical:
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = emp_[rng.below(emp_size_)];
+        break;
+      default:
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = sampleRaw(rng);
+        break;
+    }
+    if (scaled_) {
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = factor_ * out[i];
+    }
+}
 
 /** Convenience factories. */
 DistributionPtr makeDeterministic(double value);

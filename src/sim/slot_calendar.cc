@@ -1,6 +1,7 @@
 #include "sim/slot_calendar.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "sim/logging.hh"
 
@@ -9,11 +10,12 @@ namespace duplexity
 
 SlotCalendar::SlotCalendar(std::uint32_t slots_per_cycle,
                            std::size_t window)
-    : slots_per_cycle_(slots_per_cycle), window_(window)
+    : slots_per_cycle_(slots_per_cycle),
+      window_(std::bit_ceil(window)), mask_(window_ - 1)
 {
     panicIfNot(slots_per_cycle > 0 && window > 16,
                "bad SlotCalendar parameters");
-    counts_.assign(window, 0);
+    counts_.assign(window_, 0);
 }
 
 Cycle
@@ -23,7 +25,7 @@ SlotCalendar::reserve(Cycle earliest)
     for (;;) {
         if (c >= base_ + window_)
             retireBefore(c > window_ / 2 ? c - window_ / 2 : 0);
-        std::uint16_t &count = counts_[c % window_];
+        std::uint16_t &count = counts_[slot(c)];
         if (count < slots_per_cycle_) {
             ++count;
             return c;
@@ -39,7 +41,7 @@ SlotCalendar::tryReserveAt(Cycle cycle)
         return false;
     if (cycle >= base_ + window_)
         retireBefore(cycle > window_ / 2 ? cycle - window_ / 2 : 0);
-    std::uint16_t &count = counts_[cycle % window_];
+    std::uint16_t &count = counts_[slot(cycle)];
     if (count < slots_per_cycle_) {
         ++count;
         return true;
@@ -52,7 +54,7 @@ SlotCalendar::occupancy(Cycle cycle) const
 {
     if (cycle < base_ || cycle >= base_ + window_)
         return 0;
-    return counts_[cycle % window_];
+    return counts_[slot(cycle)];
 }
 
 void
@@ -64,7 +66,7 @@ SlotCalendar::retireBefore(Cycle cycle)
         std::fill(counts_.begin(), counts_.end(), 0);
     } else {
         for (Cycle c = base_; c < cycle; ++c)
-            counts_[c % window_] = 0;
+            counts_[slot(c)] = 0;
     }
     base_ = cycle;
 }

@@ -29,7 +29,9 @@ class SlotCalendar
      * @param window          cycles of look-ahead tracked; requests
      *                        beyond the window succeed untracked
      *                        (they are far enough ahead that the
-     *                        resource cannot be saturated there yet)
+     *                        resource cannot be saturated there yet).
+     *                        Rounded up to a power of two so slot
+     *                        lookup is a mask, not a division.
      */
     explicit SlotCalendar(std::uint32_t slots_per_cycle,
                           std::size_t window = 16384);
@@ -57,10 +59,13 @@ class SlotCalendar
     void reset();
 
   private:
+    std::size_t slot(Cycle c) const { return c & mask_; }
+
     std::uint32_t slots_per_cycle_;
-    std::size_t window_;
+    std::size_t window_; // power of two
+    std::size_t mask_;   // window_ - 1
     std::vector<std::uint16_t> counts_;
-    Cycle base_ = 0; // counts_[c % window_] valid for c in [base, base+window)
+    Cycle base_ = 0; // counts_[slot(c)] valid for c in [base, base+window)
 };
 
 } // namespace duplexity

@@ -114,29 +114,29 @@ MicroserviceSource::next()
 
 BatchSource::BatchSource(const BatchSpec &spec, Rng rng)
     : spec_(spec), rng_(rng),
-      stream_(spec.character, rng_.fork(3000))
+      stream_(spec.character, rng_.fork(3000)),
+      segment_instrs_(spec_.segment_instrs), stall_us_(spec_.stall_us)
 {
     panicIfNot(spec_.segment_instrs != nullptr,
                "batch workload needs a segment length distribution");
     remaining_ = static_cast<std::uint64_t>(
-        std::max(1.0, spec_.segment_instrs->sample(rng_)));
+        std::max(1.0, segment_instrs_.sample(rng_)));
 }
 
 MicroOp
 BatchSource::next()
 {
-    if (remaining_ == 0 && spec_.stall_us) {
+    if (remaining_ == 0 && stall_us_) {
         MicroOp op;
         op.cls = OpClass::Remote;
-        op.stall_us =
-            static_cast<float>(spec_.stall_us->sample(rng_));
+        op.stall_us = static_cast<float>(stall_us_.sample(rng_));
         remaining_ = static_cast<std::uint64_t>(
-            std::max(1.0, spec_.segment_instrs->sample(rng_)));
+            std::max(1.0, segment_instrs_.sample(rng_)));
         return op;
     }
     if (remaining_ == 0) {
         remaining_ = static_cast<std::uint64_t>(
-            std::max(1.0, spec_.segment_instrs->sample(rng_)));
+            std::max(1.0, segment_instrs_.sample(rng_)));
     }
     --remaining_;
     return stream_.next();

@@ -122,6 +122,9 @@ class BatchSource : public InstrSource
     BatchSpec spec_;
     Rng rng_;
     SyntheticStream stream_;
+    /** Devirtualized views of spec_'s distributions (hot path). */
+    FastSampler segment_instrs_;
+    FastSampler stall_us_;
     std::uint64_t remaining_;
 };
 

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Concurrency hammer for the calibration memo: many threads racing
+ * on overlapping (character, mode) keys must each observe exactly
+ * one measurement's result per key. Run under TSan in CI — the
+ * per-entry once_flag protocol in calibration.cc is what it checks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "core/calibration.hh"
+
+using namespace duplexity;
+
+TEST(CalibrationConcurrency, RacingThreadsAgreePerKey)
+{
+    struct Key
+    {
+        MicroserviceKind kind;
+        IssueMode mode;
+    };
+    const std::vector<Key> keys = {
+        {MicroserviceKind::FlannLL, IssueMode::OutOfOrder},
+        {MicroserviceKind::FlannLL, IssueMode::InOrder},
+        {MicroserviceKind::WordStem, IssueMode::OutOfOrder},
+    };
+
+    constexpr int threads = 8;
+    constexpr int rounds = 3;
+    // results[t][r * keys.size() + k] = IPC thread t saw for key k.
+    std::vector<std::vector<double>> results(threads);
+
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t) {
+        pool.emplace_back([&, t] {
+            for (int r = 0; r < rounds; ++r) {
+                for (std::size_t k = 0; k < keys.size(); ++k) {
+                    // Vary the visit order per thread so first
+                    // touches race on different keys.
+                    const Key &key =
+                        keys[(k + static_cast<std::size_t>(t)) %
+                             keys.size()];
+                    MicroserviceSpec spec =
+                        makeMicroservice(key.kind);
+                    double ipc = measureComputeIpc(spec.character,
+                                                   key.mode);
+                    results[t].push_back(ipc);
+                    // Stash which key it was alongside.
+                    results[t].push_back(
+                        static_cast<double>((k + t) % keys.size()));
+                }
+            }
+        });
+    }
+    for (auto &th : pool)
+        th.join();
+
+    // Serial reference after the dust settles: memoized, so these
+    // are whatever the winning measurement produced.
+    std::map<std::size_t, double> expected;
+    for (std::size_t k = 0; k < keys.size(); ++k) {
+        MicroserviceSpec spec = makeMicroservice(keys[k].kind);
+        expected[k] =
+            measureComputeIpc(spec.character, keys[k].mode);
+        EXPECT_GT(expected[k], 0.0);
+    }
+
+    for (int t = 0; t < threads; ++t) {
+        ASSERT_EQ(results[t].size(),
+                  2u * rounds * keys.size());
+        for (std::size_t i = 0; i < results[t].size(); i += 2) {
+            double ipc = results[t][i];
+            auto key_index =
+                static_cast<std::size_t>(results[t][i + 1]);
+            EXPECT_EQ(ipc, expected[key_index])
+                << "thread " << t << " entry " << i;
+        }
+    }
+}
+
+TEST(CalibrationConcurrency, CalibratedSpecsRaceSafely)
+{
+    constexpr int threads = 6;
+    std::vector<std::vector<double>> means(threads);
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t) {
+        pool.emplace_back([&, t] {
+            for (MicroserviceKind kind :
+                 {MicroserviceKind::FlannLL,
+                  MicroserviceKind::WordStem}) {
+                MicroserviceSpec spec = calibratedMicroservice(kind);
+                means[t].push_back(spec.meanStallUs());
+            }
+        });
+    }
+    for (auto &th : pool)
+        th.join();
+    for (int t = 1; t < threads; ++t)
+        EXPECT_EQ(means[t], means[0]);
+}

@@ -6,8 +6,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "queueing/analytic.hh"
 #include "queueing/queue_sim.hh"
+#include "sim/rng.hh"
 
 using namespace duplexity;
 
@@ -163,6 +167,148 @@ TEST(QueueSim, MultiServerUtilizationHalves)
     cfg.max_batches = 40;
     QueueSimResult res = runQueueSim(cfg);
     EXPECT_NEAR(res.utilization, 0.4, 0.03);
+}
+
+namespace
+{
+
+/**
+ * The pre-heap earliest-free-server policy, verbatim: linear scan
+ * for the first minimum free time (std::min_element semantics).
+ * The heap in ServerSchedule must reproduce it decision-for-decision.
+ */
+struct ScanSchedule
+{
+    std::vector<double> free_at;
+    double last_departure = 0.0;
+
+    explicit ScanSchedule(std::uint32_t k) : free_at(k, 0.0) {}
+
+    ServerSchedule::Assignment
+    assign(double arrival, double service)
+    {
+        ServerSchedule::Assignment out;
+        auto it = std::min_element(free_at.begin(), free_at.end());
+        if (arrival > *it)
+            out.idle_before = arrival - *it;
+        out.start = std::max(arrival, *it);
+        *it = out.start + service;
+        last_departure = std::max(last_departure, *it);
+        return out;
+    }
+};
+
+} // namespace
+
+TEST(ServerScheduleDifferential, MatchesLinearScanAcrossServerCounts)
+{
+    for (std::uint32_t k = 1; k <= 16; ++k) {
+        ServerSchedule heap(k);
+        ScanSchedule scan(k);
+        Rng rng(1000 + k);
+        double now = 0.0;
+        for (int i = 0; i < 5000; ++i) {
+            now += rng.exponential(1.0);
+            double service = rng.exponential(0.9 * k);
+            ServerSchedule::Assignment a = heap.assign(now, service);
+            ServerSchedule::Assignment b = scan.assign(now, service);
+            ASSERT_EQ(a.start, b.start) << "k=" << k << " i=" << i;
+            ASSERT_EQ(a.idle_before, b.idle_before)
+                << "k=" << k << " i=" << i;
+        }
+        EXPECT_EQ(heap.lastDeparture(), scan.last_departure)
+            << "k=" << k;
+    }
+}
+
+TEST(ServerScheduleDifferential, ExactTiesBreakTowardLowestIndex)
+{
+    // Deterministic arrivals and services manufacture exact double
+    // ties in free times, the case the index tie-break exists for.
+    constexpr std::uint32_t k = 4;
+    ServerSchedule heap(k);
+    ScanSchedule scan(k);
+    double now = 0.0;
+    for (int i = 0; i < 2000; ++i) {
+        now += 0.25;
+        double service = (i % 3 == 0) ? 1.0 : 0.5;
+        ServerSchedule::Assignment a = heap.assign(now, service);
+        ServerSchedule::Assignment b = scan.assign(now, service);
+        ASSERT_EQ(a.start, b.start) << "i=" << i;
+        ASSERT_EQ(a.idle_before, b.idle_before) << "i=" << i;
+    }
+    EXPECT_EQ(heap.lastDeparture(), scan.last_departure);
+}
+
+TEST(ServerScheduleDifferential, FullSimMatchesVirtualScanReference)
+{
+    // Re-run runQueueSim's exact loop the way the pre-optimization
+    // engine did — one virtual sample per request, linear scan for
+    // the server — and demand bitwise-equal statistics. Any drift in
+    // RNG stream positions (e.g. from block sampling) or in the heap
+    // policy would desynchronize the variates and fail this.
+    QueueSimConfig cfg;
+    cfg.interarrival = makeExponential(1e-6 / 0.85 / 3.0);
+    cfg.service = makeScaled(makeExponential(0.5e-6), 2.0);
+    cfg.servers = 3;
+    cfg.max_batches = 10;
+    cfg.relative_error = 1e-9; // run all batches
+    cfg.seed = 77;
+    QueueSimResult fast = runQueueSim(cfg);
+
+    QueueSimResult ref;
+    Rng root(cfg.seed);
+    Rng arrival_rng = root.fork(1);
+    Rng service_rng = root.fork(2);
+    Rng reservoir_rng = root.fork(3);
+    ScanSchedule scan(cfg.servers);
+    double now = 0.0;
+    double busy = 0.0;
+    BatchMeans convergence(cfg.relative_error, cfg.z_score,
+                           cfg.min_batches);
+
+    auto step = [&](double &wait, double &service,
+                    double &idle_before) {
+        now += cfg.interarrival->sample(arrival_rng);
+        service = cfg.service->sample(service_rng);
+        ServerSchedule::Assignment a = scan.assign(now, service);
+        wait = a.start - now;
+        idle_before = a.idle_before;
+        busy += service;
+    };
+
+    double wait, service, idle_before;
+    for (std::uint64_t i = 0; i < cfg.warmup_requests; ++i)
+        step(wait, service, idle_before);
+    SampleStats batch(cfg.batch_size);
+    for (std::uint64_t b = 0; b < cfg.max_batches; ++b) {
+        batch.reset();
+        for (std::uint64_t i = 0; i < cfg.batch_size; ++i) {
+            step(wait, service, idle_before);
+            double sojourn = wait + service;
+            batch.add(sojourn);
+            ref.sojourn.add(sojourn, reservoir_rng.next());
+            ref.wait.add(wait, reservoir_rng.next());
+            if (idle_before >= 0.0)
+                ref.idle_periods.add(idle_before,
+                                     reservoir_rng.next());
+            ++ref.completed;
+        }
+        convergence.addBatch(batch.percentile(0.99));
+        if (convergence.converged())
+            break;
+    }
+
+    EXPECT_EQ(fast.completed, ref.completed);
+    EXPECT_EQ(fast.sojourn.mean(), ref.sojourn.mean());
+    EXPECT_EQ(fast.wait.mean(), ref.wait.mean());
+    EXPECT_EQ(fast.sojourn.percentile(0.99),
+              ref.sojourn.percentile(0.99));
+    EXPECT_EQ(fast.wait.percentile(0.99), ref.wait.percentile(0.99));
+    EXPECT_EQ(fast.idle_periods.mean(), ref.idle_periods.mean());
+    double horizon = std::max(now, scan.last_departure);
+    EXPECT_EQ(fast.utilization,
+              busy / (horizon * static_cast<double>(cfg.servers)));
 }
 
 TEST(QueueSim, EmpiricalServiceReplay)

@@ -145,3 +145,78 @@ TEST(LogNormal, AllPositive)
     for (int i = 0; i < 20000; ++i)
         EXPECT_GT(d.sample(rng), 0.0);
 }
+
+/**
+ * The devirtualized fast path must be a perfect stand-in for the
+ * virtual interface: bit-identical variates AND identical Rng stream
+ * positions, for every distribution shape (including the fallback
+ * kinds that stay virtual).
+ */
+class FastSamplerEquivalence
+    : public ::testing::TestWithParam<DistributionPtr>
+{
+};
+
+TEST_P(FastSamplerEquivalence, BitIdenticalSamplesAndRngPosition)
+{
+    const DistributionPtr &dist = GetParam();
+    FastSampler fast(dist);
+    Rng virt_rng(41);
+    Rng fast_rng(41);
+    for (int i = 0; i < 10000; ++i) {
+        double expected = dist->sample(virt_rng);
+        double got = fast.sample(fast_rng);
+        ASSERT_EQ(expected, got) << "draw " << i;
+    }
+    // Same stream position: the next raw word must agree.
+    EXPECT_EQ(virt_rng.next(), fast_rng.next());
+}
+
+TEST_P(FastSamplerEquivalence, SampleNMatchesDrawOrder)
+{
+    const DistributionPtr &dist = GetParam();
+    FastSampler fast(dist);
+    Rng one_rng(43);
+    Rng block_rng(43);
+    constexpr std::size_t n = 1000;
+    std::vector<double> block(n);
+    fast.sampleN(block_rng, block.data(), n);
+    for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(dist->sample(one_rng), block[i]) << "draw " << i;
+    EXPECT_EQ(one_rng.next(), block_rng.next());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllShapes, FastSamplerEquivalence,
+    ::testing::Values(
+        makeDeterministic(4.2), makeExponential(2.5),
+        makeUniform(1.0, 9.0), makeLogNormal(3.0, 0.5),
+        makeBoundedPareto(1.0, 1000.0, 1.5),
+        makeEmpirical({1.0, 2.0, 3.0, 10.0}),
+        makeScaled(makeExponential(2.0), 3.0),
+        makeScaled(makeEmpirical({1.0, 4.0, 7.0}), 0.25),
+        makeScaled(makeScaled(makeExponential(1.0), 2.0), 3.0),
+        makeSum(makeDeterministic(1.0), makeExponential(1.0)),
+        std::make_shared<MixtureDist>(
+            std::vector<std::pair<double, DistributionPtr>>{
+                {1.0, makeExponential(1.0)},
+                {2.0, makeUniform(0.0, 1.0)}})));
+
+TEST(FastSampler, DevirtualizesKnownLeavesOnly)
+{
+    EXPECT_TRUE(FastSampler(makeExponential(1.0)).devirtualized());
+    EXPECT_TRUE(FastSampler(makeDeterministic(1.0)).devirtualized());
+    EXPECT_TRUE(FastSampler(makeEmpirical({1.0})).devirtualized());
+    EXPECT_TRUE(
+        FastSampler(makeScaled(makeExponential(1.0), 2.0))
+            .devirtualized());
+    // Composite shapes fall back to the virtual interface.
+    EXPECT_FALSE(
+        FastSampler(makeSum(makeDeterministic(1.0),
+                            makeExponential(1.0)))
+            .devirtualized());
+    EXPECT_FALSE(
+        FastSampler(
+            makeScaled(makeScaled(makeExponential(1.0), 2.0), 3.0))
+            .devirtualized());
+}
