@@ -25,6 +25,7 @@
 #include "mem/memory_system.hh"
 #include "queueing/queue_sim.hh"
 #include "sim/rng.hh"
+#include "sim/thread_pool.hh"
 #include "workload/catalog.hh"
 
 using namespace duplexity;
@@ -303,6 +304,42 @@ benchQueueFull(const QueueWorkload &w, std::uint64_t &completed)
     return 1e9 * secondsSince(t0) / static_cast<double>(res.completed);
 }
 
+/* ---------------- replicated tail engine ---------------- */
+
+struct ReplicaBenchResult
+{
+    double seconds = 0.0;
+    double p99 = 0.0;
+    std::uint64_t completed = 0;
+    bool converged = false;
+};
+
+/**
+ * One replicated M/M/1 tail run. With @p to_convergence the run uses
+ * the production stopping rule (p99 CI within 5 %); otherwise the
+ * target is unattainable and every replica drains its share of the
+ * fixed max_batches budget, so R sweeps compare equal total work.
+ */
+ReplicaBenchResult
+benchReplicatedRun(std::uint32_t replicas, bool to_convergence)
+{
+    QueueSimConfig cfg = makeMg1(makeExponential(1e-6), 0.9, 1234);
+    cfg.warmup_requests = 50'000;
+    cfg.batch_size = 250'000;
+    cfg.min_batches = 8;
+    cfg.max_batches = 40;
+    cfg.relative_error = to_convergence ? 0.05 : 1e-12;
+    cfg.replicas = replicas;
+    ReplicaBenchResult out;
+    auto t0 = BenchClock::now();
+    QueueSimResult res = runQueueSim(cfg);
+    out.seconds = secondsSince(t0);
+    out.p99 = res.p99Sojourn();
+    out.completed = res.completed;
+    out.converged = res.converged;
+    return out;
+}
+
 /* ---------------- end-to-end reduced fig5 grid ---------------- */
 
 GridSpec
@@ -380,6 +417,32 @@ main()
                 queue_full_ns, baseline_queue_full_ns,
                 baseline_queue_full_ns / queue_full_ns);
 
+    // Replica scaling: fixed 10M-request budget split across R
+    // streams (work-conserving), plus the converged stopping-rule
+    // run the replicas exist to accelerate. Wall-clock speedup here
+    // depends on available cores — the JSON carries `threads` so
+    // cross-host diffs don't misread a 1-core container as a
+    // regression. Statistics stay bit-identical per R regardless.
+    const unsigned replica_threads = ThreadPool::threadsFromEnv();
+    std::vector<std::uint32_t> replica_counts{1, 2, 4, 8};
+    std::vector<ReplicaBenchResult> fixed_total;
+    for (std::uint32_t r : replica_counts) {
+        fixed_total.push_back(benchReplicatedRun(r, false));
+        const ReplicaBenchResult &b = fixed_total.back();
+        std::printf("replicas R=%-2u fixed  %8.3f s  (10M req, p99 "
+                    "%.1f us, speedup vs R=1 %.2fx, %u threads)\n",
+                    r, b.seconds, b.p99 * 1e6,
+                    fixed_total.front().seconds / b.seconds,
+                    replica_threads);
+    }
+    ReplicaBenchResult conv1 = benchReplicatedRun(1, true);
+    ReplicaBenchResult conv8 = benchReplicatedRun(8, true);
+    std::printf("replicas converged   %8.3f s R=1 / %.3f s R=8  "
+                "(speedup %.2fx, p99 %.1f vs %.1f us)\n",
+                conv1.seconds, conv8.seconds,
+                conv1.seconds / conv8.seconds, conv1.p99 * 1e6,
+                conv8.p99 * 1e6);
+
     GridSpec spec = reducedFig5Spec();
     auto t0 = BenchClock::now();
     Grid grid = runGrid(spec);
@@ -434,6 +497,27 @@ main()
          << ",\n"
          << "    \"speedup\": "
          << baseline_queue_full_ns / queue_full_ns << "\n  },\n"
+         << "  \"replica_scaling\": {\n"
+         << "    \"threads\": " << replica_threads << ",\n"
+         << "    \"fixed_total_10m\": {\n";
+    for (std::size_t i = 0; i < replica_counts.size(); ++i) {
+        const ReplicaBenchResult &b = fixed_total[i];
+        json << "      \"r" << replica_counts[i]
+             << "\": {\"seconds\": " << b.seconds
+             << ", \"p99_us\": " << b.p99 * 1e6
+             << ", \"speedup_vs_r1\": "
+             << fixed_total.front().seconds / b.seconds << "}"
+             << (i + 1 == replica_counts.size() ? "\n" : ",\n");
+    }
+    json << "    },\n"
+         << "    \"converged_p99\": {\n"
+         << "      \"r1_seconds\": " << conv1.seconds << ",\n"
+         << "      \"r8_seconds\": " << conv8.seconds << ",\n"
+         << "      \"speedup\": " << conv1.seconds / conv8.seconds
+         << ",\n"
+         << "      \"r1_completed\": " << conv1.completed << ",\n"
+         << "      \"r8_completed\": " << conv8.completed << "\n"
+         << "    }\n  },\n"
          << "  \"fig5_reduced_grid\": {\n"
          << "    \"threads\": 8,\n"
          << "    \"cells\": " << grid.cells.size() << ",\n"

@@ -1,18 +1,26 @@
 #include "queueing/queue_sim.hh"
 
 #include <algorithm>
+#include <cstdlib>
 #include <limits>
+#include <memory>
 
 #include "sim/logging.hh"
 #include "sim/rng.hh"
+#include "sim/thread_pool.hh"
 
 namespace duplexity
 {
 
-ServerSchedule::ServerSchedule(std::uint32_t servers)
-    : servers_(servers)
+ServerSchedule::ServerSchedule(std::uint32_t servers,
+                               std::uint32_t scan_threshold)
+    : servers_(servers), use_scan_(servers <= scan_threshold)
 {
     panicIfNot(servers >= 1, "need at least one server");
+    if (use_scan_) {
+        free_at_.assign(servers, 0.0);
+        return;
+    }
     heap_.reserve(servers + 1);
     for (std::uint32_t i = 0; i < servers; ++i)
         heap_.push_back(pack(0.0, i));
@@ -113,37 +121,95 @@ struct MultiServer
     }
 };
 
-} // namespace
-
-QueueSimResult
-runQueueSim(const QueueSimConfig &config)
+/**
+ * One simulation stream: the RNG chain, samplers, and queue engine.
+ * Every replica owns exactly one StreamCore whose randomness derives
+ * purely from its seed — never from scheduling order — so replicated
+ * runs are deterministic for any worker count.
+ */
+struct StreamCore
 {
-    panicIfNot(config.interarrival && config.service,
-               "queue sim needs interarrival and service dists");
-    panicIfNot(config.servers >= 1, "need at least one server");
-
-    QueueSimResult result;
     SimState st;
-    Rng root(config.seed);
-    st.arrival_rng = root.fork(1);
-    st.service_rng = root.fork(2);
-    st.reservoir_rng = root.fork(3);
-    st.interarrival = FastSampler(config.interarrival);
-    st.service = FastSampler(config.service);
+    Lindley single;
+    MultiServer multi;
+    bool use_lindley;
+
+    StreamCore(const QueueSimConfig &config, std::uint64_t seed)
+        : multi(config.servers), use_lindley(config.servers == 1)
+    {
+        Rng root(seed);
+        st.arrival_rng = root.fork(1);
+        st.service_rng = root.fork(2);
+        st.reservoir_rng = root.fork(3);
+        st.interarrival = FastSampler(config.interarrival);
+        st.service = FastSampler(config.service);
+    }
+
+    RequestOutcome
+    step()
+    {
+        return use_lindley ? single.step(st) : multi.step(st);
+    }
+
+    double
+    lastDeparture() const
+    {
+        return use_lindley ? single.last_departure
+                           : multi.schedule.lastDeparture();
+    }
+
+    double
+    busy() const
+    {
+        return use_lindley ? single.busy_time : multi.busy_time;
+    }
+
+    /** Work runs until the later of last arrival and last departure;
+     *  using now alone biases utilization upward under overload. */
+    double horizon() const { return std::max(st.now, lastDeparture()); }
+};
+
+/** Stream-id tag separating replica seeds from other fork users. */
+constexpr std::uint64_t kReplicaStreamTag = 0x7265706c69636173ull;
+
+/** Seed of replica @p r: replica 0 IS the legacy stream (so R = 1
+ *  reproduces the single-stream run bit-for-bit); the rest chain the
+ *  replica index through the fork tree. */
+std::uint64_t
+replicaSeed(std::uint64_t base_seed, std::uint32_t r)
+{
+    if (r == 0)
+        return base_seed;
+    return Rng::deriveStreamSeed(base_seed, {kReplicaStreamTag, r});
+}
+
+/**
+ * The legacy exact single-stream engine, preserved bit-for-bit: full
+ * sample retention (reservoir-bounded) with the per-request
+ * reservoir RNG draws, the per-batch p99 stopping rule, and the
+ * end-of-run finalize that makes the published stats safe for
+ * concurrent readers.
+ */
+QueueSimResult
+runSingleStream(const QueueSimConfig &config)
+{
+    QueueSimResult result;
+    StreamCore core(config, config.seed);
 
     BatchMeans convergence(config.relative_error, config.z_score,
                            config.min_batches);
 
-    Lindley single;
-    MultiServer multi(config.servers);
-    const bool use_lindley = config.servers == 1;
-
-    auto step = [&]() {
-        return use_lindley ? single.step(st) : multi.step(st);
-    };
+    SampleStats sojourn, wait, idle_periods;
+    // Pre-size the retained-sample stores for the worst-case run so
+    // long runs do not pay vector-growth reallocation churn.
+    const std::uint64_t expected =
+        config.max_batches * config.batch_size;
+    sojourn.reserveHint(expected);
+    wait.reserveHint(expected);
+    idle_periods.reserveHint(expected);
 
     for (std::uint64_t i = 0; i < config.warmup_requests; ++i)
-        step();
+        core.step();
 
     // BigHouse-style stopping rule: independent per-batch p99
     // estimates must agree to within the relative-error target.
@@ -151,14 +217,14 @@ runQueueSim(const QueueSimConfig &config)
     for (std::uint64_t b = 0; b < config.max_batches; ++b) {
         batch.reset();
         for (std::uint64_t i = 0; i < config.batch_size; ++i) {
-            RequestOutcome out = step();
-            double sojourn = out.wait + out.service;
-            batch.add(sojourn);
-            result.sojourn.add(sojourn, st.reservoir_rng.next());
-            result.wait.add(out.wait, st.reservoir_rng.next());
+            RequestOutcome out = core.step();
+            double sojourn_s = out.wait + out.service;
+            batch.add(sojourn_s);
+            sojourn.add(sojourn_s, core.st.reservoir_rng.next());
+            wait.add(out.wait, core.st.reservoir_rng.next());
             if (out.idle_before >= 0.0) {
-                result.idle_periods.add(out.idle_before,
-                                        st.reservoir_rng.next());
+                idle_periods.add(out.idle_before,
+                                 core.st.reservoir_rng.next());
             }
             ++result.completed;
         }
@@ -168,18 +234,188 @@ runQueueSim(const QueueSimConfig &config)
     }
     result.converged = convergence.converged();
 
-    // Utilization horizon: work runs until the last departure, which
-    // can trail the last arrival — using st.now alone biases
-    // utilization upward (past 1.0 under overload).
-    double last_departure =
-        use_lindley ? single.last_departure : multi.schedule.lastDeparture();
-    double horizon = std::max(st.now, last_departure);
-    double busy = use_lindley ? single.busy_time : multi.busy_time;
+    result.sojourn = TailSummary::fromExact(std::move(sojourn));
+    result.wait = TailSummary::fromExact(std::move(wait));
+    result.idle_periods =
+        TailSummary::fromExact(std::move(idle_periods));
+    result.utilization =
+        core.horizon() > 0.0
+            ? core.busy() / (core.horizon() *
+                             static_cast<double>(config.servers))
+            : 0.0;
+    result.replicas = 1;
+    return result;
+}
+
+/** One replica: an independent stream plus fixed-memory collectors
+ *  (moments + extrema + quantile sketch per metric). */
+struct Replica
+{
+    StreamCore core;
+    SketchStats sojourn;
+    SketchStats wait;
+    SketchStats idle_periods;
+    SampleStats batch;
+    double last_batch_p99 = 0.0;
+    std::uint64_t completed = 0;
+
+    Replica(const QueueSimConfig &config, std::uint64_t seed)
+        : core(config, seed),
+          sojourn(config.sketch_capacity),
+          wait(config.sketch_capacity),
+          idle_periods(config.sketch_capacity),
+          batch(config.batch_size)
+    {
+    }
+
+    void
+    warmup(std::uint64_t requests)
+    {
+        for (std::uint64_t i = 0; i < requests; ++i)
+            core.step();
+    }
+
+    void
+    runBatch(std::uint64_t batch_size)
+    {
+        batch.reset();
+        for (std::uint64_t i = 0; i < batch_size; ++i) {
+            RequestOutcome out = core.step();
+            double sojourn_s = out.wait + out.service;
+            batch.add(sojourn_s);
+            sojourn.add(sojourn_s);
+            wait.add(out.wait);
+            if (out.idle_before >= 0.0)
+                idle_periods.add(out.idle_before);
+            ++completed;
+        }
+        batch.finalize();
+        last_batch_p99 = batch.percentile(0.99);
+    }
+};
+
+/**
+ * The replicated engine: R independent streams advance in lockstep
+ * rounds of one batch each; after every round the per-replica batch
+ * p99 estimates are pooled — in replica-index order — into one
+ * BatchMeans, so the stopping decision is a pure function of the
+ * streams and the run terminates early the moment the pooled
+ * confidence interval tightens below the target. The batch budget is
+ * split across replicas (ceil(max_batches / R) rounds), which is
+ * where the wall-clock win comes from: a p99-converged run finishes
+ * after ~min_batches/R rounds of parallel work instead of
+ * min_batches serial batches.
+ */
+QueueSimResult
+runReplicated(const QueueSimConfig &config, std::uint32_t replicas)
+{
+    std::vector<std::unique_ptr<Replica>> reps;
+    reps.reserve(replicas);
+    for (std::uint32_t r = 0; r < replicas; ++r) {
+        reps.push_back(std::make_unique<Replica>(
+            config, replicaSeed(config.seed, r)));
+    }
+
+    // Share the enclosing sweep pool's budget when running inside a
+    // cell; otherwise bring up a transient pool sized so caller +
+    // workers match the DPX_THREADS budget. Worker count cannot
+    // affect results — replicas are identity-seeded and merged in
+    // index order — it only affects wall clock.
+    ThreadPool *shared = ThreadPool::current();
+    std::unique_ptr<ThreadPool> local;
+    if (shared == nullptr) {
+        unsigned budget = ThreadPool::threadsFromEnv();
+        unsigned workers = std::min<unsigned>(budget - 1, replicas - 1);
+        if (workers > 0)
+            local = std::make_unique<ThreadPool>(workers);
+    }
+    ThreadPool *pool = shared != nullptr ? shared : local.get();
+
+    auto forEachReplica = [&](auto &&body) {
+        std::vector<ThreadPool::Task> tasks;
+        tasks.reserve(replicas);
+        for (std::uint32_t r = 0; r < replicas; ++r)
+            tasks.push_back([&, r] { body(*reps[r]); });
+        runTaskBatch(pool, std::move(tasks));
+    };
+
+    forEachReplica(
+        [&](Replica &rep) { rep.warmup(config.warmup_requests); });
+
+    BatchMeans convergence(config.relative_error, config.z_score,
+                           config.min_batches);
+    const std::uint64_t max_rounds =
+        (config.max_batches + replicas - 1) / replicas;
+    for (std::uint64_t round = 0; round < max_rounds; ++round) {
+        forEachReplica(
+            [&](Replica &rep) { rep.runBatch(config.batch_size); });
+        for (std::uint32_t r = 0; r < replicas; ++r)
+            convergence.addBatch(reps[r]->last_batch_p99);
+        if (convergence.converged())
+            break;
+    }
+
+    // Deterministic merge: strictly ascending replica index.
+    QueueSimResult result;
+    SketchStats sojourn(config.sketch_capacity);
+    SketchStats wait(config.sketch_capacity);
+    SketchStats idle_periods(config.sketch_capacity);
+    double busy = 0.0;
+    double horizon = 0.0;
+    for (std::uint32_t r = 0; r < replicas; ++r) {
+        sojourn.merge(reps[r]->sojourn);
+        wait.merge(reps[r]->wait);
+        idle_periods.merge(reps[r]->idle_periods);
+        busy += reps[r]->core.busy();
+        horizon += reps[r]->core.horizon();
+        result.completed += reps[r]->completed;
+    }
+    result.sojourn = TailSummary::fromSketch(std::move(sojourn));
+    result.wait = TailSummary::fromSketch(std::move(wait));
+    result.idle_periods =
+        TailSummary::fromSketch(std::move(idle_periods));
+    // Replica timelines are independent; utilization is busy time
+    // over the summed horizons (a horizon-weighted mean of the
+    // per-replica utilizations).
     result.utilization =
         horizon > 0.0
             ? busy / (horizon * static_cast<double>(config.servers))
             : 0.0;
+    result.converged = convergence.converged();
+    result.replicas = replicas;
     return result;
+}
+
+} // namespace
+
+std::uint32_t
+resolveReplicas(const QueueSimConfig &config)
+{
+    if (config.replicas != 0)
+        return config.replicas;
+    const char *env = std::getenv("DPX_REPLICAS");
+    if (env == nullptr)
+        return 1;
+    char *end = nullptr;
+    unsigned long v = std::strtoul(env, &end, 10);
+    if (end == env || v == 0 || v > 1024) {
+        warn("ignoring invalid DPX_REPLICAS value");
+        return 1;
+    }
+    return static_cast<std::uint32_t>(v);
+}
+
+QueueSimResult
+runQueueSim(const QueueSimConfig &config)
+{
+    panicIfNot(config.interarrival && config.service,
+               "queue sim needs interarrival and service dists");
+    panicIfNot(config.servers >= 1, "need at least one server");
+
+    const std::uint32_t replicas = resolveReplicas(config);
+    if (replicas == 1)
+        return runSingleStream(config);
+    return runReplicated(config, replicas);
 }
 
 QueueSimConfig

@@ -7,7 +7,11 @@
  * simulate an FCFS M/G/1 queue at request granularity until the 95 %
  * confidence interval of the reported statistic is within 5 % error.
  * This module implements that queue (G/G/k generally; a fast Lindley
- * recursion for the k = 1 FCFS case) plus the convergence machinery.
+ * recursion for the k = 1 FCFS case) plus the convergence machinery,
+ * and a replication layer that splits one run into R statistically
+ * independent streams to cut the tail-estimation wall clock without
+ * perturbing the measured latency distribution (see
+ * QueueSimConfig::replicas and DESIGN.md "Replicated tail engine").
  */
 
 #ifndef DPX_QUEUEING_QUEUE_SIM_HH
@@ -27,17 +31,23 @@ namespace duplexity
 /**
  * Earliest-free-server assignment for the FCFS G/G/k engine.
  *
- * A binary min-heap over (free_at, server index) replaces the old
- * O(k) linear scan with an O(log k) root replacement. The index
- * tie-break makes the heap minimum *exactly* the server
- * std::min_element used to return (earliest free time, lowest index
- * among ties), so the k-server simulation is bit-identical to the
- * scan-based one — tests/queueing/queue_sim_test.cc runs the two
- * against each other request-for-request.
+ * Hybrid policy store. Small server counts (k <= scan_threshold,
+ * default 16) keep the free-time array and take std::min_element
+ * directly: at that size the branch-free vectorizable scan beats the
+ * heap's pointer-chasing sift-down (measured ~13 vs ~20 ns at k = 8).
+ * Larger k switches to a binary min-heap over (free_at, server
+ * index) whose O(log k) root replacement wins decisively (~3.8x at
+ * k = 64).
  *
- * Layout and comparisons are tuned for the sift-down's worst enemy,
- * the data-dependent left/right child choice: each (free_at, index)
- * pair is packed into one integer key whose order matches the
+ * Both modes implement the *identical* policy — earliest free time,
+ * lowest index among exact ties, the std::min_element semantics —
+ * so simulation outcomes are bit-identical across the cutoff;
+ * tests/queueing/queue_sim_test.cc runs both modes against the scan
+ * reference request-for-request on either side of the threshold.
+ *
+ * Heap layout and comparisons are tuned for the sift-down's worst
+ * enemy, the data-dependent left/right child choice: each (free_at,
+ * index) pair is packed into one integer key whose order matches the
  * lexicographic pair order, so the child select is a single wide
  * compare folded into an index add (no jump), and a sentinel after
  * the last element lets the right-sibling probe skip its bounds
@@ -46,7 +56,12 @@ namespace duplexity
 class ServerSchedule
 {
   public:
-    explicit ServerSchedule(std::uint32_t servers);
+    /** Largest k served by the linear scan (heap above). */
+    static constexpr std::uint32_t kDefaultScanThreshold = 16;
+
+    explicit ServerSchedule(
+        std::uint32_t servers,
+        std::uint32_t scan_threshold = kDefaultScanThreshold);
 
     struct Assignment
     {
@@ -60,6 +75,38 @@ class ServerSchedule
      *  the earliest-free server. */
     Assignment
     assign(double arrival, double service)
+    {
+        return use_scan_ ? assignScan(arrival, service)
+                         : assignHeap(arrival, service);
+    }
+
+    /** Latest departure ever scheduled (utilization horizon). */
+    double lastDeparture() const { return last_departure_; }
+
+    std::uint32_t servers() const { return servers_; }
+
+    /** True when the linear-scan mode is active (k <= threshold). */
+    bool usesScan() const { return use_scan_; }
+
+  private:
+    Assignment
+    assignScan(double arrival, double service)
+    {
+        Assignment out;
+        auto it = std::min_element(free_at_.begin(), free_at_.end());
+        double free_at = *it;
+        if (arrival > free_at)
+            out.idle_before = arrival - free_at;
+        out.start = std::max(arrival, free_at);
+        double departure = out.start + service;
+        if (departure > last_departure_)
+            last_departure_ = departure;
+        *it = departure;
+        return out;
+    }
+
+    Assignment
+    assignHeap(double arrival, double service)
     {
         Assignment out;
         double free_at = unpackTime(heap_[0]);
@@ -94,13 +141,6 @@ class ServerSchedule
         heap_[pos] = item;
         return out;
     }
-
-    /** Latest departure ever scheduled (utilization horizon). */
-    double lastDeparture() const { return last_departure_; }
-
-    std::uint32_t servers() const { return servers_; }
-
-  private:
     /**
      * (free_at, index) packed into one integer key so the heap's
      * lexicographic compare is a single wide integer compare. Free
@@ -127,10 +167,13 @@ class ServerSchedule
             static_cast<std::uint64_t>(key >> 32));
     }
 
-    /** Packed keys in binary-heap order, followed by one all-ones
-     *  sentinel (compares greater than any key). */
+    /** Scan mode: per-server free times, index = server id. */
+    std::vector<double> free_at_;
+    /** Heap mode: packed keys in binary-heap order, followed by one
+     *  all-ones sentinel (compares greater than any key). */
     std::vector<Key> heap_;
     std::uint32_t servers_ = 0;
+    bool use_scan_ = true;
     double last_departure_ = 0.0;
 };
 
@@ -151,20 +194,38 @@ struct QueueSimConfig
     double z_score = 1.96;
 
     std::uint64_t seed = 1;
+
+    /**
+     * Statistically independent replicas merged into one result.
+     * 0 = resolve from the DPX_REPLICAS environment variable
+     * (default 1). R = 1 runs the legacy exact single-stream engine
+     * bit-for-bit; R > 1 splits the batch budget across R streams
+     * whose seeds derive from (seed, replica index) through the Rng
+     * fork chain, runs them on the shared thread-pool budget, and
+     * merges fixed-memory sketches in replica-index order — the
+     * merged result is bit-identical for every worker count.
+     */
+    std::uint32_t replicas = 0;
+
+    /** Per-level capacity of the replica-merge quantile sketch
+     *  (rank error certificate: see QuantileSketch). */
+    std::size_t sketch_capacity = QuantileSketch::kDefaultCapacity;
 };
 
 struct QueueSimResult
 {
     /** End-to-end (queueing + service) latencies, seconds. */
-    SampleStats sojourn;
+    TailSummary sojourn;
     /** Queueing delay only, seconds. */
-    SampleStats wait;
+    TailSummary wait;
     /** Server idle-period durations, seconds. */
-    SampleStats idle_periods;
+    TailSummary idle_periods;
     /** Fraction of time servers were busy. */
     double utilization = 0.0;
     std::uint64_t completed = 0;
     bool converged = false;
+    /** Replica count the run actually used. */
+    std::uint32_t replicas = 1;
 
     double p99Sojourn() const { return sojourn.percentile(0.99); }
     double meanSojourn() const { return sojourn.mean(); }
@@ -172,6 +233,10 @@ struct QueueSimResult
 
 /** Run the queueing simulation to convergence (or max_batches). */
 QueueSimResult runQueueSim(const QueueSimConfig &config);
+
+/** Replica count a config resolves to: the explicit field, else the
+ *  DPX_REPLICAS environment variable, else 1. */
+std::uint32_t resolveReplicas(const QueueSimConfig &config);
 
 /**
  * Convenience: Poisson arrivals at @p load fraction of the capacity

@@ -16,14 +16,13 @@ std::uint64_t
 deriveCellSeed(std::uint64_t base_seed,
                std::initializer_list<std::uint64_t> coords)
 {
-    // Chain the coordinates through the Rng fork tree: every prefix
-    // of the chain is itself a decorrelated stream, so sweeps that
-    // share leading coordinates (same service, different design)
-    // still get independent cell streams.
-    Rng rng(base_seed);
-    for (std::uint64_t coord : coords)
-        rng = rng.fork(coord);
-    return rng.next();
+    // Chain the coordinates through the Rng fork tree (see
+    // Rng::deriveStreamSeed): every prefix of the chain is itself a
+    // decorrelated stream, so sweeps that share leading coordinates
+    // (same service, different design) still get independent cell
+    // streams — and layers below a cell (e.g. queue-sim replicas)
+    // can fork further without colliding.
+    return Rng::deriveStreamSeed(base_seed, coords);
 }
 
 std::uint64_t

@@ -43,6 +43,16 @@ Rng::fork(std::uint64_t stream_id) const
 }
 
 std::uint64_t
+Rng::deriveStreamSeed(std::uint64_t base,
+                      std::initializer_list<std::uint64_t> ids)
+{
+    Rng rng(base);
+    for (std::uint64_t id : ids)
+        rng = rng.fork(id);
+    return rng.next();
+}
+
+std::uint64_t
 Rng::next()
 {
     const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;

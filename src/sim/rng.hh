@@ -13,6 +13,7 @@
 #define DPX_SIM_RNG_HH
 
 #include <cstdint>
+#include <initializer_list>
 
 namespace duplexity
 {
@@ -27,6 +28,19 @@ class Rng
 
     /** Derive an independent stream for substream @p stream_id. */
     Rng fork(std::uint64_t stream_id) const;
+
+    /**
+     * Seed for a stream identified by chaining @p ids through the
+     * fork tree: every prefix of the chain is itself a decorrelated
+     * stream, so identities that share leading coordinates (same
+     * sweep cell, different replica index) still get independent
+     * streams. This is THE way simulation layers (sweep cells,
+     * queue-sim replicas) derive randomness from identity — never
+     * from submission order or worker placement.
+     */
+    static std::uint64_t
+    deriveStreamSeed(std::uint64_t base,
+                     std::initializer_list<std::uint64_t> ids);
 
     /** Next raw 64-bit value. */
     std::uint64_t next();

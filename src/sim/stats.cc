@@ -18,6 +18,24 @@ MeanAccumulator::add(double x)
     m2_ += delta * (x - mean_);
 }
 
+void
+MeanAccumulator::merge(const MeanAccumulator &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(count_);
+    const double nb = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    count_ += other.count_;
+    const double total = static_cast<double>(count_);
+    mean_ += delta * (nb / total);
+    m2_ += other.m2_ + delta * delta * (na * nb / total);
+}
+
 double
 MeanAccumulator::variance() const
 {
@@ -99,6 +117,22 @@ SampleStats::percentile(double p) const
 }
 
 void
+SampleStats::finalize()
+{
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+}
+
+void
+SampleStats::reserveHint(std::uint64_t expected_total)
+{
+    samples_.reserve(static_cast<std::size_t>(
+        std::min<std::uint64_t>(expected_total, capacity_)));
+}
+
+void
 SampleStats::reset()
 {
     total_ = 0;
@@ -106,6 +140,181 @@ SampleStats::reset()
     moments_.reset();
     samples_.clear();
     sorted_ = true;
+}
+
+QuantileSketch::QuantileSketch(std::size_t capacity)
+    : capacity_(capacity)
+{
+    panicIfNot(capacity >= 8 && capacity % 2 == 0,
+               "QuantileSketch capacity must be even and >= 8");
+    levels_.emplace_back();
+    levels_.front().reserve(capacity_);
+    keep_odd_.push_back(0);
+}
+
+void
+QuantileSketch::add(double x)
+{
+    levels_.front().push_back(x);
+    ++count_;
+    if (levels_.front().size() >= capacity_)
+        compactLevel(0);
+}
+
+void
+QuantileSketch::compactLevel(std::size_t level)
+{
+    // May cascade: promoting into a full level compacts it in turn.
+    for (; level < levels_.size() &&
+           levels_[level].size() >= capacity_;
+         ++level) {
+        if (level + 1 == levels_.size()) {
+            levels_.emplace_back();
+            levels_.back().reserve(capacity_);
+            keep_odd_.push_back(0);
+        }
+        // Taken only after the emplace_back above: growing levels_
+        // reallocates the outer vector.
+        std::vector<double> &buf = levels_[level];
+        std::sort(buf.begin(), buf.end());
+        const std::size_t pairs = buf.size() / 2;
+        const std::size_t offset = keep_odd_[level] ? 1 : 0;
+        keep_odd_[level] ^= 1;
+        std::vector<double> &up = levels_[level + 1];
+        for (std::size_t i = 0; i < pairs; ++i)
+            up.push_back(buf[2 * i + offset]);
+        // An odd straggler keeps its weight and stays at this level.
+        const bool straggler = buf.size() % 2 != 0;
+        double leftover = straggler ? buf.back() : 0.0;
+        buf.clear();
+        if (straggler)
+            buf.push_back(leftover);
+        // Compactor lemma: collapsing weight-w pairs perturbs any
+        // rank by at most w. Accumulate the certificate.
+        error_bound_ += std::uint64_t{1} << level;
+    }
+}
+
+void
+QuantileSketch::merge(const QuantileSketch &other)
+{
+    panicIfNot(capacity_ == other.capacity_,
+               "QuantileSketch merge needs equal capacities");
+    while (levels_.size() < other.levels_.size()) {
+        levels_.emplace_back();
+        levels_.back().reserve(capacity_);
+        keep_odd_.push_back(0);
+    }
+    for (std::size_t l = 0; l < other.levels_.size(); ++l) {
+        levels_[l].insert(levels_[l].end(), other.levels_[l].begin(),
+                          other.levels_[l].end());
+    }
+    count_ += other.count_;
+    error_bound_ += other.error_bound_;
+    for (std::size_t l = 0; l < levels_.size(); ++l) {
+        if (levels_[l].size() >= capacity_)
+            compactLevel(l);
+    }
+}
+
+double
+QuantileSketch::percentile(double p) const
+{
+    panicIfNot(p >= 0.0 && p <= 1.0, "percentile p out of range");
+    panicIfNot(count_ > 0, "percentile of empty sketch");
+    std::vector<std::pair<double, std::uint64_t>> weighted;
+    weighted.reserve(retained());
+    for (std::size_t l = 0; l < levels_.size(); ++l) {
+        const std::uint64_t w = std::uint64_t{1} << l;
+        for (double v : levels_[l])
+            weighted.emplace_back(v, w);
+    }
+    std::sort(weighted.begin(), weighted.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    std::uint64_t target = static_cast<std::uint64_t>(
+        std::ceil(p * static_cast<double>(count_)));
+    if (target == 0)
+        target = 1;
+    std::uint64_t running = 0;
+    for (const auto &[value, weight] : weighted) {
+        running += weight;
+        if (running >= target)
+            return value;
+    }
+    return weighted.back().first;
+}
+
+std::size_t
+QuantileSketch::retained() const
+{
+    std::size_t n = 0;
+    for (const std::vector<double> &level : levels_)
+        n += level.size();
+    return n;
+}
+
+void
+QuantileSketch::reset()
+{
+    levels_.assign(1, {});
+    levels_.front().reserve(capacity_);
+    keep_odd_.assign(1, 0);
+    count_ = 0;
+    error_bound_ = 0;
+}
+
+void
+SketchStats::merge(const SketchStats &other)
+{
+    if (other.empty())
+        return;
+    if (empty()) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    moments_.merge(other.moments_);
+    sketch_.merge(other.sketch_);
+}
+
+TailSummary
+TailSummary::fromExact(SampleStats stats)
+{
+    TailSummary out;
+    out.exact_mode_ = true;
+    stats.finalize();
+    out.stats_ = std::move(stats);
+    return out;
+}
+
+TailSummary
+TailSummary::fromSketch(SketchStats merged)
+{
+    TailSummary out;
+    out.exact_mode_ = false;
+    out.merged_ = std::move(merged);
+    return out;
+}
+
+double
+TailSummary::percentile(double p) const
+{
+    return exact_mode_ ? stats_.percentile(p)
+                       : merged_.percentile(p);
+}
+
+const std::vector<double> &
+TailSummary::samples() const
+{
+    if (!exact_mode_)
+        fatal("samples() on a sketch-backed TailSummary — per-sample "
+              "retention exists only for single-stream runs; rerun "
+              "with replicas = 1 (unset DPX_REPLICAS)");
+    return stats_.samples();
 }
 
 LogHistogram::LogHistogram(double lo, double hi, std::size_t num_bins)

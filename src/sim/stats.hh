@@ -1,14 +1,16 @@
 /**
  * @file
  * Statistics collection: streaming moments, percentile estimation over
- * sample populations, log-scale histograms, and the batch-means
- * confidence-interval machinery used for the BigHouse-style stopping
- * rule ("simulate until 95% confidence of 5% error", Section V).
+ * sample populations, mergeable fixed-memory quantile sketches,
+ * log-scale histograms, and the batch-means confidence-interval
+ * machinery used for the BigHouse-style stopping rule ("simulate until
+ * 95% confidence of 5% error", Section V).
  */
 
 #ifndef DPX_SIM_STATS_HH
 #define DPX_SIM_STATS_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -20,6 +22,14 @@ class MeanAccumulator
 {
   public:
     void add(double x);
+
+    /**
+     * Absorb @p other as if its samples had been added here (Chan's
+     * parallel-Welford combination). The result depends on the merge
+     * order, so deterministic pipelines must merge shards in a fixed
+     * order (the replica engine merges by replica index).
+     */
+    void merge(const MeanAccumulator &other);
 
     std::uint64_t count() const { return count_; }
     double mean() const { return mean_; }
@@ -62,11 +72,37 @@ class SampleStats
     /**
      * p-quantile (p in [0, 1]) over the retained samples. Sorts
      * lazily; O(n log n) on first call after inserts.
+     *
+     * Thread-safety contract: the lazy sort mutates the sample store,
+     * so percentile() on a *non-finalized* object is single-threaded
+     * only. Call finalize() once at end-of-run to sort eagerly; after
+     * that every query is a pure read and the object may be shared
+     * across reader threads (tests/sim/stats_concurrency_test.cc
+     * pins this under TSan).
      */
     double percentile(double p) const;
 
     /** Shorthand for the paper's headline metric. */
     double p99() const { return percentile(0.99); }
+
+    /**
+     * Sort the retained samples now and freeze the object for
+     * concurrent reads. Percentile/mean/min/max queries after
+     * finalize() never mutate; add() after finalize() re-enters the
+     * single-threaded regime until the next finalize().
+     */
+    void finalize();
+
+    /** True once finalize() (or a lazy sort) has run and no add()
+     *  followed: queries are concurrency-safe pure reads. */
+    bool finalized() const { return sorted_; }
+
+    /**
+     * Pre-size the sample store for an expected population of
+     * @p expected_total values (clamped to the reservoir capacity) so
+     * long runs do not pay vector-growth reallocation churn.
+     */
+    void reserveHint(std::uint64_t expected_total);
 
     const std::vector<double> &samples() const { return samples_; }
 
@@ -80,6 +116,214 @@ class SampleStats
     MeanAccumulator moments_;
     mutable std::vector<double> samples_;
     mutable bool sorted_ = true;
+};
+
+/**
+ * Mergeable, fixed-memory quantile sketch with a deterministic,
+ * per-instance rank-error certificate.
+ *
+ * Structure: a hierarchy of levels; level l holds at most `capacity`
+ * values, each standing for 2^l original samples. When a level fills
+ * it is *compacted*: sorted, then every other element (the survivor
+ * parity alternates per level between compactions) is promoted to
+ * level l+1 with doubled weight. Memory is O(capacity * log2(n /
+ * capacity)) regardless of the stream length n.
+ *
+ * Error guarantee (deterministic, not probabilistic): compacting a
+ * buffer whose elements carry weight w perturbs the rank of any
+ * value by at most w [the standard compactor lemma, cf. the KLL /
+ * Manku-Rajagopalan-Lindsay family]. The sketch sums those w's as it
+ * goes, so at any moment
+ *
+ *     | estimatedRank(x) - trueRank(x) | <= errorBound()
+ *
+ * for every x, and percentile(p) returns a retained sample whose
+ * true rank is within errorBound() of ceil(p * count()). For the
+ * default capacity 4096 and n = 4M samples that is at most
+ * ceil(log2(n/k)) * n/k ~ 0.25 % of n in the worst case (the
+ * alternating parity makes typical error far smaller).
+ *
+ * merge() concatenates per-level buffers and recompacts; the result
+ * depends on merge order, so deterministic pipelines must merge
+ * shards in a fixed order (the replica engine merges by replica
+ * index). Error certificates add across merges.
+ */
+class QuantileSketch
+{
+  public:
+    static constexpr std::size_t kDefaultCapacity = 4096;
+
+    /** @param capacity per-level buffer size; even, >= 8. */
+    explicit QuantileSketch(std::size_t capacity = kDefaultCapacity);
+
+    void add(double x);
+
+    /** Absorb @p other (deterministic given merge order). */
+    void merge(const QuantileSketch &other);
+
+    std::uint64_t count() const { return count_; }
+    bool empty() const { return count_ == 0; }
+
+    /**
+     * Smallest retained value whose estimated rank reaches
+     * ceil(p * count()); p in [0, 1]. Pure read (concurrency-safe).
+     */
+    double percentile(double p) const;
+
+    double p99() const { return percentile(0.99); }
+
+    /**
+     * Certified worst-case |estimated - true| rank error for any
+     * query on this sketch, in units of samples (0 while no
+     * compaction has happened, i.e. the sketch is still exact).
+     */
+    std::uint64_t errorBound() const { return error_bound_; }
+
+    /** Values currently held across all levels. */
+    std::size_t retained() const;
+
+    std::size_t capacity() const { return capacity_; }
+
+    void reset();
+
+  private:
+    void compactLevel(std::size_t level);
+
+    std::size_t capacity_;
+    /** levels_[l] holds weight-2^l values, unsorted between adds. */
+    std::vector<std::vector<double>> levels_;
+    /** Survivor parity per level; flipped after each compaction. */
+    std::vector<std::uint8_t> keep_odd_;
+    std::uint64_t count_ = 0;
+    std::uint64_t error_bound_ = 0;
+};
+
+/**
+ * Fixed-memory per-shard tail collector: exact streaming moments and
+ * extrema plus a QuantileSketch for the tail. This is what each
+ * queue-sim replica records into instead of retaining its full sample
+ * population; shards merge deterministically in replica-index order.
+ */
+class SketchStats
+{
+  public:
+    explicit SketchStats(
+        std::size_t sketch_capacity = QuantileSketch::kDefaultCapacity)
+        : sketch_(sketch_capacity)
+    {
+    }
+
+    void
+    add(double x)
+    {
+        if (moments_.count() == 0) {
+            min_ = max_ = x;
+        } else {
+            min_ = x < min_ ? x : min_;
+            max_ = x > max_ ? x : max_;
+        }
+        moments_.add(x);
+        sketch_.add(x);
+    }
+
+    /** Absorb @p other; call in a fixed shard order. */
+    void merge(const SketchStats &other);
+
+    std::uint64_t count() const { return moments_.count(); }
+    bool empty() const { return moments_.count() == 0; }
+    double mean() const { return moments_.mean(); }
+    double stddev() const { return moments_.stddev(); }
+    double min() const { return min_; }
+    double max() const { return max_; }
+    const MeanAccumulator &moments() const { return moments_; }
+    const QuantileSketch &sketch() const { return sketch_; }
+
+    double percentile(double p) const { return sketch_.percentile(p); }
+
+  private:
+    MeanAccumulator moments_;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    QuantileSketch sketch_;
+};
+
+/**
+ * Read-only latency summary handed out by the queueing engine: either
+ * an exact, finalized SampleStats (single-stream runs, R = 1 — the
+ * bit-for-bit legacy representation) or a sketch-backed merge of
+ * replica shards (R > 1). Both variants answer the same queries;
+ * every query is a pure read, safe for concurrent readers.
+ */
+class TailSummary
+{
+  public:
+    /** Empty exact summary (matches a default SampleStats). */
+    TailSummary() = default;
+
+    /** Wrap an exact population; finalizes it for concurrent reads. */
+    static TailSummary fromExact(SampleStats stats);
+
+    /** Wrap a merged shard summary. */
+    static TailSummary fromSketch(SketchStats merged);
+
+    /** True when backed by the exact per-sample representation. */
+    bool exact() const { return exact_mode_; }
+
+    bool
+    empty() const
+    {
+        return exact_mode_ ? stats_.empty() : merged_.empty();
+    }
+
+    std::uint64_t
+    count() const
+    {
+        return exact_mode_ ? stats_.count() : merged_.count();
+    }
+
+    double
+    mean() const
+    {
+        return exact_mode_ ? stats_.mean() : merged_.mean();
+    }
+
+    double
+    stddev() const
+    {
+        return exact_mode_ ? stats_.stddev() : merged_.stddev();
+    }
+
+    double min() const
+    {
+        return exact_mode_ ? stats_.min() : merged_.min();
+    }
+
+    double max() const
+    {
+        return exact_mode_ ? stats_.max() : merged_.max();
+    }
+
+    double percentile(double p) const;
+
+    double p99() const { return percentile(0.99); }
+
+    /**
+     * Retained per-sample population. Only the exact representation
+     * has one; calling this on a sketch-backed summary is a usage
+     * error (panics) — check exact() first.
+     */
+    const std::vector<double> &samples() const;
+
+    /** Sketch behind a merged summary (nullptr when exact). */
+    const QuantileSketch *sketch() const
+    {
+        return exact_mode_ ? nullptr : &merged_.sketch();
+    }
+
+  private:
+    bool exact_mode_ = true;
+    SampleStats stats_{1}; // minimal footprint for sketch mode
+    SketchStats merged_{8};
 };
 
 /** Fixed-range histogram with logarithmically spaced bins. */

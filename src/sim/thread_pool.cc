@@ -7,6 +7,14 @@
 namespace duplexity
 {
 
+namespace
+{
+
+/** Pool owning the calling thread (set once per worker thread). */
+thread_local ThreadPool *tls_current_pool = nullptr;
+
+} // namespace
+
 ThreadPool::ThreadPool(unsigned threads)
 {
     if (threads == 0)
@@ -67,9 +75,16 @@ ThreadPool::takeTaskLocked(unsigned self, Task &task)
     return false;
 }
 
+ThreadPool *
+ThreadPool::current()
+{
+    return tls_current_pool;
+}
+
 void
 ThreadPool::workerLoop(unsigned self)
 {
+    tls_current_pool = this;
     std::unique_lock<std::mutex> lock(mutex_);
     for (;;) {
         Task task;
@@ -112,6 +127,70 @@ ThreadPool::hardwareThreads()
 {
     unsigned n = std::thread::hardware_concurrency();
     return n == 0 ? 1 : n;
+}
+
+namespace
+{
+
+/** Shared claim state of one runTaskBatch call. Tickets hold a
+ *  shared_ptr so a batch finishing early never dangles them. */
+struct BatchState
+{
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    std::vector<ThreadPool::Task> tasks;
+    std::size_t next = 0;
+    std::size_t done = 0;
+    std::exception_ptr first_error;
+};
+
+/** Claim tasks in index order and run them until none are left. */
+void
+claimAndRun(const std::shared_ptr<BatchState> &state)
+{
+    for (;;) {
+        std::size_t index;
+        {
+            std::lock_guard<std::mutex> lock(state->mutex);
+            if (state->next >= state->tasks.size())
+                return;
+            index = state->next++;
+        }
+        try {
+            state->tasks[index]();
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(state->mutex);
+            if (!state->first_error)
+                state->first_error = std::current_exception();
+        }
+        std::lock_guard<std::mutex> lock(state->mutex);
+        if (++state->done == state->tasks.size())
+            state->done_cv.notify_all();
+    }
+}
+
+} // namespace
+
+void
+runTaskBatch(ThreadPool *pool, std::vector<ThreadPool::Task> tasks)
+{
+    if (tasks.empty())
+        return;
+    auto state = std::make_shared<BatchState>();
+    state->tasks = std::move(tasks);
+    const std::size_t total = state->tasks.size();
+    if (pool != nullptr && total > 1) {
+        const std::size_t tickets =
+            std::min<std::size_t>(pool->size(), total - 1);
+        for (std::size_t i = 0; i < tickets; ++i)
+            pool->submit([state] { claimAndRun(state); });
+    }
+    claimAndRun(state);
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->done_cv.wait(lock,
+                        [&] { return state->done == total; });
+    if (state->first_error)
+        std::rethrow_exception(state->first_error);
 }
 
 unsigned

@@ -74,6 +74,15 @@ class ThreadPool
      */
     static unsigned threadsFromEnv(unsigned fallback = 0);
 
+    /**
+     * The pool whose worker is executing the calling thread, or
+     * nullptr when called from outside any pool. Lets nested
+     * parallel layers (queue-sim replicas inside a sweep cell)
+     * share the enclosing pool's concurrency budget instead of
+     * spawning a second, oversubscribing pool.
+     */
+    static ThreadPool *current();
+
   private:
     struct Queue
     {
@@ -102,6 +111,27 @@ class ThreadPool
     bool stopping_ = false;
     std::exception_ptr first_error_;
 };
+
+/**
+ * Run @p tasks to completion with the calling thread participating:
+ * tasks are claimed in index order by whichever thread is free — the
+ * caller plus, when @p pool is non-null, that pool's workers (the
+ * pool receives lightweight claim "tickets"; surplus tickets no-op).
+ *
+ * Unlike ThreadPool::wait() this is safe to call from INSIDE a pool
+ * worker: the caller never blocks while any task is unclaimed, so a
+ * saturated pool cannot deadlock nested fan-outs — at worst the
+ * caller runs every task itself. That property is what lets
+ * cells x replicas share one concurrency budget.
+ *
+ * @p pool may be nullptr (or the batch a single task): everything
+ * then runs serially on the caller, in index order. Rethrows the
+ * first exception any task raised, after all tasks have finished.
+ * Callers needing determinism must make each task self-contained and
+ * identity-seeded; claim order is NOT deterministic.
+ */
+void runTaskBatch(ThreadPool *pool,
+                  std::vector<ThreadPool::Task> tasks);
 
 } // namespace duplexity
 

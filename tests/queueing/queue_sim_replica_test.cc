@@ -1,0 +1,318 @@
+/**
+ * @file
+ * Replicated tail-engine tests: the R = 1 bit-identity contract
+ * against the legacy single-stream path, worker-count invariance of
+ * the merged result for fixed R, the pooled early-stopping rule, and
+ * the DPX_REPLICAS knob.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "queueing/analytic.hh"
+#include "queueing/queue_sim.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+#include "sim/thread_pool.hh"
+
+using namespace duplexity;
+
+namespace
+{
+
+QueueSimConfig
+smallMm1(double load, std::uint64_t seed)
+{
+    QueueSimConfig cfg = makeMg1(makeExponential(1e-6), load, seed);
+    cfg.warmup_requests = 500;
+    cfg.batch_size = 4000;
+    cfg.min_batches = 8;
+    cfg.max_batches = 32;
+    return cfg;
+}
+
+/** RAII save/set/restore of one environment variable. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name_(name)
+    {
+        const char *old = std::getenv(name);
+        had_old_ = old != nullptr;
+        if (had_old_)
+            old_ = old;
+        if (value != nullptr)
+            ::setenv(name, value, 1);
+        else
+            ::unsetenv(name);
+    }
+
+    ~ScopedEnv()
+    {
+        if (had_old_)
+            ::setenv(name_, old_.c_str(), 1);
+        else
+            ::unsetenv(name_);
+    }
+
+  private:
+    const char *name_;
+    bool had_old_ = false;
+    std::string old_;
+};
+
+struct ResultFingerprint
+{
+    double p99;
+    double mean;
+    double wait_mean;
+    double utilization;
+    std::uint64_t completed;
+    bool converged;
+    std::uint32_t replicas;
+};
+
+ResultFingerprint
+fingerprint(const QueueSimResult &res)
+{
+    return {res.p99Sojourn(),     res.meanSojourn(),
+            res.wait.mean(),      res.utilization,
+            res.completed,        res.converged,
+            res.replicas};
+}
+
+void
+expectBitIdentical(const ResultFingerprint &a,
+                   const ResultFingerprint &b)
+{
+    EXPECT_EQ(a.p99, b.p99);
+    EXPECT_EQ(a.mean, b.mean);
+    EXPECT_EQ(a.wait_mean, b.wait_mean);
+    EXPECT_EQ(a.utilization, b.utilization);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.converged, b.converged);
+    EXPECT_EQ(a.replicas, b.replicas);
+}
+
+} // namespace
+
+TEST(ReplicaEngine, R1BitIdenticalToLegacySingleStream)
+{
+    // Hand-rolled pre-replication engine: one virtual-sampled Lindley
+    // stream with reservoir-collected stats, the exact loop the
+    // single-stream path must keep reproducing bit-for-bit.
+    QueueSimConfig cfg = smallMm1(0.6, 91);
+    cfg.relative_error = 1e-9; // run every batch
+    cfg.max_batches = 12;
+    cfg.replicas = 1;
+    QueueSimResult fast = runQueueSim(cfg);
+    ASSERT_TRUE(fast.sojourn.exact());
+
+    SampleStats ref_sojourn, ref_wait, ref_idle;
+    std::uint64_t ref_completed = 0;
+    Rng root(cfg.seed);
+    Rng arrival_rng = root.fork(1);
+    Rng service_rng = root.fork(2);
+    Rng reservoir_rng = root.fork(3);
+    double now = 0.0, last_departure = 0.0, busy = 0.0;
+    auto step = [&](double &wait, double &service,
+                    double &idle_before) {
+        now += cfg.interarrival->sample(arrival_rng);
+        service = cfg.service->sample(service_rng);
+        idle_before =
+            now > last_departure ? now - last_departure : -1.0;
+        double start = std::max(now, last_departure);
+        wait = start - now;
+        last_departure = start + service;
+        busy += service;
+    };
+
+    double wait, service, idle_before;
+    for (std::uint64_t i = 0; i < cfg.warmup_requests; ++i)
+        step(wait, service, idle_before);
+    SampleStats batch(cfg.batch_size);
+    BatchMeans convergence(cfg.relative_error, cfg.z_score,
+                           cfg.min_batches);
+    for (std::uint64_t b = 0; b < cfg.max_batches; ++b) {
+        batch.reset();
+        for (std::uint64_t i = 0; i < cfg.batch_size; ++i) {
+            step(wait, service, idle_before);
+            double sojourn = wait + service;
+            batch.add(sojourn);
+            ref_sojourn.add(sojourn, reservoir_rng.next());
+            ref_wait.add(wait, reservoir_rng.next());
+            if (idle_before >= 0.0)
+                ref_idle.add(idle_before, reservoir_rng.next());
+            ++ref_completed;
+        }
+        convergence.addBatch(batch.percentile(0.99));
+        if (convergence.converged())
+            break;
+    }
+
+    EXPECT_EQ(fast.completed, ref_completed);
+    EXPECT_EQ(fast.sojourn.mean(), ref_sojourn.mean());
+    EXPECT_EQ(fast.p99Sojourn(), ref_sojourn.percentile(0.99));
+    EXPECT_EQ(fast.wait.mean(), ref_wait.mean());
+    EXPECT_EQ(fast.idle_periods.mean(), ref_idle.mean());
+    double horizon = std::max(now, last_departure);
+    EXPECT_EQ(fast.utilization, busy / horizon);
+}
+
+TEST(ReplicaEngine, ExplicitR1MatchesDefault)
+{
+    QueueSimConfig a = smallMm1(0.5, 7);
+    QueueSimConfig b = a;
+    a.replicas = 0; // resolve from env (unset -> 1)
+    b.replicas = 1;
+    ScopedEnv env("DPX_REPLICAS", nullptr);
+    expectBitIdentical(fingerprint(runQueueSim(a)),
+                       fingerprint(runQueueSim(b)));
+}
+
+TEST(ReplicaDeterminism, MergedResultInvariantAcrossWorkerCounts)
+{
+    // The semantics contract: for fixed R the merged result is a
+    // pure function of the replica streams — bit-identical whether
+    // the replicas run serially (DPX_THREADS=1), on a small pool, or
+    // on every hardware thread.
+    QueueSimConfig cfg = smallMm1(0.7, 123);
+    cfg.replicas = 4;
+    cfg.relative_error = 1e-9;
+
+    ResultFingerprint serial, four, hw;
+    {
+        ScopedEnv env("DPX_THREADS", "1");
+        serial = fingerprint(runQueueSim(cfg));
+    }
+    {
+        ScopedEnv env("DPX_THREADS", "4");
+        four = fingerprint(runQueueSim(cfg));
+    }
+    {
+        ScopedEnv env("DPX_THREADS", nullptr); // hardware threads
+        hw = fingerprint(runQueueSim(cfg));
+    }
+    expectBitIdentical(serial, four);
+    expectBitIdentical(serial, hw);
+    EXPECT_EQ(serial.replicas, 4u);
+}
+
+TEST(ReplicaDeterminism, InsideSweepPoolMatchesTopLevel)
+{
+    // Replicated runs inside a pool worker share the enclosing
+    // pool's budget (nested runTaskBatch) — and still produce the
+    // exact top-level result.
+    QueueSimConfig cfg = smallMm1(0.6, 55);
+    cfg.replicas = 3;
+    cfg.relative_error = 1e-9;
+    cfg.max_batches = 9;
+
+    ResultFingerprint top = fingerprint(runQueueSim(cfg));
+
+    ResultFingerprint nested{};
+    ThreadPool pool(2);
+    pool.submit([&] { nested = fingerprint(runQueueSim(cfg)); });
+    pool.wait();
+    expectBitIdentical(top, nested);
+}
+
+TEST(ReplicaDeterminism, RepeatedRunsBitIdentical)
+{
+    QueueSimConfig cfg = smallMm1(0.8, 321);
+    cfg.replicas = 8;
+    expectBitIdentical(fingerprint(runQueueSim(cfg)),
+                       fingerprint(runQueueSim(cfg)));
+}
+
+TEST(ReplicaEngine, MergedStatsTrackSingleStreamAndTheory)
+{
+    const double load = 0.7;
+    QueueSimConfig cfg = smallMm1(load, 11);
+    cfg.relative_error = 1e-9;
+    cfg.max_batches = 32;
+
+    QueueSimConfig rep = cfg;
+    rep.replicas = 8;
+    QueueSimResult merged = runQueueSim(rep);
+    QueueSimResult single = runQueueSim(cfg);
+
+    ASSERT_FALSE(merged.sojourn.exact());
+    ASSERT_NE(merged.sojourn.sketch(), nullptr);
+    EXPECT_EQ(merged.completed, single.completed);
+    EXPECT_NEAR(merged.meanSojourn(), single.meanSojourn(),
+                0.05 * single.meanSojourn());
+    EXPECT_NEAR(merged.p99Sojourn(), single.p99Sojourn(),
+                0.15 * single.p99Sojourn());
+    double expected = mm1SojournQuantile(load * 1e6, 1e6, 0.99);
+    EXPECT_NEAR(merged.p99Sojourn(), expected, 0.15 * expected);
+    EXPECT_NEAR(merged.utilization, load, 0.04);
+}
+
+TEST(ReplicaEngine, PooledStoppingRuleStopsEarly)
+{
+    // A low-load M/M/1 converges almost immediately: the pooled
+    // stopping rule should cut the run to a small number of rounds
+    // instead of draining the full batch budget in every replica.
+    QueueSimConfig cfg = smallMm1(0.3, 19);
+    cfg.replicas = 4;
+    cfg.max_batches = 200;
+    QueueSimResult res = runQueueSim(cfg);
+    EXPECT_TRUE(res.converged);
+    // Each round costs replicas * batch_size requests; converging in
+    // <= 4 rounds leaves completed far below the serial budget.
+    EXPECT_LE(res.completed, 4u * 4u * cfg.batch_size);
+    EXPECT_EQ(res.completed % (4u * cfg.batch_size), 0u);
+}
+
+TEST(ReplicaEngine, BatchBudgetSplitsAcrossReplicas)
+{
+    // Unattainable target: R replicas drain ceil(max/R) rounds, so
+    // total completed work stays at the serial budget, not R times.
+    QueueSimConfig cfg = smallMm1(0.5, 29);
+    cfg.replicas = 4;
+    cfg.relative_error = 1e-12;
+    cfg.max_batches = 12;
+    QueueSimResult res = runQueueSim(cfg);
+    EXPECT_FALSE(res.converged);
+    EXPECT_EQ(res.completed, 12u * cfg.batch_size);
+}
+
+TEST(ReplicaEngine, EnvKnobResolvesReplicas)
+{
+    QueueSimConfig cfg = smallMm1(0.5, 3);
+    cfg.max_batches = 8;
+    cfg.relative_error = 1e-9;
+    {
+        ScopedEnv env("DPX_REPLICAS", "4");
+        EXPECT_EQ(resolveReplicas(cfg), 4u);
+        EXPECT_EQ(runQueueSim(cfg).replicas, 4u);
+    }
+    {
+        ScopedEnv env("DPX_REPLICAS", "garbage");
+        EXPECT_EQ(resolveReplicas(cfg), 1u);
+    }
+    {
+        // The explicit field wins over the environment.
+        ScopedEnv env("DPX_REPLICAS", "8");
+        cfg.replicas = 2;
+        EXPECT_EQ(resolveReplicas(cfg), 2u);
+        EXPECT_EQ(runQueueSim(cfg).replicas, 2u);
+    }
+}
+
+TEST(ReplicaEngine, SketchSummaryRejectsSampleAccess)
+{
+    // Fork-after-exec style: earlier tests spawn pool threads, and
+    // the sanitizer jobs run this suite.
+    testing::FLAGS_gtest_death_test_style = "threadsafe";
+    QueueSimConfig cfg = smallMm1(0.5, 41);
+    cfg.replicas = 2;
+    cfg.max_batches = 8;
+    cfg.relative_error = 1e-9;
+    QueueSimResult res = runQueueSim(cfg);
+    ASSERT_FALSE(res.sojourn.exact());
+    EXPECT_DEATH(res.sojourn.samples(), "sketch-backed");
+}

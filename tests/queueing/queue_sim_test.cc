@@ -202,22 +202,55 @@ struct ScanSchedule
 
 TEST(ServerScheduleDifferential, MatchesLinearScanAcrossServerCounts)
 {
-    for (std::uint32_t k = 1; k <= 16; ++k) {
-        ServerSchedule heap(k);
+    // k = 1..24 with the default threshold 16 exercises both hybrid
+    // modes: the internal linear scan below the cutoff and the
+    // packed heap above it, against the same reference policy.
+    for (std::uint32_t k = 1; k <= 24; ++k) {
+        ServerSchedule hybrid(k);
         ScanSchedule scan(k);
+        ASSERT_EQ(hybrid.usesScan(),
+                  k <= ServerSchedule::kDefaultScanThreshold);
         Rng rng(1000 + k);
         double now = 0.0;
         for (int i = 0; i < 5000; ++i) {
             now += rng.exponential(1.0);
             double service = rng.exponential(0.9 * k);
-            ServerSchedule::Assignment a = heap.assign(now, service);
+            ServerSchedule::Assignment a = hybrid.assign(now, service);
             ServerSchedule::Assignment b = scan.assign(now, service);
             ASSERT_EQ(a.start, b.start) << "k=" << k << " i=" << i;
             ASSERT_EQ(a.idle_before, b.idle_before)
                 << "k=" << k << " i=" << i;
         }
-        EXPECT_EQ(heap.lastDeparture(), scan.last_departure)
+        EXPECT_EQ(hybrid.lastDeparture(), scan.last_departure)
             << "k=" << k;
+    }
+}
+
+TEST(ServerScheduleDifferential, ForcedModesAgreeAcrossTheCutoff)
+{
+    // Pin the cutoff itself: force the heap at small k and the scan
+    // at large k via an explicit threshold, and demand bit-identical
+    // streams from both modes on the same variates.
+    for (std::uint32_t k : {4u, 8u, 32u, 64u}) {
+        ServerSchedule forced_heap(k, /*scan_threshold=*/0);
+        ServerSchedule forced_scan(k, /*scan_threshold=*/1024);
+        ASSERT_FALSE(forced_heap.usesScan());
+        ASSERT_TRUE(forced_scan.usesScan());
+        Rng rng(7000 + k);
+        double now = 0.0;
+        for (int i = 0; i < 5000; ++i) {
+            now += rng.exponential(1.0);
+            double service = rng.exponential(0.9 * k);
+            ServerSchedule::Assignment a =
+                forced_heap.assign(now, service);
+            ServerSchedule::Assignment b =
+                forced_scan.assign(now, service);
+            ASSERT_EQ(a.start, b.start) << "k=" << k << " i=" << i;
+            ASSERT_EQ(a.idle_before, b.idle_before)
+                << "k=" << k << " i=" << i;
+        }
+        EXPECT_EQ(forced_heap.lastDeparture(),
+                  forced_scan.lastDeparture());
     }
 }
 
@@ -256,7 +289,8 @@ TEST(ServerScheduleDifferential, FullSimMatchesVirtualScanReference)
     cfg.seed = 77;
     QueueSimResult fast = runQueueSim(cfg);
 
-    QueueSimResult ref;
+    SampleStats ref_sojourn, ref_wait, ref_idle;
+    std::uint64_t ref_completed = 0;
     Rng root(cfg.seed);
     Rng arrival_rng = root.fork(1);
     Rng service_rng = root.fork(2);
@@ -287,25 +321,26 @@ TEST(ServerScheduleDifferential, FullSimMatchesVirtualScanReference)
             step(wait, service, idle_before);
             double sojourn = wait + service;
             batch.add(sojourn);
-            ref.sojourn.add(sojourn, reservoir_rng.next());
-            ref.wait.add(wait, reservoir_rng.next());
+            ref_sojourn.add(sojourn, reservoir_rng.next());
+            ref_wait.add(wait, reservoir_rng.next());
             if (idle_before >= 0.0)
-                ref.idle_periods.add(idle_before,
-                                     reservoir_rng.next());
-            ++ref.completed;
+                ref_idle.add(idle_before, reservoir_rng.next());
+            ++ref_completed;
         }
         convergence.addBatch(batch.percentile(0.99));
         if (convergence.converged())
             break;
     }
 
-    EXPECT_EQ(fast.completed, ref.completed);
-    EXPECT_EQ(fast.sojourn.mean(), ref.sojourn.mean());
-    EXPECT_EQ(fast.wait.mean(), ref.wait.mean());
+    ASSERT_TRUE(fast.sojourn.exact());
+    EXPECT_EQ(fast.completed, ref_completed);
+    EXPECT_EQ(fast.sojourn.mean(), ref_sojourn.mean());
+    EXPECT_EQ(fast.wait.mean(), ref_wait.mean());
     EXPECT_EQ(fast.sojourn.percentile(0.99),
-              ref.sojourn.percentile(0.99));
-    EXPECT_EQ(fast.wait.percentile(0.99), ref.wait.percentile(0.99));
-    EXPECT_EQ(fast.idle_periods.mean(), ref.idle_periods.mean());
+              ref_sojourn.percentile(0.99));
+    EXPECT_EQ(fast.wait.percentile(0.99),
+              ref_wait.percentile(0.99));
+    EXPECT_EQ(fast.idle_periods.mean(), ref_idle.mean());
     double horizon = std::max(now, scan.last_departure);
     EXPECT_EQ(fast.utilization,
               busy / (horizon * static_cast<double>(cfg.servers)));

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * TSan regression coverage for concurrent statistics reads.
+ *
+ * SampleStats::percentile historically sorted its reservoir lazily
+ * under a mutable flag, so two "const" readers raced on the sort.
+ * The contract is now: call finalize() once at end of collection,
+ * after which every accessor is a pure read, safe from any number of
+ * threads. These tests hammer that contract and fail under
+ * ThreadSanitizer (the CI sanitizer job selects this suite by name)
+ * if the lazy mutation ever comes back.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+
+using namespace duplexity;
+
+namespace
+{
+
+constexpr int kThreads = 8;
+constexpr int kQueriesPerThread = 64;
+
+} // namespace
+
+TEST(SampleStatsConcurrency, FinalizedPercentileReadsAreRaceFree)
+{
+    SampleStats stats(1u << 16);
+    Rng rng(2024);
+    for (int i = 0; i < 200000; ++i)
+        stats.add(rng.uniform(), rng.next());
+    stats.finalize();
+    ASSERT_TRUE(stats.finalized());
+
+    const double want_p50 = stats.percentile(0.50);
+    const double want_p99 = stats.percentile(0.99);
+    const double want_mean = stats.mean();
+
+    std::vector<std::thread> threads;
+    std::vector<int> mismatches(kThreads, 0);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (int q = 0; q < kQueriesPerThread; ++q) {
+                if (stats.percentile(0.50) != want_p50 ||
+                    stats.percentile(0.99) != want_p99 ||
+                    stats.mean() != want_mean)
+                    ++mismatches[t];
+            }
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+    for (int t = 0; t < kThreads; ++t)
+        EXPECT_EQ(mismatches[t], 0) << "thread " << t;
+}
+
+TEST(SampleStatsConcurrency, TailSummaryExactModeConcurrentReads)
+{
+    SampleStats stats(1u << 14);
+    Rng rng(7);
+    for (int i = 0; i < 50000; ++i)
+        stats.add(rng.uniform(), rng.next());
+    TailSummary summary = TailSummary::fromExact(std::move(stats));
+    ASSERT_TRUE(summary.exact());
+
+    const double want_p99 = summary.p99();
+    std::vector<std::thread> threads;
+    std::vector<int> mismatches(kThreads, 0);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (int q = 0; q < kQueriesPerThread; ++q)
+                if (summary.p99() != want_p99)
+                    ++mismatches[t];
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+    for (int t = 0; t < kThreads; ++t)
+        EXPECT_EQ(mismatches[t], 0) << "thread " << t;
+}
+
+TEST(SampleStatsConcurrency, SketchSummaryConcurrentReads)
+{
+    SketchStats shard(512);
+    Rng rng(99);
+    for (int i = 0; i < 100000; ++i)
+        shard.add(rng.uniform());
+    TailSummary summary = TailSummary::fromSketch(std::move(shard));
+    ASSERT_FALSE(summary.exact());
+
+    const double want_p50 = summary.percentile(0.50);
+    const double want_p99 = summary.p99();
+    std::vector<std::thread> threads;
+    std::vector<int> mismatches(kThreads, 0);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (int q = 0; q < kQueriesPerThread; ++q)
+                if (summary.percentile(0.50) != want_p50 ||
+                    summary.p99() != want_p99)
+                    ++mismatches[t];
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+    for (int t = 0; t < kThreads; ++t)
+        EXPECT_EQ(mismatches[t], 0) << "thread " << t;
+}

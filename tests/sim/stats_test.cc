@@ -6,7 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <vector>
 
 #include "sim/rng.hh"
 #include "sim/stats.hh"
@@ -153,4 +156,188 @@ TEST(BatchMeans, HighVarianceDelaysConvergence)
         ++tight_batches;
     }
     EXPECT_LT(loose_batches, tight_batches);
+}
+
+TEST(MeanAccumulator, MergeMatchesSequentialAccumulation)
+{
+    Rng rng(21);
+    MeanAccumulator whole;
+    std::vector<MeanAccumulator> shards(4);
+    for (int i = 0; i < 40000; ++i) {
+        double x = rng.exponential(3.0);
+        whole.add(x);
+        shards[i % 4].add(x);
+    }
+    MeanAccumulator merged;
+    for (const MeanAccumulator &shard : shards)
+        merged.merge(shard);
+    EXPECT_EQ(merged.count(), whole.count());
+    EXPECT_NEAR(merged.mean(), whole.mean(), 1e-12 * whole.mean());
+    EXPECT_NEAR(merged.stddev(), whole.stddev(),
+                1e-9 * whole.stddev());
+}
+
+TEST(MeanAccumulator, MergeIsDeterministic)
+{
+    Rng rng(22);
+    std::vector<MeanAccumulator> shards(8);
+    for (int i = 0; i < 8000; ++i)
+        shards[i % 8].add(rng.uniform());
+    MeanAccumulator a, b;
+    for (const MeanAccumulator &shard : shards)
+        a.merge(shard);
+    for (const MeanAccumulator &shard : shards)
+        b.merge(shard);
+    EXPECT_EQ(a.mean(), b.mean());
+    EXPECT_EQ(a.stddev(), b.stddev());
+    EXPECT_EQ(a.count(), b.count());
+}
+
+TEST(SampleStats, FinalizeFreezesAndMarksSorted)
+{
+    SampleStats stats;
+    Rng rng(31);
+    for (int i = 0; i < 1000; ++i)
+        stats.add(rng.uniform(), rng.next());
+    EXPECT_FALSE(stats.finalized());
+    stats.finalize();
+    EXPECT_TRUE(stats.finalized());
+    double p99 = stats.percentile(0.99);
+    stats.finalize(); // idempotent
+    EXPECT_EQ(stats.percentile(0.99), p99);
+}
+
+namespace
+{
+
+/** Exact rank of @p value (count of samples <= value). */
+std::uint64_t
+exactRank(std::vector<double> sorted_population, double value)
+{
+    auto it = std::upper_bound(sorted_population.begin(),
+                               sorted_population.end(), value);
+    return static_cast<std::uint64_t>(it -
+                                      sorted_population.begin());
+}
+
+} // namespace
+
+TEST(QuantileSketch, ExactBelowCapacity)
+{
+    QuantileSketch sketch(256);
+    for (int i = 100; i >= 1; --i)
+        sketch.add(i);
+    EXPECT_EQ(sketch.errorBound(), 0u);
+    EXPECT_EQ(sketch.percentile(0.50), 50.0);
+    EXPECT_EQ(sketch.percentile(0.99), 99.0);
+    EXPECT_EQ(sketch.percentile(1.0), 100.0);
+}
+
+TEST(QuantileSketch, RankErrorWithinCertificate)
+{
+    const std::size_t capacity = 512;
+    QuantileSketch sketch(capacity);
+    Rng rng(41);
+    std::vector<double> population;
+    const int n = 100000;
+    population.reserve(n);
+    for (int i = 0; i < n; ++i) {
+        double x = rng.exponential(1.0);
+        sketch.add(x);
+        population.push_back(x);
+    }
+    std::sort(population.begin(), population.end());
+    // Memory stays fixed regardless of n.
+    EXPECT_LE(sketch.retained(), capacity * 20);
+    ASSERT_GT(sketch.errorBound(), 0u);
+    for (double p : {0.5, 0.9, 0.99, 0.999}) {
+        double est = sketch.percentile(p);
+        auto target = static_cast<std::uint64_t>(
+            std::ceil(p * static_cast<double>(n)));
+        std::uint64_t got_rank = exactRank(population, est);
+        // The certificate: |rank(est) - target| <= errorBound().
+        std::uint64_t diff = got_rank > target ? got_rank - target
+                                               : target - got_rank;
+        EXPECT_LE(diff, sketch.errorBound()) << "p = " << p;
+    }
+}
+
+TEST(QuantileSketch, MergeOfShardsMatchesWholePopulation)
+{
+    const std::size_t capacity = 512;
+    const int shards_n = 8;
+    const int per_shard = 20000;
+    Rng rng(43);
+    std::vector<QuantileSketch> shards(shards_n,
+                                       QuantileSketch(capacity));
+    std::vector<double> population;
+    population.reserve(shards_n * per_shard);
+    for (int s = 0; s < shards_n; ++s) {
+        for (int i = 0; i < per_shard; ++i) {
+            double x = rng.exponential(1.0);
+            shards[s].add(x);
+            population.push_back(x);
+        }
+    }
+    std::sort(population.begin(), population.end());
+
+    QuantileSketch merged(capacity);
+    for (const QuantileSketch &shard : shards)
+        merged.merge(shard);
+    EXPECT_EQ(merged.count(),
+              static_cast<std::uint64_t>(population.size()));
+
+    const auto n = static_cast<double>(population.size());
+    for (double p : {0.5, 0.9, 0.99}) {
+        double est = merged.percentile(p);
+        auto target =
+            static_cast<std::uint64_t>(std::ceil(p * n));
+        std::uint64_t got_rank = exactRank(population, est);
+        std::uint64_t diff = got_rank > target ? got_rank - target
+                                               : target - got_rank;
+        EXPECT_LE(diff, merged.errorBound()) << "p = " << p;
+        // And the bound itself is small relative to n.
+        EXPECT_LE(merged.errorBound(), population.size() / 25);
+    }
+}
+
+TEST(QuantileSketch, MergeIsDeterministic)
+{
+    Rng rng(47);
+    std::vector<QuantileSketch> shards(4, QuantileSketch(128));
+    for (int i = 0; i < 40000; ++i)
+        shards[i % 4].add(rng.uniform());
+    QuantileSketch a(128), b(128);
+    for (const QuantileSketch &shard : shards)
+        a.merge(shard);
+    for (const QuantileSketch &shard : shards)
+        b.merge(shard);
+    for (double p : {0.01, 0.5, 0.99, 0.999})
+        EXPECT_EQ(a.percentile(p), b.percentile(p));
+    EXPECT_EQ(a.errorBound(), b.errorBound());
+    EXPECT_EQ(a.retained(), b.retained());
+}
+
+TEST(SketchStats, TracksMomentsAndExtremesExactly)
+{
+    SketchStats stats(256);
+    MeanAccumulator ref;
+    Rng rng(53);
+    double lo = 1e300, hi = -1e300;
+    for (int i = 0; i < 50000; ++i) {
+        double x = rng.exponential(2.0);
+        stats.add(x);
+        ref.add(x);
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+    }
+    // Moments and extremes are exact even though quantiles come from
+    // the sketch.
+    EXPECT_EQ(stats.count(), ref.count());
+    EXPECT_EQ(stats.mean(), ref.mean());
+    EXPECT_EQ(stats.min(), lo);
+    EXPECT_EQ(stats.max(), hi);
+    // p99 of Exp(mean 2) = 2 ln 100 = 9.21; sketch-approximate.
+    EXPECT_NEAR(stats.percentile(0.99), 2.0 * std::log(100.0),
+                2.5);
 }

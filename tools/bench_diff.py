@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Diff a fresh BENCH_hotpath.json against the committed baseline.
+
+Usage: bench_diff.py <committed.json> <fresh.json> [--threshold PCT]
+
+Flattens both files to dotted numeric leaves, infers a direction for
+each key from its name (speedup-like: higher is better; ns/seconds:
+lower is better; counts/threads/flags: informational only), and
+prints a GitHub Actions ::warning:: line for every metric that
+regressed by more than the threshold (default 15 %).
+
+Always exits 0: perf-smoke is advisory, not gating. Benchmarks run on
+shared CI runners whose noise floor would make a hard gate flaky; the
+warning surfaces regressions for a human to judge.
+"""
+
+import argparse
+import json
+import sys
+
+# Key substrings that mark a leaf as informational (no direction).
+# p99/quantile values are simulation statistics, not perf numbers.
+SKIP_MARKERS = (
+    "count",
+    "completed",
+    "cells",
+    "threads",
+    "identical",
+    "baseline",
+    "p99",
+    "quantile",
+)
+
+# Higher is better.
+HIGHER_MARKERS = ("speedup",)
+
+# Lower is better.
+LOWER_MARKERS = ("ns", "_s", "seconds", "_us")
+
+
+def flatten(node, prefix=""):
+    out = {}
+    if isinstance(node, dict):
+        for key, value in node.items():
+            path = f"{prefix}.{key}" if prefix else key
+            out.update(flatten(value, path))
+    elif isinstance(node, bool):
+        pass  # bit_identical etc.: not a perf number
+    elif isinstance(node, (int, float)):
+        out[prefix] = float(node)
+    return out
+
+
+def direction(key):
+    """+1 higher-better, -1 lower-better, 0 skip."""
+    lowered = key.lower()
+    if any(m in lowered for m in SKIP_MARKERS):
+        return 0
+    if any(m in lowered for m in HIGHER_MARKERS):
+        return 1
+    leaf = lowered.rsplit(".", 1)[-1]
+    if any(m in leaf for m in LOWER_MARKERS):
+        return -1
+    # Leaves under an *_ns group (e.g. sampling_ns.exponential.fast)
+    # are nanosecond timings even when the leaf name doesn't say so.
+    if "_ns." in lowered or "ns_per" in lowered:
+        return -1
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("committed")
+    parser.add_argument("fresh")
+    parser.add_argument("--threshold", type=float, default=15.0,
+                        help="regression warning threshold, percent")
+    args = parser.parse_args()
+
+    try:
+        with open(args.committed) as f:
+            committed = flatten(json.load(f))
+        with open(args.fresh) as f:
+            fresh = flatten(json.load(f))
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"::warning::bench_diff could not read inputs: {exc}")
+        return 0
+
+    regressions = []
+    for key, old in sorted(committed.items()):
+        sign = direction(key)
+        if sign == 0 or key not in fresh or old == 0:
+            continue
+        new = fresh[key]
+        # Positive delta = worse, in either direction convention.
+        delta_pct = (old - new) / abs(old) * 100.0 * sign
+        status = "ok"
+        if delta_pct > args.threshold:
+            status = "REGRESSED"
+            regressions.append((key, old, new, delta_pct))
+        print(f"{key:55s} {old:12.4f} -> {new:12.4f}  {status}")
+
+    for key, old, new, delta_pct in regressions:
+        print(f"::warning::perf-smoke: {key} regressed "
+              f"{delta_pct:.1f}% ({old:.4g} -> {new:.4g}); "
+              f"non-gating, verify on a quiet host")
+    if not regressions:
+        print(f"no regressions beyond {args.threshold:.0f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
