@@ -24,6 +24,7 @@
 #include "cpu/core_engine.hh"
 #include "mem/memory_system.hh"
 #include "queueing/queue_sim.hh"
+#include "sim/check.hh"
 #include "sim/rng.hh"
 #include "sim/thread_pool.hh"
 #include "workload/catalog.hh"
@@ -276,12 +277,8 @@ benchScheduling(const QueueWorkload &w, std::uint32_t servers,
         }
         out.heap = 1e9 * secondsSince(t0) / static_cast<double>(n);
     }
-    if (scan_wait != heap_wait) {
-        std::fprintf(stderr,
-                     "FATAL: scheduling outcomes diverged at k=%u\n",
-                     servers);
-        std::exit(1);
-    }
+    DPX_CHECK_EQ(scan_wait, heap_wait)
+        << " — scheduling outcomes diverged at k=" << servers;
     return out;
 }
 

@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "sim/check.hh"
 #include "sim/logging.hh"
 
 namespace duplexity
@@ -59,8 +60,7 @@ BranchPredictor::predictUpdate(Addr pc, bool taken)
 BimodalPredictor::BimodalPredictor(std::size_t entries)
     : table_(entries, weakly_taken), mask_(entries - 1)
 {
-    panicIfNot(std::has_single_bit(entries),
-               "bimodal entries must be a power of two");
+    DPX_CHECK(std::has_single_bit(entries)) << " — bimodal entries must be a power of two";
 }
 
 std::size_t
@@ -102,10 +102,8 @@ GsharePredictor::GsharePredictor(std::size_t entries,
     : table_(entries, weakly_taken), mask_(entries - 1),
       history_mask_((1ull << history_bits) - 1)
 {
-    panicIfNot(std::has_single_bit(entries),
-               "gshare entries must be a power of two");
-    panicIfNot(history_bits > 0 && history_bits < 64,
-               "bad gshare history length");
+    DPX_CHECK(std::has_single_bit(entries)) << " — gshare entries must be a power of two";
+    DPX_CHECK(history_bits > 0 && history_bits < 64) << " — bad gshare history length";
 }
 
 std::size_t
@@ -155,8 +153,7 @@ TournamentPredictor::TournamentPredictor(std::size_t bimodal_entries,
       selector_(selector_entries, weakly_taken),
       selector_mask_(selector_entries - 1)
 {
-    panicIfNot(std::has_single_bit(selector_entries),
-               "selector entries must be a power of two");
+    DPX_CHECK(std::has_single_bit(selector_entries)) << " — selector entries must be a power of two";
 }
 
 std::size_t
@@ -205,10 +202,9 @@ TournamentPredictor::predictUpdate(Addr pc, bool taken)
 
 Btb::Btb(std::size_t entries, std::uint32_t assoc) : assoc_(assoc)
 {
-    panicIfNot(entries % assoc == 0, "BTB entries % assoc != 0");
+    DPX_CHECK(entries % assoc == 0) << " — BTB entries % assoc != 0";
     num_sets_ = entries / assoc;
-    panicIfNot(std::has_single_bit(num_sets_),
-               "BTB set count must be a power of two");
+    DPX_CHECK(std::has_single_bit(num_sets_)) << " — BTB set count must be a power of two";
     entries_.assign(entries, Entry{});
 }
 
@@ -288,7 +284,7 @@ Btb::lookupUpdate(Addr pc, Addr target)
 ReturnAddressStack::ReturnAddressStack(std::size_t depth)
     : stack_(depth, 0)
 {
-    panicIfNot(depth > 0, "RAS depth must be > 0");
+    DPX_CHECK(depth > 0) << " — RAS depth must be > 0";
 }
 
 void

@@ -56,8 +56,12 @@ runGrid(const GridSpec &spec)
                        designs.size());
     for (MicroserviceKind service : services)
         for (double load : loads)
-            for (DesignKind design : designs)
-                grid.cells.push_back({service, load, design, {}});
+            for (DesignKind design : designs) {
+                GridCell &cell = grid.cells.emplace_back();
+                cell.service = service;
+                cell.load = load;
+                cell.design = design;
+            }
 
     SweepOptions options;
     options.threads = spec.threads;

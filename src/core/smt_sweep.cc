@@ -7,6 +7,7 @@
 
 #include "branch/predictor.hh"
 #include "mem/memory_system.hh"
+#include "sim/check.hh"
 #include "sim/logging.hh"
 #include "sim/parallel_sweep.hh"
 #include "sim/rng.hh"
@@ -17,9 +18,8 @@ namespace duplexity
 SmtSweepResult
 runSmtSweep(const SmtSweepConfig &config)
 {
-    panicIfNot(config.threads >= 1, "need at least one thread");
-    panicIfNot(static_cast<bool>(config.workload),
-               "sweep needs a workload factory");
+    DPX_CHECK(config.threads >= 1) << " — need at least one thread";
+    DPX_CHECK(static_cast<bool>(config.workload)) << " — sweep needs a workload factory";
 
     MemSystemConfig mem_cfg = MemSystemConfig::makeDefault();
     DyadMemorySystem mem(mem_cfg);

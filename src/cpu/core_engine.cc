@@ -1,8 +1,9 @@
 #include "cpu/core_engine.hh"
 
 #include <algorithm>
+#include <bit>
 
-#include "sim/logging.hh"
+#include "sim/check.hh"
 
 namespace duplexity
 {
@@ -10,12 +11,15 @@ namespace duplexity
 void
 Lane::configure(const LaneConfig &config)
 {
-    panicIfNot(config.fetch_cal && config.issue_cal && config.commit_cal,
-               "lane needs fetch/issue/commit calendars");
-    panicIfNot(config.path.instr && config.path.data,
-               "lane needs a memory path");
-    panicIfNot(config.inflight_cap > 0 && config.fetch_queue > 0,
-               "lane needs positive occupancy caps");
+    static_assert(std::has_single_bit(Lane::dep_ring_size),
+                  "dependency ring must stay a power of two: the "
+                  "issue stage masks with (dep_ring_size - 1)");
+    DPX_CHECK(config.fetch_cal && config.issue_cal && config.commit_cal)
+        << " — lane needs fetch/issue/commit calendars";
+    DPX_CHECK(config.path.instr && config.path.data)
+        << " — lane needs a memory path";
+    DPX_CHECK(config.inflight_cap > 0 && config.fetch_queue > 0)
+        << " — lane needs positive occupancy caps";
     config_ = config;
     done_ring_.fill(0);
     inflight_ring_.assign(config.inflight_cap, 0);
@@ -51,6 +55,9 @@ CoreEngine::CoreEngine(const CoreEngineConfig &config)
       issue_cal_(config.issue_width),
       commit_cal_(config.commit_width)
 {
+    DPX_CHECK(config.rob_entries > 0 && config.lq_entries > 0 &&
+              config.sq_entries > 0)
+        << " — ROB/LQ/SQ rings need at least one entry each";
     rob_ring_.assign(config.rob_entries, 0);
     lq_ring_.assign(config.lq_entries, 0);
     sq_ring_.assign(config.sq_entries, 0);
@@ -79,6 +86,14 @@ CoreEngine::processOp(Lane &lane, const MicroOp &op)
     const LaneConfig &cfg = lane.config_;
     const bool in_order = cfg.mode == IssueMode::InOrder;
     OpOutcome out;
+
+    // An unconfigured lane has empty rings; the cursor reads below
+    // would index out of bounds.
+    DPX_DCHECK(!lane.inflight_ring_.empty() &&
+               !lane.dispatch_ring_.empty())
+        << " — processOp on an unconfigured lane";
+    DPX_DCHECK_LT(lane.fq_pos_, lane.dispatch_ring_.size());
+    DPX_DCHECK_LT(lane.inflight_pos_, lane.inflight_ring_.size());
 
     // ------------------------------------------------------------------
     // Fetch: bandwidth slot, fetch-queue back-pressure, I-cache.
@@ -111,6 +126,7 @@ CoreEngine::processOp(Lane &lane, const MicroOp &op)
 
     Cycle *rob_slot = nullptr;
     if (cfg.use_shared_rob) {
+        DPX_DCHECK_LT(rob_pos_, rob_ring_.size());
         rob_slot = &rob_ring_[rob_pos_];
         if (++rob_pos_ == rob_ring_.size())
             rob_pos_ = 0;
@@ -223,6 +239,10 @@ CoreEngine::processOp(Lane &lane, const MicroOp &op)
     // ------------------------------------------------------------------
     Cycle commit_time = cfg.commit_cal->reserve(
         std::max(done_time + 1, lane.last_commit_));
+    // Pipeline-order invariant: an op can only retire after it
+    // finished executing, and commits stay in lane order.
+    DPX_DCHECK_GT(commit_time, done_time);
+    DPX_DCHECK_GE(commit_time, lane.last_commit_);
     lane.last_commit_ = commit_time;
     out.commit_time = commit_time;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/check.hh"
 #include "sim/logging.hh"
 
 namespace duplexity
@@ -12,7 +13,8 @@ HsmtUnit::HsmtUnit(CoreEngine &engine, VirtualContextPool &pool,
     : engine_(engine), pool_(pool), config_(config),
       frequency_(frequency)
 {
-    panicIfNot(config.num_lanes > 0, "HSMT needs at least one lane");
+    DPX_CHECK_GT(config.num_lanes, 0u)
+        << " — HSMT needs at least one lane";
     lanes_.resize(config.num_lanes);
     for (HsmtLane &hl : lanes_)
         hl.wake_time = never;
@@ -28,7 +30,7 @@ HsmtUnit::configureLanes(const LaneConfig &proto)
 void
 HsmtUnit::configureLane(std::uint32_t index, const LaneConfig &proto)
 {
-    panicIfNot(index < lanes_.size(), "lane index out of range");
+    DPX_CHECK_LT(index, lanes_.size()) << " — lane index out of range";
     LaneConfig cfg = proto;
     cfg.mode = IssueMode::InOrder;
     lanes_[index].lane.configure(cfg);
@@ -37,7 +39,7 @@ HsmtUnit::configureLane(std::uint32_t index, const LaneConfig &proto)
 void
 HsmtUnit::openWindow(Cycle start, Cycle end)
 {
-    panicIfNot(end > start, "empty HSMT window");
+    DPX_CHECK_GT(end, start) << " — empty HSMT window";
     window_start_ = start;
     window_end_ = end;
     for (HsmtLane &hl : lanes_) {

@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "sim/check.hh"
 #include "sim/logging.hh"
 
 namespace duplexity
@@ -10,7 +11,7 @@ namespace duplexity
 void
 VirtualContextPool::add(VirtualContext *ctx)
 {
-    panicIfNot(ctx != nullptr, "null virtual context");
+    DPX_CHECK(ctx != nullptr) << " — null virtual context";
     queue_.push_back(ctx);
 }
 
@@ -36,7 +37,7 @@ VirtualContextPool::acquire(Cycle now, Cycle *available_at)
 void
 VirtualContextPool::release(VirtualContext *ctx)
 {
-    panicIfNot(ctx != nullptr, "null virtual context");
+    DPX_CHECK(ctx != nullptr) << " — null virtual context";
     ++stats_.releases;
     queue_.push_back(ctx);
 }

@@ -2,7 +2,7 @@
 
 #include <bit>
 
-#include "sim/logging.hh"
+#include "sim/check.hh"
 
 namespace duplexity
 {
@@ -24,13 +24,13 @@ CacheStats::missRate() const
 Cache::Cache(const CacheConfig &config)
     : config_(config), ports_(config.ports)
 {
-    panicIfNot(std::has_single_bit(config.line_bytes),
-               "cache line size must be a power of two");
-    panicIfNot(config.assoc > 0 && config.ports > 0,
-               "cache needs assoc > 0 and ports > 0");
+    DPX_CHECK(std::has_single_bit(config.line_bytes))
+        << " — cache line size must be a power of two: " << config.name;
+    DPX_CHECK(config.assoc > 0 && config.ports > 0)
+        << " — cache needs assoc > 0 and ports > 0: " << config.name;
     num_sets_ = config.numSets();
-    panicIfNot(num_sets_ > 0 && std::has_single_bit(num_sets_),
-               "cache set count must be a power of two: " + config.name);
+    DPX_CHECK(num_sets_ > 0 && std::has_single_bit(num_sets_))
+        << " — cache set count must be a power of two: " << config.name;
     line_shift_ = std::countr_zero(config.line_bytes);
     lines_.assign(num_sets_ * config.assoc, Line{});
 }
@@ -62,6 +62,7 @@ Cache::access(Addr addr, bool is_write, Cycle now)
 
     const Addr line = lineAddr(addr);
     const std::uint64_t set = setIndex(line);
+    DPX_DCHECK_LT(set, num_sets_);
     const Addr tag = tagOf(line);
     Line *base = &lines_[set * config_.assoc];
 

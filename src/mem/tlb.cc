@@ -2,7 +2,7 @@
 
 #include <bit>
 
-#include "sim/logging.hh"
+#include "sim/check.hh"
 
 namespace duplexity
 {
@@ -26,14 +26,14 @@ TlbStats::missRate() const
 
 Tlb::Tlb(const TlbConfig &config) : config_(config)
 {
-    panicIfNot(config.entries >= tlb_ways, "TLB too small");
-    panicIfNot(std::has_single_bit(config.page_bytes),
-               "page size must be a power of two");
-    panicIfNot(std::has_single_bit(config.entries / tlb_ways),
-               "TLB sets must be a power of two");
+    DPX_CHECK_GE(config.entries, tlb_ways) << " — TLB too small";
+    DPX_CHECK(std::has_single_bit(config.page_bytes))
+        << " — page size must be a power of two";
+    DPX_CHECK(std::has_single_bit(config.entries / tlb_ways))
+        << " — TLB sets must be a power of two";
     if (config.l2_entries > 0) {
-        panicIfNot(std::has_single_bit(config.l2_entries / tlb_ways),
-                   "L2 TLB sets must be a power of two");
+        DPX_CHECK(std::has_single_bit(config.l2_entries / tlb_ways))
+            << " — L2 TLB sets must be a power of two";
     }
     page_shift_ = std::countr_zero(config.page_bytes);
     entries_.assign(config.entries, Entry{});
@@ -51,6 +51,8 @@ Tlb::lookupLevel(std::vector<Entry> &level, Addr vpn,
                  std::uint64_t &clock)
 {
     const std::size_t sets = level.size() / tlb_ways;
+    // The set mask below relies on the ctor's power-of-two checks.
+    DPX_DCHECK(std::has_single_bit(sets));
     Entry *base = &level[(vpn & (sets - 1)) * tlb_ways];
     for (std::uint32_t w = 0; w < tlb_ways; ++w) {
         if (base[w].valid && base[w].vpn == vpn) {

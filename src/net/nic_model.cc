@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sim/check.hh"
 #include "sim/logging.hh"
 
 namespace duplexity
@@ -10,15 +11,13 @@ namespace duplexity
 
 NicModel::NicModel(const NicConfig &config) : config_(config)
 {
-    panicIfNot(config.data_rate_gbps > 0.0 &&
-                   config.max_ops_per_sec > 0.0,
-               "bad NIC parameters");
+    DPX_CHECK(config.data_rate_gbps > 0.0 && config.max_ops_per_sec > 0.0) << " — bad NIC parameters";
 }
 
 double
 NicModel::iopsUtilization(double ops_per_sec) const
 {
-    panicIfNot(ops_per_sec >= 0.0, "negative op rate");
+    DPX_CHECK(ops_per_sec >= 0.0) << " — negative op rate";
     return ops_per_sec / config_.max_ops_per_sec;
 }
 
@@ -26,7 +25,7 @@ double
 NicModel::bandwidthUtilization(double ops_per_sec,
                                double bytes_per_op) const
 {
-    panicIfNot(bytes_per_op >= 0.0, "negative op size");
+    DPX_CHECK(bytes_per_op >= 0.0) << " — negative op size";
     double bits_per_sec = ops_per_sec * bytes_per_op * 8.0;
     return bits_per_sec / (config_.data_rate_gbps * 1e9);
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/check.hh"
 #include "sim/logging.hh"
 
 namespace duplexity
@@ -70,7 +71,7 @@ double
 sramAreaMm2(std::uint64_t bytes, std::uint32_t assoc,
             std::uint32_t ports)
 {
-    panicIfNot(assoc >= 1 && ports >= 1, "bad SRAM parameters");
+    DPX_CHECK(assoc >= 1 && ports >= 1) << " — bad SRAM parameters";
     double mb = static_cast<double>(bytes) / (1024.0 * 1024.0);
     return mb * core_sram_mm2_per_mb *
            (1.0 + sram_assoc_factor * (assoc - 1)) *
@@ -81,7 +82,7 @@ double
 camAreaMm2(std::uint32_t entries, std::uint32_t entry_bits,
            std::uint32_t ports)
 {
-    panicIfNot(ports >= 1, "bad CAM parameters");
+    DPX_CHECK(ports >= 1) << " — bad CAM parameters";
     return static_cast<double>(entries) * entry_bits *
            cam_mm2_per_bit_port *
            (1.0 + sram_port_factor * (ports - 1));

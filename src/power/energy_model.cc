@@ -1,5 +1,6 @@
 #include "power/energy_model.hh"
 
+#include "sim/check.hh"
 #include "sim/logging.hh"
 
 namespace duplexity
@@ -14,7 +15,7 @@ double
 EnergyModel::totalJoules(double area_mm2,
                          const ActivityCounters &counters) const
 {
-    panicIfNot(counters.seconds >= 0.0, "negative interval");
+    DPX_CHECK(counters.seconds >= 0.0) << " — negative interval";
     double static_j =
         area_mm2 * config_.static_w_per_mm2 * counters.seconds;
     double dynamic_nj =

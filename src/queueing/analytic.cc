@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "sim/logging.hh"
+#include "sim/check.hh"
 
 namespace duplexity
 {
@@ -10,8 +10,9 @@ namespace duplexity
 double
 closedLoopUtilization(double compute_us, double stall_us)
 {
-    panicIfNot(compute_us >= 0.0 && stall_us >= 0.0,
-               "negative durations");
+    DPX_CHECK(compute_us >= 0.0 && stall_us >= 0.0)
+        << " — negative durations: compute=" << compute_us
+        << " stall=" << stall_us;
     if (compute_us == 0.0)
         return 0.0;
     return compute_us / (compute_us + stall_us);
@@ -20,8 +21,9 @@ closedLoopUtilization(double compute_us, double stall_us)
 double
 meanIdlePeriodUs(double service_rate_qps, double load)
 {
-    panicIfNot(service_rate_qps > 0.0 && load > 0.0 && load < 1.0,
-               "bad M/G/1 parameters");
+    DPX_CHECK(service_rate_qps > 0.0 && load > 0.0 && load < 1.0)
+        << " — bad M/G/1 parameters: rate=" << service_rate_qps
+        << " load=" << load;
     // Poisson arrivals at rate lambda = load * mu are memoryless, so
     // an idle period is the residual interarrival time: Exp(lambda).
     double lambda_per_us = service_rate_qps * load / 1e6;
@@ -41,7 +43,8 @@ double
 readyThreadsProbability(std::uint32_t n, double p_stall,
                         std::uint32_t k)
 {
-    panicIfNot(p_stall >= 0.0 && p_stall <= 1.0, "bad stall prob");
+    DPX_CHECK(p_stall >= 0.0 && p_stall <= 1.0)
+        << " — bad stall prob " << p_stall;
     if (k == 0)
         return 1.0;
     if (n < k)
@@ -73,7 +76,8 @@ readyThreadsProbability(std::uint32_t n, double p_stall,
 std::uint32_t
 virtualContextsNeeded(double p_stall, std::uint32_t k, double target)
 {
-    panicIfNot(target > 0.0 && target < 1.0, "bad target probability");
+    DPX_CHECK(target > 0.0 && target < 1.0)
+        << " — bad target probability " << target;
     for (std::uint32_t n = k; n < 4096; ++n) {
         if (readyThreadsProbability(n, p_stall, k) >= target)
             return n;
@@ -84,14 +88,15 @@ virtualContextsNeeded(double p_stall, std::uint32_t k, double target)
 double
 mm1MeanSojourn(double lambda, double mu)
 {
-    panicIfNot(lambda > 0.0 && mu > lambda, "unstable M/M/1");
+    DPX_CHECK(lambda > 0.0 && mu > lambda)
+        << " — unstable M/M/1: lambda=" << lambda << " mu=" << mu;
     return 1.0 / (mu - lambda);
 }
 
 double
 mm1SojournQuantile(double lambda, double mu, double p)
 {
-    panicIfNot(p > 0.0 && p < 1.0, "bad quantile");
+    DPX_CHECK(p > 0.0 && p < 1.0) << " — bad quantile " << p;
     // Sojourn time is exponential with rate (mu - lambda).
     return -std::log(1.0 - p) / (mu - lambda);
 }
@@ -100,7 +105,7 @@ double
 mm1MeanInSystem(double lambda, double mu)
 {
     double rho = lambda / mu;
-    panicIfNot(rho < 1.0, "unstable M/M/1");
+    DPX_CHECK_LT(rho, 1.0) << " — unstable M/M/1";
     return rho / (1.0 - rho);
 }
 

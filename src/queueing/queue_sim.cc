@@ -5,6 +5,7 @@
 #include <limits>
 #include <memory>
 
+#include "sim/check.hh"
 #include "sim/logging.hh"
 #include "sim/rng.hh"
 #include "sim/thread_pool.hh"
@@ -16,7 +17,7 @@ ServerSchedule::ServerSchedule(std::uint32_t servers,
                                std::uint32_t scan_threshold)
     : servers_(servers), use_scan_(servers <= scan_threshold)
 {
-    panicIfNot(servers >= 1, "need at least one server");
+    DPX_CHECK_GE(servers, 1u) << " — need at least one server";
     if (use_scan_) {
         free_at_.assign(servers, 0.0);
         return;
@@ -63,6 +64,7 @@ struct SimState
     void
     drawArrivalAndService(double &inter, double &service)
     {
+        DPX_DCHECK_LE(buf_pos, block);
         if (buf_pos == block) {
             interarrival.sampleN(arrival_rng, inter_buf, block);
             this->service.sampleN(service_rng, service_buf, block);
@@ -325,6 +327,7 @@ runReplicated(const QueueSimConfig &config, std::uint32_t replicas)
     std::unique_ptr<ThreadPool> local;
     if (shared == nullptr) {
         unsigned budget = ThreadPool::threadsFromEnv();
+        DPX_CHECK_GE(budget, 1u); // threadsFromEnv clamps to >= 1
         unsigned workers = std::min<unsigned>(budget - 1, replicas - 1);
         if (workers > 0)
             local = std::make_unique<ThreadPool>(workers);
@@ -351,6 +354,10 @@ runReplicated(const QueueSimConfig &config, std::uint32_t replicas)
             [&](Replica &rep) { rep.runBatch(config.batch_size); });
         for (std::uint32_t r = 0; r < replicas; ++r)
             convergence.addBatch(reps[r]->last_batch_p99);
+        // Lockstep invariant: every replica contributed exactly one
+        // batch estimate per round, in replica-index order.
+        DPX_CHECK_EQ(convergence.batches(), (round + 1) * replicas)
+            << " — replicas fell out of lockstep";
         if (convergence.converged())
             break;
     }
@@ -363,6 +370,10 @@ runReplicated(const QueueSimConfig &config, std::uint32_t replicas)
     double busy = 0.0;
     double horizon = 0.0;
     for (std::uint32_t r = 0; r < replicas; ++r) {
+        // Lockstep also means equal work: every replica ran the same
+        // number of rounds of the same batch size.
+        DPX_CHECK_EQ(reps[r]->completed, reps[0]->completed)
+            << " — replica " << r << " ran a different request count";
         sojourn.merge(reps[r]->sojourn);
         wait.merge(reps[r]->wait);
         idle_periods.merge(reps[r]->idle_periods);
@@ -408,9 +419,9 @@ resolveReplicas(const QueueSimConfig &config)
 QueueSimResult
 runQueueSim(const QueueSimConfig &config)
 {
-    panicIfNot(config.interarrival && config.service,
-               "queue sim needs interarrival and service dists");
-    panicIfNot(config.servers >= 1, "need at least one server");
+    DPX_CHECK(config.interarrival && config.service)
+        << " — queue sim needs interarrival and service dists";
+    DPX_CHECK_GE(config.servers, 1u) << " — need at least one server";
 
     const std::uint32_t replicas = resolveReplicas(config);
     if (replicas == 1)
@@ -421,8 +432,9 @@ runQueueSim(const QueueSimConfig &config)
 QueueSimConfig
 makeMg1(DistributionPtr service, double load, std::uint64_t seed)
 {
-    panicIfNot(service != nullptr, "null service distribution");
-    panicIfNot(load > 0.0 && load < 1.0, "load must be in (0,1)");
+    DPX_CHECK(service != nullptr) << " — null service distribution";
+    DPX_CHECK(load > 0.0 && load < 1.0)
+        << " — load must be in (0,1), got " << load;
     QueueSimConfig cfg;
     double mu = 1.0 / service->mean();
     cfg.interarrival = makeExponential(1.0 / (load * mu));

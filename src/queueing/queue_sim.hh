@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/check.hh"
 #include "sim/distributions.hh"
 #include "sim/stats.hh"
 
@@ -138,6 +139,7 @@ class ServerSchedule
             heap_[pos] = heap_[child];
             pos = child;
         }
+        DPX_DCHECK_LT(pos, n);
         heap_[pos] = item;
         return out;
     }
@@ -155,6 +157,14 @@ class ServerSchedule
     static Key
     pack(double free_at, std::uint32_t index)
     {
+        // The packed order matches the (free_at, index) pair order
+        // only for non-negative finite times: a negative double's
+        // sign bit would sort it ABOVE every positive key, and a NaN
+        // payload sorts arbitrarily. Departure times in the G/G/k
+        // engine are sums of non-negative arrivals and services, so
+        // the range invariant is checked, not clamped.
+        DPX_DCHECK(free_at >= 0.0 && free_at <= 1e300)
+            << " — heap key time out of packable range";
         return (static_cast<Key>(std::bit_cast<std::uint64_t>(free_at))
                 << 32) |
                index;

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Contract macros: the machine-checked half of the determinism and
+ * invariant story (DESIGN.md "Analysis layer").
+ *
+ *   DPX_CHECK(cond)            always on; panics (aborts) on failure
+ *   DPX_CHECK_EQ/NE/LT/LE/GT/GE(a, b)
+ *                              as above, printing both operand values
+ *   DPX_DCHECK / DPX_DCHECK_*  debug-only twins, compiled out when
+ *                              DPX_ENABLE_DCHECKS is 0 (the default
+ *                              in NDEBUG builds) but still
+ *                              type-checked, so they cannot rot
+ *
+ * Every macro streams extra context:
+ *
+ *     DPX_CHECK_LE(pos, ring.size()) << " ring=" << name;
+ *
+ * Failure routes through panicAt() (sim/logging.hh), a [[noreturn]]
+ * path that prints "panic: file:line: DPX_CHECK(cond) failed ..."
+ * and aborts — the same semantics as panic(), because a failed check
+ * IS a simulator bug, never a user error (user errors call fatal()).
+ *
+ * When to use what (full table in DESIGN.md):
+ *  - DPX_CHECK: cheap invariants on cold or per-call paths
+ *    (configuration, merges, finalization).
+ *  - DPX_DCHECK: invariants inside per-op / per-request hot loops;
+ *    free in Release, verified in Debug and in the dedicated
+ *    DPX_ENABLE_DCHECKS=1 test target.
+ *  - panic()/fatal() directly: failures that are not a boolean
+ *    expression over local state (lookup misses, mode mismatches).
+ *
+ * Operands may be re-evaluated on the failure path (to print their
+ * values); keep them side-effect free.
+ */
+
+#ifndef DPX_SIM_CHECK_HH
+#define DPX_SIM_CHECK_HH
+
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace duplexity
+{
+namespace detail
+{
+
+/**
+ * Collects the streamed failure message; the destructor fires the
+ * panic path at the end of the full expression, after every
+ * operator<< has appended its context. noexcept(false) keeps a
+ * throwing test hook (setFailureHookForTest) legal.
+ */
+class CheckFailure
+{
+  public:
+    CheckFailure(const char *file, int line, const char *macro,
+                 const char *cond)
+        : file_(file), line_(line)
+    {
+        stream_ << macro << "(" << cond << ") failed";
+    }
+
+    CheckFailure(const CheckFailure &) = delete;
+    CheckFailure &operator=(const CheckFailure &) = delete;
+
+    ~CheckFailure() noexcept(false)
+    {
+        panicAt(file_, line_, stream_.str());
+    }
+
+    template <typename T>
+    CheckFailure &
+    operator<<(const T &value)
+    {
+        stream_ << value;
+        return *this;
+    }
+
+  private:
+    const char *file_;
+    int line_;
+    std::ostringstream stream_;
+};
+
+/** Gives the failure arm of the DPX_CHECK ternary type void.
+ *  operator& binds looser than operator<<, so it swallows the whole
+ *  streamed chain. */
+struct CheckVoidify
+{
+    void operator&(const CheckFailure &) const {}
+};
+
+} // namespace detail
+} // namespace duplexity
+
+/** Panic (abort) with file:line and the failed condition text unless
+ *  @p cond holds. Streamable: DPX_CHECK(x) << "context". */
+#define DPX_CHECK(cond)                                                \
+    (cond) ? (void)0                                                   \
+           : ::duplexity::detail::CheckVoidify() &                     \
+                 ::duplexity::detail::CheckFailure(                    \
+                     __FILE__, __LINE__, "DPX_CHECK", #cond)
+
+/* Binary comparisons; print both operand values on failure
+ * ("... failed (3 vs. 5)"). Operands are evaluated once on the
+ * success path and again for printing on the (dying) failure path. */
+#define DPX_CHECK_OP_(op, a, b)                                        \
+    ((a)op(b)) ? (void)0                                               \
+               : ::duplexity::detail::CheckVoidify() &                 \
+                     ::duplexity::detail::CheckFailure(                \
+                         __FILE__, __LINE__, "DPX_CHECK",              \
+                         #a " " #op " " #b)                            \
+                         << " (" << (a) << " vs. " << (b) << ")"
+
+#define DPX_CHECK_EQ(a, b) DPX_CHECK_OP_(==, a, b)
+#define DPX_CHECK_NE(a, b) DPX_CHECK_OP_(!=, a, b)
+#define DPX_CHECK_LT(a, b) DPX_CHECK_OP_(<, a, b)
+#define DPX_CHECK_LE(a, b) DPX_CHECK_OP_(<=, a, b)
+#define DPX_CHECK_GT(a, b) DPX_CHECK_OP_(>, a, b)
+#define DPX_CHECK_GE(a, b) DPX_CHECK_OP_(>=, a, b)
+
+/**
+ * Debug-check gate. Defaults to on only when NDEBUG is not defined
+ * (CMake's Debug configuration); define DPX_ENABLE_DCHECKS=0/1 on
+ * the compile line to force either way (the check_test build
+ * compiles both flavors explicitly so CI exercises both paths
+ * regardless of build type).
+ */
+#ifndef DPX_ENABLE_DCHECKS
+#ifdef NDEBUG
+#define DPX_ENABLE_DCHECKS 0
+#else
+#define DPX_ENABLE_DCHECKS 1
+#endif
+#endif
+
+#if DPX_ENABLE_DCHECKS
+#define DPX_DCHECK(cond) DPX_CHECK(cond)
+#define DPX_DCHECK_EQ(a, b) DPX_CHECK_EQ(a, b)
+#define DPX_DCHECK_NE(a, b) DPX_CHECK_NE(a, b)
+#define DPX_DCHECK_LT(a, b) DPX_CHECK_LT(a, b)
+#define DPX_DCHECK_LE(a, b) DPX_CHECK_LE(a, b)
+#define DPX_DCHECK_GT(a, b) DPX_CHECK_GT(a, b)
+#define DPX_DCHECK_GE(a, b) DPX_CHECK_GE(a, b)
+#else
+/* Disabled flavor: `true ||` short-circuits, so the condition (and
+ * any streamed context) is never evaluated at run time, but it still
+ * compiles — dead code the optimizer deletes entirely (the perf-smoke
+ * job pins the Release cost of the DCHECK sweep at zero). */
+#define DPX_DCHECK(cond) DPX_CHECK(true || (cond))
+#define DPX_DCHECK_EQ(a, b) DPX_CHECK(true || ((a) == (b)))
+#define DPX_DCHECK_NE(a, b) DPX_CHECK(true || ((a) != (b)))
+#define DPX_DCHECK_LT(a, b) DPX_CHECK(true || ((a) < (b)))
+#define DPX_DCHECK_LE(a, b) DPX_CHECK(true || ((a) <= (b)))
+#define DPX_DCHECK_GT(a, b) DPX_CHECK(true || ((a) > (b)))
+#define DPX_DCHECK_GE(a, b) DPX_CHECK(true || ((a) >= (b)))
+#endif
+
+#endif // DPX_SIM_CHECK_HH

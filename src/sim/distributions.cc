@@ -3,14 +3,14 @@
 #include <cmath>
 #include <numeric>
 
-#include "sim/logging.hh"
+#include "sim/check.hh"
 
 namespace duplexity
 {
 
 DeterministicDist::DeterministicDist(double value) : value_(value)
 {
-    panicIfNot(value >= 0.0, "deterministic value must be >= 0");
+    DPX_CHECK_GE(value, 0.0) << " — deterministic value must be >= 0";
 }
 
 double
@@ -27,7 +27,7 @@ DeterministicDist::mean() const
 
 ExponentialDist::ExponentialDist(double mean) : mean_(mean)
 {
-    panicIfNot(mean > 0.0, "exponential mean must be > 0");
+    DPX_CHECK_GT(mean, 0.0) << " — exponential mean must be > 0";
 }
 
 double
@@ -44,7 +44,8 @@ ExponentialDist::mean() const
 
 UniformDist::UniformDist(double lo, double hi) : lo_(lo), hi_(hi)
 {
-    panicIfNot(lo >= 0.0 && hi >= lo, "bad uniform bounds");
+    DPX_CHECK(lo >= 0.0 && hi >= lo)
+        << " — bad uniform bounds [" << lo << ", " << hi << "]";
 }
 
 double
@@ -62,7 +63,9 @@ UniformDist::mean() const
 LogNormalDist::LogNormalDist(double mean, double sigma)
     : sigma_(sigma), mean_(mean)
 {
-    panicIfNot(mean > 0.0 && sigma >= 0.0, "bad lognormal parameters");
+    DPX_CHECK(mean > 0.0 && sigma >= 0.0)
+        << " — bad lognormal parameters mean=" << mean
+        << " sigma=" << sigma;
     // E[X] = exp(mu + sigma^2/2)  =>  mu = ln(mean) - sigma^2/2.
     mu_ = std::log(mean) - 0.5 * sigma * sigma;
 }
@@ -82,8 +85,9 @@ LogNormalDist::mean() const
 BoundedParetoDist::BoundedParetoDist(double lo, double hi, double alpha)
     : lo_(lo), hi_(hi), alpha_(alpha)
 {
-    panicIfNot(lo > 0.0 && hi > lo && alpha > 0.0,
-               "bad bounded-pareto parameters");
+    DPX_CHECK(lo > 0.0 && hi > lo && alpha > 0.0)
+        << " — bad bounded-pareto parameters lo=" << lo << " hi=" << hi
+        << " alpha=" << alpha;
 }
 
 double
@@ -112,7 +116,8 @@ BoundedParetoDist::mean() const
 EmpiricalDist::EmpiricalDist(std::vector<double> samples)
     : samples_(std::move(samples))
 {
-    panicIfNot(!samples_.empty(), "empirical distribution needs samples");
+    DPX_CHECK(!samples_.empty())
+        << " — empirical distribution needs samples";
     mean_ = std::accumulate(samples_.begin(), samples_.end(), 0.0) /
             static_cast<double>(samples_.size());
 }
@@ -133,9 +138,10 @@ MixtureDist::MixtureDist(
     std::vector<std::pair<double, DistributionPtr>> parts)
     : parts_(std::move(parts)), total_weight_(0.0)
 {
-    panicIfNot(!parts_.empty(), "mixture needs components");
+    DPX_CHECK(!parts_.empty()) << " — mixture needs components";
     for (const auto &[w, dist] : parts_) {
-        panicIfNot(w > 0.0 && dist != nullptr, "bad mixture component");
+        DPX_CHECK(w > 0.0 && dist != nullptr)
+            << " — bad mixture component (weight " << w << ")";
         total_weight_ += w;
     }
 }
@@ -164,7 +170,8 @@ MixtureDist::mean() const
 ScaledDist::ScaledDist(DistributionPtr base, double factor)
     : base_(std::move(base)), factor_(factor)
 {
-    panicIfNot(base_ != nullptr && factor >= 0.0, "bad scaled dist");
+    DPX_CHECK(base_ != nullptr && factor >= 0.0)
+        << " — bad scaled dist (factor " << factor << ")";
 }
 
 double
@@ -182,7 +189,7 @@ ScaledDist::mean() const
 SumDist::SumDist(DistributionPtr a, DistributionPtr b)
     : a_(std::move(a)), b_(std::move(b))
 {
-    panicIfNot(a_ != nullptr && b_ != nullptr, "bad sum dist");
+    DPX_CHECK(a_ != nullptr && b_ != nullptr) << " — bad sum dist";
 }
 
 double

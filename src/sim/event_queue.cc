@@ -2,7 +2,7 @@
 
 #include <utility>
 
-#include "sim/logging.hh"
+#include "sim/check.hh"
 
 namespace duplexity
 {
@@ -10,14 +10,15 @@ namespace duplexity
 void
 EventQueue::scheduleAt(Seconds when, Handler fn)
 {
-    panicIfNot(when >= now_, "scheduling an event in the past");
+    DPX_CHECK_GE(when, now_)
+        << " — scheduling an event in the past";
     events_.push(Event{when, next_seq_++, std::move(fn)});
 }
 
 void
 EventQueue::scheduleAfter(Seconds delay, Handler fn)
 {
-    panicIfNot(delay >= 0.0, "negative event delay");
+    DPX_CHECK_GE(delay, 0.0) << " — negative event delay";
     scheduleAt(now_ + delay, std::move(fn));
 }
 
@@ -29,6 +30,9 @@ EventQueue::step()
     // Copy out before pop: the handler may schedule new events.
     Event ev = events_.top();
     events_.pop();
+    // Time is monotone: the heap can never surface an event earlier
+    // than one it already fired.
+    DPX_DCHECK_GE(ev.when, now_);
     now_ = ev.when;
     ev.fn();
     return true;

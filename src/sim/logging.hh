@@ -4,6 +4,15 @@
  *
  * panic() flags simulator bugs (aborts); fatal() flags user/config
  * errors (clean exit); warn()/inform() report status without stopping.
+ * The *At variants carry file:line context — the contract macros in
+ * sim/check.hh route through panicAt() so every failed check names
+ * its source location.
+ *
+ * Death tests assert on the exact text printed here; a test-visible
+ * failure hook (setFailureHookForTest) additionally observes the
+ * formatted message right before the process dies, and may throw to
+ * turn the failure into a catchable event — the printed text and the
+ * abort-vs-exit split stay exactly as documented in DESIGN.md.
  */
 
 #ifndef DPX_SIM_LOGGING_HH
@@ -16,13 +25,40 @@
 namespace duplexity
 {
 
+/**
+ * Observer for panic/fatal, installed by tests only. Called with the
+ * kind ("panic"/"fatal") and the fully formatted message after it is
+ * printed to stderr and before the process dies. A hook may throw;
+ * the exception then propagates out of panic()/fatal() instead of
+ * the process dying, which lets non-death tests assert on the text.
+ */
+using FailureHook = void (*)(const char *kind, const std::string &msg);
+
 namespace detail
 {
 
-[[noreturn]] inline void
-reportAndDie(const char *kind, const std::string &msg, bool abort_process)
+inline FailureHook &
+failureHookSlot()
 {
-    std::fprintf(stderr, "%s: %s\n", kind, msg.c_str());
+    static FailureHook hook = nullptr;
+    return hook;
+}
+
+[[noreturn]] inline void
+reportAndDie(const char *kind, const char *file, int line,
+             const std::string &msg, bool abort_process)
+{
+    std::string full;
+    if (file != nullptr) {
+        full.append(file);
+        full.push_back(':');
+        full.append(std::to_string(line));
+        full.append(": ");
+    }
+    full.append(msg);
+    std::fprintf(stderr, "%s: %s\n", kind, full.c_str());
+    if (FailureHook hook = failureHookSlot())
+        hook(kind, full); // may throw (test escape hatch)
     if (abort_process)
         std::abort();
     std::exit(1);
@@ -30,18 +66,41 @@ reportAndDie(const char *kind, const std::string &msg, bool abort_process)
 
 } // namespace detail
 
+/** Install @p hook (nullptr to clear); returns the previous hook. */
+inline FailureHook
+setFailureHookForTest(FailureHook hook)
+{
+    FailureHook previous = detail::failureHookSlot();
+    detail::failureHookSlot() = hook;
+    return previous;
+}
+
 /** Abort on an internal simulator invariant violation. */
 [[noreturn]] inline void
 panic(const std::string &msg)
 {
-    detail::reportAndDie("panic", msg, true);
+    detail::reportAndDie("panic", nullptr, 0, msg, true);
+}
+
+/** panic() with file:line context (what sim/check.hh emits). */
+[[noreturn]] inline void
+panicAt(const char *file, int line, const std::string &msg)
+{
+    detail::reportAndDie("panic", file, line, msg, true);
 }
 
 /** Exit on an unrecoverable user/configuration error. */
 [[noreturn]] inline void
 fatal(const std::string &msg)
 {
-    detail::reportAndDie("fatal", msg, false);
+    detail::reportAndDie("fatal", nullptr, 0, msg, false);
+}
+
+/** fatal() with file:line context. */
+[[noreturn]] inline void
+fatalAt(const char *file, int line, const std::string &msg)
+{
+    detail::reportAndDie("fatal", file, line, msg, false);
 }
 
 /** Report suspicious-but-survivable conditions. */
@@ -58,7 +117,8 @@ inform(const std::string &msg)
     std::fprintf(stderr, "info: %s\n", msg.c_str());
 }
 
-/** panic() unless @p cond holds. */
+/** panic() unless @p cond holds. Prefer DPX_CHECK (sim/check.hh),
+ *  which adds file:line context and streamed operand values. */
 inline void
 panicIfNot(bool cond, const std::string &msg)
 {

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "sim/check.hh"
 #include "sim/logging.hh"
 #include "sim/rng.hh"
 #include "sim/thread_pool.hh"
@@ -50,7 +51,9 @@ parallelSweep(std::size_t num_cells,
               const std::function<void(std::size_t)> &cell,
               const SweepOptions &options)
 {
-    using Clock = std::chrono::steady_clock;
+    // Wall-clock time feeds only the SweepReport speedup numbers,
+    // never any simulated result.
+    using Clock = std::chrono::steady_clock; // dpx-lint: allow(DPX002)
 
     SweepReport report;
     report.cells = num_cells;
@@ -99,6 +102,9 @@ parallelSweep(std::size_t num_cells,
     report.wall_seconds =
         std::chrono::duration<double>(Clock::now() - sweep_start)
             .count();
+    // The destructor drained the pool: every cell body ran.
+    DPX_CHECK_EQ(completed.load(std::memory_order_relaxed), num_cells)
+        << " — sweep lost cells";
 
     // Accumulate in index order so the report itself is
     // deterministic, not completion-ordered.

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "sim/check.hh"
+
 namespace duplexity
 {
 
@@ -84,6 +86,7 @@ Rng::uniform(double lo, double hi)
 std::uint64_t
 Rng::below(std::uint64_t n)
 {
+    DPX_DCHECK_GT(n, 0u) << " — below(0) has no valid range";
     // Multiply-shift reduction; bias is negligible for simulation use.
     return static_cast<std::uint64_t>(
         (static_cast<unsigned __int128>(next()) * n) >> 64);

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <bit>
 
-#include "sim/logging.hh"
+#include "sim/check.hh"
 
 namespace duplexity
 {
@@ -13,8 +13,12 @@ SlotCalendar::SlotCalendar(std::uint32_t slots_per_cycle,
     : slots_per_cycle_(slots_per_cycle),
       window_(std::bit_ceil(window)), mask_(window_ - 1)
 {
-    panicIfNot(slots_per_cycle > 0 && window > 16,
-               "bad SlotCalendar parameters");
+    DPX_CHECK(slots_per_cycle > 0 && window > 16)
+        << " — bad SlotCalendar parameters: slots=" << slots_per_cycle
+        << " window=" << window;
+    // The ring mask only works because bit_ceil made the window a
+    // power of two.
+    DPX_CHECK(std::has_single_bit(window_));
     counts_.assign(window_, 0);
 }
 
@@ -25,7 +29,9 @@ SlotCalendar::reserve(Cycle earliest)
     for (;;) {
         if (c >= base_ + window_)
             retireBefore(c > window_ / 2 ? c - window_ / 2 : 0);
+        DPX_DCHECK(c >= base_ && c < base_ + window_);
         std::uint16_t &count = counts_[slot(c)];
+        DPX_DCHECK_LE(count, slots_per_cycle_);
         if (count < slots_per_cycle_) {
             ++count;
             return c;

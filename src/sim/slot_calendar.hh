@@ -10,8 +10,8 @@
  * cycle-by-cycle.
  */
 
-#ifndef DPX_CPU_SLOT_CALENDAR_HH
-#define DPX_CPU_SLOT_CALENDAR_HH
+#ifndef DPX_SIM_SLOT_CALENDAR_HH
+#define DPX_SIM_SLOT_CALENDAR_HH
 
 #include <cstdint>
 #include <vector>
@@ -70,4 +70,4 @@ class SlotCalendar
 
 } // namespace duplexity
 
-#endif // DPX_CPU_SLOT_CALENDAR_HH
+#endif // DPX_SIM_SLOT_CALENDAR_HH

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "sim/check.hh"
 #include "sim/logging.hh"
 
 namespace duplexity
@@ -68,7 +69,7 @@ MeanAccumulator::reset()
 
 SampleStats::SampleStats(std::size_t capacity) : capacity_(capacity)
 {
-    panicIfNot(capacity > 0, "SampleStats capacity must be > 0");
+    DPX_CHECK_GT(capacity, 0u) << " — SampleStats capacity must be > 0";
 }
 
 void
@@ -90,6 +91,7 @@ SampleStats::add(double x, std::uint64_t rng_word)
     }
     // Reservoir sampling: keep each of the `total_` values with equal
     // probability capacity_/total_.
+    DPX_DCHECK_EQ(samples_.size(), capacity_);
     std::uint64_t slot = rng_word % total_;
     if (slot < capacity_) {
         samples_[slot] = x;
@@ -100,8 +102,9 @@ SampleStats::add(double x, std::uint64_t rng_word)
 double
 SampleStats::percentile(double p) const
 {
-    panicIfNot(p >= 0.0 && p <= 1.0, "percentile p out of range");
-    panicIfNot(!samples_.empty(), "percentile of empty population");
+    DPX_CHECK(p >= 0.0 && p <= 1.0)
+        << " — percentile p out of range: " << p;
+    DPX_CHECK(!samples_.empty()) << " — percentile of empty population";
     if (!sorted_) {
         std::sort(samples_.begin(), samples_.end());
         sorted_ = true;
@@ -112,6 +115,7 @@ SampleStats::percentile(double p) const
     double rank = p * static_cast<double>(samples_.size() - 1);
     std::size_t lo = static_cast<std::size_t>(rank);
     std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+    DPX_DCHECK_LT(lo, samples_.size());
     double frac = rank - static_cast<double>(lo);
     return samples_[lo] + frac * (samples_[hi] - samples_[lo]);
 }
@@ -145,8 +149,9 @@ SampleStats::reset()
 QuantileSketch::QuantileSketch(std::size_t capacity)
     : capacity_(capacity)
 {
-    panicIfNot(capacity >= 8 && capacity % 2 == 0,
-               "QuantileSketch capacity must be even and >= 8");
+    DPX_CHECK(capacity >= 8 && capacity % 2 == 0)
+        << " — QuantileSketch capacity must be even and >= 8, got "
+        << capacity;
     levels_.emplace_back();
     levels_.front().reserve(capacity_);
     keep_odd_.push_back(0);
@@ -164,6 +169,7 @@ QuantileSketch::add(double x)
 void
 QuantileSketch::compactLevel(std::size_t level)
 {
+    DPX_DCHECK_EQ(levels_.size(), keep_odd_.size());
     // May cascade: promoting into a full level compacts it in turn.
     for (; level < levels_.size() &&
            levels_[level].size() >= capacity_;
@@ -190,16 +196,19 @@ QuantileSketch::compactLevel(std::size_t level)
         if (straggler)
             buf.push_back(leftover);
         // Compactor lemma: collapsing weight-w pairs perturbs any
-        // rank by at most w. Accumulate the certificate.
+        // rank by at most w. Accumulate the certificate; it can
+        // never exceed the stream length or the certificate (and
+        // hence every percentile guarantee) is meaningless.
         error_bound_ += std::uint64_t{1} << level;
+        DPX_DCHECK_LE(error_bound_, count_);
     }
 }
 
 void
 QuantileSketch::merge(const QuantileSketch &other)
 {
-    panicIfNot(capacity_ == other.capacity_,
-               "QuantileSketch merge needs equal capacities");
+    DPX_CHECK_EQ(capacity_, other.capacity_)
+        << " — QuantileSketch merge needs equal capacities";
     while (levels_.size() < other.levels_.size()) {
         levels_.emplace_back();
         levels_.back().reserve(capacity_);
@@ -220,8 +229,9 @@ QuantileSketch::merge(const QuantileSketch &other)
 double
 QuantileSketch::percentile(double p) const
 {
-    panicIfNot(p >= 0.0 && p <= 1.0, "percentile p out of range");
-    panicIfNot(count_ > 0, "percentile of empty sketch");
+    DPX_CHECK(p >= 0.0 && p <= 1.0)
+        << " — percentile p out of range: " << p;
+    DPX_CHECK(count_ > 0) << " — percentile of empty sketch";
     std::vector<std::pair<double, std::uint64_t>> weighted;
     weighted.reserve(retained());
     for (std::size_t l = 0; l < levels_.size(); ++l) {
@@ -243,6 +253,10 @@ QuantileSketch::percentile(double p) const
         if (running >= target)
             return value;
     }
+    // Retained weights always sum back to the stream length, so the
+    // scan above must have hit the target rank.
+    DPX_CHECK_EQ(running, count_)
+        << " — sketch weights lost track of the stream length";
     return weighted.back().first;
 }
 
@@ -320,8 +334,7 @@ TailSummary::samples() const
 LogHistogram::LogHistogram(double lo, double hi, std::size_t num_bins)
     : num_bins_(num_bins)
 {
-    panicIfNot(lo > 0.0 && hi > lo && num_bins > 0,
-               "bad LogHistogram parameters");
+    DPX_CHECK(lo > 0.0 && hi > lo && num_bins > 0) << " — bad LogHistogram parameters";
     log_lo_ = std::log(lo);
     log_hi_ = std::log(hi);
     counts_.assign(num_bins + 2, 0);
@@ -379,7 +392,7 @@ LogHistogram::cdf() const
 double
 LogHistogram::percentile(double p) const
 {
-    panicIfNot(total_ > 0, "percentile of empty histogram");
+    DPX_CHECK(total_ > 0) << " — percentile of empty histogram";
     std::uint64_t target = static_cast<std::uint64_t>(
         std::ceil(p * static_cast<double>(total_)));
     std::uint64_t running = 0;
@@ -395,8 +408,7 @@ BatchMeans::BatchMeans(double relative_error, double z,
                        std::uint64_t min_batches)
     : relative_error_(relative_error), z_(z), min_batches_(min_batches)
 {
-    panicIfNot(relative_error > 0.0 && z > 0.0 && min_batches >= 2,
-               "bad BatchMeans parameters");
+    DPX_CHECK(relative_error > 0.0 && z > 0.0 && min_batches >= 2) << " — bad BatchMeans parameters";
 }
 
 void

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "sim/check.hh"
 #include "sim/logging.hh"
 
 namespace duplexity
@@ -41,10 +42,10 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::submit(Task task)
 {
-    panicIfNot(static_cast<bool>(task), "null task submitted");
+    DPX_CHECK(static_cast<bool>(task)) << " — null task submitted";
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        panicIfNot(!stopping_, "submit on a stopping pool");
+        DPX_CHECK(!stopping_) << " — submit on a stopping pool";
         queues_[next_queue_]->tasks.push_back(std::move(task));
         next_queue_ = (next_queue_ + 1) % queues_.size();
         ++queued_;
@@ -113,6 +114,12 @@ ThreadPool::workerLoop(unsigned self)
 void
 ThreadPool::wait()
 {
+    // A worker waiting on its own pool deadlocks: it occupies the
+    // thread that would have to finish the work it waits for. Nested
+    // fan-outs must use runTaskBatch (helping wait) instead.
+    DPX_CHECK(tls_current_pool != this)
+        << " — ThreadPool::wait() called from inside one of the "
+           "pool's own workers";
     std::unique_lock<std::mutex> lock(mutex_);
     idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
     if (first_error_) {
@@ -189,6 +196,8 @@ runTaskBatch(ThreadPool *pool, std::vector<ThreadPool::Task> tasks)
     std::unique_lock<std::mutex> lock(state->mutex);
     state->done_cv.wait(lock,
                         [&] { return state->done == total; });
+    // Every task was claimed exactly once and ran to completion.
+    DPX_CHECK_EQ(state->next, total);
     if (state->first_error)
         std::rethrow_exception(state->first_error);
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sim/check.hh"
 #include "sim/logging.hh"
 
 namespace duplexity
@@ -48,14 +49,12 @@ MicroserviceSource::MicroserviceSource(const MicroserviceSpec &spec,
                                        Rng rng)
     : spec_(spec), rng_(rng)
 {
-    panicIfNot(!spec_.phases.empty(), "microservice needs phases");
+    DPX_CHECK(!spec_.phases.empty()) << " — microservice needs phases";
     for (const PhaseSpec &phase : spec_.phases) {
         if (phase.kind == PhaseSpec::Kind::Compute)
-            panicIfNot(phase.instr_count != nullptr,
-                       "compute phase needs an instruction count");
+            DPX_CHECK(phase.instr_count != nullptr) << " — compute phase needs an instruction count";
         else
-            panicIfNot(phase.stall_us != nullptr,
-                       "remote phase needs a stall distribution");
+            DPX_CHECK(phase.stall_us != nullptr) << " — remote phase needs a stall distribution";
     }
 
     // Build one synthetic stream per distinct character: the default
@@ -117,8 +116,7 @@ BatchSource::BatchSource(const BatchSpec &spec, Rng rng)
       stream_(spec.character, rng_.fork(3000)),
       segment_instrs_(spec_.segment_instrs), stall_us_(spec_.stall_us)
 {
-    panicIfNot(spec_.segment_instrs != nullptr,
-               "batch workload needs a segment length distribution");
+    DPX_CHECK(spec_.segment_instrs != nullptr) << " — batch workload needs a segment length distribution";
     remaining_ = static_cast<std::uint64_t>(
         std::max(1.0, segment_instrs_.sample(rng_)));
 }

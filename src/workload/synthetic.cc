@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sim/check.hh"
 #include "sim/logging.hh"
 
 namespace duplexity
@@ -11,9 +12,8 @@ namespace duplexity
 SyntheticStream::SyntheticStream(const WorkloadParams &params, Rng rng)
     : params_(params), rng_(rng)
 {
-    panicIfNot(params.data_ws_bytes >= 64 && params.code_bytes >= 64,
-               "working sets must cover at least one line");
-    panicIfNot(params.static_branches > 0, "need at least one branch");
+    DPX_CHECK(params.data_ws_bytes >= 64 && params.code_bytes >= 64) << " — working sets must cover at least one line";
+    DPX_CHECK(params.static_branches > 0) << " — need at least one branch";
 
     branches_.reserve(params.static_branches);
     for (std::uint32_t i = 0; i < params.static_branches; ++i) {

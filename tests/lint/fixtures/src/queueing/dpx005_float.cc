@@ -1,0 +1,10 @@
+// Fixture: DPX005 float-accumulator must fire in stats/queueing
+// code.
+float
+fixtureMean(const float *values, int count)
+{
+    float total = 0.0f;
+    for (int i = 0; i < count; ++i)
+        total += values[i];
+    return total / static_cast<float>(count);
+}

@@ -1,0 +1,21 @@
+// Fixture: every violation below carries an escape hatch, so the
+// linter must exit 0 on this file.
+// dpx-lint: allow-file(DPX007): fixture exercising the file waiver.
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+
+int
+fixtureAllowed()
+{
+    auto t0 = std::chrono::steady_clock::now(); // dpx-lint: allow(DPX002)
+    // Reporting-only lock around the block below.
+    // dpx-lint: allow(DPX003) — block form covers the next lines.
+    static std::mutex guard;
+    std::lock_guard<std::mutex> lock(guard);
+    int noise = rand(); // dpx-lint: allow(DPX001)
+
+    if (noise < 0)
+        std::exit(1); // covered by the allow-file waiver above
+    return static_cast<int>(t0.time_since_epoch().count());
+}

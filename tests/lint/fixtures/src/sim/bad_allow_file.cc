@@ -1,0 +1,10 @@
+// Fixture: an allow-file waiver with no reason is a config error
+// (exit 2), not a silent suppression.
+// dpx-lint: allow-file(DPX001)
+#include <cstdlib>
+
+int
+fixtureBadWaiver()
+{
+    return rand();
+}

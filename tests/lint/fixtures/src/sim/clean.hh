@@ -1,0 +1,7 @@
+// Fixture: fully conforming header — the linter must stay silent.
+#ifndef DPX_SIM_CLEAN_HH
+#define DPX_SIM_CLEAN_HH
+
+int fixtureClean();
+
+#endif // DPX_SIM_CLEAN_HH

@@ -1,0 +1,12 @@
+// Fixture: DPX001 nondeterministic-randomness must fire on every
+// ad-hoc randomness source below.
+#include <cstdlib>
+#include <random>
+
+int
+fixtureEntropy()
+{
+    std::random_device device;
+    srand(42);
+    return rand() + static_cast<int>(device());
+}

@@ -1,0 +1,17 @@
+// Fixture: DPX002 wall-clock-in-sim must fire on clock reads in
+// src/ code paths.
+#include <chrono>
+#include <ctime>
+
+double
+fixtureNow()
+{
+    auto tick = std::chrono::steady_clock::now();
+    auto wall = std::chrono::system_clock::now();
+    std::time_t stamp = std::time(nullptr);
+    return static_cast<double>(stamp) +
+           std::chrono::duration<double>(wall.time_since_epoch())
+               .count() +
+           std::chrono::duration<double>(tick.time_since_epoch())
+               .count();
+}

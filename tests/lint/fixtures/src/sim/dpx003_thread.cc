@@ -1,0 +1,17 @@
+// Fixture: DPX003 raw-threading must fire on ad-hoc concurrency
+// primitives outside src/sim/thread_pool.*.
+#include <mutex>
+#include <thread>
+
+int
+fixtureRace()
+{
+    static std::mutex guard;
+    int x = 0;
+    std::thread worker([&] {
+        std::lock_guard<std::mutex> lock(guard);
+        ++x;
+    });
+    worker.join();
+    return x;
+}

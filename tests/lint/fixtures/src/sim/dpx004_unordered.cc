@@ -1,0 +1,15 @@
+// Fixture: DPX004 unordered-iteration must fire on hash-order walks.
+#include <unordered_map>
+
+double
+fixtureSum()
+{
+    std::unordered_map<int, double> cells;
+    cells[1] = 0.5;
+    double total = 0.0;
+    for (const auto &entry : cells)
+        total += entry.second;
+    for (auto it = cells.begin(); it != cells.end(); ++it)
+        total += it->second;
+    return total;
+}

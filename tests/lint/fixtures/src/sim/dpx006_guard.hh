@@ -1,0 +1,8 @@
+// Fixture: DPX006 include-guard must flag a guard that does not
+// match the file's path.
+#ifndef WRONG_GUARD_HH
+#define WRONG_GUARD_HH
+
+int fixtureGuard();
+
+#endif // WRONG_GUARD_HH

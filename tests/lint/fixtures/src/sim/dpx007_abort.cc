@@ -1,0 +1,13 @@
+// Fixture: DPX007 panic-vs-fatal must fire on direct process exits
+// and on assert().
+#include <cassert>
+#include <cstdlib>
+
+void
+fixtureDie(int rc)
+{
+    assert(rc != 0);
+    if (rc > 1)
+        std::exit(rc);
+    abort();
+}

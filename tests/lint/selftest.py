@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Self-test for tools/dpx_lint.py against the fixture tree.
+
+Every bad fixture must trip exactly its own rule with exit status 1;
+the allowed/clean fixtures must pass with exit status 0; a malformed
+file-wide waiver must be a config error (exit status 2).  The
+fixtures live under tests/lint/fixtures/ laid out like the real tree,
+and the linter is pointed at them with --root so path-scoped rules
+(DPX002/005/006) see realistic paths.
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(os.path.dirname(HERE))
+LINT = os.path.join(REPO, "tools", "dpx_lint.py")
+FIXTURES = os.path.join(HERE, "fixtures")
+
+RULE_IDS = ["DPX%03d" % n for n in range(1, 8)]
+
+# (fixture path, expected exit status, rule that must fire or None)
+CASES = [
+    ("src/sim/dpx001_rand.cc", 1, "DPX001"),
+    ("src/sim/dpx002_clock.cc", 1, "DPX002"),
+    ("src/sim/dpx003_thread.cc", 1, "DPX003"),
+    ("src/sim/dpx004_unordered.cc", 1, "DPX004"),
+    ("src/queueing/dpx005_float.cc", 1, "DPX005"),
+    ("src/sim/dpx006_guard.hh", 1, "DPX006"),
+    ("src/sim/dpx007_abort.cc", 1, "DPX007"),
+    ("src/sim/allowed_ok.cc", 0, None),
+    ("src/sim/clean.hh", 0, None),
+    ("src/sim/bad_allow_file.cc", 2, None),
+]
+
+
+def run_lint(fixture):
+    cmd = [sys.executable, LINT, "--root", FIXTURES,
+           os.path.join(FIXTURES, fixture)]
+    return subprocess.run(cmd, capture_output=True, text=True)
+
+
+def main():
+    failures = []
+    for fixture, want_rc, want_rule in CASES:
+        proc = run_lint(fixture)
+        output = proc.stdout + proc.stderr
+        fired = {r for r in RULE_IDS
+                 if re.search(r"\b%s\b" % r, proc.stdout)}
+        if proc.returncode != want_rc:
+            failures.append("%s: exit %d, expected %d\n%s"
+                            % (fixture, proc.returncode, want_rc,
+                               output))
+            continue
+        if want_rule is not None and fired != {want_rule}:
+            failures.append("%s: rules fired %s, expected exactly {%s}"
+                            "\n%s" % (fixture, sorted(fired) or "{}",
+                                      want_rule, output))
+        if want_rc == 0 and output.strip():
+            failures.append("%s: expected silence, got:\n%s"
+                            % (fixture, output))
+
+    # The rule table must list every rule (docs stay in sync).
+    proc = subprocess.run([sys.executable, LINT, "--list-rules"],
+                          capture_output=True, text=True)
+    for rule in RULE_IDS:
+        if rule not in proc.stdout:
+            failures.append("--list-rules omits %s" % rule)
+
+    # Unknown rule names are a usage error, not a silent no-op.
+    proc = subprocess.run([sys.executable, LINT, "--rule", "DPX999",
+                           os.path.join(FIXTURES, CASES[0][0])],
+                          capture_output=True, text=True)
+    if proc.returncode != 2:
+        failures.append("--rule DPX999: exit %d, expected 2"
+                        % proc.returncode)
+
+    if failures:
+        print("dpx-lint selftest: %d failure(s)" % len(failures))
+        for failure in failures:
+            print("----\n" + failure)
+        return 1
+    print("dpx-lint selftest: %d cases OK" % (len(CASES) + 2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,143 @@
+/**
+ * Death tests for the contract macros (sim/check.hh) and the failure
+ * hook (sim/logging.hh).
+ *
+ * This source builds twice: check_test forces DPX_ENABLE_DCHECKS=1
+ * and check_release_test forces it to 0 (see tests/CMakeLists.txt),
+ * so both DCHECK flavors are exercised on every CI configuration —
+ * the suite name carries the flavor so ctest ids never collide.
+ */
+
+#include "sim/check.hh"
+
+#include <csignal>
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+
+#if DPX_ENABLE_DCHECKS
+#define CHECK_SUITE CheckDchecksOn
+#else
+#define CHECK_SUITE CheckDchecksOff
+#endif
+
+namespace duplexity
+{
+namespace
+{
+
+TEST(CHECK_SUITE, PassingChecksAreSilentAndEvaluateOnce)
+{
+    int calls = 0;
+    DPX_CHECK(++calls == 1) << " streamed context is lazy";
+    EXPECT_EQ(calls, 1);
+    DPX_CHECK_EQ(2 + 2, 4);
+    DPX_CHECK_NE(1, 2);
+    DPX_CHECK_LT(1, 2);
+    DPX_CHECK_LE(2, 2);
+    DPX_CHECK_GT(3, 2);
+    DPX_CHECK_GE(3, 3);
+}
+
+TEST(CHECK_SUITE, FailurePrintsFileLineConditionAndContext)
+{
+    EXPECT_DEATH(DPX_CHECK(1 == 2) << " request=" << 42,
+                 "panic: .*check_test\\.cc:[0-9]+: "
+                 "DPX_CHECK\\(1 == 2\\) failed request=42");
+}
+
+TEST(CHECK_SUITE, ComparisonFailurePrintsBothOperands)
+{
+    const int want = 3;
+    const int got = 5;
+    EXPECT_DEATH(DPX_CHECK_EQ(want, got),
+                 "DPX_CHECK\\(want == got\\) failed \\(3 vs. 5\\)");
+}
+
+TEST(CHECK_SUITE, PanicAbortsButFatalExitsCleanly)
+{
+    EXPECT_EXIT(panic("simulator bug"),
+                testing::KilledBySignal(SIGABRT),
+                "panic: simulator bug");
+    EXPECT_EXIT(fatal("bad --load value"),
+                testing::ExitedWithCode(1), "fatal: bad --load value");
+    EXPECT_EXIT(fatalAt("config.cc", 7, "bad flag"),
+                testing::ExitedWithCode(1),
+                "fatal: config\\.cc:7: bad flag");
+}
+
+// The hook is a plain function pointer, so the observations land in
+// file-scope state.
+std::string g_hook_kind;    // NOLINT(cert-err58-cpp)
+std::string g_hook_message; // NOLINT(cert-err58-cpp)
+
+void
+throwingHook(const char *kind, const std::string &msg)
+{
+    g_hook_kind = kind;
+    g_hook_message = msg;
+    throw std::runtime_error(msg);
+}
+
+TEST(CHECK_SUITE, FailureHookSeesFormattedMessageAndMayThrow)
+{
+    FailureHook previous = setFailureHookForTest(&throwingHook);
+    EXPECT_EQ(previous, nullptr);
+    g_hook_kind.clear();
+    g_hook_message.clear();
+
+    bool caught = false;
+    try {
+        DPX_CHECK_EQ(3, 5) << " extra";
+    } catch (const std::runtime_error &err) {
+        caught = true;
+        EXPECT_NE(std::string(err.what()).find("(3 vs. 5) extra"),
+                  std::string::npos);
+    }
+    setFailureHookForTest(previous);
+
+    EXPECT_TRUE(caught);
+    EXPECT_EQ(g_hook_kind, "panic");
+    EXPECT_NE(g_hook_message.find("check_test.cc"), std::string::npos);
+    EXPECT_NE(g_hook_message.find("DPX_CHECK(3 == 5) failed"),
+              std::string::npos);
+}
+
+#if DPX_ENABLE_DCHECKS
+
+TEST(CHECK_SUITE, DcheckFiresInThisFlavor)
+{
+    EXPECT_DEATH(DPX_DCHECK(false) << " debug-only invariant",
+                 "DPX_CHECK\\(false\\) failed debug-only invariant");
+    EXPECT_DEATH(DPX_DCHECK_LT(5, 3), "\\(5 vs. 3\\)");
+}
+
+TEST(CHECK_SUITE, DcheckEvaluatesConditionInThisFlavor)
+{
+    int calls = 0;
+    DPX_DCHECK(++calls == 1);
+    EXPECT_EQ(calls, 1);
+}
+
+#else
+
+TEST(CHECK_SUITE, DcheckIsCompiledOutInThisFlavor)
+{
+    // A false DCHECK must be harmless...
+    DPX_DCHECK(false) << " never reached";
+    DPX_DCHECK_EQ(1, 2);
+    DPX_DCHECK_LT(9, 3);
+    // ...and the operands must never even be evaluated.
+    int calls = 0;
+    DPX_DCHECK(++calls == 1);
+    DPX_DCHECK_EQ(++calls, 99);
+    EXPECT_EQ(calls, 0);
+}
+
+#endif // DPX_ENABLE_DCHECKS
+
+} // namespace
+} // namespace duplexity

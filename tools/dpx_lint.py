@@ -1,0 +1,409 @@
+#!/usr/bin/env python3
+"""dpx-lint: determinism-contract lint for the duplexity tree.
+
+The simulator's headline guarantee is bit-identical results for any
+thread count, any replica count, and any sweep decomposition (see
+DESIGN.md "Determinism contract").  That guarantee is easy to break
+with one innocent-looking line: a wall-clock read folded into a
+result, an ad-hoc std::thread racing the pool's deterministic merge
+order, an unordered-container walk feeding a reduction.  This linter
+turns the contract into named, greppable rules.
+
+Rules
+-----
+DPX001  nondeterministic-randomness
+        rand()/srand()/std::random_device/drand48 et al. are banned
+        everywhere: all randomness must flow from duplexity::Rng so
+        streams are seeded, forkable, and replayable.
+DPX002  wall-clock-in-sim
+        Reading a clock (std::chrono clocks, gettimeofday,
+        clock_gettime, std::time) inside src/ risks timing leaking
+        into simulated results.  Timing for *reporting* is fine —
+        annotate it (see parallel_sweep.cc).
+DPX003  raw-threading
+        std::thread/std::async/std::mutex/... outside
+        src/sim/thread_pool.* bypasses the pool's deterministic
+        work-stealing and merge discipline.  Sanctioned exceptions
+        (the calibration memos) carry allow annotations.
+DPX004  unordered-iteration
+        Iterating an unordered container feeds hash-order — which
+        varies across libstdc++ versions and ASLR — into whatever
+        consumes the loop.  Result paths must iterate ordered
+        containers or sort first.
+DPX005  float-accumulator
+        float accumulators in stats/queueing code lose the low bits
+        that the golden tests pin; accumulate in double.
+        (Scoped to src/sim/stats.* and src/queueing/.)
+DPX006  include-guard
+        Headers under src/ must guard with DPX_<PATH>_HH so guards
+        never collide when files move or new dirs appear.
+DPX007  panic-vs-fatal
+        Direct abort()/exit()/assert() skip the failure hook and the
+        file:line report.  Invariant violations use DPX_CHECK/panic();
+        invalid user input uses fatal() (see src/sim/logging.hh).
+
+Escape hatches
+--------------
+``// dpx-lint: allow(DPX00N)`` on a code line suppresses that rule on
+that line.  On a comment line of its own it covers the contiguous
+non-blank block that follows (comment included).  A file-wide waiver
+is ``// dpx-lint: allow-file(DPX00N): <reason>`` anywhere in the file;
+the reason is mandatory.
+
+Exit status: 0 clean, 1 violations, 2 usage/config error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+
+SOURCE_EXTENSIONS = (".cc", ".hh", ".cpp", ".hpp", ".h")
+
+ALLOW_RE = re.compile(r"dpx-lint:\s*allow\((DPX\d{3})\)")
+ALLOW_FILE_RE = re.compile(r"dpx-lint:\s*allow-file\((DPX\d{3})\)(:?)")
+
+
+class Rule:
+    def __init__(self, rule_id, name, rationale, checker, path_filter=None,
+                 exempt=None):
+        self.rule_id = rule_id
+        self.name = name
+        self.rationale = rationale
+        self.checker = checker
+        # path_filter: predicate over repo-relative path; None = all files.
+        self.path_filter = path_filter
+        # exempt: repo-relative paths where the rule never applies
+        # (the file IS the sanctioned implementation).
+        self.exempt = frozenset(exempt or ())
+
+    def applies_to(self, relpath, all_paths):
+        if relpath in self.exempt:
+            return False
+        if all_paths or self.path_filter is None:
+            return True
+        return self.path_filter(relpath)
+
+
+def strip_code(text):
+    """Blank out comments and string/char literals, preserving line
+    structure, so token regexes never fire inside either."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            if j == -1:
+                j = n
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            out.extend(ch if ch == "\n" else " " for ch in text[i:j])
+            i = j
+        elif c in "\"'":
+            quote = c
+            out.append(" ")
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\" and i + 1 < n:
+                    out.append("  ")
+                    i += 2
+                else:
+                    out.append("\n" if text[i] == "\n" else " ")
+                    i += 1
+            i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def line_regex_checker(pattern):
+    rx = re.compile(pattern)
+
+    def check(relpath, raw_lines, code_lines):
+        return [(ln, m.group(0).strip())
+                for ln, line in enumerate(code_lines, start=1)
+                for m in [rx.search(line)] if m]
+
+    return check
+
+
+def check_unordered_iteration(relpath, raw_lines, code_lines):
+    """Flag iteration over std::unordered_* containers.
+
+    Two passes: collect names declared with an unordered type in this
+    file, then flag range-fors over (or .begin() calls on) those
+    names, plus range-fors whose range expression itself mentions an
+    unordered type.
+    """
+    decl_rx = re.compile(
+        r"\bstd\s*::\s*unordered_(?:map|set|multimap|multiset)\s*<")
+    name_rx = re.compile(r">\s*&?\s*([A-Za-z_]\w*)\s*[;={(]")
+    names = set()
+    for line in code_lines:
+        m = decl_rx.search(line)
+        if not m:
+            continue
+        nm = name_rx.search(line, m.end())
+        if nm:
+            names.add(nm.group(1))
+    findings = []
+    range_for_rx = re.compile(r"\bfor\s*\([^;)]*:\s*([^)]*)")
+    for ln, line in enumerate(code_lines, start=1):
+        m = range_for_rx.search(line)
+        range_expr = m.group(1) if m else None
+        if range_expr is None and ln > 1 and \
+                re.search(r"\bfor\s*\([^;)]*:\s*$", code_lines[ln - 2]):
+            range_expr = line  # range expression wrapped to next line
+        if range_expr is None:
+            continue
+        if decl_rx.search(range_expr) or any(
+                re.search(r"\b%s\b" % re.escape(n), range_expr)
+                for n in names):
+            findings.append((ln, range_expr.strip() or "range-for"))
+    for ln, line in enumerate(code_lines, start=1):
+        for n in names:
+            if re.search(r"\b%s\s*\.\s*(c?begin|c?end)\s*\(" %
+                         re.escape(n), line):
+                findings.append((ln, line.strip()))
+    return sorted(set(findings))
+
+
+def check_include_guard(relpath, raw_lines, code_lines):
+    if not relpath.startswith("src/") or not relpath.endswith(".hh"):
+        return []
+    stem = relpath[len("src/"):]
+    want = "DPX_" + re.sub(r"[^A-Za-z0-9]", "_",
+                           stem[:-len(".hh")]).upper() + "_HH"
+    ifndef_rx = re.compile(r"^\s*#\s*ifndef\s+(\S+)")
+    for ln, line in enumerate(code_lines, start=1):
+        m = ifndef_rx.match(line)
+        if not m:
+            continue
+        got = m.group(1)
+        if got != want:
+            return [(ln, "guard is %s, expected %s" % (got, want))]
+        define = code_lines[ln] if ln < len(code_lines) else ""
+        if not re.match(r"^\s*#\s*define\s+%s\b" % re.escape(want),
+                        define):
+            return [(ln + 1, "#define does not match guard %s" % want)]
+        return []
+    return [(1, "missing include guard %s" % want)]
+
+
+def in_dirs(*prefixes):
+    return lambda p: any(p.startswith(pre) for pre in prefixes)
+
+
+RULES = [
+    Rule(
+        "DPX001", "nondeterministic-randomness",
+        "all randomness must flow from duplexity::Rng so streams are "
+        "seeded and replayable",
+        line_regex_checker(
+            r"\bstd\s*::\s*random_device\b|\bs?rand\s*\(|"
+            r"\b[dlm]rand48\s*\(|\brandom\s*\(")),
+    Rule(
+        "DPX002", "wall-clock-in-sim",
+        "clock reads in src/ risk timing leaking into simulated "
+        "results; annotate reporting-only timing",
+        line_regex_checker(
+            r"\bstd\s*::\s*chrono\s*::\s*"
+            r"(system_clock|steady_clock|high_resolution_clock)\b|"
+            r"\bgettimeofday\s*\(|\bclock_gettime\s*\(|"
+            r"\bstd\s*::\s*time\s*\("),
+        path_filter=in_dirs("src/")),
+    Rule(
+        "DPX003", "raw-threading",
+        "concurrency outside src/sim/thread_pool.* bypasses the "
+        "pool's deterministic scheduling and merge order",
+        line_regex_checker(
+            r"\bstd\s*::\s*(thread|jthread|async|mutex|recursive_mutex|"
+            r"timed_mutex|shared_mutex|condition_variable(_any)?|"
+            r"once_flag|call_once|promise|future|packaged_task)\b"),
+        exempt=("src/sim/thread_pool.hh", "src/sim/thread_pool.cc")),
+    Rule(
+        "DPX004", "unordered-iteration",
+        "hash-order iteration feeds ASLR/libstdc++-dependent order "
+        "into result paths; iterate ordered containers or sort first",
+        check_unordered_iteration),
+    Rule(
+        "DPX005", "float-accumulator",
+        "float accumulators lose low bits the golden tests pin; "
+        "accumulate in double",
+        line_regex_checker(r"\bfloat\b"),
+        path_filter=in_dirs("src/sim/stats", "src/queueing/")),
+    Rule(
+        "DPX006", "include-guard",
+        "headers guard with DPX_<PATH>_HH so guards never collide "
+        "when files move",
+        check_include_guard,
+        path_filter=in_dirs("src/")),
+    Rule(
+        "DPX007", "panic-vs-fatal",
+        "direct abort()/exit()/assert() skip the failure hook and "
+        "file:line report; use DPX_CHECK/panic() or fatal()",
+        line_regex_checker(
+            r"\bstd\s*::\s*(abort|exit|terminate|quick_exit|_Exit)\b|"
+            r"\babort\s*\(|\bexit\s*\(|\bassert\s*\("),
+        exempt=("src/sim/logging.hh", "src/sim/logging.cc",
+                "src/sim/check.hh")),
+]
+
+
+def collect_allows(raw_lines):
+    """Return (file_allows, line_allows) from dpx-lint annotations.
+
+    line_allows maps line number -> set of rule ids suppressed there.
+    A trailing allow covers its own line; an allow on a comment-only
+    line covers the contiguous non-blank block it sits in.
+    """
+    file_allows = set()
+    bad_allows = []
+    line_allows = {}
+    comment_only_rx = re.compile(r"^\s*(//|\*|/\*)")
+    for ln, line in enumerate(raw_lines, start=1):
+        for m in ALLOW_FILE_RE.finditer(line):
+            rule_id, colon = m.group(1), m.group(2)
+            if colon != ":" or not line[m.end():].strip():
+                bad_allows.append((ln, rule_id))
+            else:
+                file_allows.add(rule_id)
+        for m in ALLOW_RE.finditer(line):
+            rule_id = m.group(1)
+            if comment_only_rx.match(line):
+                # Cover the whole contiguous block around this line.
+                lo = ln
+                while lo > 1 and raw_lines[lo - 2].strip():
+                    lo -= 1
+                hi = ln
+                while hi < len(raw_lines) and raw_lines[hi].strip():
+                    hi += 1
+                span = range(lo, hi + 1)
+            else:
+                span = (ln,)
+            for covered in span:
+                line_allows.setdefault(covered, set()).add(rule_id)
+    return file_allows, line_allows, bad_allows
+
+
+def lint_file(path, relpath, rules, all_paths):
+    try:
+        with open(path, encoding="utf-8", errors="replace") as fh:
+            text = fh.read()
+    except OSError as err:
+        print("dpx-lint: cannot read %s: %s" % (path, err),
+              file=sys.stderr)
+        return None
+    raw_lines = text.split("\n")
+    code_lines = strip_code(text).split("\n")
+    file_allows, line_allows, bad_allows = collect_allows(raw_lines)
+    if bad_allows:
+        for ln, rule_id in bad_allows:
+            print("%s:%d: allow-file(%s) requires a reason: "
+                  "// dpx-lint: allow-file(%s): <why>"
+                  % (relpath, ln, rule_id, rule_id), file=sys.stderr)
+        return None  # malformed allow-file: config error
+    findings = []
+    for rule in rules:
+        if not rule.applies_to(relpath, all_paths):
+            continue
+        if rule.rule_id in file_allows:
+            continue
+        for ln, detail in rule.checker(relpath, raw_lines, code_lines):
+            if rule.rule_id in line_allows.get(ln, ()):
+                continue
+            findings.append((relpath, ln, rule, detail))
+    return findings
+
+
+def gather_files(paths):
+    files = []
+    for p in paths:
+        if os.path.isfile(p):
+            files.append(p)
+        elif os.path.isdir(p):
+            for root, dirs, names in os.walk(p):
+                dirs.sort()
+                for name in sorted(names):
+                    if name.endswith(SOURCE_EXTENSIONS):
+                        files.append(os.path.join(root, name))
+        else:
+            print("dpx-lint: no such path: %s" % p, file=sys.stderr)
+            return None
+    return files
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="dpx_lint.py",
+        description="determinism-contract lint for the duplexity tree")
+    parser.add_argument("paths", nargs="*",
+                        default=["src", "bench", "examples"],
+                        help="files or directories (default: "
+                             "src bench examples)")
+    parser.add_argument("--rule", action="append", metavar="DPX00N",
+                        help="run only these rules")
+    parser.add_argument("--all-paths", action="store_true",
+                        help="ignore per-rule path scoping (fixture "
+                             "self-tests)")
+    parser.add_argument("--root", default=None,
+                        help="repo root for path scoping (default: "
+                             "the directory containing tools/)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule table and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in RULES:
+            print("%s  %-28s %s" % (rule.rule_id, rule.name,
+                                    rule.rationale))
+        return 0
+
+    rules = RULES
+    if args.rule:
+        known = {r.rule_id: r for r in RULES}
+        unknown = [r for r in args.rule if r not in known]
+        if unknown:
+            print("dpx-lint: unknown rule(s): %s" % ", ".join(unknown),
+                  file=sys.stderr)
+            return 2
+        rules = [known[r] for r in args.rule]
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    files = gather_files(args.paths)
+    if files is None:
+        return 2
+
+    total = 0
+    config_error = False
+    for path in files:
+        rel = os.path.relpath(os.path.abspath(path), root)
+        rel = rel.replace(os.sep, "/")
+        findings = lint_file(path, rel, rules, args.all_paths)
+        if findings is None:
+            config_error = True
+            continue
+        for relpath, ln, rule, detail in findings:
+            print("%s:%d: %s [%s]: %s\n    rationale: %s"
+                  % (relpath, ln, rule.rule_id, rule.name, detail,
+                     rule.rationale))
+            total += 1
+    if config_error:
+        return 2
+    if total:
+        print("dpx-lint: %d violation%s" % (total,
+                                            "" if total == 1 else "s"),
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
