@@ -1,5 +1,6 @@
 #include "core/scenario.hh"
 
+#include <array>
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
@@ -787,14 +788,29 @@ aloneBatchIpc(BatchKind kind)
     const Cycle horizon = 1'200'000;
     std::uint64_t ops = 0;
     Frequency freq = mem_cfg.frequency;
+    // Block-batched stepping (bit-identical to the processOp loop):
+    // the source stream is outcome-independent and local, so
+    // pre-drawing a block is invisible; the engine stops right after
+    // a remote op so the µs stall lands before the next fetch check,
+    // exactly as in the per-op loop.
+    std::array<MicroOp, 256> block;
+    std::uint32_t head = 0;
+    std::uint32_t filled = 0;
     while (lane.nextFetch() < horizon) {
-        MicroOp op = source.next();
-        OpOutcome out = engine.processOp(lane, op);
-        if (out.commit_time >= warmup && out.commit_time < horizon)
-            ++ops;
-        if (out.remote) {
-            lane.stallUntil(out.commit_time +
-                            freq.microsToCycles(out.stall_us));
+        if (head == filled) {
+            for (MicroOp &op : block)
+                op = source.next();
+            head = 0;
+            filled = static_cast<std::uint32_t>(block.size());
+        }
+        BlockOutcome blk =
+            engine.processBlock(lane, block.data() + head,
+                                filled - head, horizon, warmup, horizon);
+        head += blk.processed;
+        ops += blk.committed_in_window;
+        if (blk.stopped_remote) {
+            lane.stallUntil(blk.last.commit_time +
+                            freq.microsToCycles(blk.last.stall_us));
         }
     }
     double ipc = static_cast<double>(ops) /

@@ -1,6 +1,7 @@
 #include "core/smt_sweep.hh"
 
 #include <algorithm>
+#include <array>
 #include <limits>
 #include <memory>
 #include <vector>
@@ -65,6 +66,41 @@ runSmtSweep(const SmtSweepConfig &config)
     constexpr Cycle never = std::numeric_limits<Cycle>::max();
 
     std::uint64_t total_ops = 0;
+    if (config.threads == 1) {
+        // Single-thread sweeps have no fetch-fairness interleaving to
+        // respect, so the lane can step in blocks (bit-identical to
+        // the most-behind loop below, which would pick the only
+        // thread every round).
+        Thread &t = threads[0];
+        std::array<MicroOp, 256> block;
+        std::uint32_t head = 0;
+        std::uint32_t filled = 0;
+        while (t.lane.nextFetch() < m_end) {
+            if (head == filled) {
+                for (MicroOp &op : block)
+                    op = t.source->next();
+                head = 0;
+                filled = static_cast<std::uint32_t>(block.size());
+            }
+            BlockOutcome blk = engine.processBlock(
+                t.lane, block.data() + head, filled - head, m_end,
+                m_start, m_end);
+            head += blk.processed;
+            t.ops += blk.committed_in_window;
+            total_ops += blk.committed_in_window;
+            if (blk.stopped_remote) {
+                t.lane.stallUntil(
+                    blk.last.commit_time +
+                    freq.microsToCycles(blk.last.stall_us));
+            }
+        }
+        SmtSweepResult result;
+        result.total_ipc = static_cast<double>(total_ops) /
+                           static_cast<double>(config.measure_cycles);
+        result.l1d_miss_rate = mem.masterL1d().stats().missRate();
+        result.mispredict_rate = pred->stats().mispredictRate();
+        return result;
+    }
     for (;;) {
         // Advance the most-behind thread: min next-fetch time. This
         // approximates an ICOUNT-fair fetch policy.

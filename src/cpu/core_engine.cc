@@ -83,6 +83,43 @@ CoreEngine::defaultLaneConfig(IssueMode mode)
 OpOutcome
 CoreEngine::processOp(Lane &lane, const MicroOp &op)
 {
+    return stepOp(lane, op, lane.stats_);
+}
+
+BlockOutcome
+CoreEngine::processBlock(Lane &lane, const MicroOp *ops,
+                         std::uint32_t count, Cycle fetch_horizon,
+                         Cycle window_lo, Cycle window_hi)
+{
+    BlockOutcome blk;
+    // Stat updates batch into a local accumulator and flush once per
+    // block; integer adds commute, so totals are bit-identical.
+    LaneStats local;
+    // One reused outcome slot, copied into blk.last once after the
+    // loop — not per op.
+    OpOutcome out;
+    while (blk.processed < count && lane.next_fetch_ < fetch_horizon) {
+        out = stepOp(lane, ops[blk.processed], local);
+        ++blk.processed;
+        if (out.commit_time >= window_lo && out.commit_time < window_hi)
+            ++blk.committed_in_window;
+        if (out.remote) {
+            blk.stopped_remote = true;
+            break;
+        }
+    }
+    if (blk.processed > 0)
+        blk.last = out;
+    lane.stats_.ops += local.ops;
+    lane.stats_.branches += local.branches;
+    lane.stats_.mispredicts += local.mispredicts;
+    lane.stats_.remote_ops += local.remote_ops;
+    return blk;
+}
+
+OpOutcome
+CoreEngine::stepOp(Lane &lane, const MicroOp &op, LaneStats &stats)
+{
     const LaneConfig &cfg = lane.config_;
     const bool in_order = cfg.mode == IssueMode::InOrder;
     OpOutcome out;
@@ -208,7 +245,7 @@ CoreEngine::processOp(Lane &lane, const MicroOp &op)
     // ------------------------------------------------------------------
     bool redirect = false;
     if (op.cls == OpClass::Branch) {
-        ++lane.stats_.branches;
+        ++stats.branches;
         bool correct = true;
         if (cfg.branch.predictor) {
             correct =
@@ -219,7 +256,7 @@ CoreEngine::processOp(Lane &lane, const MicroOp &op)
             btb_ok = cfg.branch.btb->lookupUpdate(op.pc, op.pc + 64);
         if (!correct || !btb_ok) {
             redirect = true;
-            ++lane.stats_.mispredicts;
+            ++stats.mispredicts;
         }
     } else if (op.cls == OpClass::Call) {
         if (cfg.branch.ras)
@@ -230,7 +267,7 @@ CoreEngine::processOp(Lane &lane, const MicroOp &op)
         // A RAS underflow forces a redirect at resolution.
         redirect = cfg.branch.ras && cfg.branch.ras->pop() == 0;
         if (redirect)
-            ++lane.stats_.mispredicts;
+            ++stats.mispredicts;
     }
     out.mispredicted = redirect;
 
@@ -265,9 +302,9 @@ CoreEngine::processOp(Lane &lane, const MicroOp &op)
         lane.last_fetch_line_ = ~Addr(0);
     }
 
-    ++lane.stats_.ops;
+    ++stats.ops;
     if (out.remote)
-        ++lane.stats_.remote_ops;
+        ++stats.remote_ops;
     out.end_of_request = op.end_of_request;
     return out;
 }

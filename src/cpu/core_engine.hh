@@ -101,6 +101,25 @@ struct OpOutcome
     bool mispredicted = false;
 };
 
+/**
+ * Completion report for one processed block of micro-ops
+ * (CoreEngine::processBlock).
+ */
+struct BlockOutcome
+{
+    /** Ops consumed from the block (the caller resumes at this
+     *  offset). */
+    std::uint32_t processed = 0;
+    /** Commits with window_lo <= commit_time < window_hi. */
+    std::uint64_t committed_in_window = 0;
+    /** True when the block stopped early because the last processed
+     *  op was remote (the caller applies the µs stall, which changes
+     *  the fetch-horizon condition for every later op). */
+    bool stopped_remote = false;
+    /** Outcome of the last processed op (valid iff processed > 0). */
+    OpOutcome last;
+};
+
 /** Running totals for one lane. */
 struct LaneStats
 {
@@ -178,12 +197,42 @@ class CoreEngine
      */
     OpOutcome processOp(Lane &lane, const MicroOp &op);
 
+    /**
+     * Run up to @p count pre-drawn ops through the pipeline on
+     * @p lane, with exact per-op cycle semantics (bit-identical to a
+     * processOp loop — proven by tests/cpu/block_step_test.cc) but
+     * amortized dispatch and stat updates. Processing stops when the
+     * ops run out, when the lane's next fetch reaches
+     * @p fetch_horizon (checked before each op, like the scenario
+     * loops), or right after a remote op (stopped_remote — the
+     * caller's stall changes the horizon condition for later ops).
+     * Commits in [@p window_lo, @p window_hi) are counted.
+     *
+     * Only legal when the lane does not interleave with other lanes
+     * between ops (single-lane measurement loops): batching an HSMT
+     * round-robin would reorder shared-calendar reservations.
+     */
+    BlockOutcome processBlock(Lane &lane, const MicroOp *ops,
+                              std::uint32_t count, Cycle fetch_horizon,
+                              Cycle window_lo, Cycle window_hi);
+
     /** Build a LaneConfig pre-wired to this core's shared calendars. */
     LaneConfig defaultLaneConfig(IssueMode mode);
 
     void reset();
 
   private:
+    /** Shared pipeline body; branch/op stat increments go to
+     *  @p stats (processBlock batches them into a local). Forced
+     *  inline into its two callers (both in core_engine.cc): as an
+     *  out-of-line function every op pays a call plus an sret
+     *  OpOutcome round-trip, which measurably slows both loops. */
+#if defined(__GNUC__)
+    [[gnu::always_inline]]
+#endif
+    inline OpOutcome stepOp(Lane &lane, const MicroOp &op,
+                            LaneStats &stats);
+
     CoreEngineConfig config_;
     SlotCalendar fetch_cal_;
     SlotCalendar issue_cal_;

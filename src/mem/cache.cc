@@ -32,33 +32,28 @@ Cache::Cache(const CacheConfig &config)
     DPX_CHECK(num_sets_ > 0 && std::has_single_bit(num_sets_))
         << " — cache set count must be a power of two: " << config.name;
     line_shift_ = std::countr_zero(config.line_bytes);
+    tag_shift_ = std::countr_zero(num_sets_);
+    set_mask_ = num_sets_ - 1;
+    // Requestor bits: synthetic threads are separated at address
+    // bit 32 (workload/catalog.cc regions), which is line bit
+    // (32 - line_shift_) after dropping the offset.
+    mru_shift_ = line_shift_ < 32 ? 32 - line_shift_ : 0;
+    hit_latency_ = config.hit_latency;
+    write_through_ = config.write_through;
     lines_.assign(num_sets_ * config.assoc, Line{});
 }
 
-std::uint64_t
-Cache::setIndex(Addr line) const
+void
+Cache::clearMru()
 {
-    return line & (num_sets_ - 1);
-}
-
-Addr
-Cache::tagOf(Addr line) const
-{
-    return line / num_sets_;
-}
-
-Cycle
-Cache::contentionDelay(Cycle now)
-{
-    Cycle granted = ports_.reserve(now);
-    return granted - now;
+    mru_.fill(MruEntry{});
 }
 
 CacheAccessResult
-Cache::access(Addr addr, bool is_write, Cycle now)
+Cache::accessSlow(Addr addr, bool is_write, Cycle now)
 {
     CacheAccessResult result;
-    result.latency = config_.hit_latency + contentionDelay(now);
+    result.latency = hit_latency_ + contentionDelay(now);
 
     const Addr line = lineAddr(addr);
     const std::uint64_t set = setIndex(line);
@@ -66,17 +61,23 @@ Cache::access(Addr addr, bool is_write, Cycle now)
     const Addr tag = tagOf(line);
     Line *base = &lines_[set * config_.assoc];
 
-    // Hit path.
+    // Hit path (MRU-filter miss, or filter disabled).
     for (std::uint32_t w = 0; w < config_.assoc; ++w) {
         Line &entry = base[w];
         if (entry.valid && entry.tag == tag) {
             entry.lru = ++lru_clock_;
-            if (is_write && !config_.write_through)
+            if (is_write && !write_through_)
                 entry.dirty = true;
             ++stats_.hits;
             result.hit = true;
-            if (is_write && config_.write_through)
+            if (is_write && write_through_)
                 ++stats_.writebacks; // write propagated downstream
+            if (fast_path_enabled_) {
+                mru_[mruSlot(line)] =
+                    MruEntry{line,
+                             static_cast<std::uint64_t>(&entry -
+                                                        lines_.data())};
+            }
             return result;
         }
     }
@@ -84,7 +85,7 @@ Cache::access(Addr addr, bool is_write, Cycle now)
     ++stats_.misses;
     if (is_write && !config_.write_allocate) {
         // No-allocate write miss: data goes straight downstream.
-        if (config_.write_through)
+        if (write_through_)
             ++stats_.writebacks;
         return result;
     }
@@ -107,19 +108,23 @@ Cache::access(Addr addr, bool is_write, Cycle now)
             ++stats_.writebacks;
             result.writeback = true;
         }
-        if (eviction_listener_) {
-            Addr victim_line =
-                victim->tag * num_sets_ + set;
+        const Addr victim_line = (victim->tag << tag_shift_) | set;
+        forgetMru(victim_line);
+        if (has_listener_)
             eviction_listener_(victim_line << line_shift_);
-        }
     }
 
     victim->tag = tag;
     victim->valid = true;
-    victim->dirty = is_write && !config_.write_through;
+    victim->dirty = is_write && !write_through_;
     victim->lru = ++lru_clock_;
-    if (is_write && config_.write_through)
+    if (is_write && write_through_)
         ++stats_.writebacks;
+    if (fast_path_enabled_) {
+        mru_[mruSlot(line)] =
+            MruEntry{line,
+                     static_cast<std::uint64_t>(victim - lines_.data())};
+    }
     return result;
 }
 
@@ -150,9 +155,10 @@ Cache::invalidate(Addr addr)
             entry.valid = false;
             entry.dirty = false;
             ++stats_.invalidations;
+            forgetMru(line);
             // Invalidations forward to inclusion dependents just
             // like evictions (Section III-B3).
-            if (eviction_listener_)
+            if (has_listener_)
                 eviction_listener_(line << line_shift_);
             return;
         }
@@ -169,6 +175,7 @@ Cache::invalidateAll()
             ++stats_.invalidations;
         }
     }
+    clearMru();
 }
 
 std::uint64_t
@@ -184,6 +191,7 @@ void
 Cache::setEvictionListener(EvictionListener fn)
 {
     eviction_listener_ = std::move(fn);
+    has_listener_ = static_cast<bool>(eviction_listener_);
 }
 
 } // namespace duplexity

@@ -9,11 +9,23 @@
  * Threads are disambiguated by address: every synthetic thread draws
  * addresses from its own region of the 64-bit space (shared text
  * segments deliberately overlap), so tags need no explicit ASID.
+ *
+ * Hot-path structure (bit-identical to the plain set scan, proven by
+ * tests/mem/fastpath_diff_test.cc): access() first consults a small
+ * per-requestor MRU line filter — the last-hit line address and its
+ * way index, slotted by the address-region bits that distinguish
+ * threads — and only falls back to the full set scan (out-of-line,
+ * accessSlow) on a filter miss. A filter entry is self-validating:
+ * it hits only when the recorded way still holds the recorded line
+ * (valid + tag match), so evictions, fills, and invalidations can
+ * never make it lie; they also eagerly clear matching entries so the
+ * filter never wastes its one compare on a dead line.
  */
 
 #ifndef DPX_MEM_CACHE_HH
 #define DPX_MEM_CACHE_HH
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -86,7 +98,67 @@ class Cache
      * policy) and the latency *excludes* the lower-level fill — the
      * caller (a MemPort chain) adds it.
      */
-    CacheAccessResult access(Addr addr, bool is_write, Cycle now);
+    CacheAccessResult
+    access(Addr addr, bool is_write, Cycle now)
+    {
+        if (fast_path_enabled_) {
+            CacheAccessResult result;
+            if (tryFastHit(addr, is_write, now, result.latency)) {
+                result.hit = true;
+                return result;
+            }
+        }
+        return accessSlow(addr, is_write, now);
+    }
+
+    /**
+     * MRU-filter hit attempt: on success performs the full hit-path
+     * bookkeeping (LRU stamp, dirty bit, stats, port contention) and
+     * writes the access latency to @p latency. On failure it has NO
+     * side effects — accessSlow() repeats nothing.
+     */
+    bool
+    tryFastHit(Addr addr, bool is_write, Cycle now, Cycle &latency)
+    {
+        const Addr line = addr >> line_shift_;
+        MruEntry &mru = mru_[mruSlot(line)];
+        if (mru.line != line)
+            return false;
+        Line &entry = lines_[mru.index];
+        // Self-validation: the recorded way must still hold this
+        // exact line (the index pins the set, the tag pins the line).
+        if (!entry.valid || entry.tag != (line >> tag_shift_))
+            return false;
+        latency = hit_latency_ + contentionDelay(now);
+        entry.lru = ++lru_clock_;
+        ++stats_.hits;
+        if (is_write) {
+            if (write_through_)
+                ++stats_.writebacks; // write propagated downstream
+            else
+                entry.dirty = true;
+        }
+        return true;
+    }
+
+    /** Full set-scan path (also the miss path). Exercised directly by
+     *  the differential tests; access() falls back here. */
+    CacheAccessResult accessSlow(Addr addr, bool is_write, Cycle now);
+
+    /**
+     * Gate the MRU filter (default on). The slow path never consults
+     * the filter, so disabling it reproduces the legacy scan-only
+     * behaviour — the differential tests' reference configuration.
+     */
+    void
+    setFastPathEnabled(bool on)
+    {
+        fast_path_enabled_ = on;
+        if (!on)
+            clearMru();
+    }
+
+    bool fastPathEnabled() const { return fast_path_enabled_; }
 
     /** State-preserving lookup. */
     bool probe(Addr addr) const;
@@ -113,18 +185,72 @@ class Cache
         std::uint64_t lru = 0; // larger == more recent
     };
 
+    /** One MRU filter entry: a line address and the index of the way
+     *  (within lines_) that held it when it last hit. */
+    struct MruEntry
+    {
+        Addr line = ~Addr(0); // sentinel: matches no real line
+        std::uint64_t index = 0;
+    };
+
+    /** Filter entries, slotted per requestor (see mruSlot). */
+    static constexpr std::size_t kMruSlots = 4;
+
     Addr lineAddr(Addr addr) const { return addr >> line_shift_; }
-    std::uint64_t setIndex(Addr line) const;
-    Addr tagOf(Addr line) const;
+    std::uint64_t setIndex(Addr line) const { return line & set_mask_; }
+    /** Tag extraction; num_sets_ is a power of two, so the ctor
+     *  precomputes the shift and the hot path never divides. */
+    Addr tagOf(Addr line) const { return line >> tag_shift_; }
+
+    /**
+     * Filter slot for a line: synthetic threads own disjoint 4 GiB
+     * address regions (bits 32+ carry the thread id — see
+     * workload/catalog.cc dataRegion), so slotting by the first line
+     * bits above bit 31 separates requestors sharing one cache and
+     * the filter approximates one MRU entry per requestor.
+     */
+    std::size_t
+    mruSlot(Addr line) const
+    {
+        return (line >> mru_shift_) & (kMruSlots - 1);
+    }
+
+    void clearMru();
+
+    /** Drop any filter entry recording @p line (eviction/invalidate
+     *  coherence; self-validation would also catch it, this keeps the
+     *  filter from wasting its compare on a dead line). */
+    void
+    forgetMru(Addr line)
+    {
+        MruEntry &mru = mru_[mruSlot(line)];
+        if (mru.line == line)
+            mru.line = ~Addr(0);
+    }
 
     /** Port-contention delay for an access starting at @p now. */
-    Cycle contentionDelay(Cycle now);
+    Cycle
+    contentionDelay(Cycle now)
+    {
+        Cycle granted = ports_.reserve(now);
+        return granted - now;
+    }
 
     CacheConfig config_;
     CacheStats stats_;
     std::uint32_t line_shift_;
+    std::uint32_t tag_shift_;
+    std::uint32_t mru_shift_;
     std::uint64_t num_sets_;
+    std::uint64_t set_mask_;
+    /** Hot scalar copies of config_ fields (the config struct drags a
+     *  std::string through the cache line otherwise). */
+    Cycle hit_latency_;
+    bool write_through_;
+    bool fast_path_enabled_ = true;
+    bool has_listener_ = false;
     std::vector<Line> lines_; // num_sets * assoc
+    std::array<MruEntry, kMruSlots> mru_{};
     std::uint64_t lru_clock_ = 0;
     /** Port bandwidth tracker; tolerates out-of-order access times
      *  from the one-pass pipeline model. */

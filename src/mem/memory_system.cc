@@ -5,31 +5,30 @@
 namespace duplexity
 {
 
-Cycle
-DramPort::access(AccessType, Addr, Cycle)
-{
-    ++accesses_;
-    return latency_;
-}
-
 CachePort::CachePort(const CacheConfig &config, MemPort *below)
-    : cache_(config), below_(below)
+    : cache_(config), below_(below),
+      write_through_(config.write_through),
+      write_allocate_(config.write_allocate),
+      prefetch_(config.prefetch),
+      prefetch_latency_(config.prefetch_latency)
 {
 }
 
 Cycle
-CachePort::access(AccessType type, Addr addr, Cycle now)
+CachePort::accessFill(AccessType type, Addr addr, Cycle now)
 {
     const bool is_store = type == AccessType::Store;
-    CacheAccessResult res = cache_.access(addr, is_store, now);
+    // The inline fast path already failed (with no side effects), so
+    // go straight to the full scan/miss path.
+    CacheAccessResult res = cache_.accessSlow(addr, is_store, now);
     Cycle latency = res.latency;
 
     if (!res.hit) {
         // Fill from below unless this is a no-allocate write miss.
-        bool fills = !is_store || cache_.config().write_allocate;
+        bool fills = !is_store || write_allocate_;
         if (fills && below_) {
             bool covered =
-                cache_.config().prefetch &&
+                prefetch_ &&
                 prefetcher_.access(addr >>
                                    6 /* line, 64B (Table I) */);
             Cycle below_latency =
@@ -37,46 +36,14 @@ CachePort::access(AccessType type, Addr addr, Cycle now)
             // A prefetch-covered miss still consumes downstream
             // bandwidth (the access above) but exposes only a small
             // residual latency.
-            latency += covered ? cache_.config().prefetch_latency
-                               : below_latency;
+            latency += covered ? prefetch_latency_ : below_latency;
         }
     }
-    if (is_store && cache_.config().write_through && below_) {
+    if (is_store && write_through_ && below_) {
         // Posted write: downstream state is updated but the store does
         // not lengthen the producer's critical path.
         below_->access(AccessType::Store, addr, now + latency);
     }
-    return latency;
-}
-
-Cycle
-LinkPort::access(AccessType type, Addr addr, Cycle now)
-{
-    ++traversals_;
-    return extra_ + below_->access(type, addr, now + extra_);
-}
-
-Cycle
-MemPath::fetch(Addr addr, Cycle now) const
-{
-    Cycle latency = itlb ? itlb->access(addr) : 0;
-    latency += instr->access(AccessType::IFetch, addr, now + latency);
-    return latency;
-}
-
-Cycle
-MemPath::load(Addr addr, Cycle now) const
-{
-    Cycle latency = dtlb ? dtlb->access(addr) : 0;
-    latency += data->access(AccessType::Load, addr, now + latency);
-    return latency;
-}
-
-Cycle
-MemPath::store(Addr addr, Cycle now) const
-{
-    Cycle latency = dtlb ? dtlb->access(addr) : 0;
-    latency += data->access(AccessType::Store, addr, now + latency);
     return latency;
 }
 
@@ -174,6 +141,26 @@ DyadMemorySystem::lenderPath()
 {
     return MemPath{lender_l1i_.get(), lender_l1d_.get(),
                    lender_itlb_.get(), lender_dtlb_.get()};
+}
+
+void
+DyadMemorySystem::setFastPathsEnabled(bool on)
+{
+    llc_->cache().setFastPathEnabled(on);
+    master_l1i_->cache().setFastPathEnabled(on);
+    master_l1d_->cache().setFastPathEnabled(on);
+    lender_l1i_->cache().setFastPathEnabled(on);
+    lender_l1d_->cache().setFastPathEnabled(on);
+    repl_l1i_->cache().setFastPathEnabled(on);
+    repl_l1d_->cache().setFastPathEnabled(on);
+    l0i_->cache().setFastPathEnabled(on);
+    l0d_->cache().setFastPathEnabled(on);
+    master_itlb_->setFastPathEnabled(on);
+    master_dtlb_->setFastPathEnabled(on);
+    filler_itlb_->setFastPathEnabled(on);
+    filler_dtlb_->setFastPathEnabled(on);
+    lender_itlb_->setFastPathEnabled(on);
+    lender_dtlb_->setFastPathEnabled(on);
 }
 
 void

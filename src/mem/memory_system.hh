@@ -13,6 +13,13 @@
  *  - filler-local (MorphCore): filler threads thrash the master's own
  *        L1s and TLBs (no state protection)
  *  - replicated (Duplexity+replication): private full-size filler L1s
+ *
+ * Hot-path structure: the top level of every path is a CachePort (the
+ * class is final and MemPath stores the concrete type, so the per-op
+ * fetch/load/store calls devirtualize), and CachePort::access first
+ * tries the cache's inline MRU fast hit before taking the out-of-line
+ * miss walk (accessFill). Only the rare descent through lower levels
+ * pays virtual dispatch.
  */
 
 #ifndef DPX_MEM_MEMORY_SYSTEM_HH
@@ -48,12 +55,17 @@ class MemPort
 };
 
 /** Terminal DRAM port with a fixed access latency. */
-class DramPort : public MemPort
+class DramPort final : public MemPort
 {
   public:
     explicit DramPort(Cycle latency) : latency_(latency) {}
 
-    Cycle access(AccessType type, Addr addr, Cycle now) override;
+    Cycle
+    access(AccessType, Addr, Cycle) override
+    {
+        ++accesses_;
+        return latency_;
+    }
 
     std::uint64_t accesses() const { return accesses_; }
 
@@ -63,30 +75,61 @@ class DramPort : public MemPort
 };
 
 /** A cache backed by a lower-level port. */
-class CachePort : public MemPort
+class CachePort final : public MemPort
 {
   public:
     CachePort(const CacheConfig &config, MemPort *below);
 
-    Cycle access(AccessType type, Addr addr, Cycle now) override;
+    /**
+     * Inline fast path: an MRU-filter hit needs no downstream fill,
+     * so only write-through stores touch the level below (the posted
+     * write existed on the legacy hit path too). Everything else —
+     * filter miss, scan hit, miss walk — is out of line.
+     */
+    Cycle
+    access(AccessType type, Addr addr, Cycle now) override
+    {
+        const bool is_store = type == AccessType::Store;
+        Cycle latency;
+        if (cache_.tryFastHit(addr, is_store, now, latency)) {
+            if (is_store && write_through_ && below_ != nullptr)
+                below_->access(AccessType::Store, addr, now + latency);
+            return latency;
+        }
+        return accessFill(type, addr, now);
+    }
 
     Cache &cache() { return cache_; }
     const Cache &cache() const { return cache_; }
     const StreamPrefetcher &prefetcher() const { return prefetcher_; }
 
   private:
+    /** Scan-hit / miss path: full cache scan plus the fill walk
+     *  through the level below. */
+    Cycle accessFill(AccessType type, Addr addr, Cycle now);
+
     Cache cache_;
     MemPort *below_;
+    /** Hot scalar copies of cache policy (see Cache). */
+    bool write_through_;
+    bool write_allocate_;
+    bool prefetch_;
+    Cycle prefetch_latency_;
     StreamPrefetcher prefetcher_;
 };
 
 /** Fixed-latency link (the +3-cycle dyad interconnect). */
-class LinkPort : public MemPort
+class LinkPort final : public MemPort
 {
   public:
     LinkPort(Cycle extra, MemPort *below) : extra_(extra), below_(below) {}
 
-    Cycle access(AccessType type, Addr addr, Cycle now) override;
+    Cycle
+    access(AccessType type, Addr addr, Cycle now) override
+    {
+        ++traversals_;
+        return extra_ + below_->access(type, addr, now + extra_);
+    }
 
     std::uint64_t traversals() const { return traversals_; }
 
@@ -98,26 +141,45 @@ class LinkPort : public MemPort
 
 /**
  * A complete fetch+data path with its TLBs; what a CPU engine binds a
- * thread to.
+ * thread to. The top-level ports are always CachePorts — storing the
+ * final type devirtualizes (and inlines) the per-op access calls.
  */
 struct MemPath
 {
-    MemPort *instr = nullptr;
-    MemPort *data = nullptr;
+    CachePort *instr = nullptr;
+    CachePort *data = nullptr;
     Tlb *itlb = nullptr;
     Tlb *dtlb = nullptr;
 
     /** Instruction fetch latency (ITLB + instruction path). */
-    Cycle fetch(Addr addr, Cycle now) const;
+    Cycle
+    fetch(Addr addr, Cycle now) const
+    {
+        Cycle latency = itlb ? itlb->access(addr) : 0;
+        latency += instr->access(AccessType::IFetch, addr, now + latency);
+        return latency;
+    }
 
     /** Load-to-use latency (DTLB + data path). */
-    Cycle load(Addr addr, Cycle now) const;
+    Cycle
+    load(Addr addr, Cycle now) const
+    {
+        Cycle latency = dtlb ? dtlb->access(addr) : 0;
+        latency += data->access(AccessType::Load, addr, now + latency);
+        return latency;
+    }
 
     /**
      * Store latency for state/statistics purposes (pipelines retire
      * stores through store buffers; callers typically charge 1 cycle).
      */
-    Cycle store(Addr addr, Cycle now) const;
+    Cycle
+    store(Addr addr, Cycle now) const
+    {
+        Cycle latency = dtlb ? dtlb->access(addr) : 0;
+        latency += data->access(AccessType::Store, addr, now + latency);
+        return latency;
+    }
 };
 
 /** Geometry of every structure in a dyad's memory system (Table I). */
@@ -183,6 +245,10 @@ class DyadMemorySystem
     Tlb &masterDtlb() { return *master_dtlb_; }
     Tlb &fillerItlb() { return *filler_itlb_; }
     Tlb &fillerDtlb() { return *filler_dtlb_; }
+
+    /** Gate every cache and TLB fast path at once (differential
+     *  testing: a disabled system reproduces legacy behaviour). */
+    void setFastPathsEnabled(bool on);
 
     void resetStats();
 

@@ -46,7 +46,7 @@ Tlb::vpnOf(Addr addr) const
     return addr >> page_shift_;
 }
 
-bool
+Tlb::Entry *
 Tlb::lookupLevel(std::vector<Entry> &level, Addr vpn,
                  std::uint64_t &clock)
 {
@@ -57,18 +57,18 @@ Tlb::lookupLevel(std::vector<Entry> &level, Addr vpn,
     for (std::uint32_t w = 0; w < tlb_ways; ++w) {
         if (base[w].valid && base[w].vpn == vpn) {
             base[w].lru = ++clock;
-            return true;
+            return &base[w];
         }
     }
-    return false;
+    return nullptr;
 }
 
-void
+Tlb::Entry *
 Tlb::fillLevel(std::vector<Entry> &level, Addr vpn,
                std::uint64_t &clock)
 {
     if (level.empty())
-        return;
+        return nullptr;
     const std::size_t sets = level.size() / tlb_ways;
     Entry *base = &level[(vpn & (sets - 1)) * tlb_ways];
     Entry *victim = base;
@@ -83,24 +83,27 @@ Tlb::fillLevel(std::vector<Entry> &level, Addr vpn,
     victim->vpn = vpn;
     victim->valid = true;
     victim->lru = ++clock;
+    return victim;
 }
 
 Cycle
-Tlb::access(Addr addr)
+Tlb::accessSlow(Addr addr)
 {
     const Addr vpn = vpnOf(addr);
-    if (lookupLevel(entries_, vpn, lru_clock_)) {
+    if (Entry *hit = lookupLevel(entries_, vpn, lru_clock_)) {
         ++stats_.hits;
+        rememberL1(vpn, hit);
         return 0;
     }
-    if (!l2_entries_.empty() &&
-        lookupLevel(l2_entries_, vpn, lru_clock_)) {
-        ++stats_.l2_hits;
-        fillLevel(entries_, vpn, lru_clock_);
-        return config_.l2_latency;
+    if (!l2_entries_.empty()) {
+        if (lookupLevel(l2_entries_, vpn, lru_clock_)) {
+            ++stats_.l2_hits;
+            rememberL1(vpn, fillLevel(entries_, vpn, lru_clock_));
+            return config_.l2_latency;
+        }
     }
     ++stats_.misses;
-    fillLevel(entries_, vpn, lru_clock_);
+    rememberL1(vpn, fillLevel(entries_, vpn, lru_clock_));
     fillLevel(l2_entries_, vpn, lru_clock_);
     return config_.walk_latency;
 }
@@ -125,6 +128,10 @@ Tlb::flush()
         entry.valid = false;
     for (Entry &entry : l2_entries_)
         entry.valid = false;
+    // Shootdown: the filter entry's slot is now invalid, so the
+    // self-validation check would reject it anyway; clear it so the
+    // next access does not probe a dead slot.
+    last_vpn_ = ~Addr(0);
 }
 
 } // namespace duplexity

@@ -3,6 +3,14 @@
  * Translation lookaside buffer model. Table I provisions 64-entry I/D
  * TLBs; the master-core replicates them per mode so filler-threads
  * cannot thrash the master-thread's translations.
+ *
+ * Hot-path structure (bit-identical, proven by
+ * tests/mem/fastpath_diff_test.cc): access() first checks a one-entry
+ * VPN filter — the last-hit page and the L1 slot that held it — and
+ * only on a filter miss takes the out-of-line two-level walk
+ * (accessSlow). The filter entry is self-validating (it hits only
+ * when the recorded slot still holds the recorded page), so fills and
+ * shootdowns cannot make it lie; flush() clears it as well.
  */
 
 #ifndef DPX_MEM_TLB_HH
@@ -38,7 +46,7 @@ struct TlbStats
     double missRate() const;
 };
 
-/** Fully associative, LRU-replaced TLB. */
+/** Two-level set-associative, LRU-replaced TLB. */
 class Tlb
 {
   public:
@@ -49,7 +57,40 @@ class Tlb
 
     /** @return added latency: 0 on an L1 hit, l2_latency on an L2
      *  hit, walk_latency on a full walk. */
-    Cycle access(Addr addr);
+    Cycle
+    access(Addr addr)
+    {
+        if (fast_path_enabled_) {
+            const Addr vpn = addr >> page_shift_;
+            if (vpn == last_vpn_) {
+                Entry &entry = entries_[last_index_];
+                // Self-validation: the recorded L1 slot must still
+                // hold this page (fills may have displaced it).
+                if (entry.valid && entry.vpn == vpn) {
+                    entry.lru = ++lru_clock_;
+                    ++stats_.hits;
+                    return 0;
+                }
+            }
+        }
+        return accessSlow(addr);
+    }
+
+    /** Two-level walk (the filter-miss path); exercised directly by
+     *  the differential tests. */
+    Cycle accessSlow(Addr addr);
+
+    /** Gate the VPN filter (default on); disabling reproduces the
+     *  legacy walk-only behaviour for differential testing. */
+    void
+    setFastPathEnabled(bool on)
+    {
+        fast_path_enabled_ = on;
+        if (!on)
+            last_vpn_ = ~Addr(0);
+    }
+
+    bool fastPathEnabled() const { return fast_path_enabled_; }
 
     bool probe(Addr addr) const;
 
@@ -67,15 +108,28 @@ class Tlb
 
     Addr vpnOf(Addr addr) const;
 
-    /** Look up / fill one level; @return true on hit. */
-    static bool lookupLevel(std::vector<Entry> &level, Addr vpn,
+    /** Look up one level; @return the hit entry or nullptr. */
+    static Entry *lookupLevel(std::vector<Entry> &level, Addr vpn,
+                              std::uint64_t &clock);
+    /** Fill one level; @return the filled entry (nullptr if the
+     *  level is absent). */
+    static Entry *fillLevel(std::vector<Entry> &level, Addr vpn,
                             std::uint64_t &clock);
-    static void fillLevel(std::vector<Entry> &level, Addr vpn,
-                          std::uint64_t &clock);
+
+    void
+    rememberL1(Addr vpn, const Entry *entry)
+    {
+        last_vpn_ = vpn;
+        last_index_ = static_cast<std::uint64_t>(entry - entries_.data());
+    }
 
     TlbConfig config_;
     TlbStats stats_;
     std::uint32_t page_shift_;
+    bool fast_path_enabled_ = true;
+    /** One-entry VPN filter: last L1-hit page and its slot. */
+    Addr last_vpn_ = ~Addr(0);
+    std::uint64_t last_index_ = 0;
     std::vector<Entry> entries_;
     std::vector<Entry> l2_entries_;
     std::uint64_t lru_clock_ = 0;

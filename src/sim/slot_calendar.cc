@@ -22,24 +22,6 @@ SlotCalendar::SlotCalendar(std::uint32_t slots_per_cycle,
     counts_.assign(window_, 0);
 }
 
-Cycle
-SlotCalendar::reserve(Cycle earliest)
-{
-    Cycle c = std::max(earliest, base_);
-    for (;;) {
-        if (c >= base_ + window_)
-            retireBefore(c > window_ / 2 ? c - window_ / 2 : 0);
-        DPX_DCHECK(c >= base_ && c < base_ + window_);
-        std::uint16_t &count = counts_[slot(c)];
-        DPX_DCHECK_LE(count, slots_per_cycle_);
-        if (count < slots_per_cycle_) {
-            ++count;
-            return c;
-        }
-        ++c;
-    }
-}
-
 bool
 SlotCalendar::tryReserveAt(Cycle cycle)
 {
@@ -82,6 +64,8 @@ SlotCalendar::reset()
 {
     std::fill(counts_.begin(), counts_.end(), 0);
     base_ = 0;
+    cursor_request_ = ~Cycle(0);
+    cursor_granted_ = 0;
 }
 
 } // namespace duplexity

@@ -8,6 +8,17 @@
  * micro-op is processed exactly once, and structural bandwidth limits
  * are enforced by reserving calendar slots instead of iterating
  * cycle-by-cycle.
+ *
+ * reserve() is defined inline with a cached current-slot cursor: the
+ * common pattern on the pipeline hot path is a burst of reservations
+ * at the same earliest cycle (a width-w resource grants w same-cycle
+ * slots before spilling), and the cursor lets every reservation after
+ * the first skip straight to the frontier the previous search already
+ * proved full. Occupancy counts never decrease for cycles >= base_
+ * (retireBefore only clears cycles that fall below the new base, and
+ * no future request can land there), so a once-full prefix stays
+ * full and the skip is exact — granted slots are bit-identical to an
+ * uncached search.
  */
 
 #ifndef DPX_SIM_SLOT_CALENDAR_HH
@@ -16,6 +27,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/check.hh"
 #include "sim/types.hh"
 
 namespace duplexity
@@ -37,7 +49,31 @@ class SlotCalendar
                           std::size_t window = 16384);
 
     /** Reserve one slot at the earliest cycle >= @p earliest. */
-    Cycle reserve(Cycle earliest);
+    Cycle
+    reserve(Cycle earliest)
+    {
+        Cycle c = earliest > base_ ? earliest : base_;
+        const Cycle requested = c;
+        // Same-cycle burst fast path: the previous search proved
+        // every cycle in [requested, cursor_granted_) full, and
+        // counts only grow, so restart the scan at the frontier.
+        if (requested == cursor_request_ && cursor_granted_ > c)
+            c = cursor_granted_;
+        for (;;) {
+            if (c >= base_ + window_)
+                retireBefore(c > window_ / 2 ? c - window_ / 2 : 0);
+            DPX_DCHECK(c >= base_ && c < base_ + window_);
+            std::uint16_t &count = counts_[slot(c)];
+            DPX_DCHECK_LE(count, slots_per_cycle_);
+            if (count < slots_per_cycle_) {
+                ++count;
+                cursor_request_ = requested;
+                cursor_granted_ = c;
+                return c;
+            }
+            ++c;
+        }
+    }
 
     /**
      * Reserve only if a slot is free exactly at @p cycle; returns
@@ -66,6 +102,13 @@ class SlotCalendar
     std::size_t mask_;   // window_ - 1
     std::vector<std::uint16_t> counts_;
     Cycle base_ = 0; // counts_[slot(c)] valid for c in [base, base+window)
+    /** Cursor cache: the last reserve()'s effective request cycle and
+     *  the slot it was granted. Cleared by reset() (a stale cursor is
+     *  never *wrong* — only the matching request can use it, and its
+     *  proven-full prefix cannot un-fill — but reset() empties the
+     *  calendar, so the proof no longer holds). */
+    Cycle cursor_request_ = ~Cycle(0);
+    Cycle cursor_granted_ = 0;
 };
 
 } // namespace duplexity

@@ -120,6 +120,37 @@ SampleStats::percentile(double p) const
     return samples_[lo] + frac * (samples_[hi] - samples_[lo]);
 }
 
+double
+SampleStats::percentileSelect(double p) const
+{
+    DPX_CHECK(p >= 0.0 && p <= 1.0)
+        << " — percentile p out of range: " << p;
+    DPX_CHECK(!samples_.empty()) << " — percentile of empty population";
+    const std::size_t n = samples_.size();
+    if (n == 1)
+        return samples_[0];
+    double rank = p * static_cast<double>(n - 1);
+    std::size_t lo = static_cast<std::size_t>(rank);
+    std::size_t hi = std::min(lo + 1, n - 1);
+    double frac = rank - static_cast<double>(lo);
+    if (sorted_)
+        return samples_[lo] + frac * (samples_[hi] - samples_[lo]);
+    // Selection: after nth_element the element at `lo` is exactly the
+    // lo-th order statistic, and the (lo+1)-th is the minimum of the
+    // right partition — the same two values a full sort would read.
+    std::nth_element(samples_.begin(),
+                     samples_.begin() + static_cast<std::ptrdiff_t>(lo),
+                     samples_.end());
+    const double v_lo = samples_[lo];
+    double v_hi = v_lo;
+    if (hi != lo) {
+        v_hi = *std::min_element(
+            samples_.begin() + static_cast<std::ptrdiff_t>(lo) + 1,
+            samples_.end());
+    }
+    return v_lo + frac * (v_hi - v_lo);
+}
+
 void
 SampleStats::finalize()
 {

@@ -82,6 +82,23 @@ class SampleStats
      */
     double percentile(double p) const;
 
+    /**
+     * Same value as percentile(p) — the identical closest-rank
+     * interpolation over the identical retained samples — computed by
+     * rank selection (nth_element) instead of a full sort: O(n)
+     * instead of O(n log n) on an unsorted store. The batch-means
+     * stopping rule reads one p99 per batch and then resets, which
+     * makes the sort pure overhead (the run_queue_sim regression in
+     * BENCH_hotpath.json was exactly this).
+     *
+     * Caveats: single-threaded only (reorders the sample store
+     * without marking it sorted), and must not be interleaved with
+     * reservoir-phase add() — a later add() indexes the store, so
+     * reordering would replace a different value than the
+     * sorted-store path. Both call sites reset() right after.
+     */
+    double percentileSelect(double p) const;
+
     /** Shorthand for the paper's headline metric. */
     double p99() const { return percentile(0.99); }
 

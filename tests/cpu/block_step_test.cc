@@ -1,0 +1,228 @@
+/**
+ * @file
+ * processBlock vs. processOp differential: the block-batched stepping
+ * path must be bit-identical to the legacy per-op loop — same per-op
+ * outcomes, same lane stats, same memory-system counters, same final
+ * timestamps — for both issue modes, with and without remote-op
+ * stalls. This is the cpu-side half of the golden fast-path wall
+ * (see tests/mem/fastpath_diff_test.cc for the memory side).
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "branch/predictor.hh"
+#include "cpu/core_engine.hh"
+#include "mem/memory_system.hh"
+#include "sim/rng.hh"
+#include "workload/catalog.hh"
+#include "workload/microservice.hh"
+
+using namespace duplexity;
+
+namespace
+{
+
+/** Everything one single-lane measurement needs, seeded identically. */
+struct Rig
+{
+    DyadMemorySystem mem;
+    CoreEngine engine;
+    std::unique_ptr<BranchPredictor> pred;
+    Btb btb;
+    ReturnAddressStack ras;
+    BatchSource source;
+    Lane lane;
+
+    Rig(IssueMode mode, double stall_us)
+        : mem(MemSystemConfig::makeDefault()),
+          engine(CoreEngineConfig{}),
+          pred(makePredictor(mode == IssueMode::OutOfOrder
+                                 ? PredictorConfig::Kind::Tournament
+                                 : PredictorConfig::Kind::GshareSmall)),
+          btb(2048, 4), ras(32),
+          // Short compute segments (~1.4k instrs) so remote ops show
+          // up many times inside the test horizons.
+          source(makeFlannXY(0.2, stall_us, 0),
+                 Rng(0xb10cull).fork(1))
+    {
+        LaneConfig cfg = engine.defaultLaneConfig(mode);
+        cfg.path = mode == IssueMode::OutOfOrder ? mem.masterPath()
+                                                 : mem.lenderPath();
+        cfg.branch = {pred.get(), &btb, &ras};
+        lane.configure(cfg);
+    }
+};
+
+struct RunResult
+{
+    std::uint64_t committed_in_window = 0;
+    std::uint64_t ops = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t mispredicts = 0;
+    std::uint64_t remote_ops = 0;
+    Cycle final_next_fetch = 0;
+    std::uint64_t l1d_hits = 0;
+    std::uint64_t l1d_misses = 0;
+    std::uint64_t dram = 0;
+
+    void
+    expectEq(const RunResult &o) const
+    {
+        EXPECT_EQ(committed_in_window, o.committed_in_window);
+        EXPECT_EQ(ops, o.ops);
+        EXPECT_EQ(branches, o.branches);
+        EXPECT_EQ(mispredicts, o.mispredicts);
+        EXPECT_EQ(remote_ops, o.remote_ops);
+        EXPECT_EQ(final_next_fetch, o.final_next_fetch);
+        EXPECT_EQ(l1d_hits, o.l1d_hits);
+        EXPECT_EQ(l1d_misses, o.l1d_misses);
+        EXPECT_EQ(dram, o.dram);
+    }
+};
+
+RunResult
+finishResult(Rig &rig, std::uint64_t committed)
+{
+    RunResult r;
+    r.committed_in_window = committed;
+    r.ops = rig.lane.stats().ops;
+    r.branches = rig.lane.stats().branches;
+    r.mispredicts = rig.lane.stats().mispredicts;
+    r.remote_ops = rig.lane.stats().remote_ops;
+    r.final_next_fetch = rig.lane.nextFetch();
+    const Cache &l1d = rig.lane.config().path.data->cache();
+    r.l1d_hits = l1d.stats().hits;
+    r.l1d_misses = l1d.stats().misses;
+    r.dram = rig.mem.dram().accesses();
+    return r;
+}
+
+constexpr Cycle warmup = 30'000;
+constexpr Cycle horizon = 180'000;
+
+/** The legacy loop: one draw, one processOp, stall on remote. */
+RunResult
+runPerOp(Rig &rig, const Frequency &freq, bool apply_stall)
+{
+    std::uint64_t committed = 0;
+    while (rig.lane.nextFetch() < horizon) {
+        MicroOp op = rig.source.next();
+        OpOutcome out = rig.engine.processOp(rig.lane, op);
+        if (out.commit_time >= warmup && out.commit_time < horizon)
+            ++committed;
+        if (out.remote && apply_stall) {
+            rig.lane.stallUntil(out.commit_time +
+                                freq.microsToCycles(out.stall_us));
+        }
+    }
+    return finishResult(rig, committed);
+}
+
+/** The batched loop, mirroring scenario.cc aloneBatchIpc. */
+RunResult
+runBlocked(Rig &rig, const Frequency &freq, bool apply_stall)
+{
+    std::uint64_t committed = 0;
+    std::array<MicroOp, 256> block;
+    std::uint32_t head = 0;
+    std::uint32_t filled = 0;
+    while (rig.lane.nextFetch() < horizon) {
+        if (head == filled) {
+            for (MicroOp &op : block)
+                op = rig.source.next();
+            head = 0;
+            filled = static_cast<std::uint32_t>(block.size());
+        }
+        BlockOutcome blk = rig.engine.processBlock(
+            rig.lane, block.data() + head, filled - head, horizon,
+            warmup, horizon);
+        head += blk.processed;
+        committed += blk.committed_in_window;
+        if (blk.stopped_remote && apply_stall) {
+            rig.lane.stallUntil(
+                blk.last.commit_time +
+                freq.microsToCycles(blk.last.stall_us));
+        }
+    }
+    return finishResult(rig, committed);
+}
+
+} // namespace
+
+TEST(BlockStep, MatchesPerOpLoopInOrderWithRemoteStalls)
+{
+    const Frequency freq(3.4e9);
+    Rig a(IssueMode::InOrder, /*stall_us*/ 1.5);
+    Rig b(IssueMode::InOrder, /*stall_us*/ 1.5);
+    RunResult per_op = runPerOp(a, freq, true);
+    RunResult blocked = runBlocked(b, freq, true);
+    EXPECT_GT(per_op.remote_ops, 0u); // the stalls actually happened
+    blocked.expectEq(per_op);
+}
+
+TEST(BlockStep, MatchesPerOpLoopOutOfOrder)
+{
+    const Frequency freq(3.4e9);
+    Rig a(IssueMode::OutOfOrder, /*stall_us*/ 0.0);
+    Rig b(IssueMode::OutOfOrder, /*stall_us*/ 0.0);
+    RunResult per_op = runPerOp(a, freq, false);
+    RunResult blocked = runBlocked(b, freq, false);
+    blocked.expectEq(per_op);
+}
+
+TEST(BlockStep, RemoteStopsBlockEarly)
+{
+    const Frequency freq(3.4e9);
+    Rig rig(IssueMode::InOrder, /*stall_us*/ 1.0);
+    std::vector<MicroOp> ops;
+    for (int i = 0; i < 4'096; ++i)
+        ops.push_back(rig.source.next());
+    std::size_t head = 0;
+    bool saw_remote_stop = false;
+    while (head < ops.size() && rig.lane.nextFetch() < horizon) {
+        BlockOutcome blk = rig.engine.processBlock(
+            rig.lane, ops.data() + head,
+            static_cast<std::uint32_t>(ops.size() - head), horizon, 0,
+            horizon);
+        ASSERT_GT(blk.processed, 0u);
+        head += blk.processed;
+        if (blk.stopped_remote) {
+            saw_remote_stop = true;
+            // The stop is exactly at the remote op: its outcome is
+            // the block's last, and processing resumed nowhere past
+            // it.
+            EXPECT_TRUE(blk.last.remote);
+            rig.lane.stallUntil(
+                blk.last.commit_time +
+                freq.microsToCycles(blk.last.stall_us));
+        }
+    }
+    EXPECT_TRUE(saw_remote_stop);
+}
+
+TEST(BlockStep, HonorsFetchHorizon)
+{
+    Rig rig(IssueMode::InOrder, /*stall_us*/ 0.0);
+    std::array<MicroOp, 256> block;
+    for (MicroOp &op : block)
+        op = rig.source.next();
+    const Cycle tight_horizon = 500;
+    for (int round = 0; round < 100; ++round) {
+        BlockOutcome blk = rig.engine.processBlock(
+            rig.lane, block.data(),
+            static_cast<std::uint32_t>(block.size()), tight_horizon, 0,
+            tight_horizon);
+        if (blk.processed == 0)
+            break;
+    }
+    // Once the lane crossed the horizon, processBlock refuses to step.
+    EXPECT_GE(rig.lane.nextFetch(), tight_horizon);
+    BlockOutcome blk = rig.engine.processBlock(
+        rig.lane, block.data(), static_cast<std::uint32_t>(block.size()),
+        tight_horizon, 0, tight_horizon);
+    EXPECT_EQ(blk.processed, 0u);
+}

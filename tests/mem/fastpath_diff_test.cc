@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Fast-path vs. slow-path differential wall for the memory hierarchy.
+ *
+ * Every suite drives the same deterministic access sequence through a
+ * fast-path-enabled model and a forced-slow reference (the legacy
+ * scan-only behaviour) and compares results access-by-access and the
+ * stats structs field-by-field. This is the proof obligation behind
+ * the bit-identical contract in DESIGN.md: the MRU line filter in
+ * Cache, the one-entry VPN filter in Tlb, and the inline CachePort
+ * hit path must be pure strength reductions — no observable output,
+ * counter, or timestamp may change.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/cache.hh"
+#include "mem/memory_system.hh"
+#include "mem/tlb.hh"
+#include "sim/rng.hh"
+
+using namespace duplexity;
+
+namespace
+{
+
+/** Thread-style disjoint address regions (workload/catalog.cc). */
+Addr
+region(std::uint64_t uid)
+{
+    return (Addr(0x100) + uid) << 32;
+}
+
+void
+expectSameCacheStats(const CacheStats &fast, const CacheStats &slow)
+{
+    EXPECT_EQ(fast.hits, slow.hits);
+    EXPECT_EQ(fast.misses, slow.misses);
+    EXPECT_EQ(fast.evictions, slow.evictions);
+    EXPECT_EQ(fast.writebacks, slow.writebacks);
+    EXPECT_EQ(fast.invalidations, slow.invalidations);
+}
+
+void
+expectSameTlbStats(const TlbStats &fast, const TlbStats &slow)
+{
+    EXPECT_EQ(fast.hits, slow.hits);
+    EXPECT_EQ(fast.l2_hits, slow.l2_hits);
+    EXPECT_EQ(fast.misses, slow.misses);
+}
+
+CacheConfig
+smallCache(bool write_through)
+{
+    CacheConfig cfg;
+    cfg.name = "diff";
+    cfg.size_bytes = 16 * 64; // 8 sets x 2 ways
+    cfg.line_bytes = 64;
+    cfg.assoc = 2;
+    cfg.hit_latency = 2;
+    cfg.ports = 2;
+    cfg.write_through = write_through;
+    return cfg;
+}
+
+/** One deterministic access: address, write flag, issue cycle. */
+struct Access
+{
+    Addr addr;
+    bool write;
+    Cycle now;
+};
+
+/** MRU-friendly bursts with conflict churn across two requestors. */
+std::vector<Access>
+mixedSequence(std::size_t n)
+{
+    std::vector<Access> seq;
+    seq.reserve(n);
+    Rng rng(0xfa57'd1ffull);
+    Cycle now = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t uid = rng.next() % 2;
+        // Small per-requestor footprint: repeats hit the MRU filter,
+        // the tail forces conflict misses and evictions.
+        const Addr line = rng.next() % 24;
+        const Addr addr = region(uid) + line * 64 + (rng.next() % 64);
+        const bool write = (rng.next() % 4) == 0;
+        now += rng.next() % 3;
+        seq.push_back({addr, write, now});
+    }
+    return seq;
+}
+
+} // namespace
+
+TEST(CacheFastSlow, MixedSequenceIdentical)
+{
+    for (bool write_through : {false, true}) {
+        Cache fast(smallCache(write_through));
+        Cache slow(smallCache(write_through));
+        slow.setFastPathEnabled(false);
+        ASSERT_TRUE(fast.fastPathEnabled());
+        ASSERT_FALSE(slow.fastPathEnabled());
+
+        for (const Access &a : mixedSequence(20'000)) {
+            CacheAccessResult rf = fast.access(a.addr, a.write, a.now);
+            CacheAccessResult rs = slow.access(a.addr, a.write, a.now);
+            ASSERT_EQ(rf.hit, rs.hit) << "addr " << a.addr;
+            ASSERT_EQ(rf.latency, rs.latency) << "addr " << a.addr;
+            ASSERT_EQ(rf.writeback, rs.writeback) << "addr " << a.addr;
+        }
+        expectSameCacheStats(fast.stats(), slow.stats());
+        EXPECT_EQ(fast.validLines(), slow.validLines());
+    }
+}
+
+TEST(CacheFastSlow, InvalidationsClearStaleMruEntries)
+{
+    Cache fast(smallCache(false));
+    Cache slow(smallCache(false));
+    slow.setFastPathEnabled(false);
+
+    const Addr a = region(0) + 0x40;
+    const Addr b = region(1) + 0x40;
+    Rng rng(7);
+    Cycle now = 0;
+    for (int round = 0; round < 1'000; ++round) {
+        // Warm the MRU filter, then invalidate the exact line it
+        // records; the next access must miss identically.
+        for (Cache *c : {&fast, &slow}) {
+            c->access(a, false, now);
+            c->access(a, true, now + 1);
+            c->access(b, false, now + 2);
+        }
+        if (rng.next() % 2) {
+            fast.invalidate(a);
+            slow.invalidate(a);
+        } else {
+            fast.invalidateAll();
+            slow.invalidateAll();
+        }
+        CacheAccessResult rf = fast.access(a, false, now + 3);
+        CacheAccessResult rs = slow.access(a, false, now + 3);
+        ASSERT_EQ(rf.hit, rs.hit);
+        ASSERT_FALSE(rf.hit); // the invalidation really dropped it
+        ASSERT_EQ(rf.latency, rs.latency);
+        now += 8;
+    }
+    expectSameCacheStats(fast.stats(), slow.stats());
+}
+
+TEST(CacheFastSlow, EvictionListenerSeesIdenticalLines)
+{
+    Cache fast(smallCache(false));
+    Cache slow(smallCache(false));
+    slow.setFastPathEnabled(false);
+    std::vector<Addr> fast_evicted;
+    std::vector<Addr> slow_evicted;
+    fast.setEvictionListener(
+        [&fast_evicted](Addr line) { fast_evicted.push_back(line); });
+    slow.setEvictionListener(
+        [&slow_evicted](Addr line) { slow_evicted.push_back(line); });
+
+    for (const Access &a : mixedSequence(20'000)) {
+        fast.access(a.addr, a.write, a.now);
+        slow.access(a.addr, a.write, a.now);
+    }
+    ASSERT_FALSE(fast_evicted.empty());
+    EXPECT_EQ(fast_evicted, slow_evicted);
+    expectSameCacheStats(fast.stats(), slow.stats());
+}
+
+TEST(CacheFastSlow, MruHitAfterEvictionOfRecordedLine)
+{
+    // Two lines in the same set from the same requestor: evicting the
+    // MRU-recorded line via conflict pressure must not let the filter
+    // lie (self-validation: the way no longer holds the tag).
+    Cache fast(smallCache(false));
+    Cache slow(smallCache(false));
+    slow.setFastPathEnabled(false);
+    const Addr base = region(0);
+    // 8 sets: lines 0, 8, 16 alias into set 0.
+    const Addr l0 = base + 0 * 64;
+    const Addr l1 = base + 8 * 64;
+    const Addr l2 = base + 16 * 64;
+    for (int i = 0; i < 1'000; ++i) {
+        for (Cache *c : {&fast, &slow}) {
+            c->access(l0, false, 0); // MRU records l0
+            c->access(l1, false, 1);
+            c->access(l2, false, 2); // evicts l0 (LRU)
+        }
+        CacheAccessResult rf = fast.access(l0, false, 3);
+        CacheAccessResult rs = slow.access(l0, false, 3);
+        ASSERT_EQ(rf.hit, rs.hit);
+        ASSERT_FALSE(rf.hit);
+        ASSERT_EQ(rf.latency, rs.latency);
+    }
+    expectSameCacheStats(fast.stats(), slow.stats());
+}
+
+TEST(TlbFastSlow, MixedSequenceWithShootdownsIdentical)
+{
+    Tlb fast{TlbConfig{}};
+    Tlb slow{TlbConfig{}};
+    slow.setFastPathEnabled(false);
+    ASSERT_TRUE(fast.fastPathEnabled());
+
+    Rng rng(0x71b5ull);
+    for (int i = 0; i < 50'000; ++i) {
+        const std::uint64_t uid = rng.next() % 2;
+        // Page-grained bursts: repeats hit the VPN filter, the spread
+        // exercises L1 displacement, L2 hits, and full walks.
+        const Addr page = rng.next() % 300;
+        const Addr addr = region(uid) + page * 4096 + (rng.next() % 4096);
+        Cycle lf = fast.access(addr);
+        Cycle ls = slow.access(addr);
+        ASSERT_EQ(lf, ls) << "addr " << addr;
+        ASSERT_EQ(fast.probe(addr), slow.probe(addr));
+        if (rng.next() % 1024 == 0) {
+            // TLB shootdown: the VPN filter must not survive it.
+            fast.flush();
+            slow.flush();
+        }
+    }
+    expectSameTlbStats(fast.stats(), slow.stats());
+}
+
+TEST(DyadFastSlow, FillerPathInclusionIdentical)
+{
+    // Full-system differential: the Duplexity filler path (L0 filters
+    // -> link -> lender L1s) exercises write-through posted stores,
+    // the lender-L1 eviction listener, and the L0 invalidations that
+    // maintain inclusion — all of which must be invisible to the MRU
+    // and VPN filters.
+    MemSystemConfig cfg = MemSystemConfig::makeDefault();
+    DyadMemorySystem fast(cfg);
+    DyadMemorySystem slow(cfg);
+    slow.setFastPathsEnabled(false);
+
+    MemPath fast_filler = fast.fillerRemotePath();
+    MemPath slow_filler = slow.fillerRemotePath();
+    MemPath fast_lender = fast.lenderPath();
+    MemPath slow_lender = slow.lenderPath();
+
+    Rng rng(0xdba9ull);
+    Cycle now = 0;
+    for (int i = 0; i < 60'000; ++i) {
+        const Addr faddr =
+            region(2) + (rng.next() % (512 * 1024));
+        const Addr laddr =
+            region(3) + (rng.next() % (256 * 1024));
+        now += rng.next() % 4;
+        const std::uint32_t kind = rng.next() % 4;
+        Cycle lf;
+        Cycle ls;
+        if (kind == 0) {
+            lf = fast_filler.store(faddr, now);
+            ls = slow_filler.store(faddr, now);
+        } else if (kind == 1) {
+            lf = fast_filler.load(faddr, now);
+            ls = slow_filler.load(faddr, now);
+        } else if (kind == 2) {
+            lf = fast_filler.fetch(faddr, now);
+            ls = slow_filler.fetch(faddr, now);
+        } else {
+            // Lender-side churn evicts lender-L1 lines and triggers
+            // the inclusion invalidations into the L0 filters.
+            lf = fast_lender.load(laddr, now);
+            ls = slow_lender.load(laddr, now);
+        }
+        ASSERT_EQ(lf, ls) << "op " << i;
+    }
+
+    // The sequence must actually have exercised the inclusion wiring.
+    EXPECT_GT(fast.l0d().stats().invalidations +
+                  fast.l0i().stats().invalidations,
+              0u);
+
+    expectSameCacheStats(fast.l0i().stats(), slow.l0i().stats());
+    expectSameCacheStats(fast.l0d().stats(), slow.l0d().stats());
+    expectSameCacheStats(fast.lenderL1i().stats(),
+                         slow.lenderL1i().stats());
+    expectSameCacheStats(fast.lenderL1d().stats(),
+                         slow.lenderL1d().stats());
+    expectSameCacheStats(fast.llc().stats(), slow.llc().stats());
+    expectSameTlbStats(fast.fillerItlb().stats(),
+                       slow.fillerItlb().stats());
+    expectSameTlbStats(fast.fillerDtlb().stats(),
+                       slow.fillerDtlb().stats());
+    EXPECT_EQ(fast.dram().accesses(), slow.dram().accesses());
+    EXPECT_EQ(fast.dyadLinkI().traversals(),
+              slow.dyadLinkI().traversals());
+    EXPECT_EQ(fast.dyadLinkD().traversals(),
+              slow.dyadLinkD().traversals());
+}

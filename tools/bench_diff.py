@@ -27,6 +27,10 @@ SKIP_MARKERS = (
     "threads",
     "identical",
     "baseline",
+    # Deliberately-slow reference paths (fast-path benches measure
+    # them only to compute the speedup; their drift is not a perf
+    # signal for the product configuration).
+    "forced_slow",
     "p99",
     "quantile",
 )
