@@ -134,19 +134,17 @@ measureComputeIpcUncached(const WorkloadParams &params, IssueMode mode)
     // amortize per-op dispatch. Bit-identical to a processOp loop.
     // The legacy loop ignored remote ops here (calibration batches
     // carry no stall distribution), so stopped_remote just resumes.
-    std::array<MicroOp, 256> block;
+    OpBlock block;
     std::uint32_t head = 0;
-    std::uint32_t filled = 0;
     while (lane.nextFetch() < horizon) {
-        if (head == filled) {
-            for (MicroOp &op : block)
-                op = source.next();
+        if (head == block.size()) {
+            block.clear();
+            source.fillBlock(block, kOpBlockCapacity);
             head = 0;
-            filled = static_cast<std::uint32_t>(block.size());
         }
         BlockOutcome blk =
-            engine.processBlock(lane, block.data() + head,
-                                filled - head, horizon, warmup, horizon);
+            engine.processBlock(lane, block, head, horizon, warmup,
+                                horizon);
         head += blk.processed;
         ops += blk.committed_in_window;
     }

@@ -793,19 +793,17 @@ aloneBatchIpc(BatchKind kind)
     // pre-drawing a block is invisible; the engine stops right after
     // a remote op so the µs stall lands before the next fetch check,
     // exactly as in the per-op loop.
-    std::array<MicroOp, 256> block;
+    OpBlock block;
     std::uint32_t head = 0;
-    std::uint32_t filled = 0;
     while (lane.nextFetch() < horizon) {
-        if (head == filled) {
-            for (MicroOp &op : block)
-                op = source.next();
+        if (head == block.size()) {
+            block.clear();
+            source.fillBlock(block, kOpBlockCapacity);
             head = 0;
-            filled = static_cast<std::uint32_t>(block.size());
         }
         BlockOutcome blk =
-            engine.processBlock(lane, block.data() + head,
-                                filled - head, horizon, warmup, horizon);
+            engine.processBlock(lane, block, head, horizon, warmup,
+                                horizon);
         head += blk.processed;
         ops += blk.committed_in_window;
         if (blk.stopped_remote) {

@@ -72,19 +72,16 @@ runSmtSweep(const SmtSweepConfig &config)
         // the most-behind loop below, which would pick the only
         // thread every round).
         Thread &t = threads[0];
-        std::array<MicroOp, 256> block;
+        OpBlock block;
         std::uint32_t head = 0;
-        std::uint32_t filled = 0;
         while (t.lane.nextFetch() < m_end) {
-            if (head == filled) {
-                for (MicroOp &op : block)
-                    op = t.source->next();
+            if (head == block.size()) {
+                block.clear();
+                t.source->fillBlock(block, kOpBlockCapacity);
                 head = 0;
-                filled = static_cast<std::uint32_t>(block.size());
             }
             BlockOutcome blk = engine.processBlock(
-                t.lane, block.data() + head, filled - head, m_end,
-                m_start, m_end);
+                t.lane, block, head, m_end, m_start, m_end);
             head += blk.processed;
             t.ops += blk.committed_in_window;
             total_ops += blk.committed_in_window;

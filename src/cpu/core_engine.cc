@@ -117,6 +117,66 @@ CoreEngine::processBlock(Lane &lane, const MicroOp *ops,
     return blk;
 }
 
+BlockOutcome
+CoreEngine::processBlock(Lane &lane, const OpBlock &block,
+                         std::uint32_t offset, Cycle fetch_horizon,
+                         Cycle window_lo, Cycle window_hi)
+{
+    DPX_DCHECK_LE(offset, block.size());
+    const std::uint32_t count =
+        static_cast<std::uint32_t>(block.size()) - offset;
+
+    if (!soa_enabled_) {
+        // Forced-legacy reference: materialize the lanes into an AoS
+        // array and run the pointer overload unchanged.
+        MicroOp ops[kOpBlockCapacity];
+        for (std::uint32_t i = 0; i < count; ++i)
+            ops[i] = block.get(offset + i);
+        return processBlock(lane, ops, count, fetch_horizon,
+                            window_lo, window_hi);
+    }
+
+    const OpClass *cls = block.cls() + offset;
+    const Addr *pc = block.pc() + offset;
+    const Addr *mem_addr = block.memAddr() + offset;
+    const bool *taken = block.taken() + offset;
+    const std::uint8_t *dep1 = block.dep1() + offset;
+    const std::uint8_t *dep2 = block.dep2() + offset;
+    const float *stall_us = block.stallUs() + offset;
+    const bool *eor = block.endOfRequest() + offset;
+
+    BlockOutcome blk;
+    LaneStats local;
+    OpOutcome out;
+    while (blk.processed < count && lane.next_fetch_ < fetch_horizon) {
+        const std::uint32_t i = blk.processed;
+        MicroOp op;
+        op.cls = cls[i];
+        op.pc = pc[i];
+        op.mem_addr = mem_addr[i];
+        op.taken = taken[i];
+        op.dep1 = dep1[i];
+        op.dep2 = dep2[i];
+        op.stall_us = stall_us[i];
+        op.end_of_request = eor[i];
+        out = stepOp(lane, op, local);
+        ++blk.processed;
+        if (out.commit_time >= window_lo && out.commit_time < window_hi)
+            ++blk.committed_in_window;
+        if (out.remote) {
+            blk.stopped_remote = true;
+            break;
+        }
+    }
+    if (blk.processed > 0)
+        blk.last = out;
+    lane.stats_.ops += local.ops;
+    lane.stats_.branches += local.branches;
+    lane.stats_.mispredicts += local.mispredicts;
+    lane.stats_.remote_ops += local.remote_ops;
+    return blk;
+}
+
 OpOutcome
 CoreEngine::stepOp(Lane &lane, const MicroOp &op, LaneStats &stats)
 {

@@ -28,6 +28,7 @@
 #include "sim/slot_calendar.hh"
 #include "mem/memory_system.hh"
 #include "sim/types.hh"
+#include "workload/op_block.hh"
 
 namespace duplexity
 {
@@ -216,6 +217,23 @@ class CoreEngine
                               std::uint32_t count, Cycle fetch_horizon,
                               Cycle window_lo, Cycle window_hi);
 
+    /**
+     * SoA form: process @p block's ops from @p offset onward, reading
+     * the lanes directly (no AoS intermediate). Same semantics and
+     * stop conditions as the pointer overload, bit-identical outcomes
+     * (tests/cpu/soa_block_step_test.cc). With
+     * setSoaPipelineEnabled(false) the block is materialized into a
+     * MicroOp array and run through the legacy pointer overload — the
+     * differential wall's forced-legacy reference, mirroring the
+     * fast-path contract of DESIGN.md §4b.
+     */
+    BlockOutcome processBlock(Lane &lane, const OpBlock &block,
+                              std::uint32_t offset, Cycle fetch_horizon,
+                              Cycle window_lo, Cycle window_hi);
+
+    void setSoaPipelineEnabled(bool enabled) { soa_enabled_ = enabled; }
+    bool soaPipelineEnabled() const { return soa_enabled_; }
+
     /** Build a LaneConfig pre-wired to this core's shared calendars. */
     LaneConfig defaultLaneConfig(IssueMode mode);
 
@@ -245,6 +263,9 @@ class CoreEngine
     std::size_t rob_pos_ = 0;
     std::size_t lq_pos_ = 0;
     std::size_t sq_pos_ = 0;
+
+    /** Forced-legacy switch for the SoA processBlock overload. */
+    bool soa_enabled_ = true;
 };
 
 } // namespace duplexity

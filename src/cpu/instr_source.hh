@@ -1,12 +1,32 @@
 /**
  * @file
  * The interface a workload model implements to feed a hardware thread.
+ *
+ * Since the SoA op pipeline (DESIGN.md §4b), a source has two supply
+ * shapes over one draw stream:
+ *
+ *  - next(): the classic per-op form.  In SoA mode (the default) it
+ *    serves from an internal OpBlock refilled kOpBlockCapacity ops at
+ *    a time, so every per-op consumer (HSMT lanes, scenario event
+ *    loops, benches) gets the batched fill loops without changing
+ *    shape.  With setSoaPipelineEnabled(false) it calls the
+ *    subclass's per-op drawNext() directly — the forced-legacy
+ *    reference the differential wall compares against.
+ *  - fillBlock(): the bulk form for consumers that step whole blocks
+ *    (calibration, smt_sweep, CoreEngine::processBlock callers).
+ *
+ * Both shapes deliver the identical op sequence: a block fill makes
+ * exactly the RNG calls n drawNext() calls would (the draw-order
+ * contract; see workload/op_block.hh and the golden differential
+ * suites).
  */
 
 #ifndef DPX_CPU_INSTR_SOURCE_HH
 #define DPX_CPU_INSTR_SOURCE_HH
 
 #include "cpu/isa.hh"
+#include "sim/check.hh"
+#include "workload/op_block.hh"
 
 namespace duplexity
 {
@@ -22,7 +42,120 @@ class InstrSource
     virtual ~InstrSource() = default;
 
     /** Produce the next micro-op in program order. */
-    virtual MicroOp next() = 0;
+    MicroOp
+    next()
+    {
+        MicroOp op;
+        if (soa_enabled_) {
+            if (cursor_ == block_.size())
+                refill();
+            op = block_.get(cursor_++);
+        } else {
+            op = drawNext();
+        }
+        if (op.end_of_request && delivered_requests_)
+            ++*delivered_requests_;
+        return op;
+    }
+
+    /**
+     * Append up to @p count ops to @p block (fewer only if the block
+     * lacks room).  Bulk hand-off: request completions count as
+     * delivered here, not when the consumer reads the lanes.
+     */
+    void
+    fillBlock(OpBlock &block, std::size_t count)
+    {
+        DPX_DCHECK_LE(count, kOpBlockCapacity - block.size());
+        // A source that has buffered ops for next() cannot also serve
+        // bulk fills: the buffered ops would be skipped. Consumers use
+        // one shape per source.
+        DPX_DCHECK_EQ(cursor_, block_.size());
+        if (!soa_enabled_) {
+            for (std::size_t i = 0; i < count; ++i)
+                block.push(drawNext());
+        } else {
+            const std::size_t before = block.size();
+            fillBlockImpl(block, count);
+            DPX_DCHECK_EQ(block.size(), before + count);
+        }
+        if (delivered_requests_) {
+            const bool *eor = block.endOfRequest();
+            std::uint64_t n = 0;
+            for (std::size_t i = block.size() - count;
+                 i < block.size(); ++i)
+                n += eor[i];
+            *delivered_requests_ += n;
+        }
+    }
+
+    /**
+     * Force the legacy per-op draw path (differential-wall reference).
+     * Only legal while no ops are buffered — in practice, right after
+     * construction or at an exact block boundary.
+     */
+    void
+    setSoaPipelineEnabled(bool enabled)
+    {
+        DPX_CHECK_EQ(cursor_, block_.size())
+            << " — cannot switch draw paths with ops buffered";
+        if (soa_enabled_ != enabled) {
+            soa_enabled_ = enabled;
+            onSoaPipelineToggled(enabled);
+        }
+    }
+
+    bool soaPipelineEnabled() const { return soa_enabled_; }
+
+  protected:
+    /** Legacy per-op draw; must consume RNG exactly like the fill. */
+    virtual MicroOp drawNext() = 0;
+
+    /**
+     * Bulk draw: append exactly @p count ops, making the same RNG
+     * calls in the same order as @p count drawNext() calls.  Called
+     * only in SoA mode.  Default: the per-op loop (correct for any
+     * source; subclasses override with hoisted fill loops).
+     */
+    virtual void
+    fillBlockImpl(OpBlock &block, std::size_t count)
+    {
+        for (std::size_t i = 0; i < count; ++i)
+            block.push(drawNext());
+    }
+
+    /** Subclass hook: propagate the switch to internal streams. */
+    virtual void onSoaPipelineToggled(bool /*enabled*/) {}
+
+    /**
+     * Subclasses with a delivered-request counter register it here;
+     * the base increments it as end-of-request ops are handed out
+     * (per op via next(), per block via fillBlock) so buffering never
+     * runs the counter ahead of the consumer.
+     */
+    void
+    setDeliveredRequestCounter(std::uint64_t *counter)
+    {
+        delivered_requests_ = counter;
+    }
+
+  private:
+    void
+    refill()
+    {
+        // fillBlockImpl (not fillBlock) on purpose: buffered requests
+        // count as delivered op by op in next(), as the consumer
+        // actually sees them, never at pre-draw time.
+        block_.clear();
+        cursor_ = 0;
+        fillBlockImpl(block_, kOpBlockCapacity);
+        DPX_DCHECK_EQ(block_.size(), kOpBlockCapacity);
+    }
+
+    OpBlock block_;
+    std::size_t cursor_ = 0;
+    std::uint64_t *delivered_requests_ = nullptr;
+    bool soa_enabled_ = true;
 };
 
 } // namespace duplexity

@@ -2,8 +2,6 @@
 
 #include <cmath>
 
-#include "sim/check.hh"
-
 namespace duplexity
 {
 
@@ -18,12 +16,6 @@ splitmix64(std::uint64_t &x)
     z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
     z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
     return z ^ (z >> 31);
-}
-
-std::uint64_t
-rotl(std::uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
 }
 
 } // namespace
@@ -54,55 +46,29 @@ Rng::deriveStreamSeed(std::uint64_t base,
     return rng.next();
 }
 
-std::uint64_t
-Rng::next()
+void
+Rng::fillBlock(std::uint64_t *out, std::size_t n)
 {
-    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
-    const std::uint64_t t = state_[1] << 17;
-
-    state_[2] ^= state_[0];
-    state_[3] ^= state_[1];
-    state_[1] ^= state_[2];
-    state_[0] ^= state_[3];
-    state_[2] ^= t;
-    state_[3] = rotl(state_[3], 45);
-
-    return result;
-}
-
-double
-Rng::uniform()
-{
-    // 53 high bits -> double in [0, 1).
-    return (next() >> 11) * 0x1.0p-53;
-}
-
-double
-Rng::uniform(double lo, double hi)
-{
-    return lo + (hi - lo) * uniform();
-}
-
-std::uint64_t
-Rng::below(std::uint64_t n)
-{
-    DPX_DCHECK_GT(n, 0u) << " — below(0) has no valid range";
-    // Multiply-shift reduction; bias is negligible for simulation use.
-    return static_cast<std::uint64_t>(
-        (static_cast<unsigned __int128>(next()) * n) >> 64);
-}
-
-bool
-Rng::chance(double p)
-{
-    return uniform() < p;
-}
-
-double
-Rng::exponential(double mean)
-{
-    // 1 - u avoids log(0).
-    return -mean * std::log1p(-uniform());
+    // Same recurrence as next(), with the state in locals for the
+    // whole block.  The emitted sequence is bit-identical to n
+    // sequential next() calls — the SoA draw-order contract
+    // (DESIGN.md §4b) rests on this.
+    std::uint64_t s0 = state_[0], s1 = state_[1];
+    std::uint64_t s2 = state_[2], s3 = state_[3];
+    for (std::size_t i = 0; i < n; ++i) {
+        out[i] = rotl(s1 * 5, 7) * 9;
+        const std::uint64_t t = s1 << 17;
+        s2 ^= s0;
+        s3 ^= s1;
+        s1 ^= s2;
+        s0 ^= s3;
+        s2 ^= t;
+        s3 = rotl(s3, 45);
+    }
+    state_[0] = s0;
+    state_[1] = s1;
+    state_[2] = s2;
+    state_[3] = s3;
 }
 
 double

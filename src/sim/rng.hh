@@ -7,13 +7,30 @@
  * seed plus a stream id, so results are independent of evaluation order.
  * The generator is xoshiro256** (public-domain algorithm by Blackman &
  * Vigna) seeded through splitmix64.
+ *
+ * The per-draw methods (next/uniform/below/chance/exponential) are
+ * defined inline here: they sit on the innermost op-draw loop of the
+ * whole simulator, and an out-of-line call per draw was a measurable
+ * share of the ~50 ns op-draw floor (EXPERIMENTS.md).  fillBlock() is
+ * the bulk form used by the SoA op pipeline (DESIGN.md §4b): it emits
+ * exactly the sequence N calls to next() would, with the generator
+ * state hoisted into locals across the block.
+ *
+ * The raw->value maps are exposed as static helpers (toUniform,
+ * toBelow) so that consumers draining a pre-filled raw block apply the
+ * *same* arithmetic as the scalar methods — bit-identity between the
+ * block and scalar paths reduces to "same raw words in, same map".
  */
 
 #ifndef DPX_SIM_RNG_HH
 #define DPX_SIM_RNG_HH
 
+#include <cmath>
+#include <cstddef>
 #include <cstdint>
 #include <initializer_list>
+
+#include "sim/check.hh"
 
 namespace duplexity
 {
@@ -43,32 +60,93 @@ class Rng
                      std::initializer_list<std::uint64_t> ids);
 
     /** Next raw 64-bit value. */
-    std::uint64_t next();
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+
+        return result;
+    }
+
+    /**
+     * Fill @p out with the next @p n raw values — bit-identical to n
+     * sequential next() calls, with the state kept in registers for
+     * the whole block instead of re-loaded per draw.
+     */
+    void fillBlock(std::uint64_t *out, std::size_t n);
 
     /** UniformRandomBitGenerator interface. */
     result_type operator()() { return next(); }
     static constexpr result_type min() { return 0; }
     static constexpr result_type max() { return ~result_type(0); }
 
+    /**
+     * Raw word -> uniform double in [0, 1).  The single definition of
+     * this map: uniform() and block consumers both call it.
+     */
+    static double
+    toUniform(std::uint64_t raw)
+    {
+        // 53 high bits -> double in [0, 1).
+        return (raw >> 11) * 0x1.0p-53;
+    }
+
+    /** Raw word -> uniform integer in [0, n); the map below() uses. */
+    static std::uint64_t
+    toBelow(std::uint64_t raw, std::uint64_t n)
+    {
+        // Multiply-shift reduction; bias negligible for simulation use.
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(raw) * n) >> 64);
+    }
+
     /** Uniform double in [0, 1). */
-    double uniform();
+    double uniform() { return toUniform(next()); }
 
     /** Uniform double in [lo, hi). */
-    double uniform(double lo, double hi);
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
 
     /** Uniform integer in [0, n) for n > 0 (unbiased enough for sim). */
-    std::uint64_t below(std::uint64_t n);
+    std::uint64_t
+    below(std::uint64_t n)
+    {
+        DPX_DCHECK_GT(n, 0u) << " — below(0) has no valid range";
+        return toBelow(next(), n);
+    }
 
     /** Bernoulli trial with probability @p p. */
-    bool chance(double p);
+    bool chance(double p) { return uniform() < p; }
 
     /** Standard exponential variate with the given mean. */
-    double exponential(double mean);
+    double
+    exponential(double mean)
+    {
+        // 1 - u avoids log(0).
+        return -mean * std::log1p(-uniform());
+    }
 
     /** Standard normal variate (Box-Muller, no caching). */
     double normal(double mean = 0.0, double stddev = 1.0);
 
   private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
     std::uint64_t state_[4];
     std::uint64_t seed_;
 };

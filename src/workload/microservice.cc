@@ -70,6 +70,7 @@ MicroserviceSource::MicroserviceSource(const MicroserviceSpec &spec,
             phase_stream_[i] = streams_.size() - 1;
         }
     }
+    setDeliveredRequestCounter(&requests_);
     enterPhase(0);
 }
 
@@ -87,7 +88,7 @@ MicroserviceSource::enterPhase(std::size_t idx)
 }
 
 MicroOp
-MicroserviceSource::next()
+MicroserviceSource::drawNext()
 {
     const PhaseSpec &phase = spec_.phases[phase_idx_];
     MicroOp op;
@@ -101,14 +102,61 @@ MicroserviceSource::next()
     --remaining_;
     if (remaining_ == 0) {
         if (phase_idx_ + 1 == spec_.phases.size()) {
+            // requests_ is counted by the InstrSource base as this op
+            // is delivered, not here at draw time.
             op.end_of_request = true;
-            ++requests_;
             enterPhase(0);
         } else {
             enterPhase(phase_idx_ + 1);
         }
     }
     return op;
+}
+
+void
+MicroserviceSource::fillBlockImpl(OpBlock &block, std::size_t count)
+{
+    // Phase-chunked fill.  Per-RNG draw order matches drawNext()
+    // exactly: a phase's op draws all come from that phase's stream
+    // in op order, and the source rng_ sees only the phase-boundary
+    // samples, in phase order — the boundary sample lands after the
+    // phase's last op draw and before the next phase's first, just
+    // like the per-op path.
+    while (count > 0) {
+        const PhaseSpec &phase = spec_.phases[phase_idx_];
+        std::size_t produced;
+        if (phase.kind == PhaseSpec::Kind::Compute) {
+            produced = static_cast<std::size_t>(
+                std::min<std::uint64_t>(count, remaining_));
+            streams_[phase_stream_[phase_idx_]].fillOpsInto(block,
+                                                            produced);
+            remaining_ -= produced;
+        } else {
+            MicroOp op;
+            op.cls = OpClass::Remote;
+            op.stall_us =
+                static_cast<float>(phase.stall_us->sample(rng_));
+            block.push(op);
+            produced = 1;
+            remaining_ = 0;
+        }
+        count -= produced;
+        if (remaining_ == 0) {
+            if (phase_idx_ + 1 == spec_.phases.size()) {
+                block.endOfRequest()[block.size() - 1] = true;
+                enterPhase(0);
+            } else {
+                enterPhase(phase_idx_ + 1);
+            }
+        }
+    }
+}
+
+void
+MicroserviceSource::onSoaPipelineToggled(bool enabled)
+{
+    for (SyntheticStream &stream : streams_)
+        stream.setSoaDrawEnabled(enabled);
 }
 
 BatchSource::BatchSource(const BatchSpec &spec, Rng rng)
@@ -122,7 +170,7 @@ BatchSource::BatchSource(const BatchSpec &spec, Rng rng)
 }
 
 MicroOp
-BatchSource::next()
+BatchSource::drawNext()
 {
     if (remaining_ == 0 && stall_us_) {
         MicroOp op;
@@ -138,6 +186,40 @@ BatchSource::next()
     }
     --remaining_;
     return stream_.next();
+}
+
+void
+BatchSource::fillBlockImpl(OpBlock &block, std::size_t count)
+{
+    // Segment-chunked fill; same per-RNG draw order as drawNext()
+    // (stall then segment resample on rng_, op draws on the stream).
+    while (count > 0) {
+        if (remaining_ == 0 && stall_us_) {
+            MicroOp op;
+            op.cls = OpClass::Remote;
+            op.stall_us = static_cast<float>(stall_us_.sample(rng_));
+            remaining_ = static_cast<std::uint64_t>(
+                std::max(1.0, segment_instrs_.sample(rng_)));
+            block.push(op);
+            --count;
+            continue;
+        }
+        if (remaining_ == 0) {
+            remaining_ = static_cast<std::uint64_t>(
+                std::max(1.0, segment_instrs_.sample(rng_)));
+        }
+        const std::size_t take = static_cast<std::size_t>(
+            std::min<std::uint64_t>(count, remaining_));
+        stream_.fillOpsInto(block, take);
+        remaining_ -= take;
+        count -= take;
+    }
+}
+
+void
+BatchSource::onSoaPipelineToggled(bool enabled)
+{
+    stream_.setSoaDrawEnabled(enabled);
 }
 
 } // namespace duplexity

@@ -80,10 +80,16 @@ class MicroserviceSource : public InstrSource
   public:
     MicroserviceSource(const MicroserviceSpec &spec, Rng rng);
 
-    MicroOp next() override;
-
     const MicroserviceSpec &spec() const { return spec_; }
+
+    /** Requests whose final op has been handed to the consumer (the
+     *  SoA buffer may hold drawn-but-undelivered ops beyond this). */
     std::uint64_t requestsCompleted() const { return requests_; }
+
+  protected:
+    MicroOp drawNext() override;
+    void fillBlockImpl(OpBlock &block, std::size_t count) override;
+    void onSoaPipelineToggled(bool enabled) override;
 
   private:
     void enterPhase(std::size_t idx);
@@ -114,9 +120,12 @@ class BatchSource : public InstrSource
   public:
     BatchSource(const BatchSpec &spec, Rng rng);
 
-    MicroOp next() override;
-
     const BatchSpec &spec() const { return spec_; }
+
+  protected:
+    MicroOp drawNext() override;
+    void fillBlockImpl(OpBlock &block, std::size_t count) override;
+    void onSoaPipelineToggled(bool enabled) override;
 
   private:
     BatchSpec spec_;

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Structure-of-arrays micro-op block: the batched counterpart of
+ * MicroOp (cpu/isa.hh), filled by workload sources in bulk and
+ * consumed lane-by-lane by CoreEngine::processBlock.
+ *
+ * Each MicroOp field lives in its own contiguous array so the fill
+ * loops touch only the lanes an op class actually produces (an IntAlu
+ * writes cls/pc/dep lanes and never the address or stall lanes) and
+ * the consume loop streams each lane linearly.  Capacity is fixed at
+ * kOpBlockCapacity — one block is a refill unit, not a container; a
+ * source that needs more ops refills.
+ *
+ * Draw-order contract (DESIGN.md §4b "SoA op pipeline"): filling a
+ * block with n ops makes *exactly* the same RNG calls in the same
+ * order as n legacy next() calls on the same source, so op i of the
+ * block is bit-identical to the i-th op the legacy path would have
+ * returned.  The differential wall (tests/workload/op_block_diff_test,
+ * tests/cpu/soa_block_step_test, label golden) holds both paths to
+ * that contract field-by-field.
+ */
+
+#ifndef DPX_WORKLOAD_OP_BLOCK_HH
+#define DPX_WORKLOAD_OP_BLOCK_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "cpu/isa.hh"
+#include "sim/check.hh"
+#include "sim/types.hh"
+
+namespace duplexity
+{
+
+/** Ops per block refill: big enough to amortize the fill loop's
+ *  parameter hoisting, small enough to stay L1-resident (~5 KiB of
+ *  lanes at 256). */
+constexpr std::size_t kOpBlockCapacity = 256;
+
+/** SoA micro-op block; see file comment for the layout rationale. */
+class OpBlock
+{
+  public:
+    /** Number of valid ops (prefix of every lane). */
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    void clear() { size_ = 0; }
+
+    /** Append one op, AoS-style; fill paths may instead write lanes
+     *  directly through the mutable accessors and commit with
+     *  setSize(). */
+    void
+    push(const MicroOp &op)
+    {
+        DPX_DCHECK_LT(size_, kOpBlockCapacity);
+        const std::size_t i = size_++;
+        cls_[i] = op.cls;
+        pc_[i] = op.pc;
+        mem_addr_[i] = op.mem_addr;
+        taken_[i] = op.taken;
+        dep1_[i] = op.dep1;
+        dep2_[i] = op.dep2;
+        stall_us_[i] = op.stall_us;
+        end_of_request_[i] = op.end_of_request;
+    }
+
+    /** Materialize op @p i as an AoS MicroOp (forced-legacy path and
+     *  tests; the hot consumer reads lanes directly). */
+    MicroOp
+    get(std::size_t i) const
+    {
+        DPX_DCHECK_LT(i, size_);
+        MicroOp op;
+        op.cls = cls_[i];
+        op.pc = pc_[i];
+        op.mem_addr = mem_addr_[i];
+        op.taken = taken_[i];
+        op.dep1 = dep1_[i];
+        op.dep2 = dep2_[i];
+        op.stall_us = stall_us_[i];
+        op.end_of_request = end_of_request_[i];
+        return op;
+    }
+
+    /** Declare the first @p n lane slots valid (bulk-fill commit). */
+    void
+    setSize(std::size_t n)
+    {
+        DPX_DCHECK_LE(n, kOpBlockCapacity);
+        size_ = n;
+    }
+
+    // Lane accessors (const for consumers, mutable for fill paths).
+    const OpClass *cls() const { return cls_; }
+    const Addr *pc() const { return pc_; }
+    const Addr *memAddr() const { return mem_addr_; }
+    const bool *taken() const { return taken_; }
+    const std::uint8_t *dep1() const { return dep1_; }
+    const std::uint8_t *dep2() const { return dep2_; }
+    const float *stallUs() const { return stall_us_; }
+    const bool *endOfRequest() const { return end_of_request_; }
+
+    OpClass *cls() { return cls_; }
+    Addr *pc() { return pc_; }
+    Addr *memAddr() { return mem_addr_; }
+    bool *taken() { return taken_; }
+    std::uint8_t *dep1() { return dep1_; }
+    std::uint8_t *dep2() { return dep2_; }
+    float *stallUs() { return stall_us_; }
+    bool *endOfRequest() { return end_of_request_; }
+
+  private:
+    std::size_t size_ = 0;
+    OpClass cls_[kOpBlockCapacity] = {};
+    Addr pc_[kOpBlockCapacity] = {};
+    Addr mem_addr_[kOpBlockCapacity] = {};
+    bool taken_[kOpBlockCapacity] = {};
+    std::uint8_t dep1_[kOpBlockCapacity] = {};
+    std::uint8_t dep2_[kOpBlockCapacity] = {};
+    float stall_us_[kOpBlockCapacity] = {};
+    bool end_of_request_[kOpBlockCapacity] = {};
+};
+
+} // namespace duplexity
+
+#endif // DPX_WORKLOAD_OP_BLOCK_HH

@@ -34,7 +34,7 @@ SyntheticStream::SyntheticStream(const WorkloadParams &params, Rng rng)
 Addr
 SyntheticStream::nextDataAddr()
 {
-    double pick = rng_.uniform();
+    double pick = drawUniform();
     if (pick < params_.spatial_locality) {
         // Streaming: 8-byte stride, so consecutive accesses share a
         // cache line and a hardware-friendly access pattern emerges.
@@ -45,11 +45,11 @@ SyntheticStream::nextDataAddr()
     }
     if (pick < params_.spatial_locality + params_.hot_prob) {
         Addr offset =
-            rng_.below(std::max<std::uint64_t>(
+            drawBelow(std::max<std::uint64_t>(
                 params_.hot_bytes / 8, 1)) * 8;
         return params_.data_base + offset;
     }
-    Addr offset = rng_.below(params_.data_ws_bytes / 8) * 8;
+    Addr offset = drawBelow(params_.data_ws_bytes / 8) * 8;
     return params_.data_base + offset;
 }
 
@@ -65,10 +65,12 @@ SyntheticStream::advancePc()
 std::uint8_t
 SyntheticStream::sampleDep()
 {
-    if (!rng_.chance(params_.dep_prob))
+    if (!drawChance(params_.dep_prob))
         return 0;
     // Geometric with the configured mean, clipped to the dep window.
-    double d = 1.0 + rng_.exponential(params_.mean_dep_dist - 1.0);
+    // Same arithmetic as Rng::exponential over the buffered draw.
+    double d = 1.0 - (params_.mean_dep_dist - 1.0) *
+                         std::log1p(-drawUniform());
     return static_cast<std::uint8_t>(std::min(d, 63.0));
 }
 
@@ -78,7 +80,7 @@ SyntheticStream::next()
     MicroOp op;
     op.pc = advancePc();
 
-    double pick = rng_.uniform();
+    double pick = drawUniform();
     const InstrMix &mix = params_.mix;
 
     if (pick < mix.load) {
@@ -103,14 +105,14 @@ SyntheticStream::next()
             // Not-taken once per period (loop exit), taken otherwise.
             op.taken = ++site.counter % site.period != 0;
         } else {
-            op.taken = rng_.chance(site.taken_bias);
+            op.taken = drawChance(site.taken_bias);
         }
         op.dep1 = sampleDep();
         if (op.taken) {
             // Redirect the fetch stream: mostly short loop/if jumps;
             // far jumps usually re-enter the hot path, occasionally
             // calling into cold code.
-            if (rng_.chance(params_.near_jump_prob)) {
+            if (drawChance(params_.near_jump_prob)) {
                 std::uint64_t reach = params_.near_jump_range;
                 Addr lo = pc_ > params_.code_base + reach
                               ? pc_ - reach
@@ -118,19 +120,19 @@ SyntheticStream::next()
                 Addr span = std::min<Addr>(
                     2 * reach,
                     params_.code_base + params_.code_bytes - lo);
-                pc_ = lo + rng_.below(std::max<Addr>(span / 4, 1)) * 4;
-            } else if (rng_.chance(params_.far_to_hot_prob)) {
+                pc_ = lo + drawBelow(std::max<Addr>(span / 4, 1)) * 4;
+            } else if (drawChance(params_.far_to_hot_prob)) {
                 pc_ = params_.code_base +
-                      rng_.below(std::max<std::uint64_t>(
+                      drawBelow(std::max<std::uint64_t>(
                           params_.hot_code_bytes / 4, 1)) * 4;
             } else {
                 pc_ = params_.code_base +
-                      rng_.below(params_.code_bytes / 4) * 4;
+                      drawBelow(params_.code_bytes / 4) * 4;
             }
         }
     } else if (pick < mix.load + mix.store + mix.branch + mix.call) {
         // Calls and returns alternate to keep the RAS balanced.
-        op.cls = rng_.chance(0.5) ? OpClass::Call : OpClass::Return;
+        op.cls = drawChance(0.5) ? OpClass::Call : OpClass::Return;
         op.taken = true;
     } else if (pick <
                mix.load + mix.store + mix.branch + mix.call +
@@ -149,6 +151,164 @@ SyntheticStream::next()
         op.dep2 = sampleDep();
     }
     return op;
+}
+
+void
+SyntheticStream::fillOpsInto(OpBlock &block, std::size_t n)
+{
+    if (!soa_) {
+        for (std::size_t i = 0; i < n; ++i)
+            block.push(next());
+        return;
+    }
+
+    const std::size_t base = block.size();
+    DPX_DCHECK_LE(n, kOpBlockCapacity - base);
+
+    OpClass *out_cls = block.cls() + base;
+    Addr *out_pc = block.pc() + base;
+    Addr *out_mem = block.memAddr() + base;
+    bool *out_taken = block.taken() + base;
+    std::uint8_t *out_dep1 = block.dep1() + base;
+    std::uint8_t *out_dep2 = block.dep2() + base;
+
+    // Lanes most ops leave at their MicroOp defaults are bulk-zeroed
+    // once; the per-op body writes only what its class produces.
+    std::fill_n(out_mem, n, Addr(0));
+    std::fill_n(out_taken, n, false);
+    std::fill_n(out_dep1, n, std::uint8_t(0));
+    std::fill_n(out_dep2, n, std::uint8_t(0));
+    std::fill_n(block.stallUs() + base, n, 0.0f);
+    std::fill_n(block.endOfRequest() + base, n, false);
+
+    // Hoist every per-op parameter reload: cumulative mix thresholds
+    // (the legacy if-chain re-sums them per op), region geometry, and
+    // the mutable walk state (pc, stream address, raw-buffer cursor).
+    const WorkloadParams &P = params_;
+    const double c_load = P.mix.load;
+    const double c_store = c_load + P.mix.store;
+    const double c_branch = c_store + P.mix.branch;
+    const double c_call = c_branch + P.mix.call;
+    const double c_mul = c_call + P.mix.int_mul;
+    const double c_fp = c_mul + P.mix.fp;
+    const Addr data_base = P.data_base;
+    const Addr data_end = P.data_base + P.data_ws_bytes;
+    const std::uint64_t hot_slots =
+        std::max<std::uint64_t>(P.hot_bytes / 8, 1);
+    const std::uint64_t ws_slots = P.data_ws_bytes / 8;
+    const Addr code_base = P.code_base;
+    const Addr code_end = P.code_base + P.code_bytes;
+    const std::uint64_t hot_code_slots =
+        std::max<std::uint64_t>(P.hot_code_bytes / 4, 1);
+    const std::uint64_t code_slots = P.code_bytes / 4;
+    const double spatial = P.spatial_locality;
+    const double spatial_or_hot = P.spatial_locality + P.hot_prob;
+    const double dep_prob = P.dep_prob;
+    const double dep_mean = P.mean_dep_dist - 1.0;
+    BranchSite *const sites = branches_.data();
+    const std::size_t n_sites = branches_.size();
+
+    Addr pc = pc_;
+    Addr stream_addr = stream_addr_;
+    std::size_t rpos = raw_pos_;
+
+    // Exactly drawRaw()/drawUniform()/... with the cursor in a local.
+    auto raw = [&]() -> std::uint64_t {
+        if (rpos == kRawBlock) {
+            rng_.fillBlock(raw_, kRawBlock);
+            rpos = 0;
+        }
+        return raw_[rpos++];
+    };
+    auto uni = [&]() -> double { return Rng::toUniform(raw()); };
+    auto below = [&](std::uint64_t m) -> std::uint64_t {
+        return Rng::toBelow(raw(), m);
+    };
+    auto dep = [&]() -> std::uint8_t {
+        if (!(uni() < dep_prob))
+            return 0;
+        double d = 1.0 - dep_mean * std::log1p(-uni());
+        return static_cast<std::uint8_t>(std::min(d, 63.0));
+    };
+    auto data_addr = [&]() -> Addr {
+        double pick = uni();
+        if (pick < spatial) {
+            stream_addr += 8;
+            if (stream_addr >= data_end)
+                stream_addr = data_base;
+            return stream_addr;
+        }
+        if (pick < spatial_or_hot)
+            return data_base + below(hot_slots) * 8;
+        return data_base + below(ws_slots) * 8;
+    };
+
+    for (std::size_t i = 0; i < n; ++i) {
+        pc += 4;
+        if (pc >= code_end)
+            pc = code_base;
+        out_pc[i] = pc;
+
+        const double pick = uni();
+        if (pick < c_load) {
+            out_cls[i] = OpClass::Load;
+            out_mem[i] = data_addr();
+            out_dep1[i] = dep();
+        } else if (pick < c_store) {
+            out_cls[i] = OpClass::Store;
+            out_mem[i] = data_addr();
+            out_dep1[i] = dep();
+            out_dep2[i] = dep();
+        } else if (pick < c_branch) {
+            out_cls[i] = OpClass::Branch;
+            const Addr line_pc = pc & ~Addr(63);
+            out_pc[i] = line_pc;
+            BranchSite &site = sites[(line_pc >> 6) % n_sites];
+            bool taken;
+            if (site.periodic)
+                taken = ++site.counter % site.period != 0;
+            else
+                taken = uni() < site.taken_bias;
+            out_taken[i] = taken;
+            out_dep1[i] = dep();
+            if (taken) {
+                if (uni() < P.near_jump_prob) {
+                    const std::uint64_t reach = P.near_jump_range;
+                    const Addr lo = pc > code_base + reach
+                                        ? pc - reach
+                                        : code_base;
+                    const Addr span =
+                        std::min<Addr>(2 * reach, code_end - lo);
+                    pc = lo + below(std::max<Addr>(span / 4, 1)) * 4;
+                } else if (uni() < P.far_to_hot_prob) {
+                    pc = code_base + below(hot_code_slots) * 4;
+                } else {
+                    pc = code_base + below(code_slots) * 4;
+                }
+            }
+        } else if (pick < c_call) {
+            out_cls[i] = uni() < 0.5 ? OpClass::Call
+                                     : OpClass::Return;
+            out_taken[i] = true;
+        } else if (pick < c_mul) {
+            out_cls[i] = OpClass::IntMul;
+            out_dep1[i] = dep();
+            out_dep2[i] = dep();
+        } else if (pick < c_fp) {
+            out_cls[i] = OpClass::FpAlu;
+            out_dep1[i] = dep();
+            out_dep2[i] = dep();
+        } else {
+            out_cls[i] = OpClass::IntAlu;
+            out_dep1[i] = dep();
+            out_dep2[i] = dep();
+        }
+    }
+
+    pc_ = pc;
+    stream_addr_ = stream_addr;
+    raw_pos_ = rpos;
+    block.setSize(base + n);
 }
 
 } // namespace duplexity

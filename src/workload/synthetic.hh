@@ -14,12 +14,14 @@
 #ifndef DPX_WORKLOAD_SYNTHETIC_HH
 #define DPX_WORKLOAD_SYNTHETIC_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
 #include "cpu/isa.hh"
 #include "sim/rng.hh"
 #include "sim/types.hh"
+#include "workload/op_block.hh"
 
 namespace duplexity
 {
@@ -89,6 +91,15 @@ struct WorkloadParams
  * character. Control flow walks the code region sequentially with
  * jumps at taken branches; data accesses mix streaming with uniform
  * working-set references.
+ *
+ * Draw paths: in SoA mode (default) every RNG draw is served from a
+ * raw 64-bit block pre-filled by Rng::fillBlock and mapped through
+ * the shared Rng::toUniform/toBelow helpers, so the value sequence is
+ * bit-identical to the legacy per-call path; fillOpsInto() is the
+ * batched fill loop with the per-op parameter reloads hoisted out.
+ * setSoaDrawEnabled(false) forces the legacy path (the differential
+ * wall's reference).  The two paths may not be mixed once raw words
+ * are buffered: switching off then would skip buffered draws.
  */
 class SyntheticStream
 {
@@ -100,6 +111,23 @@ class SyntheticStream
     /** Generate the next compute micro-op. */
     MicroOp next();
 
+    /**
+     * Append @p n compute micro-ops to @p block, drawing exactly as
+     * n next() calls would (the SoA draw-order contract).
+     */
+    void fillOpsInto(OpBlock &block, std::size_t n);
+
+    /** Force the legacy per-call draw path (see class comment). */
+    void
+    setSoaDrawEnabled(bool enabled)
+    {
+        DPX_CHECK(enabled || raw_pos_ == kRawBlock)
+            << " — cannot leave SoA mode with raw draws buffered";
+        soa_ = enabled;
+    }
+
+    bool soaDrawEnabled() const { return soa_; }
+
   private:
     struct BranchSite
     {
@@ -109,15 +137,43 @@ class SyntheticStream
         double taken_bias;     // for biased sites
     };
 
+    /** Raw words per refill of the draw buffer. */
+    static constexpr std::size_t kRawBlock = 256;
+
     Addr nextDataAddr();
     Addr advancePc();
     std::uint8_t sampleDep();
+
+    /** One raw draw — buffer in SoA mode, rng_ directly otherwise. */
+    std::uint64_t
+    drawRaw()
+    {
+        if (!soa_)
+            return rng_.next();
+        if (raw_pos_ == kRawBlock) {
+            rng_.fillBlock(raw_, kRawBlock);
+            raw_pos_ = 0;
+        }
+        return raw_[raw_pos_++];
+    }
+
+    double drawUniform() { return Rng::toUniform(drawRaw()); }
+    bool drawChance(double p) { return drawUniform() < p; }
+
+    std::uint64_t
+    drawBelow(std::uint64_t n)
+    {
+        return Rng::toBelow(drawRaw(), n);
+    }
 
     WorkloadParams params_;
     Rng rng_;
     std::vector<BranchSite> branches_;
     Addr pc_;
     Addr stream_addr_;
+    std::uint64_t raw_[kRawBlock];
+    std::size_t raw_pos_ = kRawBlock;  // == kRawBlock: buffer empty
+    bool soa_ = true;
 };
 
 } // namespace duplexity

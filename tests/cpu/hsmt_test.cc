@@ -29,8 +29,9 @@ class ScriptedSource : public InstrSource
     {
     }
 
+  protected:
     MicroOp
-    next() override
+    drawNext() override
     {
         MicroOp op;
         op.pc = 0x1000 + 4 * (count_ % 64);

@@ -1,0 +1,335 @@
+/**
+ * @file
+ * SoA OpBlock stepping differential: CoreEngine::processBlock over an
+ * OpBlock filled by InstrSource::fillBlock must be bit-identical to
+ * the legacy draw-one/process-one loop — same IPC, same stall cycles,
+ * same predictor and BTB state, same remote-op stop positions — and
+ * the setSoaPipelineEnabled(false) switch on the engine must force
+ * the materializing legacy path with identical outcomes. This extends
+ * the PR-5 block-step wall (tests/cpu/block_step_test.cc) to the SoA
+ * pipeline, including buffered sources under SMT lane interleaving.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "branch/predictor.hh"
+#include "cpu/core_engine.hh"
+#include "mem/memory_system.hh"
+#include "sim/rng.hh"
+#include "workload/catalog.hh"
+#include "workload/microservice.hh"
+#include "workload/op_block.hh"
+
+using namespace duplexity;
+
+namespace
+{
+
+/** Everything one single-lane measurement needs, seeded identically. */
+struct Rig
+{
+    DyadMemorySystem mem;
+    CoreEngine engine;
+    std::unique_ptr<BranchPredictor> pred;
+    Btb btb;
+    ReturnAddressStack ras;
+    BatchSource source;
+    Lane lane;
+
+    Rig(IssueMode mode, double stall_us)
+        : mem(MemSystemConfig::makeDefault()),
+          engine(CoreEngineConfig{}),
+          pred(makePredictor(mode == IssueMode::OutOfOrder
+                                 ? PredictorConfig::Kind::Tournament
+                                 : PredictorConfig::Kind::GshareSmall)),
+          btb(2048, 4), ras(32),
+          // Short compute segments (~1.4k instrs) so remote ops show
+          // up many times inside the test horizons.
+          source(makeFlannXY(0.2, stall_us, 0),
+                 Rng(0xb10cull).fork(1))
+    {
+        LaneConfig cfg = engine.defaultLaneConfig(mode);
+        cfg.path = mode == IssueMode::OutOfOrder ? mem.masterPath()
+                                                 : mem.lenderPath();
+        cfg.branch = {pred.get(), &btb, &ras};
+        lane.configure(cfg);
+    }
+};
+
+/** Post-run state snapshot, including the branch structures — a SoA
+ *  run must leave the predictor tables and BTB in the same state the
+ *  legacy loop did, not just produce the same counters. */
+struct RunResult
+{
+    std::uint64_t committed_in_window = 0;
+    std::uint64_t ops = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t mispredicts = 0;
+    std::uint64_t remote_ops = 0;
+    /** Sum of remote-stall cycles the loop applied via stallUntil. */
+    Cycle stall_cycles = 0;
+    Cycle final_next_fetch = 0;
+    std::uint64_t l1d_hits = 0;
+    std::uint64_t l1d_misses = 0;
+    std::uint64_t dram = 0;
+    std::uint64_t pred_lookups = 0;
+    std::uint64_t pred_mispredicts = 0;
+    std::uint64_t btb_hits = 0;
+    std::uint64_t btb_misses = 0;
+    /** Hash of predict() over a fixed PC sweep: pins table state. */
+    std::uint64_t pred_fingerprint = 0;
+
+    void
+    expectEq(const RunResult &o) const
+    {
+        EXPECT_EQ(committed_in_window, o.committed_in_window);
+        EXPECT_EQ(ops, o.ops);
+        EXPECT_EQ(branches, o.branches);
+        EXPECT_EQ(mispredicts, o.mispredicts);
+        EXPECT_EQ(remote_ops, o.remote_ops);
+        EXPECT_EQ(stall_cycles, o.stall_cycles);
+        EXPECT_EQ(final_next_fetch, o.final_next_fetch);
+        EXPECT_EQ(l1d_hits, o.l1d_hits);
+        EXPECT_EQ(l1d_misses, o.l1d_misses);
+        EXPECT_EQ(dram, o.dram);
+        EXPECT_EQ(pred_lookups, o.pred_lookups);
+        EXPECT_EQ(pred_mispredicts, o.pred_mispredicts);
+        EXPECT_EQ(btb_hits, o.btb_hits);
+        EXPECT_EQ(btb_misses, o.btb_misses);
+        EXPECT_EQ(pred_fingerprint, o.pred_fingerprint);
+    }
+};
+
+RunResult
+finishResult(Rig &rig, std::uint64_t committed, Cycle stall_cycles)
+{
+    RunResult r;
+    r.committed_in_window = committed;
+    r.ops = rig.lane.stats().ops;
+    r.branches = rig.lane.stats().branches;
+    r.mispredicts = rig.lane.stats().mispredicts;
+    r.remote_ops = rig.lane.stats().remote_ops;
+    r.stall_cycles = stall_cycles;
+    r.final_next_fetch = rig.lane.nextFetch();
+    const Cache &l1d = rig.lane.config().path.data->cache();
+    r.l1d_hits = l1d.stats().hits;
+    r.l1d_misses = l1d.stats().misses;
+    r.dram = rig.mem.dram().accesses();
+    r.pred_lookups = rig.pred->stats().lookups;
+    r.pred_mispredicts = rig.pred->stats().mispredicts;
+    r.btb_hits = rig.btb.hits();
+    r.btb_misses = rig.btb.misses();
+    // predict() is const: sweeping it perturbs nothing but folds the
+    // direction tables' state into one comparable word.
+    for (Addr pc = 0; pc < 4096; ++pc) {
+        r.pred_fingerprint =
+            r.pred_fingerprint * 1099511628211ull +
+            static_cast<std::uint64_t>(rig.pred->predict(pc << 2));
+    }
+    return r;
+}
+
+constexpr Cycle warmup = 30'000;
+constexpr Cycle horizon = 180'000;
+
+/** The legacy loop on a forced-legacy source: one scalar draw, one
+ *  processOp, stall on remote. */
+RunResult
+runPerOpLegacy(Rig &rig, const Frequency &freq, bool apply_stall)
+{
+    rig.source.setSoaPipelineEnabled(false);
+    std::uint64_t committed = 0;
+    Cycle stall_cycles = 0;
+    while (rig.lane.nextFetch() < horizon) {
+        MicroOp op = rig.source.next();
+        OpOutcome out = rig.engine.processOp(rig.lane, op);
+        if (out.commit_time >= warmup && out.commit_time < horizon)
+            ++committed;
+        if (out.remote && apply_stall) {
+            const Cycle stall = freq.microsToCycles(out.stall_us);
+            stall_cycles += stall;
+            rig.lane.stallUntil(out.commit_time + stall);
+        }
+    }
+    return finishResult(rig, committed, stall_cycles);
+}
+
+/** The SoA loop: bulk fillBlock into an OpBlock, processBlock over
+ *  lane arrays, stall on the remote stop. Mirrors calibration.cc. */
+RunResult
+runSoaBlocked(Rig &rig, const Frequency &freq, bool apply_stall,
+              std::vector<std::uint64_t> *stop_ops = nullptr)
+{
+    std::uint64_t committed = 0;
+    std::uint64_t consumed = 0;
+    Cycle stall_cycles = 0;
+    OpBlock block;
+    std::uint32_t head = 0;
+    while (rig.lane.nextFetch() < horizon) {
+        if (head == block.size()) {
+            block.clear();
+            rig.source.fillBlock(block, kOpBlockCapacity);
+            head = 0;
+        }
+        BlockOutcome blk = rig.engine.processBlock(
+            rig.lane, block, head, horizon, warmup, horizon);
+        head += blk.processed;
+        consumed += blk.processed;
+        committed += blk.committed_in_window;
+        if (blk.stopped_remote) {
+            if (stop_ops)
+                stop_ops->push_back(consumed - 1);
+            if (apply_stall) {
+                const Cycle stall =
+                    freq.microsToCycles(blk.last.stall_us);
+                stall_cycles += stall;
+                rig.lane.stallUntil(blk.last.commit_time + stall);
+            }
+        }
+    }
+    return finishResult(rig, committed, stall_cycles);
+}
+
+} // namespace
+
+TEST(SoaBlockStep, MatchesLegacyPerOpLoopInOrderWithRemoteStalls)
+{
+    const Frequency freq(3.4e9);
+    Rig a(IssueMode::InOrder, /*stall_us*/ 1.5);
+    Rig b(IssueMode::InOrder, /*stall_us*/ 1.5);
+    RunResult legacy = runPerOpLegacy(a, freq, true);
+    RunResult soa = runSoaBlocked(b, freq, true);
+    EXPECT_GT(legacy.remote_ops, 0u); // the stalls actually happened
+    soa.expectEq(legacy);
+}
+
+TEST(SoaBlockStep, MatchesLegacyPerOpLoopOutOfOrder)
+{
+    const Frequency freq(3.4e9);
+    Rig a(IssueMode::OutOfOrder, /*stall_us*/ 0.0);
+    Rig b(IssueMode::OutOfOrder, /*stall_us*/ 0.0);
+    RunResult legacy = runPerOpLegacy(a, freq, false);
+    RunResult soa = runSoaBlocked(b, freq, false);
+    soa.expectEq(legacy);
+}
+
+/** setSoaPipelineEnabled(false) on the engine forces the
+ *  materializing legacy path with identical outcomes and state. */
+TEST(SoaBlockStep, EngineSwitchForcesLegacyMaterialization)
+{
+    const Frequency freq(3.4e9);
+    Rig a(IssueMode::InOrder, /*stall_us*/ 1.0);
+    Rig b(IssueMode::InOrder, /*stall_us*/ 1.0);
+    ASSERT_TRUE(a.engine.soaPipelineEnabled());
+    b.engine.setSoaPipelineEnabled(false);
+    ASSERT_FALSE(b.engine.soaPipelineEnabled());
+    RunResult soa = runSoaBlocked(a, freq, true);
+    RunResult forced = runSoaBlocked(b, freq, true);
+    forced.expectEq(soa);
+}
+
+/** Remote ops stop the SoA block at exactly the same op positions as
+ *  the forced-legacy engine path sees them. */
+TEST(SoaBlockStep, RemoteStopPositionsMatchForcedLegacyEngine)
+{
+    const Frequency freq(3.4e9);
+    Rig a(IssueMode::InOrder, /*stall_us*/ 2.0);
+    Rig b(IssueMode::InOrder, /*stall_us*/ 2.0);
+    b.engine.setSoaPipelineEnabled(false);
+    std::vector<std::uint64_t> soa_stops, legacy_stops;
+    runSoaBlocked(a, freq, true, &soa_stops);
+    runSoaBlocked(b, freq, true, &legacy_stops);
+    ASSERT_FALSE(soa_stops.empty());
+    EXPECT_EQ(soa_stops, legacy_stops);
+}
+
+/** SMT lane interleaving: the most-behind fetch policy consumes ops
+ *  one at a time from each thread's buffered source. The SoA buffer
+ *  must not change any thread's op sequence, so the whole interleaved
+ *  run — shared L1s, shared predictor and BTB — matches the
+ *  forced-legacy sources op for op. */
+TEST(SoaBlockStep, SmtInterleavedLanesMatchForcedLegacySources)
+{
+    const Frequency freq(3.4e9);
+    constexpr int kThreads = 3;
+
+    struct Thread
+    {
+        std::unique_ptr<BatchSource> source;
+        std::unique_ptr<ReturnAddressStack> ras;
+        Lane lane;
+    };
+
+    auto run = [&](bool soa) {
+        DyadMemorySystem mem(MemSystemConfig::makeDefault());
+        CoreEngine engine{CoreEngineConfig{}};
+        auto pred = makePredictor(PredictorConfig::Kind::Tournament);
+        Btb btb(2048, 4);
+        Rng rng(0x517ull);
+        std::vector<Thread> threads(kThreads);
+        for (int i = 0; i < kThreads; ++i) {
+            Thread &t = threads[i];
+            t.source = std::make_unique<BatchSource>(
+                makeFlannXY(0.5, 1.0, 0), rng.fork(i));
+            if (!soa)
+                t.source->setSoaPipelineEnabled(false);
+            t.ras = std::make_unique<ReturnAddressStack>(16);
+            LaneConfig cfg =
+                engine.defaultLaneConfig(IssueMode::OutOfOrder);
+            cfg.path = mem.masterPath();
+            cfg.branch = {pred.get(), &btb, t.ras.get()};
+            t.lane.configure(cfg);
+        }
+        // Most-behind interleave, as in runSmtSweep's multi-thread
+        // loop.
+        std::uint64_t total_ops = 0;
+        Cycle stall_cycles = 0;
+        for (;;) {
+            Thread *best = nullptr;
+            Cycle best_time = ~Cycle(0);
+            for (Thread &t : threads) {
+                if (t.lane.nextFetch() < best_time) {
+                    best_time = t.lane.nextFetch();
+                    best = &t;
+                }
+            }
+            if (!best || best_time >= horizon)
+                break;
+            MicroOp op = best->source->next();
+            OpOutcome out = engine.processOp(best->lane, op);
+            ++total_ops;
+            if (out.remote) {
+                const Cycle stall =
+                    freq.microsToCycles(out.stall_us);
+                stall_cycles += stall;
+                best->lane.stallUntil(out.commit_time + stall);
+            }
+        }
+        // Fold everything comparable into one vector of words.
+        std::vector<std::uint64_t> state;
+        state.push_back(total_ops);
+        state.push_back(stall_cycles);
+        for (Thread &t : threads) {
+            state.push_back(t.lane.stats().ops);
+            state.push_back(t.lane.stats().branches);
+            state.push_back(t.lane.stats().mispredicts);
+            state.push_back(t.lane.stats().remote_ops);
+            state.push_back(t.lane.nextFetch());
+        }
+        state.push_back(pred->stats().lookups);
+        state.push_back(pred->stats().mispredicts);
+        state.push_back(btb.hits());
+        state.push_back(btb.misses());
+        state.push_back(mem.masterL1d().stats().hits);
+        state.push_back(mem.masterL1d().stats().misses);
+        state.push_back(mem.dram().accesses());
+        return state;
+    };
+
+    std::vector<std::uint64_t> soa = run(true);
+    std::vector<std::uint64_t> legacy = run(false);
+    EXPECT_EQ(soa, legacy);
+}

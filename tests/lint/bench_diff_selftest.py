@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Self-test for tools/bench_diff.py against the fixture JSONs.
+
+Every case must exit 0 (the perf-smoke diff is advisory, never
+gating); what varies is which ::warning:: lines appear. A regressed
+metric must produce exactly the perf-regression warning, a rebased
+baseline leaf must produce exactly the stale-baseline warning, a
+clean pair must stay silent, and unreadable input must warn rather
+than crash. The fixtures live under tests/lint/fixtures/bench/.
+"""
+
+import os
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(os.path.dirname(HERE))
+DIFF = os.path.join(REPO, "tools", "bench_diff.py")
+FIXTURES = os.path.join(HERE, "fixtures", "bench")
+
+REGRESSED = "regressed"
+STALE = "predates the parent-commit baseline rebase"
+UNREADABLE = "could not read inputs"
+
+# (fresh fixture, substrings the output must contain,
+#  substrings it must not contain)
+CASES = [
+    ("fresh_ok.json", ["no regressions"],
+     ["::warning::"]),
+    ("fresh_regressed.json",
+     ["::warning::perf-smoke", REGRESSED, "process_op.ns_per_op"],
+     [STALE]),
+    ("fresh_stale.json",
+     ["::warning::perf-smoke", STALE, "baseline_ns_per_op"],
+     [REGRESSED]),
+    ("missing.json", [UNREADABLE], [REGRESSED, STALE]),
+]
+
+
+def run_diff(fresh):
+    cmd = [sys.executable, DIFF,
+           os.path.join(FIXTURES, "committed.json"),
+           os.path.join(FIXTURES, fresh)]
+    return subprocess.run(cmd, capture_output=True, text=True)
+
+
+def main():
+    failures = []
+    for fresh, want, forbid in CASES:
+        proc = run_diff(fresh)
+        output = proc.stdout + proc.stderr
+        if proc.returncode != 0:
+            failures.append("%s: exit %d, expected 0 (advisory)\n%s"
+                            % (fresh, proc.returncode, output))
+            continue
+        for text in want:
+            if text not in output:
+                failures.append("%s: output lacks %r\n%s"
+                                % (fresh, text, output))
+        for text in forbid:
+            if text in output:
+                failures.append("%s: output must not contain %r\n%s"
+                                % (fresh, text, output))
+
+    if failures:
+        print("bench-diff selftest: %d failure(s)" % len(failures))
+        for failure in failures:
+            print("----\n" + failure)
+        return 1
+    print("bench-diff selftest: %d cases OK" % len(CASES))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

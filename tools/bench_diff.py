@@ -9,6 +9,12 @@ lower is better; counts/threads/flags: informational only), and
 prints a GitHub Actions ::warning:: line for every metric that
 regressed by more than the threshold (default 15 %).
 
+Also cross-checks the baseline_* leaves: the benchmark binary compiles
+its parent-commit baselines in, so when the committed JSON's baseline
+leaves differ from the fresh run's, the committed file predates the
+last baseline rebase and its speedup columns are computed against the
+wrong anchor — that staleness gets its own ::warning::.
+
 Always exits 0: perf-smoke is advisory, not gating. Benchmarks run on
 shared CI runners whose noise floor would make a hard gate flaky; the
 warning surfaces regressions for a human to judge.
@@ -72,6 +78,20 @@ def direction(key):
     return 0
 
 
+def baseline_drift(committed, fresh):
+    """Baseline leaves whose committed value differs from the fresh
+    binary's compiled-in one (or exists on only one side)."""
+    drift = []
+    for key in sorted(set(committed) | set(fresh)):
+        if "baseline" not in key.lower():
+            continue
+        old = committed.get(key)
+        new = fresh.get(key)
+        if old != new:
+            drift.append((key, old, new))
+    return drift
+
+
 def main():
     parser = argparse.ArgumentParser()
     parser.add_argument("committed")
@@ -88,6 +108,14 @@ def main():
     except (OSError, json.JSONDecodeError) as exc:
         print(f"::warning::bench_diff could not read inputs: {exc}")
         return 0
+
+    for key, old, new in baseline_drift(committed, fresh):
+        fmt = lambda v: "absent" if v is None else f"{v:.4g}"
+        print(f"::warning::perf-smoke: baseline leaf {key} is "
+              f"{fmt(old)} in the committed JSON but {fmt(new)} in "
+              f"the fresh run; the committed BENCH_hotpath.json "
+              f"predates the parent-commit baseline rebase — refresh "
+              f"it before trusting its speedup columns")
 
     regressions = []
     for key, old in sorted(committed.items()):
