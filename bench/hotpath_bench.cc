@@ -21,8 +21,10 @@
 #include <fstream>
 #include <vector>
 
+#include "core/calibration.hh"
 #include "core/grid.hh"
 #include "cpu/core_engine.hh"
+#include "cpu/hsmt.hh"
 #include "mem/cache.hh"
 #include "mem/memory_system.hh"
 #include "mem/tlb.hh"
@@ -40,16 +42,40 @@ namespace
 
 /* Baselines measured at the parent commit (Release, same host) with
  * this file's exact loop bodies. */
-constexpr double baseline_process_op_ns = 131.539;
-constexpr double baseline_queue_full_ns = 110.313;
-constexpr double baseline_grid_cold_s = 3.40142;
-constexpr double baseline_grid_warm_s = 2.60664;
+constexpr double baseline_process_op_ns = 122.241;
+constexpr double baseline_queue_full_ns = 94.0438;
+constexpr double baseline_grid_cold_s = 3.38105;
+constexpr double baseline_grid_warm_s = 2.40319;
 
 double
 secondsSince(BenchClock::time_point t0)
 {
     return std::chrono::duration<double>(BenchClock::now() - t0)
         .count();
+}
+
+/* Each ns/op micro-section runs kBenchReps times and reports the
+ * median rep (selected by the section's headline metric): one noisy
+ * rep — a scheduler preemption, a frequency step — no longer moves
+ * the committed numbers. Simulated outcomes are deterministic, so
+ * reps differ only in wall time and any rep's checksums are valid.
+ * The end-to-end sections (replicas, fig5 grid) stay single-shot:
+ * they are minutes-scale and the cold/warm split is stateful. */
+constexpr int kBenchReps = 3;
+
+template <typename F, typename M>
+auto
+medianOf(F &&run, M &&metric)
+{
+    using T = decltype(run());
+    std::array<T, kBenchReps> reps{};
+    for (T &r : reps)
+        r = run();
+    std::sort(reps.begin(), reps.end(),
+              [&](const T &a, const T &b) {
+                  return metric(a) < metric(b);
+              });
+    return reps[kBenchReps / 2];
 }
 
 /* ---------------- processOp ---------------- */
@@ -200,6 +226,8 @@ struct BlockStepNs
 {
     double per_op = 0.0;
     double block = 0.0;
+    /** Ops that went through the split-phase precompute pass. */
+    std::uint64_t split_phase_ops = 0;
 };
 
 /**
@@ -288,6 +316,88 @@ benchBlockStep()
         << " — block stepping diverged from the per-op loop";
     DPX_CHECK_EQ(a_ops, b.lane.stats().ops);
     DPX_CHECK_EQ(a_mispredicts, b.lane.stats().mispredicts);
+    out.split_phase_ops = b.engine.splitPhaseOps();
+    return out;
+}
+
+/* ---------------- HSMT stall fast-forward ---------------- */
+
+struct HsmtFfNs
+{
+    double fast = 0.0;
+    double legacy = 0.0;
+    std::uint64_t ff_polls = 0;
+    std::uint64_t ff_cycles = 0;
+};
+
+/**
+ * Lender-style HSMT unit ns per committed op, event-driven poll
+ * fast-forward vs the forced per-poll schedule. Two FLANN-X-Y batch
+ * contexts on an 8-lane unit spend most cycles parked on 1 µs remote
+ * stalls, so the legacy schedule burns its time stepping empty
+ * 200-cycle polls — the idle pattern the fast-forward elides. Both
+ * runs must commit the identical op sequence.
+ */
+HsmtFfNs
+benchHsmtFastForward()
+{
+    class OpCounter : public CommitSink
+    {
+      public:
+        void
+        onCommit(const VirtualContext &, const OpOutcome &) override
+        {
+            ++ops;
+        }
+        std::uint64_t ops = 0;
+    };
+
+    const Cycle horizon = 40'000'000;
+    HsmtFfNs out;
+    std::uint64_t ops_fast = 0, ops_legacy = 0;
+    for (bool fast : {true, false}) {
+        DyadMemorySystem mem(MemSystemConfig::makeDefault());
+        CoreEngine engine{CoreEngineConfig{}};
+        auto pred = makePredictor(PredictorConfig::Kind::GshareSmall);
+        Btb btb(2048, 4);
+        ReturnAddressStack ras(16);
+        VirtualContextPool pool;
+        std::vector<std::unique_ptr<BatchSource>> sources;
+        std::vector<std::unique_ptr<VirtualContext>> ctxs;
+        Rng rng(0xfa57ull);
+        for (int i = 0; i < 2; ++i) {
+            sources.push_back(std::make_unique<BatchSource>(
+                makeFlannXY(0.3, 1.0, static_cast<ThreadId>(i)),
+                rng.fork(i)));
+            ctxs.push_back(std::make_unique<VirtualContext>(
+                static_cast<ThreadId>(i + 1), sources.back().get()));
+            pool.add(ctxs.back().get());
+        }
+        HsmtUnit unit(engine, pool, HsmtConfig{}, Frequency(3.4e9));
+        LaneConfig proto = engine.defaultLaneConfig(IssueMode::InOrder);
+        proto.path = mem.lenderPath();
+        proto.branch = {pred.get(), &btb, &ras};
+        unit.configureLanes(proto);
+        unit.setFastForwardEnabled(fast);
+        unit.openWindow(0, HsmtUnit::never);
+
+        OpCounter sink;
+        auto t0 = BenchClock::now();
+        unit.runUntil(horizon, &sink);
+        double ns = 1e9 * secondsSince(t0) /
+                    static_cast<double>(sink.ops);
+        if (fast) {
+            out.fast = ns;
+            out.ff_polls = unit.fastForwardedPolls();
+            out.ff_cycles = unit.fastForwardedCycles();
+            ops_fast = sink.ops;
+        } else {
+            out.legacy = ns;
+            ops_legacy = sink.ops;
+        }
+    }
+    DPX_CHECK_EQ(ops_fast, ops_legacy)
+        << " — fast-forward changed the committed op count";
     return out;
 }
 
@@ -573,30 +683,48 @@ main()
 {
     std::printf("hotpath_bench: simulator hot-path ns/op\n\n");
 
-    double process_op_ns = benchProcessOp();
+    double process_op_ns = medianOf(
+        [] { return benchProcessOp(); }, [](double ns) { return ns; });
     std::printf("processOp            %8.2f ns/op   (baseline %.2f, "
                 "speedup %.2fx)\n",
                 process_op_ns, baseline_process_op_ns,
                 baseline_process_op_ns / process_op_ns);
 
-    FastSlowNs cache_ns = benchCacheAccess();
+    FastSlowNs cache_ns =
+        medianOf([] { return benchCacheAccess(); },
+                 [](const FastSlowNs &r) { return r.fast; });
     std::printf("cache access         %8.2f ns fast / %.2f forced-slow "
                 "(speedup %.2fx)\n",
                 cache_ns.fast, cache_ns.slow,
                 cache_ns.slow / cache_ns.fast);
-    FastSlowNs tlb_ns = benchTlbLookup();
+    FastSlowNs tlb_ns =
+        medianOf([] { return benchTlbLookup(); },
+                 [](const FastSlowNs &r) { return r.fast; });
     std::printf("tlb lookup           %8.2f ns fast / %.2f forced-slow "
                 "(speedup %.2fx)\n",
                 tlb_ns.fast, tlb_ns.slow, tlb_ns.slow / tlb_ns.fast);
-    BlockStepNs block_ns = benchBlockStep();
+    BlockStepNs block_ns =
+        medianOf([] { return benchBlockStep(); },
+                 [](const BlockStepNs &r) { return r.block; });
     std::printf("core block step      %8.2f ns per-op / %.2f blocked "
                 "(speedup %.2fx)\n",
                 block_ns.per_op, block_ns.block,
                 block_ns.per_op / block_ns.block);
+    HsmtFfNs hsmt_ns =
+        medianOf([] { return benchHsmtFastForward(); },
+                 [](const HsmtFfNs &r) { return r.fast; });
+    std::printf("hsmt unit step       %8.2f ns fast-fwd / %.2f "
+                "forced-slow (speedup %.2fx)\n",
+                hsmt_ns.fast, hsmt_ns.legacy,
+                hsmt_ns.legacy / hsmt_ns.fast);
 
     QueueWorkload queue_workload;
-    SamplingNs expo = benchSampling(queue_workload.interarrival);
-    SamplingNs scaled_emp = benchSampling(queue_workload.service);
+    SamplingNs expo =
+        medianOf([&] { return benchSampling(queue_workload.interarrival); },
+                 [](const SamplingNs &r) { return r.block; });
+    SamplingNs scaled_emp =
+        medianOf([&] { return benchSampling(queue_workload.service); },
+                 [](const SamplingNs &r) { return r.block; });
     std::printf("sample exponential   %8.2f ns virtual / %.2f fast / "
                 "%.2f block\n",
                 expo.virt, expo.fast, expo.block);
@@ -605,12 +733,28 @@ main()
                 scaled_emp.virt, scaled_emp.fast, scaled_emp.block);
 
     const std::uint64_t queue_ops = 20'000'000;
-    StepChecksum old_sum, new_sum;
-    double queue_old_ns =
-        benchQueueStepOld(queue_workload, queue_ops, old_sum);
-    double queue_new_ns =
-        benchQueueStepNew(queue_workload, queue_ops, new_sum);
-    bool identical = old_sum == new_sum;
+    struct QueueRep
+    {
+        double ns = 0.0;
+        StepChecksum sum;
+    };
+    QueueRep old_rep = medianOf(
+        [&] {
+            QueueRep r;
+            r.ns = benchQueueStepOld(queue_workload, queue_ops, r.sum);
+            return r;
+        },
+        [](const QueueRep &r) { return r.ns; });
+    QueueRep new_rep = medianOf(
+        [&] {
+            QueueRep r;
+            r.ns = benchQueueStepNew(queue_workload, queue_ops, r.sum);
+            return r;
+        },
+        [](const QueueRep &r) { return r.ns; });
+    double queue_old_ns = old_rep.ns;
+    double queue_new_ns = new_rep.ns;
+    bool identical = old_rep.sum == new_rep.sum;
     std::printf("queue step k=8 old   %8.2f ns/req\n", queue_old_ns);
     std::printf("queue step k=8 new   %8.2f ns/req  (speedup %.2fx, "
                 "outcomes %s)\n",
@@ -622,8 +766,14 @@ main()
         return 1;
     }
 
-    SchedNs sched8 = benchScheduling(queue_workload, 8, 20'000'000);
-    SchedNs sched64 = benchScheduling(queue_workload, 64, 20'000'000);
+    SchedNs sched8 =
+        medianOf([&] { return benchScheduling(queue_workload, 8,
+                                              20'000'000); },
+                 [](const SchedNs &r) { return r.heap; });
+    SchedNs sched64 =
+        medianOf([&] { return benchScheduling(queue_workload, 64,
+                                              20'000'000); },
+                 [](const SchedNs &r) { return r.heap; });
     std::printf("scheduling k=8       %8.2f ns scan / %.2f heap "
                 "(speedup %.2fx)\n",
                 sched8.scan, sched8.heap, sched8.scan / sched8.heap);
@@ -633,8 +783,9 @@ main()
                 sched64.scan / sched64.heap);
 
     std::uint64_t queue_full_reqs = 0;
-    double queue_full_ns =
-        benchQueueFull(queue_workload, queue_full_reqs);
+    double queue_full_ns = medianOf(
+        [&] { return benchQueueFull(queue_workload, queue_full_reqs); },
+        [](double ns) { return ns; });
     std::printf("runQueueSim k=8      %8.2f ns/req  (baseline %.2f, "
                 "speedup %.2fx)\n",
                 queue_full_ns, baseline_queue_full_ns,
@@ -682,6 +833,18 @@ main()
         return 1;
     }
 
+    // Fast-path activation counters: proof the measured numbers went
+    // through the new paths, not silently through the legacy ones.
+    CalibrationMemoStats memo = calibrationMemoStats();
+    std::printf("fast-path counters   split-phase ops %llu, skipped "
+                "polls %llu (%llu cycles), calib probes %llu / wide "
+                "hits %llu\n",
+                static_cast<unsigned long long>(block_ns.split_phase_ops),
+                static_cast<unsigned long long>(hsmt_ns.ff_polls),
+                static_cast<unsigned long long>(hsmt_ns.ff_cycles),
+                static_cast<unsigned long long>(memo.probes),
+                static_cast<unsigned long long>(memo.wide_hits));
+
     std::ofstream json("BENCH_hotpath.json");
     json.precision(6);
     json << "{\n"
@@ -708,6 +871,11 @@ main()
          << "    \"per_op_ns\": " << block_ns.per_op << ",\n"
          << "    \"block_ns\": " << block_ns.block << ",\n"
          << "    \"speedup\": " << block_ns.per_op / block_ns.block
+         << "\n  },\n"
+         << "  \"hsmt_unit_step_ns\": {\n"
+         << "    \"fast\": " << hsmt_ns.fast << ",\n"
+         << "    \"forced_slow\": " << hsmt_ns.legacy << ",\n"
+         << "    \"speedup\": " << hsmt_ns.legacy / hsmt_ns.fast
          << "\n  },\n"
          << "  \"sampling_ns\": {\n"
          << "    \"exponential\": {\"virtual\": " << expo.virt
@@ -767,7 +935,19 @@ main()
          << "    \"baseline_warm_s\": " << baseline_grid_warm_s
          << ",\n"
          << "    \"cold_speedup\": "
-         << baseline_grid_cold_s / grid_cold_s << "\n  }\n"
+         << baseline_grid_cold_s / grid_cold_s << "\n  },\n"
+         << "  \"fast_path\": {\n"
+         << "    \"note\": \"activation counters, not timings — "
+            "bench_diff.py ignores this subtree\",\n"
+         << "    \"split_phase_ops\": " << block_ns.split_phase_ops
+         << ",\n"
+         << "    \"fast_forwarded_polls\": " << hsmt_ns.ff_polls
+         << ",\n"
+         << "    \"fast_forwarded_cycles\": " << hsmt_ns.ff_cycles
+         << ",\n"
+         << "    \"calibration_probes\": " << memo.probes << ",\n"
+         << "    \"calibration_wide_hits\": " << memo.wide_hits
+         << "\n  }\n"
          << "}\n";
     std::printf("\nwrote BENCH_hotpath.json\n");
     return 0;

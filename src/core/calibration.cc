@@ -1,6 +1,8 @@
 #include "core/calibration.hh"
 
 #include <array>
+#include <atomic>
+#include <bit>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -152,11 +154,218 @@ measureComputeIpcUncached(const WorkloadParams &params, IssueMode mode)
            static_cast<double>(horizon - warmup);
 }
 
+/** One wide-memo entry: full key words + the once-computed value. */
+struct ProbeEntry
+{
+    std::vector<std::uint64_t> words;
+    std::once_flag once;
+    double value = 0.0;
+};
+
+std::atomic<bool> g_memo_widening{true};
+std::atomic<std::uint64_t> g_probe_count{0};
+std::atomic<std::uint64_t> g_wide_hits{0};
+
 } // namespace
+
+void
+ProbeKey::mixDouble(double v)
+{
+    mix(std::bit_cast<std::uint64_t>(v));
+}
+
+std::uint64_t
+ProbeKey::hash() const
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (std::uint64_t w : words_)
+        h = (h ^ w) * 1099511628211ull;
+    return h;
+}
+
+void
+fingerprintWorkload(ProbeKey &key, const WorkloadParams &p)
+{
+    key.mix(p.data_ws_bytes);
+    key.mixDouble(p.spatial_locality);
+    key.mixDouble(p.hot_prob);
+    key.mix(p.hot_bytes);
+    key.mix(p.code_bytes);
+    key.mix(p.static_branches);
+    key.mixDouble(p.near_jump_prob);
+    key.mix(p.near_jump_range);
+    key.mixDouble(p.far_to_hot_prob);
+    key.mix(p.hot_code_bytes);
+    key.mixDouble(p.branch_taken_bias);
+    key.mixDouble(p.periodic_branch_frac);
+    key.mixDouble(p.dep_prob);
+    key.mixDouble(p.mean_dep_dist);
+    key.mixDouble(p.mix.load);
+    key.mixDouble(p.mix.store);
+    key.mixDouble(p.mix.branch);
+    key.mixDouble(p.mix.call);
+    key.mixDouble(p.mix.int_mul);
+    key.mixDouble(p.mix.fp);
+}
+
+void
+fingerprintDistribution(ProbeKey &key, const Distribution *dist)
+{
+    if (dist == nullptr) {
+        key.mix(0); // absent (e.g. a stall-free batch)
+        return;
+    }
+    if (auto *d = dynamic_cast<const DeterministicDist *>(dist)) {
+        key.mix(1);
+        key.mixDouble(d->mean());
+        return;
+    }
+    if (auto *d = dynamic_cast<const ExponentialDist *>(dist)) {
+        key.mix(2);
+        key.mixDouble(d->mean());
+        return;
+    }
+    if (auto *d = dynamic_cast<const UniformDist *>(dist)) {
+        key.mix(3);
+        key.mixDouble(d->lo());
+        key.mixDouble(d->hi());
+        return;
+    }
+    if (auto *d = dynamic_cast<const LogNormalDist *>(dist)) {
+        key.mix(4);
+        key.mixDouble(d->mu());
+        key.mixDouble(d->sigma());
+        key.mixDouble(d->mean());
+        return;
+    }
+    if (auto *d = dynamic_cast<const BoundedParetoDist *>(dist)) {
+        key.mix(5);
+        key.mixDouble(d->lo());
+        key.mixDouble(d->hi());
+        key.mixDouble(d->alpha());
+        return;
+    }
+    if (auto *d = dynamic_cast<const EmpiricalDist *>(dist)) {
+        key.mix(6);
+        key.mix(d->size());
+        for (double v : d->values())
+            key.mixDouble(v);
+        return;
+    }
+    if (auto *d = dynamic_cast<const ScaledDist *>(dist)) {
+        key.mix(7);
+        key.mixDouble(d->factor());
+        fingerprintDistribution(key, d->base().get());
+        return;
+    }
+    // Opaque composition (mixture/sum/...): mix the object identity
+    // so two distinct opaque distributions can never falsely dedup.
+    key.mix(8);
+    key.mix(reinterpret_cast<std::uintptr_t>(dist));
+}
+
+void
+fingerprintMicroservice(ProbeKey &key, const MicroserviceSpec &spec)
+{
+    fingerprintWorkload(key, spec.character);
+    key.mix(spec.phases.size());
+    for (const PhaseSpec &phase : spec.phases) {
+        key.mix(static_cast<std::uint64_t>(phase.kind));
+        fingerprintDistribution(key, phase.instr_count.get());
+        fingerprintDistribution(key, phase.stall_us.get());
+        key.mix(phase.character.has_value());
+        if (phase.character)
+            fingerprintWorkload(key, *phase.character);
+    }
+}
+
+void
+fingerprintBatch(ProbeKey &key, const BatchSpec &spec)
+{
+    fingerprintWorkload(key, spec.character);
+    fingerprintDistribution(key, spec.segment_instrs.get());
+    fingerprintDistribution(key, spec.stall_us.get());
+}
+
+double
+memoizedProbe(const ProbeKey &key,
+              const std::function<double()> &compute)
+{
+    // Same protocol as the PR-2 compute-IPC memo: the mutex guards
+    // entry lookup/insert only, never a measurement; entries are
+    // keyed by hash but matched by full word-sequence equality, so a
+    // hash collision chains a second entry instead of aliasing.
+    // dpx-lint: allow(DPX003) — memo guard for fixed-seed,
+    // self-contained probes; never simulation concurrency.
+    static std::mutex mutex;
+    static std::map<std::uint64_t,
+                    std::vector<std::unique_ptr<ProbeEntry>>>
+        memo;
+
+    ProbeEntry *entry = nullptr;
+    bool inserted = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        auto &bucket = memo[key.hash()];
+        for (const auto &e : bucket) {
+            if (e->words == key.words()) {
+                entry = e.get();
+                break;
+            }
+        }
+        if (!entry) {
+            auto fresh = std::make_unique<ProbeEntry>();
+            fresh->words = key.words();
+            entry = fresh.get();
+            bucket.push_back(std::move(fresh));
+            inserted = true;
+        }
+    }
+    if (!inserted)
+        g_wide_hits.fetch_add(1, std::memory_order_relaxed);
+    std::call_once(entry->once, [&] {
+        g_probe_count.fetch_add(1, std::memory_order_relaxed);
+        entry->value = compute();
+    });
+    return entry->value;
+}
+
+CalibrationMemoStats
+calibrationMemoStats()
+{
+    CalibrationMemoStats stats;
+    stats.probes = g_probe_count.load(std::memory_order_relaxed);
+    stats.wide_hits = g_wide_hits.load(std::memory_order_relaxed);
+    return stats;
+}
+
+void
+setMemoWideningEnabled(bool enabled)
+{
+    g_memo_widening.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+memoWideningEnabled()
+{
+    return g_memo_widening.load(std::memory_order_relaxed);
+}
 
 double
 measureComputeIpc(const WorkloadParams &params, IssueMode mode)
 {
+    if (memoWideningEnabled()) {
+        // Unified wide memo: raw-bit fingerprint (strictly stronger
+        // equality than the truncated legacy hash, so it can only
+        // split — never alias — legacy entries) + shared counters.
+        ProbeKey key;
+        key.mix(0x4950c0de); // probe tag: compute IPC
+        fingerprintWorkload(key, params);
+        key.mix(static_cast<std::uint64_t>(mode));
+        return memoizedProbe(key, [&] {
+            return measureComputeIpcUncached(params, mode);
+        });
+    }
     // Memo protocol: the mutex only guards the entry lookup/insert —
     // never the measurement. Each entry carries a once_flag, so
     // distinct characters calibrate fully in parallel and only

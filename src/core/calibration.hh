@@ -16,7 +16,12 @@
 #ifndef DPX_CORE_CALIBRATION_HH
 #define DPX_CORE_CALIBRATION_HH
 
+#include <cstdint>
+#include <functional>
+#include <vector>
+
 #include "cpu/core_engine.hh"
+#include "sim/distributions.hh"
 #include "workload/catalog.hh"
 
 namespace duplexity
@@ -27,6 +32,79 @@ namespace duplexity
  * OoO for master-thread phases, InO (full width) for batch threads.
  */
 double measureComputeIpc(const WorkloadParams &params, IssueMode mode);
+
+/**
+ * Design-relevant fingerprint of one calibration probe: the exact
+ * word sequence of every parameter the probe's result depends on.
+ * The unified probe memo hashes the words for lookup but compares the
+ * full sequence on a bucket hit, so a hash collision between distinct
+ * probes chains a second entry instead of aliasing (the PR-2
+ * collision-safety rule). Probes that agree on every design-relevant
+ * word — e.g. two grid cells re-deriving the same baseline capacity
+ * under different queueing axes — dedup to one measurement.
+ */
+class ProbeKey
+{
+  public:
+    void mix(std::uint64_t v) { words_.push_back(v); }
+    /** Raw-bit double encoding: exact (never truncated) equality. */
+    void mixDouble(double v);
+
+    const std::vector<std::uint64_t> &words() const { return words_; }
+
+    /** FNV-1a over the word sequence (lookup hash, not identity). */
+    std::uint64_t hash() const;
+
+  private:
+    std::vector<std::uint64_t> words_;
+};
+
+/** Mix the behavioural (IPC-relevant) fields of @p p into @p key —
+ *  address bases are deliberately excluded, as in the PR-2 memo. */
+void fingerprintWorkload(ProbeKey &key, const WorkloadParams &p);
+
+/** Mix @p dist's shape into @p key (type tag + parameters for the
+ *  known leaf shapes; opaque compositions mix the object identity so
+ *  they can never falsely dedup). nullptr mixes a sentinel. */
+void fingerprintDistribution(ProbeKey &key, const Distribution *dist);
+
+/** Mix every design-relevant field of a microservice spec. */
+void fingerprintMicroservice(ProbeKey &key,
+                             const MicroserviceSpec &spec);
+
+/** Mix every design-relevant field of a batch spec. */
+void fingerprintBatch(ProbeKey &key, const BatchSpec &spec);
+
+/**
+ * The unified probe memo: return the memoized value for @p key or run
+ * @p compute exactly once (per-entry once_flag: distinct probes
+ * calibrate concurrently, only same-key racers wait). All wide-keyed
+ * calibration memos — compute-IPC, baseline service time, alone-run
+ * batch IPC — flow through here and share the stats counters.
+ */
+double memoizedProbe(const ProbeKey &key,
+                     const std::function<double()> &compute);
+
+/** Counters over every wide-keyed probe memo (bench telemetry). */
+struct CalibrationMemoStats
+{
+    /** Measurements actually run (memo misses). */
+    std::uint64_t probes = 0;
+    /** Lookups served without re-measuring (wide-key dedup hits). */
+    std::uint64_t wide_hits = 0;
+};
+CalibrationMemoStats calibrationMemoStats();
+
+/**
+ * Forced-legacy switch for the wide probe memo (default on). When
+ * disabled, measureComputeIpc / baselineServiceUs / aloneBatchIpc
+ * fall back to their narrow per-enum/per-character memos computed
+ * under their own locks — the pre-widening protocol — and the wide
+ * stores are bypassed. Proven value-identical by
+ * tests/core/calibration_memo_test.cc.
+ */
+void setMemoWideningEnabled(bool enabled);
+bool memoWideningEnabled();
 
 /** Microservice spec with phase instruction counts rescaled so the
  *  nominal µs durations hold at the measured baseline IPC. Cached. */

@@ -116,9 +116,10 @@ class ScenarioEngine
     std::vector<std::unique_ptr<ReturnAddressStack>> filler_ras_;
     std::vector<std::unique_ptr<ReturnAddressStack>> lender_ras_;
 
-    // Batch world.
+    // Batch world. Thread ids are handed out densely from 1, so the
+    // id->batch index map is a plain vector (slot 0 unused).
     std::vector<BatchThread> batch_;
-    std::map<ThreadId, std::size_t> ctx_index_;
+    std::vector<std::size_t> ctx_index_;
     VirtualContextPool shared_pool_;
     VirtualContextPool private_pool_;
     std::unique_ptr<HsmtUnit> lender_unit_;
@@ -249,6 +250,7 @@ ScenarioEngine::buildBatchThreads()
 {
     Rng batch_rng = rng_.fork(2);
     ThreadId uid = 1;
+    ctx_index_.push_back(batch_.size()); // unused id-0 slot
     auto add = [&](BatchKind kind, VirtualContextPool *pool) {
         BatchThread bt;
         bt.kind = kind;
@@ -256,7 +258,9 @@ ScenarioEngine::buildBatchThreads()
             calibratedBatch(kind, uid), batch_rng.fork(uid));
         bt.ctx = std::make_unique<VirtualContext>(uid,
                                                   bt.source.get());
-        ctx_index_[uid] = batch_.size();
+        DPX_CHECK_EQ(ctx_index_.size(), uid)
+            << " — batch thread ids must stay dense";
+        ctx_index_.push_back(batch_.size());
         if (pool)
             pool->add(bt.ctx.get());
         batch_.push_back(std::move(bt));
@@ -295,6 +299,7 @@ ScenarioEngine::buildUnits()
     // batch backlog in every design (Section VI-B pairing rule).
     lender_unit_ = std::make_unique<HsmtUnit>(
         *lender_engine_, shared_pool_, hcfg, frequency_);
+    lender_unit_->setFastForwardEnabled(cfg_.hsmt_fast_forward);
     LaneConfig lproto =
         lender_engine_->defaultLaneConfig(IssueMode::InOrder);
     lproto.path = mem_->lenderPath();
@@ -361,6 +366,7 @@ ScenarioEngine::buildUnits()
         design_.hsmt_borrowing ? shared_pool_ : private_pool_;
     filler_unit_ = std::make_unique<HsmtUnit>(
         *master_engine_, filler_pool, hcfg, frequency_);
+    filler_unit_->setFastForwardEnabled(cfg_.hsmt_fast_forward);
 
     LaneConfig fproto =
         master_engine_->defaultLaneConfig(IssueMode::InOrder);
@@ -408,11 +414,11 @@ ScenarioEngine::onBatchCommit(const VirtualContext &ctx,
     } else {
         ++result_.lender_ops;
     }
-    auto it = ctx_index_.find(ctx.id());
-    if (it != ctx_index_.end()) {
-        ++batch_[it->second].window_ops;
+    if (ctx.id() < ctx_index_.size()) {
+        BatchThread &bt = batch_[ctx_index_[ctx.id()]];
+        ++bt.window_ops;
         if (out.remote)
-            ++batch_[it->second].window_remote;
+            ++bt.window_remote;
     }
     if (out.remote)
         ++remote_ops_;
@@ -642,30 +648,88 @@ ScenarioEngine::run()
     maybeOpenWindow(0, next_arrival_);
 
     bool snapshotted = false;
-    for (;;) {
+    if (!cfg_.hsmt_fast_forward) {
+        // Forced-legacy schedule: re-derive every actor's next time
+        // and perform exactly one action per iteration.
+        for (;;) {
+            Cycle t_master = masterNextTime();
+            Cycle t_co = corunnerNextTime();
+            Cycle t_filler =
+                filler_unit_ ? filler_unit_->nextTime() : never;
+            Cycle t_lender = lender_unit_->nextTime();
+
+            Cycle tmin = std::min(std::min(t_master, t_co),
+                                  std::min(t_filler, t_lender));
+            if (tmin == never || tmin > horizon)
+                break;
+            if (!snapshotted && tmin >= m_start_) {
+                snapshotActivity();
+                snapshotted = true;
+            }
+
+            if (tmin == t_master) {
+                advanceMaster();
+            } else if (tmin == t_co) {
+                advanceCorunner();
+            } else if (tmin == t_filler) {
+                filler_unit_->advanceOne(&filler_sink_);
+            } else {
+                lender_unit_->advanceOne(&lender_sink_);
+            }
+        }
+    } else {
+        // Event-driven schedule: cache each actor's next time and
+        // recompute only what the last action can have moved. A
+        // master action may open/close the filler window (so it
+        // refreshes the filler's time too); unit actions are
+        // lane-local and never move another actor's clock; the shared
+        // pool only matters once an actor acts, never for *when* it
+        // acts. HSMT units batch all actions up to a bound that
+        // encodes the legacy if-chain priority (master > co > filler >
+        // lender): a unit keeps acting strictly before every
+        // higher-priority actor and at-or-before every lower-priority
+        // one. Until the activity snapshot is taken the bounds also
+        // stop short of m_start_, so the snapshot falls between the
+        // same two actions as the stepped schedule.
         Cycle t_master = masterNextTime();
         Cycle t_co = corunnerNextTime();
         Cycle t_filler =
             filler_unit_ ? filler_unit_->nextTime() : never;
         Cycle t_lender = lender_unit_->nextTime();
+        for (;;) {
+            Cycle tmin = std::min(std::min(t_master, t_co),
+                                  std::min(t_filler, t_lender));
+            if (tmin == never || tmin > horizon)
+                break;
+            if (!snapshotted && tmin >= m_start_) {
+                snapshotActivity();
+                snapshotted = true;
+            }
+            const Cycle snap_bound = snapshotted ? never : m_start_;
 
-        Cycle tmin = std::min(std::min(t_master, t_co),
-                              std::min(t_filler, t_lender));
-        if (tmin == never || tmin > horizon)
-            break;
-        if (!snapshotted && tmin >= m_start_) {
-            snapshotActivity();
-            snapshotted = true;
-        }
-
-        if (tmin == t_master) {
-            advanceMaster();
-        } else if (tmin == t_co) {
-            advanceCorunner();
-        } else if (tmin == t_filler) {
-            filler_unit_->advanceOne(&filler_sink_);
-        } else {
-            lender_unit_->advanceOne(&lender_sink_);
+            if (tmin == t_master) {
+                advanceMaster();
+                t_master = masterNextTime();
+                if (filler_unit_)
+                    t_filler = filler_unit_->nextTime();
+            } else if (tmin == t_co) {
+                advanceCorunner();
+                t_co = corunnerNextTime();
+            } else if (tmin == t_filler) {
+                Cycle bound = std::min(
+                    std::min(t_master, t_co),
+                    std::min(t_lender == never ? never : t_lender + 1,
+                             std::min(horizon + 1, snap_bound)));
+                t_filler =
+                    filler_unit_->advanceUntil(bound, &filler_sink_);
+            } else {
+                Cycle bound = std::min(
+                    std::min(t_master, t_co),
+                    std::min(t_filler,
+                             std::min(horizon + 1, snap_bound)));
+                t_lender =
+                    lender_unit_->advanceUntil(bound, &lender_sink_);
+            }
         }
     }
     if (!snapshotted)
@@ -714,14 +778,59 @@ runScenario(const ScenarioConfig &config)
     return engine.run();
 }
 
+namespace
+{
+
+/** The baseline capacity measurement (no caching): the Baseline
+ *  design in situ (lender core running) at a moderate load pinned by
+ *  the nominal capacity, so the value does not depend on the caller's
+ *  requested load. Fully self-contained and fixed-seed; it pins its
+ *  own arrival rate, so there is no recursion back into the memo. */
+double
+baselineServiceUsUncached(MicroserviceKind service, double nominal_us)
+{
+    ScenarioConfig cfg;
+    cfg.design = DesignKind::Baseline;
+    cfg.service = service;
+    cfg.arrival_rate_rps = 0.5 / fromMicros(nominal_us);
+    cfg.warmup_cycles = 300'000;
+    cfg.measure_cycles = 1'200'000;
+    ScenarioResult res = runScenario(cfg);
+    return res.service_us.count() > 8 ? res.service_us.mean()
+                                      : nominal_us;
+}
+
+} // namespace
+
 double
 baselineServiceUs(MicroserviceKind service)
 {
-    // Sweep cells call this concurrently; computing under the lock
-    // keeps the memo deterministic for any thread count because the
-    // measurement run is fully self-contained and fixed-seed (it
-    // pins its own arrival rate, so there is no recursion back into
-    // this function).
+    MicroserviceSpec spec = makeMicroservice(service);
+    const double nominal_us = spec.nominalServiceUs();
+
+    if (memoWideningEnabled()) {
+        // Wide memo: keyed on the design-relevant probe recipe (the
+        // uncalibrated spec's full fingerprint plus the measurement
+        // pinning), not the service enum — grid cells that re-derive
+        // an identical capacity probe dedup to one measurement, and
+        // distinct services calibrate concurrently (per-entry
+        // once_flag instead of one global compute lock).
+        ProbeKey key;
+        key.mix(0xba5e11beull); // probe tag: baseline capacity
+        fingerprintMicroservice(key, spec);
+        key.mixDouble(nominal_us);
+        key.mix(300'000); // warmup_cycles
+        key.mix(1'200'000); // measure_cycles
+        key.mix(42); // ScenarioConfig seed default
+        return memoizedProbe(key, [&] {
+            return baselineServiceUsUncached(service, nominal_us);
+        });
+    }
+
+    // Forced-legacy protocol: enum-keyed memo computed under the
+    // lock. Sweep cells call this concurrently; computing under the
+    // lock keeps the memo deterministic for any thread count because
+    // the measurement run is fully self-contained and fixed-seed.
     // dpx-lint: allow(DPX003) — memo guard, not simulation
     // concurrency; the measured value is identical for every
     // first-toucher (see comment above).
@@ -732,42 +841,20 @@ baselineServiceUs(MicroserviceKind service)
     if (it != memo.end())
         return it->second;
 
-    // Measure the Baseline design in situ (lender core running) at a
-    // moderate load pinned by the nominal capacity, so the memo does
-    // not depend on this call's requested load.
-    double nominal_us =
-        makeMicroservice(service).nominalServiceUs();
-    ScenarioConfig cfg;
-    cfg.design = DesignKind::Baseline;
-    cfg.service = service;
-    cfg.arrival_rate_rps = 0.5 / fromMicros(nominal_us);
-    cfg.warmup_cycles = 300'000;
-    cfg.measure_cycles = 1'200'000;
-    ScenarioResult res = runScenario(cfg);
-    double measured = res.service_us.count() > 8
-                          ? res.service_us.mean()
-                          : nominal_us;
+    double measured = baselineServiceUsUncached(service, nominal_us);
     memo[service] = measured;
     return measured;
 }
 
-double
-aloneBatchIpc(BatchKind kind)
+namespace
 {
-    // Same locking discipline as baselineServiceUs(): the alone-run
-    // is self-contained and fixed-seed, so first-toucher identity
-    // cannot change the memoized value.
-    // dpx-lint: allow(DPX003) — memo guard, not simulation
-    // concurrency (see baselineServiceUs above).
-    static std::mutex mutex;
-    static std::map<BatchKind, double> cache;
-    std::lock_guard<std::mutex> lock(mutex);
-    auto it = cache.find(kind);
-    if (it != cache.end())
-        return it->second;
 
-    // One batch thread alone on a lender-style InO core, stalling in
-    // place on remote ops.
+/** The alone-run measurement (no caching): one batch thread alone on
+ *  a lender-style InO core, stalling in place on remote ops. Fully
+ *  self-contained and fixed-seed. */
+double
+aloneBatchIpcUncached(BatchKind kind, const BatchSpec &spec)
+{
     MemSystemConfig mem_cfg = MemSystemConfig::makeDefault();
     DyadMemorySystem mem(mem_cfg);
     CoreEngine engine{CoreEngineConfig{}};
@@ -776,7 +863,7 @@ aloneBatchIpc(BatchKind kind)
     ReturnAddressStack ras(16);
 
     Rng rng(0xa10eull + static_cast<std::uint64_t>(kind));
-    BatchSource source(calibratedBatch(kind, 7), rng.fork(1));
+    BatchSource source(spec, rng.fork(1));
 
     Lane lane;
     LaneConfig cfg = engine.defaultLaneConfig(IssueMode::InOrder);
@@ -811,8 +898,47 @@ aloneBatchIpc(BatchKind kind)
                             freq.microsToCycles(blk.last.stall_us));
         }
     }
-    double ipc = static_cast<double>(ops) /
-                 static_cast<double>(horizon - warmup);
+    return static_cast<double>(ops) /
+           static_cast<double>(horizon - warmup);
+}
+
+} // namespace
+
+double
+aloneBatchIpc(BatchKind kind)
+{
+    BatchSpec spec = calibratedBatch(kind, 7);
+
+    if (memoWideningEnabled()) {
+        // Wide memo: keyed on the calibrated spec's full fingerprint
+        // plus the probe's own seed and horizon — everything the
+        // measured value depends on — instead of the enum. The seed
+        // is enum-derived (legacy behaviour), so two kinds dedup only
+        // when they are the same probe in every respect.
+        ProbeKey key;
+        key.mix(0xa10e19c0ull); // probe tag: alone-run batch IPC
+        fingerprintBatch(key, spec);
+        key.mix(0xa10eull + static_cast<std::uint64_t>(kind));
+        key.mix(200'000); // warmup
+        key.mix(1'200'000); // horizon
+        return memoizedProbe(key, [&] {
+            return aloneBatchIpcUncached(kind, spec);
+        });
+    }
+
+    // Forced-legacy protocol: enum-keyed memo computed under the
+    // lock; the alone-run is self-contained and fixed-seed, so
+    // first-toucher identity cannot change the memoized value.
+    // dpx-lint: allow(DPX003) — memo guard, not simulation
+    // concurrency (see baselineServiceUs above).
+    static std::mutex mutex;
+    static std::map<BatchKind, double> cache;
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = cache.find(kind);
+    if (it != cache.end())
+        return it->second;
+
+    double ipc = aloneBatchIpcUncached(kind, spec);
     cache[kind] = ipc;
     return ipc;
 }

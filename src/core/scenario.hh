@@ -52,6 +52,15 @@ struct ScenarioConfig
     Cycle warmup_cycles = 400'000;
     Cycle measure_cycles = 4'000'000;
     std::uint64_t seed = 42;
+
+    /**
+     * Forced-legacy switch for the event-driven scheduling fast path:
+     * when false, the run loop re-scans all four actors per action and
+     * the HSMT units use their stepped per-poll schedule
+     * (HsmtUnit::setFastForwardEnabled(false)). The two schedules are
+     * proven field-identical in tests/cpu/hsmt_fast_forward_test.cc.
+     */
+    bool hsmt_fast_forward = true;
 };
 
 struct ScenarioResult

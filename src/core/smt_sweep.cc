@@ -98,30 +98,72 @@ runSmtSweep(const SmtSweepConfig &config)
         result.mispredict_rate = pred->stats().mispredictRate();
         return result;
     }
-    for (;;) {
-        // Advance the most-behind thread: min next-fetch time. This
-        // approximates an ICOUNT-fair fetch policy.
-        Thread *best = nullptr;
-        Cycle best_time = never;
-        for (Thread &t : threads) {
-            if (t.lane.nextFetch() < best_time) {
-                best_time = t.lane.nextFetch();
-                best = &t;
-            }
-        }
-        if (!best || best_time >= m_end)
-            break;
-
-        MicroOp op = best->source->next();
-        OpOutcome out = engine.processOp(best->lane, op);
+    auto stepThread = [&](Thread &t) {
+        MicroOp op = t.source->next();
+        OpOutcome out = engine.processOp(t.lane, op);
         if (out.commit_time >= m_start && out.commit_time < m_end) {
-            ++best->ops;
+            ++t.ops;
             ++total_ops;
         }
         if (out.remote) {
-            best->lane.stallUntil(
+            t.lane.stallUntil(
                 out.commit_time +
                 freq.microsToCycles(out.stall_us));
+        }
+    };
+    if (!config.event_driven) {
+        // Forced-legacy schedule: full most-behind rescan per op.
+        for (;;) {
+            // Advance the most-behind thread: min next-fetch time.
+            // This approximates an ICOUNT-fair fetch policy.
+            Thread *best = nullptr;
+            Cycle best_time = never;
+            for (Thread &t : threads) {
+                if (t.lane.nextFetch() < best_time) {
+                    best_time = t.lane.nextFetch();
+                    best = &t;
+                }
+            }
+            if (!best || best_time >= m_end)
+                break;
+            stepThread(*best);
+        }
+    } else {
+        // Streak schedule: one merged scan finds the most-behind
+        // thread (index tie-break, like the legacy `<` scan) and the
+        // runner-up; the winner then keeps stepping without rescans
+        // while it would still win — stepping one thread never moves
+        // another thread's next-fetch time, so the cached runner-up
+        // stays valid for the whole streak.
+        for (;;) {
+            std::size_t best_i = 0, second_i = 0;
+            Cycle best_time = never, second_time = never;
+            for (std::size_t i = 0; i < threads.size(); ++i) {
+                Cycle t = threads[i].lane.nextFetch();
+                if (t < best_time) {
+                    second_time = best_time;
+                    second_i = best_i;
+                    best_time = t;
+                    best_i = i;
+                } else if (t < second_time) {
+                    second_time = t;
+                    second_i = i;
+                }
+            }
+            if (best_time >= m_end)
+                break;
+            Thread &best = threads[best_i];
+            for (;;) {
+                stepThread(best);
+                Cycle t = best.lane.nextFetch();
+                if (t >= m_end)
+                    break;
+                const bool still_first =
+                    t < second_time ||
+                    (t == second_time && best_i < second_i);
+                if (!still_first)
+                    break;
+            }
         }
     }
 

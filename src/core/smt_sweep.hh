@@ -28,6 +28,14 @@ struct SmtSweepConfig
     Cycle warmup_cycles = 200'000;
     Cycle measure_cycles = 1'000'000;
     std::uint64_t seed = 7;
+
+    /**
+     * Forced-legacy switch for the most-behind streak scheduler: when
+     * false, the multi-thread loop re-scans every thread per op. The
+     * streak schedule is bit-identical (it only elides scans whose
+     * winner is already known); see SmtSweepDeterminism tests.
+     */
+    bool event_driven = true;
 };
 
 struct SmtSweepResult

@@ -86,10 +86,126 @@ CoreEngine::processOp(Lane &lane, const MicroOp &op)
     return stepOp(lane, op, lane.stats_);
 }
 
+namespace
+{
+
+/*
+ * Split-phase dispatch codes: the commit pass switches on a
+ * precomputed byte instead of re-deriving the class partition per op,
+ * and simple-ALU ops carry their execution latency with them.
+ */
+enum : std::uint8_t
+{
+    kCodeSimple = 0, //!< IntAlu/IntMul/FpAlu: done = issue + lat
+    kCodeLoad,
+    kCodeStore,
+    kCodeBranch,
+    kCodeCall,
+    kCodeReturn,
+    kCodeRemote,
+};
+
+// The code/latency tables index by the OpClass underlying value; pin
+// the enum layout and the latencies they bake in.
+static_assert(static_cast<int>(OpClass::IntAlu) == 0 &&
+                  static_cast<int>(OpClass::IntMul) == 1 &&
+                  static_cast<int>(OpClass::FpAlu) == 2 &&
+                  static_cast<int>(OpClass::Load) == 3 &&
+                  static_cast<int>(OpClass::Store) == 4 &&
+                  static_cast<int>(OpClass::Branch) == 5 &&
+                  static_cast<int>(OpClass::Call) == 6 &&
+                  static_cast<int>(OpClass::Return) == 7 &&
+                  static_cast<int>(OpClass::Remote) == 8,
+              "split-phase code table assumes this OpClass layout");
+static_assert(execLatency(OpClass::IntAlu) == 1 &&
+                  execLatency(OpClass::IntMul) == 3 &&
+                  execLatency(OpClass::FpAlu) == 4,
+              "split-phase latency table diverged from execLatency");
+
+constexpr std::uint8_t kCodeOf[9] = {
+    kCodeSimple, kCodeSimple, kCodeSimple, kCodeLoad,  kCodeStore,
+    kCodeBranch, kCodeCall,   kCodeReturn, kCodeRemote,
+};
+constexpr std::uint8_t kLatOf[9] = {1, 3, 4, 0, 0, 0, 0, 0, 0};
+
+/** Pure per-op hints produced by the precompute pass. Everything in
+ *  here is a function of the block's lanes alone — no simulated state
+ *  is read or written, so computing hints for ops the commit pass
+ *  never reaches (fetch-horizon stop, remote stop) is harmless. */
+struct BlockPrecomp
+{
+    std::uint8_t code[kOpBlockCapacity];
+    std::uint8_t lat[kOpBlockCapacity];
+    /** pc line (pc >> 6) differs from the previous op's line. */
+    bool new_line[kOpBlockCapacity];
+    bool has_dep[kOpBlockCapacity];
+};
+
+/** SoA lane reader: direct OpBlock lane pointers. */
+struct SoaLaneView
+{
+    const OpClass *cls;
+    const Addr *pc;
+    const Addr *mem_addr;
+    const bool *taken;
+    const std::uint8_t *dep1;
+    const std::uint8_t *dep2;
+    const float *stall_us;
+    const bool *eor;
+
+    OpClass clsAt(std::uint32_t i) const { return cls[i]; }
+    Addr pcAt(std::uint32_t i) const { return pc[i]; }
+    Addr memAddrAt(std::uint32_t i) const { return mem_addr[i]; }
+    bool takenAt(std::uint32_t i) const { return taken[i]; }
+    std::uint8_t dep1At(std::uint32_t i) const { return dep1[i]; }
+    std::uint8_t dep2At(std::uint32_t i) const { return dep2[i]; }
+    float stallUsAt(std::uint32_t i) const { return stall_us[i]; }
+    bool eorAt(std::uint32_t i) const { return eor[i]; }
+};
+
+/** AoS reader: the pointer overload's MicroOp array, consumed by the
+ *  same commit pass so the two paths cannot drift. */
+struct AosOpView
+{
+    const MicroOp *ops;
+
+    OpClass clsAt(std::uint32_t i) const { return ops[i].cls; }
+    Addr pcAt(std::uint32_t i) const { return ops[i].pc; }
+    Addr memAddrAt(std::uint32_t i) const { return ops[i].mem_addr; }
+    bool takenAt(std::uint32_t i) const { return ops[i].taken; }
+    std::uint8_t dep1At(std::uint32_t i) const { return ops[i].dep1; }
+    std::uint8_t dep2At(std::uint32_t i) const { return ops[i].dep2; }
+    float stallUsAt(std::uint32_t i) const { return ops[i].stall_us; }
+    bool eorAt(std::uint32_t i) const
+    {
+        return ops[i].end_of_request;
+    }
+};
+
+/** Precompute pass: branch-light, auto-vectorizable, and pure — it
+ *  reads only block lanes, never lane/core state (DESIGN.md §4b.2). */
+template <class View>
+inline void
+precomputeBlock(const View &view, std::uint32_t count, BlockPrecomp &pre)
+{
+    for (std::uint32_t i = 0; i < count; ++i) {
+        const auto c = static_cast<std::uint8_t>(view.clsAt(i));
+        pre.code[i] = kCodeOf[c];
+        pre.lat[i] = kLatOf[c];
+        pre.has_dep[i] = (view.dep1At(i) | view.dep2At(i)) != 0;
+    }
+    if (count > 0)
+        pre.new_line[0] = true;
+    for (std::uint32_t i = 1; i < count; ++i)
+        pre.new_line[i] = (view.pcAt(i) >> 6) != (view.pcAt(i - 1) >> 6);
+}
+
+} // namespace
+
 BlockOutcome
-CoreEngine::processBlock(Lane &lane, const MicroOp *ops,
-                         std::uint32_t count, Cycle fetch_horizon,
-                         Cycle window_lo, Cycle window_hi)
+CoreEngine::stepOpLoop(Lane &lane, const MicroOp *ops,
+                       std::uint32_t count, Cycle fetch_horizon,
+                       Cycle window_lo, Cycle window_hi)
 {
     BlockOutcome blk;
     // Stat updates batch into a local accumulator and flush once per
@@ -98,6 +214,7 @@ CoreEngine::processBlock(Lane &lane, const MicroOp *ops,
     // One reused outcome slot, copied into blk.last once after the
     // loop — not per op.
     OpOutcome out;
+    // dpx-hot-loop: begin stepOpLoop
     while (blk.processed < count && lane.next_fetch_ < fetch_horizon) {
         out = stepOp(lane, ops[blk.processed], local);
         ++blk.processed;
@@ -108,12 +225,335 @@ CoreEngine::processBlock(Lane &lane, const MicroOp *ops,
             break;
         }
     }
+    // dpx-hot-loop: end
     if (blk.processed > 0)
         blk.last = out;
     lane.stats_.ops += local.ops;
     lane.stats_.branches += local.branches;
     lane.stats_.mispredicts += local.mispredicts;
     lane.stats_.remote_ops += local.remote_ops;
+    return blk;
+}
+
+template <class View>
+BlockOutcome
+CoreEngine::splitPhaseBlock(Lane &lane, const View &view,
+                            std::uint32_t count, Cycle fetch_horizon,
+                            Cycle window_lo, Cycle window_hi)
+{
+    BlockOutcome blk;
+    if (count == 0)
+        return blk;
+    DPX_DCHECK(!lane.inflight_ring_.empty() &&
+               !lane.dispatch_ring_.empty())
+        << " — processBlock on an unconfigured lane";
+    DPX_DCHECK_LE(count, kOpBlockCapacity);
+
+    // Phase 1: pure precompute over the SoA/AoS lanes.
+    BlockPrecomp pre;
+    precomputeBlock(view, count, pre);
+
+    // Phase 2: tight serial commit pass. Loop-invariant config and the
+    // lane/core scalars are hoisted into locals (stored back once at
+    // exit); per-op work is the exact stepOp arithmetic in the exact
+    // stepOp order, so outcomes are bit-identical to the legacy walk.
+    const LaneConfig &cfg = lane.config_;
+    const bool in_order = cfg.mode == IssueMode::InOrder;
+    const Cycle frontend_depth = in_order ? config_.frontend_depth_ino
+                                          : config_.frontend_depth_ooo;
+    const Cycle redirect_penalty = in_order
+                                       ? config_.redirect_penalty_ino
+                                       : config_.redirect_penalty_ooo;
+    const Cycle fetch_hidden = config_.fetch_hidden;
+    SlotCalendar *const fetch_cal = cfg.fetch_cal;
+    SlotCalendar *const issue_cal = cfg.issue_cal;
+    SlotCalendar *const commit_cal = cfg.commit_cal;
+    const MemPath path = cfg.path;
+    BranchPredictor *const predictor = cfg.branch.predictor;
+    Btb *const btb = cfg.branch.btb;
+    ReturnAddressStack *const ras = cfg.branch.ras;
+    const bool use_rob = cfg.use_shared_rob;
+    const bool use_lsq = cfg.use_shared_lsq;
+
+    Cycle next_fetch = lane.next_fetch_;
+    Cycle last_issue = lane.last_issue_;
+    Cycle last_commit = lane.last_commit_;
+    std::uint64_t op_index = lane.op_index_;
+    std::size_t inflight_pos = lane.inflight_pos_;
+    std::size_t fq_pos = lane.fq_pos_;
+    std::size_t rob_pos = rob_pos_;
+    std::size_t lq_pos = lq_pos_;
+    std::size_t sq_pos = sq_pos_;
+    Cycle *const dispatch_ring = lane.dispatch_ring_.data();
+    const std::size_t dispatch_size = lane.dispatch_ring_.size();
+    Cycle *const inflight_ring = lane.inflight_ring_.data();
+    const std::size_t inflight_size = lane.inflight_ring_.size();
+    Cycle *const done_ring = lane.done_ring_.data();
+    Cycle *const rob_ring = rob_ring_.data();
+    const std::size_t rob_size = rob_ring_.size();
+    Cycle *const lq_ring = lq_ring_.data();
+    const std::size_t lq_size = lq_ring_.size();
+    Cycle *const sq_ring = sq_ring_.data();
+    const std::size_t sq_size = sq_ring_.size();
+    constexpr std::size_t dep_mask = Lane::dep_ring_size - 1;
+    DPX_DCHECK_LT(fq_pos, dispatch_size);
+    DPX_DCHECK_LT(inflight_pos, inflight_size);
+
+    // Fetch-line tracking. `synced` means the lane's last fetch line
+    // is known to equal the previous op's line, so the precomputed
+    // delta decides the I-cache probe; at block entry and after a
+    // redirect (stepOp resets the line to the ~0 sentinel) the probe
+    // condition falls back to the literal compare stepOp performs.
+    Addr last_line = lane.last_fetch_line_;
+    bool synced = false;
+
+    std::uint64_t branches = 0, mispredicts = 0, remote_ops = 0;
+    // blk.last fields for the most recent op, tracked in registers.
+    Cycle l_fetch = 0, l_issue = 0, l_done = 0, l_commit = 0;
+    bool l_redirect = false;
+
+    std::uint32_t i = 0;
+    // dpx-hot-loop: begin splitPhaseCommit
+    for (; i < count; ++i) {
+        if (next_fetch >= fetch_horizon)
+            break;
+
+        // Fetch: bandwidth slot, fetch-queue back-pressure, I-cache.
+        Cycle &fq_slot = dispatch_ring[fq_pos];
+        Cycle fetch_time =
+            fetch_cal->reserve(std::max(next_fetch, fq_slot));
+        const bool probe = synced
+                               ? pre.new_line[i]
+                               : (view.pcAt(i) >> 6) != last_line;
+        if (probe) {
+            Cycle fetch_lat = path.fetch(view.pcAt(i), fetch_time);
+            if (fetch_lat > fetch_hidden)
+                fetch_time += fetch_lat - fetch_hidden;
+        }
+        synced = true;
+
+        // Dispatch: frontend depth + window occupancy.
+        Cycle dispatch_time = fetch_time + frontend_depth;
+        Cycle *const cap_slot = &inflight_ring[inflight_pos];
+        if (++inflight_pos == inflight_size)
+            inflight_pos = 0;
+        dispatch_time = std::max(dispatch_time, *cap_slot);
+        Cycle *rob_slot = nullptr;
+        if (use_rob) {
+            rob_slot = &rob_ring[rob_pos];
+            if (++rob_pos == rob_size)
+                rob_pos = 0;
+            dispatch_time = std::max(dispatch_time, *rob_slot);
+        }
+        const std::uint8_t code = pre.code[i];
+        Cycle *lsq_slot = nullptr;
+        if (use_lsq) {
+            if (code == kCodeLoad) {
+                lsq_slot = &lq_ring[lq_pos];
+                if (++lq_pos == lq_size)
+                    lq_pos = 0;
+                dispatch_time = std::max(dispatch_time, *lsq_slot);
+            } else if (code == kCodeStore) {
+                lsq_slot = &sq_ring[sq_pos];
+                if (++sq_pos == sq_size)
+                    sq_pos = 0;
+                dispatch_time = std::max(dispatch_time, *lsq_slot);
+            }
+        }
+        fq_slot = dispatch_time;
+        if (++fq_pos == dispatch_size)
+            fq_pos = 0;
+
+        // Issue: operand readiness, then in-order or dynamic
+        // scheduling. Dep-free ops (the precomputed common case) skip
+        // the ring reads entirely.
+        Cycle ready = dispatch_time + 1;
+        if (pre.has_dep[i]) {
+            const std::uint8_t d1 = view.dep1At(i);
+            const std::uint8_t d2 = view.dep2At(i);
+            if (d1) {
+                ready = std::max(
+                    ready, done_ring[(op_index - d1) & dep_mask]);
+            }
+            if (d2) {
+                ready = std::max(
+                    ready, done_ring[(op_index - d2) & dep_mask]);
+            }
+        }
+        Cycle issue_time;
+        if (in_order) {
+            issue_time =
+                issue_cal->reserve(std::max(ready, last_issue));
+            last_issue = issue_time;
+        } else {
+            issue_time = issue_cal->reserve(ready);
+        }
+
+        // Execute + control flow, dispatched on the precomputed code.
+        // Predictor/BTB/RAS updates must stay inside the serial walk:
+        // their state transitions are order-dependent and ops past a
+        // stop point must never touch them (DESIGN.md §4b.2).
+        Cycle done_time;
+        bool redirect = false;
+        bool remote = false;
+        switch (code) {
+          case kCodeSimple:
+            done_time = issue_time + pre.lat[i];
+            break;
+          case kCodeLoad:
+            done_time = issue_time +
+                        path.load(view.memAddrAt(i), issue_time);
+            break;
+          case kCodeStore:
+            path.store(view.memAddrAt(i), issue_time);
+            done_time = issue_time + 1;
+            break;
+          case kCodeBranch: {
+            done_time = issue_time + 1;
+            ++branches;
+            bool correct = true;
+            if (predictor) {
+                // dpx-lint: allow(DPX008) serial-state contract:
+                // predictor updates are order-dependent
+                correct = predictor->predictAndUpdate(view.pcAt(i),
+                                                      view.takenAt(i));
+            }
+            bool btb_ok = true;
+            if (view.takenAt(i) && btb) {
+                btb_ok =
+                    btb->lookupUpdate(view.pcAt(i), view.pcAt(i) + 64);
+            }
+            if (!correct || !btb_ok) {
+                redirect = true;
+                ++mispredicts;
+            }
+            break;
+          }
+          case kCodeCall:
+            done_time = issue_time + 1;
+            if (ras)
+                ras->push(view.pcAt(i) + 4);
+            if (btb) {
+                redirect = !btb->lookupUpdate(view.pcAt(i),
+                                              view.pcAt(i) + 64);
+            }
+            break;
+          case kCodeReturn:
+            done_time = issue_time + 1;
+            redirect = ras && ras->pop() == 0;
+            if (redirect)
+                ++mispredicts;
+            break;
+          default: // kCodeRemote
+            done_time = issue_time + 1;
+            remote = true;
+            break;
+        }
+
+        // Commit (in order per lane, shared commit bandwidth).
+        Cycle commit_time = commit_cal->reserve(
+            std::max(done_time + 1, last_commit));
+        DPX_DCHECK_GT(commit_time, done_time);
+        DPX_DCHECK_GE(commit_time, last_commit);
+        last_commit = commit_time;
+        *cap_slot = commit_time;
+        if (rob_slot)
+            *rob_slot = commit_time;
+        if (lsq_slot)
+            *lsq_slot = commit_time;
+        done_ring[op_index & dep_mask] = done_time;
+        ++op_index;
+
+        next_fetch = fetch_time;
+        if (redirect) {
+            next_fetch =
+                std::max(next_fetch, done_time + redirect_penalty);
+            synced = false;
+            last_line = ~Addr(0);
+        }
+
+        if (commit_time >= window_lo && commit_time < window_hi)
+            ++blk.committed_in_window;
+
+        l_fetch = fetch_time;
+        l_issue = issue_time;
+        l_done = done_time;
+        l_commit = commit_time;
+        l_redirect = redirect;
+
+        if (remote) {
+            ++remote_ops;
+            ++i;
+            blk.stopped_remote = true;
+            break;
+        }
+    }
+    // dpx-hot-loop: end
+
+    blk.processed = i;
+    if (i > 0) {
+        blk.last.fetch_time = l_fetch;
+        blk.last.issue_time = l_issue;
+        blk.last.done_time = l_done;
+        blk.last.commit_time = l_commit;
+        blk.last.mispredicted = l_redirect;
+        blk.last.remote = blk.stopped_remote;
+        if (blk.stopped_remote)
+            blk.last.stall_us = view.stallUsAt(i - 1);
+        blk.last.end_of_request = view.eorAt(i - 1);
+        // Invariant maintained by stepOp: after an op that does not
+        // redirect, the lane's last fetch line equals that op's line
+        // (probed ops store it; unprobed ops matched it already).
+        lane.last_fetch_line_ =
+            l_redirect ? ~Addr(0) : (view.pcAt(i - 1) >> 6);
+    }
+    lane.next_fetch_ = next_fetch;
+    lane.last_issue_ = last_issue;
+    lane.last_commit_ = last_commit;
+    lane.op_index_ = op_index;
+    lane.inflight_pos_ = inflight_pos;
+    lane.fq_pos_ = fq_pos;
+    rob_pos_ = rob_pos;
+    lq_pos_ = lq_pos;
+    sq_pos_ = sq_pos;
+    lane.stats_.ops += i;
+    lane.stats_.branches += branches;
+    lane.stats_.mispredicts += mispredicts;
+    lane.stats_.remote_ops += remote_ops;
+    split_phase_ops_ += i;
+    return blk;
+}
+
+BlockOutcome
+CoreEngine::processBlock(Lane &lane, const MicroOp *ops,
+                         std::uint32_t count, Cycle fetch_horizon,
+                         Cycle window_lo, Cycle window_hi)
+{
+    if (!split_phase_enabled_) {
+        return stepOpLoop(lane, ops, count, fetch_horizon, window_lo,
+                          window_hi);
+    }
+    // The precompute scratch is block-sized; larger AoS spans chunk
+    // through it. The horizon/remote stop conditions compose: a chunk
+    // that stops early ends the whole span exactly where the
+    // single-loop walk would have stopped.
+    BlockOutcome blk;
+    std::uint32_t off = 0;
+    while (off < count) {
+        const std::uint32_t n =
+            std::min<std::uint32_t>(count - off, kOpBlockCapacity);
+        const AosOpView view{ops + off};
+        BlockOutcome part = splitPhaseBlock(
+            lane, view, n, fetch_horizon, window_lo, window_hi);
+        blk.committed_in_window += part.committed_in_window;
+        blk.processed += part.processed;
+        if (part.processed > 0)
+            blk.last = part.last;
+        blk.stopped_remote = part.stopped_remote;
+        off += n;
+        if (part.stopped_remote || part.processed < n)
+            break;
+    }
     return blk;
 }
 
@@ -126,9 +566,11 @@ CoreEngine::processBlock(Lane &lane, const OpBlock &block,
     const std::uint32_t count =
         static_cast<std::uint32_t>(block.size()) - offset;
 
-    if (!soa_enabled_) {
+    if (!soa_enabled_ || !split_phase_enabled_) {
         // Forced-legacy reference: materialize the lanes into an AoS
-        // array and run the pointer overload unchanged.
+        // array and run the pointer overload (which itself dispatches
+        // on the split-phase switch, so each switch is independently
+        // forceable to its legacy path).
         MicroOp ops[kOpBlockCapacity];
         for (std::uint32_t i = 0; i < count; ++i)
             ops[i] = block.get(offset + i);
@@ -136,45 +578,14 @@ CoreEngine::processBlock(Lane &lane, const OpBlock &block,
                             window_lo, window_hi);
     }
 
-    const OpClass *cls = block.cls() + offset;
-    const Addr *pc = block.pc() + offset;
-    const Addr *mem_addr = block.memAddr() + offset;
-    const bool *taken = block.taken() + offset;
-    const std::uint8_t *dep1 = block.dep1() + offset;
-    const std::uint8_t *dep2 = block.dep2() + offset;
-    const float *stall_us = block.stallUs() + offset;
-    const bool *eor = block.endOfRequest() + offset;
-
-    BlockOutcome blk;
-    LaneStats local;
-    OpOutcome out;
-    while (blk.processed < count && lane.next_fetch_ < fetch_horizon) {
-        const std::uint32_t i = blk.processed;
-        MicroOp op;
-        op.cls = cls[i];
-        op.pc = pc[i];
-        op.mem_addr = mem_addr[i];
-        op.taken = taken[i];
-        op.dep1 = dep1[i];
-        op.dep2 = dep2[i];
-        op.stall_us = stall_us[i];
-        op.end_of_request = eor[i];
-        out = stepOp(lane, op, local);
-        ++blk.processed;
-        if (out.commit_time >= window_lo && out.commit_time < window_hi)
-            ++blk.committed_in_window;
-        if (out.remote) {
-            blk.stopped_remote = true;
-            break;
-        }
-    }
-    if (blk.processed > 0)
-        blk.last = out;
-    lane.stats_.ops += local.ops;
-    lane.stats_.branches += local.branches;
-    lane.stats_.mispredicts += local.mispredicts;
-    lane.stats_.remote_ops += local.remote_ops;
-    return blk;
+    const SoaLaneView view{
+        block.cls() + offset,          block.pc() + offset,
+        block.memAddr() + offset,      block.taken() + offset,
+        block.dep1() + offset,         block.dep2() + offset,
+        block.stallUs() + offset,      block.endOfRequest() + offset,
+    };
+    return splitPhaseBlock(lane, view, count, fetch_horizon, window_lo,
+                           window_hi);
 }
 
 OpOutcome

@@ -234,6 +234,28 @@ class CoreEngine
     void setSoaPipelineEnabled(bool enabled) { soa_enabled_ = enabled; }
     bool soaPipelineEnabled() const { return soa_enabled_; }
 
+    /**
+     * Forced-legacy switch for the split-phase block engine
+     * (DESIGN.md §4b.2). Enabled (default), processBlock runs a pure
+     * precompute pass over the block (fetch-line deltas, class/latency
+     * partition, dep-presence hints) and a tight serial commit pass
+     * with lane scalars held in registers. Disabled, both overloads
+     * fall back to the per-op stepOp loop — the bit-identity
+     * reference the split-phase differential tests compare against.
+     * Independent of the SoA switch: soa controls how block lanes are
+     * *read* (direct vs materialized), split-phase controls how the
+     * pipeline walk is *executed*.
+     */
+    void setSplitPhaseEnabled(bool enabled)
+    {
+        split_phase_enabled_ = enabled;
+    }
+    bool splitPhaseEnabled() const { return split_phase_enabled_; }
+
+    /** Ops retired through the split-phase commit pass (fast-path
+     *  counter; bench telemetry, not simulated state). */
+    std::uint64_t splitPhaseOps() const { return split_phase_ops_; }
+
     /** Build a LaneConfig pre-wired to this core's shared calendars. */
     LaneConfig defaultLaneConfig(IssueMode mode);
 
@@ -251,6 +273,23 @@ class CoreEngine
     inline OpOutcome stepOp(Lane &lane, const MicroOp &op,
                             LaneStats &stats);
 
+    /** Legacy per-op walk shared by both overloads when the
+     *  split-phase engine is forced off. */
+    BlockOutcome stepOpLoop(Lane &lane, const MicroOp *ops,
+                            std::uint32_t count, Cycle fetch_horizon,
+                            Cycle window_lo, Cycle window_hi);
+
+    /** Split-phase engine: a pure precompute pass over the block's
+     *  lanes followed by a tight serial commit pass; exact stepOp
+     *  cycle semantics. @p View abstracts SoA lanes vs AoS pointers so
+     *  the two public overloads share one commit pass and cannot
+     *  drift. */
+    template <class View>
+    BlockOutcome splitPhaseBlock(Lane &lane, const View &view,
+                                 std::uint32_t count,
+                                 Cycle fetch_horizon, Cycle window_lo,
+                                 Cycle window_hi);
+
     CoreEngineConfig config_;
     SlotCalendar fetch_cal_;
     SlotCalendar issue_cal_;
@@ -266,6 +305,10 @@ class CoreEngine
 
     /** Forced-legacy switch for the SoA processBlock overload. */
     bool soa_enabled_ = true;
+    /** Forced-legacy switch for the split-phase block engine. */
+    bool split_phase_enabled_ = true;
+    /** Ops retired through the split-phase commit pass. */
+    std::uint64_t split_phase_ops_ = 0;
 };
 
 } // namespace duplexity

@@ -109,28 +109,14 @@ HsmtUnit::releaseCtx(HsmtLane &hl, Cycle ready_at, Cycle now)
     hl.ctx = nullptr;
 }
 
-bool
-HsmtUnit::advanceOne(CommitSink *sink)
+void
+HsmtUnit::act(HsmtLane &hl, Cycle t, CommitSink *sink)
 {
-    HsmtLane *best = nullptr;
-    Cycle best_time = never;
-    for (HsmtLane &hl : lanes_) {
-        Cycle t = laneTime(hl);
-        if (t < best_time) {
-            best_time = t;
-            best = &hl;
-        }
-    }
-    if (!best)
-        return false;
-    HsmtLane &hl = *best;
-    const Cycle t = best_time;
-
     // Window edge: hand the context back and sleep.
     if (hl.ctx && t >= window_end_) {
         releaseCtx(hl, window_end_, window_end_);
         hl.wake_time = never;
-        return true;
+        return;
     }
 
     // Empty lane: try to steal a ready context from the queue head.
@@ -142,21 +128,21 @@ HsmtUnit::advanceOne(CommitSink *sink)
             if (avail != never)
                 retry = std::min(retry, std::max(avail, t + 1));
             hl.wake_time = retry;
-            return true;
+            return;
         }
         ++context_swaps_;
         hl.ctx = ctx;
         hl.ctx_start = t + config_.swap_cost;
         hl.lane.resetHistory(t + config_.swap_cost);
         hl.wake_time = t + config_.swap_cost;
-        return true;
+        return;
     }
 
     // Quantum expiry: round-robin to the run-queue tail.
     if (hl.lane.nextFetch() - hl.ctx_start >= config_.quantum) {
         releaseCtx(hl, t, t);
         hl.wake_time = t;
-        return true;
+        return;
     }
 
     // Execute one micro-op.
@@ -174,16 +160,127 @@ HsmtUnit::advanceOne(CommitSink *sink)
         releaseCtx(hl, out.commit_time + stall, out.commit_time);
         hl.wake_time = out.commit_time + config_.swap_cost;
     }
+}
+
+bool
+HsmtUnit::advanceOne(CommitSink *sink)
+{
+    HsmtLane *best = nullptr;
+    Cycle best_time = never;
+    for (HsmtLane &hl : lanes_) {
+        Cycle t = laneTime(hl);
+        if (t < best_time) {
+            best_time = t;
+            best = &hl;
+        }
+    }
+    if (!best)
+        return false;
+    act(*best, best_time, sink);
     return true;
+}
+
+bool
+HsmtUnit::fastForwardPolls(Cycle bound, Cycle min_wake)
+{
+    // Every lane is empty, so the pool cannot gain a context until
+    // some poll at/after its earliest ready time succeeds, and polls
+    // strictly before min(avail, bound, window_end_) are provably
+    // failures: skip them in bulk. Each polling lane's wake jumps
+    // along its own retry grid (w, then min(w + poll, avail) repeated
+    // — exactly the sequence the stepped schedule computes), and the
+    // skipped polls are charged to PoolStats::empty_acquires.
+    const Cycle avail = pool_.earliestReady();
+    Cycle target = std::min(std::min(avail, bound), window_end_);
+    if (target == never || target <= min_wake)
+        return false;
+    const Cycle poll = config_.poll_interval;
+    std::uint64_t skipped = 0;
+    for (HsmtLane &hl : lanes_) {
+        const Cycle w = hl.wake_time;
+        if (w == never || w >= target)
+            continue;
+        const Cycle k = (target - w + poll - 1) / poll;
+        const Cycle jumped = std::min(w + k * poll, avail);
+        ff_cycles_ += jumped - w;
+        skipped += k;
+        hl.wake_time = jumped;
+    }
+    if (skipped == 0)
+        return false;
+    pool_.chargeSkippedPolls(skipped);
+    ff_polls_ += skipped;
+    return true;
+}
+
+Cycle
+HsmtUnit::advanceUntil(Cycle bound, CommitSink *sink)
+{
+    if (!fast_forward_enabled_) {
+        // Forced-legacy schedule: full rescan per action.
+        while (true) {
+            Cycle t = nextTime();
+            if (t >= bound)
+                return t;
+            if (!advanceOne(sink))
+                return nextTime();
+        }
+    }
+
+    while (true) {
+        // Merged scan: strict-earliest lane (index tie-break, like
+        // advanceOne) plus the runner-up time/index and whether any
+        // lane holds a context — one pass instead of three.
+        std::size_t best_i = 0, second_i = 0;
+        Cycle best_time = never, second_time = never;
+        bool any_ctx = false;
+        for (std::size_t i = 0; i < lanes_.size(); ++i) {
+            const HsmtLane &hl = lanes_[i];
+            any_ctx |= hl.ctx != nullptr;
+            const Cycle t = laneTime(hl);
+            if (t < best_time) {
+                second_time = best_time;
+                second_i = best_i;
+                best_time = t;
+                best_i = i;
+            } else if (t < second_time) {
+                second_time = t;
+                second_i = i;
+            }
+        }
+        if (best_time >= bound)
+            return best_time;
+
+        if (!any_ctx && fastForwardPolls(bound, best_time))
+            continue; // wakes moved: rescan
+
+        // Streak: keep acting on the earliest lane without rescanning
+        // while it stays ahead of the (unchanged) other lanes. Acting
+        // on one lane never moves another lane's time, so the cached
+        // runner-up stays valid for the whole streak.
+        HsmtLane &hl = lanes_[best_i];
+        Cycle t = best_time;
+        while (true) {
+            act(hl, t, sink);
+            t = laneTime(hl);
+            // The lane keeps the turn while it would still win the
+            // advanceOne scan (strictly earlier, or equal with the
+            // lower index). The unit's next time is then t itself.
+            const bool still_first =
+                t < second_time ||
+                (t == second_time && best_i < second_i);
+            if (!still_first)
+                break; // another lane's turn: rescan
+            if (t >= bound)
+                return t;
+        }
+    }
 }
 
 void
 HsmtUnit::runUntil(Cycle until, CommitSink *sink)
 {
-    while (nextTime() < until) {
-        if (!advanceOne(sink))
-            break;
-    }
+    advanceUntil(until, sink);
 }
 
 } // namespace duplexity

@@ -85,8 +85,33 @@ class HsmtUnit
      */
     bool advanceOne(CommitSink *sink);
 
+    /**
+     * Advance every action with time strictly below @p bound, then
+     * return the unit's next actionable time. Equivalent to calling
+     * advanceOne while nextTime() < bound, but with one merged
+     * best-lane scan per action, rescan-free streaks while the same
+     * lane stays strictly earliest, and — when every lane is empty
+     * (all contexts parked on µs stalls or the pool drained) — an
+     * event-driven fast-forward that jumps the polling lanes' wake
+     * times to the earliest cycle a poll could succeed instead of
+     * stepping through the dead polls one by one. Skipped polls are
+     * charged to the same PoolStats::empty_acquires counter the
+     * stepped schedule increments, so all counters stay
+     * field-identical (tests/cpu/hsmt_fast_forward_test.cc).
+     * setFastForwardEnabled(false) forces the legacy per-action loop.
+     */
+    Cycle advanceUntil(Cycle bound, CommitSink *sink);
+
     /** Drive the unit until nextTime() passes @p until. */
     void runUntil(Cycle until, CommitSink *sink);
+
+    /** Forced-legacy switch for the event-driven fast-forward (the
+     *  merged-scan/poll-skip schedule in advanceUntil). */
+    void setFastForwardEnabled(bool enabled)
+    {
+        fast_forward_enabled_ = enabled;
+    }
+    bool fastForwardEnabled() const { return fast_forward_enabled_; }
 
     const HsmtConfig &config() const { return config_; }
     std::uint32_t numLanes() const { return config_.num_lanes; }
@@ -95,6 +120,10 @@ class HsmtUnit
     std::uint32_t occupiedLanes() const;
 
     std::uint64_t contextSwaps() const { return context_swaps_; }
+
+    /** Fast-path counters (bench telemetry, not simulated state). */
+    std::uint64_t fastForwardedPolls() const { return ff_polls_; }
+    std::uint64_t fastForwardedCycles() const { return ff_cycles_; }
 
   private:
     struct HsmtLane
@@ -108,6 +137,15 @@ class HsmtUnit
     /** Actionable time of one lane within the current window. */
     Cycle laneTime(const HsmtLane &hl) const;
 
+    /** Perform @p hl's pending action at time @p t (the body shared
+     *  by advanceOne and advanceUntil, so the two schedules cannot
+     *  drift). */
+    void act(HsmtLane &hl, Cycle t, CommitSink *sink);
+
+    /** Bulk-skip provably-failed polls when no lane holds a context.
+     *  @return true when any poll was skipped (lane wakes moved). */
+    bool fastForwardPolls(Cycle bound, Cycle min_wake);
+
     void releaseCtx(HsmtLane &hl, Cycle ready_at, Cycle now);
 
     CoreEngine &engine_;
@@ -118,6 +156,9 @@ class HsmtUnit
     Cycle window_start_ = 0;
     Cycle window_end_ = 0;
     std::uint64_t context_swaps_ = 0;
+    bool fast_forward_enabled_ = true;
+    std::uint64_t ff_polls_ = 0;
+    std::uint64_t ff_cycles_ = 0;
 };
 
 } // namespace duplexity

@@ -34,6 +34,15 @@ VirtualContextPool::acquire(Cycle now, Cycle *available_at)
     return nullptr;
 }
 
+Cycle
+VirtualContextPool::earliestReady() const
+{
+    Cycle earliest = std::numeric_limits<Cycle>::max();
+    for (const VirtualContext *ctx : queue_)
+        earliest = std::min(earliest, ctx->readyTime());
+    return earliest;
+}
+
 void
 VirtualContextPool::release(VirtualContext *ctx)
 {

@@ -87,6 +87,20 @@ class VirtualContextPool
     /** Return a context to the tail of the queue. */
     void release(VirtualContext *ctx);
 
+    /** Earliest ready time over queued contexts (Cycle max if empty):
+     *  the read-only half of the scan acquire() performs on failure.
+     *  The HSMT poll fast-forward uses it to prove that every skipped
+     *  poll would have come back empty. */
+    Cycle earliestReady() const;
+
+    /** Account @p n failed polls elided in bulk by the fast-forward —
+     *  each would have been one empty acquire(), so the stats stay
+     *  field-identical to the stepped schedule. */
+    void chargeSkippedPolls(std::uint64_t n)
+    {
+        stats_.empty_acquires += n;
+    }
+
     std::size_t size() const { return queue_.size(); }
     bool empty() const { return queue_.empty(); }
 

@@ -193,8 +193,13 @@ class Cache
         std::uint64_t index = 0;
     };
 
-    /** Filter entries, slotted per requestor (see mruSlot). */
-    static constexpr std::size_t kMruSlots = 4;
+    /** Filter entries, slotted per requestor (see mruSlot). Sized to
+     *  keep the 32-context dyad pool plus fillers and the master from
+     *  aliasing (a 4-slot filter thrashed under 32 batch threads —
+     *  each slot juggled 8 requestors and missed almost always). The
+     *  slot choice only affects the filter's hit rate, never an
+     *  access outcome: entries stay self-validating. */
+    static constexpr std::size_t kMruSlots = 64;
 
     Addr lineAddr(Addr addr) const { return addr >> line_shift_; }
     std::uint64_t setIndex(Addr line) const { return line & set_mask_; }
@@ -205,14 +210,19 @@ class Cache
     /**
      * Filter slot for a line: synthetic threads own disjoint 4 GiB
      * address regions (bits 32+ carry the thread id — see
-     * workload/catalog.cc dataRegion), so slotting by the first line
-     * bits above bit 31 separates requestors sharing one cache and
-     * the filter approximates one MRU entry per requestor.
+     * workload/catalog.cc dataRegion), so the high bits separate
+     * requestors sharing one cache. The low line bits are folded in
+     * because a single thread alternates between access streams
+     * (sequential walk, hot set, random) — with one slot per thread
+     * every alternation evicted the entry and the filter almost never
+     * hit. Folding spreads concurrent streams of one thread over
+     * different slots; entries stay self-validating, so the slot
+     * choice only moves the filter's hit rate, never an outcome.
      */
     std::size_t
     mruSlot(Addr line) const
     {
-        return (line >> mru_shift_) & (kMruSlots - 1);
+        return ((line >> mru_shift_) ^ line) & (kMruSlots - 1);
     }
 
     void clearMru();

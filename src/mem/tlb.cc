@@ -36,8 +36,18 @@ Tlb::Tlb(const TlbConfig &config) : config_(config)
             << " — L2 TLB sets must be a power of two";
     }
     page_shift_ = std::countr_zero(config.page_bytes);
+    // Requestor bits: synthetic threads are separated at address
+    // bit 32 (workload/catalog.cc regions), which is VPN bit
+    // (32 - page_shift_) after dropping the page offset.
+    filter_shift_ = page_shift_ < 32 ? 32 - page_shift_ : 0;
     entries_.assign(config.entries, Entry{});
     l2_entries_.assign(config.l2_entries, Entry{});
+}
+
+void
+Tlb::clearFilter()
+{
+    filter_.fill(VpnSlot{});
 }
 
 Addr
@@ -128,10 +138,10 @@ Tlb::flush()
         entry.valid = false;
     for (Entry &entry : l2_entries_)
         entry.valid = false;
-    // Shootdown: the filter entry's slot is now invalid, so the
-    // self-validation check would reject it anyway; clear it so the
-    // next access does not probe a dead slot.
-    last_vpn_ = ~Addr(0);
+    // Shootdown: every filter entry's slot is now invalid, so the
+    // self-validation check would reject them anyway; clear the
+    // filter so the next accesses do not probe dead slots.
+    clearFilter();
 }
 
 } // namespace duplexity

@@ -5,17 +5,19 @@
  * cannot thrash the master-thread's translations.
  *
  * Hot-path structure (bit-identical, proven by
- * tests/mem/fastpath_diff_test.cc): access() first checks a one-entry
- * VPN filter — the last-hit page and the L1 slot that held it — and
- * only on a filter miss takes the out-of-line two-level walk
- * (accessSlow). The filter entry is self-validating (it hits only
+ * tests/mem/fastpath_diff_test.cc): access() first checks a small
+ * per-requestor VPN filter — the last-hit page and the L1 slot that
+ * held it, slotted by the address-region bits that distinguish
+ * threads — and only on a filter miss takes the out-of-line two-level
+ * walk (accessSlow). A filter entry is self-validating (it hits only
  * when the recorded slot still holds the recorded page), so fills and
- * shootdowns cannot make it lie; flush() clears it as well.
+ * shootdowns cannot make it lie; flush() clears the filter as well.
  */
 
 #ifndef DPX_MEM_TLB_HH
 #define DPX_MEM_TLB_HH
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -62,8 +64,9 @@ class Tlb
     {
         if (fast_path_enabled_) {
             const Addr vpn = addr >> page_shift_;
-            if (vpn == last_vpn_) {
-                Entry &entry = entries_[last_index_];
+            const VpnSlot &slot = filter_[filterSlot(vpn)];
+            if (vpn == slot.vpn) {
+                Entry &entry = entries_[slot.index];
                 // Self-validation: the recorded L1 slot must still
                 // hold this page (fills may have displaced it).
                 if (entry.valid && entry.vpn == vpn) {
@@ -87,7 +90,7 @@ class Tlb
     {
         fast_path_enabled_ = on;
         if (!on)
-            last_vpn_ = ~Addr(0);
+            clearFilter();
     }
 
     bool fastPathEnabled() const { return fast_path_enabled_; }
@@ -106,6 +109,32 @@ class Tlb
         std::uint64_t lru = 0;
     };
 
+    /** One VPN filter entry: a page and the L1 slot that last held
+     *  it (~0 sentinel matches no real page). */
+    struct VpnSlot
+    {
+        Addr vpn = ~Addr(0);
+        std::uint64_t index = 0;
+    };
+
+    /** Filter entries, slotted per requestor like Cache::kMruSlots:
+     *  synthetic threads own disjoint 4 GiB regions (bits 32+ carry
+     *  the thread id), so slotting by the first VPN bits above bit 31
+     *  keeps the dyad's 32-context pool from thrashing one entry. The
+     *  low VPN bits are folded in so one thread's concurrent page
+     *  streams (sequential data walk, hot pages, code) occupy
+     *  different slots instead of evicting each other; entries are
+     *  self-validating, so slotting only affects the hit rate. */
+    static constexpr std::size_t kVpnSlots = 64;
+
+    std::size_t
+    filterSlot(Addr vpn) const
+    {
+        return ((vpn >> filter_shift_) ^ vpn) & (kVpnSlots - 1);
+    }
+
+    void clearFilter();
+
     Addr vpnOf(Addr addr) const;
 
     /** Look up one level; @return the hit entry or nullptr. */
@@ -119,17 +148,18 @@ class Tlb
     void
     rememberL1(Addr vpn, const Entry *entry)
     {
-        last_vpn_ = vpn;
-        last_index_ = static_cast<std::uint64_t>(entry - entries_.data());
+        VpnSlot &slot = filter_[filterSlot(vpn)];
+        slot.vpn = vpn;
+        slot.index = static_cast<std::uint64_t>(entry - entries_.data());
     }
 
     TlbConfig config_;
     TlbStats stats_;
     std::uint32_t page_shift_;
+    std::uint32_t filter_shift_;
     bool fast_path_enabled_ = true;
-    /** One-entry VPN filter: last L1-hit page and its slot. */
-    Addr last_vpn_ = ~Addr(0);
-    std::uint64_t last_index_ = 0;
+    /** Per-requestor VPN filter (see filterSlot). */
+    std::array<VpnSlot, kVpnSlots> filter_{};
     std::vector<Entry> entries_;
     std::vector<Entry> l2_entries_;
     std::uint64_t lru_clock_ = 0;

@@ -16,6 +16,8 @@ SlotCalendar::SlotCalendar(std::uint32_t slots_per_cycle,
     DPX_CHECK(slots_per_cycle > 0 && window > 16)
         << " — bad SlotCalendar parameters: slots=" << slots_per_cycle
         << " window=" << window;
+    DPX_CHECK_LE(slots_per_cycle, 255)
+        << " — occupancy counts are bytes";
     // The ring mask only works because bit_ceil made the window a
     // power of two.
     DPX_CHECK(std::has_single_bit(window_));
@@ -29,7 +31,7 @@ SlotCalendar::tryReserveAt(Cycle cycle)
         return false;
     if (cycle >= base_ + window_)
         retireBefore(cycle > window_ / 2 ? cycle - window_ / 2 : 0);
-    std::uint16_t &count = counts_[slot(cycle)];
+    std::uint8_t &count = counts_[slot(cycle)];
     if (count < slots_per_cycle_) {
         ++count;
         return true;

@@ -63,7 +63,7 @@ class SlotCalendar
             if (c >= base_ + window_)
                 retireBefore(c > window_ / 2 ? c - window_ / 2 : 0);
             DPX_DCHECK(c >= base_ && c < base_ + window_);
-            std::uint16_t &count = counts_[slot(c)];
+            std::uint8_t &count = counts_[slot(c)];
             DPX_DCHECK_LE(count, slots_per_cycle_);
             if (count < slots_per_cycle_) {
                 ++count;
@@ -100,7 +100,10 @@ class SlotCalendar
     std::uint32_t slots_per_cycle_;
     std::size_t window_; // power of two
     std::size_t mask_;   // window_ - 1
-    std::vector<std::uint16_t> counts_;
+    /** Per-cycle occupancy, bounded by slots_per_cycle_ (checked
+     *  <= 255 in the ctor): a byte per cycle keeps the whole window
+     *  ring cache-resident next to the pipeline's other hot state. */
+    std::vector<std::uint8_t> counts_;
     Cycle base_ = 0; // counts_[slot(c)] valid for c in [base, base+window)
     /** Cursor cache: the last reserve()'s effective request cycle and
      *  the slot it was granted. Cleared by reset() (a stale cursor is

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Wide calibration-memo differential wall: the recipe-fingerprint
+ * memo (setMemoWideningEnabled(true)) must return bit-identical
+ * values to the legacy enum/character-keyed memos for every probe
+ * kind, and its wide-hit counter must prove the dedup actually
+ * fires. The wide and legacy stores are separate, so one process can
+ * compute both sides of the differential.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/calibration.hh"
+#include "core/scenario.hh"
+#include "workload/catalog.hh"
+
+using namespace duplexity;
+
+namespace
+{
+
+/** RAII: force one memo mode, restore widening (the default) after. */
+class MemoMode
+{
+  public:
+    explicit MemoMode(bool wide) { setMemoWideningEnabled(wide); }
+    ~MemoMode() { setMemoWideningEnabled(true); }
+};
+
+} // namespace
+
+/** Same ProbeKey for the same recipe, different key for a different
+ *  one — the property that makes wide lookups safe and useful. */
+TEST(CalibrationMemo, ProbeKeyFingerprintsRecipeExactly)
+{
+    MicroserviceSpec spec_a = makeMicroservice(MicroserviceKind::FlannLL);
+    MicroserviceSpec spec_b = makeMicroservice(MicroserviceKind::FlannLL);
+    ProbeKey a, b;
+    fingerprintMicroservice(a, spec_a);
+    fingerprintMicroservice(b, spec_b);
+    EXPECT_EQ(a.words(), b.words());
+    EXPECT_EQ(a.hash(), b.hash());
+
+    ProbeKey c;
+    fingerprintMicroservice(
+        c, makeMicroservice(MicroserviceKind::WordStem));
+    EXPECT_NE(a.words(), c.words());
+
+    ProbeKey d, e;
+    fingerprintBatch(d, makeFlannXY(0.3, 1.0, 1));
+    fingerprintBatch(e, makeFlannXY(0.3, 1.0, 1));
+    EXPECT_EQ(d.words(), e.words());
+    ProbeKey f;
+    fingerprintBatch(f, makeFlannXY(0.3, 1.5, 1));
+    EXPECT_NE(d.words(), f.words());
+}
+
+/** memoizedProbe computes once per distinct key, dedups repeats, and
+ *  keeps colliding hashes apart via the full-key compare. */
+TEST(CalibrationMemo, MemoizedProbeDedupsAndCountsWideHits)
+{
+    ProbeKey key;
+    key.mix(0x7e57ull);
+    key.mixDouble(0.125);
+    int calls = 0;
+    auto probe = [&] {
+        ++calls;
+        return 41.5;
+    };
+    CalibrationMemoStats before = calibrationMemoStats();
+    EXPECT_EQ(memoizedProbe(key, probe), 41.5);
+    EXPECT_EQ(memoizedProbe(key, probe), 41.5);
+    EXPECT_EQ(calls, 1);
+    CalibrationMemoStats after = calibrationMemoStats();
+    EXPECT_EQ(after.probes, before.probes + 1);
+    EXPECT_EQ(after.wide_hits, before.wide_hits + 1);
+
+    // A different key with the same prefix computes fresh.
+    ProbeKey other;
+    other.mix(0x7e57ull);
+    other.mixDouble(0.250);
+    EXPECT_EQ(memoizedProbe(other, [&] {
+                  ++calls;
+                  return 7.0;
+              }),
+              7.0);
+    EXPECT_EQ(calls, 2);
+}
+
+/** Value differential, GOLDEN: every probe the wide memo serves must
+ *  be bit-identical to the legacy narrow-keyed path. Each side runs
+ *  the same fixed-seed measurement; only the memo keying differs. */
+TEST(CalibrationMemo, WideAndLegacyProbesAreBitIdentical)
+{
+    double wide_ipc, legacy_ipc;
+    double wide_us, legacy_us;
+    double wide_batch, legacy_batch;
+    {
+        MemoMode mode(true);
+        wide_ipc = measureComputeIpc(
+            makeMicroservice(MicroserviceKind::McRouter).character,
+            IssueMode::OutOfOrder);
+        wide_us = baselineServiceUs(MicroserviceKind::McRouter);
+        wide_batch = aloneBatchIpc(BatchKind::PageRank);
+    }
+    {
+        MemoMode mode(false);
+        legacy_ipc = measureComputeIpc(
+            makeMicroservice(MicroserviceKind::McRouter).character,
+            IssueMode::OutOfOrder);
+        legacy_us = baselineServiceUs(MicroserviceKind::McRouter);
+        legacy_batch = aloneBatchIpc(BatchKind::PageRank);
+    }
+    EXPECT_EQ(wide_ipc, legacy_ipc);
+    EXPECT_EQ(wide_us, legacy_us);
+    EXPECT_EQ(wide_batch, legacy_batch);
+}
+
+/** Repeat calls on the wide path are wide-hits, not re-measurements:
+ *  the counters expose the dedup the perf win depends on. */
+TEST(CalibrationMemo, RepeatProbesHitTheWideMemo)
+{
+    MemoMode mode(true);
+    double first = baselineServiceUs(MicroserviceKind::Rsc);
+    CalibrationMemoStats before = calibrationMemoStats();
+    double second = baselineServiceUs(MicroserviceKind::Rsc);
+    CalibrationMemoStats after = calibrationMemoStats();
+    EXPECT_EQ(first, second);
+    EXPECT_EQ(after.probes, before.probes); // nothing re-measured
+    EXPECT_GT(after.wide_hits, before.wide_hits);
+}

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Event-driven stall fast-forward differential wall: the merged-scan
+ * advanceUntil schedule (streaks + bulk poll skipping) must be
+ * field-identical to the legacy one-rescan-per-action schedule —
+ * same commit log, same pool counters (idle-poll conservation:
+ * skipped + performed == legacy total), same per-context progress —
+ * at the unit level, in runSmtSweep's most-behind streak loop, and
+ * through a full Duplexity scenario (ScenarioConfig::
+ * hsmt_fast_forward forces the legacy run loop).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "branch/predictor.hh"
+#include "core/scenario.hh"
+#include "core/smt_sweep.hh"
+#include "cpu/hsmt.hh"
+#include "mem/memory_system.hh"
+#include "sim/rng.hh"
+#include "workload/catalog.hh"
+#include "workload/microservice.hh"
+
+using namespace duplexity;
+
+namespace
+{
+
+constexpr Cycle horizon = 600'000;
+
+/** One self-contained unit run: everything the schedule touches is
+ *  private to the run, so two runs differ only in the schedule. */
+struct UnitRun
+{
+    /** Commit log: (ctx id, commit time, remote) word-packed. */
+    std::vector<std::uint64_t> commits;
+    /** Pool + unit counters and per-context progress. */
+    std::vector<std::uint64_t> state;
+    std::uint64_t ff_polls = 0;
+    std::uint64_t ff_cycles = 0;
+    std::uint64_t empty_acquires = 0;
+};
+
+class LogSink : public CommitSink
+{
+  public:
+    void
+    onCommit(const VirtualContext &ctx, const OpOutcome &out) override
+    {
+        log.push_back(static_cast<std::uint64_t>(ctx.id()));
+        log.push_back(out.commit_time);
+        log.push_back(out.remote ? 1 : 0);
+    }
+
+    std::vector<std::uint64_t> log;
+};
+
+/**
+ * Drive one HSMT unit over @p n_ctx FLANN-X-Y batch threads (1 µs
+ * remote stalls → frequent all-lanes-parked intervals) with the
+ * fast-forward switch set to @p fast. With @p bounded, advance in
+ * many small advanceUntil steps (the scenario interleaving shape) and
+ * assert the returned next-times never move backwards.
+ */
+UnitRun
+runUnit(bool fast, int n_ctx, bool bounded)
+{
+    DyadMemorySystem mem(MemSystemConfig::makeDefault());
+    CoreEngine engine{CoreEngineConfig{}};
+    auto pred = makePredictor(PredictorConfig::Kind::GshareSmall);
+    Btb btb(2048, 4);
+    ReturnAddressStack ras(16);
+
+    VirtualContextPool pool;
+    std::vector<std::unique_ptr<BatchSource>> sources;
+    std::vector<std::unique_ptr<VirtualContext>> ctxs;
+    Rng rng(0xfa57f0ull);
+    for (int i = 0; i < n_ctx; ++i) {
+        sources.push_back(std::make_unique<BatchSource>(
+            makeFlannXY(0.3, 1.0, static_cast<ThreadId>(i)),
+            rng.fork(i)));
+        ctxs.push_back(std::make_unique<VirtualContext>(
+            static_cast<ThreadId>(i + 1), sources.back().get()));
+        pool.add(ctxs.back().get());
+    }
+
+    HsmtConfig hcfg;
+    HsmtUnit unit(engine, pool, hcfg, Frequency(3.4e9));
+    LaneConfig proto = engine.defaultLaneConfig(IssueMode::InOrder);
+    proto.path = mem.lenderPath();
+    proto.branch = {pred.get(), &btb, &ras};
+    unit.configureLanes(proto);
+    unit.setFastForwardEnabled(fast);
+    unit.openWindow(0, HsmtUnit::never);
+
+    LogSink sink;
+    if (bounded) {
+        Cycle prev = 0;
+        for (Cycle bound = 997; bound <= horizon; bound += 997) {
+            Cycle next = unit.advanceUntil(bound, &sink);
+            // Time monotonicity: the unit's next actionable time
+            // never moves backwards across bounded advances.
+            EXPECT_GE(next, prev);
+            prev = next;
+        }
+    } else {
+        unit.runUntil(horizon, &sink);
+    }
+
+    UnitRun run;
+    run.commits = std::move(sink.log);
+    run.ff_polls = unit.fastForwardedPolls();
+    run.ff_cycles = unit.fastForwardedCycles();
+    run.empty_acquires = pool.stats().empty_acquires;
+    run.state.push_back(pool.stats().acquires);
+    run.state.push_back(pool.stats().releases);
+    run.state.push_back(pool.stats().empty_acquires);
+    run.state.push_back(unit.contextSwaps());
+    run.state.push_back(unit.occupiedLanes());
+    run.state.push_back(unit.nextTime());
+    for (const auto &ctx : ctxs) {
+        run.state.push_back(ctx->retired);
+        run.state.push_back(ctx->remote_ops);
+        run.state.push_back(ctx->occupancy_cycles);
+        run.state.push_back(ctx->readyTime());
+    }
+    return run;
+}
+
+} // namespace
+
+/** The fast-forward schedule is field-identical to the stepped one,
+ *  and actually exercised (polls were skipped, not just performed). */
+TEST(HsmtFastForward, FieldIdenticalToLegacySchedule)
+{
+    UnitRun fast = runUnit(true, /*n_ctx*/ 4, /*bounded*/ false);
+    UnitRun legacy = runUnit(false, 4, false);
+    EXPECT_EQ(legacy.ff_polls, 0u);
+    EXPECT_GT(fast.ff_polls, 0u); // the bulk skip really ran
+    EXPECT_GT(fast.ff_cycles, 0u);
+    EXPECT_EQ(fast.commits, legacy.commits);
+    EXPECT_EQ(fast.state, legacy.state);
+}
+
+/** Idle-poll conservation: every poll the fast path skips is charged
+ *  to the same counter the stepped schedule increments, so
+ *  skipped + performed == legacy total, exactly. */
+TEST(HsmtFastForward, SkippedPollsConserveIdleAccounting)
+{
+    UnitRun fast = runUnit(true, 2, false); // 2 ctxs, 8 lanes: mostly idle
+    UnitRun legacy = runUnit(false, 2, false);
+    EXPECT_GT(fast.ff_polls, 0u);
+    EXPECT_EQ(fast.empty_acquires, legacy.empty_acquires);
+    // The fast path performed (empty_acquires - ff_polls) real polls.
+    EXPECT_EQ((fast.empty_acquires - fast.ff_polls) + fast.ff_polls,
+              legacy.empty_acquires);
+    EXPECT_EQ(fast.commits, legacy.commits);
+    EXPECT_EQ(fast.state, legacy.state);
+}
+
+/** Bounded advances (the scenario interleaving shape) return
+ *  monotone next-times and land in the same final state as the
+ *  stepped schedule driven the same way. */
+TEST(HsmtFastForward, BoundedAdvancesMatchLegacyAndStayMonotone)
+{
+    UnitRun fast = runUnit(true, 3, /*bounded*/ true);
+    UnitRun legacy = runUnit(false, 3, true);
+    EXPECT_EQ(fast.commits, legacy.commits);
+    EXPECT_EQ(fast.state, legacy.state);
+}
+
+/** The most-behind streak scheduler in runSmtSweep is bit-identical
+ *  to the forced-legacy full-rescan loop. */
+TEST(HsmtFastForward, SmtSweepStreakMatchesLegacyRescan)
+{
+    auto run = [](bool event_driven) {
+        SmtSweepConfig cfg;
+        cfg.mode = IssueMode::OutOfOrder;
+        cfg.threads = 4;
+        cfg.workload = [](ThreadId uid) {
+            return makeFlannXY(0.5, 1.0, uid);
+        };
+        cfg.warmup_cycles = 100'000;
+        cfg.measure_cycles = 400'000;
+        cfg.event_driven = event_driven;
+        return runSmtSweep(cfg);
+    };
+    SmtSweepResult fast = run(true);
+    SmtSweepResult legacy = run(false);
+    EXPECT_EQ(fast.total_ipc, legacy.total_ipc);
+    EXPECT_EQ(fast.l1d_miss_rate, legacy.l1d_miss_rate);
+    EXPECT_EQ(fast.mispredict_rate, legacy.mispredict_rate);
+}
+
+/** Full-scenario differential: a Duplexity dyad (filler windows,
+ *  shared pool, lender unit) produces a field-identical result under
+ *  the event-driven run loop and the forced-legacy one. */
+TEST(HsmtFastForward, DuplexityScenarioFieldIdentical)
+{
+    auto run = [](bool fast_forward) {
+        ScenarioConfig cfg;
+        cfg.design = DesignKind::Duplexity;
+        cfg.service = MicroserviceKind::FlannLL;
+        cfg.load = 0.5;
+        cfg.warmup_cycles = 150'000;
+        cfg.measure_cycles = 600'000;
+        cfg.hsmt_fast_forward = fast_forward;
+        return runScenario(cfg);
+    };
+    ScenarioResult fast = run(true);
+    ScenarioResult legacy = run(false);
+    EXPECT_EQ(fast.utilization, legacy.utilization);
+    EXPECT_EQ(fast.requests, legacy.requests);
+    EXPECT_EQ(fast.service_us.count(), legacy.service_us.count());
+    EXPECT_EQ(fast.service_us.mean(), legacy.service_us.mean());
+    EXPECT_EQ(fast.sojourn_us.count(), legacy.sojourn_us.count());
+    EXPECT_EQ(fast.sojourn_us.mean(), legacy.sojourn_us.mean());
+    EXPECT_EQ(fast.wait_us.mean(), legacy.wait_us.mean());
+    EXPECT_EQ(fast.batch_stp, legacy.batch_stp);
+    EXPECT_EQ(fast.batch_ops_per_sec, legacy.batch_ops_per_sec);
+    EXPECT_EQ(fast.remote_ops_per_sec, legacy.remote_ops_per_sec);
+    EXPECT_EQ(fast.offered_rps, legacy.offered_rps);
+    EXPECT_EQ(fast.filler_window_fraction,
+              legacy.filler_window_fraction);
+    EXPECT_EQ(fast.filler_ops, legacy.filler_ops);
+    EXPECT_EQ(fast.lender_ops, legacy.lender_ops);
+    EXPECT_EQ(fast.master_ops, legacy.master_ops);
+    EXPECT_EQ(fast.filler_swaps, legacy.filler_swaps);
+    EXPECT_EQ(fast.activity.ooo_ops, legacy.activity.ooo_ops);
+    EXPECT_EQ(fast.activity.ino_ops, legacy.activity.ino_ops);
+    EXPECT_EQ(fast.activity.l1_accesses, legacy.activity.l1_accesses);
+    EXPECT_EQ(fast.activity.l0_accesses, legacy.activity.l0_accesses);
+    EXPECT_EQ(fast.activity.llc_accesses,
+              legacy.activity.llc_accesses);
+    EXPECT_EQ(fast.activity.dram_accesses,
+              legacy.activity.dram_accesses);
+    EXPECT_EQ(fast.activity.link_traversals,
+              legacy.activity.link_traversals);
+}
+
+/** The SMT+ design exercises the co-runner arm of the run loop. */
+TEST(HsmtFastForward, SmtPlusScenarioFieldIdentical)
+{
+    auto run = [](bool fast_forward) {
+        ScenarioConfig cfg;
+        cfg.design = DesignKind::SmtPlus;
+        cfg.service = MicroserviceKind::WordStem;
+        cfg.load = 0.5;
+        cfg.warmup_cycles = 150'000;
+        cfg.measure_cycles = 400'000;
+        cfg.hsmt_fast_forward = fast_forward;
+        return runScenario(cfg);
+    };
+    ScenarioResult fast = run(true);
+    ScenarioResult legacy = run(false);
+    EXPECT_EQ(fast.utilization, legacy.utilization);
+    EXPECT_EQ(fast.requests, legacy.requests);
+    EXPECT_EQ(fast.service_us.mean(), legacy.service_us.mean());
+    EXPECT_EQ(fast.batch_stp, legacy.batch_stp);
+    EXPECT_EQ(fast.master_ops, legacy.master_ops);
+    EXPECT_EQ(fast.lender_ops, legacy.lender_ops);
+    EXPECT_EQ(fast.activity.dram_accesses,
+              legacy.activity.dram_accesses);
+}

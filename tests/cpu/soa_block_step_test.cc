@@ -333,3 +333,68 @@ TEST(SoaBlockStep, SmtInterleavedLanesMatchForcedLegacySources)
     std::vector<std::uint64_t> legacy = run(false);
     EXPECT_EQ(soa, legacy);
 }
+
+/** Split-phase commit pass vs the forced-legacy stepOp loop
+ *  (setSplitPhaseEnabled(false)): same IPC, stall cycles, predictor
+ *  and BTB state, and remote-stop positions. */
+TEST(SplitPhaseStep, SwitchForcesLegacyStepLoopInOrder)
+{
+    const Frequency freq(3.4e9);
+    Rig a(IssueMode::InOrder, /*stall_us*/ 1.5);
+    Rig b(IssueMode::InOrder, /*stall_us*/ 1.5);
+    ASSERT_TRUE(a.engine.splitPhaseEnabled());
+    b.engine.setSplitPhaseEnabled(false);
+    ASSERT_FALSE(b.engine.splitPhaseEnabled());
+    RunResult split = runSoaBlocked(a, freq, true);
+    RunResult legacy = runSoaBlocked(b, freq, true);
+    EXPECT_GT(split.remote_ops, 0u);
+    EXPECT_GT(a.engine.splitPhaseOps(), 0u);
+    EXPECT_EQ(b.engine.splitPhaseOps(), 0u);
+    split.expectEq(legacy);
+}
+
+TEST(SplitPhaseStep, SwitchForcesLegacyStepLoopOutOfOrder)
+{
+    const Frequency freq(3.4e9);
+    Rig a(IssueMode::OutOfOrder, /*stall_us*/ 0.0);
+    Rig b(IssueMode::OutOfOrder, /*stall_us*/ 0.0);
+    b.engine.setSplitPhaseEnabled(false);
+    RunResult split = runSoaBlocked(a, freq, false);
+    RunResult legacy = runSoaBlocked(b, freq, false);
+    EXPECT_GT(a.engine.splitPhaseOps(), 0u);
+    split.expectEq(legacy);
+}
+
+/** Remote ops stop the split-phase block at exactly the same op
+ *  positions the forced-legacy stepOp loop stops at. */
+TEST(SplitPhaseStep, RemoteStopPositionsMatchForcedLegacy)
+{
+    const Frequency freq(3.4e9);
+    Rig a(IssueMode::InOrder, /*stall_us*/ 2.0);
+    Rig b(IssueMode::InOrder, /*stall_us*/ 2.0);
+    b.engine.setSplitPhaseEnabled(false);
+    std::vector<std::uint64_t> split_stops, legacy_stops;
+    runSoaBlocked(a, freq, true, &split_stops);
+    runSoaBlocked(b, freq, true, &legacy_stops);
+    ASSERT_FALSE(split_stops.empty());
+    EXPECT_EQ(split_stops, legacy_stops);
+}
+
+/** Both switches compose: every (soa, split) combination produces
+ *  the same run — the AoS pointer overload delegates to the same
+ *  commit pass, so the four paths cannot drift apart. */
+TEST(SplitPhaseStep, SwitchMatrixAllPathsAgree)
+{
+    const Frequency freq(3.4e9);
+    std::vector<RunResult> results;
+    for (bool soa : {true, false}) {
+        for (bool split : {true, false}) {
+            Rig rig(IssueMode::InOrder, /*stall_us*/ 1.0);
+            rig.engine.setSoaPipelineEnabled(soa);
+            rig.engine.setSplitPhaseEnabled(split);
+            results.push_back(runSoaBlocked(rig, freq, true));
+        }
+    }
+    for (std::size_t i = 1; i < results.size(); ++i)
+        results[i].expectEq(results[0]);
+}

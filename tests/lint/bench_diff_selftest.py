@@ -1,12 +1,15 @@
 #!/usr/bin/env python3
 """Self-test for tools/bench_diff.py against the fixture JSONs.
 
-Every case must exit 0 (the perf-smoke diff is advisory, never
-gating); what varies is which ::warning:: lines appear. A regressed
-metric must produce exactly the perf-regression warning, a rebased
-baseline leaf must produce exactly the stale-baseline warning, a
-clean pair must stay silent, and unreadable input must warn rather
-than crash. The fixtures live under tests/lint/fixtures/bench/.
+Advisory cases must exit 0; what varies is which ::warning:: lines
+appear. A regressed metric must produce exactly the perf-regression
+warning, a rebased baseline leaf must produce exactly the
+stale-baseline warning, a clean pair must stay silent (including the
+fast_path counter subtree, which swings wildly between fixtures and
+must be ignored), and unreadable input must warn rather than crash.
+With --fail-on-stale, baseline drift upgrades to ::error:: and exit 1
+while a clean pair still exits 0 — the one gating mode CI uses.
+The fixtures live under tests/lint/fixtures/bench/.
 """
 
 import os
@@ -22,45 +25,52 @@ REGRESSED = "regressed"
 STALE = "predates the parent-commit baseline rebase"
 UNREADABLE = "could not read inputs"
 
-# (fresh fixture, substrings the output must contain,
-#  substrings it must not contain)
+# (fresh fixture, extra flags, expected exit code,
+#  substrings the output must contain, substrings it must not)
 CASES = [
-    ("fresh_ok.json", ["no regressions"],
-     ["::warning::"]),
-    ("fresh_regressed.json",
+    ("fresh_ok.json", [], 0, ["no regressions"],
+     ["::warning::", "fast_path"]),
+    ("fresh_regressed.json", [], 0,
      ["::warning::perf-smoke", REGRESSED, "process_op.ns_per_op"],
      [STALE]),
-    ("fresh_stale.json",
+    ("fresh_stale.json", [], 0,
      ["::warning::perf-smoke", STALE, "baseline_ns_per_op"],
      [REGRESSED]),
-    ("missing.json", [UNREADABLE], [REGRESSED, STALE]),
+    ("missing.json", [], 0, [UNREADABLE], [REGRESSED, STALE]),
+    ("fresh_stale.json", ["--fail-on-stale"], 1,
+     ["::error::perf-smoke", STALE, "regenerate BENCH_hotpath.json"],
+     [REGRESSED, "::warning::"]),
+    ("fresh_ok.json", ["--fail-on-stale"], 0, ["no regressions"],
+     ["::warning::", "::error::"]),
 ]
 
 
-def run_diff(fresh):
+def run_diff(fresh, flags):
     cmd = [sys.executable, DIFF,
            os.path.join(FIXTURES, "committed.json"),
-           os.path.join(FIXTURES, fresh)]
+           os.path.join(FIXTURES, fresh)] + flags
     return subprocess.run(cmd, capture_output=True, text=True)
 
 
 def main():
     failures = []
-    for fresh, want, forbid in CASES:
-        proc = run_diff(fresh)
+    for fresh, flags, want_exit, want, forbid in CASES:
+        proc = run_diff(fresh, flags)
         output = proc.stdout + proc.stderr
-        if proc.returncode != 0:
-            failures.append("%s: exit %d, expected 0 (advisory)\n%s"
-                            % (fresh, proc.returncode, output))
+        label = " ".join([fresh] + flags)
+        if proc.returncode != want_exit:
+            failures.append("%s: exit %d, expected %d\n%s"
+                            % (label, proc.returncode, want_exit,
+                               output))
             continue
         for text in want:
             if text not in output:
                 failures.append("%s: output lacks %r\n%s"
-                                % (fresh, text, output))
+                                % (label, text, output))
         for text in forbid:
             if text in output:
                 failures.append("%s: output must not contain %r\n%s"
-                                % (fresh, text, output))
+                                % (label, text, output))
 
     if failures:
         print("bench-diff selftest: %d failure(s)" % len(failures))

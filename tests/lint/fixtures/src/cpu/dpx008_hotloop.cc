@@ -1,0 +1,41 @@
+// Fixture: DPX008 must flag the unwaived virtual dispatch inside the
+// hot-loop region and nothing else — the waived predictor update, the
+// concrete-type calls, and the identical call outside the region are
+// all fine.
+
+struct BranchPredictor
+{
+    virtual bool predictAndUpdate(unsigned long pc, bool taken) = 0;
+};
+
+struct Distribution
+{
+    virtual double sample() = 0;
+};
+
+struct SlotCalendar
+{
+    unsigned long reserve(unsigned long t);
+};
+
+void
+commitPass(BranchPredictor *predictor, Distribution *stall_dist,
+           SlotCalendar *commit_cal, const unsigned long *pcs, int n)
+{
+    double acc = 0.0;
+    // Outside the region: indirect calls are the caller's business.
+    acc += stall_dist->sample();
+
+    // dpx-hot-loop: begin fixtureCommit
+    for (int i = 0; i < n; ++i) {
+        // dpx-lint: allow(DPX008) serial-state contract: predictor
+        // updates are order-dependent
+        predictor->predictAndUpdate(pcs[i], true);
+
+        commit_cal->reserve(pcs[i]); // concrete type: devirtualized
+        acc += stall_dist->sample(); // BAD: virtual sample per op
+    }
+    // dpx-hot-loop: end
+
+    (void)acc;
+}

@@ -1,0 +1,14 @@
+// Fixture: a dpx-hot-loop begin with no matching end is itself a
+// DPX008 violation — an unterminated region silently lints the rest
+// of the file as hot code (or, if begin was meant to be removed,
+// stops linting it at all).
+
+void
+loopBody(const unsigned long *pcs, int n)
+{
+    unsigned long acc = 0;
+    // dpx-hot-loop: begin neverClosed
+    for (int i = 0; i < n; ++i)
+        acc += pcs[i];
+    (void)acc;
+}

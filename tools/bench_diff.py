@@ -15,9 +15,15 @@ leaves differ from the fresh run's, the committed file predates the
 last baseline rebase and its speedup columns are computed against the
 wrong anchor — that staleness gets its own ::warning::.
 
-Always exits 0: perf-smoke is advisory, not gating. Benchmarks run on
-shared CI runners whose noise floor would make a hard gate flaky; the
-warning surfaces regressions for a human to judge.
+Exits 0 in the default advisory mode: perf-smoke is not a perf gate.
+Benchmarks run on shared CI runners whose noise floor would make a
+hard gate flaky; the warning surfaces regressions for a human to
+judge. --fail-on-stale upgrades exactly one class of finding to an
+error: baseline drift. A stale committed baseline is not noise — it
+means BENCH_hotpath.json was not regenerated after the parent-commit
+rebase, and every speedup column in it anchors to the wrong numbers.
+That is a repo-hygiene failure, deterministic on any host, so CI
+fails on it (exit 1) instead of warning.
 """
 
 import argparse
@@ -39,6 +45,9 @@ SKIP_MARKERS = (
     "forced_slow",
     "p99",
     "quantile",
+    # Fast-path activation counters (split_phase_ops, skipped polls,
+    # memo hits): deterministic proof the fast paths ran, not timings.
+    "fast_path",
 )
 
 # Higher is better.
@@ -98,6 +107,11 @@ def main():
     parser.add_argument("fresh")
     parser.add_argument("--threshold", type=float, default=15.0,
                         help="regression warning threshold, percent")
+    parser.add_argument("--fail-on-stale", action="store_true",
+                        help="exit 1 when the committed baseline_* "
+                             "leaves differ from the fresh binary's "
+                             "compiled-in ones (committed JSON older "
+                             "than the parent-commit rebase)")
     args = parser.parse_args()
 
     try:
@@ -109,9 +123,11 @@ def main():
         print(f"::warning::bench_diff could not read inputs: {exc}")
         return 0
 
-    for key, old, new in baseline_drift(committed, fresh):
+    drift = baseline_drift(committed, fresh)
+    severity = "error" if args.fail_on_stale else "warning"
+    for key, old, new in drift:
         fmt = lambda v: "absent" if v is None else f"{v:.4g}"
-        print(f"::warning::perf-smoke: baseline leaf {key} is "
+        print(f"::{severity}::perf-smoke: baseline leaf {key} is "
               f"{fmt(old)} in the committed JSON but {fmt(new)} in "
               f"the fresh run; the committed BENCH_hotpath.json "
               f"predates the parent-commit baseline rebase — refresh "
@@ -137,6 +153,10 @@ def main():
               f"non-gating, verify on a quiet host")
     if not regressions:
         print(f"no regressions beyond {args.threshold:.0f}%")
+    if args.fail_on_stale and drift:
+        print("bench_diff: committed baseline is stale (see errors "
+              "above); regenerate BENCH_hotpath.json")
+        return 1
     return 0
 
 

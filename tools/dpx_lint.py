@@ -41,6 +41,19 @@ DPX007  panic-vs-fatal
         Direct abort()/exit()/assert() skip the failure hook and the
         file:line report.  Invariant violations use DPX_CHECK/panic();
         invalid user input uses fatal() (see src/sim/logging.hh).
+DPX008  hot-loop-indirect-call
+        Inside a ``// dpx-hot-loop: begin <name>`` /
+        ``// dpx-hot-loop: end`` region (the per-op commit loops of
+        CoreEngine::processBlock and friends), calls that dispatch
+        through a virtual interface pointer (BranchPredictor,
+        InstrSource, Distribution, CommitSink) or a std::function are
+        banned: one indirect call per op is exactly the overhead the
+        split-phase refactor removed, and it creeps back silently.
+        Hoist the work into the block-precompute phase, devirtualize,
+        or — when the call is genuinely order-dependent serial state,
+        like predictor updates — waive the line with
+        ``// dpx-lint: allow(DPX008)`` and say why.  Unbalanced
+        begin/end markers are themselves violations.
 
 Escape hatches
 --------------
@@ -196,6 +209,90 @@ def check_include_guard(relpath, raw_lines, code_lines):
     return [(1, "missing include guard %s" % want)]
 
 
+HOT_BEGIN_RE = re.compile(r"//\s*dpx-hot-loop:\s*begin\b")
+HOT_END_RE = re.compile(r"//\s*dpx-hot-loop:\s*end\b")
+
+# Repo interfaces whose calls dispatch virtually. A pointer to one of
+# these inside a hot-loop region means one indirect call per op.
+VIRTUAL_BASES = frozenset((
+    "BranchPredictor",
+    "InstrSource",
+    "Distribution",
+    "CommitSink",
+))
+
+
+def check_hot_loop_calls(relpath, raw_lines, code_lines):
+    """DPX008: virtual/indirect per-op calls inside dpx-hot-loop
+    regions.
+
+    Pointer declarations are collected file-wide (raw ``T *name``,
+    ``std::unique_ptr<T>``/``std::shared_ptr<T>`` and the
+    DistributionPtr alias), then every ``name->method(`` whose pointee
+    is a known virtual interface — and every call through a
+    std::function object — is flagged when it appears between the
+    begin/end markers. Markers live in comments, so they are matched
+    against the raw lines.
+    """
+    ptr_rx = re.compile(
+        r"\b([A-Z]\w*)\s*\*\s*(?:const\s+)?([A-Za-z_]\w*)\s*[=;,)]")
+    smart_rx = re.compile(
+        r"\bstd\s*::\s*(?:unique|shared)_ptr\s*<\s*(?:const\s+)?"
+        r"([A-Z]\w*)[^>]*>\s*&?\s*(?:const\s+)?([A-Za-z_]\w*)")
+    alias_rx = re.compile(
+        r"\bDistributionPtr\s*&?\s*(?:const\s+)?([A-Za-z_]\w*)")
+    fn_rx = re.compile(
+        r"\bstd\s*::\s*function\s*<[^;{]*>\s*&?\s*([A-Za-z_]\w*)")
+    ptr_types = {}
+    fn_objects = set()
+    for line in code_lines:
+        for m in ptr_rx.finditer(line):
+            ptr_types[m.group(2)] = m.group(1)
+        for m in smart_rx.finditer(line):
+            ptr_types[m.group(2)] = m.group(1)
+        for m in alias_rx.finditer(line):
+            ptr_types[m.group(1)] = "Distribution"
+        for m in fn_rx.finditer(line):
+            fn_objects.add(m.group(1))
+
+    findings = []
+    call_rx = re.compile(r"\b([A-Za-z_]\w*)\s*->\s*(\w+)\s*\(")
+    in_region = False
+    begin_ln = 0
+    for ln, (raw, line) in enumerate(zip(raw_lines, code_lines),
+                                     start=1):
+        if HOT_BEGIN_RE.search(raw):
+            if in_region:
+                findings.append(
+                    (ln, "nested dpx-hot-loop begin (previous begin "
+                         "at line %d has no end)" % begin_ln))
+            in_region = True
+            begin_ln = ln
+            continue
+        if HOT_END_RE.search(raw):
+            if not in_region:
+                findings.append((ln, "dpx-hot-loop end without begin"))
+            in_region = False
+            continue
+        if not in_region:
+            continue
+        for m in call_rx.finditer(line):
+            base = ptr_types.get(m.group(1))
+            if base in VIRTUAL_BASES:
+                findings.append(
+                    (ln, "%s->%s() dispatches through %s per op"
+                         % (m.group(1), m.group(2), base)))
+        for name in sorted(fn_objects):
+            if re.search(r"\b%s\s*\(" % re.escape(name), line):
+                findings.append(
+                    (ln, "%s(...) calls a std::function per op"
+                         % name))
+    if in_region:
+        findings.append(
+            (begin_ln, "dpx-hot-loop begin without matching end"))
+    return findings
+
+
 def in_dirs(*prefixes):
     return lambda p: any(p.startswith(pre) for pre in prefixes)
 
@@ -253,6 +350,13 @@ RULES = [
             r"\babort\s*\(|\bexit\s*\(|\bassert\s*\("),
         exempt=("src/sim/logging.hh", "src/sim/logging.cc",
                 "src/sim/check.hh")),
+    Rule(
+        "DPX008", "hot-loop-indirect-call",
+        "virtual/std::function calls inside dpx-hot-loop regions "
+        "reintroduce the per-op dispatch the split-phase commit pass "
+        "removed; hoist to the precompute phase or waive with a "
+        "reason",
+        check_hot_loop_calls),
 ]
 
 
