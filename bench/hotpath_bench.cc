@@ -23,6 +23,7 @@
 
 #include "core/calibration.hh"
 #include "core/grid.hh"
+#include "cpu/block_precomp.hh"
 #include "cpu/core_engine.hh"
 #include "cpu/hsmt.hh"
 #include "mem/cache.hh"
@@ -42,10 +43,10 @@ namespace
 
 /* Baselines measured at the parent commit (Release, same host) with
  * this file's exact loop bodies. */
-constexpr double baseline_process_op_ns = 122.241;
-constexpr double baseline_queue_full_ns = 94.0438;
-constexpr double baseline_grid_cold_s = 3.38105;
-constexpr double baseline_grid_warm_s = 2.40319;
+constexpr double baseline_process_op_ns = 130.025;
+constexpr double baseline_queue_full_ns = 87.1965;
+constexpr double baseline_grid_cold_s = 2.71697;
+constexpr double baseline_grid_warm_s = 2.12543;
 
 double
 secondsSince(BenchClock::time_point t0)
@@ -317,6 +318,88 @@ benchBlockStep()
     DPX_CHECK_EQ(a_ops, b.lane.stats().ops);
     DPX_CHECK_EQ(a_mispredicts, b.lane.stats().mispredicts);
     out.split_phase_ops = b.engine.splitPhaseOps();
+    return out;
+}
+
+/* ---------------- lane-vectorized block precompute ---------------- */
+
+struct PrecompNs
+{
+    double simd = 0.0;
+    double scalar = 0.0;
+};
+
+/**
+ * precomputeBlock ns/op over catalog-filled SoA blocks: the
+ * lane-vectorized body vs setSimdEnabled(false) forced-scalar. The
+ * blocks come from a real catalog source so the class mix (and thus
+ * the branch-lane arithmetic's input distribution) is the workload's,
+ * not synthetic. Before timing, every block's SIMD and scalar hints
+ * are compared field-by-field — the bench refuses to report a speedup
+ * for a body that diverged.
+ */
+PrecompNs
+benchPrecomputeBlock()
+{
+    constexpr int kBlocks = 8;
+    std::vector<OpBlock> blocks(kBlocks);
+    Rng rng(11);
+    BatchSource source(makeFlannXY(10.0, 0.0, 0), rng.fork(1));
+    std::vector<SoaLaneView> views;
+    std::vector<std::uint32_t> sizes;
+    std::uint64_t round_ops = 0;
+    for (OpBlock &b : blocks) {
+        b.clear();
+        source.fillBlock(b, kOpBlockCapacity);
+        views.push_back(SoaLaneView{
+            b.cls(), b.pc(), b.memAddr(), b.taken(),
+            b.dep1(), b.dep2(), b.stallUs(), b.endOfRequest()});
+        sizes.push_back(b.size());
+        round_ops += b.size();
+    }
+
+    // Field-identity gate: both bodies, every block, every lane.
+    for (int k = 0; k < kBlocks; ++k) {
+        BlockPrecomp vec, ref;
+        precomputeBlockSimd(views[k], sizes[k], vec);
+        precomputeBlockScalar(views[k], sizes[k], ref);
+        for (std::uint32_t i = 0; i < sizes[k]; ++i) {
+            DPX_CHECK_EQ(vec.code[i], ref.code[i])
+                << " — SIMD precompute code diverged at lane " << i;
+            DPX_CHECK_EQ(vec.lat[i], ref.lat[i]);
+            DPX_CHECK_EQ(vec.new_line[i], ref.new_line[i]);
+            DPX_CHECK_EQ(vec.has_dep[i], ref.has_dep[i]);
+        }
+    }
+
+    PrecompNs out;
+    for (bool use_simd : {true, false}) {
+        const bool prev = simd::setSimdEnabled(use_simd);
+        BlockPrecomp pre;
+        std::uint64_t acc = 0;
+        const std::uint64_t rounds = 200'000;
+        for (std::uint64_t r = 0; r < rounds / 10; ++r) // warm
+            for (int k = 0; k < kBlocks; ++k)
+                precomputeBlock(views[k], sizes[k], pre);
+        auto t0 = BenchClock::now();
+        for (std::uint64_t r = 0; r < rounds; ++r) {
+            for (int k = 0; k < kBlocks; ++k) {
+                precomputeBlock(views[k], sizes[k], pre);
+                // Data-dependent read per call so the (pure, inlined)
+                // body cannot be hoisted out of the rep loop.
+                acc += pre.lat[(r + static_cast<std::uint64_t>(k)) & 255];
+            }
+        }
+        double ns = 1e9 * secondsSince(t0) /
+                    static_cast<double>(rounds * round_ops);
+        simd::setSimdEnabled(prev);
+        if (acc == 0)
+            std::printf("(unexpected zero checksum)\n");
+        if (use_simd)
+            out.simd = ns;
+        else
+            out.scalar = ns;
+    }
     return out;
 }
 
@@ -622,6 +705,73 @@ benchQueueFull(const QueueWorkload &w, std::uint64_t &completed)
     return 1e9 * secondsSince(t0) / static_cast<double>(res.completed);
 }
 
+/* ---------------- queue idle fast-forward ---------------- */
+
+struct IdleFfNs
+{
+    double fast = 0.0;
+    double legacy = 0.0;
+    std::uint64_t fast_forwards = 0;
+};
+
+/**
+ * runQueueSim ns/request at k=8 with the idle fast-forward on vs
+ * config-disabled, at the given per-server load.  Deep idle (2 %)
+ * is the regime the path targets: drained stretches run long enough
+ * to pass the k-seat proving period, so most arrivals seat O(1).
+ * Moderate load (30 %) is the parity guard: stretches average ~1.1
+ * arrivals there, the ring must stay dormant, and the recording
+ * writes must cost nothing measurable.  Every summary statistic
+ * must match bitwise either way, and the legacy run must never have
+ * fast-forwarded.
+ */
+IdleFfNs
+benchQueueIdleFf(const QueueWorkload &w, double load,
+                 bool expect_activation)
+{
+    IdleFfNs out;
+    QueueSimResult res_fast, res_legacy;
+    for (bool ff : {true, false}) {
+        QueueSimConfig cfg;
+        cfg.interarrival =
+            makeExponential(1e-6 / load / QueueWorkload::servers);
+        cfg.service = w.service;
+        cfg.servers = QueueWorkload::servers;
+        cfg.warmup_requests = 100'000;
+        cfg.batch_size = 500'000;
+        cfg.min_batches = 10;
+        cfg.max_batches = 10;
+        cfg.relative_error = 1e-12;
+        cfg.idle_fast_forward = ff;
+        auto t0 = BenchClock::now();
+        QueueSimResult res = runQueueSim(cfg);
+        double ns = 1e9 * secondsSince(t0) /
+                    static_cast<double>(res.completed);
+        if (ff) {
+            out.fast = ns;
+            out.fast_forwards = res.idle_fast_forwards;
+            res_fast = res;
+        } else {
+            out.legacy = ns;
+            res_legacy = res;
+        }
+    }
+    DPX_CHECK_EQ(res_fast.completed, res_legacy.completed)
+        << " — idle fast-forward changed the completion count";
+    DPX_CHECK_EQ(res_fast.meanSojourn(), res_legacy.meanSojourn());
+    DPX_CHECK_EQ(res_fast.p99Sojourn(), res_legacy.p99Sojourn());
+    DPX_CHECK_EQ(res_fast.wait.mean(), res_legacy.wait.mean());
+    DPX_CHECK_EQ(res_fast.idle_periods.mean(),
+                 res_legacy.idle_periods.mean());
+    DPX_CHECK_EQ(res_fast.utilization, res_legacy.utilization);
+    if (expect_activation) {
+        DPX_CHECK(res_fast.idle_fast_forwards > 0)
+            << " — fast path never activated at load " << load;
+    }
+    DPX_CHECK_EQ(res_legacy.idle_fast_forwards, std::uint64_t(0));
+    return out;
+}
+
 /* ---------------- replicated tail engine ---------------- */
 
 struct ReplicaBenchResult
@@ -710,6 +860,14 @@ main()
                 "(speedup %.2fx)\n",
                 block_ns.per_op, block_ns.block,
                 block_ns.per_op / block_ns.block);
+    PrecompNs precomp_ns =
+        medianOf([] { return benchPrecomputeBlock(); },
+                 [](const PrecompNs &r) { return r.simd; });
+    std::printf("precompute block     %8.2f ns/op simd / %.2f "
+                "forced-scalar (speedup %.2fx%s)\n",
+                precomp_ns.simd, precomp_ns.scalar,
+                precomp_ns.scalar / precomp_ns.simd,
+                simd::kSimdCompiled ? "" : ", simd compiled out");
     HsmtFfNs hsmt_ns =
         medianOf([] { return benchHsmtFastForward(); },
                  [](const HsmtFfNs &r) { return r.fast; });
@@ -791,6 +949,24 @@ main()
                 queue_full_ns, baseline_queue_full_ns,
                 baseline_queue_full_ns / queue_full_ns);
 
+    IdleFfNs idle_ff = medianOf(
+        [&] { return benchQueueIdleFf(queue_workload, 0.02, true); },
+        [](const IdleFfNs &r) { return r.fast; });
+    std::printf("queue idle-ff k=8    %8.2f ns/req fast / %.2f legacy "
+                "(speedup %.2fx, %llu fast-forwards, load 0.02)\n",
+                idle_ff.fast, idle_ff.legacy,
+                idle_ff.legacy / idle_ff.fast,
+                static_cast<unsigned long long>(idle_ff.fast_forwards));
+    IdleFfNs idle_ff_busy = medianOf(
+        [&] { return benchQueueIdleFf(queue_workload, 0.3, false); },
+        [](const IdleFfNs &r) { return r.fast; });
+    std::printf("queue idle-ff busy   %8.2f ns/req fast / %.2f legacy "
+                "(speedup %.2fx, %llu fast-forwards, load 0.3)\n",
+                idle_ff_busy.fast, idle_ff_busy.legacy,
+                idle_ff_busy.legacy / idle_ff_busy.fast,
+                static_cast<unsigned long long>(
+                    idle_ff_busy.fast_forwards));
+
     // Replica scaling: fixed 10M-request budget split across R
     // streams (work-conserving), plus the converged stopping-rule
     // run the replicas exist to accelerate. Wall-clock speedup here
@@ -838,12 +1014,14 @@ main()
     CalibrationMemoStats memo = calibrationMemoStats();
     std::printf("fast-path counters   split-phase ops %llu, skipped "
                 "polls %llu (%llu cycles), calib probes %llu / wide "
-                "hits %llu\n",
+                "hits %llu, idle seats %llu, simd %s\n",
                 static_cast<unsigned long long>(block_ns.split_phase_ops),
                 static_cast<unsigned long long>(hsmt_ns.ff_polls),
                 static_cast<unsigned long long>(hsmt_ns.ff_cycles),
                 static_cast<unsigned long long>(memo.probes),
-                static_cast<unsigned long long>(memo.wide_hits));
+                static_cast<unsigned long long>(memo.wide_hits),
+                static_cast<unsigned long long>(idle_ff.fast_forwards),
+                simd::kSimdCompiled ? "compiled" : "off");
 
     std::ofstream json("BENCH_hotpath.json");
     json.precision(6);
@@ -872,6 +1050,13 @@ main()
          << "    \"block_ns\": " << block_ns.block << ",\n"
          << "    \"speedup\": " << block_ns.per_op / block_ns.block
          << "\n  },\n"
+         << "  \"precompute_block\": {\n"
+         << "    \"simd_ns_per_op\": " << precomp_ns.simd << ",\n"
+         << "    \"forced_slow_ns_per_op\": " << precomp_ns.scalar
+         << ",\n"
+         << "    \"speedup\": " << precomp_ns.scalar / precomp_ns.simd
+         << ",\n"
+         << "    \"bit_identical\": true\n  },\n"
          << "  \"hsmt_unit_step_ns\": {\n"
          << "    \"fast\": " << hsmt_ns.fast << ",\n"
          << "    \"forced_slow\": " << hsmt_ns.legacy << ",\n"
@@ -904,6 +1089,16 @@ main()
          << ",\n"
          << "    \"speedup\": "
          << baseline_queue_full_ns / queue_full_ns << "\n  },\n"
+         << "  \"queue_idle_ff_k8\": {\n"
+         << "    \"ns_per_req\": " << idle_ff.fast << ",\n"
+         << "    \"forced_slow_ns_per_req\": " << idle_ff.legacy
+         << ",\n"
+         << "    \"busy_ns_per_req\": " << idle_ff_busy.fast << ",\n"
+         << "    \"busy_forced_slow_ns_per_req\": " << idle_ff_busy.legacy
+         << ",\n"
+         << "    \"speedup\": " << idle_ff.legacy / idle_ff.fast
+         << ",\n"
+         << "    \"bit_identical\": true\n  },\n"
          << "  \"replica_scaling\": {\n"
          << "    \"threads\": " << replica_threads << ",\n"
          << "    \"fixed_total_10m\": {\n";
@@ -947,6 +1142,10 @@ main()
          << ",\n"
          << "    \"calibration_probes\": " << memo.probes << ",\n"
          << "    \"calibration_wide_hits\": " << memo.wide_hits
+         << ",\n"
+         << "    \"queue_idle_fast_forwards\": "
+         << idle_ff.fast_forwards << ",\n"
+         << "    \"simd_compiled\": " << (simd::kSimdCompiled ? 1 : 0)
          << "\n  }\n"
          << "}\n";
     std::printf("\nwrote BENCH_hotpath.json\n");

@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Split-phase block precompute: pure per-op hints over SoA/AoS lanes.
+ *
+ * Phase 1 of the split-phase step engine (DESIGN.md §4b.2) derives,
+ * for every op in a block, its dispatch code, fixed execution latency,
+ * fetch-line transition, and dependency flag — all functions of the
+ * block's lanes alone, never of simulated state.  PR 7 kept this as
+ * scalar loops inside core_engine.cc; it now lives here so the
+ * lane-vectorized variant, the differential tests, and the benchmark
+ * can all see the same definitions.
+ *
+ * Two implementations share the contract:
+ *  - precomputeBlockScalar: the PR 7 loops, verbatim — the forced
+ *    fallback and the differential reference;
+ *  - precomputeBlockSimd: 16 byte-lanes per step for code/lat/dep
+ *    (the fetch-line compare stays scalar — see the in-body note),
+ *    built on sim/simd.hh.  The lookup tables are replaced by gather-free
+ *    branch-lane arithmetic (vector compares + masked selects) that is
+ *    bit-identical to the table walk — proven by static_asserts below
+ *    and field-by-field by simd_precompute_diff_test.
+ *
+ * Dispatch: the SoaLaneView overload of precomputeBlock() picks the
+ * vector body behind simd::simdEnabled(); the AoS view has no
+ * contiguous class lane to load, so it always runs the scalar loops.
+ * Vector loops cover whole lane groups and fall back to a scalar tail,
+ * so nothing reads or writes past `count` lanes (views may window the
+ * interior of a block — see sim/simd.hh on masked tails).
+ */
+
+#ifndef DPX_CPU_BLOCK_PRECOMP_HH
+#define DPX_CPU_BLOCK_PRECOMP_HH
+
+#include <cstdint>
+
+#include "cpu/isa.hh"
+#include "sim/simd.hh"
+#include "workload/op_block.hh"
+
+namespace duplexity
+{
+
+/*
+ * Split-phase dispatch codes: the commit pass switches on a
+ * precomputed byte instead of re-deriving the class partition per op,
+ * and simple-ALU ops carry their execution latency with them.
+ */
+enum : std::uint8_t
+{
+    kCodeSimple = 0, //!< IntAlu/IntMul/FpAlu: done = issue + lat
+    kCodeLoad,
+    kCodeStore,
+    kCodeBranch,
+    kCodeCall,
+    kCodeReturn,
+    kCodeRemote,
+};
+
+// The code/latency tables index by the OpClass underlying value; pin
+// the enum layout and the latencies they bake in.
+static_assert(static_cast<int>(OpClass::IntAlu) == 0 &&
+                  static_cast<int>(OpClass::IntMul) == 1 &&
+                  static_cast<int>(OpClass::FpAlu) == 2 &&
+                  static_cast<int>(OpClass::Load) == 3 &&
+                  static_cast<int>(OpClass::Store) == 4 &&
+                  static_cast<int>(OpClass::Branch) == 5 &&
+                  static_cast<int>(OpClass::Call) == 6 &&
+                  static_cast<int>(OpClass::Return) == 7 &&
+                  static_cast<int>(OpClass::Remote) == 8,
+              "split-phase code table assumes this OpClass layout");
+static_assert(execLatency(OpClass::IntAlu) == 1 &&
+                  execLatency(OpClass::IntMul) == 3 &&
+                  execLatency(OpClass::FpAlu) == 4,
+              "split-phase latency table diverged from execLatency");
+
+constexpr std::uint8_t kCodeOf[9] = {
+    kCodeSimple, kCodeSimple, kCodeSimple, kCodeLoad,  kCodeStore,
+    kCodeBranch, kCodeCall,   kCodeReturn, kCodeRemote,
+};
+constexpr std::uint8_t kLatOf[9] = {1, 3, 4, 0, 0, 0, 0, 0, 0};
+
+// The vector body re-derives the tables arithmetically:
+//   code(c) = (c > 2) ? c - 2 : 0      (kCodeLoad == 1, ... Remote == 6)
+//   lat(c)  = [c==0]*1 | [c==1]*3 | [c==2]*4
+// Pin the equivalence so a table edit cannot silently diverge.
+static_assert(kCodeOf[0] == 0 && kCodeOf[1] == 0 && kCodeOf[2] == 0 &&
+                  kCodeOf[3] == 1 && kCodeOf[4] == 2 && kCodeOf[5] == 3 &&
+                  kCodeOf[6] == 4 && kCodeOf[7] == 5 && kCodeOf[8] == 6,
+              "vector code derivation (c>2 ? c-2 : 0) no longer matches "
+              "kCodeOf");
+static_assert(kLatOf[0] == 1 && kLatOf[1] == 3 && kLatOf[2] == 4 &&
+                  kLatOf[3] == 0 && kLatOf[4] == 0 && kLatOf[5] == 0 &&
+                  kLatOf[6] == 0 && kLatOf[7] == 0 && kLatOf[8] == 0,
+              "vector latency derivation no longer matches kLatOf");
+
+/** Pure per-op hints produced by the precompute pass. Everything in
+ *  here is a function of the block's lanes alone — no simulated state
+ *  is read or written, so computing hints for ops the commit pass
+ *  never reaches (fetch-horizon stop, remote stop) is harmless.  The
+ *  arrays are vector-aligned so full-width 16-byte stores from the
+ *  lane body never straddle more cache lines than they must; capacity
+ *  is a whole number of the widest lane group (256 = 16 * 16). */
+struct BlockPrecomp
+{
+    alignas(16) std::uint8_t code[kOpBlockCapacity];
+    alignas(16) std::uint8_t lat[kOpBlockCapacity];
+    /** pc line (pc >> 6) differs from the previous op's line. */
+    alignas(16) bool new_line[kOpBlockCapacity];
+    alignas(16) bool has_dep[kOpBlockCapacity];
+};
+
+static_assert(kOpBlockCapacity % 16 == 0,
+              "vector precompute assumes whole byte-lane groups");
+static_assert(sizeof(bool) == 1,
+              "byte-lane flag stores assume 1-byte bool");
+
+/** SoA lane reader: direct OpBlock lane pointers. */
+struct SoaLaneView
+{
+    const OpClass *cls;
+    const Addr *pc;
+    const Addr *mem_addr;
+    const bool *taken;
+    const std::uint8_t *dep1;
+    const std::uint8_t *dep2;
+    const float *stall_us;
+    const bool *eor;
+
+    OpClass clsAt(std::uint32_t i) const { return cls[i]; }
+    Addr pcAt(std::uint32_t i) const { return pc[i]; }
+    Addr memAddrAt(std::uint32_t i) const { return mem_addr[i]; }
+    bool takenAt(std::uint32_t i) const { return taken[i]; }
+    std::uint8_t dep1At(std::uint32_t i) const { return dep1[i]; }
+    std::uint8_t dep2At(std::uint32_t i) const { return dep2[i]; }
+    float stallUsAt(std::uint32_t i) const { return stall_us[i]; }
+    bool eorAt(std::uint32_t i) const { return eor[i]; }
+};
+
+/** AoS reader: the pointer overload's MicroOp array, consumed by the
+ *  same commit pass so the two paths cannot drift. */
+struct AosOpView
+{
+    const MicroOp *ops;
+
+    OpClass clsAt(std::uint32_t i) const { return ops[i].cls; }
+    Addr pcAt(std::uint32_t i) const { return ops[i].pc; }
+    Addr memAddrAt(std::uint32_t i) const { return ops[i].mem_addr; }
+    bool takenAt(std::uint32_t i) const { return ops[i].taken; }
+    std::uint8_t dep1At(std::uint32_t i) const { return ops[i].dep1; }
+    std::uint8_t dep2At(std::uint32_t i) const { return ops[i].dep2; }
+    float stallUsAt(std::uint32_t i) const { return ops[i].stall_us; }
+    bool eorAt(std::uint32_t i) const
+    {
+        return ops[i].end_of_request;
+    }
+};
+
+/** Precompute pass, scalar body: branch-light and pure — it reads
+ *  only block lanes, never lane/core state (DESIGN.md §4b.2).  This
+ *  is the forced-scalar fallback and the differential reference. */
+template <class View>
+inline void
+precomputeBlockScalar(const View &view, std::uint32_t count,
+                      BlockPrecomp &pre)
+{
+    for (std::uint32_t i = 0; i < count; ++i) {
+        const auto c = static_cast<std::uint8_t>(view.clsAt(i));
+        pre.code[i] = kCodeOf[c];
+        pre.lat[i] = kLatOf[c];
+        pre.has_dep[i] = (view.dep1At(i) | view.dep2At(i)) != 0;
+    }
+    if (count > 0)
+        pre.new_line[0] = true;
+    for (std::uint32_t i = 1; i < count; ++i)
+        pre.new_line[i] = (view.pcAt(i) >> 6) != (view.pcAt(i - 1) >> 6);
+}
+
+/** Lane-vectorized precompute over contiguous SoA lanes: 16 byte
+ *  lanes per step for code/lat/dep with a scalar tail; the
+ *  register-carried fetch-line loop stays scalar (see in-body note).
+ *  Integer-exact, so bit-identical to the scalar body. */
+inline void
+precomputeBlockSimd(const SoaLaneView &view, std::uint32_t count,
+                    BlockPrecomp &pre)
+{
+    // OpClass is a uint8_t enum and bool is one byte; byte-lane loads
+    // and stores through uint8_t (a character type) alias freely.
+    const std::uint8_t *cls =
+        reinterpret_cast<const std::uint8_t *>(view.cls);
+    std::uint8_t *has_dep = reinterpret_cast<std::uint8_t *>(pre.has_dep);
+    std::uint8_t *new_line =
+        reinterpret_cast<std::uint8_t *>(pre.new_line);
+
+    const simd::U8x16 zero = simd::splat8(0);
+    const simd::U8x16 one = simd::splat8(1);
+    const simd::U8x16 two = simd::splat8(2);
+    const simd::U8x16 three = simd::splat8(3);
+    const simd::U8x16 four = simd::splat8(4);
+
+    std::uint32_t i = 0;
+    for (; i + 16 <= count; i += 16) {
+        const simd::U8x16 c = simd::loadU8x16(cls + i);
+        // code = (c > 2) ? c - 2 : 0 — equivalence to kCodeOf pinned
+        // by the static_asserts above.
+        const simd::U8x16 code = (c - two) & simd::gtMask(c, two);
+        // lat = [c==0]*1 | [c==1]*3 | [c==2]*4 ≡ kLatOf[c].
+        const simd::U8x16 lat = (simd::eqMask(c, zero) & one) |
+                                (simd::eqMask(c, one) & three) |
+                                (simd::eqMask(c, two) & four);
+        const simd::U8x16 dep = simd::loadU8x16(view.dep1 + i) |
+                                simd::loadU8x16(view.dep2 + i);
+        simd::storeU8x16(pre.code + i, code);
+        simd::storeU8x16(pre.lat + i, lat);
+        simd::storeU8x16(has_dep + i, simd::neZeroMask(dep) & one);
+    }
+    for (; i < count; ++i) {
+        const auto c = static_cast<std::uint8_t>(view.clsAt(i));
+        pre.code[i] = kCodeOf[c];
+        pre.lat[i] = kLatOf[c];
+        pre.has_dep[i] = (view.dep1At(i) | view.dep2At(i)) != 0;
+    }
+
+    // The fetch-line compare stays scalar by measurement, not
+    // oversight: 2 u64 lanes per step needs two overlapping unaligned
+    // pc loads per pair (16 B/op of pure re-read traffic), while this
+    // loop carries prev_line in a register and loads each pc once —
+    // the vectorized variant measured ~2x slower on the same blocks.
+    if (count > 0) {
+        pre.new_line[0] = true;
+        Addr prev_line = view.pcAt(0) >> 6;
+        for (std::uint32_t j = 1; j < count; ++j) {
+            const Addr line = view.pcAt(j) >> 6;
+            new_line[j] = line != prev_line;
+            prev_line = line;
+        }
+    }
+}
+
+/** Generic entry: AoS (and any future view without contiguous byte
+ *  lanes) runs the scalar body. */
+template <class View>
+inline void
+precomputeBlock(const View &view, std::uint32_t count, BlockPrecomp &pre)
+{
+    precomputeBlockScalar(view, count, pre);
+}
+
+/** SoA entry: lane-vectorized behind the runtime SIMD switch. */
+inline void
+precomputeBlock(const SoaLaneView &view, std::uint32_t count,
+                BlockPrecomp &pre)
+{
+    if (simd::simdEnabled())
+        precomputeBlockSimd(view, count, pre);
+    else
+        precomputeBlockScalar(view, count, pre);
+}
+
+} // namespace duplexity
+
+#endif // DPX_CPU_BLOCK_PRECOMP_HH

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 
+#include "cpu/block_precomp.hh"
 #include "sim/check.hh"
 
 namespace duplexity
@@ -86,121 +87,9 @@ CoreEngine::processOp(Lane &lane, const MicroOp &op)
     return stepOp(lane, op, lane.stats_);
 }
 
-namespace
-{
-
-/*
- * Split-phase dispatch codes: the commit pass switches on a
- * precomputed byte instead of re-deriving the class partition per op,
- * and simple-ALU ops carry their execution latency with them.
- */
-enum : std::uint8_t
-{
-    kCodeSimple = 0, //!< IntAlu/IntMul/FpAlu: done = issue + lat
-    kCodeLoad,
-    kCodeStore,
-    kCodeBranch,
-    kCodeCall,
-    kCodeReturn,
-    kCodeRemote,
-};
-
-// The code/latency tables index by the OpClass underlying value; pin
-// the enum layout and the latencies they bake in.
-static_assert(static_cast<int>(OpClass::IntAlu) == 0 &&
-                  static_cast<int>(OpClass::IntMul) == 1 &&
-                  static_cast<int>(OpClass::FpAlu) == 2 &&
-                  static_cast<int>(OpClass::Load) == 3 &&
-                  static_cast<int>(OpClass::Store) == 4 &&
-                  static_cast<int>(OpClass::Branch) == 5 &&
-                  static_cast<int>(OpClass::Call) == 6 &&
-                  static_cast<int>(OpClass::Return) == 7 &&
-                  static_cast<int>(OpClass::Remote) == 8,
-              "split-phase code table assumes this OpClass layout");
-static_assert(execLatency(OpClass::IntAlu) == 1 &&
-                  execLatency(OpClass::IntMul) == 3 &&
-                  execLatency(OpClass::FpAlu) == 4,
-              "split-phase latency table diverged from execLatency");
-
-constexpr std::uint8_t kCodeOf[9] = {
-    kCodeSimple, kCodeSimple, kCodeSimple, kCodeLoad,  kCodeStore,
-    kCodeBranch, kCodeCall,   kCodeReturn, kCodeRemote,
-};
-constexpr std::uint8_t kLatOf[9] = {1, 3, 4, 0, 0, 0, 0, 0, 0};
-
-/** Pure per-op hints produced by the precompute pass. Everything in
- *  here is a function of the block's lanes alone — no simulated state
- *  is read or written, so computing hints for ops the commit pass
- *  never reaches (fetch-horizon stop, remote stop) is harmless. */
-struct BlockPrecomp
-{
-    std::uint8_t code[kOpBlockCapacity];
-    std::uint8_t lat[kOpBlockCapacity];
-    /** pc line (pc >> 6) differs from the previous op's line. */
-    bool new_line[kOpBlockCapacity];
-    bool has_dep[kOpBlockCapacity];
-};
-
-/** SoA lane reader: direct OpBlock lane pointers. */
-struct SoaLaneView
-{
-    const OpClass *cls;
-    const Addr *pc;
-    const Addr *mem_addr;
-    const bool *taken;
-    const std::uint8_t *dep1;
-    const std::uint8_t *dep2;
-    const float *stall_us;
-    const bool *eor;
-
-    OpClass clsAt(std::uint32_t i) const { return cls[i]; }
-    Addr pcAt(std::uint32_t i) const { return pc[i]; }
-    Addr memAddrAt(std::uint32_t i) const { return mem_addr[i]; }
-    bool takenAt(std::uint32_t i) const { return taken[i]; }
-    std::uint8_t dep1At(std::uint32_t i) const { return dep1[i]; }
-    std::uint8_t dep2At(std::uint32_t i) const { return dep2[i]; }
-    float stallUsAt(std::uint32_t i) const { return stall_us[i]; }
-    bool eorAt(std::uint32_t i) const { return eor[i]; }
-};
-
-/** AoS reader: the pointer overload's MicroOp array, consumed by the
- *  same commit pass so the two paths cannot drift. */
-struct AosOpView
-{
-    const MicroOp *ops;
-
-    OpClass clsAt(std::uint32_t i) const { return ops[i].cls; }
-    Addr pcAt(std::uint32_t i) const { return ops[i].pc; }
-    Addr memAddrAt(std::uint32_t i) const { return ops[i].mem_addr; }
-    bool takenAt(std::uint32_t i) const { return ops[i].taken; }
-    std::uint8_t dep1At(std::uint32_t i) const { return ops[i].dep1; }
-    std::uint8_t dep2At(std::uint32_t i) const { return ops[i].dep2; }
-    float stallUsAt(std::uint32_t i) const { return ops[i].stall_us; }
-    bool eorAt(std::uint32_t i) const
-    {
-        return ops[i].end_of_request;
-    }
-};
-
-/** Precompute pass: branch-light, auto-vectorizable, and pure — it
- *  reads only block lanes, never lane/core state (DESIGN.md §4b.2). */
-template <class View>
-inline void
-precomputeBlock(const View &view, std::uint32_t count, BlockPrecomp &pre)
-{
-    for (std::uint32_t i = 0; i < count; ++i) {
-        const auto c = static_cast<std::uint8_t>(view.clsAt(i));
-        pre.code[i] = kCodeOf[c];
-        pre.lat[i] = kLatOf[c];
-        pre.has_dep[i] = (view.dep1At(i) | view.dep2At(i)) != 0;
-    }
-    if (count > 0)
-        pre.new_line[0] = true;
-    for (std::uint32_t i = 1; i < count; ++i)
-        pre.new_line[i] = (view.pcAt(i) >> 6) != (view.pcAt(i - 1) >> 6);
-}
-
-} // namespace
+// Split-phase dispatch codes, precompute hints, and the SoA/AoS lane
+// views moved to cpu/block_precomp.hh so the lane-vectorized variant,
+// its differential tests, and the benchmark share one definition.
 
 BlockOutcome
 CoreEngine::stepOpLoop(Lane &lane, const MicroOp *ops,

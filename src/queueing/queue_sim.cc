@@ -18,6 +18,8 @@ ServerSchedule::ServerSchedule(std::uint32_t servers,
     : servers_(servers), use_scan_(servers <= scan_threshold)
 {
     DPX_CHECK_GE(servers, 1u) << " — need at least one server";
+    ring_.resize(servers); // stretch records + fast-forward slots
+    seen_stamp_.assign(servers, 0);
     if (use_scan_) {
         free_at_.assign(servers, 0.0);
         return;
@@ -26,6 +28,85 @@ ServerSchedule::ServerSchedule(std::uint32_t servers,
     for (std::uint32_t i = 0; i < servers; ++i)
         heap_.push_back(pack(0.0, i));
     heap_.push_back(~Key{0}); // sentinel right-sibling for the leaves
+}
+
+void
+ServerSchedule::enterIdleFastForward()
+{
+    // Tie-pathology fallback for activateRecordedRing: snapshot the
+    // live mode's (free_at, index) pairs and sort them into
+    // std::min_element order.  Too expensive for the common entry
+    // path (most drained stretches are 1-2 arrivals — see the class
+    // comment), but always correct.
+    if (use_scan_) {
+        for (std::uint32_t i = 0; i < servers_; ++i)
+            ring_[i] = {free_at_[i], i};
+    } else {
+        for (std::uint32_t i = 0; i < servers_; ++i) {
+            ring_[i] = {unpackTime(heap_[i]),
+                        static_cast<std::uint32_t>(heap_[i])};
+        }
+    }
+    std::sort(ring_.begin(), ring_.end(),
+              [](const FreeSlot &a, const FreeSlot &b) {
+                  return a.free_at != b.free_at ? a.free_at < b.free_at
+                                                : a.index < b.index;
+              });
+    head_ = 0;
+    ff_active_ = true;
+}
+
+void
+ServerSchedule::activateRecordedRing()
+{
+    // k consecutive drained seats were recorded in seating order,
+    // which is the ascending (free_at, index) order the ring needs —
+    // unless exact ties made the legacy policy reseat some server
+    // twice (leaving another server's slot stale) or record equal
+    // keys out of index order.  Validate both properties in O(k) and
+    // take the sort fallback when the record is not a strictly
+    // ascending permutation.
+    ++stamp_gen_;
+    bool valid = true;
+    for (std::uint32_t i = 0; i < servers_ && valid; ++i) {
+        const FreeSlot &slot = ring_[i];
+        if (seen_stamp_[slot.index] == stamp_gen_)
+            valid = false; // duplicate seat: some server is stale
+        seen_stamp_[slot.index] = stamp_gen_;
+        if (i > 0) {
+            const FreeSlot &prev = ring_[i - 1];
+            if (prev.free_at > slot.free_at ||
+                (prev.free_at == slot.free_at &&
+                 prev.index > slot.index))
+                valid = false;
+        }
+    }
+    stretch_ = 0;
+    if (valid) {
+        head_ = 0;
+        ff_active_ = true;
+    } else {
+        enterIdleFastForward();
+    }
+}
+
+void
+ServerSchedule::exitIdleFastForward()
+{
+    ff_active_ = false;
+    // Scan mode stayed in sync assignment-by-assignment (assignIdle
+    // writes free_at_ too); it picks up exactly where the legacy
+    // array would be.  Heap mode repacks the ring in logical order:
+    // sorted ascending by key is a valid binary min-heap, and heap
+    // outcomes depend only on the key multiset, so the rebuilt heap
+    // assigns identically to the never-fast-forwarded one.  The
+    // sentinel past the last element is never touched in fast mode.
+    if (use_scan_)
+        return;
+    for (std::uint32_t i = 0; i < servers_; ++i) {
+        const FreeSlot &slot = ring_[(head_ + i) % ring_.size()];
+        heap_[i] = pack(slot.free_at, slot.index);
+    }
 }
 
 namespace
@@ -105,7 +186,10 @@ struct MultiServer
     ServerSchedule schedule;
     double busy_time = 0.0;
 
-    explicit MultiServer(std::uint32_t k) : schedule(k) {}
+    MultiServer(std::uint32_t k, bool idle_ff) : schedule(k)
+    {
+        schedule.setIdleFastForwardEnabled(idle_ff);
+    }
 
     RequestOutcome
     step(SimState &st)
@@ -137,7 +221,8 @@ struct StreamCore
     bool use_lindley;
 
     StreamCore(const QueueSimConfig &config, std::uint64_t seed)
-        : multi(config.servers), use_lindley(config.servers == 1)
+        : multi(config.servers, config.idle_fast_forward),
+          use_lindley(config.servers == 1)
     {
         Rng root(seed);
         st.arrival_rng = root.fork(1);
@@ -164,6 +249,12 @@ struct StreamCore
     busy() const
     {
         return use_lindley ? single.busy_time : multi.busy_time;
+    }
+
+    std::uint64_t
+    idleFastForwards() const
+    {
+        return use_lindley ? 0 : multi.schedule.idleFastForwards();
     }
 
     /** Work runs until the later of last arrival and last departure;
@@ -249,6 +340,7 @@ runSingleStream(const QueueSimConfig &config)
                              static_cast<double>(config.servers))
             : 0.0;
     result.replicas = 1;
+    result.idle_fast_forwards = core.idleFastForwards();
     return result;
 }
 
@@ -386,6 +478,7 @@ runReplicated(const QueueSimConfig &config, std::uint32_t replicas)
         busy += reps[r]->core.busy();
         horizon += reps[r]->core.horizon();
         result.completed += reps[r]->completed;
+        result.idle_fast_forwards += reps[r]->core.idleFastForwards();
     }
     result.sojourn = TailSummary::fromSketch(std::move(sojourn));
     result.wait = TailSummary::fromSketch(std::move(wait));

@@ -14,6 +14,7 @@
 #ifndef DPX_SIM_DISTRIBUTIONS_HH
 #define DPX_SIM_DISTRIBUTIONS_HH
 
+#include <algorithm>
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
@@ -310,10 +311,23 @@ FastSampler::sampleN(Rng &rng, double *out, std::size_t n) const
         for (std::size_t i = 0; i < n; ++i)
             out[i] = a_;
         break;
-      case Kind::Exponential:
-        for (std::size_t i = 0; i < n; ++i)
-            out[i] = -a_ * std::log1p(-rng.uniform());
+      case Kind::Exponential: {
+        // Bulk-draw the raw words (fillBlock emits exactly the
+        // sequence m next() calls would) and map them in a separate
+        // loop; uniform() is toUniform(next()), so the values are
+        // bit-identical to the per-element form and the generator
+        // state stays in registers across each chunk.
+        std::uint64_t raws[256];
+        for (std::size_t off = 0; off < n;) {
+            const std::size_t m = std::min(n - off, std::size_t(256));
+            rng.fillBlock(raws, m);
+            for (std::size_t i = 0; i < m; ++i)
+                out[off + i] =
+                    -a_ * std::log1p(-Rng::toUniform(raws[i]));
+            off += m;
+        }
         break;
+      }
       case Kind::Uniform:
         for (std::size_t i = 0; i < n; ++i)
             out[i] = a_ + (b_ - a_) * rng.uniform();

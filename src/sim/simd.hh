@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Portable fixed-width SIMD lane vectors.
+ *
+ * The step-side precompute phase (DESIGN.md §4d) and the uniform->lane
+ * maps are data-parallel by construction: pure integer/IEEE arithmetic
+ * over contiguous lane arrays, no serial state.  This header gives them
+ * explicit lane vectors built on the GCC/Clang vector extensions
+ * (`__attribute__((vector_size)))`) so the vector shape is guaranteed
+ * rather than left to the autovectorizer.  Nothing here is
+ * target-specific: the compiler lowers the fixed widths to whatever the
+ * build target has (SSE2 pairs, AVX2, NEON) or to scalar code.
+ *
+ * Contract (enforced by lint rule DPX009): raw vector types, builtins
+ * and intrinsic headers appear ONLY in this file.  Call sites use the
+ * typedefs and helpers below, so the forced-scalar switch stays
+ * meaningful — `setSimdEnabled(false)` (the established fast/slow-path
+ * idiom, DESIGN.md §4b) forces every SIMD consumer onto its scalar
+ * fallback at runtime, and building with `-DDPX_SIMD=OFF` pins
+ * `simdEnabled()` to false at compile time so a whole CI leg runs the
+ * scalar paths.
+ *
+ * Bit-identity rules the helpers rely on:
+ *  - all integer lane ops are exact, trivially identical to scalar;
+ *  - u64 -> f64 conversion of values < 2^53 is exact, and a multiply
+ *    by a power of two is exact, so the vector uniform map
+ *    `(raw >> 11) * 0x1.0p-53` produces the same bits as
+ *    `Rng::toUniform` lane by lane.
+ *
+ * Masked-tail handling: there is none by design.  Vector loops cover
+ *   full lane groups only and leave the remainder (< one vector) to the
+ *   caller's scalar tail, so no load or store ever touches bytes past
+ *   `count` — lane arrays handed to these helpers are often interior
+ *   windows (`lanes + offset`) of a 256-slot block, and an overreaching
+ *   masked load would trip ASan on the sanitizer wall.
+ */
+
+#ifndef DPX_SIM_SIMD_HH
+#define DPX_SIM_SIMD_HH
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+
+namespace duplexity
+{
+namespace simd
+{
+
+/** 16 unsigned byte lanes (one SSE register). */
+typedef std::uint8_t U8x16 __attribute__((vector_size(16)));
+/** 2 u64 lanes.  The layer stays at 128 bits throughout: that is the
+ *  baseline vector ABI on x86-64 (no -Wpsabi ABI change, no ISA flags
+ *  needed) and wider types would be split into 128-bit ops anyway on
+ *  the default target. */
+typedef std::uint64_t U64x2 __attribute__((vector_size(16)));
+/** 2 double lanes. */
+typedef double F64x2 __attribute__((vector_size(16)));
+
+#ifdef DPX_NO_SIMD
+inline constexpr bool kSimdCompiled = false;
+#else
+inline constexpr bool kSimdCompiled = true;
+#endif
+
+namespace detail
+{
+/// Runtime switch; relaxed loads are fine — tests flip it only while
+/// single-threaded, and sweep workers inherit the pre-spawn value.
+inline std::atomic<bool> g_simd_enabled{true};
+}  // namespace detail
+
+/** True when the lane-vectorized fast paths should run. */
+inline bool
+simdEnabled()
+{
+    return kSimdCompiled &&
+           detail::g_simd_enabled.load(std::memory_order_relaxed);
+}
+
+/** Force (or re-allow) the scalar fallbacks; returns the old setting. */
+inline bool
+setSimdEnabled(bool enabled)
+{
+    return detail::g_simd_enabled.exchange(enabled,
+                                           std::memory_order_relaxed);
+}
+
+/// Unaligned loads/stores: lane arrays are not vector-aligned in
+/// general (interior block windows), so go through memcpy, which the
+/// compiler folds to single unaligned vector moves.
+
+inline U8x16
+loadU8x16(const std::uint8_t *p)
+{
+    U8x16 v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+inline void
+storeU8x16(std::uint8_t *p, U8x16 v)
+{
+    std::memcpy(p, &v, sizeof(v));
+}
+
+inline U64x2
+loadU64x2(const std::uint64_t *p)
+{
+    U64x2 v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+inline void
+storeF64x2(double *p, F64x2 v)
+{
+    std::memcpy(p, &v, sizeof(v));
+}
+
+/** Splat a byte across 16 lanes. */
+inline U8x16
+splat8(std::uint8_t x)
+{
+    return U8x16{x, x, x, x, x, x, x, x, x, x, x, x, x, x, x, x};
+}
+
+/// Comparison masks as unsigned lanes (0xff.. where true, 0 where
+/// false) so they compose with & | over unsigned data without
+/// signedness casts at call sites.
+
+inline U8x16
+gtMask(U8x16 a, U8x16 b)
+{
+    return (U8x16)(a > b);
+}
+
+inline U8x16
+eqMask(U8x16 a, U8x16 b)
+{
+    return (U8x16)(a == b);
+}
+
+inline U8x16
+neZeroMask(U8x16 a)
+{
+    return (U8x16)(a != splat8(0));
+}
+
+/**
+ * Map 2 raw xoshiro words to uniform doubles in [0,1) — the vector
+ * form of Rng::toUniform, bit-identical lane by lane (see file
+ * comment for the exactness argument).
+ */
+inline F64x2
+toUniform2(U64x2 raw)
+{
+    const F64x2 scale = {0x1.0p-53, 0x1.0p-53};
+    return __builtin_convertvector(raw >> 11, F64x2) * scale;
+}
+
+/**
+ * Bulk uniform map: out[i] = Rng::toUniform(raw[i]) for i < n, with a
+ * 2-lane vector body and a scalar tail.  Callers gate on simdEnabled()
+ * themselves and run their own scalar loop when it is off, keeping the
+ * fast/slow split visible at the call site.
+ */
+inline void
+toUniformBlock(const std::uint64_t *raw, double *out, std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2)
+        storeF64x2(out + i, toUniform2(loadU64x2(raw + i)));
+    for (; i < n; ++i)
+        out[i] = static_cast<double>(raw[i] >> 11) * 0x1.0p-53;
+}
+
+}  // namespace simd
+}  // namespace duplexity
+
+#endif  // DPX_SIM_SIMD_HH

@@ -5,6 +5,7 @@
 
 #include "sim/check.hh"
 #include "sim/logging.hh"
+#include "sim/simd.hh"
 
 namespace duplexity
 {
@@ -29,6 +30,23 @@ SyntheticStream::SyntheticStream(const WorkloadParams &params, Rng rng)
 
     pc_ = params.code_base;
     stream_addr_ = params.data_base;
+}
+
+void
+SyntheticStream::refillRaw()
+{
+    rng_.fillBlock(raw_, kRawBlock);
+    // Precompute the whole uniform lane in one pass: uni_[i] must be
+    // bit-identical to Rng::toUniform(raw_[i]) (draw-order contract,
+    // DESIGN.md §4b.1) — the vector map is exact (sim/simd.hh), and
+    // the forced-scalar loop applies the same arithmetic.
+    if (simd::simdEnabled()) {
+        simd::toUniformBlock(raw_, uni_, kRawBlock);
+    } else {
+        for (std::size_t i = 0; i < kRawBlock; ++i)
+            uni_[i] = Rng::toUniform(raw_[i]);
+    }
+    raw_pos_ = 0;
 }
 
 Addr
@@ -213,14 +231,23 @@ SyntheticStream::fillOpsInto(OpBlock &block, std::size_t n)
     std::size_t rpos = raw_pos_;
 
     // Exactly drawRaw()/drawUniform()/... with the cursor in a local.
+    // uni() reads the uniform lane refillRaw() precomputed (vector
+    // map) instead of re-mapping the raw word per draw; the two
+    // cursors stay fused, so the consumed raw sequence is unchanged.
     auto raw = [&]() -> std::uint64_t {
         if (rpos == kRawBlock) {
-            rng_.fillBlock(raw_, kRawBlock);
+            refillRaw();
             rpos = 0;
         }
         return raw_[rpos++];
     };
-    auto uni = [&]() -> double { return Rng::toUniform(raw()); };
+    auto uni = [&]() -> double {
+        if (rpos == kRawBlock) {
+            refillRaw();
+            rpos = 0;
+        }
+        return uni_[rpos++];
+    };
     auto below = [&](std::uint64_t m) -> std::uint64_t {
         return Rng::toBelow(raw(), m);
     };

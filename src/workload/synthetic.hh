@@ -144,20 +144,36 @@ class SyntheticStream
     Addr advancePc();
     std::uint8_t sampleDep();
 
+    /**
+     * Refill the raw buffer and precompute the uniform lane: uni_[i]
+     * is exactly Rng::toUniform(raw_[i]) (vector map behind
+     * simd::simdEnabled(), scalar loop otherwise — same bits either
+     * way), so uniform consumers read a lane instead of re-mapping
+     * per draw.  Defined in the .cc to keep sim/simd.hh out of this
+     * header's include set.
+     */
+    void refillRaw();
+
     /** One raw draw — buffer in SoA mode, rng_ directly otherwise. */
     std::uint64_t
     drawRaw()
     {
         if (!soa_)
             return rng_.next();
-        if (raw_pos_ == kRawBlock) {
-            rng_.fillBlock(raw_, kRawBlock);
-            raw_pos_ = 0;
-        }
+        if (raw_pos_ == kRawBlock)
+            refillRaw();
         return raw_[raw_pos_++];
     }
 
-    double drawUniform() { return Rng::toUniform(drawRaw()); }
+    double
+    drawUniform()
+    {
+        if (!soa_)
+            return Rng::toUniform(rng_.next());
+        if (raw_pos_ == kRawBlock)
+            refillRaw();
+        return uni_[raw_pos_++];
+    }
     bool drawChance(double p) { return drawUniform() < p; }
 
     std::uint64_t
@@ -172,6 +188,8 @@ class SyntheticStream
     Addr pc_;
     Addr stream_addr_;
     std::uint64_t raw_[kRawBlock];
+    /** uni_[i] == Rng::toUniform(raw_[i]), filled by refillRaw(). */
+    double uni_[kRawBlock];
     std::size_t raw_pos_ = kRawBlock;  // == kRawBlock: buffer empty
     bool soa_ = true;
 };

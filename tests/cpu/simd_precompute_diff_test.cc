@@ -1,0 +1,304 @@
+/**
+ * @file
+ * SIMD-vs-forced-scalar differential wall for the lane-vectorized
+ * fast paths (cpu/block_precomp.hh and the uniform lane behind
+ * SyntheticStream / FastSampler block draws).
+ *
+ * Every comparison replays identical inputs through the vector body
+ * and the scalar reference and asserts bitwise equality — the SIMD
+ * contract (DESIGN.md) is "faster, never different". Runs under both
+ * CI configurations: the default build exercises the vector bodies,
+ * the -DDPX_SIMD=OFF leg pins the forced-scalar dispatch. Part of the
+ * golden label.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpu/block_precomp.hh"
+#include "sim/distributions.hh"
+#include "sim/rng.hh"
+#include "sim/simd.hh"
+#include "workload/catalog.hh"
+#include "workload/microservice.hh"
+#include "workload/op_block.hh"
+#include "workload/synthetic.hh"
+
+using namespace duplexity;
+
+namespace
+{
+
+/** Restore the runtime SIMD switch no matter how the test exits. */
+class SimdFlagGuard
+{
+  public:
+    explicit SimdFlagGuard(bool enable)
+        : prev_(simd::setSimdEnabled(enable))
+    {
+    }
+    ~SimdFlagGuard() { simd::setSimdEnabled(prev_); }
+    SimdFlagGuard(const SimdFlagGuard &) = delete;
+    SimdFlagGuard &operator=(const SimdFlagGuard &) = delete;
+
+  private:
+    bool prev_;
+};
+
+/** Every catalog source as a factory (same wall as op_block_diff). */
+struct SourceCase
+{
+    std::string name;
+    std::unique_ptr<InstrSource> (*make)(std::uint64_t seed);
+};
+
+template <MicroserviceKind kind>
+std::unique_ptr<InstrSource>
+makeMicro(std::uint64_t seed)
+{
+    return std::make_unique<MicroserviceSource>(makeMicroservice(kind),
+                                                Rng(seed).fork(1));
+}
+
+template <BatchKind kind>
+std::unique_ptr<InstrSource>
+makeBatchSrc(std::uint64_t seed)
+{
+    return std::make_unique<BatchSource>(makeBatch(kind, 3),
+                                         Rng(seed).fork(1));
+}
+
+template <SpecProfile profile>
+std::unique_ptr<InstrSource>
+makeSpecSrc(std::uint64_t seed)
+{
+    return std::make_unique<BatchSource>(makeSpecBatch(profile, 5),
+                                         Rng(seed).fork(1));
+}
+
+std::unique_ptr<InstrSource>
+makeFlann(std::uint64_t seed)
+{
+    return std::make_unique<BatchSource>(makeFlannXY(10.0, 1.0, 0),
+                                         Rng(seed).fork(1));
+}
+
+std::vector<SourceCase>
+allCases()
+{
+    return {
+        {"FlannHA", makeMicro<MicroserviceKind::FlannHA>},
+        {"FlannLL", makeMicro<MicroserviceKind::FlannLL>},
+        {"Rsc", makeMicro<MicroserviceKind::Rsc>},
+        {"McRouter", makeMicro<MicroserviceKind::McRouter>},
+        {"WordStem", makeMicro<MicroserviceKind::WordStem>},
+        {"PageRank", makeBatchSrc<BatchKind::PageRank>},
+        {"Sssp", makeBatchSrc<BatchKind::Sssp>},
+        {"SpecCpu", makeSpecSrc<SpecProfile::Cpu>},
+        {"SpecMem", makeSpecSrc<SpecProfile::Mem>},
+        {"SpecMix", makeSpecSrc<SpecProfile::Mix>},
+        {"Flann-10-1", makeFlann},
+    };
+}
+
+constexpr std::uint64_t kSeeds[] = {1, 42, 0xdeadbeef};
+
+SoaLaneView
+viewOf(const OpBlock &block, std::uint32_t offset = 0)
+{
+    return SoaLaneView{
+        block.cls() + offset,     block.pc() + offset,
+        block.memAddr() + offset, block.taken() + offset,
+        block.dep1() + offset,    block.dep2() + offset,
+        block.stallUs() + offset, block.endOfRequest() + offset,
+    };
+}
+
+void
+expectPrecompEq(const BlockPrecomp &vec, const BlockPrecomp &ref,
+                std::uint32_t count, const std::string &what)
+{
+    for (std::uint32_t i = 0; i < count; ++i) {
+        ASSERT_EQ(vec.code[i], ref.code[i]) << what << " lane " << i;
+        ASSERT_EQ(vec.lat[i], ref.lat[i]) << what << " lane " << i;
+        ASSERT_EQ(vec.new_line[i], ref.new_line[i])
+            << what << " lane " << i;
+        ASSERT_EQ(vec.has_dep[i], ref.has_dep[i])
+            << what << " lane " << i;
+    }
+}
+
+} // namespace
+
+/** Vector precompute == scalar precompute, field-by-field, over every
+ *  catalog workload, several seeds, and block sizes of 1, non-pow2, a
+ *  prime near capacity, and a full block. */
+TEST(SimdPrecomputeDiff, MatchesScalarAcrossCatalog)
+{
+    const std::uint32_t sizes[] = {1, 7, 251, kOpBlockCapacity};
+    for (const SourceCase &c : allCases()) {
+        for (std::uint64_t seed : kSeeds) {
+            auto source = c.make(seed);
+            for (std::uint32_t bs : sizes) {
+                OpBlock block;
+                source->fillBlock(block, bs);
+                ASSERT_EQ(block.size(), bs);
+                BlockPrecomp vec, ref;
+                precomputeBlockSimd(viewOf(block), bs, vec);
+                precomputeBlockScalar(viewOf(block), bs, ref);
+                expectPrecompEq(vec, ref, bs,
+                                c.name + "/seed" +
+                                    std::to_string(seed) + "/bs" +
+                                    std::to_string(bs));
+            }
+        }
+    }
+}
+
+/** Windowed views into a block's interior (how splitPhaseBlock resumes
+ *  mid-block): every offset/count mix that produces odd heads and
+ *  scalar tails, including single-lane and whole-remainder windows.
+ *  The vector body must not read or write outside the window. */
+TEST(SimdPrecomputeDiff, MatchesScalarOnOffsetWindows)
+{
+    auto source = makeMicro<MicroserviceKind::FlannLL>(99);
+    OpBlock block;
+    source->fillBlock(block, kOpBlockCapacity);
+    struct Window
+    {
+        std::uint32_t offset;
+        std::uint32_t count;
+    };
+    const Window windows[] = {
+        {0, 0},   {0, 1},    {1, 1},    {1, 15},  {1, 16},
+        {3, 7},   {5, 2},    {16, 17},  {31, 33}, {100, 156},
+        {255, 1}, {240, 16}, {129, 127},
+    };
+    for (const Window &w : windows) {
+        BlockPrecomp vec, ref;
+        precomputeBlockSimd(viewOf(block, w.offset), w.count, vec);
+        precomputeBlockScalar(viewOf(block, w.offset), w.count, ref);
+        expectPrecompEq(vec, ref, w.count,
+                        "window+" + std::to_string(w.offset) + "x" +
+                            std::to_string(w.count));
+    }
+}
+
+/** The SoA dispatch honors the runtime switch: forced-scalar output
+ *  equals the default dispatch bit-for-bit, setSimdEnabled returns
+ *  the previous value, and the guard restores it. */
+TEST(SimdPrecomputeDiff, RuntimeSwitchForcesScalar)
+{
+    ASSERT_EQ(simd::simdEnabled(), simd::kSimdCompiled);
+    auto source = makeBatchSrc<BatchKind::PageRank>(7);
+    OpBlock block;
+    source->fillBlock(block, kOpBlockCapacity);
+    BlockPrecomp enabled, forced;
+    precomputeBlock(viewOf(block), kOpBlockCapacity, enabled);
+    {
+        SimdFlagGuard guard(false);
+        ASSERT_FALSE(simd::simdEnabled());
+        // Nested toggling must report the value it replaced.
+        ASSERT_FALSE(simd::setSimdEnabled(false));
+        precomputeBlock(viewOf(block), kOpBlockCapacity, forced);
+    }
+    ASSERT_EQ(simd::simdEnabled(), simd::kSimdCompiled);
+    expectPrecompEq(enabled, forced, kOpBlockCapacity, "switch");
+}
+
+/** The vector uniform map is the scalar Rng::toUniform, lane for
+ *  lane, including the extreme raw draws and odd counts. */
+TEST(SimdPrecomputeDiff, ToUniformBlockMatchesScalarMap)
+{
+    std::vector<std::uint64_t> raws = {
+        0,
+        1,
+        (std::uint64_t(1) << 11) - 1, // below the mantissa shift
+        std::uint64_t(1) << 11,
+        ~std::uint64_t(0),
+        ~std::uint64_t(0) - 1,
+        0x8000000000000000ull,
+        0x0123456789abcdefull,
+    };
+    Rng rng(123);
+    for (int i = 0; i < 2000; ++i)
+        raws.push_back(rng.next());
+    // Odd counts force the scalar tail; 2-lane groups the vector body.
+    const std::size_t counts[] = {1, 2, 3, 17, raws.size()};
+    for (std::size_t n : counts) {
+        std::vector<double> out(n, -1.0);
+        simd::toUniformBlock(raws.data(), out.data(), n);
+        for (std::size_t i = 0; i < n; ++i) {
+            ASSERT_EQ(out[i], Rng::toUniform(raws[i])) << "raw " << i;
+            ASSERT_GE(out[i], 0.0);
+            ASSERT_LT(out[i], 1.0);
+        }
+    }
+}
+
+/** SyntheticStream's precomputed uniform lane: simd-on, forced-scalar,
+ *  and the legacy per-draw path all emit the identical op stream. */
+TEST(SimdPrecomputeDiff, SyntheticStreamUniformLaneBitIdentical)
+{
+    WorkloadParams params; // defaults exercise every op class
+    for (std::uint64_t seed : kSeeds) {
+        SyntheticStream vec(params, Rng(seed).fork(2));
+        SyntheticStream scalar(params, Rng(seed).fork(2));
+        SyntheticStream legacy(params, Rng(seed).fork(2));
+        legacy.setSoaDrawEnabled(false);
+        const std::size_t sizes[] = {1, 3, 97, kOpBlockCapacity};
+        for (int round = 0; round < 200; ++round) {
+            const std::size_t bs = sizes[round % 4];
+            OpBlock a, b;
+            vec.fillOpsInto(a, bs);
+            {
+                SimdFlagGuard guard(false);
+                scalar.fillOpsInto(b, bs);
+            }
+            ASSERT_EQ(a.size(), bs);
+            ASSERT_EQ(b.size(), bs);
+            for (std::size_t i = 0; i < bs; ++i) {
+                const MicroOp va = a.get(i);
+                const MicroOp vb = b.get(i);
+                const MicroOp vl = legacy.next();
+                ASSERT_EQ(static_cast<int>(va.cls),
+                          static_cast<int>(vb.cls));
+                ASSERT_EQ(va.pc, vb.pc);
+                ASSERT_EQ(va.mem_addr, vb.mem_addr);
+                ASSERT_EQ(va.taken, vb.taken);
+                ASSERT_EQ(va.dep1, vb.dep1);
+                ASSERT_EQ(va.dep2, vb.dep2);
+                ASSERT_EQ(va.stall_us, vb.stall_us);
+                ASSERT_EQ(va.end_of_request, vl.end_of_request);
+                ASSERT_EQ(va.pc, vl.pc);
+                ASSERT_EQ(va.mem_addr, vl.mem_addr);
+            }
+        }
+    }
+}
+
+/** Exponential sampleN (bulk raw draws) == the per-sample fast path,
+ *  across sizes that cross the 256-draw internal block. */
+TEST(SimdPrecomputeDiff, ExponentialSampleNMatchesPerSample)
+{
+    DistributionPtr dist = makeExponential(1e-6);
+    const std::size_t counts[] = {1, 5, 255, 256, 257, 1000};
+    for (std::uint64_t seed : kSeeds) {
+        for (std::size_t n : counts) {
+            FastSampler bulk_sampler(dist);
+            FastSampler per_sampler(dist);
+            Rng bulk_rng(seed);
+            Rng per_rng(seed);
+            std::vector<double> bulk(n, -1.0);
+            bulk_sampler.sampleN(bulk_rng, bulk.data(), n);
+            for (std::size_t i = 0; i < n; ++i)
+                ASSERT_EQ(bulk[i], per_sampler.sample(per_rng))
+                    << "seed " << seed << " n " << n << " i " << i;
+        }
+    }
+}

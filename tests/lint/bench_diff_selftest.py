@@ -4,9 +4,12 @@
 Advisory cases must exit 0; what varies is which ::warning:: lines
 appear. A regressed metric must produce exactly the perf-regression
 warning, a rebased baseline leaf must produce exactly the
-stale-baseline warning, a clean pair must stay silent (including the
-fast_path counter subtree, which swings wildly between fixtures and
-must be ignored), and unreadable input must warn rather than crash.
+stale-baseline warning, a clean pair must stay warning-free — the
+fast_path counter subtree swings wildly between fixtures and must
+never gate, but its deltas are printed as informational lines, and
+a counter collapsing from positive to zero must warn (that shape is
+a disabled fast path, not noise) — and unreadable input must warn
+rather than crash.
 With --fail-on-stale, baseline drift upgrades to ::error:: and exit 1
 while a clean pair still exits 0 — the one gating mode CI uses.
 The fixtures live under tests/lint/fixtures/bench/.
@@ -24,24 +27,29 @@ FIXTURES = os.path.join(HERE, "fixtures", "bench")
 REGRESSED = "regressed"
 STALE = "predates the parent-commit baseline rebase"
 UNREADABLE = "could not read inputs"
+FF_ZERO = "no longer activates"
 
 # (fresh fixture, extra flags, expected exit code,
 #  substrings the output must contain, substrings it must not)
 CASES = [
-    ("fresh_ok.json", [], 0, ["no regressions"],
-     ["::warning::", "fast_path"]),
+    ("fresh_ok.json", [], 0,
+     ["no regressions", "fast_path.split_phase_ops", "info"],
+     ["::warning::"]),
     ("fresh_regressed.json", [], 0,
      ["::warning::perf-smoke", REGRESSED, "process_op.ns_per_op"],
-     [STALE]),
+     [STALE, FF_ZERO]),
     ("fresh_stale.json", [], 0,
      ["::warning::perf-smoke", STALE, "baseline_ns_per_op"],
-     [REGRESSED]),
+     [REGRESSED, FF_ZERO]),
     ("missing.json", [], 0, [UNREADABLE], [REGRESSED, STALE]),
     ("fresh_stale.json", ["--fail-on-stale"], 1,
      ["::error::perf-smoke", STALE, "regenerate BENCH_hotpath.json"],
      [REGRESSED, "::warning::"]),
     ("fresh_ok.json", ["--fail-on-stale"], 0, ["no regressions"],
      ["::warning::", "::error::"]),
+    ("fresh_ff_zero.json", [], 0,
+     ["::warning::perf-smoke", FF_ZERO, "fast_path.split_phase_ops"],
+     [REGRESSED, STALE]),
 ]
 
 

@@ -1,0 +1,20 @@
+// Fixture: DPX009 must flag raw vector extensions outside the
+// src/sim/simd.hh wrapper — the typedef, the convertvector builtin,
+// and the intrinsic include are each a violation; the simd:: helper
+// call below them is fine.
+
+#include <immintrin.h>
+
+typedef unsigned char BadV16 __attribute__((vector_size(16)));
+
+unsigned char
+fixtureSimdLaneSum(const unsigned char *p)
+{
+    BadV16 v;
+    __builtin_memcpy(&v, p, sizeof(v));
+    const BadV16 w = __builtin_convertvector(v, BadV16);
+    unsigned char acc = 0;
+    for (int i = 0; i < 16; ++i)
+        acc = static_cast<unsigned char>(acc + w[i]);
+    return acc;
+}

@@ -1,0 +1,15 @@
+// Fixture: the sanctioned wrapper path — raw vector extensions are
+// exempt from DPX009 here (this file IS the wrapper), so the linter
+// must stay silent.
+#ifndef DPX_SIM_SIMD_HH
+#define DPX_SIM_SIMD_HH
+
+typedef unsigned char FixtureU8x16 __attribute__((vector_size(16)));
+
+inline FixtureU8x16
+fixtureSplat(unsigned char x)
+{
+    return FixtureU8x16{x, x, x, x, x, x, x, x, x, x, x, x, x, x, x, x};
+}
+
+#endif // DPX_SIM_SIMD_HH

@@ -9,6 +9,14 @@ lower is better; counts/threads/flags: informational only), and
 prints a GitHub Actions ::warning:: line for every metric that
 regressed by more than the threshold (default 15 %).
 
+Fast-path activation counters (the fast_path subtree) are excluded
+from regression gating — they are deterministic proof that the fast
+paths ran, not timings — but they are printed as informational lines
+so a fast path that silently stops firing is visible in the CI log.
+A counter that was positive in the committed JSON and is zero in the
+fresh run gets its own ::warning::: that shape means a fast path was
+disabled or broken, not that the machine was noisy.
+
 Also cross-checks the baseline_* leaves: the benchmark binary compiles
 its parent-commit baselines in, so when the committed JSON's baseline
 leaves differ from the fresh run's, the committed file predates the
@@ -87,6 +95,29 @@ def direction(key):
     return 0
 
 
+def fast_path_report(committed, fresh):
+    """Informational lines for fast-path activation counters, plus a
+    warning for each counter that dropped from positive to zero (a
+    silently-disabled fast path, not host noise)."""
+    lines = []
+    warnings = []
+    fmt = lambda v: "absent" if v is None else f"{v:.4g}"
+    for key in sorted(set(committed) | set(fresh)):
+        if "fast_path" not in key.lower():
+            continue
+        old = committed.get(key)
+        new = fresh.get(key)
+        lines.append(f"{key:55s} {fmt(old):>12s} -> {fmt(new):>12s}  info")
+        if old is not None and old > 0 and new == 0:
+            warnings.append(
+                f"::warning::perf-smoke: fast-path counter {key} "
+                f"dropped from {old:.4g} to 0 — the fast path no "
+                f"longer activates; check for a disabled flag or a "
+                f"broken dispatch, this is deterministic and not "
+                f"runner noise")
+    return lines, warnings
+
+
 def baseline_drift(committed, fresh):
     """Baseline leaves whose committed value differs from the fresh
     binary's compiled-in one (or exists on only one side)."""
@@ -146,6 +177,12 @@ def main():
             status = "REGRESSED"
             regressions.append((key, old, new, delta_pct))
         print(f"{key:55s} {old:12.4f} -> {new:12.4f}  {status}")
+
+    fp_lines, fp_warnings = fast_path_report(committed, fresh)
+    for line in fp_lines:
+        print(line)
+    for warning in fp_warnings:
+        print(warning)
 
     for key, old, new, delta_pct in regressions:
         print(f"::warning::perf-smoke: {key} regressed "

@@ -54,6 +54,14 @@ DPX008  hot-loop-indirect-call
         like predictor updates — waive the line with
         ``// dpx-lint: allow(DPX008)`` and say why.  Unbalanced
         begin/end markers are themselves violations.
+DPX009  raw-simd-outside-wrapper
+        Raw vector extensions (__attribute__((vector_size)),
+        __builtin_shuffle/convertvector/ia32 intrinsics) or intrinsic
+        headers (<immintrin.h>, <arm_neon.h>) outside src/sim/simd.hh
+        bypass the one place the forced-scalar switch
+        (simd::setSimdEnabled) and the -DDPX_SIMD=OFF build control.
+        All SIMD goes through the wrapper so every vector fast path
+        keeps a provably-identical scalar fallback.
 
 Escape hatches
 --------------
@@ -357,6 +365,17 @@ RULES = [
         "removed; hoist to the precompute phase or waive with a "
         "reason",
         check_hot_loop_calls),
+    Rule(
+        "DPX009", "raw-simd-outside-wrapper",
+        "vector extensions/intrinsics outside src/sim/simd.hh bypass "
+        "setSimdEnabled's forced-scalar switch and the -DDPX_SIMD=OFF "
+        "build; use the simd:: typedefs and helpers",
+        line_regex_checker(
+            r"#\s*include\s*<[a-z0-9_]*intrin\.h>|"
+            r"#\s*include\s*<arm_(neon|sve)\.h>|"
+            r"\b__builtin_(shuffle|shufflevector|convertvector)\b|"
+            r"\b__builtin_ia32_\w+|\bvector_size\s*\("),
+        exempt=("src/sim/simd.hh",)),
 ]
 
 
