@@ -116,6 +116,9 @@ struct FastSlowNs
 {
     double fast = 0.0;
     double slow = 0.0;
+    /** Fast-path activation count in the fast iteration (filter
+     *  hits); zero in the forced-slow reference by construction. */
+    std::uint64_t activations = 0;
 };
 
 /**
@@ -165,6 +168,7 @@ benchCacheAccess()
         double ns = 1e9 * secondsSince(t0) / static_cast<double>(n);
         if (fast) {
             out.fast = ns;
+            out.activations = cache.fastHits();
             lat_fast = lat;
             stats_fast = cache.stats();
         } else {
@@ -210,6 +214,7 @@ benchTlbLookup()
         double ns = 1e9 * secondsSince(t0) / static_cast<double>(n);
         if (fast) {
             out.fast = ns;
+            out.activations = tlb.fastHits();
             lat_fast = lat;
         } else {
             out.slow = ns;
@@ -229,6 +234,10 @@ struct BlockStepNs
     double block = 0.0;
     /** Ops that went through the split-phase precompute pass. */
     std::uint64_t split_phase_ops = 0;
+    /** Ops stepped straight off the SoA lane view. */
+    std::uint64_t soa_block_ops = 0;
+    /** Raw-draw buffer refills in the blocked rig's source. */
+    std::uint64_t soa_draw_refills = 0;
 };
 
 /**
@@ -318,6 +327,8 @@ benchBlockStep()
     DPX_CHECK_EQ(a_ops, b.lane.stats().ops);
     DPX_CHECK_EQ(a_mispredicts, b.lane.stats().mispredicts);
     out.split_phase_ops = b.engine.splitPhaseOps();
+    out.soa_block_ops = b.engine.soaBlockOps();
+    out.soa_draw_refills = b.source.soaDrawRefills();
     return out;
 }
 
@@ -1134,17 +1145,33 @@ main()
          << "  \"fast_path\": {\n"
          << "    \"note\": \"activation counters, not timings — "
             "bench_diff.py ignores this subtree\",\n"
+         // dpx-fast-path: Cache::setFastPathEnabled, DyadMemorySystem::setFastPathsEnabled
+         << "    \"cache_fast_hits\": " << cache_ns.activations
+         << ",\n"
+         // dpx-fast-path: Tlb::setFastPathEnabled
+         << "    \"tlb_fast_hits\": " << tlb_ns.activations << ",\n"
+         // dpx-fast-path: CoreEngine::setSplitPhaseEnabled
          << "    \"split_phase_ops\": " << block_ns.split_phase_ops
          << ",\n"
+         // dpx-fast-path: CoreEngine::setSoaPipelineEnabled, InstrSource::setSoaPipelineEnabled
+         << "    \"soa_block_ops\": " << block_ns.soa_block_ops
+         << ",\n"
+         // dpx-fast-path: SyntheticStream::setSoaDrawEnabled
+         << "    \"soa_draw_refills\": " << block_ns.soa_draw_refills
+         << ",\n"
+         // dpx-fast-path: HsmtUnit::setFastForwardEnabled, ScenarioConfig::hsmt_fast_forward
          << "    \"fast_forwarded_polls\": " << hsmt_ns.ff_polls
          << ",\n"
          << "    \"fast_forwarded_cycles\": " << hsmt_ns.ff_cycles
          << ",\n"
+         // dpx-fast-path: setMemoWideningEnabled
          << "    \"calibration_probes\": " << memo.probes << ",\n"
          << "    \"calibration_wide_hits\": " << memo.wide_hits
          << ",\n"
+         // dpx-fast-path: ServerSchedule::setIdleFastForwardEnabled, QueueSimConfig::idle_fast_forward
          << "    \"queue_idle_fast_forwards\": "
          << idle_ff.fast_forwards << ",\n"
+         // dpx-fast-path: simd::setSimdEnabled
          << "    \"simd_compiled\": " << (simd::kSimdCompiled ? 1 : 0)
          << "\n  }\n"
          << "}\n";

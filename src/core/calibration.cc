@@ -17,6 +17,12 @@
 // memo lookup/insert only, never a measurement; every memoized value
 // is fixed-seed and first-toucher independent (see measureComputeIpc).
 
+// dpx-lint: allow-file(DPX105): the mutable globals here are exactly
+// the DPX003-waived memo caches plus their probe/widening telemetry
+// counters. Memo content is fixed-seed deterministic regardless of
+// fill order, and the atomics only feed bench reporting — no
+// simulated outcome reads them.
+
 namespace duplexity
 {
 
@@ -295,8 +301,8 @@ memoizedProbe(const ProbeKey &key,
     // entry lookup/insert only, never a measurement; entries are
     // keyed by hash but matched by full word-sequence equality, so a
     // hash collision chains a second entry instead of aliasing.
-    // dpx-lint: allow(DPX003) — memo guard for fixed-seed,
-    // self-contained probes; never simulation concurrency.
+    // Memo guard for fixed-seed, self-contained probes — covered by
+    // the file-wide DPX003 waiver above.
     static std::mutex mutex;
     static std::map<std::uint64_t,
                     std::vector<std::unique_ptr<ProbeEntry>>>
@@ -373,8 +379,8 @@ measureComputeIpc(const WorkloadParams &params, IssueMode mode)
     // also publishes `ipc` to them). Entries are keyed by hash but
     // matched by full field equality, so a truncated-double hash
     // collision chains a second entry instead of aliasing.
-    // dpx-lint: allow(DPX003) — memo guard for a fixed-seed,
-    // self-contained measurement; never simulation concurrency.
+    // Memo guard for a fixed-seed, self-contained measurement —
+    // covered by the file-wide DPX003 waiver above.
     static std::mutex mutex;
     static std::map<std::uint64_t,
                     std::vector<std::unique_ptr<CalibEntry>>>
@@ -416,7 +422,7 @@ calibratedMicroservice(MicroserviceKind kind)
         std::once_flag once;
         MicroserviceSpec spec;
     };
-    // dpx-lint: allow(DPX003) — memo guard (see measureComputeIpc).
+    // Memo guard (see measureComputeIpc); file-wide DPX003 waiver.
     static std::mutex mutex;
     static std::map<MicroserviceKind, std::unique_ptr<SpecEntry>> memo;
 

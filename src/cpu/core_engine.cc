@@ -467,6 +467,7 @@ CoreEngine::processBlock(Lane &lane, const OpBlock &block,
                             window_lo, window_hi);
     }
 
+    soa_block_ops_ += count;
     const SoaLaneView view{
         block.cls() + offset,          block.pc() + offset,
         block.memAddr() + offset,      block.taken() + offset,

@@ -256,6 +256,12 @@ class CoreEngine
      *  counter; bench telemetry, not simulated state). */
     std::uint64_t splitPhaseOps() const { return split_phase_ops_; }
 
+    /** Ops that entered processBlock through the direct SoA lane
+     *  view — zero when setSoaPipelineEnabled(false) forces the
+     *  materializing legacy path (fast-path counter; bench
+     *  telemetry, not simulated state). */
+    std::uint64_t soaBlockOps() const { return soa_block_ops_; }
+
     /** Build a LaneConfig pre-wired to this core's shared calendars. */
     LaneConfig defaultLaneConfig(IssueMode mode);
 
@@ -309,6 +315,8 @@ class CoreEngine
     bool split_phase_enabled_ = true;
     /** Ops retired through the split-phase commit pass. */
     std::uint64_t split_phase_ops_ = 0;
+    /** Ops stepped straight off the SoA lane view. */
+    std::uint64_t soa_block_ops_ = 0;
 };
 
 } // namespace duplexity

@@ -78,6 +78,7 @@ class InstrSource
             const std::size_t before = block.size();
             fillBlockImpl(block, count);
             DPX_DCHECK_EQ(block.size(), before + count);
+            ++soa_fills_;
         }
         if (delivered_requests_) {
             const bool *eor = block.endOfRequest();
@@ -106,6 +107,11 @@ class InstrSource
     }
 
     bool soaPipelineEnabled() const { return soa_enabled_; }
+
+    /** Bulk fills served by fillBlockImpl — zero when
+     *  setSoaPipelineEnabled(false) forces the per-op draw loop
+     *  (fast-path counter; bench telemetry, not simulated state). */
+    std::uint64_t soaFills() const { return soa_fills_; }
 
   protected:
     /** Legacy per-op draw; must consume RNG exactly like the fill. */
@@ -150,12 +156,15 @@ class InstrSource
         cursor_ = 0;
         fillBlockImpl(block_, kOpBlockCapacity);
         DPX_DCHECK_EQ(block_.size(), kOpBlockCapacity);
+        ++soa_fills_;
     }
 
     OpBlock block_;
     std::size_t cursor_ = 0;
     std::uint64_t *delivered_requests_ = nullptr;
     bool soa_enabled_ = true;
+    /** Bulk fills served (bench telemetry; see soaFills()). */
+    std::uint64_t soa_fills_ = 0;
 };
 
 } // namespace duplexity

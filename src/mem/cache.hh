@@ -132,6 +132,7 @@ class Cache
         latency = hit_latency_ + contentionDelay(now);
         entry.lru = ++lru_clock_;
         ++stats_.hits;
+        ++fast_hits_;
         if (is_write) {
             if (write_through_)
                 ++stats_.writebacks; // write propagated downstream
@@ -159,6 +160,12 @@ class Cache
     }
 
     bool fastPathEnabled() const { return fast_path_enabled_; }
+
+    /** Hits served by the MRU filter — deliberately NOT part of
+     *  CacheStats: the differential tests require fast and forced-
+     *  slow stats to be identical, and this counter measures the
+     *  fast path itself (bench telemetry, not simulated state). */
+    std::uint64_t fastHits() const { return fast_hits_; }
 
     /** State-preserving lookup. */
     bool probe(Addr addr) const;
@@ -262,6 +269,8 @@ class Cache
     std::vector<Line> lines_; // num_sets * assoc
     std::array<MruEntry, kMruSlots> mru_{};
     std::uint64_t lru_clock_ = 0;
+    /** MRU-filter hit count (bench telemetry; see fastHits()). */
+    std::uint64_t fast_hits_ = 0;
     /** Port bandwidth tracker; tolerates out-of-order access times
      *  from the one-pass pipeline model. */
     SlotCalendar ports_;

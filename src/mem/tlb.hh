@@ -72,6 +72,7 @@ class Tlb
                 if (entry.valid && entry.vpn == vpn) {
                     entry.lru = ++lru_clock_;
                     ++stats_.hits;
+                    ++fast_hits_;
                     return 0;
                 }
             }
@@ -94,6 +95,11 @@ class Tlb
     }
 
     bool fastPathEnabled() const { return fast_path_enabled_; }
+
+    /** Lookups served by the VPN filter — NOT part of TlbStats (the
+     *  differential tests require fast/slow stats identity; this
+     *  counter measures the fast path itself). */
+    std::uint64_t fastHits() const { return fast_hits_; }
 
     bool probe(Addr addr) const;
 
@@ -163,6 +169,8 @@ class Tlb
     std::vector<Entry> entries_;
     std::vector<Entry> l2_entries_;
     std::uint64_t lru_clock_ = 0;
+    /** VPN-filter hit count (bench telemetry; see fastHits()). */
+    std::uint64_t fast_hits_ = 0;
 };
 
 } // namespace duplexity

@@ -40,6 +40,9 @@ namespace detail
 inline FailureHook &
 failureHookSlot()
 {
+    // dpx-lint: allow(DPX105): test-only failure hook — installed by
+    // death-message tests before triggering a check, never consulted
+    // by simulation code on a passing run.
     static FailureHook hook = nullptr;
     return hook;
 }

@@ -67,6 +67,9 @@ namespace detail
 {
 /// Runtime switch; relaxed loads are fine — tests flip it only while
 /// single-threaded, and sweep workers inherit the pre-spawn value.
+// dpx-lint: allow(DPX105): process-wide forced-slow switch, flipped
+// only outside timed/simulated regions; both settings produce
+// bit-identical results by the fast-path contract.
 inline std::atomic<bool> g_simd_enabled{true};
 }  // namespace detail
 

@@ -122,6 +122,10 @@ class BatchSource : public InstrSource
 
     const BatchSpec &spec() const { return spec_; }
 
+    /** Raw-draw buffer refills in the underlying stream (bench
+     *  telemetry; see SyntheticStream::soaRefills()). */
+    std::uint64_t soaDrawRefills() const { return stream_.soaRefills(); }
+
   protected:
     MicroOp drawNext() override;
     void fillBlockImpl(OpBlock &block, std::size_t count) override;

@@ -47,6 +47,7 @@ SyntheticStream::refillRaw()
             uni_[i] = Rng::toUniform(raw_[i]);
     }
     raw_pos_ = 0;
+    ++soa_refills_;
 }
 
 Addr

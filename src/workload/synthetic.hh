@@ -128,6 +128,11 @@ class SyntheticStream
 
     bool soaDrawEnabled() const { return soa_; }
 
+    /** Raw-buffer refills served by refillRaw — zero when
+     *  setSoaDrawEnabled(false) forces per-call draws (fast-path
+     *  counter; bench telemetry, not simulated state). */
+    std::uint64_t soaRefills() const { return soa_refills_; }
+
   private:
     struct BranchSite
     {
@@ -192,6 +197,8 @@ class SyntheticStream
     double uni_[kRawBlock];
     std::size_t raw_pos_ = kRawBlock;  // == kRawBlock: buffer empty
     bool soa_ = true;
+    /** Refill count (bench telemetry; see soaRefills()). */
+    std::uint64_t soa_refills_ = 0;
 };
 
 } // namespace duplexity

@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Self-test for tools/dpx_analyze.py against the fixture trees.
+
+Layout mirrors tests/lint/selftest.py (the dpx_lint fixture wall):
+
+ - fixtures/analyze/       one positive + one negative fixture per
+   semantic rule DPX101-105, run file-by-file with --rule so each
+   fixture proves exactly its own rule (positives) or full-rule
+   silence (negatives);
+ - fixtures/contract_ok/   a miniature repo whose one fast-path
+   switch is golden-covered, bench-surfaced, and registered — the
+   auditor must pass and --check-registry must accept the committed
+   registry;
+ - fixtures/contract_bad/  the same switch with no golden coverage
+   and no bench counter — the auditor must fail with DPX110;
+ - fixtures/contract_waiver_bad/  a DPX110 waiver without a reason —
+   a config error (exit 2), never a silent pass.
+
+Everything runs on the builtin backend with the cache disabled so the
+self-test is hermetic on hosts without clang.
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(os.path.dirname(HERE))
+ANALYZE = os.path.join(REPO, "tools", "dpx_analyze.py")
+FIXTURES = os.path.join(HERE, "fixtures")
+ANALYZE_FIX = os.path.join(FIXTURES, "analyze")
+
+RULE_IDS = ["DPX%03d" % n for n in range(101, 106)] + ["DPX110"]
+
+# (fixture path under analyze/, --rule selection, expected exit
+#  status, rule that must fire or None)
+RULE_CASES = [
+    ("src/sim/dpx101_unordered.cc", "DPX101", 1, "DPX101"),
+    ("src/queueing/dpx102_float.cc", "DPX102", 1, "DPX102"),
+    ("src/cpu/dpx103_virtual.cc", "DPX103", 1, "DPX103"),
+    ("src/cpu/dpx104_banned.cc", "DPX104", 1, "DPX104"),
+    ("src/sim/dpx105_global.cc", "DPX105", 1, "DPX105"),
+    # Negatives run the full rule set and must stay silent.
+    ("src/sim/dpx101_ok.cc", None, 0, None),
+    ("src/queueing/dpx102_ok.cc", None, 0, None),
+    ("src/cpu/dpx103_ok.cc", None, 0, None),
+    ("src/cpu/dpx104_ok.cc", None, 0, None),
+    ("src/sim/dpx105_ok.cc", None, 0, None),
+]
+
+
+def run_analyze(root, extra):
+    cmd = [sys.executable, ANALYZE, "--root", root,
+           "--backend", "builtin", "--no-cache"] + extra
+    return subprocess.run(cmd, capture_output=True, text=True)
+
+
+def main():
+    failures = []
+    for fixture, rule, want_rc, want_rule in RULE_CASES:
+        extra = ["--rule", rule] if rule else []
+        proc = run_analyze(ANALYZE_FIX,
+                           extra + [os.path.join(ANALYZE_FIX, fixture)])
+        output = proc.stdout + proc.stderr
+        fired = {r for r in RULE_IDS
+                 if re.search(r"\[%s\]" % r, proc.stdout)}
+        if proc.returncode != want_rc:
+            failures.append("%s: exit %d, expected %d\n%s"
+                            % (fixture, proc.returncode, want_rc,
+                               output))
+            continue
+        if want_rule is not None and fired != {want_rule}:
+            failures.append("%s: rules fired %s, expected exactly "
+                            "{%s}\n%s" % (fixture,
+                                          sorted(fired) or "{}",
+                                          want_rule, output))
+        if want_rc == 0 and output.strip():
+            failures.append("%s: expected silence, got:\n%s"
+                            % (fixture, output))
+
+    # Contract auditor: the covered tree passes, and its committed
+    # registry is accepted as fresh.
+    ok_root = os.path.join(FIXTURES, "contract_ok")
+    proc = run_analyze(ok_root, [])
+    if proc.returncode != 0:
+        failures.append("contract_ok: exit %d, expected 0\n%s"
+                        % (proc.returncode,
+                           proc.stdout + proc.stderr))
+    proc = run_analyze(ok_root, ["--check-registry"])
+    if proc.returncode != 0:
+        failures.append("contract_ok --check-registry: exit %d, "
+                        "expected 0\n%s" % (proc.returncode,
+                                            proc.stdout + proc.stderr))
+    # A registry path that does not exist must read as stale.
+    proc = run_analyze(ok_root, ["--check-registry", "--registry",
+                                 "tools/no_such_registry.json"])
+    if proc.returncode != 1 or "stale" not in proc.stdout:
+        failures.append("contract_ok --check-registry (missing file): "
+                        "exit %d, expected 1 with a stale finding\n%s"
+                        % (proc.returncode, proc.stdout + proc.stderr))
+
+    # The uncovered switch must fail on both contract legs.
+    proc = run_analyze(os.path.join(FIXTURES, "contract_bad"), [])
+    out = proc.stdout + proc.stderr
+    if proc.returncode != 1:
+        failures.append("contract_bad: exit %d, expected 1\n%s"
+                        % (proc.returncode, out))
+    elif "no GOLDEN differential test" not in out or \
+            "not surfaced in the hotpath_bench" not in out:
+        failures.append("contract_bad: missing expected DPX110 "
+                        "findings:\n%s" % out)
+
+    # A reasonless DPX110 waiver is a config error.
+    proc = run_analyze(os.path.join(FIXTURES, "contract_waiver_bad"),
+                       [])
+    if proc.returncode != 2 or "needs a reason" not in proc.stderr:
+        failures.append("contract_waiver_bad: exit %d, expected 2 "
+                        "with a needs-a-reason error\n%s"
+                        % (proc.returncode,
+                           proc.stdout + proc.stderr))
+
+    # The rule table must list every rule (docs stay in sync).
+    proc = subprocess.run([sys.executable, ANALYZE, "--list-rules"],
+                          capture_output=True, text=True)
+    for rule in RULE_IDS:
+        if rule not in proc.stdout:
+            failures.append("--list-rules omits %s" % rule)
+
+    # Unknown rule names are a usage error, not a silent no-op.
+    proc = run_analyze(ANALYZE_FIX, ["--rule", "DPX999"])
+    if proc.returncode != 2:
+        failures.append("--rule DPX999: exit %d, expected 2"
+                        % proc.returncode)
+
+    # The clang backend degrades loudly, not silently, when clang or
+    # the compile database is absent (the fixture tree has neither).
+    proc = run_analyze(ANALYZE_FIX, ["--backend", "clang"])
+    if proc.returncode != 2:
+        failures.append("--backend clang without a compile db: "
+                        "exit %d, expected 2" % proc.returncode)
+
+    if failures:
+        print("dpx-analyze selftest: %d failure(s)" % len(failures))
+        for failure in failures:
+            print("----\n" + failure)
+        return 1
+    print("dpx-analyze selftest: %d cases OK" % (len(RULE_CASES) + 8))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,43 @@
+// DPX103 negative: the static type is final, so the compiler can
+// devirtualize the call — no waiver needed; the std::function member
+// is only invoked outside the hot region.
+#include <functional>
+
+namespace duplexity
+{
+
+class Sampler
+{
+  public:
+    virtual ~Sampler() = default;
+    virtual double draw() = 0;
+};
+
+class FastSampler final : public Sampler
+{
+  public:
+    double draw() override { return 1.0; }
+};
+
+class Driver
+{
+  public:
+    double
+    drain(FastSampler &sampler, int n)
+    {
+        double sum = 0.0;
+        // dpx-hot-loop: begin
+        for (int i = 0; i < n; ++i) {
+            sum += sampler.draw();
+        }
+        // dpx-hot-loop: end
+        if (on_done_)
+            on_done_(sum);
+        return sum;
+    }
+
+  private:
+    std::function<void(double)> on_done_;
+};
+
+} // namespace duplexity

@@ -1,0 +1,25 @@
+// DPX103 positive: a virtual call through a non-final static type
+// inside a dpx-hot-loop region.
+namespace duplexity
+{
+
+class Sampler
+{
+  public:
+    virtual ~Sampler() = default;
+    virtual double draw() = 0;
+};
+
+double
+drainQueue(Sampler &sampler, int n)
+{
+    double sum = 0.0;
+    // dpx-hot-loop: begin
+    for (int i = 0; i < n; ++i) {
+        sum += sampler.draw();
+    }
+    // dpx-hot-loop: end
+    return sum;
+}
+
+} // namespace duplexity

@@ -1,0 +1,32 @@
+// DPX104 positive: a hot entry point reaches std::rand two calls
+// deep — neither the entry nor its direct callee mentions the banned
+// API, only whole-program reachability sees it.
+#include <cstdlib>
+
+namespace duplexity
+{
+
+double
+jitterSeed()
+{
+    return static_cast<double>(std::rand());
+}
+
+double
+helperDraw()
+{
+    return jitterSeed() * 0.5;
+}
+
+// dpx-analyze: hot-entry
+double
+stepOnce(int n)
+{
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) {
+        sum += helperDraw();
+    }
+    return sum;
+}
+
+} // namespace duplexity

@@ -1,0 +1,32 @@
+// DPX104 negative: the same banned helper exists, but no hot entry
+// point can reach it (the hot entry only calls the clean helper, and
+// the banned function itself is never annotated as hot).
+#include <cstdlib>
+
+namespace duplexity
+{
+
+double
+jitterSeed()
+{
+    return static_cast<double>(std::rand());
+}
+
+double
+cleanDraw()
+{
+    return 0.25;
+}
+
+// dpx-analyze: hot-entry
+double
+stepOnce(int n)
+{
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) {
+        sum += cleanDraw();
+    }
+    return sum;
+}
+
+} // namespace duplexity

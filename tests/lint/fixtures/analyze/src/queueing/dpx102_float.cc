@@ -1,0 +1,16 @@
+// DPX102 positive: single-precision accumulation in a loop in
+// queueing code, outside any blessed accumulator.
+namespace duplexity
+{
+
+float
+sumLatencies(const float *lat, int n)
+{
+    float total = 0.0f;
+    for (int i = 0; i < n; ++i) {
+        total += lat[i];
+    }
+    return total;
+}
+
+} // namespace duplexity

@@ -1,0 +1,24 @@
+// DPX102 negative: the loop accumulates in double (floats may feed
+// it), and a float accumulation outside any loop is fine too.
+namespace duplexity
+{
+
+double
+sumLatencies(const float *lat, int n)
+{
+    double total = 0.0;
+    for (int i = 0; i < n; ++i) {
+        total += lat[i];
+    }
+    return total;
+}
+
+float
+addOnce(float a, float b)
+{
+    float out = a;
+    out += b;
+    return out;
+}
+
+} // namespace duplexity

@@ -1,0 +1,28 @@
+// DPX101 negative: identical shape, but the alias resolves to an
+// ordered map, so iteration order is deterministic.
+#include <cstdint>
+#include <map>
+
+namespace duplexity
+{
+
+class TableHolder
+{
+  public:
+    using Table = std::map<std::uint64_t, double>;
+
+    double
+    sumAll() const
+    {
+        double sum = 0.0;
+        for (const auto &kv : table_) {
+            sum += kv.second;
+        }
+        return sum;
+    }
+
+  private:
+    Table table_;
+};
+
+} // namespace duplexity

@@ -1,0 +1,28 @@
+// DPX101 positive: range-for over an unordered container reached
+// through a member whose type is hidden behind a class-scope alias.
+#include <cstdint>
+#include <unordered_map>
+
+namespace duplexity
+{
+
+class TableHolder
+{
+  public:
+    using Table = std::unordered_map<std::uint64_t, double>;
+
+    double
+    sumAll() const
+    {
+        double sum = 0.0;
+        for (const auto &kv : table_) {
+            sum += kv.second;
+        }
+        return sum;
+    }
+
+  private:
+    Table table_;
+};
+
+} // namespace duplexity

@@ -1,0 +1,15 @@
+// DPX105 positive: a mutable namespace-scope global in sim code.
+#include <cstdint>
+
+namespace duplexity
+{
+
+std::uint64_t g_call_count = 0;
+
+std::uint64_t
+bump()
+{
+    return ++g_call_count;
+}
+
+} // namespace duplexity

@@ -1,0 +1,21 @@
+// DPX105 negative: const/constexpr globals are fine, and a mutable
+// one carrying a reasoned waiver stays silent.
+#include <cstdint>
+
+namespace duplexity
+{
+
+constexpr std::uint64_t k_table_size = 64;
+const double k_scale = 0.5;
+
+// dpx-lint: allow(DPX105): fixture — telemetry counter that no
+// simulated outcome ever reads.
+std::uint64_t g_waived_count = 0;
+
+std::uint64_t
+bump()
+{
+    return ++g_waived_count + k_table_size;
+}
+
+} // namespace duplexity

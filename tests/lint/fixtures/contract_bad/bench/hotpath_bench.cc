@@ -1,0 +1,11 @@
+// Fixture bench: no annotation and no counter for the turbo switch.
+#include <iostream>
+
+int
+main()
+{
+    std::cout << "{\n  \"fast_path\": {\n"
+              << "    \"unrelated_counter\": " << 1 << "\n"
+              << "  }\n}\n";
+    return 0;
+}

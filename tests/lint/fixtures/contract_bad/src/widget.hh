@@ -1,0 +1,32 @@
+// Contract-auditor fixture: a fast-path switch with NO golden
+// differential test and NO bench activation counter — must fail.
+#ifndef FIXTURE_WIDGET_BAD_HH
+#define FIXTURE_WIDGET_BAD_HH
+
+#include <cstdint>
+
+namespace duplexity
+{
+
+class Widget
+{
+  public:
+    void setTurboEnabled(bool on) { turbo_ = on; }
+    bool turboEnabled() const { return turbo_; }
+
+    std::uint64_t
+    step()
+    {
+        if (turbo_)
+            ++hits_;
+        return hits_;
+    }
+
+  private:
+    bool turbo_ = true;
+    std::uint64_t hits_ = 0;
+};
+
+} // namespace duplexity
+
+#endif // FIXTURE_WIDGET_BAD_HH

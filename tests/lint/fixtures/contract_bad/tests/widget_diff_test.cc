@@ -1,0 +1,15 @@
+// This "golden" test constructs the widget but never flips the
+// turbo switch, so the differential contract is not exercised.
+namespace duplexity
+{
+
+class Widget; // fixture: the auditor indexes, never compiles, this
+
+void
+diffWidget()
+{
+    Widget fast;
+    fast.step();
+}
+
+} // namespace duplexity

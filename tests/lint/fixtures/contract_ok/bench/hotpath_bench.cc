@@ -1,0 +1,14 @@
+// Fixture bench: emits the fast_path subtree with the annotated
+// activation counter for the turbo switch.
+#include <iostream>
+
+int
+main()
+{
+    unsigned long long hits = 0;
+    std::cout << "{\n  \"fast_path\": {\n"
+              // dpx-fast-path: Widget::setTurboEnabled
+              << "    \"widget_turbo_hits\": " << hits << "\n"
+              << "  }\n}\n";
+    return 0;
+}

@@ -1,0 +1,33 @@
+// Contract-auditor fixture: one fast-path switch that is golden-
+// covered AND surfaced in the bench fast_path subtree — must pass.
+#ifndef FIXTURE_WIDGET_HH
+#define FIXTURE_WIDGET_HH
+
+#include <cstdint>
+
+namespace duplexity
+{
+
+class Widget
+{
+  public:
+    void setTurboEnabled(bool on) { turbo_ = on; }
+    bool turboEnabled() const { return turbo_; }
+    std::uint64_t turboHits() const { return hits_; }
+
+    std::uint64_t
+    step()
+    {
+        if (turbo_)
+            ++hits_;
+        return hits_;
+    }
+
+  private:
+    bool turbo_ = true;
+    std::uint64_t hits_ = 0;
+};
+
+} // namespace duplexity
+
+#endif // FIXTURE_WIDGET_HH

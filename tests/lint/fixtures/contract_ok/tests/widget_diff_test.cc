@@ -1,0 +1,18 @@
+// Golden differential test exercising the turbo switch: the forced-
+// slow widget must observe the same step() values.
+namespace duplexity
+{
+
+class Widget; // fixture: the auditor indexes, never compiles, this
+
+void
+diffWidget()
+{
+    Widget fast;
+    Widget slow;
+    slow.setTurboEnabled(false);
+    fast.step();
+    slow.step();
+}
+
+} // namespace duplexity

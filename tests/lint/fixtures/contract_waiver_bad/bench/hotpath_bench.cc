@@ -1,0 +1,9 @@
+// Fixture bench: empty fast_path subtree.
+#include <iostream>
+
+int
+main()
+{
+    std::cout << "{\n  \"fast_path\": {\n  }\n}\n";
+    return 0;
+}

@@ -1,0 +1,21 @@
+// Contract-auditor fixture: the DPX110 waiver carries no reason —
+// that is a config error (exit 2), never a silent pass.
+#ifndef FIXTURE_WIDGET_WAIVER_HH
+#define FIXTURE_WIDGET_WAIVER_HH
+
+namespace duplexity
+{
+
+class Widget
+{
+  public:
+    // dpx-lint: allow(DPX110)
+    void setTurboEnabled(bool on) { turbo_ = on; }
+
+  private:
+    bool turbo_ = true;
+};
+
+} // namespace duplexity
+
+#endif // FIXTURE_WIDGET_WAIVER_HH

@@ -1,0 +1,19 @@
+// Fixture: a C++14 digit separator must not open a bogus char
+// literal in strip_code — the std::mutex below sits "between
+// apostrophes" and used to be invisible to every rule.
+#include <mutex>
+
+namespace duplexity
+{
+
+int
+separated()
+{
+    const long big = 2'000'000;  // first apostrophe pair
+    static std::mutex guard;     // DPX003 must still see this line
+    (void)guard;
+    const char apostrophe = '0'; // a real char literal still strips
+    return static_cast<int>(big) + apostrophe;
+}
+
+} // namespace duplexity

@@ -1,0 +1,14 @@
+// Fixture: a waiver that suppresses nothing. Clean under the default
+// run; --report-unused-waivers must flag both annotations.
+#include <cstdint>
+
+namespace duplexity
+{
+
+std::uint64_t
+addOne(std::uint64_t x)
+{
+    return x + 1; // dpx-lint: allow(DPX001)
+}
+
+} // namespace duplexity

@@ -33,7 +33,9 @@ CASES = [
     ("src/cpu/dpx008_hotloop.cc", 1, "DPX008"),
     ("src/cpu/dpx008_unbalanced.cc", 1, "DPX008"),
     ("src/cpu/dpx009_simd.cc", 1, "DPX009"),
+    ("src/sim/digit_separator.cc", 1, "DPX003"),
     ("src/sim/allowed_ok.cc", 0, None),
+    ("src/sim/unused_waiver.cc", 0, None),
     ("src/sim/clean.hh", 0, None),
     ("src/sim/simd.hh", 0, None),  # the wrapper itself is exempt
     ("src/sim/bad_allow_file.cc", 2, None),
@@ -81,12 +83,40 @@ def main():
         failures.append("--rule DPX999: exit %d, expected 2"
                         % proc.returncode)
 
+    # --report-unused-waivers: the dead allow() must become a finding,
+    # while a waiver that suppresses a real hit stays silent.
+    proc = subprocess.run([sys.executable, LINT, "--root", FIXTURES,
+                           "--report-unused-waivers",
+                           os.path.join(FIXTURES,
+                                        "src/sim/unused_waiver.cc")],
+                          capture_output=True, text=True)
+    if proc.returncode != 1 or "unused waiver" not in proc.stdout:
+        failures.append("--report-unused-waivers missed the dead "
+                        "allow():\n%s" % (proc.stdout + proc.stderr))
+    proc = subprocess.run([sys.executable, LINT, "--root", FIXTURES,
+                           "--report-unused-waivers",
+                           os.path.join(FIXTURES,
+                                        "src/sim/allowed_ok.cc")],
+                          capture_output=True, text=True)
+    if proc.returncode != 0:
+        failures.append("--report-unused-waivers flagged a live "
+                        "waiver:\n%s" % (proc.stdout + proc.stderr))
+    # The flag needs the full rule set: a --rule subset would make
+    # waivers for unselected rules look dead.
+    proc = subprocess.run([sys.executable, LINT, "--rule", "DPX001",
+                           "--report-unused-waivers",
+                           os.path.join(FIXTURES, CASES[0][0])],
+                          capture_output=True, text=True)
+    if proc.returncode != 2:
+        failures.append("--report-unused-waivers with --rule subset: "
+                        "exit %d, expected 2" % proc.returncode)
+
     if failures:
         print("dpx-lint selftest: %d failure(s)" % len(failures))
         for failure in failures:
             print("----\n" + failure)
         return 1
-    print("dpx-lint selftest: %d cases OK" % (len(CASES) + 2))
+    print("dpx-lint selftest: %d cases OK" % (len(CASES) + 5))
     return 0
 
 

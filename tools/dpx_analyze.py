@@ -1,0 +1,2235 @@
+#!/usr/bin/env python3
+"""dpx-analyze: semantic analyzer + fast-path contract auditor.
+
+dpx_lint.py (DPX001-009) matches tokens; it cannot see through
+``auto``, typedefs, member types, or call graphs, and the repo's
+fast-path contract — every runtime switch ships a GOLDEN differential
+test and a bench activation counter — was enforced only by reviewer
+convention.  This tool closes both gaps with a per-TU *semantic
+index*: type-resolved declarations, records with virtual/final method
+sets, range-for statements with the real range type, accumulation
+sites, and a cross-TU call graph.
+
+Backends
+--------
+Two interchangeable front ends produce the same index:
+
+* ``clang``: consumes ``compile_commands.json`` and per-TU clang AST
+  dumps (``clang++ -fsyntax-only -Xclang -ast-dump=json``).  Types
+  come from the real compiler, so resolution is exact.
+* ``builtin``: a reduced C++ front end written here — a brace/scope
+  scanner plus declaration and alias tables with iterative type
+  resolution.  No toolchain dependency; precision is pinned by the
+  fixture self-tests.
+
+``--backend auto`` (the default) picks clang when a working
+``clang++`` is on PATH and a compile database is available, and falls
+back to builtin per TU on any failure, so the analyzer runs anywhere
+the repo builds.  Either way the extracted index is cached in
+``.dpx-analyze-cache/`` keyed by content hash (file bytes + backend +
+analyzer version), so incremental runs only re-parse changed files.
+
+Rules
+-----
+DPX101  semantic-unordered-iteration
+        Range-fors (and .begin()/.end() walks) whose *resolved* range
+        type — through auto, typedefs, using aliases, members, and
+        function return types — is a std::unordered_* container.
+        Upgrades DPX004, which only sees literal spellings.
+DPX102  float-accumulation
+        ``+=``/``-=``/``*=``/``x = x + …`` in a loop onto an lvalue
+        whose resolved type is single-precision ``float``, in
+        stats/queueing code, outside the blessed accumulators.
+        Upgrades DPX005, which only sees the ``float`` keyword.
+DPX103  hot-loop-virtual-call
+        Calls inside ``// dpx-hot-loop:`` regions that dispatch
+        through a pointer/reference whose resolved static type leaves
+        the callee virtual (not ``final``, class not ``final``), or
+        through a std::function.  Upgrades DPX008's hard-coded
+        four-interface list with actual callee resolution:
+        devirtualized (``final``) calls no longer need waivers.
+DPX104  banned-api-reachability
+        Call-graph reachability of banned primitives (raw RNG, wall
+        clocks) from hot entry points (functions containing a
+        dpx-hot-loop region or marked ``// dpx-analyze: hot-entry``).
+        DPX001/002 waivers say "reporting only" — this rule catches a
+        hot path that reaches the waived site anyway.
+DPX105  mutable-global-in-sim
+        Mutable non-const globals (namespace scope or function-local
+        static) in src/: shared state that silently couples
+        deterministic runs.  Sanctioned instances (forced-slow switch
+        flags, memo caches behind the DPX003-waived locks) carry
+        reasoned waivers.
+DPX110  fast-path-contract
+        Discovers every ``set<Name>Enabled`` switch and fast-path
+        config flag declared in src/ and fails unless each one is
+        (a) exercised by a GOLDEN-labeled differential test (from
+        tests/CMakeLists.txt's dpx_add_test(... GOLDEN ...) source
+        lists) and (b) surfaced in bench/hotpath_bench.cc's
+        ``fast_path`` activation subtree via a ``// dpx-fast-path:``
+        annotation whose counter key exists in the committed
+        BENCH_hotpath.json — or carries a reasoned waiver.  The
+        discovered registry is emitted as tools/contract_registry.json
+        (``--write-registry``; ``--check-registry`` gates staleness).
+
+Waivers reuse the dpx-lint syntax: ``// dpx-lint: allow(DPX1NN)`` on
+or above the line, ``allow-file(DPX1NN): <reason>`` for a file.
+DPX110 waivers must carry a reason after the closing parenthesis.
+
+Exit status: 0 clean, 1 findings, 2 usage/config error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import re
+import shlex
+import shutil
+import subprocess
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from dpx_lint import (  # noqa: E402
+    SOURCE_EXTENSIONS, collect_allows, gather_files, strip_code)
+
+ANALYZE_VERSION = 1
+
+UNORDERED_RX = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\b")
+SET_ENABLED_RX = re.compile(r"^set[A-Z]\w*Enabled$")
+CONFIG_FLAG_RX = re.compile(
+    r"fast_forward|fast_path|event_driven|split_phase|soa|simd|idle_ff")
+HOT_BEGIN_RX = re.compile(r"//\s*dpx-hot-loop:\s*begin\b")
+HOT_END_RX = re.compile(r"//\s*dpx-hot-loop:\s*end\b")
+HOT_ENTRY_RX = re.compile(r"//\s*dpx-analyze:\s*hot-entry\b")
+FAST_PATH_NOTE_RX = re.compile(r"//\s*dpx-fast-path:\s*(.+?)\s*$")
+BENCH_KEY_RX = re.compile(r'\\"([a-z0-9_]+)\\"\s*:')
+
+# Banned primitives for DPX104 — the DPX001/002 token sets, each with
+# a short display name.
+BANNED_APIS = [
+    ("std::random_device", re.compile(r"\bstd\s*::\s*random_device\b")),
+    ("rand()", re.compile(r"\b(?:s?rand|[dlm]rand48|random)\s*\(")),
+    ("std::chrono clock", re.compile(
+        r"\bstd\s*::\s*chrono\s*::\s*(?:system_clock|steady_clock|"
+        r"high_resolution_clock)\b")),
+    ("gettimeofday()", re.compile(r"\bgettimeofday\s*\(")),
+    ("clock_gettime()", re.compile(r"\bclock_gettime\s*\(")),
+    ("std::time()", re.compile(r"\bstd\s*::\s*time\s*\(")),
+]
+
+# Accumulator types allowed to do float math internally (they own the
+# precision contract and are golden-tested).
+BLESSED_ACCUMULATORS = frozenset(
+    ("MeanAccumulator", "SampleStats", "QuantileSketch"))
+
+CPP_KEYWORDS = frozenset((
+    "alignas", "alignof", "auto", "bool", "break", "case", "catch",
+    "char", "class", "const", "constexpr", "continue", "decltype",
+    "default", "delete", "do", "double", "else", "enum", "explicit",
+    "extern", "false", "float", "for", "friend", "goto", "if",
+    "inline", "int", "long", "mutable", "namespace", "new",
+    "noexcept", "nullptr", "operator", "private", "protected",
+    "public", "register", "return", "short", "signed", "sizeof",
+    "static", "static_assert", "static_cast", "struct", "switch",
+    "template", "this", "throw", "true", "try", "typedef",
+    "typeid", "typename", "union", "unsigned", "using", "virtual",
+    "void", "volatile", "while", "co_await", "co_return", "co_yield",
+    "dynamic_cast", "reinterpret_cast", "const_cast", "final",
+    "override",
+))
+
+QUALIFIER_WORDS = frozenset((
+    "static", "inline", "constexpr", "const", "mutable",
+    "thread_local", "extern", "register", "volatile", "virtual",
+    "explicit", "friend", "typename", "struct", "class", "enum",
+))
+
+
+def norm_ws(s):
+    return re.sub(r"\s+", " ", s).strip()
+
+
+def split_toplevel(s, sep):
+    """Split on sep outside <>, (), [], {} nesting."""
+    out, depth, start = [], 0, 0
+    i, n = 0, len(s)
+    while i < n:
+        c = s[i]
+        if c in "<([{":
+            depth += 1
+        elif c in ">)]}":
+            # '->' and comparison '>' false positives: only track '>'
+            # as nesting when depth > 0 (a stray '>' at depth 0 is
+            # left alone).
+            if depth > 0:
+                depth -= 1
+        elif c == sep and depth == 0:
+            out.append(s[start:i])
+            start = i + 1
+        i += 1
+    out.append(s[start:])
+    return out
+
+
+def find_matching(code, i, open_ch, close_ch):
+    """Index of the brace matching code[i] (an open_ch), else -1."""
+    depth = 0
+    n = len(code)
+    while i < n:
+        c = code[i]
+        if c == open_ch:
+            depth += 1
+        elif c == close_ch:
+            depth -= 1
+            if depth == 0:
+                return i
+        i += 1
+    return -1
+
+
+def blank_preprocessor(code):
+    """Blank out preprocessor lines (including continuations) so
+    directives never look like statements."""
+    lines = code.split("\n")
+    i = 0
+    while i < len(lines):
+        if lines[i].lstrip().startswith("#"):
+            while True:
+                cont = lines[i].rstrip().endswith("\\")
+                lines[i] = ""
+                if not cont or i + 1 >= len(lines):
+                    break
+                i += 1
+        i += 1
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------
+# The semantic index (shared by both backends; JSON-serializable).
+# --------------------------------------------------------------------
+
+class TuIndex:
+    """Per-file semantic index."""
+
+    def __init__(self, relpath):
+        self.file = relpath
+        # alias name (or "Record::name") -> underlying type text
+        self.aliases = {}
+        # record name -> description dict
+        self.records = {}
+        # [line, name, type, storage] at namespace scope
+        self.globals = []
+        # [line, name, type, enclosing function qname]
+        self.local_statics = []
+        # list of function dicts (see parse_tu)
+        self.functions = []
+        # free-function name -> return type (prototypes + defs)
+        self.fn_returns = {}
+
+    def to_json(self):
+        return {
+            "version": ANALYZE_VERSION,
+            "file": self.file,
+            "aliases": self.aliases,
+            "records": self.records,
+            "globals": self.globals,
+            "local_statics": self.local_statics,
+            "functions": self.functions,
+            "fn_returns": self.fn_returns,
+        }
+
+    @classmethod
+    def from_json(cls, d):
+        tu = cls(d["file"])
+        tu.aliases = d["aliases"]
+        tu.records = d["records"]
+        tu.globals = d["globals"]
+        tu.local_statics = d["local_statics"]
+        tu.functions = d["functions"]
+        tu.fn_returns = d["fn_returns"]
+        return tu
+
+
+def new_record(name, line, kind, final=False, bases=None):
+    return {
+        "name": name,
+        "kind": kind,
+        "line": line,
+        "final": final,
+        "bases": bases or [],
+        "fields": {},          # name -> type
+        "field_lines": {},     # name -> decl line
+        "methods": {},         # name -> return type
+        "method_lines": {},    # name -> decl line
+        "virtual": [],         # virtual (incl. override) method names
+        "final_methods": [],   # methods marked final
+    }
+
+
+# --------------------------------------------------------------------
+# Builtin backend: reduced C++ front end.
+# --------------------------------------------------------------------
+
+DECL_TYPE_RX = re.compile(
+    r"^((?:(?:static|inline|constexpr|const|mutable|thread_local|"
+    r"extern|register|volatile|typename|struct|class)\s+)*)"
+    r"((?:::)?[A-Za-z_][\w:]*(?:\s*<.*>)?(?:\s+const)?"
+    r"(?:\s*[*&]+\s*(?:const\s*)?)*)\s+"
+    r"([A-Za-z_]\w*)\s*(.*)$", re.S)
+
+ACCESS_SPEC_RX = re.compile(r"^\s*(?:public|private|protected)\s*:")
+
+RECORD_HEAD_RX = re.compile(
+    r"\b(class|struct)\s+([A-Za-z_]\w*)\s*(final\b)?\s*(?::\s*(.*))?$",
+    re.S)
+
+NS_HEAD_RX = re.compile(r"\bnamespace\s*([A-Za-z_]\w*)?\s*$")
+
+CONTROL_HEAD_RX = re.compile(
+    r"\b(for|while|if|switch|catch|else|do|try)\b")
+
+_CHAIN_SEG = r"[A-Za-z_]\w*(?:\s*\(\s*\))?"
+MEMBER_CALL_RX = re.compile(
+    r"\b(" + _CHAIN_SEG + r"(?:\s*(?:->|\.)\s*" + _CHAIN_SEG +
+    r")*)\s*(->|\.)\s*([A-Za-z_]\w*)\s*\(")
+QUAL_CALL_RX = re.compile(
+    r"\b((?:[A-Za-z_]\w*::)+)([A-Za-z_]\w*)\s*\(")
+FREE_CALL_RX = re.compile(
+    r"(?<![\w.:>])([a-z_]\w*)\s*\(")
+COMPOUND_ASSIGN_RX = re.compile(
+    r"([A-Za-z_][\w.>\[\]-]*?)\s*([+\-*/]=)(?!=)")
+SELF_ASSIGN_RX = re.compile(
+    r"\b([A-Za-z_]\w*)\s*=\s*\1\s*[+\-*/]")
+RANGE_FOR_RX = re.compile(r"\bfor\s*\(")
+
+# `Type name{...}` heads: qualifiers + one type token + identifier,
+# no parens — the braces are an initializer, not a scope.
+BRACE_INIT_HEAD_RX = re.compile(
+    r"^(?:(?:static|inline|constexpr|const|mutable|thread_local|"
+    r"extern)\s+)*(?:::)?[A-Za-z_][\w:]*(?:\s*<[^(]*>)?"
+    r"(?:\s*[*&]+)?(?:\s+[A-Za-z_]\w*)+\s*$")
+NON_DECL_HEAD_WORDS = frozenset((
+    "namespace", "class", "struct", "enum", "union", "using",
+    "return", "typedef", "template", "else", "do", "try", "catch",
+    "case", "default", "public", "private", "protected", "new",
+    "throw", "delete", "operator", "goto", "friend",
+))
+
+
+def strip_template_prefix(s):
+    s = s.lstrip()
+    while s.startswith("template"):
+        lt = s.find("<")
+        if lt < 0:
+            break
+        gt = find_matching(s, lt, "<", ">")
+        if gt < 0:
+            break
+        s = s[gt + 1:].lstrip()
+    return s
+
+
+ATTRIBUTE_RX = re.compile(r"__attribute__\s*\(\([^;]*?\)\)")
+
+
+def parse_decl(stmt, paren_init=True):
+    """Parse one declaration statement.  Returns a list of
+    (name, type-with-qualifiers, initializer-or-None), or [] when the
+    statement is not a declaration.  paren_init accepts the direct
+    ctor form `Type name(args)` — only valid at function scope, where
+    that shape cannot be a prototype."""
+    s = norm_ws(ATTRIBUTE_RX.sub("", stmt))
+    s = ACCESS_SPEC_RX.sub("", s).strip()
+    s = strip_template_prefix(s)
+    if not paren_init and s and "(" in s.split("=")[0].split("{")[0]:
+        return []
+    if not s or "(" in s.split("=")[0].split("{")[0] and \
+            not re.match(r"^[\w\s:<>,*&]+\([^()]*\)$", s):
+        # Calls and control statements have '(' before any '='; the
+        # one declaration shape with parens we keep is the direct
+        # ctor call `Type name(args)`.
+        m = re.match(
+            r"^((?:[\w:]+\s+)*(?:::)?[A-Za-z_][\w:]*(?:\s*<.*?>)?"
+            r"(?:\s*[*&]+)?)\s+([A-Za-z_]\w*)\s*\(.*\)$", s)
+        if not m:
+            return []
+        tname = m.group(1).strip()
+        head = tname.split()[-1].split("<")[0].lstrip(":")
+        if head in CPP_KEYWORDS and head not in ("auto",):
+            return []
+        return [(m.group(2), tname, None)]
+    m = DECL_TYPE_RX.match(s)
+    if not m:
+        return []
+    quals, tname, name, rest = m.groups()
+    head = tname.split("<")[0].strip().split()[-1] \
+        if tname.split("<")[0].strip() else ""
+    head = head.lstrip(":").rstrip("*& ")
+    first = tname.split("<")[0].strip().split()[0].lstrip(":")
+    if first in CPP_KEYWORDS and first not in (
+            "auto", "bool", "char", "double", "float", "int", "long",
+            "short", "signed", "unsigned", "void"):
+        return []
+    if name in CPP_KEYWORDS:
+        return []
+    rest = rest.strip()
+    init = None
+    full_type = (quals + tname).strip()
+    if rest.startswith("="):
+        init = rest[1:].strip()
+    elif rest.startswith("{") or rest.startswith("("):
+        init = rest.strip("{}()").strip()
+    elif rest.startswith("["):
+        pass  # array declarator
+    elif rest.startswith(","):
+        # Multiple declarators sharing one base type.
+        out = [(name, full_type, None)]
+        for part in split_toplevel(rest[1:], ","):
+            pm = re.match(r"^\s*([A-Za-z_]\w*)\s*(=\s*(.*))?$", part)
+            if pm:
+                out.append((pm.group(1), full_type,
+                            (pm.group(3) or "").strip() or None))
+        return out
+    elif rest:
+        return []
+    return [(name, full_type, init)]
+
+
+def parse_signature(head, record, ns):
+    """Parse a function-definition head.  Returns a dict with name,
+    cls, ns, ret, params — or None when the head is not a function."""
+    h = norm_ws(head)
+    h = ACCESS_SPEC_RX.sub("", h).strip()
+    h = strip_template_prefix(h)
+    if not h:
+        return None
+    # Parameter list: first '(' at angle depth 0.
+    depth = 0
+    paren = -1
+    for i, c in enumerate(h):
+        if c == "<":
+            depth += 1
+        elif c == ">":
+            if depth > 0:
+                depth -= 1
+        elif c == "(" and depth == 0:
+            paren = i
+            break
+    if paren < 0:
+        return None
+    close = find_matching(h, paren, "(", ")")
+    if close < 0:
+        close = len(h) - 1
+    m = re.search(r"((?:[A-Za-z_]\w*\s*::\s*)*)(~?[A-Za-z_]\w*)\s*$",
+                  h[:paren])
+    if not m:
+        return None
+    qual, name = m.group(1), m.group(2)
+    if name in CPP_KEYWORDS and name not in ("operator",):
+        return None
+    ret = h[:m.start()].strip()
+    for word in ("virtual", "static", "inline", "constexpr",
+                 "explicit", "friend"):
+        ret = re.sub(r"\b%s\b" % word, "", ret).strip()
+    cls = None
+    if qual:
+        parts = [p for p in re.split(r"\s*::\s*", qual) if p]
+        if parts:
+            cls = parts[-1]
+    elif record:
+        cls = record
+    params = {}
+    for part in split_toplevel(h[paren + 1:close], ","):
+        part = split_toplevel(part, "=")[0].strip()
+        pm = re.match(r"^(.*?)([A-Za-z_]\w*)\s*(?:\[\s*\])?$", part,
+                      re.S)
+        if pm and pm.group(1).strip():
+            params[pm.group(2)] = norm_ws(pm.group(1))
+    suffix = h[close + 1:]
+    return {
+        "name": name, "cls": cls, "ns": ns, "ret": ret,
+        "params": params,
+        "virtual": bool(re.search(r"\bvirtual\b", h[:paren])
+                        or re.search(r"\boverride\b|\bfinal\b",
+                                     suffix)),
+        "final": bool(re.search(r"\bfinal\b", suffix)),
+        "pure": bool(re.search(r"=\s*0\s*$", suffix)),
+    }
+
+
+class _Frame:
+    __slots__ = ("kind", "name", "line", "fn", "loop_start")
+
+    def __init__(self, kind, name=None, line=0, fn=None):
+        self.kind = kind
+        self.name = name
+        self.line = line
+        self.fn = fn
+
+
+def parse_tu_builtin(relpath, text):
+    """The reduced front end: one pass over the stripped text with a
+    scope stack, then per-function body analysis."""
+    tu = TuIndex(relpath)
+    code = blank_preprocessor(strip_code(text))
+    n = len(code)
+    # Position -> line table.
+    line_at = []
+    ln = 1
+    for c in code:
+        line_at.append(ln)
+        if c == "\n":
+            ln += 1
+    line_at.append(ln)
+
+    stack = [_Frame("global")]
+    ns_stack = []
+    paren = 0
+    i = 0
+    stmt_start = 0
+
+    def stmt_line(start, end):
+        # The statement region starts right after the previous ';'/
+        # '{'/'}', which may be lines of blanks and stripped comments
+        # above the declaration itself — report the first token's line.
+        j = start
+        while j < end and code[j] in " \t\r\n":
+            j += 1
+        return line_at[j if j < end else start]
+
+    def cur_record():
+        for fr in reversed(stack):
+            if fr.kind == "record":
+                return fr.name
+            if fr.kind in ("function",):
+                return None
+        return None
+
+    def cur_fn():
+        for fr in reversed(stack):
+            if fr.fn is not None:
+                return fr.fn
+        return None
+
+    def process_statement(stmt, line):
+        frame = stack[-1]
+        s = norm_ws(ATTRIBUTE_RX.sub("", stmt))
+        s2 = ACCESS_SPEC_RX.sub("", s).strip()
+        if not s2 or frame.kind == "enum":
+            return
+        um = re.match(r"^using\s+([A-Za-z_]\w*)\s*=\s*(.+)$", s2)
+        tm = re.match(r"^typedef\s+(.+?)\s+([A-Za-z_]\w*)$", s2)
+        if um or tm:
+            name = um.group(1) if um else tm.group(2)
+            target = um.group(2) if um else tm.group(1)
+            rec = cur_record()
+            key = "%s::%s" % (rec, name) if rec and \
+                frame.kind == "record" else name
+            tu.aliases[key] = norm_ws(target)
+            return
+        if s2.startswith("using ") or s2.startswith("namespace "):
+            return
+        if frame.kind == "record":
+            rec = tu.records.get(frame.name)
+            sig = parse_signature(s2, frame.name, "::".join(ns_stack))
+            if sig and rec is not None and "(" in s2:
+                rec["methods"][sig["name"]] = sig["ret"]
+                rec["method_lines"].setdefault(sig["name"], line)
+                if sig["virtual"] or sig["pure"]:
+                    if sig["name"] not in rec["virtual"]:
+                        rec["virtual"].append(sig["name"])
+                if sig["final"]:
+                    rec["final_methods"].append(sig["name"])
+                return
+            for name, typ, init in parse_decl(s2, paren_init=False):
+                if rec is not None:
+                    rec["fields"][name] = typ
+                    rec["field_lines"].setdefault(name, line)
+            return
+        if frame.kind in ("global", "namespace"):
+            sig = parse_signature(s2, None, "::".join(ns_stack))
+            if sig and "(" in s2 and \
+                    not parse_decl(s2, paren_init=False):
+                if sig["cls"] is None:
+                    tu.fn_returns.setdefault(sig["name"], sig["ret"])
+                return
+            for name, typ, init in parse_decl(s2, paren_init=False):
+                tu.globals.append([line, name, typ,
+                                   "::".join(ns_stack)])
+            return
+        # Function / control / block scope: local declarations.
+        fn = cur_fn()
+        if fn is None:
+            return
+        rf = extract_range_for(s2)
+        if rf:
+            fn["rangefors"].append([line, rf[0], rf[1]])
+        for name, typ, init in parse_decl(s2):
+            fn["locals"].append([line, name, typ, init])
+            if re.match(r"^static\b", typ):
+                tu.local_statics.append(
+                    [line, name, typ, fn_qname(fn)])
+
+    def extract_range_for(s):
+        m = RANGE_FOR_RX.search(s)
+        if not m:
+            return None
+        close = find_matching(s, m.end() - 1, "(", ")")
+        if close < 0:
+            return None
+        inner = s[m.end():close]
+        if ";" in inner:
+            return None
+        parts = split_toplevel(inner, ":")
+        if len(parts) != 2:
+            return None
+        return norm_ws(parts[0]), norm_ws(parts[1])
+
+    while i < n:
+        c = code[i]
+        if c == "(":
+            paren += 1
+        elif c == ")":
+            if paren > 0:
+                paren -= 1
+        elif c == "{":
+            if paren > 0:
+                # Lambda body / brace-init inside an argument list:
+                # opaque for scoping (body lines are still scanned by
+                # the enclosing function's analyzers).
+                j = find_matching(code, i, "{", "}")
+                if j < 0:
+                    break
+                i = j
+            else:
+                head = code[stmt_start:i]
+                line = stmt_line(stmt_start, i)
+                frame = stack[-1]
+                h = norm_ws(ATTRIBUTE_RX.sub("", head))
+                h2 = ACCESS_SPEC_RX.sub("", h).strip()
+                hs = strip_template_prefix(h2)
+                if BRACE_INIT_HEAD_RX.match(hs) and \
+                        hs.split()[0] not in NON_DECL_HEAD_WORDS:
+                    # `Type name{init};` — the braces belong to the
+                    # declaration, not a scope.  Swallow them and let
+                    # the terminating ';' process the statement.
+                    j = find_matching(code, i, "{", "}")
+                    if j < 0:
+                        break
+                    i = j + 1
+                    continue
+                opaque = (not hs or hs.endswith("=")
+                          or hs.endswith(",") or hs.endswith("return")
+                          or re.search(r"\breturn\b[^;]*$", hs))
+                if opaque:
+                    j = find_matching(code, i, "{", "}")
+                    if j < 0:
+                        break
+                    i = j
+                    stmt_start = i + 1
+                    i += 1
+                    continue
+                nsm = NS_HEAD_RX.search(hs)
+                recm = RECORD_HEAD_RX.search(hs) \
+                    if "enum" not in hs.split() else None
+                if frame.kind in ("global", "namespace", "record") \
+                        and nsm:
+                    fr = _Frame("namespace", nsm.group(1) or "", line)
+                    ns_stack.append(nsm.group(1) or "<anon>")
+                    stack.append(fr)
+                elif frame.kind in ("global", "namespace", "record") \
+                        and recm:
+                    name = recm.group(2)
+                    bases = []
+                    if recm.group(4):
+                        for b in split_toplevel(recm.group(4), ","):
+                            b = re.sub(
+                                r"\b(public|private|protected|"
+                                r"virtual)\b", "", b).strip()
+                            if b:
+                                bases.append(b.split("<")[0].strip())
+                    tu.records.setdefault(name, new_record(
+                        name, line, recm.group(1),
+                        final=bool(recm.group(3)), bases=bases))
+                    stack.append(_Frame("record", name, line))
+                elif "enum" in hs.split():
+                    stack.append(_Frame("enum", None, line))
+                elif frame.kind in ("global", "namespace", "record"):
+                    sig = parse_signature(hs, cur_record(),
+                                          "::".join(ns_stack))
+                    if sig:
+                        fn = {
+                            "name": sig["name"], "cls": sig["cls"],
+                            "ns": sig["ns"], "ret": sig["ret"],
+                            "line0": line, "line1": line,
+                            "params": sig["params"], "locals": [],
+                            "rangefors": [], "loops": [],
+                        }
+                        tu.functions.append(fn)
+                        if sig["cls"] is None:
+                            tu.fn_returns.setdefault(sig["name"],
+                                                     sig["ret"])
+                        else:
+                            rec = tu.records.get(sig["cls"])
+                            if rec is not None:
+                                rec["methods"].setdefault(sig["name"],
+                                                          sig["ret"])
+                                rec["method_lines"].setdefault(
+                                    sig["name"], line)
+                                if sig["virtual"] and sig["name"] \
+                                        not in rec["virtual"]:
+                                    rec["virtual"].append(sig["name"])
+                        stack.append(_Frame("function", sig["name"],
+                                            line, fn))
+                    else:
+                        stack.append(_Frame("block", None, line))
+                else:
+                    # Inside a function: control flow or plain block.
+                    kind = "block"
+                    cm = CONTROL_HEAD_RX.search(hs)
+                    if cm and cm.group(1) in ("for", "while", "do"):
+                        kind = "loop"
+                    fr = _Frame(kind, None, line)
+                    fr.fn = None
+                    fn = cur_fn()
+                    rf = extract_range_for(hs)
+                    if fn is not None and rf:
+                        fn["rangefors"].append([line, rf[0], rf[1]])
+                    stack.append(fr)
+                    if kind == "loop" and fn is not None:
+                        fr.loop_start = line
+            stmt_start = i + 1
+        elif c == "}":
+            if paren == 0:
+                if len(stack) > 1:
+                    fr = stack.pop()
+                    endline = line_at[i]
+                    if fr.kind == "namespace":
+                        if ns_stack:
+                            ns_stack.pop()
+                    elif fr.kind == "function" and fr.fn is not None:
+                        fr.fn["line1"] = endline
+                    elif fr.kind == "loop":
+                        fn = cur_fn()
+                        if fn is not None:
+                            fn["loops"].append([fr.line, endline])
+                stmt_start = i + 1
+        elif c == ";" and paren == 0:
+            process_statement(code[stmt_start:i],
+                              stmt_line(stmt_start, i))
+            stmt_start = i + 1
+        i += 1
+
+    analyze_bodies(tu, code.split("\n"))
+    return tu
+
+
+def fn_qname(fn):
+    if fn.get("cls"):
+        return "%s::%s" % (fn["cls"], fn["name"])
+    return fn["name"]
+
+
+def analyze_bodies(tu, code_lines):
+    """Second pass: regex analyzers over each function's body lines
+    (covers lambda bodies the scope scanner treated as opaque)."""
+    for fn in tu.functions:
+        calls = []
+        accums = []
+        banned = []
+        lo, hi = fn["line0"], min(fn["line1"], len(code_lines))
+        for ln in range(lo, hi + 1):
+            line = code_lines[ln - 1] if ln - 1 < len(code_lines) \
+                else ""
+            for m in MEMBER_CALL_RX.finditer(line):
+                calls.append([ln, "member", m.group(1), m.group(3)])
+            for m in QUAL_CALL_RX.finditer(line):
+                qual = m.group(1).rstrip(":")
+                calls.append([ln, "qual", qual, m.group(2)])
+            for m in FREE_CALL_RX.finditer(line):
+                name = m.group(1)
+                if name not in CPP_KEYWORDS:
+                    calls.append([ln, "free", None, name])
+            for m in COMPOUND_ASSIGN_RX.finditer(line):
+                accums.append([ln, m.group(1), m.group(2)])
+            for m in SELF_ASSIGN_RX.finditer(line):
+                accums.append([ln, m.group(1), "= self op"])
+            for api, rx in BANNED_APIS:
+                if rx.search(line):
+                    banned.append([ln, api])
+        fn["calls"] = calls
+        fn["accums"] = accums
+        fn["banned"] = banned
+
+
+# --------------------------------------------------------------------
+# Program-level index + type resolution.
+# --------------------------------------------------------------------
+
+SMART_PTR_RX = re.compile(
+    r"^(?:std\s*::\s*)?(?:unique_ptr|shared_ptr)\s*<\s*(?:const\s+)?"
+    r"([A-Za-z_][\w:]*)")
+
+LITERAL_FLOAT_RX = re.compile(r"^[0-9.]+f\b|^[0-9]+\.[0-9]*f$")
+LITERAL_DOUBLE_RX = re.compile(r"^[0-9]+\.[0-9]*(?:[eE][-+]?\d+)?$")
+
+
+class Program:
+    def __init__(self, tus):
+        self.tus = tus
+        self.records = {}
+        self.aliases = {}
+        self.fn_returns = {}
+        self.functions = []
+        self.record_file = {}
+        for tu in tus:
+            for name, rec in tu.records.items():
+                if name in self.records:
+                    merged = self.records[name]
+                    merged["fields"].update(rec["fields"])
+                    merged["methods"].update(rec["methods"])
+                    for k, v in rec["method_lines"].items():
+                        merged["method_lines"].setdefault(k, v)
+                    for k, v in rec.get("field_lines", {}).items():
+                        merged["field_lines"].setdefault(k, v)
+                    for v in rec["virtual"]:
+                        if v not in merged["virtual"]:
+                            merged["virtual"].append(v)
+                    merged["final_methods"].extend(
+                        rec["final_methods"])
+                    if rec["bases"]:
+                        merged["bases"] = rec["bases"]
+                    merged["final"] = merged["final"] or rec["final"]
+                else:
+                    self.records[name] = rec
+                    self.record_file[name] = tu.file
+            self.aliases.update(tu.aliases)
+            for k, v in tu.fn_returns.items():
+                self.fn_returns.setdefault(k, v)
+            for fn in tu.functions:
+                fn["file"] = tu.file
+                self.functions.append(fn)
+        self.derived = {}
+        for name, rec in self.records.items():
+            for b in rec["bases"]:
+                self.derived.setdefault(b, []).append(name)
+
+    # -------------- type machinery --------------
+
+    def expand_alias(self, t, rec=None, depth=0):
+        if not t or depth > 8:
+            return t
+        head_m = re.match(r"\s*(?:const\s+)?((?:[A-Za-z_]\w*::)*"
+                          r"[A-Za-z_]\w*)", t)
+        if not head_m:
+            return t
+        head = head_m.group(1)
+        short = head.split("::")[-1]
+        target = None
+        if rec and "%s::%s" % (rec, short) in self.aliases:
+            target = self.aliases["%s::%s" % (rec, short)]
+        elif head in self.aliases:
+            target = self.aliases[head]
+        elif short in self.aliases and not head.startswith("std::"):
+            target = self.aliases[short]
+        if target is None or norm_ws(target) == norm_ws(t):
+            return t
+        new = t[:head_m.start(1)] + target + t[head_m.end(1):]
+        return self.expand_alias(new, rec, depth + 1)
+
+    def base_record_name(self, t):
+        """Record named by a (possibly pointer/ref/smart-ptr) type."""
+        if not t:
+            return None
+        t = re.sub(r"\b(const|volatile|static|inline|constexpr|"
+                   r"mutable|typename|struct|class)\b", "",
+                   t).strip()
+        t = t.strip("*& ")
+        m = SMART_PTR_RX.match(t)
+        if m:
+            t = m.group(1)
+        t = t.split("<")[0].strip().strip("*& ")
+        short = t.split("::")[-1]
+        if short in self.records:
+            return short
+        return None
+
+    def field_type(self, rec_name, field):
+        seen = set()
+        stack = [rec_name]
+        while stack:
+            r = stack.pop(0)
+            if r in seen:
+                continue
+            seen.add(r)
+            rec = self.records.get(r)
+            if not rec:
+                continue
+            if field in rec["fields"]:
+                return rec["fields"][field]
+            stack.extend(b.split("::")[-1] for b in rec["bases"])
+        return None
+
+    def method_ret(self, rec_name, method):
+        seen = set()
+        stack = [rec_name]
+        while stack:
+            r = stack.pop(0)
+            if r in seen:
+                continue
+            seen.add(r)
+            rec = self.records.get(r)
+            if not rec:
+                continue
+            if method in rec["methods"]:
+                return rec["methods"][method]
+            stack.extend(b.split("::")[-1] for b in rec["bases"])
+        return None
+
+    def is_virtual(self, rec_name, method):
+        """(virtual, devirtualized): whether the method dispatches
+        virtually through a pointer of static type rec_name, and
+        whether final-ness devirtualizes it."""
+        seen = set()
+        stack = [rec_name]
+        virt = False
+        while stack:
+            r = stack.pop(0)
+            if r in seen:
+                continue
+            seen.add(r)
+            rec = self.records.get(r)
+            if not rec:
+                continue
+            if method in rec["virtual"]:
+                virt = True
+                break
+            stack.extend(b.split("::")[-1] for b in rec["bases"])
+        if not virt:
+            return False, False
+        rec = self.records.get(rec_name)
+        devirt = bool(rec and (rec["final"]
+                               or method in rec["final_methods"]))
+        return True, devirt
+
+    def resolve_expr(self, expr, ctx, depth=0):
+        """Resolve an expression to a type string (unexpanded), or
+        None.  ctx: dict with 'locals', 'params', 'cls', 'file'."""
+        if depth > 6 or not expr:
+            return None
+        e = norm_ws(expr).rstrip(";")
+        e = re.sub(r"^[*&(]+", "", e).strip()
+        e = re.sub(r"\)+$", "", e).strip()
+        if not e:
+            return None
+        if LITERAL_FLOAT_RX.match(e):
+            return "float"
+        if LITERAL_DOUBLE_RX.match(e):
+            return "double"
+        segs = self.split_chain(e)
+        if not segs:
+            return None
+        cur = None
+        for idx, seg in enumerate(segs):
+            name, is_call = self.parse_segment(seg)
+            if name is None:
+                return None
+            if idx == 0:
+                cur = self.resolve_base(name, is_call, ctx, depth)
+            else:
+                rec = self.base_record_name(
+                    self.expand_alias(cur or "", ctx.get("cls")))
+                if rec is None:
+                    return None
+                cur = (self.method_ret(rec, name) if is_call
+                       else self.field_type(rec, name))
+            if cur is None:
+                return None
+        return cur
+
+    @staticmethod
+    def split_chain(e):
+        out, depth, start = [], 0, 0
+        i = 0
+        while i < len(e):
+            c = e[i]
+            if c in "<([{":
+                depth += 1
+            elif c in ">)]}":
+                if depth > 0:
+                    depth -= 1
+            elif depth == 0:
+                if c == "." and not (i and e[i - 1].isdigit()):
+                    out.append(e[start:i])
+                    start = i + 1
+                elif c == "-" and i + 1 < len(e) and e[i + 1] == ">":
+                    out.append(e[start:i])
+                    i += 1
+                    start = i + 1
+            i += 1
+        out.append(e[start:])
+        return [s.strip() for s in out if s.strip()]
+
+    @staticmethod
+    def parse_segment(seg):
+        m = re.match(r"^((?:[A-Za-z_]\w*::)*[A-Za-z_]\w*)\s*(\()?",
+                     seg)
+        if not m:
+            return None, False
+        return m.group(1), bool(m.group(2))
+
+    def resolve_base(self, name, is_call, ctx, depth):
+        if name == "this":
+            return (ctx.get("cls") or "") + " *"
+        if "::" in name:
+            qual, _, last = name.rpartition("::")
+            qrec = qual.split("::")[-1]
+            if qrec in self.records:
+                return (self.method_ret(qrec, last) if is_call
+                        else self.field_type(qrec, last))
+            if is_call:
+                return self.fn_returns.get(last)
+            return None
+        if is_call:
+            cls = ctx.get("cls")
+            if cls:
+                r = self.method_ret(cls, name)
+                if r is not None:
+                    return r
+            return self.fn_returns.get(name)
+        for scope in ("locals", "params"):
+            t = (ctx.get(scope) or {}).get(name)
+            if t is not None:
+                if re.search(r"\bauto\b", t):
+                    init = (ctx.get("inits") or {}).get(name)
+                    resolved = self.resolve_expr(init, ctx,
+                                                 depth + 1) \
+                        if init else None
+                    if resolved is None:
+                        return None
+                    # Keep the reference/pointer shape of the auto.
+                    return resolved
+                return t
+        cls = ctx.get("cls")
+        if cls:
+            t = self.field_type(cls, name)
+            if t is not None:
+                return t
+        for tu in self.tus:
+            if tu.file == ctx.get("file"):
+                for ln, gname, gtype, ns in tu.globals:
+                    if gname == name:
+                        return gtype
+        return None
+
+
+def fn_ctx(program, fn):
+    locals_map = {}
+    inits = {}
+    for ln, name, typ, init in fn.get("locals", ()):
+        locals_map[name] = typ
+        if init:
+            inits[name] = init
+    return {
+        "locals": locals_map,
+        "params": fn.get("params", {}),
+        "inits": inits,
+        "cls": fn.get("cls"),
+        "file": fn.get("file"),
+    }
+
+
+def hot_regions(raw_lines):
+    spans = []
+    begin = None
+    for ln, line in enumerate(raw_lines, start=1):
+        if HOT_BEGIN_RX.search(line):
+            begin = ln
+        elif HOT_END_RX.search(line) and begin is not None:
+            spans.append((begin, ln))
+            begin = None
+    return spans
+
+
+def in_spans(line, spans):
+    return any(lo <= line <= hi for lo, hi in spans)
+
+
+# --------------------------------------------------------------------
+# Rules.  Each checker yields (relpath, line, rule_id, message).
+# --------------------------------------------------------------------
+
+DPX102_DIRS = ("src/queueing/", "src/sim/stats")
+
+
+def scalar_of(t):
+    if not t:
+        return ""
+    return re.sub(r"\b(const|volatile|static|inline|constexpr|"
+                  r"mutable)\b", "", t).strip(" &*")
+
+
+def check_dpx101(program, tu):
+    for fn in tu.functions:
+        ctx = fn_ctx(program, fn)
+        for entry in fn.get("rangefors", ()):
+            line, _decl, expr = entry[0], entry[1], entry[2]
+            resolved = entry[3] if len(entry) > 3 else None
+            t = resolved or program.resolve_expr(expr, ctx)
+            t = program.expand_alias(t or "", fn.get("cls"))
+            if t and UNORDERED_RX.search(t):
+                yield (tu.file, line, "DPX101",
+                       "range-for over unordered container "
+                       "(resolved type: %s) — iteration order is "
+                       "unspecified and breaks bit-identical replay; "
+                       "use a deterministic container or sort first"
+                       % norm_ws(t))
+        for call in fn.get("calls", ()):
+            line, kind, recv, name = call
+            if kind != "member" or name not in ("begin", "cbegin"):
+                continue
+            t = program.resolve_expr(recv, ctx)
+            t = program.expand_alias(t or "", fn.get("cls"))
+            if t and UNORDERED_RX.search(t):
+                yield (tu.file, line, "DPX101",
+                       "iterator walk over unordered container %r "
+                       "(resolved type: %s) — iteration order is "
+                       "unspecified; use a deterministic container "
+                       "or sort first" % (recv, norm_ws(t)))
+
+
+def check_dpx102(program, tu, all_paths):
+    if not all_paths and not any(tu.file.startswith(d)
+                                 for d in DPX102_DIRS):
+        return
+    for fn in tu.functions:
+        if fn.get("cls") in BLESSED_ACCUMULATORS:
+            continue
+        loops = fn.get("loops", ())
+        ctx = fn_ctx(program, fn)
+        for line, lvalue, op in fn.get("accums", ()):
+            if not in_spans(line, loops):
+                continue
+            base = lvalue.split("[")[0]
+            t = program.resolve_expr(base, ctx)
+            t = program.expand_alias(t or "", fn.get("cls"))
+            s = scalar_of(t)
+            is_float = (s == "float"
+                        or ("[" in lvalue
+                            and (re.match(r"^float\s*\*?$", s)
+                                 or re.match(
+                                     r"^(?:std::)?(?:vector|array)\s*"
+                                     r"<\s*float\s*[,>]", s))))
+            if is_float:
+                yield (tu.file, line, "DPX102",
+                       "float accumulation %r %s in a loop (resolved "
+                       "type: %s) — single precision drifts under "
+                       "reassociation; accumulate in double or a "
+                       "blessed accumulator" % (lvalue, op,
+                                                norm_ws(t or "")))
+
+
+def check_dpx103(program, tu, raw_lines):
+    spans = hot_regions(raw_lines)
+    if not spans:
+        return
+    for fn in tu.functions:
+        if not any(lo <= fn["line1"] and hi >= fn["line0"]
+                   for lo, hi in spans):
+            continue
+        ctx = fn_ctx(program, fn)
+        fn_like = set()
+        for scope in ("locals", "params"):
+            for name, t in (ctx.get(scope) or {}).items():
+                if "function<" in (t or ""):
+                    fn_like.add(name)
+        if fn.get("cls"):
+            rec = program.records.get(fn["cls"])
+            if rec:
+                for name, t in rec["fields"].items():
+                    if "function<" in (t or ""):
+                        fn_like.add(name)
+        for call in fn.get("calls", ()):
+            line, kind, recv, name = call
+            if not in_spans(line, spans):
+                continue
+            if kind == "member":
+                t = program.resolve_expr(recv, ctx)
+                t = program.expand_alias(t or "", fn.get("cls"))
+                rec = program.base_record_name(t)
+                if rec is None:
+                    continue
+                virt, devirt = program.is_virtual(rec, name)
+                if virt and not devirt:
+                    yield (tu.file, line, "DPX103",
+                           "virtual call %s->%s() inside a "
+                           "dpx-hot-loop region (static type %s, not "
+                           "final) — indirect dispatch defeats "
+                           "inlining on the microsecond path; "
+                           "devirtualize (final) or hoist out of the "
+                           "loop" % (recv, name, rec))
+            elif kind == "free" and name in fn_like:
+                yield (tu.file, line, "DPX103",
+                       "indirect call through std::function %r "
+                       "inside a dpx-hot-loop region — type-erased "
+                       "dispatch defeats inlining; use a template "
+                       "parameter or hoist out of the loop" % name)
+
+
+def fn_node_key(fn):
+    if fn.get("cls"):
+        return "%s::%s" % (fn["cls"], fn["name"])
+    return fn["name"]
+
+
+def build_call_graph(program):
+    """edges: node key -> set of callee node keys; defs: key -> fn."""
+    defs = {}
+    for fn in program.functions:
+        defs.setdefault(fn_node_key(fn), fn)
+    edges = {}
+    for fn in program.functions:
+        key = fn_node_key(fn)
+        out = edges.setdefault(key, set())
+        ctx = fn_ctx(program, fn)
+        for call in fn.get("calls", ()):
+            line, kind, recv, name = call
+            if kind == "member":
+                t = program.resolve_expr(recv, ctx)
+                t = program.expand_alias(t or "", fn.get("cls"))
+                rec = program.base_record_name(t)
+                if rec is None:
+                    continue
+                targets = ["%s::%s" % (rec, name)]
+                # Virtual dispatch: any transitive override.
+                pending = [rec]
+                seen = set()
+                while pending:
+                    r = pending.pop()
+                    if r in seen:
+                        continue
+                    seen.add(r)
+                    for d in program.derived.get(r, ()):
+                        targets.append("%s::%s" % (d, name))
+                        pending.append(d)
+                for t2 in targets:
+                    if t2 in defs:
+                        out.add(t2)
+            elif kind == "qual":
+                rec = recv.split("::")[-1]
+                cand = "%s::%s" % (rec, name)
+                if cand in defs:
+                    out.add(cand)
+                elif name in defs:
+                    out.add(name)
+            elif kind == "free":
+                if fn.get("cls") and \
+                        "%s::%s" % (fn["cls"], name) in defs:
+                    out.add("%s::%s" % (fn["cls"], name))
+                elif name in defs:
+                    out.add(name)
+    return defs, edges
+
+
+def check_dpx104(program, target_files, raw_map):
+    defs, edges = build_call_graph(program)
+    banned_at = {}
+    for key, fn in defs.items():
+        if fn.get("banned"):
+            banned_at[key] = fn["banned"][0]
+    roots = []
+    for fn in program.functions:
+        f = fn.get("file")
+        if f not in raw_map:
+            continue
+        raw_lines = raw_map[f]
+        spans = hot_regions(raw_lines)
+        is_root = any(lo <= fn["line1"] and hi >= fn["line0"]
+                      for lo, hi in spans)
+        if not is_root:
+            for ln in range(max(1, fn["line0"] - 3), fn["line0"] + 1):
+                if ln - 1 < len(raw_lines) and \
+                        HOT_ENTRY_RX.search(raw_lines[ln - 1]):
+                    is_root = True
+                    break
+        if is_root and f in target_files:
+            roots.append(fn)
+    for fn in roots:
+        start = fn_node_key(fn)
+        parent = {start: None}
+        queue = [start]
+        hit = None
+        while queue and hit is None:
+            cur = queue.pop(0)
+            if cur in banned_at and cur != start:
+                hit = cur
+                break
+            for nxt in sorted(edges.get(cur, ())):
+                if nxt not in parent:
+                    parent[nxt] = cur
+                    queue.append(nxt)
+        if hit is None:
+            # The root itself using a banned API is caught by
+            # DPX001/002 directly; DPX104 is about reachability.
+            continue
+        path = []
+        cur = hit
+        while cur is not None:
+            path.append(cur)
+            cur = parent[cur]
+        path.reverse()
+        site_ln, api = banned_at[hit]
+        site_fn = defs[hit]
+        yield (fn["file"], fn["line0"], "DPX104",
+               "hot entry %s() reaches banned API %s at %s:%d via "
+               "%s — route through the scenario RNG / virtual clock "
+               "instead" % (fn_node_key(fn), api,
+                            site_fn.get("file", "?"), site_ln,
+                            " -> ".join(path)))
+
+
+def check_dpx105(program, tu):
+    if not tu.file.startswith("src/"):
+        return
+    for ln, name, typ, ns in tu.globals:
+        if re.search(r"\bconst(expr)?\b", typ or ""):
+            continue
+        yield (tu.file, ln, "DPX105",
+               "mutable global %r (%s) at namespace scope in sim "
+               "code — cross-run shared state breaks replica "
+               "independence; make it const, pass it explicitly, or "
+               "waive with a determinism argument"
+               % (name, norm_ws(typ or "")))
+    for ln, name, typ, owner in tu.local_statics:
+        if re.search(r"\bconst(expr)?\b", typ or ""):
+            continue
+        yield (tu.file, ln, "DPX105",
+               "function-local static %r (%s) in %s() — mutable "
+               "hidden state breaks replica independence; hoist into "
+               "an explicitly-passed context or waive with a "
+               "determinism argument" % (name, norm_ws(typ or ""),
+                                         owner))
+
+
+# --------------------------------------------------------------------
+# DPX110: the fast-path contract auditor.
+# --------------------------------------------------------------------
+
+def discover_switches(program):
+    switches = []
+    seen = set()
+    for rec_name in sorted(program.records):
+        rec = program.records[rec_name]
+        f = program.record_file.get(rec_name, "")
+        if not f.startswith("src/"):
+            continue
+        for mname in sorted(rec["methods"]):
+            if SET_ENABLED_RX.match(mname):
+                sid = "%s::%s" % (rec_name, mname)
+                if sid not in seen:
+                    seen.add(sid)
+                    switches.append({
+                        "id": sid, "kind": "method", "class": rec_name,
+                        "name": mname, "file": f,
+                        "line": rec["method_lines"].get(mname,
+                                                        rec["line"]),
+                    })
+        if rec_name.endswith("Config"):
+            for fname in sorted(rec["fields"]):
+                ftype = rec["fields"][fname]
+                if "bool" in (ftype or "") and \
+                        CONFIG_FLAG_RX.search(fname):
+                    sid = "%s::%s" % (rec_name, fname)
+                    if sid not in seen:
+                        seen.add(sid)
+                        switches.append({
+                            "id": sid, "kind": "config",
+                            "class": rec_name, "name": fname,
+                            "file": f,
+                            "line": rec.get("field_lines", {}).get(
+                                fname, rec["line"]),
+                        })
+    for fn in program.functions:
+        if fn.get("cls") is None and \
+                SET_ENABLED_RX.match(fn["name"]) and \
+                fn.get("file", "").startswith("src/"):
+            parts = [p for p in (fn.get("ns") or "").split("::")
+                     if p and p not in ("duplexity", "<anon>")]
+            sid = "::".join(parts + [fn["name"]])
+            if sid not in seen:
+                seen.add(sid)
+                switches.append({
+                    "id": sid, "kind": "free", "class": None,
+                    "name": fn["name"], "file": fn["file"],
+                    "line": fn["line0"],
+                })
+    return switches
+
+
+def golden_test_sources(tests_cmake_path):
+    """Map golden test name -> list of source paths (relative to the
+    tests/ directory) from dpx_add_test(... GOLDEN ...) calls."""
+    try:
+        with open(tests_cmake_path, encoding="utf-8") as fh:
+            text = fh.read()
+    except OSError:
+        return None
+    text = re.sub(r"#[^\n]*", "", text)
+    out = {}
+    for m in re.finditer(r"dpx_add_test\s*\(([^)]*)\)", text, re.S):
+        tokens = m.group(1).split()
+        if not tokens or "GOLDEN" not in tokens:
+            continue
+        srcs = [t for t in tokens[1:]
+                if t.endswith((".cc", ".cpp"))]
+        if srcs:
+            out[tokens[0]] = srcs
+    return out
+
+
+def record_family(program, rec_name):
+    """rec_name plus all ancestors and descendants (dispatch can be
+    spelled through any of them)."""
+    fam = set()
+    pending = [rec_name]
+    while pending:
+        r = pending.pop()
+        if r in fam:
+            continue
+        fam.add(r)
+        rec = program.records.get(r)
+        if rec:
+            pending.extend(b.split("::")[-1] for b in rec["bases"])
+        pending.extend(program.derived.get(r, ()))
+    return fam
+
+
+def golden_coverage(program, switches, golden_map, golden_tus):
+    """For each switch id, the sorted list of golden tests whose
+    sources exercise it."""
+    method_classes = {}
+    for sw in switches:
+        if sw["kind"] == "method":
+            method_classes.setdefault(sw["name"], set()).add(
+                sw["class"])
+    cov = {sw["id"]: set() for sw in switches}
+    for test_name, sources in sorted(golden_map.items()):
+        tus = [golden_tus[s] for s in sources if s in golden_tus]
+        for sw in switches:
+            hit = False
+            for tu in tus:
+                stripped = tu._stripped_text
+                if sw["kind"] in ("config", "free"):
+                    if re.search(r"\b%s\b" % re.escape(sw["name"]),
+                                 stripped):
+                        hit = True
+                        break
+                    continue
+                # Method switch: need the receiver's class when the
+                # method name is shared between switches.
+                shared = len(method_classes.get(sw["name"], ())) > 1
+                if not shared:
+                    if re.search(r"\b%s\s*\(" % re.escape(sw["name"]),
+                                 stripped):
+                        hit = True
+                        break
+                    continue
+                fam = record_family(program, sw["class"])
+                for fn in tu.functions:
+                    ctx = fn_ctx(program, fn)
+                    for call in fn.get("calls", ()):
+                        _ln, kind, recv, name = call
+                        if kind != "member" or name != sw["name"]:
+                            continue
+                        t = program.resolve_expr(recv, ctx)
+                        t = program.expand_alias(t or "",
+                                                 fn.get("cls"))
+                        rec = program.base_record_name(t)
+                        if rec in fam:
+                            hit = True
+                            break
+                    if hit:
+                        break
+                if hit:
+                    break
+            if hit:
+                cov[sw["id"]].add(test_name)
+    return {k: sorted(v) for k, v in cov.items()}
+
+
+def bench_annotations(bench_path):
+    """Parse // dpx-fast-path: annotations in the bench source.
+    Returns (id -> [keys], [(line, unknown-format message)])."""
+    try:
+        with open(bench_path, encoding="utf-8") as fh:
+            raw_lines = fh.read().split("\n")
+    except OSError:
+        return None, []
+    notes = {}
+    problems = []
+    for ln, line in enumerate(raw_lines, start=1):
+        m = FAST_PATH_NOTE_RX.search(line)
+        if not m:
+            continue
+        ids = [s.strip() for s in m.group(1).split(",") if s.strip()]
+        key = None
+        for look in range(ln, min(ln + 4, len(raw_lines) + 1)):
+            km = BENCH_KEY_RX.search(raw_lines[look - 1])
+            if km:
+                key = km.group(1)
+                break
+        if key is None:
+            problems.append((ln, "dpx-fast-path annotation has no "
+                             "fast_path counter key on the next "
+                             "lines"))
+            continue
+        for sid in ids:
+            notes.setdefault(sid, []).append(key)
+    return notes, problems
+
+
+def audit_contract(program, root, target_allows, golden_tus,
+                   bench_rel="bench/hotpath_bench.cc",
+                   bench_json_rel="BENCH_hotpath.json",
+                   tests_cmake_rel="tests/CMakeLists.txt"):
+    """Returns (findings, config_errors, registry)."""
+    findings = []
+    config_errors = []
+    switches = discover_switches(program)
+    golden_map = golden_test_sources(os.path.join(root,
+                                                  tests_cmake_rel))
+    if golden_map is None:
+        config_errors.append(
+            "%s: unreadable — cannot audit the fast-path contract"
+            % tests_cmake_rel)
+        return findings, config_errors, None
+    cov = golden_coverage(program, switches, golden_map, golden_tus)
+    notes, note_problems = bench_annotations(
+        os.path.join(root, bench_rel))
+    bench_keys = set()
+    if notes is None:
+        notes = {}
+        config_errors.append("%s: unreadable — cannot audit bench "
+                             "activation coverage" % bench_rel)
+    for ln, msg in note_problems:
+        findings.append((bench_rel, ln, "DPX110", msg))
+    try:
+        with open(os.path.join(root, bench_json_rel),
+                  encoding="utf-8") as fh:
+            bench_json = json.load(fh)
+        fp = bench_json.get("fast_path", {})
+        bench_keys = {k for k, v in fp.items()
+                      if isinstance(v, (int, float, bool))}
+    except (OSError, ValueError):
+        config_errors.append("%s: unreadable — regenerate it from "
+                             "hotpath_bench (see bench/README or "
+                             "DESIGN.md)" % bench_json_rel)
+    known_ids = {sw["id"] for sw in switches}
+    for sid in sorted(notes):
+        if sid not in known_ids:
+            findings.append((bench_rel, 1, "DPX110",
+                             "dpx-fast-path annotation names unknown "
+                             "switch %r (known: discovered "
+                             "set*Enabled/config flags in src/)"
+                             % sid))
+    registry = {"version": 1, "switches": []}
+    for sw in switches:
+        file_allows, line_allows, raw_lines = target_allows.get(
+            sw["file"], (set(), {}, None))
+        waived = "DPX110" in file_allows or \
+            "DPX110" in line_allows.get(sw["line"], set())
+        reason = None
+        if waived:
+            reason = find_waiver_reason(raw_lines, sw["line"])
+            if reason is None:
+                config_errors.append(
+                    "%s:%d: DPX110 waiver for %s needs a reason "
+                    "after the annotation: // dpx-lint: "
+                    "allow(DPX110): <why this switch is exempt>"
+                    % (sw["file"], sw["line"], sw["id"]))
+                waived = False
+        keys = sorted(k for k in notes.get(sw["id"], ())
+                      if k in bench_keys)
+        tests = cov.get(sw["id"], [])
+        if not waived:
+            if not tests:
+                findings.append((
+                    sw["file"], sw["line"], "DPX110",
+                    "fast-path switch %s has no GOLDEN differential "
+                    "test — add a dpx_add_test(... GOLDEN ...) that "
+                    "toggles it and proves bit-identical results, or "
+                    "waive with a reason" % sw["id"]))
+            if not keys:
+                missing = [k for k in notes.get(sw["id"], ())
+                           if k not in bench_keys]
+                if missing:
+                    findings.append((
+                        sw["file"], sw["line"], "DPX110",
+                        "fast-path switch %s is annotated with "
+                        "counter %s but the key is absent from the "
+                        "committed %s — regenerate the baseline"
+                        % (sw["id"], "/".join(sorted(missing)),
+                           bench_json_rel)))
+                else:
+                    findings.append((
+                        sw["file"], sw["line"], "DPX110",
+                        "fast-path switch %s is not surfaced in the "
+                        "hotpath_bench fast_path activation subtree "
+                        "— add a counter plus a // dpx-fast-path: %s "
+                        "annotation, or waive with a reason"
+                        % (sw["id"], sw["id"])))
+        registry["switches"].append({
+            "id": sw["id"],
+            "kind": sw["kind"],
+            "file": sw["file"],
+            "line": sw["line"],
+            "golden_tests": tests,
+            "bench_counters": keys,
+            "waiver": reason,
+        })
+    return findings, config_errors, registry
+
+
+def find_waiver_reason(raw_lines, decl_line):
+    """Reason text of the allow(DPX110) annotation covering
+    decl_line, or None when the annotation carries none."""
+    if raw_lines is None:
+        return None
+    for ln in range(max(1, decl_line - 4),
+                    min(decl_line + 2, len(raw_lines) + 1)):
+        line = raw_lines[ln - 1]
+        m = re.search(r"dpx-lint:\s*allow\(DPX110\)", line)
+        if not m:
+            continue
+        tail = line[m.end():].strip()
+        tail = tail.lstrip(":—- ").strip()
+        if re.search(r"\w", tail):
+            return tail
+    return None
+
+
+def registry_text(registry):
+    return json.dumps(registry, indent=2, sort_keys=True) + "\n"
+
+
+# --------------------------------------------------------------------
+# Index cache.
+# --------------------------------------------------------------------
+
+def cache_key(relpath, data, backend_tag):
+    h = hashlib.sha256()
+    for part in (str(ANALYZE_VERSION).encode(), backend_tag.encode(),
+                 relpath.encode()):
+        h.update(part)
+        h.update(b"\0")
+    h.update(data)
+    return h.hexdigest()
+
+
+def cache_load(cache_dir, key):
+    if cache_dir is None:
+        return None
+    path = os.path.join(cache_dir, key + ".json")
+    try:
+        with open(path, encoding="utf-8") as fh:
+            d = json.load(fh)
+        if d.get("version") != ANALYZE_VERSION:
+            return None
+        return TuIndex.from_json(d)
+    except (OSError, ValueError, KeyError):
+        return None
+
+
+def cache_store(cache_dir, key, tu):
+    if cache_dir is None:
+        return
+    try:
+        os.makedirs(cache_dir, exist_ok=True)
+        path = os.path.join(cache_dir, key + ".json")
+        tmp = path + ".tmp.%d" % os.getpid()
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(tu.to_json(), fh)
+        os.replace(tmp, path)
+    except OSError:
+        pass
+
+
+# --------------------------------------------------------------------
+# Clang backend: compile_commands.json + -ast-dump=json.
+# --------------------------------------------------------------------
+
+def find_clang():
+    for cand in ("clang++", "clang"):
+        path = shutil.which(cand)
+        if path:
+            return path
+    return None
+
+
+def load_compile_db(path):
+    try:
+        with open(path, encoding="utf-8") as fh:
+            entries = json.load(fh)
+    except (OSError, ValueError):
+        return None
+    db = {}
+    for e in entries:
+        src = os.path.normpath(
+            os.path.join(e.get("directory", "."), e["file"]))
+        if "arguments" in e:
+            args = list(e["arguments"])
+        else:
+            args = shlex.split(e.get("command", ""))
+        db[src] = (e.get("directory", "."), args)
+    return db
+
+
+def clang_args_for(db_entry, abspath):
+    """Filter a compile-db command line down to flags clang can use
+    for a syntax-only AST dump."""
+    directory, args = db_entry
+    out = []
+    skip = False
+    for a in args[1:]:
+        if skip:
+            skip = False
+            continue
+        if a in ("-o", "-MF", "-MT", "-MQ"):
+            skip = True
+            continue
+        if a in ("-c", "-MD", "-MMD", "-MP") or \
+                os.path.normpath(os.path.join(directory, a)) == \
+                abspath:
+            continue
+        if a.startswith(("-W", "-f")) and "sanitize" in a:
+            continue
+        out.append(a)
+    return directory, out
+
+
+class _ClangWalk:
+    """Walk state for the clang JSON AST: the dump differentially
+    encodes locations (file/line omitted when unchanged)."""
+
+    def __init__(self, tu, abspath):
+        self.tu = tu
+        self.abspath = abspath
+        self.cur_file = None
+        self.cur_line = 0
+        self.ns = []
+        self.record = None
+        self.fn = None
+
+    def update_loc(self, node):
+        loc = node.get("loc") or {}
+        if "expansionLoc" in loc:
+            loc = loc["expansionLoc"]
+        if "file" in loc:
+            self.cur_file = loc["file"]
+        if "line" in loc:
+            self.cur_line = loc["line"]
+        rng = (node.get("range") or {}).get("begin") or {}
+        if "expansionLoc" in rng:
+            rng = rng["expansionLoc"]
+        if "file" in rng:
+            self.cur_file = rng["file"]
+        if "line" in rng:
+            self.cur_line = rng["line"]
+
+    def in_main_file(self):
+        return self.cur_file is not None and \
+            os.path.normpath(self.cur_file) == self.abspath
+
+    def end_line(self, node):
+        end = (node.get("range") or {}).get("end") or {}
+        if "expansionLoc" in end:
+            end = end["expansionLoc"]
+        return end.get("line", self.cur_line)
+
+
+def clang_walk(node, st):
+    if not isinstance(node, dict):
+        return
+    st.update_loc(node)
+    kind = node.get("kind")
+    line = st.cur_line
+    main = st.in_main_file()
+    if kind == "NamespaceDecl":
+        st.ns.append(node.get("name") or "<anon>")
+        for ch in node.get("inner") or ():
+            clang_walk(ch, st)
+        st.ns.pop()
+        return
+    if kind in ("TypeAliasDecl", "TypedefDecl") and main:
+        name = node.get("name")
+        target = ((node.get("type") or {}).get("qualType") or "")
+        if name and target:
+            key = "%s::%s" % (st.record, name) if st.record else name
+            st.tu.aliases[key] = target
+    elif kind == "CXXRecordDecl" and main and \
+            node.get("completeDefinition"):
+        name = node.get("name")
+        if name:
+            bases = []
+            for b in node.get("bases") or ():
+                qt = ((b.get("type") or {}).get("qualType") or "")
+                qt = re.sub(r"\b(public|private|protected|virtual|"
+                            r"class|struct)\b", "", qt).strip()
+                if qt:
+                    bases.append(qt.split("<")[0].strip())
+            rec = st.tu.records.setdefault(
+                name, new_record(name, line, node.get("tagUsed",
+                                                      "class"),
+                                 bases=bases))
+            for ch in node.get("inner") or ():
+                if isinstance(ch, dict) and \
+                        ch.get("kind") == "FinalAttr":
+                    rec["final"] = True
+            prev = st.record
+            st.record = name
+            for ch in node.get("inner") or ():
+                clang_walk(ch, st)
+            st.record = prev
+            return
+    elif kind == "FieldDecl" and main and st.record:
+        rec = st.tu.records.get(st.record)
+        name = node.get("name")
+        if rec is not None and name:
+            rec["fields"][name] = ((node.get("type") or {})
+                                   .get("qualType") or "")
+            rec["field_lines"].setdefault(name, line)
+    elif kind == "VarDecl" and main and st.fn is None:
+        name = node.get("name")
+        qt = ((node.get("type") or {}).get("qualType") or "")
+        if name:
+            storage = "static " if node.get("storageClass") == \
+                "static" else ""
+            if node.get("constexpr"):
+                storage += "constexpr "
+            st.tu.globals.append([line, name, storage + qt,
+                                  "::".join(st.ns)])
+    elif kind in ("FunctionDecl", "CXXMethodDecl") and main:
+        name = node.get("name") or ""
+        qt = ((node.get("type") or {}).get("qualType") or "")
+        ret = qt.split("(")[0].strip()
+        cls = st.record
+        if cls is None and kind == "CXXMethodDecl":
+            parent = node.get("parentDeclContextId")
+            cls = None  # out-of-line: recover from qualified name
+            qual = node.get("mangledName")  # not reliable; fall back
+            m = re.match(r"^([A-Za-z_]\w*)::", node.get(
+                "qualifiedName", ""))
+            if m:
+                cls = m.group(1)
+        if st.record:
+            rec = st.tu.records.get(st.record)
+            if rec is not None and name:
+                rec["methods"][name] = ret
+                rec["method_lines"].setdefault(name, line)
+                if node.get("virtual") or node.get("pure"):
+                    if name not in rec["virtual"]:
+                        rec["virtual"].append(name)
+                for ch in node.get("inner") or ():
+                    if isinstance(ch, dict) and \
+                            ch.get("kind") == "FinalAttr":
+                        rec["final_methods"].append(name)
+        elif name:
+            st.tu.fn_returns.setdefault(name, ret)
+        body = None
+        params = {}
+        for ch in node.get("inner") or ():
+            if not isinstance(ch, dict):
+                continue
+            if ch.get("kind") == "ParmVarDecl" and ch.get("name"):
+                params[ch["name"]] = ((ch.get("type") or {})
+                                      .get("qualType") or "")
+            elif ch.get("kind") == "CompoundStmt":
+                body = ch
+        if body is not None and name:
+            fn = {
+                "name": name, "cls": cls,
+                "ns": "::".join(st.ns), "ret": ret,
+                "line0": line, "line1": st.end_line(node),
+                "params": params, "locals": [], "rangefors": [],
+                "loops": [],
+            }
+            st.tu.functions.append(fn)
+            prev = st.fn
+            st.fn = fn
+            clang_walk_body(body, st)
+            st.fn = prev
+        return
+    elif kind == "CXXForRangeStmt" and main and st.fn is not None:
+        clang_range_for(node, st, line)
+        # fall through to walk children for nested loops/decls
+    elif kind in ("ForStmt", "WhileStmt", "DoStmt") and main and \
+            st.fn is not None:
+        st.fn["loops"].append([line, st.end_line(node)])
+    elif kind == "VarDecl" and main and st.fn is not None:
+        name = node.get("name")
+        qt = ((node.get("type") or {}).get("qualType") or "")
+        if name:
+            storage = "static " if node.get("storageClass") == \
+                "static" else ""
+            st.fn["locals"].append([line, name, storage + qt, None])
+            if storage and not node.get("constexpr"):
+                st.tu.local_statics.append(
+                    [line, name, storage + qt, fn_qname(st.fn)])
+    for ch in node.get("inner") or ():
+        clang_walk(ch, st)
+
+
+def clang_walk_body(node, st):
+    if not isinstance(node, dict):
+        return
+    st.update_loc(node)
+    kind = node.get("kind")
+    line = st.cur_line
+    if kind == "CXXForRangeStmt":
+        clang_range_for(node, st, line)
+        st.fn["loops"].append([line, st.end_line(node)])
+    elif kind in ("ForStmt", "WhileStmt", "DoStmt"):
+        st.fn["loops"].append([line, st.end_line(node)])
+    elif kind == "VarDecl":
+        name = node.get("name")
+        qt = ((node.get("type") or {}).get("qualType") or "")
+        if name and not name.startswith("__"):
+            storage = "static " if node.get("storageClass") == \
+                "static" else ""
+            st.fn["locals"].append([line, name, storage + qt, None])
+            if storage and not node.get("constexpr"):
+                st.tu.local_statics.append(
+                    [line, name, storage + qt, fn_qname(st.fn)])
+    for ch in node.get("inner") or ():
+        clang_walk_body(ch, st)
+
+
+def clang_range_for(node, st, line):
+    """Record a range-for with the compiler-resolved range type (the
+    synthesized __range1 variable's deduced type)."""
+    resolved = None
+    stack = list(node.get("inner") or ())
+    while stack:
+        ch = stack.pop(0)
+        if not isinstance(ch, dict):
+            continue
+        if ch.get("kind") == "VarDecl" and \
+                (ch.get("name") or "").startswith("__range"):
+            resolved = ((ch.get("type") or {}).get("qualType") or
+                        None)
+            break
+        stack.extend(ch.get("inner") or ())
+    st.fn["rangefors"].append([line, "", "", resolved])
+
+
+def parse_tu_clang(clang, root, relpath, text, db):
+    abspath = os.path.normpath(os.path.join(root, relpath))
+    entry = db.get(abspath) if db else None
+    if entry is None:
+        return None  # headers etc.: builtin handles them
+    directory, flags = clang_args_for(entry, abspath)
+    cmd = [clang] + flags + ["-fsyntax-only", "-Xclang",
+                             "-ast-dump=json", abspath]
+    try:
+        proc = subprocess.run(cmd, cwd=directory, capture_output=True,
+                              text=True, timeout=240)
+        if proc.returncode != 0 or not proc.stdout.strip():
+            return None
+        ast = json.loads(proc.stdout)
+    except (OSError, ValueError, subprocess.TimeoutExpired):
+        return None
+    tu = TuIndex(relpath)
+    st = _ClangWalk(tu, abspath)
+    try:
+        clang_walk(ast, st)
+    except (KeyError, TypeError, AttributeError):
+        return None
+    # Calls / accumulations / banned APIs come from the same body
+    # regexes as the builtin backend; clang supplies the exact types.
+    analyze_bodies(tu, blank_preprocessor(
+        strip_code(text)).split("\n"))
+    return tu
+
+
+# --------------------------------------------------------------------
+# Driver.
+# --------------------------------------------------------------------
+
+ANALYZE_RULES = [
+    ("DPX101", "semantic-unordered-iteration: range-for/.begin() "
+     "over a type that resolves to std::unordered_*"),
+    ("DPX102", "float-accumulation: loop accumulation onto a "
+     "resolved float lvalue in stats/queueing code"),
+    ("DPX103", "hot-loop-virtual-call: virtual or std::function "
+     "dispatch inside a dpx-hot-loop region (resolved callee)"),
+    ("DPX104", "banned-api-reachability: hot entry points reaching "
+     "raw RNG / wall clocks through the call graph"),
+    ("DPX105", "mutable-global-in-sim: non-const namespace-scope or "
+     "function-local-static state in src/"),
+    ("DPX110", "fast-path-contract: every set*Enabled / fast-path "
+     "config switch needs a GOLDEN test + bench counter"),
+]
+ANALYZE_RULE_IDS = [r for r, _ in ANALYZE_RULES]
+
+
+def load_tu(path, relpath, backend, clang, db, root, cache_dir):
+    try:
+        with open(path, "rb") as fh:
+            data = fh.read()
+    except OSError as err:
+        print("dpx-analyze: cannot read %s: %s" % (path, err),
+              file=sys.stderr)
+        return None, None
+    text = data.decode("utf-8", errors="replace")
+    tag = backend
+    if backend == "clang" and clang:
+        tag = "clang:%s" % clang
+    key = cache_key(relpath, data, tag)
+    tu = cache_load(cache_dir, key)
+    if tu is None:
+        tu = None
+        if backend == "clang" and clang:
+            tu = parse_tu_clang(clang, root, relpath, text, db)
+        if tu is None:
+            tu = parse_tu_builtin(relpath, text)
+        cache_store(cache_dir, key, tu)
+    return tu, text
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="dpx_analyze.py",
+        description="semantic analyzer + fast-path contract auditor "
+                    "for the duplexity tree")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories (default: src "
+                             "bench examples under --root)")
+    parser.add_argument("--root", default=".",
+                        help="repo root for path-scoped rules and "
+                             "contract inputs (default: cwd)")
+    parser.add_argument("--rule", action="append", default=None,
+                        metavar="DPX1NN",
+                        help="run only this rule (repeatable)")
+    parser.add_argument("--all-paths", action="store_true",
+                        help="apply path-scoped rules everywhere")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule table and exit")
+    parser.add_argument("--backend", default="auto",
+                        choices=("auto", "builtin", "clang"),
+                        help="semantic front end (default: auto — "
+                             "clang when available, else builtin)")
+    parser.add_argument("--compile-commands", default=None,
+                        help="compile database for the clang backend "
+                             "(default: <root>/build/"
+                             "compile_commands.json)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="index cache directory (default: "
+                             "<root>/.dpx-analyze-cache)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the index cache")
+    parser.add_argument("--registry",
+                        default="tools/contract_registry.json",
+                        help="contract registry path, relative to "
+                             "--root")
+    parser.add_argument("--write-registry", action="store_true",
+                        help="write the discovered contract registry")
+    parser.add_argument("--check-registry", action="store_true",
+                        help="fail when the committed registry is "
+                             "stale")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, doc in ANALYZE_RULES:
+            print("%s  %s" % (rule_id, doc))
+        return 0
+
+    selected = list(ANALYZE_RULE_IDS)
+    if args.rule:
+        unknown = [r for r in args.rule if r not in ANALYZE_RULE_IDS]
+        if unknown:
+            print("dpx-analyze: unknown rule(s): %s"
+                  % ", ".join(unknown), file=sys.stderr)
+            return 2
+        selected = [r for r in ANALYZE_RULE_IDS if r in args.rule]
+
+    root = os.path.abspath(args.root)
+    paths = args.paths
+    if not paths:
+        paths = [os.path.join(root, d) for d in ("src", "bench",
+                                                 "examples")
+                 if os.path.isdir(os.path.join(root, d))]
+        if not paths:
+            print("dpx-analyze: nothing to analyze under %s" % root,
+                  file=sys.stderr)
+            return 2
+    files = gather_files(paths)
+    if files is None:
+        return 2
+
+    cache_dir = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir or os.path.join(
+            root, ".dpx-analyze-cache")
+
+    backend = args.backend
+    clang = db = None
+    if backend in ("auto", "clang"):
+        clang = find_clang()
+        cc_path = args.compile_commands or os.path.join(
+            root, "build", "compile_commands.json")
+        db = load_compile_db(cc_path) if clang else None
+        if backend == "clang" and (clang is None or db is None):
+            print("dpx-analyze: clang backend needs clang++ on PATH "
+                  "and a compile database (looked for %s)" % cc_path,
+                  file=sys.stderr)
+            return 2
+        backend = "clang" if (clang and db) else "builtin"
+
+    # Index the target files plus every GOLDEN test source (the
+    # contract auditor resolves receivers inside those tests).
+    tus = []
+    target_files = []
+    raw_map = {}
+    allows_map = {}
+    want_110 = "DPX110" in selected
+    tests_cmake = os.path.join(root, "tests", "CMakeLists.txt")
+    golden_map = {}
+    if want_110:
+        gm = golden_test_sources(tests_cmake)
+        if gm is None:
+            if args.rule and "DPX110" in args.rule:
+                print("dpx-analyze: DPX110 requested but %s is "
+                      "missing" % tests_cmake, file=sys.stderr)
+                return 2
+            want_110 = False
+        else:
+            golden_map = gm
+
+    config_error = False
+    for path in files:
+        relpath = os.path.relpath(os.path.abspath(path), root)
+        tu, text = load_tu(path, relpath, backend, clang, db, root,
+                           cache_dir)
+        if tu is None:
+            config_error = True
+            continue
+        tus.append(tu)
+        target_files.append(relpath)
+        raw_lines = text.split("\n")
+        raw_map[relpath] = raw_lines
+        file_allows, line_allows, bad, _ann = \
+            collect_allows(raw_lines)
+        for ln, rule_id in bad:
+            print("%s:%d: allow-file(%s) requires a reason: "
+                  "// dpx-lint: allow-file(%s): <why>"
+                  % (relpath, ln, rule_id, rule_id), file=sys.stderr)
+            config_error = True
+        allows_map[relpath] = (file_allows, line_allows, raw_lines)
+
+    golden_tus = {}
+    if want_110:
+        for test_name, sources in sorted(golden_map.items()):
+            for src in sources:
+                if src in golden_tus:
+                    continue
+                path = os.path.join(root, "tests", src)
+                rel = os.path.relpath(path, root)
+                if rel in raw_map:
+                    for tu in tus:
+                        if tu.file == rel:
+                            tu._stripped_text = blank_preprocessor(
+                                strip_code("\n".join(raw_map[rel])))
+                            golden_tus[src] = tu
+                            break
+                    continue
+                if not os.path.isfile(path):
+                    continue
+                tu, text = load_tu(path, rel, backend, clang, db,
+                                   root, cache_dir)
+                if tu is None:
+                    continue
+                tu._stripped_text = blank_preprocessor(
+                    strip_code(text))
+                golden_tus[src] = tu
+                tus.append(tu)
+
+    program = Program(tus)
+    target_set = set(target_files)
+
+    findings = []
+    for tu in tus:
+        if tu.file not in target_set:
+            continue
+        raw_lines = raw_map[tu.file]
+        if "DPX101" in selected:
+            findings.extend(check_dpx101(program, tu))
+        if "DPX102" in selected:
+            findings.extend(check_dpx102(program, tu,
+                                         args.all_paths))
+        if "DPX103" in selected:
+            findings.extend(check_dpx103(program, tu, raw_lines))
+        if "DPX105" in selected:
+            findings.extend(check_dpx105(program, tu))
+    if "DPX104" in selected:
+        findings.extend(check_dpx104(program, target_set, raw_map))
+
+    registry = None
+    if want_110:
+        c_findings, c_errors, registry = audit_contract(
+            program, root, allows_map, golden_tus)
+        findings.extend(c_findings)
+        for msg in c_errors:
+            print("dpx-analyze: %s" % msg, file=sys.stderr)
+            config_error = True
+
+    # Waiver filtering (dpx-lint syntax; DPX110 waivers were already
+    # consumed — with reasons — inside the auditor).
+    kept = []
+    for relpath, line, rule_id, message in findings:
+        file_allows, line_allows, _raw = allows_map.get(
+            relpath, (set(), {}, None))
+        if rule_id != "DPX110":
+            if rule_id in file_allows or \
+                    rule_id in line_allows.get(line, set()):
+                continue
+        kept.append((relpath, line, rule_id, message))
+    kept.sort(key=lambda f: (f[0], f[1], f[2]))
+
+    if registry is not None:
+        reg_path = os.path.join(root, args.registry)
+        text = registry_text(registry)
+        if args.write_registry:
+            reg_dir = os.path.dirname(reg_path)
+            if reg_dir:
+                os.makedirs(reg_dir, exist_ok=True)
+            with open(reg_path, "w", encoding="utf-8") as fh:
+                fh.write(text)
+        elif args.check_registry:
+            try:
+                with open(reg_path, encoding="utf-8") as fh:
+                    committed = fh.read()
+            except OSError:
+                committed = ""
+            if committed != text:
+                kept.append((args.registry, 1, "DPX110",
+                             "contract registry is stale — run "
+                             "tools/dpx_analyze.py --write-registry "
+                             "and commit the result"))
+
+    for relpath, line, rule_id, message in kept:
+        print("%s:%d: %s [%s]" % (relpath, line, message, rule_id))
+    if config_error:
+        return 2
+    if kept:
+        print("dpx-analyze: %d finding(s)" % len(kept),
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

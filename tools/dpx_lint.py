@@ -71,6 +71,13 @@ non-blank block that follows (comment included).  A file-wide waiver
 is ``// dpx-lint: allow-file(DPX00N): <reason>`` anywhere in the file;
 the reason is mandatory.
 
+``--report-unused-waivers`` turns stale escape hatches into findings:
+an allow()/allow-file() that no longer suppresses anything is dead
+weight that silently widens the next edit's blast radius, so it must
+be removed or re-justified.  (A line allow shadowed by a file-wide
+allow for the same rule counts as unused — the file waiver is doing
+the suppressing.)
+
 Exit status: 0 clean, 1 violations, 2 usage/config error.
 """
 
@@ -108,6 +115,18 @@ class Rule:
         return self.path_filter(relpath)
 
 
+def _is_digit_separator(text, i):
+    """True when the apostrophe at text[i] is a C++14 digit separator:
+    it sits inside a token that starts with a digit (1'000, 0xFF'FF).
+    Char-literal prefixes (L'a', u8'a') fail the digit test because
+    their token starts with a letter."""
+    j = i - 1
+    while j >= 0 and (text[j].isalnum() or text[j] in "_."):
+        j -= 1
+    return j + 1 < i and text[j + 1].isdigit() and \
+        i + 1 < len(text) and text[i + 1].isalnum()
+
+
 def strip_code(text):
     """Blank out comments and string/char literals, preserving line
     structure, so token regexes never fire inside either."""
@@ -125,6 +144,12 @@ def strip_code(text):
             j = n if j == -1 else j + 2
             out.extend(ch if ch == "\n" else " " for ch in text[i:j])
             i = j
+        elif c == "'" and _is_digit_separator(text, i):
+            # C++14 digit separator (2'000'000), not a char literal:
+            # treating it as a quote would blank everything up to the
+            # next apostrophe — often whole lines of real code.
+            out.append(" ")
+            i += 1
         elif c in "\"'":
             quote = c
             out.append(" ")
@@ -380,15 +405,18 @@ RULES = [
 
 
 def collect_allows(raw_lines):
-    """Return (file_allows, line_allows) from dpx-lint annotations.
+    """Return (file_allows, line_allows, bad_allows, annotations).
 
     line_allows maps line number -> set of rule ids suppressed there.
     A trailing allow covers its own line; an allow on a comment-only
     line covers the contiguous non-blank block it sits in.
+    annotations records every waiver's own location for the
+    unused-waiver report: (annotation line, rule id, kind).
     """
     file_allows = set()
     bad_allows = []
     line_allows = {}
+    annotations = []
     comment_only_rx = re.compile(r"^\s*(//|\*|/\*)")
     for ln, line in enumerate(raw_lines, start=1):
         for m in ALLOW_FILE_RE.finditer(line):
@@ -397,6 +425,7 @@ def collect_allows(raw_lines):
                 bad_allows.append((ln, rule_id))
             else:
                 file_allows.add(rule_id)
+                annotations.append((ln, rule_id, "allow-file"))
         for m in ALLOW_RE.finditer(line):
             rule_id = m.group(1)
             if comment_only_rx.match(line):
@@ -410,12 +439,17 @@ def collect_allows(raw_lines):
                 span = range(lo, hi + 1)
             else:
                 span = (ln,)
+            annotations.append((ln, rule_id, "allow"))
             for covered in span:
                 line_allows.setdefault(covered, set()).add(rule_id)
-    return file_allows, line_allows, bad_allows
+    return file_allows, line_allows, bad_allows, annotations
 
 
 def lint_file(path, relpath, rules, all_paths):
+    """Lint one file.  Returns (findings, unused_waivers) or None on
+    a config error.  unused_waivers lists waiver annotations that
+    suppressed nothing across the full rule set (meaningful only when
+    every rule ran — main() guards that for the report flag)."""
     try:
         with open(path, encoding="utf-8", errors="replace") as fh:
             text = fh.read()
@@ -425,7 +459,8 @@ def lint_file(path, relpath, rules, all_paths):
         return None
     raw_lines = text.split("\n")
     code_lines = strip_code(text).split("\n")
-    file_allows, line_allows, bad_allows = collect_allows(raw_lines)
+    file_allows, line_allows, bad_allows, annotations = \
+        collect_allows(raw_lines)
     if bad_allows:
         for ln, rule_id in bad_allows:
             print("%s:%d: allow-file(%s) requires a reason: "
@@ -433,16 +468,49 @@ def lint_file(path, relpath, rules, all_paths):
                   % (relpath, ln, rule_id, rule_id), file=sys.stderr)
         return None  # malformed allow-file: config error
     findings = []
+    used_file = set()       # rule ids a file-wide allow suppressed
+    used_line = set()       # (line, rule id) a line allow suppressed
     for rule in rules:
         if not rule.applies_to(relpath, all_paths):
             continue
-        if rule.rule_id in file_allows:
-            continue
         for ln, detail in rule.checker(relpath, raw_lines, code_lines):
+            # File-wide allows take precedence (they always did: the
+            # old code skipped the rule outright), so a line allow
+            # shadowed by one never registers a use.
+            if rule.rule_id in file_allows:
+                used_file.add(rule.rule_id)
+                continue
             if rule.rule_id in line_allows.get(ln, ()):
+                used_line.add((ln, rule.rule_id))
                 continue
             findings.append((relpath, ln, rule, detail))
-    return findings
+    unused = []
+    own_rules = {rule.rule_id for rule in rules}
+    comment_only_rx = re.compile(r"^\s*(//|\*|/\*)")
+    for ln, rule_id, kind in annotations:
+        if rule_id not in own_rules:
+            # A waiver for a rule this tool does not implement (the
+            # DPX1xx semantic rules live in dpx_analyze.py) is not
+            # "unused" — it is simply not ours to judge.
+            continue
+        if kind == "allow-file":
+            if rule_id not in used_file:
+                unused.append((relpath, ln, rule_id, kind))
+            continue
+        # Recompute the span this line allow covered.
+        if comment_only_rx.match(raw_lines[ln - 1]):
+            lo = ln
+            while lo > 1 and raw_lines[lo - 2].strip():
+                lo -= 1
+            hi = ln
+            while hi < len(raw_lines) and raw_lines[hi].strip():
+                hi += 1
+            span = range(lo, hi + 1)
+        else:
+            span = (ln,)
+        if not any((covered, rule_id) in used_line for covered in span):
+            unused.append((relpath, ln, rule_id, kind))
+    return findings, unused
 
 
 def gather_files(paths):
@@ -480,6 +548,9 @@ def main(argv=None):
                              "the directory containing tools/)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule table and exit")
+    parser.add_argument("--report-unused-waivers", action="store_true",
+                        help="treat allow()/allow-file() annotations "
+                             "that suppress nothing as violations")
     args = parser.parse_args(argv)
 
     if args.list_rules:
@@ -498,6 +569,13 @@ def main(argv=None):
             return 2
         rules = [known[r] for r in args.rule]
 
+    if args.report_unused_waivers and args.rule:
+        # With a rule subset, a waiver for an unselected rule would
+        # look unused even though it still suppresses findings.
+        print("dpx-lint: --report-unused-waivers requires the full "
+              "rule set (drop --rule)", file=sys.stderr)
+        return 2
+
     root = args.root or os.path.dirname(
         os.path.dirname(os.path.abspath(__file__)))
     files = gather_files(args.paths)
@@ -509,15 +587,23 @@ def main(argv=None):
     for path in files:
         rel = os.path.relpath(os.path.abspath(path), root)
         rel = rel.replace(os.sep, "/")
-        findings = lint_file(path, rel, rules, args.all_paths)
-        if findings is None:
+        result = lint_file(path, rel, rules, args.all_paths)
+        if result is None:
             config_error = True
             continue
+        findings, unused = result
         for relpath, ln, rule, detail in findings:
             print("%s:%d: %s [%s]: %s\n    rationale: %s"
                   % (relpath, ln, rule.rule_id, rule.name, detail,
                      rule.rationale))
             total += 1
+        if args.report_unused_waivers:
+            for relpath, ln, rule_id, kind in unused:
+                print("%s:%d: unused waiver [%s(%s)]: suppresses no "
+                      "finding — remove it or re-justify the rule "
+                      "violation it was written for"
+                      % (relpath, ln, kind, rule_id))
+                total += 1
     if config_error:
         return 2
     if total:
