@@ -23,6 +23,8 @@
 #include <vector>
 
 #include "sim/rng.hh"
+#include "sim/simd.hh"
+#include "sim/vmath.hh"
 
 namespace duplexity
 {
@@ -271,8 +273,9 @@ FastSampler::sampleRaw(Rng &rng) const
       case Kind::Deterministic:
         return a_;
       case Kind::Exponential:
-        // Rng::exponential(mean), inlined.
-        return -a_ * std::log1p(-rng.uniform());
+        // Rng::exponential(mean), inlined; log1pNeg routes to the
+        // replica kernel when active, std::log1p otherwise.
+        return -a_ * vmath::log1pNeg(rng.uniform());
       case Kind::Uniform:
         // Rng::uniform(lo, hi), inlined.
         return a_ + (b_ - a_) * rng.uniform();
@@ -280,8 +283,14 @@ FastSampler::sampleRaw(Rng &rng) const
         // exp(Rng::normal(mu, sigma)), inlined.
         double u1 = 1.0 - rng.uniform();
         double u2 = rng.uniform();
+        // dpx-lint: allow(DPX106): Box-Muller needs log(1-u), which
+        // is not bitwise log1p(-u) (the 1-u subtraction rounds
+        // first); no replica route preserves the golden variates.
         double z = std::sqrt(-2.0 * std::log(u1)) *
                    std::cos(2.0 * M_PI * u2);
+        // dpx-lint: allow(DPX106): exp has no replica kernel
+        // (DESIGN.md §4b.4 covers log1p only); LogNormal draws are
+        // cold relative to the exponential stall path.
         return std::exp(a_ + b_ * z);
       }
       case Kind::BoundedPareto: {
@@ -303,6 +312,8 @@ FastSampler::sample(Rng &rng) const
     return scaled_ ? factor_ * v : v;
 }
 
+// dpx-analyze: hot-entry — innermost draw loop of runQueueSim and the
+// batch segment sources; DPX106 walks the callees for stray libm logs.
 inline void
 FastSampler::sampleN(Rng &rng, double *out, std::size_t n) const
 {
@@ -312,18 +323,28 @@ FastSampler::sampleN(Rng &rng, double *out, std::size_t n) const
             out[i] = a_;
         break;
       case Kind::Exponential: {
-        // Bulk-draw the raw words (fillBlock emits exactly the
-        // sequence m next() calls would) and map them in a separate
-        // loop; uniform() is toUniform(next()), so the values are
-        // bit-identical to the per-element form and the generator
-        // state stays in registers across each chunk.
+        // Full batched pipeline: bulk-draw the raw words (fillBlock
+        // emits exactly the sequence m next() calls would), map them
+        // to uniforms lane-wise, push the whole chunk through the
+        // vector log, then apply the -mean scale.  Every stage is
+        // bit-identical to the per-element form (toUniformBlock and
+        // log1pNegBlock both carry that contract), so the variates
+        // match n calls to sample() exactly; the scale multiply is a
+        // single rounding either way.
         std::uint64_t raws[256];
+        double unis[256];
         for (std::size_t off = 0; off < n;) {
             const std::size_t m = std::min(n - off, std::size_t(256));
             rng.fillBlock(raws, m);
+            if (simd::simdEnabled()) {
+                simd::toUniformBlock(raws, unis, m);
+            } else {
+                for (std::size_t i = 0; i < m; ++i)
+                    unis[i] = Rng::toUniform(raws[i]);
+            }
+            vmath::log1pNegBlock(unis, out + off, m);
             for (std::size_t i = 0; i < m; ++i)
-                out[off + i] =
-                    -a_ * std::log1p(-Rng::toUniform(raws[i]));
+                out[off + i] = -a_ * out[off + i];
             off += m;
         }
         break;
@@ -336,6 +357,31 @@ FastSampler::sampleN(Rng &rng, double *out, std::size_t n) const
         for (std::size_t i = 0; i < n; ++i)
             out[i] = emp_[rng.below(emp_size_)];
         break;
+      case Kind::BoundedPareto: {
+        // Batch the generator half of the pipeline (fillBlock + lane
+        // uniform map); the pow itself stays scalar — glibc's pow is
+        // table-driven and has no replica kernel (DESIGN.md §4b.4's
+        // "pow wall"), so only the draw side vectorizes.
+        std::uint64_t raws[256];
+        double unis[256];
+        for (std::size_t off = 0; off < n;) {
+            const std::size_t m = std::min(n - off, std::size_t(256));
+            rng.fillBlock(raws, m);
+            if (simd::simdEnabled()) {
+                simd::toUniformBlock(raws, unis, m);
+            } else {
+                for (std::size_t i = 0; i < m; ++i)
+                    unis[i] = Rng::toUniform(raws[i]);
+            }
+            for (std::size_t i = 0; i < m; ++i) {
+                const double u = unis[i];
+                out[off + i] =
+                    std::pow(-(u * b_ - u * a_ - b_) / c_, d_);
+            }
+            off += m;
+        }
+        break;
+      }
       default:
         for (std::size_t i = 0; i < n; ++i)
             out[i] = sampleRaw(rng);

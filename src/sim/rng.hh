@@ -31,6 +31,7 @@
 #include <initializer_list>
 
 #include "sim/check.hh"
+#include "sim/vmath.hh"
 
 namespace duplexity
 {
@@ -133,8 +134,9 @@ class Rng
     double
     exponential(double mean)
     {
-        // 1 - u avoids log(0).
-        return -mean * std::log1p(-uniform());
+        // 1 - u avoids log(0); vmath routes to the replica log1p
+        // kernel when active, std::log1p otherwise — same bits.
+        return -mean * vmath::log1pNeg(uniform());
     }
 
     /** Standard normal variate (Box-Muller, no caching). */

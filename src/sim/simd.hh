@@ -54,6 +54,8 @@ typedef std::uint8_t U8x16 __attribute__((vector_size(16)));
  *  needed) and wider types would be split into 128-bit ops anyway on
  *  the default target. */
 typedef std::uint64_t U64x2 __attribute__((vector_size(16)));
+/** 2 s64 lanes — exponent/k arithmetic in the vector log kernel. */
+typedef std::int64_t I64x2 __attribute__((vector_size(16)));
 /** 2 double lanes. */
 typedef double F64x2 __attribute__((vector_size(16)));
 
@@ -115,6 +117,14 @@ loadU64x2(const std::uint64_t *p)
     return v;
 }
 
+inline F64x2
+loadF64x2(const double *p)
+{
+    F64x2 v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
 inline void
 storeF64x2(double *p, F64x2 v)
 {
@@ -149,6 +159,45 @@ neZeroMask(U8x16 a)
 {
     return (U8x16)(a != splat8(0));
 }
+
+/// Lane bitcasts: IEEE bit patterns <-> doubles, 2 lanes at a time.
+/// The vector log kernel (sim/vmath.cc) does its exponent split and
+/// mask selection on the U64 view of F64 lanes.
+
+inline U64x2
+bitsF64x2(F64x2 v)
+{
+    U64x2 r;
+    std::memcpy(&r, &v, sizeof(r));
+    return r;
+}
+
+inline F64x2
+fromBitsF64x2(U64x2 v)
+{
+    F64x2 r;
+    std::memcpy(&r, &v, sizeof(r));
+    return r;
+}
+
+/**
+ * Packed fused multiply-add, a*b + c per lane with a single rounding.
+ * Compiled for the FMA ISA regardless of the build baseline; callers
+ * (sim/vmath.cc) must gate on __builtin_cpu_supports("fma") before
+ * entering a code path that executes it.  The vector log kernel's
+ * bit-identity to glibc's resolved log1p depends on real fused ops at
+ * exactly the sites the libm FMA variant fuses, so this cannot fall
+ * back to mul+add silently — hence no non-x86 emulation here; the
+ * helper simply does not exist off x86-64 and sim/vmath.cc compiles
+ * its libm-only fallback instead.
+ */
+#if defined(__x86_64__)
+__attribute__((target("fma"))) inline F64x2
+fmaF64x2(F64x2 a, F64x2 b, F64x2 c)
+{
+    return __builtin_ia32_vfmaddpd(a, b, c);
+}
+#endif
 
 /**
  * Map 2 raw xoshiro words to uniform doubles in [0,1) — the vector

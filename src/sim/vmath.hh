@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Lane-exact vector log for the variate maps (DESIGN.md §4b.4).
+ *
+ * The exponential (and geometric-dep) variate maps end in
+ * `std::log1p(-u)` with u a 53-bit uniform in [0, 1) — the one
+ * draw-side stage the SIMD layer could not batch, because the golden
+ * walls pin every variate to the scalar libm bit pattern.  This layer
+ * clears that floor without relaxing the pin: sim/vmath.cc carries a
+ * table-free replica of glibc's *resolved* log1p kernel (the FMA IFUNC
+ * variant on hosts that select it) as a branch-reduced scalar twin and
+ * a 2-lane vector form over the simd.hh lane types, both proven
+ * bit-identical to `std::log1p` on the exact domain the variate maps
+ * hit: x = -(raw >> 11) * 2^-53, i.e. -(1 - 2^-53) <= x <= -0.
+ *
+ * Exactness is a host property, so it is never assumed: the first call
+ * through either entry point runs a one-time probe of both kernels
+ * against `std::log1p` over a deterministic boundary+spread point set.
+ * If the host resolves log1p differently (no FMA unit, another libm),
+ * the probe fails closed and every call transparently routes to
+ * `std::log1p` — same bits, no fast path, and `vmathActive()` reports
+ * it.  Golden tests therefore assert bit-identity unconditionally;
+ * bench fast-path counters (vmath_block_lanes) prove the vector kernel
+ * actually ran where a speedup is claimed.
+ *
+ * Switch contract (same shape as simd.hh): `setVmathEnabled(false)`
+ * forces the libm route at runtime, `-DDPX_VMATH=OFF` pins it at
+ * compile time; the golden wall runs the full SIMD×VMATH matrix, so
+ * both modes of every composition are pinned separately.  Unlike the
+ * simd.hh helpers, the libm fallback lives *inside* these entry points
+ * rather than at call sites: the forced-slow split stays meaningful,
+ * and the only direct `std::log1p` uses on hot paths sit in
+ * sim/vmath.cc where rule DPX106 exempts them.
+ */
+
+#ifndef DPX_SIM_VMATH_HH
+#define DPX_SIM_VMATH_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace duplexity
+{
+namespace vmath
+{
+
+#ifdef DPX_NO_VMATH
+inline constexpr bool kVmathCompiled = false;
+#else
+inline constexpr bool kVmathCompiled = true;
+#endif
+
+namespace detail
+{
+/// Runtime switch; relaxed loads are fine — tests flip it only while
+/// single-threaded, and sweep workers inherit the pre-spawn value.
+// dpx-lint: allow(DPX105): process-wide forced-slow switch, flipped
+// only outside timed/simulated regions; both settings produce
+// bit-identical results by the fast-path contract.
+inline std::atomic<bool> g_vmath_enabled{true};
+}  // namespace detail
+
+/** True when the vector-log fast path should run (before probing). */
+inline bool
+vmathEnabled()
+{
+    return kVmathCompiled &&
+           detail::g_vmath_enabled.load(std::memory_order_relaxed);
+}
+
+/** Force (or re-allow) the libm route; returns the old setting. */
+inline bool
+setVmathEnabled(bool enabled)
+{
+    return detail::g_vmath_enabled.exchange(enabled,
+                                            std::memory_order_relaxed);
+}
+
+/**
+ * log1p(-u) for u in [0, 1) — the exponential variate map's inner
+ * call, bit-identical to `std::log1p(-u)` in every mode (replica
+ * kernel when active, libm otherwise).
+ */
+double log1pNeg(double u);
+
+/**
+ * Bulk form: out[i] = log1p(-u[i]) for i < n, through the 2-lane
+ * vector kernel when active (rare lanes redone via libm), a scalar
+ * libm loop otherwise.  `u` and `out` must not alias: the rare-lane
+ * fixup pass re-reads the inputs after the vector results landed.
+ */
+void log1pNegBlock(const double *u, double *out, std::size_t n);
+
+/**
+ * True when the replica kernels are compiled in, enabled, and the
+ * host probe confirmed bit-identity with this process's libm.  Forces
+ * the probe on first call.
+ */
+bool vmathActive();
+
+/** Lanes mapped through the vector kernel (fast-path activation
+ *  counter; incremented once per block, not per draw). */
+std::uint64_t vmathBlockLanes();
+
+}  // namespace vmath
+}  // namespace duplexity
+
+#endif  // DPX_SIM_VMATH_HH

@@ -6,6 +6,7 @@
 #include "sim/check.hh"
 #include "sim/logging.hh"
 #include "sim/simd.hh"
+#include "sim/vmath.hh"
 
 namespace duplexity
 {
@@ -87,9 +88,10 @@ SyntheticStream::sampleDep()
     if (!drawChance(params_.dep_prob))
         return 0;
     // Geometric with the configured mean, clipped to the dep window.
-    // Same arithmetic as Rng::exponential over the buffered draw.
+    // Same arithmetic as Rng::exponential over the buffered draw;
+    // log1pNeg is bit-identical to std::log1p(-u) in every mode.
     double d = 1.0 - (params_.mean_dep_dist - 1.0) *
-                         std::log1p(-drawUniform());
+                         vmath::log1pNeg(drawUniform());
     return static_cast<std::uint8_t>(std::min(d, 63.0));
 }
 
@@ -172,6 +174,8 @@ SyntheticStream::next()
     return op;
 }
 
+// dpx-analyze: hot-entry — per-op generation loop feeding the block
+// engine; DPX106 walks the callees for stray libm logs.
 void
 SyntheticStream::fillOpsInto(OpBlock &block, std::size_t n)
 {
@@ -255,7 +259,7 @@ SyntheticStream::fillOpsInto(OpBlock &block, std::size_t n)
     auto dep = [&]() -> std::uint8_t {
         if (!(uni() < dep_prob))
             return 0;
-        double d = 1.0 - dep_mean * std::log1p(-uni());
+        double d = 1.0 - dep_mean * vmath::log1pNeg(uni());
         return static_cast<std::uint8_t>(std::min(d, 63.0));
     };
     auto data_addr = [&]() -> Addr {

@@ -4,7 +4,7 @@
 Layout mirrors tests/lint/selftest.py (the dpx_lint fixture wall):
 
  - fixtures/analyze/       one positive + one negative fixture per
-   semantic rule DPX101-105, run file-by-file with --rule so each
+   semantic rule DPX101-106, run file-by-file with --rule so each
    fixture proves exactly its own rule (positives) or full-rule
    silence (negatives);
  - fixtures/contract_ok/   a miniature repo whose one fast-path
@@ -31,7 +31,7 @@ ANALYZE = os.path.join(REPO, "tools", "dpx_analyze.py")
 FIXTURES = os.path.join(HERE, "fixtures")
 ANALYZE_FIX = os.path.join(FIXTURES, "analyze")
 
-RULE_IDS = ["DPX%03d" % n for n in range(101, 106)] + ["DPX110"]
+RULE_IDS = ["DPX%03d" % n for n in range(101, 107)] + ["DPX110"]
 
 # (fixture path under analyze/, --rule selection, expected exit
 #  status, rule that must fire or None)
@@ -41,12 +41,14 @@ RULE_CASES = [
     ("src/cpu/dpx103_virtual.cc", "DPX103", 1, "DPX103"),
     ("src/cpu/dpx104_banned.cc", "DPX104", 1, "DPX104"),
     ("src/sim/dpx105_global.cc", "DPX105", 1, "DPX105"),
+    ("src/sim/dpx106_math.cc", "DPX106", 1, "DPX106"),
     # Negatives run the full rule set and must stay silent.
     ("src/sim/dpx101_ok.cc", None, 0, None),
     ("src/queueing/dpx102_ok.cc", None, 0, None),
     ("src/cpu/dpx103_ok.cc", None, 0, None),
     ("src/cpu/dpx104_ok.cc", None, 0, None),
     ("src/sim/dpx105_ok.cc", None, 0, None),
+    ("src/sim/dpx106_ok.cc", None, 0, None),
 ]
 
 

@@ -1,0 +1,32 @@
+// DPX106 positive: a hot entry point reaches std::log two calls
+// deep — neither the entry nor its direct callee touches libm, only
+// whole-program reachability sees the scalar transcendental.
+#include <cmath>
+
+namespace duplexity
+{
+
+double
+rawLogDraw(double u)
+{
+    return -std::log(1.0 - u);
+}
+
+double
+helperDraw(double u)
+{
+    return rawLogDraw(u) * 0.5;
+}
+
+// dpx-analyze: hot-entry
+double
+drawMany(int n)
+{
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) {
+        sum += helperDraw(i * 0.001);
+    }
+    return sum;
+}
+
+} // namespace duplexity

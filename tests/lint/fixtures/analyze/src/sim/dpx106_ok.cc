@@ -1,0 +1,32 @@
+// DPX106 negative: the same libm-calling helper exists, but no hot
+// entry point can reach it — the hot entry only calls the clean
+// helper, so plain grep would flag what reachability clears.
+#include <cmath>
+
+namespace duplexity
+{
+
+double
+rawLogDraw(double u)
+{
+    return -std::log(1.0 - u);
+}
+
+double
+cleanDraw(double u)
+{
+    return u * 0.5;
+}
+
+// dpx-analyze: hot-entry
+double
+drawMany(int n)
+{
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) {
+        sum += cleanDraw(i * 0.001);
+    }
+    return sum;
+}
+
+} // namespace duplexity

@@ -1,0 +1,350 @@
+/**
+ * @file
+ * Golden differential wall for the vmath replica-log fast path
+ * (sim/vmath.hh, DESIGN.md §4b.4).
+ *
+ * The vmath contract is stricter than "faster, never different": the
+ * kernels must be bit-identical to this process's `std::log1p` on the
+ * uniform-draw domain, in *every* switch state — vmath on/off crossed
+ * with SIMD on/off, because the exponential sampleN pipeline composes
+ * simd::toUniformBlock with vmath::log1pNegBlock and each stage has
+ * its own forced-slow switch.  Every suite here asserts raw bit
+ * equality (not double ==, which would let -0.0 alias 0.0) against
+ * libm recomputed on the spot, so the wall holds whether the runtime
+ * probe activated the kernels or failed closed to libm.  Runs in both
+ * CI build legs; the -DDPX_VMATH=OFF build pins the compile-time-off
+ * dispatch the same way -DDPX_SIMD=OFF pins the scalar lanes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "sim/distributions.hh"
+#include "sim/rng.hh"
+#include "sim/simd.hh"
+#include "sim/vmath.hh"
+#include "workload/op_block.hh"
+#include "workload/synthetic.hh"
+
+using namespace duplexity;
+
+namespace
+{
+
+std::uint64_t
+bitsOf(double d)
+{
+    std::uint64_t u;
+    std::memcpy(&u, &d, sizeof(u));
+    return u;
+}
+
+/** Restore the runtime vmath switch no matter how the test exits. */
+class VmathFlagGuard
+{
+  public:
+    explicit VmathFlagGuard(bool enable)
+        : prev_(vmath::setVmathEnabled(enable))
+    {
+    }
+    ~VmathFlagGuard() { vmath::setVmathEnabled(prev_); }
+    VmathFlagGuard(const VmathFlagGuard &) = delete;
+    VmathFlagGuard &operator=(const VmathFlagGuard &) = delete;
+
+  private:
+    bool prev_;
+};
+
+class SimdFlagGuard
+{
+  public:
+    explicit SimdFlagGuard(bool enable)
+        : prev_(simd::setSimdEnabled(enable))
+    {
+    }
+    ~SimdFlagGuard() { simd::setSimdEnabled(prev_); }
+    SimdFlagGuard(const SimdFlagGuard &) = delete;
+    SimdFlagGuard &operator=(const SimdFlagGuard &) = delete;
+
+  private:
+    bool prev_;
+};
+
+/**
+ * Raw draws aimed at every boundary the replica kernel branches or
+ * masks on, at the 53-bit granularity of the uniform map: u == 0
+ * (x == -0.0), the smallest nonzero draws, the |x| < 2^-29 rare
+ * threshold, exponent steps, the k != 0 entry threshold
+ * (x ~ -0.2928932…), the rebias threshold (u1 crossing sqrt(2)/2),
+ * and u within ulps of 1 - 2^-53 (largest-magnitude x).
+ */
+std::vector<std::uint64_t>
+boundaryRaws()
+{
+    std::vector<std::uint64_t> raws;
+    auto fromK = [&](std::uint64_t k) { raws.push_back(k << 11); };
+    constexpr std::uint64_t kFull = (1ull << 53) - 1;
+    for (std::uint64_t k = 0; k <= 64; ++k) {
+        fromK(k);
+        fromK(kFull - k);
+    }
+    // Raw words whose low 11 bits are dropped by the >> 11 map.
+    raws.push_back(1);
+    raws.push_back((1ull << 11) - 1);
+    raws.push_back(~std::uint64_t(0));
+    const std::uint64_t bases[] = {1ull << 24, 1ull << 29, 1ull << 33,
+                                   1ull << 52};
+    for (std::uint64_t base : bases)
+        for (std::int64_t d = -16; d <= 16; ++d)
+            fromK(base + (std::uint64_t)d);
+    const double centers[] = {0.25,
+                              0.5,
+                              0.75,
+                              0.2928932188134525,
+                              0.292893218813452475,
+                              0.292893218813452586,
+                              0.7071067811865475,
+                              0.7071067811865476,
+                              0.999999999};
+    for (double center : centers) {
+        const std::uint64_t kc =
+            (std::uint64_t)(center * 9007199254740992.0);
+        for (std::int64_t d = -32; d <= 32; ++d)
+            fromK(kc + (std::uint64_t)d);
+    }
+    return raws;
+}
+
+/** The boundary set plus a deterministic random spread. */
+std::vector<std::uint64_t>
+domainRaws(int random_n)
+{
+    std::vector<std::uint64_t> raws = boundaryRaws();
+    Rng rng(2024);
+    for (int i = 0; i < random_n; ++i)
+        raws.push_back(rng.next());
+    return raws;
+}
+
+/** Run @p body under each of the four SIMD×VMATH runtime states. */
+template <typename Fn>
+void
+forEachSwitchState(Fn &&body)
+{
+    for (bool simd_on : {true, false}) {
+        for (bool vmath_on : {true, false}) {
+            SimdFlagGuard sg(simd_on);
+            VmathFlagGuard vg(vmath_on);
+            body(simd_on, vmath_on);
+        }
+    }
+}
+
+constexpr std::uint64_t kSeeds[] = {1, 42, 0xdeadbeef};
+
+} // namespace
+
+/** Scalar entry point == libm, bit for bit, on boundary + random
+ *  draws, in every switch state (active kernel and forced-libm route
+ *  must be indistinguishable). */
+TEST(VmathDiff, ScalarMatchesLibmEveryState)
+{
+    const std::vector<std::uint64_t> raws = domainRaws(200000);
+    forEachSwitchState([&](bool simd_on, bool vmath_on) {
+        for (std::uint64_t raw : raws) {
+            const double u = Rng::toUniform(raw);
+            ASSERT_EQ(bitsOf(vmath::log1pNeg(u)),
+                      bitsOf(std::log1p(-u)))
+                << "raw " << raw << " simd " << simd_on << " vmath "
+                << vmath_on;
+        }
+    });
+}
+
+/** Block entry point == per-element libm across counts that exercise
+ *  the vector body, the odd tail, and the rare-lane rescan, in every
+ *  switch state. */
+TEST(VmathDiff, BlockMatchesLibmEveryState)
+{
+    const std::vector<std::uint64_t> raws = domainRaws(4000);
+    std::vector<double> unis(raws.size());
+    for (std::size_t i = 0; i < raws.size(); ++i)
+        unis[i] = Rng::toUniform(raws[i]);
+    const std::size_t counts[] = {1, 2, 3, 17, 255, 256, 257,
+                                  unis.size()};
+    forEachSwitchState([&](bool simd_on, bool vmath_on) {
+        for (std::size_t n : counts) {
+            std::vector<double> out(n, 123.0);
+            vmath::log1pNegBlock(unis.data(), out.data(), n);
+            for (std::size_t i = 0; i < n; ++i)
+                ASSERT_EQ(bitsOf(out[i]), bitsOf(std::log1p(-unis[i])))
+                    << "i " << i << " n " << n << " simd " << simd_on
+                    << " vmath " << vmath_on;
+        }
+    });
+}
+
+/** The full batched pipeline — raw words through simd::toUniformBlock
+ *  then vmath::log1pNegBlock — equals the scalar composition
+ *  std::log1p(-Rng::toUniform(raw)) element-wise, in every switch
+ *  state.  This is the exact stage pairing FastSampler::sampleN runs,
+ *  pinned on the boundary raws (u == 0, 1-ulp-from-1, rare-threshold
+ *  neighborhoods) where a lane-exactness bug would first show. */
+TEST(VmathDiff, UniformToLogCompositionBitIdentical)
+{
+    const std::vector<std::uint64_t> raws = domainRaws(4000);
+    const std::size_t n = raws.size();
+    forEachSwitchState([&](bool simd_on, bool vmath_on) {
+        std::vector<double> unis(n, -1.0), logs(n, 123.0);
+        if (simd::simdEnabled()) {
+            simd::toUniformBlock(raws.data(), unis.data(), n);
+        } else {
+            for (std::size_t i = 0; i < n; ++i)
+                unis[i] = Rng::toUniform(raws[i]);
+        }
+        vmath::log1pNegBlock(unis.data(), logs.data(), n);
+        for (std::size_t i = 0; i < n; ++i)
+            ASSERT_EQ(bitsOf(logs[i]),
+                      bitsOf(std::log1p(-Rng::toUniform(raws[i]))))
+                << "raw " << raws[i] << " simd " << simd_on
+                << " vmath " << vmath_on;
+    });
+}
+
+/** Exponential sampleN (the batched vmath pipeline) == n per-sample
+ *  draws, across sizes straddling the 256-draw chunk, seeds, and all
+ *  switch states; and the emitted variates are state-invariant. */
+TEST(VmathDiff, ExponentialSampleNMatchesPerSampleEveryState)
+{
+    DistributionPtr dist = makeExponential(1e-6);
+    const std::size_t counts[] = {1, 5, 255, 256, 257, 1000};
+    for (std::uint64_t seed : kSeeds) {
+        for (std::size_t n : counts) {
+            // Reference: per-sample draws in the default state.
+            FastSampler per_sampler(dist);
+            Rng per_rng(seed);
+            std::vector<double> ref(n);
+            for (std::size_t i = 0; i < n; ++i)
+                ref[i] = per_sampler.sample(per_rng);
+            forEachSwitchState([&](bool simd_on, bool vmath_on) {
+                FastSampler bulk_sampler(dist);
+                Rng bulk_rng(seed);
+                std::vector<double> bulk(n, -1.0);
+                bulk_sampler.sampleN(bulk_rng, bulk.data(), n);
+                for (std::size_t i = 0; i < n; ++i)
+                    ASSERT_EQ(bitsOf(bulk[i]), bitsOf(ref[i]))
+                        << "seed " << seed << " n " << n << " i " << i
+                        << " simd " << simd_on << " vmath "
+                        << vmath_on;
+            });
+        }
+    }
+}
+
+/** Bounded-Pareto sampleN (batched draw side, scalar pow) == n
+ *  per-sample draws in every switch state. */
+TEST(VmathDiff, ParetoSampleNMatchesPerSampleEveryState)
+{
+    DistributionPtr dist = makeBoundedPareto(1.0, 1000.0, 1.1);
+    const std::size_t counts[] = {1, 5, 255, 256, 257, 1000};
+    for (std::uint64_t seed : kSeeds) {
+        for (std::size_t n : counts) {
+            FastSampler per_sampler(dist);
+            Rng per_rng(seed);
+            std::vector<double> ref(n);
+            for (std::size_t i = 0; i < n; ++i)
+                ref[i] = per_sampler.sample(per_rng);
+            forEachSwitchState([&](bool simd_on, bool vmath_on) {
+                FastSampler bulk_sampler(dist);
+                Rng bulk_rng(seed);
+                std::vector<double> bulk(n, -1.0);
+                bulk_sampler.sampleN(bulk_rng, bulk.data(), n);
+                for (std::size_t i = 0; i < n; ++i)
+                    ASSERT_EQ(bitsOf(bulk[i]), bitsOf(ref[i]))
+                        << "seed " << seed << " n " << n << " i " << i
+                        << " simd " << simd_on << " vmath "
+                        << vmath_on;
+            });
+        }
+    }
+}
+
+/** SyntheticStream's dep draws route through vmath: the op stream
+ *  must be identical with the kernels forced off. */
+TEST(VmathDiff, SyntheticStreamSwitchInvariant)
+{
+    WorkloadParams params; // defaults exercise every op class
+    for (std::uint64_t seed : kSeeds) {
+        SyntheticStream fast(params, Rng(seed).fork(2));
+        SyntheticStream slow(params, Rng(seed).fork(2));
+        const std::size_t sizes[] = {1, 3, 97, kOpBlockCapacity};
+        for (int round = 0; round < 100; ++round) {
+            const std::size_t bs = sizes[round % 4];
+            OpBlock a, b;
+            fast.fillOpsInto(a, bs);
+            {
+                VmathFlagGuard guard(false);
+                slow.fillOpsInto(b, bs);
+            }
+            for (std::size_t i = 0; i < bs; ++i) {
+                const MicroOp va = a.get(i);
+                const MicroOp vb = b.get(i);
+                ASSERT_EQ(static_cast<int>(va.cls),
+                          static_cast<int>(vb.cls));
+                ASSERT_EQ(va.pc, vb.pc);
+                ASSERT_EQ(va.mem_addr, vb.mem_addr);
+                ASSERT_EQ(va.taken, vb.taken);
+                ASSERT_EQ(va.dep1, vb.dep1);
+                ASSERT_EQ(va.dep2, vb.dep2);
+                ASSERT_EQ(va.stall_us, vb.stall_us);
+                ASSERT_EQ(va.end_of_request, vb.end_of_request);
+            }
+        }
+    }
+}
+
+/** Rng::exponential routes through vmath and is switch-invariant. */
+TEST(VmathDiff, RngExponentialSwitchInvariant)
+{
+    for (std::uint64_t seed : kSeeds) {
+        Rng fast(seed), slow(seed);
+        for (int i = 0; i < 10000; ++i) {
+            const double a = fast.exponential(3.25);
+            double b;
+            {
+                VmathFlagGuard guard(false);
+                b = slow.exponential(3.25);
+            }
+            ASSERT_EQ(bitsOf(a), bitsOf(b)) << "draw " << i;
+        }
+    }
+}
+
+/** Switch mechanics: setVmathEnabled returns the previous value, the
+ *  compile-time pin wins, and vmathActive() implies vmathEnabled(). */
+TEST(VmathDiff, SwitchSemantics)
+{
+    ASSERT_EQ(vmath::vmathEnabled(), vmath::kVmathCompiled);
+    {
+        VmathFlagGuard guard(false);
+        ASSERT_FALSE(vmath::vmathEnabled());
+        ASSERT_FALSE(vmath::vmathActive());
+        // Nested toggling must report the value it replaced.
+        ASSERT_FALSE(vmath::setVmathEnabled(false));
+    }
+    ASSERT_EQ(vmath::vmathEnabled(), vmath::kVmathCompiled);
+    if (vmath::vmathActive()) {
+        // An active probe means the kernels ran somewhere above;
+        // the activation counter must reflect block traffic.
+        double u[4] = {0.5, 0.25, 0.75, 0.125};
+        double o[4];
+        const std::uint64_t before = vmath::vmathBlockLanes();
+        vmath::log1pNegBlock(u, o, 4);
+        ASSERT_EQ(vmath::vmathBlockLanes(), before + 4);
+    }
+}

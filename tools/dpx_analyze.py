@@ -60,6 +60,14 @@ DPX105  mutable-global-in-sim
         deterministic runs.  Sanctioned instances (forced-slow switch
         flags, memo caches behind the DPX003-waived locks) carry
         reasoned waivers.
+DPX106  scalar-libm-on-hot-path
+        Call-graph reachability of scalar ``std::log``/``std::log1p``/
+        ``std::exp`` from hot entry points, outside sim/vmath.{hh,cc}
+        (which owns the libm fallbacks).  A hot draw loop that still
+        calls libm directly is bypassing the replica kernels; findings
+        land at the call site so reasoned waivers (e.g. LogNormal's
+        ``std::log(1-u)``, which is not bitwise ``log1p(-u)``) sit
+        next to the call they justify.
 DPX110  fast-path-contract
         Discovers every ``set<Name>Enabled`` switch and fast-path
         config flag declared in src/ and fails unless each one is
@@ -120,6 +128,20 @@ BANNED_APIS = [
     ("clock_gettime()", re.compile(r"\bclock_gettime\s*\(")),
     ("std::time()", re.compile(r"\bstd\s*::\s*time\s*\(")),
 ]
+
+# Scalar libm transcendentals for DPX106 — calls that should route
+# through the vmath replica kernels when they sit on a hot path.  The
+# `\s*\(` suffix keeps log2/log10/expm1 out of scope on purpose:
+# vmath only replicates log1p/log/exp-shaped draws.
+MATH_APIS = [
+    ("std::log1p", re.compile(r"\bstd\s*::\s*log1p\s*\(")),
+    ("std::log", re.compile(r"\bstd\s*::\s*log\s*\(")),
+    ("std::exp", re.compile(r"\bstd\s*::\s*exp\s*\(")),
+]
+
+# vmath owns the libm references: its probe and fallback paths call
+# std::log1p by design, so DPX106 never looks inside it.
+MATH_EXEMPT_FILES = ("src/sim/vmath.hh", "src/sim/vmath.cc")
 
 # Accumulator types allowed to do float math internally (they own the
 # precision contract and are golden-tested).
@@ -1315,6 +1337,91 @@ def check_dpx105(program, tu):
                                          owner))
 
 
+def check_dpx106(program, target_files, raw_map):
+    """Scalar libm log/exp reachable from a hot entry point.
+
+    Where DPX104 chases banned primitives, this chases the
+    transcendentals the vmath replica kernels were built to replace:
+    a hot entry (dpx-hot-loop region or ``// dpx-analyze: hot-entry``)
+    that still reaches ``std::log1p``/``std::log``/``std::exp``
+    through the call graph is leaving the batched pipeline.  Findings
+    land at the call site (not the root) so a reasoned
+    ``// dpx-lint: allow(DPX106)`` can sit next to the call it
+    justifies, and every reachable site is reported — waiving one must
+    not hide the next.
+    """
+    defs, edges = build_call_graph(program)
+    # Math call sites per function, scanned from the raw text of the
+    # definition span (trailing // comments stripped so annotations
+    # and prose mentioning std::log don't count as calls).
+    math_at = {}
+    for key, fn in defs.items():
+        f = fn.get("file")
+        if f not in raw_map or f in MATH_EXEMPT_FILES:
+            continue
+        raw_lines = raw_map[f]
+        sites = []
+        for ln in range(fn["line0"], fn["line1"] + 1):
+            if ln - 1 >= len(raw_lines):
+                break
+            code = raw_lines[ln - 1].split("//", 1)[0]
+            for api, rx in MATH_APIS:
+                if rx.search(code):
+                    sites.append((ln, api))
+        if sites:
+            math_at[key] = sites
+    roots = []
+    for fn in program.functions:
+        f = fn.get("file")
+        if f not in raw_map:
+            continue
+        raw_lines = raw_map[f]
+        spans = hot_regions(raw_lines)
+        is_root = any(lo <= fn["line1"] and hi >= fn["line0"]
+                      for lo, hi in spans)
+        if not is_root:
+            for ln in range(max(1, fn["line0"] - 3), fn["line0"] + 1):
+                if ln - 1 < len(raw_lines) and \
+                        HOT_ENTRY_RX.search(raw_lines[ln - 1]):
+                    is_root = True
+                    break
+        if is_root and f in target_files:
+            roots.append(fn)
+    seen = set()
+    for fn in roots:
+        start = fn_node_key(fn)
+        parent = {start: None}
+        queue = [start]
+        reached = []
+        while queue:
+            cur = queue.pop(0)
+            if cur in math_at:
+                reached.append(cur)
+            for nxt in sorted(edges.get(cur, ())):
+                if nxt not in parent:
+                    parent[nxt] = cur
+                    queue.append(nxt)
+        for hit in reached:
+            path = []
+            cur = hit
+            while cur is not None:
+                path.append(cur)
+                cur = parent[cur]
+            path.reverse()
+            site_fn = defs[hit]
+            for site_ln, api in math_at[hit]:
+                dkey = (site_fn.get("file", "?"), site_ln, api)
+                if dkey in seen:
+                    continue
+                seen.add(dkey)
+                yield (site_fn.get("file", "?"), site_ln, "DPX106",
+                       "direct %s call reachable from hot entry "
+                       "%s() via %s — route through vmath::log1pNeg"
+                       "/log1pNegBlock (sim/vmath.hh) or waive with "
+                       "a reason why no replica route exists"
+                       % (api, fn_node_key(fn), " -> ".join(path)))
+
+
 # --------------------------------------------------------------------
 # DPX110: the fast-path contract auditor.
 # --------------------------------------------------------------------
@@ -1970,6 +2077,8 @@ ANALYZE_RULES = [
      "raw RNG / wall clocks through the call graph"),
     ("DPX105", "mutable-global-in-sim: non-const namespace-scope or "
      "function-local-static state in src/"),
+    ("DPX106", "scalar-libm-on-hot-path: std::log/log1p/exp "
+     "reachable from hot entries outside sim/vmath"),
     ("DPX110", "fast-path-contract: every set*Enabled / fast-path "
      "config switch needs a GOLDEN test + bench counter"),
 ]
@@ -2176,6 +2285,8 @@ def main(argv=None):
             findings.extend(check_dpx105(program, tu))
     if "DPX104" in selected:
         findings.extend(check_dpx104(program, target_set, raw_map))
+    if "DPX106" in selected:
+        findings.extend(check_dpx106(program, target_set, raw_map))
 
     registry = None
     if want_110:
